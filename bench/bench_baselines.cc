@@ -1,0 +1,96 @@
+// Experiment E6 (Prop. 1 + §2.3): the two extremal solutions bracketing
+// the compressed structure, plus the all-bound fast path.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/direct_eval.h"
+#include "baseline/materialized_view.h"
+#include "bench/bench_common.h"
+#include "core/compressed_rep.h"
+#include "query/parser.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cqc;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  using bench::Table;
+
+  // --- E6a: Prop. 1, all-bound views: linear build, O(1) answers ---
+  bench::Banner("E6a: all-bound adorned view (Prop. 1)",
+                "T_C = O(|D|), S = O(|D|), delay O(1)");
+  {
+    Database db;
+    MakeRandomGraph(db, "R", 4000, 60000, false, 1);
+    auto view = ParseAdornedView("Q^bb(x,y) = R(x,y)");
+    CompressedRepOptions copt;
+    auto rep = CompressedRep::Build(view.value(), db, copt);
+    Rng rng(2);
+    uint64_t worst = 0;
+    WallTimer timer;
+    for (int i = 0; i < 20000; ++i) {
+      BoundValuation vb{rng.UniformRange(1, 4000), rng.UniformRange(1, 4000)};
+      uint64_t before = ops::Now();
+      rep.value()->AnswerExists(vb);
+      worst = std::max(worst, ops::Now() - before);
+    }
+    std::printf(
+        "build %.3fs, aux space %s, 20000 boolean requests in %.3fs, worst "
+        "request = %llu ops (constant)\n",
+        rep.value()->stats().build_seconds,
+        bench::HumanBytes(rep.value()->stats().AuxBytes()).c_str(),
+        timer.Seconds(), (unsigned long long)worst);
+  }
+
+  // --- E6b: three structures on the triangle view ---
+  bench::Banner("E6b: materialize vs compress vs direct (triangle V^bfb)",
+                "materialized = fastest/biggest, direct = smallest/slowest, "
+                "compressed interpolates");
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 40);
+  AdornedView view = TriangleView("bfb");
+  std::vector<BoundValuation> requests;
+  for (Value a = 1; a <= 30; ++a) requests.push_back({a, 40 + a});
+
+  Table table({"structure", "build s", "space", "worst delay (ops)",
+               "total TA (s)", "tuples"});
+  {
+    auto mv = MaterializedView::Build(view, db);
+    auto s = bench::MeasureRequests(requests, [&](const BoundValuation& vb) {
+      return mv.value()->Answer(vb);
+    });
+    table.AddRow({"materialized", StrFormat("%.3f", mv.value()->build_seconds()),
+                  bench::HumanBytes(mv.value()->SpaceBytes()),
+                  StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
+                  StrFormat("%.4f", s.total_seconds),
+                  StrFormat("%zu", s.total_tuples)});
+  }
+  for (double tau : {4.0, 64.0}) {
+    CompressedRepOptions copt;
+    copt.tau = tau;
+    auto rep = CompressedRep::Build(view, db, copt);
+    auto s = bench::MeasureRequests(requests, [&](const BoundValuation& vb) {
+      return rep.value()->Answer(vb);
+    });
+    table.AddRow({StrFormat("compressed tau=%.0f", tau),
+                  StrFormat("%.3f", rep.value()->stats().build_seconds),
+                  bench::HumanBytes(rep.value()->stats().AuxBytes()),
+                  StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
+                  StrFormat("%.4f", s.total_seconds),
+                  StrFormat("%zu", s.total_tuples)});
+  }
+  {
+    auto de = DirectEval::Build(view, db);
+    auto s = bench::MeasureRequests(requests, [&](const BoundValuation& vb) {
+      return de.value()->Answer(vb);
+    });
+    table.AddRow({"direct", StrFormat("%.3f", de.value()->build_seconds()),
+                  bench::HumanBytes(de.value()->SpaceBytes()),
+                  StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
+                  StrFormat("%.4f", s.total_seconds),
+                  StrFormat("%zu", s.total_tuples)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared harness for the experiment benches: request measurement and
+// fixed-width table printing. Every bench prints (a) what the paper's
+// analysis predicts and (b) the measured series, so EXPERIMENTS.md can
+// record paper-vs-measured per experiment.
+#ifndef CQC_BENCH_BENCH_COMMON_H_
+#define CQC_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "query/adorned_view.h"
+#include "util/str_util.h"
+
+namespace cqc {
+namespace bench {
+
+/// Aggregate over a set of access requests.
+struct RequestStats {
+  size_t num_requests = 0;
+  size_t total_tuples = 0;
+  uint64_t worst_delay_ops = 0;   // max over requests of max gap
+  double worst_delay_us = 0;      // same, wall clock
+  uint64_t total_ops = 0;
+  double total_seconds = 0;       // total answer time over all requests
+};
+
+/// Runs `answer(vb)` for every request and aggregates delay / answer time.
+template <typename AnswerFn>
+RequestStats MeasureRequests(const std::vector<BoundValuation>& requests,
+                             AnswerFn&& answer) {
+  RequestStats out;
+  for (const BoundValuation& vb : requests) {
+    auto e = answer(vb);
+    DelayProfile p = MeasureEnumeration(*e);
+    ++out.num_requests;
+    out.total_tuples += p.num_tuples;
+    out.worst_delay_ops = std::max(out.worst_delay_ops, p.max_delay_ops);
+    out.worst_delay_us = std::max(out.worst_delay_us,
+                                  p.max_delay_seconds * 1e6);
+    out.total_ops += p.total_ops;
+    out.total_seconds += p.total_seconds;
+  }
+  return out;
+}
+
+inline std::string HumanBytes(size_t bytes) {
+  if (bytes >= 10 * 1024 * 1024)
+    return StrFormat("%.1f MiB", (double)bytes / (1024.0 * 1024.0));
+  if (bytes >= 10 * 1024)
+    return StrFormat("%.1f KiB", (double)bytes / 1024.0);
+  return StrFormat("%zu B", bytes);
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (size_t c = 0; c < row.size(); ++c)
+        std::printf("%-*s  ", (int)widths[c], row[c].c_str());
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    for (size_t w : widths) rule.push_back(std::string(w, '-'));
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const std::string& title, const std::string& claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace cqc
+
+#endif  // CQC_BENCH_BENCH_COMMON_H_

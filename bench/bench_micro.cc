@@ -1,0 +1,154 @@
+// Experiment E10: google-benchmark micro suite for the §4 primitives —
+// box decomposition, balanced splitting, trie refinement, generic join
+// steps, and dictionary lookups.
+#include <benchmark/benchmark.h>
+
+#include "core/compressed_rep.h"
+#include "core/cost_model.h"
+#include "core/splitter.h"
+#include "join/generic_join.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+// Shared fixture state (built once).
+struct Fixture {
+  Database db;
+  std::unique_ptr<AdornedView> view;
+  std::vector<BoundAtom> atoms;
+  std::unique_ptr<LexDomain> domain;
+  std::unique_ptr<CostModel> cost;
+  std::unique_ptr<CompressedRep> rep;
+  std::vector<BoundValuation> requests;
+
+  Fixture() {
+    MakeTripartiteTriangleGraph(db, "R", 32);
+    view = std::make_unique<AdornedView>(TriangleView("bfb"));
+    for (const Atom& atom : view->cq().atoms())
+      atoms.emplace_back(atom, *db.Find(atom.relation), view->bound_vars(),
+                         view->free_vars());
+    cost = std::make_unique<CostModel>(
+        &atoms, std::vector<double>{0.5, 0.5, 0.5});
+    std::vector<std::vector<Value>> doms(1);
+    doms[0] = db.Find("R")->ActiveDomain(0);
+    domain = std::make_unique<LexDomain>(std::move(doms));
+    CompressedRepOptions copt;
+    copt.tau = 16.0;
+    rep = std::move(CompressedRep::Build(*view, db, copt)).value();
+    for (Value a = 1; a <= 32; ++a) requests.push_back({a, 32 + a});
+  }
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+void BM_BoxDecompose(benchmark::State& state) {
+  const int mu = (int)state.range(0);
+  Tuple lo(mu), hi(mu);
+  for (int i = 0; i < mu; ++i) {
+    lo[i] = 3;
+    hi[i] = 1000 - i;
+  }
+  lo[0] = 1;
+  FInterval interval{lo, hi};
+  for (auto _ : state) {
+    auto boxes = BoxDecompose(interval);
+    benchmark::DoNotOptimize(boxes);
+  }
+}
+BENCHMARK(BM_BoxDecompose)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_TrieRefine(benchmark::State& state) {
+  Fixture& f = F();
+  const SortedIndex& idx = f.atoms[0].bf_index();
+  Rng rng(1);
+  for (auto _ : state) {
+    RowRange r = idx.Refine(idx.Root(), 0, 1 + rng.Uniform(96));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TrieRefine);
+
+void BM_IntervalCost(benchmark::State& state) {
+  Fixture& f = F();
+  FInterval whole{f.domain->MinTuple(), f.domain->MaxTuple()};
+  for (auto _ : state) {
+    double t = f.cost->IntervalCost(whole);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_IntervalCost);
+
+void BM_SplitInterval(benchmark::State& state) {
+  Fixture& f = F();
+  FInterval whole{f.domain->MinTuple(), f.domain->MaxTuple()};
+  for (auto _ : state) {
+    SplitResult s = SplitInterval(whole, *f.domain, *f.cost);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SplitInterval);
+
+void BM_CompressedRepAnswer(benchmark::State& state) {
+  Fixture& f = F();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto e = f.rep->Answer(f.requests[i++ % f.requests.size()]);
+    Tuple t;
+    size_t n = 0;
+    while (e->Next(&t)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_CompressedRepAnswer);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  Fixture& f = F();
+  const HeavyDictionary& dict = f.rep->dictionary();
+  uint32_t id = dict.FindValuation({1, 33});
+  size_t node = 0;
+  for (auto _ : state) {
+    auto bit = dict.Lookup((int)(node++ % f.rep->tree().size()), id);
+    benchmark::DoNotOptimize(bit);
+  }
+}
+BENCHMARK(BM_DictionaryLookup);
+
+void BM_GenericJoinTriangleFull(benchmark::State& state) {
+  Fixture& f = F();
+  // Full enumeration join over (x,y,z) via a fresh all-free binding.
+  AdornedView full = TriangleView("fff");
+  std::vector<BoundAtom> atoms;
+  for (const Atom& atom : full.cq().atoms())
+    atoms.emplace_back(atom, *f.db.Find("R"), full.bound_vars(),
+                       full.free_vars());
+  for (auto _ : state) {
+    std::vector<JoinAtomInput> inputs;
+    for (const BoundAtom& atom : atoms) {
+      JoinAtomInput in;
+      in.index = &atom.bf_index();
+      in.start = atom.bf_index().Root();
+      in.start_level = 0;
+      for (int i = 0; i < atom.num_free(); ++i)
+        in.levels.emplace_back(atom.free_positions()[i], i);
+      inputs.push_back(std::move(in));
+    }
+    JoinIterator join(std::move(inputs), 3,
+                      std::vector<LevelConstraint>(3, LevelConstraint::Any()));
+    Tuple t;
+    size_t n = 0;
+    while (join.Next(&t)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_GenericJoinTriangleFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cqc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Experiment E8 (§6, Fig. 5): the parameter optimizers.
+//
+// MinDelayCover / MinSpaceCover solve in polynomial time (Prop. 11/12);
+// this bench prints the optimal (u, alpha, tau) across space budgets for
+// the paper's query families and times the LP solves.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "fractional/optimizer.h"
+#include "util/timer.h"
+#include "workload/catalog.h"
+
+namespace {
+
+std::string FormatCover(const std::vector<double>& u) {
+  std::string out = "(";
+  for (size_t i = 0; i < u.size(); ++i)
+    out += cqc::StrFormat("%s%.2f", i ? "," : "", u[i]);
+  return out + ")";
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqc;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  using bench::Table;
+
+  const double n_rel = 1e6;
+  struct QueryCase {
+    std::string name;
+    AdornedView view;
+  };
+  std::vector<QueryCase> cases;
+  cases.push_back({"triangle bfb", TriangleView("bfb")});
+  cases.push_back({"running ex.", RunningExampleView()});
+  cases.push_back({"star S3", StarView(3)});
+  cases.push_back({"LW4", LoomisWhitneyView(4)});
+  cases.push_back({"path P4", PathView(4)});
+
+  bench::Banner("E8a: MinDelayCover across space budgets (Fig. 5 LP)",
+                "optimal log tau / log N under S <= N^budget; poly time");
+  Table table({"query", "budget N^b", "alpha", "rho", "log tau/log N",
+               "cover u", "solve us"});
+  for (const QueryCase& qc : cases) {
+    Hypergraph h(qc.view.cq());
+    std::vector<double> log_sizes(h.num_edges(), std::log(n_rel));
+    for (double b : {1.0, 1.25, 1.5, 2.0}) {
+      WallTimer t;
+      CoverSolution sol = MinDelayCover(h, qc.view.free_set(), log_sizes,
+                                        b * std::log(n_rel));
+      double us = t.Micros();
+      if (!sol.feasible) {
+        table.AddRow({qc.name, StrFormat("%.2f", b), "-", "-", "infeasible",
+                      "-", StrFormat("%.0f", us)});
+        continue;
+      }
+      table.AddRow({qc.name, StrFormat("%.2f", b),
+                    StrFormat("%.2f", sol.alpha), StrFormat("%.2f", sol.rho),
+                    StrFormat("%.3f", sol.log_tau / std::log(n_rel)),
+                    FormatCover(sol.u), StrFormat("%.0f", us)});
+    }
+  }
+  table.Print();
+
+  bench::Banner("E8b: MinSpaceCover across delay budgets (Prop. 12)",
+                "binary search over MinDelayCover; log space / log N");
+  Table t2({"query", "delay N^d", "log space/log N", "alpha", "solve us"});
+  for (const QueryCase& qc : cases) {
+    Hypergraph h(qc.view.cq());
+    std::vector<double> log_sizes(h.num_edges(), std::log(n_rel));
+    for (double d : {0.0, 0.25, 0.5}) {
+      WallTimer t;
+      CoverSolution sol = MinSpaceCover(h, qc.view.free_set(), log_sizes,
+                                        d * std::log(n_rel));
+      double us = t.Micros();
+      if (!sol.feasible) {
+        t2.AddRow({qc.name, StrFormat("%.2f", d), "infeasible", "-",
+                   StrFormat("%.0f", us)});
+        continue;
+      }
+      t2.AddRow({qc.name, StrFormat("%.2f", d),
+                 StrFormat("%.3f", sol.log_space / std::log(n_rel)),
+                 StrFormat("%.2f", sol.alpha), StrFormat("%.0f", us)});
+    }
+  }
+  t2.Print();
+
+  bench::Banner("E8c: LP scaling with query size (Prop. 11)",
+                "solve time grows polynomially in the number of atoms");
+  Table t3({"query", "atoms", "solve us"});
+  for (int n = 2; n <= 10; ++n) {
+    AdornedView view = StarView(n);
+    Hypergraph h(view.cq());
+    std::vector<double> log_sizes(n, std::log(n_rel));
+    WallTimer t;
+    CoverSolution sol = MinDelayCover(h, view.free_set(), log_sizes,
+                                      std::log(n_rel) * n / 2.0);
+    double us = t.Micros();
+    t3.AddRow({StrFormat("star S%d", n), StrFormat("%d", n),
+               StrFormat("%.0f%s", us, sol.feasible ? "" : " (infeasible)")});
+  }
+  t3.Print();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment E2 (Examples 4, 5, 13-15): the running example
+//
+//   Q^fffbbb(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z)
+//
+// Claims: with u = (1,1,1) the slack is alpha(V_f) = 2, so tau = sqrt(N)
+// gives space O~(N^2) (vs O(N^3) materialized) with delay O~(sqrt(N)) and
+// answer time O~(|q(D)| + sqrt(N) |q(D)|^{1/2}) (Example 5). This bench
+// sweeps tau and also re-verifies the paper's exact Example 13-15 trace.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/compressed_rep.h"
+#include "core/cost_model.h"
+#include "core/splitter.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using bench::Banner;
+using bench::HumanBytes;
+using bench::MeasureRequests;
+using bench::RequestStats;
+using bench::Table;
+
+void PaperTrace() {
+  Banner("E2a: exact Example 13-15 trace",
+         "T(I(r)) ~ 10.56; beta(r) = (1,1,2); Figure 3 tree; "
+         "D(r,vb) = D(rr,vb) = 1 for vb = (1,1,1)");
+  Database db;
+  testing::AddRelation(db, "R1", 3,
+                       {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1},
+                        {3, 1, 1}});
+  testing::AddRelation(db, "R2", 3,
+                       {{1, 1, 2}, {1, 2, 1}, {1, 2, 2}, {2, 1, 1},
+                        {2, 1, 2}});
+  testing::AddRelation(db, "R3", 3,
+                       {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1},
+                        {2, 1, 2}});
+  AdornedView view = RunningExampleView();
+  std::vector<BoundAtom> atoms;
+  for (const Atom& atom : view.cq().atoms())
+    atoms.emplace_back(atom, *db.Find(atom.relation), view.bound_vars(),
+                       view.free_vars());
+  CostModel cost(&atoms, {0.5, 0.5, 0.5});
+  LexDomain domain({{1, 2}, {1, 2}, {1, 2}});
+  FInterval root{{1, 1, 1}, {2, 2, 2}};
+  std::printf("T(I(r))        = %.4f   (paper: ~10.56)\n",
+              cost.IntervalCost(root));
+  std::printf("T(vb, I(r))    = %.4f   (paper: 4.414)\n",
+              cost.IntervalCostBound({1, 1, 1}, root));
+  SplitResult split = SplitInterval(root, domain, cost);
+  std::printf("beta(r)        = (%llu,%llu,%llu)  (paper: (1,1,2))\n",
+              (unsigned long long)split.c[0], (unsigned long long)split.c[1],
+              (unsigned long long)split.c[2]);
+  CompressedRepOptions copt;
+  copt.tau = 4.0;
+  copt.cover = std::vector<double>{1, 1, 1};
+  auto rep = CompressedRep::Build(view, db, copt);
+  const HeavyDictionary& dict = rep.value()->dictionary();
+  uint32_t vb = dict.FindValuation({1, 1, 1});
+  std::printf("tree nodes     = %zu       (Figure 3: 5)\n",
+              rep.value()->stats().tree_nodes);
+  std::printf("D(r, vb)       = %d        (paper: 1)\n",
+              (int)dict.Lookup(0, vb));
+  std::printf("D(rr, vb)      = %d        (paper: 1)\n",
+              (int)dict.Lookup(rep.value()->tree().node(0).right, vb));
+}
+
+}  // namespace
+}  // namespace cqc
+
+int main() {
+  using namespace cqc;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  PaperTrace();
+
+  // E2b: tau sweep. Note the bound variables w1, w2, w3 live in *distinct*
+  // atoms, so the candidate valuation set is the cartesian product of the
+  // three w-domains — the compression time O~(prod |R_F|^{u_F}) of
+  // Theorem 1 is real work here, which keeps this instance moderate.
+  const uint64_t w_dom = 12, xyz_dom = 30;
+  const size_t tuples = 3000;
+  Database db;
+  for (int i = 1; i <= 3; ++i)
+    MakeRandomRelation(db, "R" + std::to_string(i),
+                       {w_dom, xyz_dom, xyz_dom}, tuples, 500 + i);
+  const double n = (double)db.TotalTuples();
+  AdornedView view = RunningExampleView();
+
+  // Requests: sampled (w1,w2,w3) combinations.
+  std::vector<BoundValuation> requests;
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i)
+    requests.push_back({rng.UniformRange(1, w_dom),
+                        rng.UniformRange(1, w_dom),
+                        rng.UniformRange(1, w_dom)});
+
+  bench::Banner(
+      "E2b: running example tau sweep (Example 5)",
+      "u=(1,1,1), alpha=2: space O~(N^3 / tau^2), delay O~(tau); at "
+      "tau=sqrt(N) space is O~(N^2)");
+  Table table({"tau", "aux space", "dict entries", "tree nodes", "build s",
+               "worst delay (ops)", "total TA (ops)", "tuples"});
+  for (double tau : {std::sqrt(n), 8 * std::sqrt(n), 64 * std::sqrt(n),
+                     512 * std::sqrt(n)}) {
+    CompressedRepOptions copt;
+    copt.tau = tau;
+    copt.cover = std::vector<double>{1, 1, 1};
+    auto rep = CompressedRep::Build(view, db, copt);
+    if (!rep.ok()) {
+      std::printf("build failed: %s\n", rep.status().message().c_str());
+      return 1;
+    }
+    RequestStats s = MeasureRequests(
+        requests,
+        [&](const BoundValuation& vb) { return rep.value()->Answer(vb); });
+    const CompressedRepStats& st = rep.value()->stats();
+    table.AddRow({StrFormat("%.0f", tau), bench::HumanBytes(st.AuxBytes()),
+                  StrFormat("%zu", st.dict_entries),
+                  StrFormat("%zu", st.tree_nodes),
+                  StrFormat("%.3f", st.build_seconds),
+                  StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
+                  StrFormat("%llu", (unsigned long long)s.total_ops),
+                  StrFormat("%zu", s.total_tuples)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment E12 (§8 extension): insert-only maintenance cost.
+//
+// Measures (a) amortized insert cost across rebuild thresholds and (b) the
+// answering overhead the pending delta adds, on the triangle view.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/updatable_rep.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cqc;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  using bench::Table;
+
+  bench::Banner("E12: insert-only maintenance (§8 extension)",
+                "amortized insert ~ rebuild cost * fraction; delta answering "
+                "adds O~(|delta| join) per request");
+
+  const int num_inserts = 2000;
+  Table table({"rebuild fraction", "rebuilds", "total insert s",
+               "us/insert", "answer s (200 reqs)", "worst delay (ops)"});
+  for (double fraction : {0.05, 0.2, 0.5, 1e9}) {
+    Database db;
+    MakeRandomGraph(db, "R", 300, 8000, true, 11);
+    AdornedView view = TriangleView("bfb");
+    UpdatableRepOptions options;
+    options.rep.tau = 64.0;
+    options.rebuild_fraction = fraction;
+    auto rep = UpdatableRep::Build(view, db, options).value();
+
+    Rng rng(3);
+    WallTimer insert_timer;
+    for (int i = 0; i < num_inserts; ++i) {
+      Value a = rng.UniformRange(1, 300), b = rng.UniformRange(1, 300);
+      if (a == b) continue;
+      rep->Insert("R", {a, b}).ok();
+    }
+    double insert_s = insert_timer.Seconds();
+
+    std::vector<BoundValuation> requests;
+    for (int i = 0; i < 200; ++i) {
+      Value a = rng.UniformRange(1, 300), b = rng.UniformRange(1, 300);
+      if (a != b) requests.push_back({a, b});
+    }
+    WallTimer answer_timer;
+    auto s = bench::MeasureRequests(
+        requests, [&](const BoundValuation& vb) { return rep->Answer(vb); });
+    double answer_s = answer_timer.Seconds();
+
+    table.AddRow(
+        {fraction > 1e8 ? "never" : StrFormat("%.2f", fraction),
+         StrFormat("%d", rep->num_rebuilds()),
+         StrFormat("%.3f", insert_s),
+         StrFormat("%.1f", insert_s * 1e6 / num_inserts),
+         StrFormat("%.3f", answer_s),
+         StrFormat("%llu", (unsigned long long)s.worst_delay_ops)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: smaller fractions rebuild more often (costlier inserts,\n"
+      "cheaper answers); 'never' leaves all work to the per-request delta\n"
+      "joins.\n");
+  return 0;
+}

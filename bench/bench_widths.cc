@@ -1,0 +1,119 @@
+// Experiment E9 (Fig. 2, Examples 8-9, 16-17, Appendix D): width notions.
+//
+// Prints fhw, fhw(H | V_b), and the delta-width/height of the paper's
+// decompositions, checking each worked number.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "decomposition/connex_builder.h"
+#include "decomposition/delay_assignment.h"
+#include "query/parser.h"
+#include "workload/catalog.h"
+
+namespace {
+
+cqc::ConjunctiveQuery Parse(const std::string& text) {
+  auto q = cqc::ParseConjunctiveQuery(text);
+  CQC_CHECK(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqc;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  using bench::Table;
+
+  bench::Banner("E9: connex width landscape",
+                "fhw(H|Vb) vs fhw: Ex. 9 gives 5/3 & height 1/2; Ex. 16 "
+                "gives 2 > fhw = 1; Ex. 17 gives 3/2 < fhw = 2");
+
+  Table table({"case", "quantity", "computed", "paper"});
+
+  {  // Example 9 / Figure 2 right.
+    ConjunctiveQuery cq = Parse(
+        "Q(v1,v2,v3,v4,v5,v6,v7) = R1(v1,v2), R2(v2,v3), R3(v3,v4), "
+        "R4(v4,v5), R5(v5,v6), R6(v6,v7)");
+    auto v = [&](int i) {
+      return VarBit(cq.FindVar("v" + std::to_string(i)));
+    };
+    Hypergraph h(cq);
+    TreeDecomposition td;
+    int root = td.AddNode(v(1) | v(5) | v(6));
+    int t1 = td.AddNode(v(2) | v(4) | v(1) | v(5));
+    int t2 = td.AddNode(v(3) | v(2) | v(4));
+    int t3 = td.AddNode(v(7) | v(6));
+    td.AddEdge(root, t1);
+    td.AddEdge(t1, t2);
+    td.AddEdge(root, t3);
+    td.Finalize(root);
+    DelayAssignment delta = DelayAssignment::Zero(td);
+    delta.delta[t1] = 1.0 / 3.0;
+    delta.delta[t2] = 1.0 / 6.0;
+    DecompositionMetrics m = ComputeMetrics(td, h, delta);
+    table.AddRow({"Ex.9 path-6, C={v1,v5,v6}", "delta-width",
+                  StrFormat("%.4f", m.width), "5/3 = 1.6667"});
+    table.AddRow({"", "delta-height", StrFormat("%.4f", m.height), "1/2"});
+    table.AddRow({"", "u*", StrFormat("%.4f", m.u_star), "2"});
+  }
+  {  // Example 16.
+    ConjunctiveQuery cq = Parse("Q(x,y,z) = R(x,y), S(y,z)");
+    Hypergraph h(cq);
+    VarSet bound = VarBit(cq.FindVar("x")) | VarBit(cq.FindVar("z"));
+    auto c1 = SearchConnexDecomposition(h, bound);
+    auto c2 = SearchConnexDecomposition(h, 0);
+    table.AddRow({"Ex.16 R(x,y),S(y,z)", "fhw(H|{x,z})",
+                  StrFormat("%.4f", c1.value().width), "2"});
+    table.AddRow({"", "fhw(H)", StrFormat("%.4f", c2.value().width), "1"});
+  }
+  {  // Example 17 / Figure 7.
+    ConjunctiveQuery cq = Parse(
+        "Q(v1,v2,v3,v4,v5) = R(v1,v2), S(v2,v3), T(v3,v4), U(v4,v1), "
+        "V(v2,v5), W(v1,v5)");
+    auto v = [&](int i) {
+      return VarBit(cq.FindVar("v" + std::to_string(i)));
+    };
+    Hypergraph h(cq);
+    VarSet bound = v(1) | v(2) | v(3) | v(4);
+    TreeDecomposition td;
+    int root = td.AddNode(bound);
+    int t1 = td.AddNode(v(5) | v(1) | v(2));
+    td.AddEdge(root, t1);
+    td.Finalize(root);
+    DecompositionMetrics m =
+        ComputeMetrics(td, h, DelayAssignment::Zero(td));
+    table.AddRow({"Ex.17 Fig.7", "fhw(H|C)", StrFormat("%.4f", m.width),
+                  "3/2"});
+  }
+  {  // Triangle adornments.
+    AdornedView bfb = TriangleView("bfb");
+    Hypergraph h(bfb.cq());
+    auto c = SearchConnexDecomposition(h, bfb.bound_set());
+    table.AddRow({"triangle bfb", "fhw(H|{x,z})",
+                  StrFormat("%.4f", c.value().width), "3/2"});
+    auto full = SearchConnexDecomposition(h, 0);
+    table.AddRow({"triangle fff", "fhw(H)",
+                  StrFormat("%.4f", full.value().width), "3/2"});
+  }
+  {  // Zig-zag path widths (Example 10).
+    for (int n : {4, 6}) {
+      AdornedView view = PathView(n);
+      Hypergraph h(view.cq());
+      std::vector<VarId> path_vars;
+      for (int i = 1; i <= n + 1; ++i)
+        path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+      TreeDecomposition td = BuildZigZagPath(path_vars);
+      const double d = 0.2;
+      DecompositionMetrics m =
+          ComputeMetrics(td, h, DelayAssignment::Uniform(td, d));
+      table.AddRow({StrFormat("Ex.10 P%d zig-zag, delta=0.2", n),
+                    "delta-width", StrFormat("%.4f", m.width),
+                    "2 - delta = 1.8"});
+      table.AddRow({"", "delta-height", StrFormat("%.4f", m.height),
+                    StrFormat("%d * delta = %.1f", n / 2, (n / 2) * d)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §1 graph-analytics application: the co-author graph defined as a view
+// over a bibliographic schema R(author, paper).
+//
+// Graph APIs ask for the neighbors of a vertex: the adorned view
+// V^bff(x, y, p) = R(x,p), R(y,p) returns each co-author y together with a
+// witness paper p (the paper's V^bf(x,y) projects p away; projections are
+// future work in the paper, and the full variant answers the same API).
+//
+// Materializing the co-author graph can be quadratic under skew; the
+// d-representation (Prop. 4) stores only linear space yet answers each
+// neighbor request with constant delay.
+#include <cstdio>
+#include <set>
+
+#include "baseline/d_representation.h"
+#include "baseline/materialized_view.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cqc;
+
+  Database db;
+  // Zipf-skewed authorship: a few hyper-prolific authors.
+  MakeZipfBipartite(db, "R", /*num_authors=*/3000, /*num_papers=*/12000,
+                    /*count=*/60000, /*theta=*/0.95, /*seed=*/2024);
+  std::printf("bibliography: %zu (author, paper) pairs\n", db.TotalTuples());
+
+  AdornedView view = CoauthorView();
+
+  auto drep = BuildDRepresentation(view, db).value();
+  auto mv = MaterializedView::Build(view, db).value();
+  std::printf("d-representation space: %zu B (build %.2fs)\n",
+              drep->stats().total_aux_bytes, drep->stats().build_seconds);
+  std::printf("materialized view:      %zu tuples = %zu B (build %.2fs)\n\n",
+              mv->num_tuples(), mv->SpaceBytes(), mv->build_seconds());
+
+  // Neighbor API: distinct co-authors of the most prolific authors.
+  for (Value author : {1, 2, 3, 100, 2500}) {
+    auto e = drep->Answer({author});
+    std::set<Value> coauthors;
+    Tuple t;  // (y, p)
+    while (e->Next(&t)) coauthors.insert(t[0]);
+    coauthors.erase(author);
+    std::printf("author %4llu has %4zu distinct co-authors\n",
+                (unsigned long long)author, coauthors.size());
+  }
+  std::printf(
+      "\ntakeaway: the factorized structure answers the neighbor API\n"
+      "without ever materializing the (much larger) co-author graph.\n");
+  return 0;
+}

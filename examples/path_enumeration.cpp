@@ -1,0 +1,71 @@
+// Theorem 2 walkthrough: a 4-hop reachability view compressed with a
+// V_b-connex tree decomposition and a per-bag delay assignment
+// (Example 10's zig-zag decomposition).
+//
+//   P^bfffb(x1..x5) = R1(x1,x2), R2(x2,x3), R3(x3,x4), R4(x4,x5)
+//
+// Given endpoints (x1, x5), enumerate all connecting 4-hop paths.
+#include <cstdio>
+
+#include "decomposition/connex_builder.h"
+#include "decomposition/decomposed_rep.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cqc;
+
+  Database db;
+  MakePathRelations(db, "R", 4, /*num_nodes=*/120, /*edges=*/4000,
+                    /*seed=*/99);
+  AdornedView view = PathView(4);
+  std::printf("view: %s\n", view.ToString().c_str());
+
+  // The zig-zag connex decomposition: {x1,x5} - {x1,x2,x4,x5} - {x2,x3,x4}.
+  std::vector<VarId> path_vars;
+  for (int i = 1; i <= 5; ++i)
+    path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+  TreeDecomposition td = BuildZigZagPath(path_vars);
+  std::printf("\ndecomposition:\n%s\n", td.ToString(view.cq()).c_str());
+
+  for (double delta : {0.0, 0.3}) {
+    DecomposedRepOptions options;
+    options.delta = DelayAssignment::Uniform(td, delta);
+    auto rep = DecomposedRep::Build(view, db, td, options).value();
+    const DecompositionMetrics& m = rep->stats().metrics;
+    std::printf(
+        "delta=%.1f: delta-width %.2f, delta-height %.2f, space %zu B, "
+        "build %.2fs\n",
+        delta, m.width, m.height, rep->stats().total_aux_bytes,
+        rep->stats().build_seconds);
+    for (int i = 0; i < (int)rep->stats().bag_descriptions.size(); ++i)
+      std::printf("  bag %d: %s\n", i,
+                  rep->stats().bag_descriptions[i].c_str());
+
+    // Answer a few endpoint requests.
+    const Relation* r1 = db.Find("R1");
+    const Relation* r4 = db.Find("R4");
+    size_t shown = 0;
+    for (size_t i = 0; i < r1->size() && shown < 3; i += 97) {
+      Value src = r1->At(i, 0);
+      for (size_t j = 0; j < r4->size() && shown < 3; j += 83) {
+        Value dst = r4->At(j, 1);
+        auto e = rep->Answer({src, dst});
+        Tuple mid;  // (x2, x3, x4)
+        size_t count = 0;
+        while (e->Next(&mid)) ++count;
+        if (count > 0) {
+          std::printf("  %llu ->..-> %llu: %zu paths\n",
+                      (unsigned long long)src, (unsigned long long)dst,
+                      count);
+          ++shown;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "takeaway: delta > 0 swaps the materialized bags for Theorem-1\n"
+      "compressed bags: less space, delay multiplying along the chain.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Example 1 of the paper at scale: mutual-friend analysis on a social
+// graph, exploring the tau knob end to end.
+//
+// The graph mixes a triangle-dense community core with "celebrity" pairs
+// whose follower sets are huge but disjoint — requests on those pairs are
+// the expensive case the compressed dictionary neutralizes.
+#include <cmath>
+#include <cstdio>
+
+#include "core/compressed_rep.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cqc;
+
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  // Community core: complete tripartite structure, many triangles.
+  const Value m = 24;
+  auto edge = [&](Value a, Value b) {
+    r->Insert({a, b});
+    r->Insert({b, a});
+  };
+  for (Value a = 0; a < m; ++a)
+    for (Value b = 0; b < m; ++b) {
+      edge(1 + a, m + 1 + b);
+      edge(m + 1 + a, 2 * m + 1 + b);
+      edge(2 * m + 1 + a, 1 + b);
+    }
+  // Two celebrities who are friends but share no follower.
+  const Value celeb1 = 1000, celeb2 = 1001;
+  edge(celeb1, celeb2);
+  for (int i = 0; i < 3000; ++i) {
+    edge(celeb1, 2000 + 2 * (Value)i);      // even followers
+    edge(celeb2, 2000 + 2 * (Value)i + 1);  // odd followers
+  }
+  r->Seal();
+  std::printf("social graph: %zu directed edges\n\n", r->size());
+
+  AdornedView view = TriangleView("bfb");
+  for (double tau : {1.0, 32.0, 1024.0}) {
+    CompressedRepOptions options;
+    options.tau = tau;
+    auto rep = CompressedRep::Build(view, db, options).value();
+
+    // Community request: plenty of mutual friends.
+    auto community = rep->Answer({1, m + 1});
+    Tuple t;
+    size_t count = 0;
+    uint64_t ops0 = ops::Now();
+    while (community->Next(&t)) ++count;
+    uint64_t community_ops = ops::Now() - ops0;
+
+    // Celebrity request: empty answer, expensive without the dictionary.
+    ops0 = ops::Now();
+    bool any = rep->AnswerExists({celeb1, celeb2});
+    uint64_t celeb_ops = ops::Now() - ops0;
+
+    std::printf(
+        "tau=%6.0f  space=%8zu B  community: %zu friends (%llu ops)  "
+        "celebrity: %s (%llu ops)\n",
+        tau, rep->stats().AuxBytes(), count,
+        (unsigned long long)community_ops, any ? "non-empty" : "empty",
+        (unsigned long long)celeb_ops);
+  }
+  std::printf(
+      "\ntakeaway: growing tau sheds space; the celebrity request cost\n"
+      "grows toward the raw intersection scan as the dictionary thins.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// §8 extension walkthrough: keeping a compressed view answerable while the
+// base data grows (insert-only maintenance).
+//
+// A fraud-detection pipeline watches a payments graph for "money cycles":
+// mutual counterparties of a suspicious pair, i.e. the triangle view
+// Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x). New transactions stream in; the
+// structure answers continuously and rebuilds itself when the delta grows
+// past 20% of the snapshot.
+#include <cstdio>
+
+#include "core/updatable_rep.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace cqc;
+
+  Database db;
+  MakeRandomGraph(db, "R", 200, 3000, /*symmetric=*/true, 42);
+  AdornedView view = TriangleView("bfb");
+
+  UpdatableRepOptions options;
+  options.rep.tau = 16.0;
+  options.rebuild_fraction = 0.20;
+  auto rep = UpdatableRep::Build(view, db, options).value();
+  std::printf("initial snapshot: %zu edges\n\n", rep->snapshot_tuples());
+
+  Rng rng(7);
+  size_t answered = 0, hits = 0;
+  for (int minute = 1; minute <= 10; ++minute) {
+    // A burst of new transactions...
+    for (int i = 0; i < 400; ++i) {
+      Value a = rng.UniformRange(1, 200), b = rng.UniformRange(1, 200);
+      if (a == b) continue;
+      rep->Insert("R", {a, b}).ok();
+      rep->Insert("R", {b, a}).ok();
+    }
+    // ...interleaved with monitoring queries on fresh edges.
+    for (int q = 0; q < 50; ++q) {
+      Value a = rng.UniformRange(1, 200), b = rng.UniformRange(1, 200);
+      if (a == b) continue;
+      ++answered;
+      if (rep->AnswerExists({a, b})) ++hits;
+    }
+    std::printf(
+        "minute %2d: snapshot %6zu edges, pending %5zu, rebuilds %d\n",
+        minute, rep->snapshot_tuples(), rep->pending_inserts(),
+        rep->num_rebuilds());
+  }
+  std::printf(
+      "\n%zu monitoring requests answered (%zu with mutual "
+      "counterparties);\nanswers always reflect the inserts, rebuilds "
+      "amortize the maintenance.\n",
+      answered, hits);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Baseline 3: factorized d-representation (Prop. 2 / Prop. 4).
+//
+// A DecomposedRep with the all-zero delay assignment over the best
+// elimination-order connex decomposition: every bag is materialized and
+// every access request is answered with O(1) delay using space
+// O(|D|^{fhw(H | V_b)}) — the paper's generalization of Olteanu-Zavodny
+// d-representations to adorned views. With V_b = empty this *is* the
+// d-representation of the full result.
+#ifndef CQC_BASELINE_D_REPRESENTATION_H_
+#define CQC_BASELINE_D_REPRESENTATION_H_
+
+#include <memory>
+
+#include "decomposition/connex_builder.h"
+#include "decomposition/decomposed_rep.h"
+
+namespace cqc {
+
+inline Result<std::unique_ptr<DecomposedRep>> BuildDRepresentation(
+    const AdornedView& view, const Database& db,
+    const Database* aux_db = nullptr) {
+  Hypergraph h(view.cq());
+  Result<ConnexSearchResult> found =
+      SearchConnexDecomposition(h, view.bound_set());
+  if (!found.ok()) return found.status();
+  DecomposedRepOptions options;  // delta = 0 everywhere
+  return DecomposedRep::Build(view, db, found.value().decomposition, options,
+                              aux_db);
+}
+
+}  // namespace cqc
+
+#endif  // CQC_BASELINE_D_REPRESENTATION_H_

@@ -1,0 +1,80 @@
+#include "baseline/direct_eval.h"
+
+#include <set>
+
+#include "join/generic_join.h"
+#include "query/normalize.h"
+#include "util/timer.h"
+
+namespace cqc {
+namespace {
+
+/// Adapts a JoinIterator to the TupleEnumerator interface.
+class JoinEnumerator : public TupleEnumerator {
+ public:
+  explicit JoinEnumerator(JoinIterator join) : join_(std::move(join)) {}
+  bool Next(Tuple* out) override { return join_.Next(out); }
+
+ private:
+  JoinIterator join_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DirectEval>> DirectEval::Build(
+    const AdornedView& view, const Database& db, const Database* aux_db) {
+  WallTimer timer;
+  const ConjunctiveQuery& cq = view.cq();
+  if (!cq.IsNaturalJoin())
+    return Status::Error("DirectEval requires a natural join view");
+  auto de = std::unique_ptr<DirectEval>(new DirectEval(view));
+  for (const Atom& atom : cq.atoms()) {
+    const Relation* rel = ResolveRelation(atom.relation, db, aux_db);
+    if (rel == nullptr)
+      return Status::Error("unknown relation " + atom.relation);
+    de->atoms_.emplace_back(atom, *rel, view.bound_vars(),
+                            view.free_vars());
+  }
+  de->build_seconds_ = timer.Seconds();
+  return std::move(de);
+}
+
+std::unique_ptr<TupleEnumerator> DirectEval::Answer(
+    const BoundValuation& vb) const {
+  const int mu = view_.num_free();
+  std::vector<JoinAtomInput> inputs;
+  for (const BoundAtom& atom : atoms_) {
+    JoinAtomInput in;
+    in.index = &atom.bf_index();
+    in.start = atom.SeekBound(vb);
+    if (in.start.empty()) return std::make_unique<EmptyEnumerator>();
+    in.start_level = atom.num_bound();
+    for (int i = 0; i < atom.num_free(); ++i)
+      in.levels.emplace_back(atom.free_positions()[i], atom.num_bound() + i);
+    inputs.push_back(std::move(in));
+  }
+  if (mu == 0) {
+    // Boolean request: all atoms non-empty under vb.
+    std::vector<Tuple> one{Tuple{}};
+    return std::make_unique<VectorEnumerator>(std::move(one));
+  }
+  JoinIterator join(std::move(inputs), mu,
+                    std::vector<LevelConstraint>(mu, LevelConstraint::Any()));
+  return std::make_unique<JoinEnumerator>(std::move(join));
+}
+
+bool DirectEval::AnswerExists(const BoundValuation& vb) const {
+  auto e = Answer(vb);
+  Tuple t;
+  return e->Next(&t);
+}
+
+size_t DirectEval::SpaceBytes() const {
+  std::set<const Relation*> distinct;
+  for (const BoundAtom& atom : atoms_) distinct.insert(&atom.relation());
+  size_t bytes = 0;
+  for (const Relation* r : distinct) bytes += r->IndexBytes();
+  return bytes;
+}
+
+}  // namespace cqc

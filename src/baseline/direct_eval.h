@@ -1,0 +1,43 @@
+// Baseline 2 (§2.3, second extremal solution): answer every access request
+// by running a worst-case optimal join directly over the input database.
+// Optimal space O(|D|) (just the sorted indexes), delay up to the full
+// evaluation time.
+#ifndef CQC_BASELINE_DIRECT_EVAL_H_
+#define CQC_BASELINE_DIRECT_EVAL_H_
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "join/bound_atom.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+class DirectEval {
+ public:
+  static Result<std::unique_ptr<DirectEval>> Build(
+      const AdornedView& view, const Database& db,
+      const Database* aux_db = nullptr);
+
+  /// Streams the access request via generic join (lexicographic order).
+  std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
+  bool AnswerExists(const BoundValuation& vb) const;
+
+  /// Space: the sorted tries over the base relations (linear).
+  size_t SpaceBytes() const;
+  double build_seconds() const { return build_seconds_; }
+  const AdornedView& view() const { return view_; }
+
+ private:
+  DirectEval(AdornedView view) : view_(std::move(view)) {}
+
+  AdornedView view_;
+  std::vector<BoundAtom> atoms_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_BASELINE_DIRECT_EVAL_H_

@@ -1,0 +1,104 @@
+#include "baseline/materialized_view.h"
+
+#include <numeric>
+
+#include "join/bound_atom.h"
+#include "join/generic_join.h"
+#include "query/normalize.h"
+#include "util/timer.h"
+
+namespace cqc {
+namespace {
+
+class SuffixScanEnumerator : public TupleEnumerator {
+ public:
+  SuffixScanEnumerator(const SortedIndex* index, RowRange range, int from,
+                       int to)
+      : index_(index), range_(range), from_(from), to_(to),
+        row_(range.begin) {}
+  bool Next(Tuple* out) override {
+    if (row_ >= range_.end) return false;
+    out->resize(to_ - from_);
+    for (int l = from_; l < to_; ++l)
+      (*out)[l - from_] = index_->ValueAt(l, row_);
+    ++row_;
+    return true;
+  }
+
+ private:
+  const SortedIndex* index_;
+  RowRange range_;
+  int from_, to_;
+  size_t row_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
+    const AdornedView& view, const Database& db, const Database* aux_db) {
+  WallTimer timer;
+  const ConjunctiveQuery& cq = view.cq();
+  if (!cq.IsNaturalJoin())
+    return Status::Error("MaterializedView requires a natural join view");
+
+  std::vector<VarId> order = view.bound_vars();
+  order.insert(order.end(), view.free_vars().begin(),
+               view.free_vars().end());
+  const int k = (int)order.size();
+
+  std::vector<VarId> no_bound;
+  std::vector<BoundAtom> atoms;
+  for (const Atom& atom : cq.atoms()) {
+    const Relation* rel = ResolveRelation(atom.relation, db, aux_db);
+    if (rel == nullptr)
+      return Status::Error("unknown relation " + atom.relation);
+    atoms.emplace_back(atom, *rel, no_bound, order);
+  }
+
+  auto mv = std::unique_ptr<MaterializedView>(new MaterializedView(view));
+  mv->table_ = std::make_unique<Relation>("materialized_view", k);
+
+  std::vector<JoinAtomInput> inputs;
+  for (const BoundAtom& atom : atoms) {
+    JoinAtomInput in;
+    in.index = &atom.bf_index();
+    in.start = atom.bf_index().Root();
+    in.start_level = 0;
+    for (int i = 0; i < atom.num_free(); ++i)
+      in.levels.emplace_back(atom.free_positions()[i], i);
+    inputs.push_back(std::move(in));
+  }
+  JoinIterator join(std::move(inputs), k,
+                    std::vector<LevelConstraint>(k, LevelConstraint::Any()));
+  Tuple t;
+  while (join.Next(&t)) mv->table_->Insert(t);
+  mv->table_->Seal();
+  std::vector<int> identity(k);
+  std::iota(identity.begin(), identity.end(), 0);
+  mv->index_ = &mv->table_->GetIndex(identity);
+  mv->build_seconds_ = timer.Seconds();
+  return std::move(mv);
+}
+
+std::unique_ptr<TupleEnumerator> MaterializedView::Answer(
+    const BoundValuation& vb) const {
+  const int nb = view_.num_bound();
+  const int k = nb + view_.num_free();
+  RowRange r = index_->Root();
+  for (int i = 0; i < nb && !r.empty(); ++i)
+    r = index_->Refine(r, i, vb[i]);
+  if (r.empty()) return std::make_unique<EmptyEnumerator>();
+  return std::make_unique<SuffixScanEnumerator>(index_, r, nb, k);
+}
+
+bool MaterializedView::AnswerExists(const BoundValuation& vb) const {
+  auto e = Answer(vb);
+  Tuple t;
+  return e->Next(&t);
+}
+
+size_t MaterializedView::SpaceBytes() const {
+  return table_->BaseBytes() + table_->IndexBytes();
+}
+
+}  // namespace cqc

@@ -1,0 +1,44 @@
+// Baseline 1 (§2.3, first extremal solution): materialize the full view
+// output and index it by the bound variables. Optimal delay O(1), space
+// equal to the output size (up to |D|^{rho*} by AGM).
+#ifndef CQC_BASELINE_MATERIALIZED_VIEW_H_
+#define CQC_BASELINE_MATERIALIZED_VIEW_H_
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+class MaterializedView {
+ public:
+  /// Joins the full view and stores it sorted by [bound vars..., free
+  /// vars...]; answering is a range scan.
+  static Result<std::unique_ptr<MaterializedView>> Build(
+      const AdornedView& view, const Database& db,
+      const Database* aux_db = nullptr);
+
+  std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
+  bool AnswerExists(const BoundValuation& vb) const;
+
+  size_t num_tuples() const { return table_->size(); }
+  /// Space of the materialized output + its index.
+  size_t SpaceBytes() const;
+  double build_seconds() const { return build_seconds_; }
+  const AdornedView& view() const { return view_; }
+
+ private:
+  MaterializedView(AdornedView view) : view_(std::move(view)) {}
+
+  AdornedView view_;
+  std::unique_ptr<Relation> table_;  // columns [bound..., free...]
+  const SortedIndex* index_ = nullptr;
+  double build_seconds_ = 0;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_BASELINE_MATERIALIZED_VIEW_H_

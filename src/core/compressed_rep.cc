@@ -1,0 +1,419 @@
+#include "core/compressed_rep.h"
+
+#include <set>
+
+#include "fractional/edge_cover.h"
+#include "join/generic_join.h"
+#include "query/normalize.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cqc {
+
+CompressedRep::CompressedRep(AdornedView view, std::vector<BoundAtom> atoms,
+                             LexDomain domain, std::vector<double> exponents,
+                             double tau, double alpha)
+    : view_(std::move(view)),
+      atoms_(std::move(atoms)),
+      domain_(std::move(domain)),
+      cost_(&atoms_, std::move(exponents)),
+      tau_(tau),
+      alpha_(alpha) {}
+
+Result<std::unique_ptr<CompressedRep>> CompressedRep::MakeSkeleton(
+    const AdornedView& view, const Database& db,
+    const std::vector<double>& u, double tau, const Database* aux_db) {
+  const ConjunctiveQuery& cq = view.cq();
+  if (!cq.IsNaturalJoin())
+    return Status::Error(
+        "CompressedRep requires a natural join view; run NormalizeView "
+        "first: " +
+        cq.ToString());
+  if (tau <= 0) return Status::Error("tau must be positive");
+
+  // Resolve relations.
+  std::vector<const Relation*> rels;
+  for (const Atom& atom : cq.atoms()) {
+    const Relation* r = ResolveRelation(atom.relation, db, aux_db);
+    if (r == nullptr)
+      return Status::Error("unknown relation " + atom.relation);
+    if (!r->sealed())
+      return Status::Error("relation " + atom.relation + " is not sealed");
+    if (r->arity() != atom.arity())
+      return Status::Error("arity mismatch on " + atom.relation);
+    rels.push_back(r);
+  }
+
+  // Validate coverage of every body variable.
+  Hypergraph h(cq);
+  if ((int)u.size() != h.num_edges())
+    return Status::Error("cover size does not match atom count");
+  for (VarId v = 0; v < cq.num_vars(); ++v) {
+    if (!VarSetContains(h.vertices(), v)) continue;
+    double c = 0;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) c += u[f];
+    if (c < 1.0 - 1e-6)
+      return Status::Error("cover does not cover variable " + cq.var_name(v));
+  }
+
+  const double alpha =
+      view.num_free() > 0 ? Slack(h, u, view.free_set()) : 1.0;
+  CQC_CHECK_GE(alpha, 1.0 - 1e-9);
+  std::vector<double> exponents(u.size());
+  for (size_t f = 0; f < u.size(); ++f) exponents[f] = u[f] / alpha;
+
+  // Bind atoms (builds the bf / fb sorted indexes).
+  std::vector<BoundAtom> atoms;
+  for (size_t i = 0; i < cq.atoms().size(); ++i)
+    atoms.emplace_back(cq.atoms()[i], *rels[i], view.bound_vars(),
+                       view.free_vars());
+
+  // Free-variable grid: per variable, the union of the active domains of
+  // the atoms containing it (a superset of the output-relevant values,
+  // required so Algorithm 1's binary searches can always reach their
+  // targets).
+  std::vector<std::vector<Value>> domains(view.num_free());
+  for (int i = 0; i < view.num_free(); ++i) {
+    std::set<Value> merged;
+    for (const BoundAtom& atom : atoms) {
+      for (int p : atom.free_positions()) {
+        if (p != i) continue;
+        const std::vector<Value>& d = atom.FreeDomain(i);
+        merged.insert(d.begin(), d.end());
+      }
+    }
+    domains[i].assign(merged.begin(), merged.end());
+  }
+
+  auto rep = std::unique_ptr<CompressedRep>(
+      new CompressedRep(view, std::move(atoms), LexDomain(std::move(domains)),
+                        std::move(exponents), tau, alpha));
+  CompressedRepStats& s = rep->stats_;
+  s.cover = u;
+  s.alpha = alpha;
+  for (double w : u) s.rho += w;
+  std::set<const Relation*> distinct(rels.begin(), rels.end());
+  for (const Relation* r : distinct) s.index_bytes += r->IndexBytes();
+  return std::move(rep);
+}
+
+Result<std::unique_ptr<CompressedRep>> CompressedRep::Build(
+    const AdornedView& view, const Database& db,
+    const CompressedRepOptions& options, const Database* aux_db) {
+  WallTimer timer;
+
+  // Pick the fractional edge cover.
+  std::vector<double> u;
+  if (options.cover.has_value()) {
+    u = *options.cover;
+  } else {
+    Hypergraph h(view.cq());
+    EdgeCover base = FractionalEdgeCover(h, h.vertices());
+    if (!base.ok) return Status::Error("query has no fractional edge cover");
+    if (view.num_free() > 0) {
+      // Keep the optimal total weight but maximize slack on V_f (cf. Ex. 7).
+      double slack = 0;
+      EdgeCover better = MaxSlackCover(h, h.vertices(), view.free_set(),
+                                       base.total + 1e-9, &slack);
+      u = better.ok ? better.weights : base.weights;
+    } else {
+      u = base.weights;
+    }
+  }
+
+  Result<std::unique_ptr<CompressedRep>> skeleton =
+      MakeSkeleton(view, db, u, options.tau, aux_db);
+  if (!skeleton.ok()) return skeleton.status();
+  std::unique_ptr<CompressedRep> rep = std::move(skeleton).value();
+  const double alpha = rep->alpha_;
+
+  // Delay-balanced tree + dictionary (only when there is a free dimension).
+  if (rep->view_.num_free() > 0 && !rep->domain_.AnyEmpty()) {
+    DelayBalancedTree::BuildParams params;
+    params.tau = options.tau;
+    params.alpha = alpha;
+    params.max_nodes = options.max_tree_nodes;
+    rep->tree_ = DelayBalancedTree::Build(rep->domain_, rep->cost_, params);
+    DictionaryBuilder builder(&rep->atoms_, &rep->cost_, &rep->tree_,
+                              &rep->domain_, rep->view_.num_bound(),
+                              options.tau, alpha);
+    rep->dict_ = builder.Build();
+  }
+
+  // Stats.
+  CompressedRepStats& s = rep->stats_;
+  s.build_seconds = timer.Seconds();
+  s.tree_nodes = rep->tree_.size();
+  s.tree_depth = rep->tree_.max_depth();
+  if (!rep->tree_.empty()) s.root_cost = rep->tree_.node(0).cost;
+  s.dict_entries = rep->dict_.NumEntries();
+  s.num_candidates = rep->dict_.NumCandidates();
+  s.tree_bytes = rep->tree_.MemoryBytes();
+  s.dict_bytes = rep->dict_.MemoryBytes();
+  return std::move(rep);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: in-order traversal of the delay-balanced tree.
+// ---------------------------------------------------------------------------
+
+class CompressedRep::Alg2Enumerator : public TupleEnumerator {
+ public:
+  Alg2Enumerator(const CompressedRep* rep, BoundValuation vb)
+      : rep_(rep), vb_(std::move(vb)) {
+    CQC_CHECK_EQ((int)vb_.size(), rep_->view_.num_bound());
+    // Pre-bind every atom; an empty range kills the whole request.
+    for (const BoundAtom& atom : rep_->atoms_) {
+      RowRange r = atom.SeekBound(vb_);
+      if (r.empty()) {
+        done_ = true;
+        return;
+      }
+      start_ranges_.push_back(r);
+    }
+    if (rep_->tree_.empty()) {
+      done_ = true;
+      return;
+    }
+    vb_id_ = rep_->dict_.FindValuation(vb_);
+    stack_.push_back(Frame{
+        rep_->tree_.root(),
+        FInterval{rep_->domain_.MinTuple(), rep_->domain_.MaxTuple()},
+        Phase::kEnter});
+  }
+
+  bool Next(Tuple* out) override {
+    while (!done_) {
+      if (join_.has_value()) {
+        if (join_->Next(out)) return true;
+        join_.reset();
+        if (!AdvanceBox()) stack_.pop_back();
+        continue;
+      }
+      if (stack_.empty()) {
+        done_ = true;
+        break;
+      }
+      Frame& f = stack_.back();
+      switch (f.phase) {
+        case Phase::kEnter: {
+          HeavyDictionary::Bit bit = rep_->dict_.Lookup(f.node, vb_id_);
+          if (bit == HeavyDictionary::Bit::kAbsent) {
+            // Light pair: evaluate the interval directly (Prop. 6), box by
+            // box; the boxes and the per-box joins are in lex order.
+            eval_boxes_ = BoxDecompose(f.interval);
+            eval_idx_ = 0;
+            if (!AdvanceBox()) stack_.pop_back();
+          } else if (bit == HeavyDictionary::Bit::kZero) {
+            stack_.pop_back();  // heavy but empty: skip the subtree
+          } else if (rep_->tree_.node(f.node).leaf) {
+            // Only unit-interval leaves can carry heavy entries (non-unit
+            // leaves satisfy T(I) < tau_l, so no pair is heavy there); a
+            // 1-bit certifies the single grid point is an output.
+            CQC_CHECK(f.interval.IsUnit());
+            *out = f.interval.lo;
+            stack_.pop_back();
+            return true;
+          } else {
+            f.phase = Phase::kAfterLeft;
+            const DbTreeNode& n = rep_->tree_.node(f.node);
+            if (n.left >= 0) {
+              FInterval child;
+              CQC_CHECK(DelayBalancedTree::LeftInterval(
+                  f.interval, n.beta, rep_->domain_, &child));
+              stack_.push_back(
+                  Frame{n.left, std::move(child), Phase::kEnter});
+            }
+          }
+          break;
+        }
+        case Phase::kAfterLeft: {
+          f.phase = Phase::kAfterBeta;
+          const DbTreeNode& n = rep_->tree_.node(f.node);
+          if (BetaMatches(n.beta)) {
+            *out = n.beta;
+            return true;
+          }
+          break;
+        }
+        case Phase::kAfterBeta: {
+          const DbTreeNode n = rep_->tree_.node(f.node);
+          const FInterval interval = f.interval;
+          stack_.pop_back();
+          if (n.right >= 0) {
+            FInterval child;
+            CQC_CHECK(DelayBalancedTree::RightInterval(
+                interval, n.beta, rep_->domain_, &child));
+            stack_.push_back(Frame{n.right, std::move(child), Phase::kEnter});
+          }
+          break;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  enum class Phase { kEnter, kAfterLeft, kAfterBeta };
+  struct Frame {
+    int node;
+    FInterval interval;
+    Phase phase;
+  };
+
+  // Starts the join for eval_boxes_[eval_idx_]; false when exhausted.
+  bool AdvanceBox() {
+    const int mu = rep_->domain_.mu();
+    while (eval_idx_ < eval_boxes_.size()) {
+      const FBox& box = eval_boxes_[eval_idx_++];
+      std::vector<JoinAtomInput> inputs;
+      inputs.reserve(rep_->atoms_.size());
+      for (size_t a = 0; a < rep_->atoms_.size(); ++a) {
+        const BoundAtom& atom = rep_->atoms_[a];
+        JoinAtomInput in;
+        in.index = &atom.bf_index();
+        in.start = start_ranges_[a];
+        in.start_level = atom.num_bound();
+        for (int i = 0; i < atom.num_free(); ++i)
+          in.levels.emplace_back(atom.free_positions()[i],
+                                 atom.num_bound() + i);
+        inputs.push_back(std::move(in));
+      }
+      std::vector<LevelConstraint> constraints;
+      constraints.reserve(mu);
+      for (int i = 0; i < mu; ++i)
+        constraints.push_back(LevelConstraint::FromDim(box.dims[i]));
+      join_.emplace(std::move(inputs), mu, std::move(constraints));
+      return true;
+    }
+    return false;
+  }
+
+  // Membership of the split point: the unit-interval probe of Algorithm 2.
+  bool BetaMatches(const Tuple& beta) const {
+    for (size_t a = 0; a < rep_->atoms_.size(); ++a) {
+      const BoundAtom& atom = rep_->atoms_[a];
+      RowRange r = start_ranges_[a];
+      for (int i = 0; i < atom.num_free() && !r.empty(); ++i)
+        r = atom.bf_index().Refine(r, atom.num_bound() + i,
+                                   beta[atom.free_positions()[i]]);
+      if (r.empty()) return false;
+    }
+    return true;
+  }
+
+  const CompressedRep* rep_;
+  BoundValuation vb_;
+  uint32_t vb_id_ = HeavyDictionary::kNoValuation;
+  std::vector<RowRange> start_ranges_;
+  std::vector<Frame> stack_;
+  std::vector<FBox> eval_boxes_;
+  size_t eval_idx_ = 0;
+  std::optional<JoinIterator> join_;
+  bool done_ = false;
+};
+
+std::unique_ptr<TupleEnumerator> CompressedRep::Answer(
+    const BoundValuation& vb) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
+  if (view_.num_free() == 0) {
+    // Boolean adorned view: all variables bound, atoms interact only
+    // through the fixed valuation (Prop. 1 semantics).
+    for (const BoundAtom& atom : atoms_) {
+      if (atom.CountBound(vb) == 0)
+        return std::make_unique<EmptyEnumerator>();
+    }
+    std::vector<Tuple> one{Tuple{}};
+    return std::make_unique<VectorEnumerator>(std::move(one));
+  }
+  if (domain_.AnyEmpty() || tree_.empty())
+    return std::make_unique<EmptyEnumerator>();
+  return std::make_unique<Alg2Enumerator>(this, vb);
+}
+
+bool CompressedRep::AnswerExists(const BoundValuation& vb) const {
+  auto e = Answer(vb);
+  Tuple t;
+  return e->Next(&t);
+}
+
+namespace {
+
+// Recursion state for FixupDictionary: walks the tree carrying intervals.
+struct FixupWalker {
+  const CompressedRep* rep;
+  const DelayBalancedTree* tree;
+  const LexDomain* domain;
+  const std::vector<BoundAtom>* atoms;
+  HeavyDictionary* dict;
+  const std::function<bool(const BoundValuation&, const Tuple&)>* live;
+
+  // Streams the join outputs of (vb, boxes) into `visit`; stops early when
+  // visit returns false. Returns true if stopped early (a live output).
+  bool AnyLiveOutput(const Tuple& vb, const std::vector<FBox>& boxes) const {
+    const int mu = domain->mu();
+    for (const FBox& box : boxes) {
+      std::vector<JoinAtomInput> inputs;
+      bool dead = false;
+      for (const BoundAtom& atom : *atoms) {
+        JoinAtomInput in;
+        in.index = &atom.bf_index();
+        in.start = atom.SeekBound(vb);
+        if (in.start.empty()) {
+          dead = true;
+          break;
+        }
+        in.start_level = atom.num_bound();
+        for (int i = 0; i < atom.num_free(); ++i)
+          in.levels.emplace_back(atom.free_positions()[i],
+                                 atom.num_bound() + i);
+        inputs.push_back(std::move(in));
+      }
+      if (dead) return false;
+      std::vector<LevelConstraint> constraints;
+      for (int i = 0; i < mu; ++i)
+        constraints.push_back(LevelConstraint::FromDim(box.dims[i]));
+      JoinIterator join(std::move(inputs), mu, std::move(constraints));
+      Tuple vf;
+      while (join.Next(&vf)) {
+        if ((*live)(vb, vf)) return true;
+      }
+    }
+    return false;
+  }
+
+  void Walk(int node, const FInterval& interval) {
+    const std::vector<FBox> boxes = BoxDecompose(interval);
+    std::vector<uint32_t> to_clear;
+    dict->ForEachEntry(node, [&](uint32_t vb_id, bool bit) {
+      if (!bit) return;
+      const Tuple& vb = dict->candidates()[vb_id];
+      if (!AnyLiveOutput(vb, boxes)) to_clear.push_back(vb_id);
+    });
+    for (uint32_t id : to_clear) dict->SetBit(node, id, false);
+
+    const DbTreeNode& n = tree->node(node);
+    if (n.leaf) return;
+    FInterval child;
+    if (n.left >= 0 &&
+        DelayBalancedTree::LeftInterval(interval, n.beta, *domain, &child))
+      Walk(n.left, child);
+    if (n.right >= 0 &&
+        DelayBalancedTree::RightInterval(interval, n.beta, *domain, &child))
+      Walk(n.right, child);
+  }
+};
+
+}  // namespace
+
+void CompressedRep::FixupDictionary(
+    const std::function<bool(const BoundValuation&, const Tuple&)>& live) {
+  if (tree_.empty() || view_.num_free() == 0) return;
+  FixupWalker walker{this,   &tree_, &domain_, &atoms_,
+                     &dict_, &live};
+  FInterval root{domain_.MinTuple(), domain_.MaxTuple()};
+  walker.Walk(tree_.root(), root);
+}
+
+}  // namespace cqc

@@ -1,0 +1,141 @@
+// CompressedRep: the Theorem 1 data structure.
+//
+// Given a full adorned view Q^eta over a natural join query, a fractional
+// edge cover u of the variables, and a threshold parameter tau, Build()
+// constructs:
+//   * two sorted-trie indexes per atom (linear space),
+//   * the delay-balanced tree over the free-variable domain (§4.3),
+//   * the heavy-pair dictionary (Appendix A),
+// achieving (Theorem 1)
+//   compression time  T_C = O~(|D| + prod |R_F|^{u_F})
+//   space             S   = O~(|D| + prod |R_F|^{u_F} / tau^{alpha(V_f)})
+//   delay             O~(tau), lexicographic order, no duplicates
+//   answer time       T_A = O~(|q(D)| + tau |q(D)|^{1/alpha}).
+//
+// Answer(v_b) returns a pull-based enumerator implementing Algorithm 2: an
+// in-order traversal of the delay-balanced tree that evaluates light
+// intervals with a worst-case-optimal join, skips empty heavy intervals via
+// the dictionary, and probes the split point between the two children.
+#ifndef CQC_CORE_COMPRESSED_REP_H_
+#define CQC_CORE_COMPRESSED_REP_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/dbtree.h"
+#include "core/dictionary.h"
+#include "core/enumerator.h"
+#include "core/lex_domain.h"
+#include "join/bound_atom.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+struct CompressedRepOptions {
+  /// The tradeoff knob: delay O~(tau), space O~(AGM / tau^alpha).
+  double tau = 1.0;
+  /// Fractional edge cover (aligned with atoms). When absent, the library
+  /// picks a minimum-rho* cover and then maximizes the slack on the free
+  /// variables at that total weight.
+  std::optional<std::vector<double>> cover;
+  /// Safety valve for the delay-balanced tree size.
+  size_t max_tree_nodes = 1u << 27;
+};
+
+struct CompressedRepStats {
+  double build_seconds = 0;
+  std::vector<double> cover;
+  double alpha = 1;          // slack of the cover on V_f
+  double rho = 0;            // total cover weight
+  double root_cost = 0;      // T(root interval)
+  size_t tree_nodes = 0;
+  int tree_depth = 0;
+  size_t dict_entries = 0;
+  size_t num_candidates = 0;
+  size_t tree_bytes = 0;
+  size_t dict_bytes = 0;
+  size_t index_bytes = 0;  // sorted tries over the base relations
+
+  /// The structure's own footprint (tree + dictionary); the paper's S minus
+  /// the always-linear index/input component.
+  size_t AuxBytes() const { return tree_bytes + dict_bytes; }
+  size_t TotalBytes() const { return AuxBytes() + index_bytes; }
+};
+
+class CompressedRep {
+ public:
+  /// `view` must be a natural-join full CQ (run NormalizeView first if
+  /// needed); relations resolve against `aux_db` first, then `db`. Both
+  /// databases must outlive the returned object.
+  static Result<std::unique_ptr<CompressedRep>> Build(
+      const AdornedView& view, const Database& db,
+      const CompressedRepOptions& options, const Database* aux_db = nullptr);
+
+  CompressedRep(const CompressedRep&) = delete;
+  CompressedRep& operator=(const CompressedRep&) = delete;
+
+  /// Enumerates the access request Q^eta[v_b] in lexicographic order of the
+  /// free variables. `vb` is aligned with view().bound_vars().
+  std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
+
+  /// Convenience: is the access request non-empty? (boolean adorned views,
+  /// k-SetDisjointness).
+  bool AnswerExists(const BoundValuation& vb) const;
+
+  const AdornedView& view() const { return view_; }
+  const CompressedRepStats& stats() const { return stats_; }
+  const LexDomain& domain() const { return domain_; }
+  const DelayBalancedTree& tree() const { return tree_; }
+  const HeavyDictionary& dictionary() const { return dict_; }
+  const std::vector<BoundAtom>& atoms() const { return atoms_; }
+  double tau() const { return tau_; }
+
+  /// The Theorem-2 fixup (Algorithm 4) flips dictionary bits in place.
+  HeavyDictionary& mutable_dictionary() { return dict_; }
+
+  /// Algorithm 4 (bag-local part): for every dictionary entry with bit 1,
+  /// re-verify that some output in the node's interval satisfies
+  /// live(v_b, v_f); flip the bit to 0 otherwise. After this, a 1-bit
+  /// guarantees the subtree below the bag produces a full query result
+  /// (Prop. 17).
+  void FixupDictionary(
+      const std::function<bool(const BoundValuation&, const Tuple&)>& live);
+
+ private:
+  CompressedRep(AdornedView view, std::vector<BoundAtom> atoms,
+                LexDomain domain, std::vector<double> exponents, double tau,
+                double alpha);
+
+  /// Everything Build() does *before* constructing the tree/dictionary:
+  /// validation, relation resolution, cover checking, atom binding, the
+  /// free-variable grid. Shared with the deserialization path.
+  static Result<std::unique_ptr<CompressedRep>> MakeSkeleton(
+      const AdornedView& view, const Database& db,
+      const std::vector<double>& cover, double tau, const Database* aux_db);
+
+  friend Status SaveCompressedRep(const CompressedRep&, const std::string&);
+  friend Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
+      const AdornedView&, const Database&, const std::string&,
+      const Database*);
+
+  class Alg2Enumerator;
+
+  AdornedView view_;
+  std::vector<BoundAtom> atoms_;
+  LexDomain domain_;
+  CostModel cost_;
+  double tau_;
+  double alpha_;
+  DelayBalancedTree tree_;
+  HeavyDictionary dict_;
+  CompressedRepStats stats_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_COMPRESSED_REP_H_

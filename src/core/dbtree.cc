@@ -1,0 +1,93 @@
+#include "core/dbtree.h"
+
+#include <cmath>
+
+#include "core/splitter.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+double DelayBalancedTree::Threshold(double tau, double alpha, int level) {
+  return tau * std::pow(2.0, -(double)level * (1.0 - 1.0 / alpha));
+}
+
+bool DelayBalancedTree::LeftInterval(const FInterval& parent,
+                                     const Tuple& beta,
+                                     const LexDomain& domain, FInterval* out) {
+  Tuple hi = beta;
+  if (!domain.Pred(hi)) return false;  // beta is the grid minimum
+  if (LexDomain::Compare(parent.lo, hi) > 0) return false;
+  out->lo = parent.lo;
+  out->hi = std::move(hi);
+  return true;
+}
+
+bool DelayBalancedTree::RightInterval(const FInterval& parent,
+                                      const Tuple& beta,
+                                      const LexDomain& domain,
+                                      FInterval* out) {
+  Tuple lo = beta;
+  if (!domain.Succ(lo)) return false;  // beta is the grid maximum
+  if (LexDomain::Compare(lo, parent.hi) > 0) return false;
+  out->lo = std::move(lo);
+  out->hi = parent.hi;
+  return true;
+}
+
+DelayBalancedTree DelayBalancedTree::Build(const LexDomain& domain,
+                                           const CostModel& cost,
+                                           BuildParams params) {
+  DelayBalancedTree tree;
+  if (domain.mu() == 0 || domain.AnyEmpty()) return tree;
+  CQC_CHECK_GT(params.tau, 0.0);
+  CQC_CHECK_GE(params.alpha, 1.0);
+  FInterval root{domain.MinTuple(), domain.MaxTuple()};
+  tree.BuildNode(domain, cost, params, root, 0);
+  return tree;
+}
+
+int DelayBalancedTree::BuildNode(const LexDomain& domain,
+                                 const CostModel& cost,
+                                 const BuildParams& params,
+                                 const FInterval& interval, int level) {
+  CQC_CHECK_LT(nodes_.size(), params.max_nodes)
+      << "delay-balanced tree exceeded the node budget";
+  CQC_CHECK_LT(level, 4096) << "delay-balanced tree too deep";
+  const double t = cost.IntervalCost(interval);
+  const double threshold = Threshold(params.tau, params.alpha, level);
+
+  const int id = (int)nodes_.size();
+  nodes_.emplace_back();
+  nodes_[id].level = (uint16_t)level;
+  nodes_[id].cost = (float)t;
+  max_depth_ = std::max(max_depth_, level);
+
+  if (t < threshold || interval.IsUnit()) {
+    return id;  // leaf (unit intervals cannot be split further)
+  }
+
+  SplitResult split = SplitInterval(interval, domain, cost);
+  nodes_[id].leaf = false;
+  nodes_[id].beta = split.c;
+
+  FInterval child;
+  if (LeftInterval(interval, split.c, domain, &child) &&
+      cost.IntervalCost(child) > 0) {
+    int left = BuildNode(domain, cost, params, child, level + 1);
+    nodes_[id].left = left;
+  }
+  if (RightInterval(interval, split.c, domain, &child) &&
+      cost.IntervalCost(child) > 0) {
+    int right = BuildNode(domain, cost, params, child, level + 1);
+    nodes_[id].right = right;
+  }
+  return id;
+}
+
+size_t DelayBalancedTree::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(DbTreeNode);
+  for (const auto& n : nodes_) bytes += n.beta.capacity() * sizeof(Value);
+  return bytes;
+}
+
+}  // namespace cqc

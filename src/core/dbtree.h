@@ -1,0 +1,86 @@
+// The delay-balanced tree (§4.3, step 1).
+//
+// An annotated binary tree over f-intervals: the root covers the whole free
+// domain D_f; a node at level l whose cost T(I(w)) reaches the level
+// threshold tau_l = tau * 2^{-l(1-1/alpha)} is split at the balanced point
+// beta(w) computed by Algorithm 1, producing children over [a, beta) and
+// (beta, c]. Lemma 4: T halves per level, so depth is O(log T) and size
+// O(T / tau^alpha)-ish.
+//
+// Nodes store only beta and child links; a node's interval is recomputed
+// from the root interval and the beta values along the path (children are
+// [lo, pred(beta)] and [succ(beta), hi] on the active-domain grid), which
+// keeps per-node space at O(mu) values.
+#ifndef CQC_CORE_DBTREE_H_
+#define CQC_CORE_DBTREE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/finterval.h"
+#include "core/lex_domain.h"
+
+namespace cqc {
+
+struct DbTreeNode {
+  Tuple beta;          // split point; empty for leaves
+  int32_t left = -1;   // child over [lo, pred(beta)]
+  int32_t right = -1;  // child over [succ(beta), hi]
+  float cost = 0;      // T(I(w)) at build time (diagnostic)
+  uint16_t level = 0;
+  bool leaf = true;
+};
+
+class DelayBalancedTree {
+ public:
+  struct BuildParams {
+    double tau = 1.0;
+    double alpha = 1.0;        // slack of the cover on the free variables
+    size_t max_nodes = 1u << 27;  // safety valve
+  };
+
+  /// Empty tree (used when some free domain is empty).
+  DelayBalancedTree() = default;
+
+  static DelayBalancedTree Build(const LexDomain& domain,
+                                 const CostModel& cost, BuildParams params);
+
+  /// Reassembles a tree from stored nodes (deserialization only).
+  static DelayBalancedTree FromNodes(std::vector<DbTreeNode> nodes) {
+    DelayBalancedTree t;
+    for (const DbTreeNode& n : nodes)
+      t.max_depth_ = std::max(t.max_depth_, (int)n.level);
+    t.nodes_ = std::move(nodes);
+    return t;
+  }
+
+  bool empty() const { return nodes_.empty(); }
+  int root() const { return nodes_.empty() ? -1 : 0; }
+  size_t size() const { return nodes_.size(); }
+  const DbTreeNode& node(int i) const { return nodes_[i]; }
+  int max_depth() const { return max_depth_; }
+
+  /// Level threshold tau_l = tau * 2^(-l (1 - 1/alpha)).
+  static double Threshold(double tau, double alpha, int level);
+
+  /// Child interval derivation on the grid; returns false if empty.
+  static bool LeftInterval(const FInterval& parent, const Tuple& beta,
+                           const LexDomain& domain, FInterval* out);
+  static bool RightInterval(const FInterval& parent, const Tuple& beta,
+                            const LexDomain& domain, FInterval* out);
+
+  size_t MemoryBytes() const;
+
+ private:
+  int BuildNode(const LexDomain& domain, const CostModel& cost,
+                const BuildParams& params, const FInterval& interval,
+                int level);
+
+  std::vector<DbTreeNode> nodes_;
+  int max_depth_ = 0;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_DBTREE_H_

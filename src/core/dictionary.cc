@@ -1,0 +1,177 @@
+#include "core/dictionary.h"
+
+#include <algorithm>
+
+#include "join/generic_join.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+HeavyDictionary::Bit HeavyDictionary::Lookup(int node, uint32_t vb_id) const {
+  if (vb_id == kNoValuation) return Bit::kAbsent;
+  if (node < 0 || node >= (int)per_node_.size()) return Bit::kAbsent;
+  const auto& entries = per_node_[node];
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), vb_id,
+      [](const Entry& e, uint32_t id) { return e.vb < id; });
+  if (it == entries.end() || it->vb != vb_id) return Bit::kAbsent;
+  return it->bit ? Bit::kOne : Bit::kZero;
+}
+
+uint32_t HeavyDictionary::FindValuation(const Tuple& vb) const {
+  auto it = candidate_ids_.find(vb);
+  return it == candidate_ids_.end() ? kNoValuation : it->second;
+}
+
+void HeavyDictionary::SetBit(int node, uint32_t vb_id, bool bit) {
+  CQC_CHECK_GE(node, 0);
+  CQC_CHECK_LT(node, (int)per_node_.size());
+  auto& entries = per_node_[node];
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), vb_id,
+      [](const Entry& e, uint32_t id) { return e.vb < id; });
+  CQC_CHECK(it != entries.end() && it->vb == vb_id)
+      << "SetBit on absent dictionary entry";
+  it->bit = bit ? 1 : 0;
+}
+
+size_t HeavyDictionary::NumEntries() const {
+  size_t n = 0;
+  for (const auto& e : per_node_) n += e.size();
+  return n;
+}
+
+size_t HeavyDictionary::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& e : per_node_) bytes += e.capacity() * sizeof(Entry);
+  for (const auto& c : candidates_)
+    bytes += sizeof(Tuple) + c.capacity() * sizeof(Value);
+  // Hash map overhead: buckets + nodes (approximate).
+  bytes += candidate_ids_.size() * (sizeof(Tuple) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+DictionaryBuilder::DictionaryBuilder(const std::vector<BoundAtom>* atoms,
+                                     const CostModel* cost,
+                                     const DelayBalancedTree* tree,
+                                     const LexDomain* domain, int num_bound,
+                                     double tau, double alpha)
+    : atoms_(atoms),
+      cost_(cost),
+      tree_(tree),
+      domain_(domain),
+      num_bound_(num_bound),
+      tau_(tau),
+      alpha_(alpha) {}
+
+void DictionaryBuilder::CollectCandidates(HeavyDictionary* dict) {
+  if (num_bound_ == 0) {
+    // A single empty valuation: the full-enumeration / no-bound case.
+    dict->candidates_.push_back({});
+    dict->candidate_ids_.emplace(Tuple{}, 0);
+    return;
+  }
+  // Join the bound projections of every atom that touches a bound variable.
+  std::vector<JoinAtomInput> inputs;
+  for (const BoundAtom& atom : *atoms_) {
+    if (atom.num_bound() == 0) continue;
+    JoinAtomInput in;
+    in.index = &atom.bf_index();
+    in.start = atom.bf_index().Root();
+    in.start_level = 0;
+    for (int i = 0; i < atom.num_bound(); ++i)
+      in.levels.emplace_back(atom.bound_positions()[i], i);
+    inputs.push_back(std::move(in));
+  }
+  CQC_CHECK(!inputs.empty()) << "bound variables appear in no atom";
+  std::vector<LevelConstraint> constraints(num_bound_,
+                                           LevelConstraint::Any());
+  JoinIterator join(std::move(inputs), num_bound_, std::move(constraints));
+  Tuple vb;
+  while (join.Next(&vb)) {
+    uint32_t id = (uint32_t)dict->candidates_.size();
+    dict->candidates_.push_back(vb);
+    dict->candidate_ids_.emplace(vb, id);
+  }
+}
+
+bool DictionaryBuilder::ProbeNonEmpty(const Tuple& vb,
+                                      const std::vector<FBox>& boxes) const {
+  const int mu = domain_->mu();
+  for (const FBox& box : boxes) {
+    std::vector<JoinAtomInput> inputs;
+    bool dead_atom = false;
+    for (const BoundAtom& atom : *atoms_) {
+      JoinAtomInput in;
+      in.index = &atom.bf_index();
+      in.start = atom.SeekBound(vb);
+      if (in.start.empty()) {
+        dead_atom = true;
+        break;
+      }
+      in.start_level = atom.num_bound();
+      for (int i = 0; i < atom.num_free(); ++i)
+        in.levels.emplace_back(atom.free_positions()[i],
+                               atom.num_bound() + i);
+      inputs.push_back(std::move(in));
+    }
+    if (dead_atom) return false;  // some atom has no tuple under vb at all
+    std::vector<LevelConstraint> constraints;
+    constraints.reserve(mu);
+    for (int i = 0; i < mu; ++i)
+      constraints.push_back(LevelConstraint::FromDim(box.dims[i]));
+    JoinIterator join(std::move(inputs), mu, std::move(constraints));
+    Tuple out;
+    if (join.Next(&out)) return true;
+  }
+  return false;
+}
+
+void DictionaryBuilder::ProcessNode(HeavyDictionary* dict, int node,
+                                    const FInterval& interval,
+                                    const std::vector<uint32_t>& cand) {
+  const DbTreeNode& n = tree_->node(node);
+  const double threshold =
+      DelayBalancedTree::Threshold(tau_, alpha_, n.level);
+  const std::vector<FBox> boxes = BoxDecompose(interval);
+
+  std::vector<uint32_t> live;  // heavy with bit 1: propagate to children
+  auto& entries = dict->per_node_[node];
+  for (uint32_t id : cand) {
+    const Tuple& vb = dict->candidates_[id];
+    const double t = cost_->BoxesCostBound(vb, boxes);
+    if (t <= threshold) continue;  // light: no entry
+    const bool nonempty = ProbeNonEmpty(vb, boxes);
+    entries.push_back({id, (uint8_t)(nonempty ? 1 : 0)});
+    if (nonempty) live.push_back(id);
+  }
+  // `cand` is sorted; filtering preserves order, so entries stay sorted.
+
+  if (live.empty() || n.leaf) return;
+  FInterval child;
+  if (n.left >= 0) {
+    CQC_CHECK(DelayBalancedTree::LeftInterval(interval, n.beta, *domain_,
+                                              &child));
+    ProcessNode(dict, n.left, child, live);
+  }
+  if (n.right >= 0) {
+    CQC_CHECK(DelayBalancedTree::RightInterval(interval, n.beta, *domain_,
+                                               &child));
+    ProcessNode(dict, n.right, child, live);
+  }
+}
+
+HeavyDictionary DictionaryBuilder::Build() {
+  HeavyDictionary dict;
+  CollectCandidates(&dict);
+  dict.per_node_.resize(tree_->size());
+  if (tree_->empty() || domain_->mu() == 0) return dict;
+
+  std::vector<uint32_t> all(dict.candidates_.size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  FInterval root{domain_->MinTuple(), domain_->MaxTuple()};
+  ProcessNode(&dict, tree_->root(), root, all);
+  return dict;
+}
+
+}  // namespace cqc

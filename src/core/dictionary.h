@@ -1,0 +1,121 @@
+// The auxiliary dictionary D (§4.3, step 2; Appendix A).
+//
+// For each delay-balanced-tree node w at level l and each bound valuation
+// v_b such that (v_b, I(w)) is tau_l-heavy, D stores one bit: whether the
+// join restricted to I(w) under v_b is non-empty. Pairs without an entry
+// are light; Algorithm 2 evaluates them directly in O~(tau_l).
+//
+// Construction follows Appendix A:
+//   (a) candidate bound valuations = the worst-case-optimal join of the
+//       bound-variable projections of the atoms touching V_b (Prop. 13);
+//   (b) per node, the heavy candidates are found with the O~(1) counting
+//       oracle, and each heavy pair's bit is set by an early-terminating
+//       WCOJ emptiness probe per box of the interval's decomposition. The
+//       NPRR query-decomposition lemma bounds the total probe work by the
+//       same O~(prod |R_F|^{u_F}) as the paper's streaming variant.
+//   Entries propagate downward only for pairs whose bit is 1: Algorithm 2
+//   never descends past a light or empty node, so deeper entries for such
+//   valuations are unreachable.
+//
+// Valuations are interned into dense ids (the candidate table); per node,
+// entries live in a sorted array keyed by valuation id (4+1 bytes each).
+#ifndef CQC_CORE_DICTIONARY_H_
+#define CQC_CORE_DICTIONARY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/dbtree.h"
+#include "core/lex_domain.h"
+#include "join/bound_atom.h"
+#include "util/hashing.h"
+
+namespace cqc {
+
+class HeavyDictionary {
+ public:
+  enum class Bit : uint8_t { kZero = 0, kOne = 1, kAbsent = 2 };
+
+  /// Dictionary lookup for (node, interned valuation id). O(log entries).
+  Bit Lookup(int node, uint32_t vb_id) const;
+
+  /// Interns a bound valuation; returns its id or kNoValuation.
+  static constexpr uint32_t kNoValuation = ~0u;
+  uint32_t FindValuation(const Tuple& vb) const;
+
+  size_t NumEntries() const;
+  size_t NumCandidates() const { return candidates_.size(); }
+  size_t MemoryBytes() const;
+
+  /// Flips an existing entry's bit (used by the Theorem-2 semijoin fixup,
+  /// Algorithm 4). CHECK-fails if the entry is absent.
+  void SetBit(int node, uint32_t vb_id, bool bit);
+
+  /// Access to the interned candidate valuations (bound order tuples).
+  const std::vector<Tuple>& candidates() const { return candidates_; }
+
+  /// Visits every entry of `node` as fn(vb_id, bit).
+  template <typename Fn>
+  void ForEachEntry(int node, Fn&& fn) const {
+    for (const Entry& e : per_node_[node]) fn(e.vb, e.bit != 0);
+  }
+
+  /// Reassembles a dictionary from stored parts (deserialization only).
+  /// `entries[node]` must be sorted by valuation id.
+  static HeavyDictionary FromParts(
+      std::vector<Tuple> candidates,
+      std::vector<std::vector<std::pair<uint32_t, bool>>> entries) {
+    HeavyDictionary d;
+    d.candidates_ = std::move(candidates);
+    for (uint32_t i = 0; i < d.candidates_.size(); ++i)
+      d.candidate_ids_.emplace(d.candidates_[i], i);
+    d.per_node_.resize(entries.size());
+    for (size_t n = 0; n < entries.size(); ++n)
+      for (auto [vb, bit] : entries[n])
+        d.per_node_[n].push_back({vb, (uint8_t)(bit ? 1 : 0)});
+    return d;
+  }
+
+ private:
+  friend class DictionaryBuilder;
+  struct Entry {
+    uint32_t vb;
+    uint8_t bit;
+  };
+  std::vector<std::vector<Entry>> per_node_;  // sorted by vb
+  std::vector<Tuple> candidates_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> candidate_ids_;
+};
+
+/// Builds the dictionary for a tree; see file comment.
+class DictionaryBuilder {
+ public:
+  DictionaryBuilder(const std::vector<BoundAtom>* atoms,
+                    const CostModel* cost, const DelayBalancedTree* tree,
+                    const LexDomain* domain, int num_bound, double tau,
+                    double alpha);
+
+  HeavyDictionary Build();
+
+ private:
+  // Enumerates the candidate bound valuations (join over bound variables).
+  void CollectCandidates(HeavyDictionary* dict);
+  // Recursive heavy-pair sweep.
+  void ProcessNode(HeavyDictionary* dict, int node, const FInterval& interval,
+                   const std::vector<uint32_t>& cand);
+  // True iff the join under vb restricted to `boxes` is non-empty.
+  bool ProbeNonEmpty(const Tuple& vb, const std::vector<FBox>& boxes) const;
+
+  const std::vector<BoundAtom>* atoms_;
+  const CostModel* cost_;
+  const DelayBalancedTree* tree_;
+  const LexDomain* domain_;
+  int num_bound_;
+  double tau_;
+  double alpha_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_DICTIONARY_H_

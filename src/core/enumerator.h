@@ -1,0 +1,128 @@
+// Pull-based tuple enumeration.
+//
+// Every answering path in the library (Theorem 1, Theorem 2, both
+// baselines) yields results through this interface so the harness can
+// measure delay — the maximum time (or operation count) between two
+// consecutive outputs — exactly as §2.3 defines it.
+#ifndef CQC_CORE_ENUMERATOR_H_
+#define CQC_CORE_ENUMERATOR_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "util/common.h"
+#include "util/op_counter.h"
+#include "util/timer.h"
+
+namespace cqc {
+
+class TupleEnumerator {
+ public:
+  virtual ~TupleEnumerator() = default;
+  /// Writes the next tuple into `out`; returns false when exhausted.
+  virtual bool Next(Tuple* out) = 0;
+};
+
+/// An enumerator over an empty result.
+class EmptyEnumerator : public TupleEnumerator {
+ public:
+  bool Next(Tuple* out) override { return false; }
+};
+
+/// An enumerator over a fixed list of tuples.
+class VectorEnumerator : public TupleEnumerator {
+ public:
+  explicit VectorEnumerator(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+  bool Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = tuples_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// Drains an enumerator into a vector.
+inline std::vector<Tuple> CollectAll(TupleEnumerator& e) {
+  std::vector<Tuple> out;
+  Tuple t;
+  while (e.Next(&t)) out.push_back(t);
+  return out;
+}
+
+/// Projection with duplicate elimination — the paper's §3.2/§8 projection
+/// extension in its simple form: project each output onto `positions` and
+/// emit each distinct projection once. Correct for any inner enumerator;
+/// the O~(tau) delay guarantee does NOT carry over (runs of tuples sharing
+/// a projection are skipped), which is exactly the open problem the paper
+/// defers. Memory grows with the number of distinct projections.
+class ProjectingEnumerator : public TupleEnumerator {
+ public:
+  ProjectingEnumerator(std::unique_ptr<TupleEnumerator> inner,
+                       std::vector<int> positions)
+      : inner_(std::move(inner)), positions_(std::move(positions)) {}
+
+  bool Next(Tuple* out) override {
+    Tuple t;
+    while (inner_->Next(&t)) {
+      Tuple proj(positions_.size());
+      for (size_t i = 0; i < positions_.size(); ++i)
+        proj[i] = t[positions_[i]];
+      if (!seen_.insert(proj).second) continue;
+      *out = std::move(proj);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<TupleEnumerator> inner_;
+  std::vector<int> positions_;
+  std::set<Tuple> seen_;
+};
+
+/// Per-access-request measurement: total answer time, output count, and the
+/// worst observed delay in both wall-clock time and abstract operations
+/// (index probes / join steps; see util/op_counter.h). The "delay" includes
+/// the time to the first tuple and the time to detect exhaustion, matching
+/// the paper's definition.
+struct DelayProfile {
+  size_t num_tuples = 0;
+  double total_seconds = 0;
+  double max_delay_seconds = 0;
+  uint64_t total_ops = 0;
+  uint64_t max_delay_ops = 0;
+};
+
+inline DelayProfile MeasureEnumeration(TupleEnumerator& e,
+                                       std::vector<Tuple>* sink = nullptr) {
+  DelayProfile p;
+  WallTimer total;
+  WallTimer gap;
+  uint64_t ops_start = ops::Now();
+  uint64_t gap_ops = ops_start;
+  Tuple t;
+  for (;;) {
+    bool more = e.Next(&t);
+    double d = gap.Seconds();
+    uint64_t o = ops::Now() - gap_ops;
+    p.max_delay_seconds = std::max(p.max_delay_seconds, d);
+    p.max_delay_ops = std::max(p.max_delay_ops, o);
+    if (!more) break;
+    ++p.num_tuples;
+    if (sink) sink->push_back(t);
+    gap.Reset();
+    gap_ops = ops::Now();
+  }
+  p.total_seconds = total.Seconds();
+  p.total_ops = ops::Now() - ops_start;
+  return p;
+}
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_ENUMERATOR_H_

@@ -1,0 +1,124 @@
+#include "core/finterval.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+bool FBox::IsCanonical() const {
+  int i = 0;
+  while (i < mu() && dims[i].kind == FBoxDim::kUnit) ++i;
+  if (i < mu() && dims[i].kind == FBoxDim::kRange) ++i;
+  for (; i < mu(); ++i)
+    if (dims[i].kind != FBoxDim::kAny) return false;
+  return true;
+}
+
+bool FBox::Contains(const Tuple& t) const {
+  CQC_CHECK_EQ((int)t.size(), mu());
+  for (int i = 0; i < mu(); ++i)
+    if (!dims[i].Contains(t[i])) return false;
+  return true;
+}
+
+std::string FBox::ToString() const {
+  std::ostringstream os;
+  os << "<";
+  for (int i = 0; i < mu(); ++i) {
+    if (i) os << ", ";
+    switch (dims[i].kind) {
+      case FBoxDim::kUnit:
+        os << dims[i].lo;
+        break;
+      case FBoxDim::kRange:
+        os << "[" << dims[i].lo << "," << dims[i].hi << "]";
+        break;
+      case FBoxDim::kAny:
+        os << "*";
+        break;
+    }
+  }
+  os << ">";
+  return os.str();
+}
+
+std::string FInterval::ToString() const {
+  std::ostringstream os;
+  os << "[(";
+  for (size_t i = 0; i < lo.size(); ++i) os << (i ? "," : "") << lo[i];
+  os << "), (";
+  for (size_t i = 0; i < hi.size(); ++i) os << (i ? "," : "") << hi[i];
+  os << ")]";
+  return os.str();
+}
+
+namespace {
+
+// Appends `box` unless an inverted range makes it definitely empty.
+void PushIfNonEmpty(std::vector<FBox>& out, FBox box) {
+  if (!box.DefinitelyEmpty()) out.push_back(std::move(box));
+}
+
+// <p1, .., p_{k-1}, [lo, hi], *, ..> over mu dimensions.
+FBox PrefixRangeBox(const Tuple& prefix_src, int k, Value lo, Value hi,
+                    int mu) {
+  FBox box;
+  box.dims.assign(mu, FBoxDim::Any());
+  for (int i = 0; i < k; ++i) box.dims[i] = FBoxDim::Unit(prefix_src[i]);
+  box.dims[k] = FBoxDim::Range(lo, hi);
+  return box;
+}
+
+}  // namespace
+
+std::vector<FBox> BoxDecompose(const FInterval& interval) {
+  CQC_CHECK(!interval.Empty()) << "box decomposition of empty interval";
+  const int mu = (int)interval.lo.size();
+  std::vector<FBox> out;
+
+  if (mu == 0) return out;  // boolean views have no free dimensions
+
+  if (interval.IsUnit()) {
+    FBox box;
+    for (int i = 0; i < mu; ++i)
+      box.dims.push_back(FBoxDim::Unit(interval.lo[i]));
+    out.push_back(std::move(box));
+    return out;
+  }
+
+  const Tuple& a = interval.lo;
+  const Tuple& b = interval.hi;
+  int j = 0;  // first differing position
+  while (a[j] == b[j]) ++j;
+
+  if (j == mu - 1) {
+    // Only the last position differs: a single canonical box.
+    PushIfNonEmpty(out, PrefixRangeBox(a, j, a[j], b[j], mu));
+    return out;
+  }
+
+  // Left side: B^l_mu, ..., B^l_{j+1} (paper order: deepest first).
+  // B^l_mu  = <a1, .., a_{mu-1}, [a_mu, top]>
+  PushIfNonEmpty(out, PrefixRangeBox(a, mu - 1, a[mu - 1], kTop, mu));
+  // B^l_i = <a1, .., a_{i-1}, (a_i, top]> for i = mu-1 .. j+1 (1-based),
+  // i.e. zero-based prefix lengths mu-2 .. j+1.
+  for (int k = mu - 2; k >= j + 1; --k) {
+    if (a[k] == kTop) continue;  // (top, top] is empty
+    PushIfNonEmpty(out, PrefixRangeBox(a, k, a[k] + 1, kTop, mu));
+  }
+  // B_j = <a1, .., a_{j-1}, (a_j, b_j)>  (here prefix a[0..j) == b[0..j)).
+  if (a[j] != kTop && b[j] != kBottom) {
+    PushIfNonEmpty(out, PrefixRangeBox(a, j, a[j] + 1, b[j] - 1, mu));
+  }
+  // Right side: B^r_{j+1}, .., B^r_mu.
+  for (int k = j + 1; k <= mu - 2; ++k) {
+    if (b[k] == kBottom) continue;  // [bottom, bottom) is empty
+    PushIfNonEmpty(out, PrefixRangeBox(b, k, kBottom, b[k] - 1, mu));
+  }
+  // B^r_mu = <b1, .., b_{mu-1}, [bottom, b_mu]>
+  PushIfNonEmpty(out, PrefixRangeBox(b, mu - 1, kBottom, b[mu - 1], mu));
+  return out;
+}
+
+}  // namespace cqc

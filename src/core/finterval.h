@@ -1,0 +1,84 @@
+// f-intervals and f-boxes (§4.1).
+//
+// An f-interval is a closed lexicographic interval [lo, hi] over the grid of
+// free-variable active domains; an f-box constrains each free variable
+// independently. A *canonical* f-box fixes a prefix of the free variables to
+// unit values, constrains at most the next one to a range, and leaves the
+// rest unconstrained (Definition 2). Lemma 1's box decomposition rewrites an
+// f-interval as <= 2*mu - 1 disjoint, lexicographically ordered canonical
+// f-boxes; Proposition 5 then lets the cost model and the join push the box
+// into each relation independently.
+//
+// Range endpoints live in raw value space (kBottom = 0, kTop = 2^64-1 stand
+// in for the paper's bottom/top), which is equivalent for counting and
+// joining since only values present in the data ever match. Unit dimensions
+// always hold actual grid values.
+#ifndef CQC_CORE_FINTERVAL_H_
+#define CQC_CORE_FINTERVAL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/lex_domain.h"
+#include "util/common.h"
+
+namespace cqc {
+
+inline constexpr Value kBottom = 0;
+inline constexpr Value kTop = std::numeric_limits<Value>::max();
+
+/// Per-dimension constraint of an f-box.
+struct FBoxDim {
+  enum Kind : uint8_t { kUnit, kRange, kAny };
+  Kind kind = kAny;
+  Value lo = kBottom;  // kUnit: the value (lo == hi); kRange: inclusive lo
+  Value hi = kTop;
+
+  static FBoxDim Unit(Value v) { return {kUnit, v, v}; }
+  static FBoxDim Range(Value lo, Value hi) { return {kRange, lo, hi}; }
+  static FBoxDim Any() { return {kAny, kBottom, kTop}; }
+
+  bool Contains(Value v) const { return lo <= v && v <= hi; }
+  /// A range with lo > hi denotes the empty set.
+  bool DefinitelyEmpty() const { return lo > hi; }
+  bool operator==(const FBoxDim&) const = default;
+};
+
+/// An f-box: one constraint per free variable (global free order).
+struct FBox {
+  std::vector<FBoxDim> dims;
+
+  int mu() const { return (int)dims.size(); }
+  bool DefinitelyEmpty() const {
+    for (const auto& d : dims)
+      if (d.DefinitelyEmpty()) return true;
+    return false;
+  }
+  /// Unit prefix, then at most one range, then kAny (Definition 2).
+  bool IsCanonical() const;
+  bool Contains(const Tuple& t) const;
+  std::string ToString() const;
+};
+
+/// Closed f-interval [lo, hi]; empty iff lo >lex hi.
+struct FInterval {
+  Tuple lo;
+  Tuple hi;
+
+  bool Empty() const { return LexDomain::Compare(lo, hi) > 0; }
+  bool IsUnit() const { return lo == hi; }
+  bool Contains(const Tuple& t) const {
+    return LexDomain::Compare(lo, t) <= 0 && LexDomain::Compare(t, hi) <= 0;
+  }
+  std::string ToString() const;
+};
+
+/// Lemma 1 box decomposition of a (non-empty) closed interval: disjoint
+/// canonical boxes, lexicographically ordered, covering exactly [lo, hi].
+/// Boxes that are definitely empty (inverted ranges) are dropped.
+std::vector<FBox> BoxDecompose(const FInterval& interval);
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_FINTERVAL_H_

@@ -1,0 +1,92 @@
+#include "core/lex_domain.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+LexDomain::LexDomain(std::vector<std::vector<Value>> domains)
+    : domains_(std::move(domains)) {
+  for (const auto& d : domains_)
+    CQC_CHECK(std::is_sorted(d.begin(), d.end())) << "domain must be sorted";
+}
+
+bool LexDomain::AnyEmpty() const {
+  for (const auto& d : domains_)
+    if (d.empty()) return true;
+  return false;
+}
+
+Tuple LexDomain::MinTuple() const {
+  Tuple t(mu());
+  for (int i = 0; i < mu(); ++i) {
+    CQC_CHECK(!domains_[i].empty());
+    t[i] = domains_[i].front();
+  }
+  return t;
+}
+
+Tuple LexDomain::MaxTuple() const {
+  Tuple t(mu());
+  for (int i = 0; i < mu(); ++i) {
+    CQC_CHECK(!domains_[i].empty());
+    t[i] = domains_[i].back();
+  }
+  return t;
+}
+
+int LexDomain::IndexOf(int i, Value v) const {
+  const auto& d = domains_[i];
+  auto it = std::lower_bound(d.begin(), d.end(), v);
+  if (it == d.end() || *it != v) return -1;
+  return (int)(it - d.begin());
+}
+
+bool LexDomain::Succ(Tuple& t) const {
+  CQC_CHECK_EQ((int)t.size(), mu());
+  for (int i = mu() - 1; i >= 0; --i) {
+    int idx = IndexOf(i, t[i]);
+    CQC_CHECK_GE(idx, 0) << "tuple component off the grid";
+    if (idx + 1 < (int)domains_[i].size()) {
+      t[i] = domains_[i][idx + 1];
+      for (int j = i + 1; j < mu(); ++j) t[j] = domains_[j].front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LexDomain::Pred(Tuple& t) const {
+  CQC_CHECK_EQ((int)t.size(), mu());
+  for (int i = mu() - 1; i >= 0; --i) {
+    int idx = IndexOf(i, t[i]);
+    CQC_CHECK_GE(idx, 0) << "tuple component off the grid";
+    if (idx > 0) {
+      t[i] = domains_[i][idx - 1];
+      for (int j = i + 1; j < mu(); ++j) t[j] = domains_[j].back();
+      return true;
+    }
+  }
+  return false;
+}
+
+int LexDomain::Compare(const Tuple& a, const Tuple& b) {
+  CQC_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+double LexDomain::GridSize() const {
+  double n = 1;
+  for (const auto& d : domains_) {
+    n *= (double)d.size();
+    if (n > 1e18) return 1e18;
+  }
+  return n;
+}
+
+}  // namespace cqc

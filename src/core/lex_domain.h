@@ -1,0 +1,51 @@
+// The lexicographic free-variable domain D_f = D[x_f^1] x ... x D[x_f^mu]
+// (§4.1). Each free variable has a sorted active domain; tuples over D_f are
+// ordered lexicographically, and the grid supports successor / predecessor,
+// which the delay-balanced tree uses to turn the paper's half-open child
+// intervals [a, beta) / (beta, c] into closed intervals on the grid.
+#ifndef CQC_CORE_LEX_DOMAIN_H_
+#define CQC_CORE_LEX_DOMAIN_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace cqc {
+
+class LexDomain {
+ public:
+  /// `domains[i]` = sorted distinct values of free variable i (view order).
+  explicit LexDomain(std::vector<std::vector<Value>> domains);
+
+  int mu() const { return (int)domains_.size(); }
+  const std::vector<Value>& dom(int i) const { return domains_[i]; }
+
+  /// True iff some dimension has an empty domain (no tuples exist).
+  bool AnyEmpty() const;
+
+  /// Lexicographically smallest / largest grid tuple. Requires !AnyEmpty().
+  Tuple MinTuple() const;
+  Tuple MaxTuple() const;
+
+  /// Advances `t` to its lexicographic successor on the grid. Returns false
+  /// (t unchanged) if t is the maximum. `t` must be a grid tuple.
+  bool Succ(Tuple& t) const;
+  /// Mirror of Succ.
+  bool Pred(Tuple& t) const;
+
+  /// Three-way lexicographic comparison.
+  static int Compare(const Tuple& a, const Tuple& b);
+
+  /// Index of `v` in dom(i), or -1 if absent. O(log).
+  int IndexOf(int i, Value v) const;
+
+  /// Total number of grid points (saturates at ~1e18).
+  double GridSize() const;
+
+ private:
+  std::vector<std::vector<Value>> domains_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_LEX_DOMAIN_H_

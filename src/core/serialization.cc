@@ -1,0 +1,179 @@
+#include "core/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace cqc {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '1'};
+
+// Little-endian POD writers/readers (x86-64 target; the on-disk format is
+// the native layout of these fixed-width types).
+template <typename T>
+void Put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+void PutTuple(std::ostream& out, const Tuple& t) {
+  Put<uint32_t>(out, (uint32_t)t.size());
+  for (Value v : t) Put<uint64_t>(out, v);
+}
+
+bool GetTuple(std::istream& in, Tuple* t) {
+  uint32_t n;
+  if (!Get(in, &n)) return false;
+  if (n > 1u << 20) return false;  // sanity
+  t->resize(n);
+  for (uint32_t i = 0; i < n; ++i)
+    if (!Get(in, &(*t)[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+Status SaveCompressedRep(const CompressedRep& rep, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::Error("cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  Put<double>(out, rep.tau_);
+  Put<double>(out, rep.alpha_);
+  const CompressedRepStats& s = rep.stats_;
+  Put<uint32_t>(out, (uint32_t)s.cover.size());
+  for (double w : s.cover) Put<double>(out, w);
+  // Fingerprint: per-atom relation content digests.
+  Put<uint32_t>(out, (uint32_t)rep.atoms_.size());
+  for (const BoundAtom& atom : rep.atoms_)
+    Put<uint64_t>(out, atom.relation().ContentHash());
+  // Tree.
+  Put<uint32_t>(out, (uint32_t)rep.tree_.size());
+  for (size_t i = 0; i < rep.tree_.size(); ++i) {
+    const DbTreeNode& n = rep.tree_.node((int)i);
+    PutTuple(out, n.beta);
+    Put<int32_t>(out, n.left);
+    Put<int32_t>(out, n.right);
+    Put<float>(out, n.cost);
+    Put<uint16_t>(out, n.level);
+    Put<uint8_t>(out, n.leaf ? 1 : 0);
+  }
+  // Dictionary.
+  const HeavyDictionary& dict = rep.dict_;
+  Put<uint32_t>(out, (uint32_t)dict.candidates().size());
+  for (const Tuple& t : dict.candidates()) PutTuple(out, t);
+  for (size_t node = 0; node < rep.tree_.size(); ++node) {
+    uint32_t count = 0;
+    dict.ForEachEntry((int)node, [&](uint32_t, bool) { ++count; });
+    Put<uint32_t>(out, count);
+    dict.ForEachEntry((int)node, [&](uint32_t vb, bool bit) {
+      Put<uint32_t>(out, vb);
+      Put<uint8_t>(out, bit ? 1 : 0);
+    });
+  }
+  if (!out.good()) return Status::Error("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
+    const AdornedView& view, const Database& db, const std::string& path,
+    const Database* aux_db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::Error("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return Status::Error(path + ": not a cqc compressed-rep file");
+
+  double tau, alpha;
+  if (!Get(in, &tau) || !Get(in, &alpha))
+    return Status::Error("truncated header");
+  uint32_t cover_size;
+  if (!Get(in, &cover_size) || cover_size > 1u << 16)
+    return Status::Error("bad cover");
+  std::vector<double> cover(cover_size);
+  for (double& w : cover)
+    if (!Get(in, &w)) return Status::Error("truncated cover");
+
+  Result<std::unique_ptr<CompressedRep>> skeleton =
+      CompressedRep::MakeSkeleton(view, db, cover, tau, aux_db);
+  if (!skeleton.ok()) return skeleton.status();
+  std::unique_ptr<CompressedRep> rep = std::move(skeleton).value();
+  if (std::abs(rep->alpha_ - alpha) > 1e-9)
+    return Status::Error("slack mismatch: file built for a different view");
+
+  // Fingerprint.
+  uint32_t num_atoms;
+  if (!Get(in, &num_atoms) || num_atoms != rep->atoms_.size())
+    return Status::Error("atom count mismatch");
+  for (const BoundAtom& atom : rep->atoms_) {
+    uint64_t digest;
+    if (!Get(in, &digest)) return Status::Error("truncated fingerprint");
+    if (digest != atom.relation().ContentHash())
+      return Status::Error(
+          "relation content mismatch: file built over different data");
+  }
+
+  // Tree.
+  uint32_t num_nodes;
+  if (!Get(in, &num_nodes) || num_nodes > 1u << 28)
+    return Status::Error("bad tree size");
+  std::vector<DbTreeNode> nodes(num_nodes);
+  for (DbTreeNode& n : nodes) {
+    uint8_t leaf;
+    if (!GetTuple(in, &n.beta) || !Get(in, &n.left) || !Get(in, &n.right) ||
+        !Get(in, &n.cost) || !Get(in, &n.level) || !Get(in, &leaf))
+      return Status::Error("truncated tree");
+    if (n.left >= (int32_t)num_nodes || n.right >= (int32_t)num_nodes)
+      return Status::Error("corrupt tree links");
+    n.leaf = leaf != 0;
+  }
+  rep->tree_ = DelayBalancedTree::FromNodes(std::move(nodes));
+
+  // Dictionary.
+  uint32_t num_candidates;
+  if (!Get(in, &num_candidates) || num_candidates > 1u << 30)
+    return Status::Error("bad candidate count");
+  std::vector<Tuple> candidates(num_candidates);
+  for (Tuple& t : candidates)
+    if (!GetTuple(in, &t)) return Status::Error("truncated candidates");
+  std::vector<std::vector<std::pair<uint32_t, bool>>> entries(num_nodes);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    uint32_t count;
+    if (!Get(in, &count) || count > num_candidates)
+      return Status::Error("bad entry count");
+    entries[node].reserve(count);
+    uint32_t prev = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t vb;
+      uint8_t bit;
+      if (!Get(in, &vb) || !Get(in, &bit))
+        return Status::Error("truncated entries");
+      if (vb >= num_candidates || (i > 0 && vb <= prev))
+        return Status::Error("corrupt dictionary ordering");
+      prev = vb;
+      entries[node].emplace_back(vb, bit != 0);
+    }
+  }
+  rep->dict_ =
+      HeavyDictionary::FromParts(std::move(candidates), std::move(entries));
+
+  // Refresh stats that depend on the loaded parts.
+  CompressedRepStats& s = rep->stats_;
+  s.tree_nodes = rep->tree_.size();
+  s.tree_depth = rep->tree_.max_depth();
+  if (!rep->tree_.empty()) s.root_cost = rep->tree_.node(0).cost;
+  s.dict_entries = rep->dict_.NumEntries();
+  s.num_candidates = rep->dict_.NumCandidates();
+  s.tree_bytes = rep->tree_.MemoryBytes();
+  s.dict_bytes = rep->dict_.MemoryBytes();
+  return std::move(rep);
+}
+
+}  // namespace cqc

@@ -1,0 +1,40 @@
+// Binary persistence for CompressedRep.
+//
+// The expensive parts of the structure — the delay-balanced tree and the
+// heavy-pair dictionary — are written to a versioned binary file; the
+// sorted indexes over the base relations are *not* stored (they are
+// linear-size and rebuilt lazily on first use). Loading therefore needs
+// the same adorned view and a database with the same content; the file
+// stores the cover, tau, slack and a fingerprint of the relation sizes to
+// catch obvious mismatches.
+//
+// Format (little-endian, version 1):
+//   magic "CQCREP01" | tau f64 | alpha f64 | cover [n f64]
+//   fingerprint: num atoms u32, per atom relation size u64
+//   tree: node count u32, then per node {beta len u32, beta values u64...,
+//         left i32, right i32, cost f32, level u16, leaf u8}
+//   dictionary: candidate count u32, per candidate {len u32, values u64..};
+//         per tree node: entry count u32, then {vb u32, bit u8}...
+#ifndef CQC_CORE_SERIALIZATION_H_
+#define CQC_CORE_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/compressed_rep.h"
+#include "util/status.h"
+
+namespace cqc {
+
+/// Writes the structure to `path`.
+Status SaveCompressedRep(const CompressedRep& rep, const std::string& path);
+
+/// Reconstructs a structure previously saved for the same view over the
+/// same data. Fails on magic/version/shape mismatches.
+Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
+    const AdornedView& view, const Database& db, const std::string& path,
+    const Database* aux_db = nullptr);
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_SERIALIZATION_H_

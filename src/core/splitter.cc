@@ -1,0 +1,128 @@
+#include "core/splitter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cqc {
+namespace {
+
+// First dimension of a PrefixRangeBox-style canonical box that is not a
+// unit, i.e. its kRange dimension.
+int RangeDim(const FBox& box) {
+  for (int i = 0; i < box.mu(); ++i)
+    if (box.dims[i].kind != FBoxDim::kUnit) {
+      CQC_CHECK(box.dims[i].kind == FBoxDim::kRange);
+      return i;
+    }
+  CQC_CHECK(false) << "all-unit box in a non-unit interval decomposition";
+  __builtin_unreachable();
+}
+
+// Canonical box <c_0, ..., c_{j-1}, [lo, hi], *...> over mu dims.
+FBox MakeBox(const Tuple& prefix, int j, Value lo, Value hi, int mu) {
+  FBox box;
+  box.dims.assign(mu, FBoxDim::Any());
+  for (int i = 0; i < j; ++i) box.dims[i] = FBoxDim::Unit(prefix[i]);
+  box.dims[j] = FBoxDim::Range(lo, hi);
+  return box;
+}
+
+// All-unit box <c_0, ..., c_j, *...>.
+FBox MakeUnitPrefixBox(const Tuple& prefix, int j, int mu) {
+  FBox box;
+  box.dims.assign(mu, FBoxDim::Any());
+  for (int i = 0; i <= j; ++i) box.dims[i] = FBoxDim::Unit(prefix[i]);
+  return box;
+}
+
+}  // namespace
+
+SplitResult SplitInterval(const FInterval& interval, const LexDomain& domain,
+                          const CostModel& cost) {
+  CQC_CHECK(!interval.Empty());
+  CQC_CHECK(!interval.IsUnit()) << "cannot split a unit interval";
+  const int mu = domain.mu();
+
+  // Line 1-2: decompose and total up.
+  std::vector<FBox> boxes = BoxDecompose(interval);
+  std::vector<double> box_cost(boxes.size());
+  double total = 0;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    box_cost[i] = cost.BoxCost(boxes[i]);
+    total += box_cost[i];
+  }
+
+  SplitResult result;
+  result.total_cost = total;
+  if (total <= 0) {
+    // Degenerate: nothing costs anything; split anywhere (use lo).
+    result.c = interval.lo;
+    return result;
+  }
+
+  // Line 3: s = first box where the running sum exceeds T/2.
+  size_t s = 0;
+  double prefix_sum = 0;
+  for (; s < boxes.size(); ++s) {
+    prefix_sum += box_cost[s];
+    if (prefix_sum > total / 2) break;
+  }
+  CQC_CHECK_LT(s, boxes.size());
+
+  const FBox& bs = boxes[s];
+  const int k = RangeDim(bs);
+
+  // Line 4: gamma = cost of boxes strictly before B_s; Delta = T(B_s).
+  double gamma = prefix_sum - box_cost[s];
+  double delta = box_cost[s];
+
+  // The split point: unit prefix copied from B_s, then chosen per dim.
+  Tuple c(mu);
+  for (int i = 0; i < k; ++i) c[i] = bs.dims[i].lo;
+
+  // Lines 5-9: choose c_j for j = k .. mu-1.
+  for (int j = k; j < mu; ++j) {
+    // I_j: B_s's range at dim k, the full domain afterwards.
+    const Value ij_lo = (j == k) ? bs.dims[k].lo : kBottom;
+    const Value ij_hi = (j == k) ? bs.dims[k].hi : kTop;
+
+    // Candidate values: active domain of dim j restricted to [ij_lo, ij_hi].
+    const std::vector<Value>& dom = domain.dom(j);
+    auto cand_begin =
+        std::lower_bound(dom.begin(), dom.end(), ij_lo) - dom.begin();
+    auto cand_end =
+        std::upper_bound(dom.begin(), dom.end(), ij_hi) - dom.begin();
+    CQC_CHECK_LT(cand_begin, cand_end)
+        << "no active value in split dimension " << j;
+
+    const double target = std::min(delta, total / 2 - gamma);
+
+    // Binary search the least candidate v with
+    //   T(<c_0..c_{j-1}, [ij_lo, v]>) >= target    (Lemma 3).
+    auto prefix_cost = [&](Value v) {
+      return cost.BoxCost(MakeBox(c, j, ij_lo, v, mu));
+    };
+    long lo = cand_begin, hi = cand_end - 1;
+    while (lo < hi) {
+      long mid = lo + (hi - lo) / 2;
+      if (prefix_cost(dom[mid]) >= target)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    c[j] = dom[lo];
+
+    // Lines 7-8: Delta_j = T(<c_0..c_j>), gamma_j += T(prefix, [ij_lo, c_j)).
+    delta = cost.BoxCost(MakeUnitPrefixBox(c, j, mu));
+    if (c[j] > ij_lo) {
+      gamma += cost.BoxCost(MakeBox(c, j, ij_lo, c[j] - 1, mu));
+    }
+  }
+
+  CQC_CHECK(interval.Contains(c));
+  result.c = std::move(c);
+  return result;
+}
+
+}  // namespace cqc

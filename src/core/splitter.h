@@ -1,0 +1,30 @@
+// Balanced f-interval splitting: Lemma 3 + Algorithm 1.
+//
+// Given an interval I with total cost T = T(I), SplitInterval returns a grid
+// tuple c in I such that T([a, c)) <= T/2 and T((c, b]) <= T/2
+// (Proposition 8). Dimension by dimension, a binary search over the active
+// domain finds the least value whose cumulative prefix cost reaches
+// min{Delta_{j-1}, T/2 - gamma_{j-1}}, which Lemma 3 makes O~(1) per
+// dimension thanks to the O(log N) box-count oracle.
+#ifndef CQC_CORE_SPLITTER_H_
+#define CQC_CORE_SPLITTER_H_
+
+#include "core/cost_model.h"
+#include "core/finterval.h"
+#include "core/lex_domain.h"
+
+namespace cqc {
+
+struct SplitResult {
+  Tuple c;             // the split point (a grid tuple inside the interval)
+  double total_cost;   // T(I) computed along the way
+};
+
+/// Requires a non-empty, non-unit interval whose box decomposition is
+/// non-trivial. The returned point satisfies interval.Contains(c).
+SplitResult SplitInterval(const FInterval& interval, const LexDomain& domain,
+                          const CostModel& cost);
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_SPLITTER_H_

@@ -1,0 +1,213 @@
+#include "core/updatable_rep.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "join/bound_atom.h"
+#include "join/generic_join.h"
+#include "query/normalize.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+void UpdatableRep::CopyRelation(const Relation& src, Database& out,
+                                const std::vector<Tuple>& extra) {
+  Relation* dst = out.AddRelation(src.name(), src.arity());
+  Tuple row(src.arity());
+  for (size_t r = 0; r < src.size(); ++r) {
+    for (int c = 0; c < src.arity(); ++c) row[c] = src.At(r, c);
+    dst->Insert(row);
+  }
+  for (const Tuple& t : extra) dst->Insert(t);
+  dst->Seal();
+}
+
+Result<std::unique_ptr<UpdatableRep>> UpdatableRep::Build(
+    const AdornedView& view, const Database& db,
+    const UpdatableRepOptions& options, const Database* aux_db) {
+  if (!view.cq().IsNaturalJoin())
+    return Status::Error("UpdatableRep requires a natural join view");
+  auto rep = std::unique_ptr<UpdatableRep>(new UpdatableRep(view));
+  rep->options_ = options;
+  // Snapshot every referenced relation (each name once).
+  rep->base_ = std::make_unique<Database>();
+  std::set<std::string> seen;
+  for (const Atom& atom : view.cq().atoms()) {
+    if (!seen.insert(atom.relation).second) continue;
+    const Relation* r = ResolveRelation(atom.relation, db, aux_db);
+    if (r == nullptr) return Status::Error("unknown relation " + atom.relation);
+    CopyRelation(*r, *rep->base_, {});
+  }
+  Result<std::unique_ptr<CompressedRep>> built =
+      CompressedRep::Build(view, *rep->base_, options.rep);
+  if (!built.ok()) return built.status();
+  rep->rep_ = std::move(built).value();
+  return std::move(rep);
+}
+
+Status UpdatableRep::Insert(const std::string& relation, const Tuple& t) {
+  const Relation* r = base_->Find(relation);
+  if (r == nullptr)
+    return Status::Error("relation " + relation + " is not part of the view");
+  if ((int)t.size() != r->arity())
+    return Status::Error("arity mismatch inserting into " + relation);
+  staging_[relation].push_back(t);
+  derived_dirty_ = true;
+  if ((double)pending_inserts() >
+      options_.rebuild_fraction * (double)base_->TotalTuples()) {
+    return Rebuild();
+  }
+  return Status::Ok();
+}
+
+size_t UpdatableRep::pending_inserts() const {
+  size_t n = 0;
+  for (const auto& [name, rows] : staging_) n += rows.size();
+  return n;
+}
+
+Status UpdatableRep::RefreshDerived() const {
+  if (!derived_dirty_) return Status::Ok();
+  delta_ = std::make_unique<Database>();
+  merged_ = std::make_unique<Database>();
+  for (const Relation* r : base_->AllRelations()) {
+    auto it = staging_.find(r->name());
+    static const std::vector<Tuple> kNone;
+    const std::vector<Tuple>& extra =
+        it == staging_.end() ? kNone : it->second;
+    // Delta holds only the staged tuples; merged holds base + staged.
+    Relation* d = delta_->AddRelation(r->name(), r->arity());
+    for (const Tuple& t : extra) d->Insert(t);
+    d->Seal();
+    CopyRelation(*r, *merged_, extra);
+  }
+  derived_dirty_ = false;
+  return Status::Ok();
+}
+
+Status UpdatableRep::Rebuild() {
+  Status s = RefreshDerived();
+  if (!s.ok()) return s;
+  rep_.reset();
+  base_ = std::move(merged_);
+  merged_.reset();
+  delta_.reset();
+  staging_.clear();
+  derived_dirty_ = true;
+  Result<std::unique_ptr<CompressedRep>> built =
+      CompressedRep::Build(view_, *base_, options_.rep);
+  if (!built.ok()) return built.status();
+  rep_ = std::move(built).value();
+  ++num_rebuilds_;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Combined enumeration: snapshot answers, then delta-term answers.
+// ---------------------------------------------------------------------------
+
+class UpdatableRep::MergedEnumerator : public TupleEnumerator {
+ public:
+  MergedEnumerator(const UpdatableRep* owner, BoundValuation vb)
+      : owner_(owner), vb_(std::move(vb)) {
+    base_enum_ = owner_->rep_->Answer(vb_);
+    const ConjunctiveQuery& cq = owner_->view_.cq();
+    // Bind each atom against old / delta / merged variants once.
+    for (const Atom& atom : cq.atoms()) {
+      old_.emplace_back(atom, *owner_->base_->Find(atom.relation),
+                        owner_->view_.bound_vars(),
+                        owner_->view_.free_vars());
+      delta_.emplace_back(atom, *owner_->delta_->Find(atom.relation),
+                          owner_->view_.bound_vars(),
+                          owner_->view_.free_vars());
+      merged_.emplace_back(atom, *owner_->merged_->Find(atom.relation),
+                           owner_->view_.bound_vars(),
+                           owner_->view_.free_vars());
+    }
+  }
+
+  bool Next(Tuple* out) override {
+    if (base_enum_) {
+      if (base_enum_->Next(out)) return true;
+      base_enum_.reset();
+    }
+    const int n = (int)old_.size();
+    const int mu = owner_->view_.num_free();
+    for (;;) {
+      if (!term_join_.has_value()) {
+        if (term_ >= n) return false;
+        if (!StartTerm(term_)) {
+          ++term_;
+          continue;
+        }
+      }
+      Tuple t;
+      while (term_join_->Next(&t)) {
+        if (mu == 0) t.clear();
+        if (DerivableFromBase(t)) continue;
+        if (!emitted_.insert(t).second) continue;
+        *out = t;
+        return true;
+      }
+      term_join_.reset();
+      ++term_;
+    }
+  }
+
+ private:
+  // Delta term i: atoms < i merged, atom i delta, atoms > i old.
+  bool StartTerm(int i) {
+    const int mu = owner_->view_.num_free();
+    std::vector<JoinAtomInput> inputs;
+    for (int j = 0; j < (int)old_.size(); ++j) {
+      const BoundAtom& atom =
+          (j < i) ? merged_[j] : (j == i) ? delta_[j] : old_[j];
+      JoinAtomInput in;
+      in.index = &atom.bf_index();
+      in.start = atom.SeekBound(vb_);
+      if (in.start.empty()) return false;
+      in.start_level = atom.num_bound();
+      for (int k = 0; k < atom.num_free(); ++k)
+        in.levels.emplace_back(atom.free_positions()[k],
+                               atom.num_bound() + k);
+      inputs.push_back(std::move(in));
+    }
+    term_join_.emplace(
+        std::move(inputs), mu,
+        std::vector<LevelConstraint>(mu, LevelConstraint::Any()));
+    return true;
+  }
+
+  // v in Q(old snapshot)? For a full natural join: every old atom contains
+  // the projection of (vb, v).
+  bool DerivableFromBase(const Tuple& vf) const {
+    for (const BoundAtom& atom : old_)
+      if (!atom.ContainsValuation(vb_, vf)) return false;
+    return true;
+  }
+
+  const UpdatableRep* owner_;
+  BoundValuation vb_;
+  std::unique_ptr<TupleEnumerator> base_enum_;
+  std::vector<BoundAtom> old_, delta_, merged_;
+  int term_ = 0;
+  std::optional<JoinIterator> term_join_;
+  std::unordered_set<Tuple, TupleHash> emitted_;
+};
+
+std::unique_ptr<TupleEnumerator> UpdatableRep::Answer(
+    const BoundValuation& vb) const {
+  if (pending_inserts() == 0) return rep_->Answer(vb);
+  Status s = RefreshDerived();
+  CQC_CHECK(s.ok()) << s.message();
+  return std::make_unique<MergedEnumerator>(this, vb);
+}
+
+bool UpdatableRep::AnswerExists(const BoundValuation& vb) const {
+  auto e = Answer(vb);
+  Tuple t;
+  return e->Next(&t);
+}
+
+}  // namespace cqc

@@ -1,0 +1,98 @@
+// UpdatableRep: insert-only maintenance of a compressed representation —
+// the paper's §8 open problem "whether our data structures can be modified
+// to support efficient updates of the base tables", in its standard
+// first-stage form (inserts; deletions would need tombstone filtering).
+//
+// Design: the structure owns a sealed snapshot of the base data plus a
+// per-relation delta of pending inserts. Answers combine
+//
+//   (1) the Theorem-1 enumeration over the snapshot (lexicographic), and
+//   (2) the classic delta-join expansion over the pending inserts:
+//         Q(D + dD) \ Q(D) = union_i  join(M_1, .., M_{i-1}, dR_i,
+//                                          R_{i+1}, .., R_n)
+//       where M_j = R_j + dR_j ("merged"), dR_i the delta, R_j the old
+//       snapshot — each term pins atom i to a delta tuple, so every new
+//       derivation is produced; duplicates are removed by (a) a
+//       base-membership check (for full CQs, v in Q(D) iff every atom of
+//       the old snapshot contains its projection of v) and (b) a hash set
+//       across delta terms.
+//
+// Delta answering costs O~(|dD| * join work) per request, so once the
+// delta grows past `rebuild_fraction * |D|` the snapshot is merged and the
+// Theorem-1 structure rebuilt (amortized O~(build / fraction) per
+// inserted tuple). The combined enumeration is *not* globally
+// lexicographic: snapshot answers stream in lex order first, then the
+// delta-derived answers.
+#ifndef CQC_CORE_UPDATABLE_REP_H_
+#define CQC_CORE_UPDATABLE_REP_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/compressed_rep.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+struct UpdatableRepOptions {
+  CompressedRepOptions rep;
+  /// Rebuild when total pending inserts exceed this fraction of the
+  /// snapshot size (set to infinity to never rebuild automatically).
+  double rebuild_fraction = 0.25;
+};
+
+class UpdatableRep {
+ public:
+  /// Snapshots `db` (copies the referenced relations). The view must be a
+  /// natural join (run NormalizeView first if needed).
+  static Result<std::unique_ptr<UpdatableRep>> Build(
+      const AdornedView& view, const Database& db,
+      const UpdatableRepOptions& options, const Database* aux_db = nullptr);
+
+  /// Queues an insert into `relation`. Duplicates (already in snapshot or
+  /// delta) are tolerated and deduplicated lazily.
+  Status Insert(const std::string& relation, const Tuple& t);
+
+  /// Answers over the *current* data (snapshot + pending inserts).
+  std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
+  bool AnswerExists(const BoundValuation& vb) const;
+
+  /// Merges the delta into the snapshot and rebuilds the structure now.
+  Status Rebuild();
+
+  size_t pending_inserts() const;
+  size_t snapshot_tuples() const { return base_->TotalTuples(); }
+  int num_rebuilds() const { return num_rebuilds_; }
+  const CompressedRep& rep() const { return *rep_; }
+  const AdornedView& view() const { return view_; }
+
+ private:
+  explicit UpdatableRep(AdornedView view) : view_(std::move(view)) {}
+
+  // Copies relation `name` (plus staged extras) into `out`.
+  static void CopyRelation(const Relation& src, Database& out,
+                           const std::vector<Tuple>& extra);
+  // Re-seals the delta/merged databases from staging if dirty.
+  Status RefreshDerived() const;
+
+  class MergedEnumerator;
+
+  AdornedView view_;
+  std::unique_ptr<Database> base_;  // sealed snapshot
+  std::unique_ptr<CompressedRep> rep_;
+  UpdatableRepOptions options_;
+  // Pending inserts per relation name.
+  std::map<std::string, std::vector<Tuple>> staging_;
+  // Lazily derived: delta + merged databases (relation name -> data).
+  mutable std::unique_ptr<Database> delta_;
+  mutable std::unique_ptr<Database> merged_;
+  mutable bool derived_dirty_ = true;
+  int num_rebuilds_ = 0;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_UPDATABLE_REP_H_

@@ -1,0 +1,92 @@
+// Per-bag representations for Theorem 2.
+//
+// Each non-root bag of the connex decomposition answers "given values for
+// its top-down bound variables V_b^t, enumerate the matching valuations of
+// its free variables V_f^t". Two implementations:
+//
+//  * MaterializedBagRep — delta(t) = 0: the bag's join is materialized into
+//    a sorted relation keyed by V_b^t; answering is a range scan with O(1)
+//    delay. This is the d-representation bag of Prop. 2 / Prop. 4.
+//  * CompressedBagRep — delta(t) > 0: a Theorem-1 CompressedRep over the
+//    bag-projected relations with tau_t = |D|^{delta(t)}, using the
+//    eq.-3-optimal cover.
+//
+// Fixup(live) implements the bag-local part of Algorithm 4: restrict the
+// bag to valuations whose child subtrees are non-empty (tuple filtering for
+// materialized bags; dictionary bit-flipping for compressed bags).
+#ifndef CQC_DECOMPOSITION_BAG_REP_H_
+#define CQC_DECOMPOSITION_BAG_REP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/compressed_rep.h"
+#include "core/enumerator.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+/// live(bound_vals, free_vals) -> do all child subtrees accept this bag
+/// valuation? Both tuples follow the bag's own variable orders.
+using BagLiveFn = std::function<bool(const Tuple&, const Tuple&)>;
+
+class BagRep {
+ public:
+  virtual ~BagRep() = default;
+  /// Enumerates V_f^t valuations for the given V_b^t values.
+  virtual std::unique_ptr<TupleEnumerator> Answer(const Tuple& vb) const = 0;
+  virtual void Fixup(const BagLiveFn& live) = 0;
+  /// Structure-specific space (excluding the shared base relations).
+  virtual size_t AuxBytes() const = 0;
+  virtual std::string Describe() const = 0;
+};
+
+/// delta = 0 bag: materialized join, hash/sorted index on V_b^t.
+class MaterializedBagRep : public BagRep {
+ public:
+  /// `view` must be the bag-local natural-join view (bound = V_b^t);
+  /// `locals` holds the bag's projected relations and must outlive this.
+  static Result<std::unique_ptr<MaterializedBagRep>> Build(
+      const AdornedView& view, const Database& db, const Database* locals);
+
+  std::unique_ptr<TupleEnumerator> Answer(const Tuple& vb) const override;
+  void Fixup(const BagLiveFn& live) override;
+  size_t AuxBytes() const override;
+  std::string Describe() const override;
+  size_t num_tuples() const { return table_->size(); }
+
+ private:
+  MaterializedBagRep(int num_bound, int num_free)
+      : num_bound_(num_bound), num_free_(num_free) {}
+  void Reindex();
+
+  int num_bound_;
+  int num_free_;
+  std::unique_ptr<Relation> table_;  // columns [V_b^t..., V_f^t...]
+  const SortedIndex* index_ = nullptr;
+};
+
+/// delta > 0 bag: Theorem-1 compressed representation.
+class CompressedBagRep : public BagRep {
+ public:
+  static Result<std::unique_ptr<CompressedBagRep>> Build(
+      const AdornedView& view, const Database& db, const Database* locals,
+      const CompressedRepOptions& options);
+
+  std::unique_ptr<TupleEnumerator> Answer(const Tuple& vb) const override;
+  void Fixup(const BagLiveFn& live) override;
+  size_t AuxBytes() const override;
+  std::string Describe() const override;
+  const CompressedRep& rep() const { return *rep_; }
+
+ private:
+  CompressedBagRep() = default;
+  std::unique_ptr<CompressedRep> rep_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_DECOMPOSITION_BAG_REP_H_

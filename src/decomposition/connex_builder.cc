@@ -1,0 +1,151 @@
+#include "decomposition/connex_builder.h"
+
+#include <algorithm>
+
+#include "fractional/edge_cover.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+Result<TreeDecomposition> BuildConnexByElimination(
+    const Hypergraph& h, VarSet bound, const std::vector<VarId>& elim_order) {
+  const VarSet free_vars = h.vertices() & ~bound;
+  VarSet order_set = 0;
+  for (VarId v : elim_order) {
+    if (!VarSetContains(free_vars, v))
+      return Status::Error("elimination order contains a non-free variable");
+    if (VarSetContains(order_set, v))
+      return Status::Error("elimination order repeats a variable");
+    order_set |= VarBit(v);
+  }
+  if (order_set != free_vars)
+    return Status::Error("elimination order must cover all free variables");
+
+  TreeDecomposition td;
+  const int root = td.AddNode(bound);
+
+  // Working edges: (variable set, originating td node or -1).
+  struct WorkEdge {
+    VarSet vars;
+    int origin;
+  };
+  std::vector<WorkEdge> work;
+  for (VarSet e : h.edges()) work.push_back({e, -1});
+
+  for (VarId v : elim_order) {
+    VarSet bag = 0;
+    std::vector<int> child_nodes;
+    std::vector<WorkEdge> rest;
+    for (const WorkEdge& we : work) {
+      if (VarSetContains(we.vars, v)) {
+        bag |= we.vars;
+        if (we.origin >= 0) child_nodes.push_back(we.origin);
+      } else {
+        rest.push_back(we);
+      }
+    }
+    CQC_CHECK(bag != 0) << "free variable in no edge";
+    const int node = td.AddNode(bag);
+    for (int c : child_nodes) td.AddEdge(node, c);
+    rest.push_back({bag & ~VarBit(v), node});
+    work = std::move(rest);
+  }
+
+  // Remaining edges touch only bound variables; attach their origins (and
+  // any origin-less remains are covered by the root bag itself).
+  std::vector<int> attached;
+  for (const WorkEdge& we : work) {
+    CQC_CHECK((we.vars & ~bound) == 0);
+    if (we.origin >= 0) attached.push_back(we.origin);
+  }
+  std::sort(attached.begin(), attached.end());
+  attached.erase(std::unique(attached.begin(), attached.end()),
+                 attached.end());
+  for (int c : attached) td.AddEdge(root, c);
+  td.Finalize(root);
+  Status s = td.Validate(h);
+  if (!s.ok()) return s;
+  s = td.ValidateConnex(bound);
+  if (!s.ok()) return s;
+  return td;
+}
+
+Result<ConnexSearchResult> SearchConnexDecomposition(const Hypergraph& h,
+                                                     VarSet bound) {
+  std::vector<VarId> free_vars;
+  for (VarId v = 0; v < h.num_vars(); ++v)
+    if (VarSetContains(h.vertices() & ~bound, v)) free_vars.push_back(v);
+  if (free_vars.size() > 8)
+    return Status::Error("exhaustive connex search limited to 8 free vars");
+
+  auto width_of = [&](const TreeDecomposition& td) {
+    double w = 0;
+    for (int t = 0; t < td.num_nodes(); ++t) {
+      if (t == td.root()) continue;  // A-bags are excluded (§3.2)
+      // rho*(B_t) over the edges intersecting the bag, restricted to it.
+      std::vector<VarSet> edges;
+      for (VarSet e : h.edges())
+        if (e & td.bag(t)) edges.push_back(e & td.bag(t));
+      Hypergraph bag_h(h.num_vars(), edges);
+      EdgeCover c = FractionalEdgeCover(bag_h, td.bag(t));
+      CQC_CHECK(c.ok);
+      w = std::max(w, c.total);
+    }
+    return w;
+  };
+
+  std::sort(free_vars.begin(), free_vars.end());
+  bool have = false;
+  ConnexSearchResult best;
+  std::vector<VarId> order = free_vars;
+  do {
+    Result<TreeDecomposition> td = BuildConnexByElimination(h, bound, order);
+    if (!td.ok()) continue;
+    double w = width_of(td.value());
+    if (!have || w < best.width - 1e-12) {
+      best.decomposition = std::move(td).value();
+      best.width = w;
+      have = true;
+    }
+  } while (std::next_permutation(free_vars.begin(), free_vars.end()) &&
+           (order = free_vars, true));
+  if (!have) return Status::Error("no valid connex decomposition found");
+  return best;
+}
+
+TreeDecomposition BuildZigZagPath(const std::vector<VarId>& path_vars) {
+  const int n = (int)path_vars.size() - 1;  // number of edges R1..Rn
+  CQC_CHECK_GE(n, 2);
+  TreeDecomposition td;
+  VarSet bound = VarBit(path_vars.front()) | VarBit(path_vars.back());
+  int prev = td.AddNode(bound);
+  const int root = prev;
+  // Paired bags {x_l, x_{l+1}, x_r, x_{r+1}} closing in from both ends.
+  int l = 0, r = n;  // x_{l+1}..x_{r} free inside
+  while (r - l >= 2) {
+    VarSet bag = VarBit(path_vars[l]) | VarBit(path_vars[l + 1]) |
+                 VarBit(path_vars[r - 1]) | VarBit(path_vars[r]);
+    int node = td.AddNode(bag);
+    td.AddEdge(prev, node);
+    prev = node;
+    ++l;
+    --r;
+  }
+  if (r - l == 1) {
+    // Odd middle edge R_{l+1} = {x_{l+1}, x_{r+1}}: already inside the last
+    // paired bag (it contains x_{l+1} = x_l+1 and x_r ... ) only if l>0; add
+    // a closing bag to be safe when it is not covered.
+    VarSet mid = VarBit(path_vars[l]) | VarBit(path_vars[r]);
+    bool covered = false;
+    for (int t = 0; t < td.num_nodes(); ++t)
+      if ((mid & ~td.bag(t)) == 0) covered = true;
+    if (!covered) {
+      int node = td.AddNode(mid);
+      td.AddEdge(prev, node);
+    }
+  }
+  td.Finalize(root);
+  return td;
+}
+
+}  // namespace cqc

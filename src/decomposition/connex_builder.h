@@ -1,0 +1,50 @@
+// Construction of V_b-connex tree decompositions.
+//
+// Three paths:
+//  * BuildByElimination: bucket elimination over a given order of the free
+//    variables, with the bound variables collected into the root bag — the
+//    standard construction behind §5 (always yields a valid connex
+//    decomposition).
+//  * Search: exhaustive over free-variable elimination orders (queries are
+//    constant-size; mu <= 8 keeps this cheap), scoring each candidate by
+//    its connex fractional hypertree width — this realizes fhw(H | V_b)
+//    over elimination-ordered decompositions. Finding the true optimum is
+//    NP-hard (§6), so hand-crafted decompositions can also be supplied.
+//  * BuildZigZagPath: the paired decomposition of Example 10 for path
+//    queries P_n^{bf...fb}: bags {x1,x2,xn,xn+1}, {x2,x3,xn-1,xn}, ...
+#ifndef CQC_DECOMPOSITION_CONNEX_BUILDER_H_
+#define CQC_DECOMPOSITION_CONNEX_BUILDER_H_
+
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "query/hypergraph.h"
+#include "util/status.h"
+
+namespace cqc {
+
+/// Bucket elimination: eliminates free variables in `elim_order` (every
+/// free variable exactly once); bound variables form the root bag.
+Result<TreeDecomposition> BuildConnexByElimination(
+    const Hypergraph& h, VarSet bound, const std::vector<VarId>& elim_order);
+
+struct ConnexSearchResult {
+  TreeDecomposition decomposition;
+  double width = 0;  // max over non-root bags of rho*(B_t) (delta == 0)
+};
+
+/// Exhaustive search over elimination orders minimizing the connex
+/// fractional hypertree width (delta = 0). Requires <= 8 free variables.
+Result<ConnexSearchResult> SearchConnexDecomposition(const Hypergraph& h,
+                                                     VarSet bound);
+
+/// Example 10's decomposition for the path query
+///   P_n(x1..x{n+1}) = R1(x1,x2), ..., Rn(xn, x{n+1})
+/// with V_b = {x1, x{n+1}}: a chain of paired bags
+///   {x1,x{n+1}} - {x1,x2,xn,x{n+1}} - {x2,x3,x{n-1},xn} - ...
+/// `path_vars[i]` is the VarId of x_{i+1}. Requires n >= 2.
+TreeDecomposition BuildZigZagPath(const std::vector<VarId>& path_vars);
+
+}  // namespace cqc
+
+#endif  // CQC_DECOMPOSITION_CONNEX_BUILDER_H_

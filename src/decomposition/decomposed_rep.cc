@@ -1,0 +1,374 @@
+#include "decomposition/decomposed_rep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "util/hashing.h"
+
+#include "query/normalize.h"
+#include "relational/projection.h"
+#include "util/logging.h"
+#include "util/str_util.h"
+#include "util/timer.h"
+
+namespace cqc {
+namespace {
+
+std::vector<VarId> VarsOf(VarSet s) {
+  std::vector<VarId> out;
+  for (VarId v = 0; v < kMaxVars; ++v)
+    if (VarSetContains(s, v)) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DecomposedRep>> DecomposedRep::Build(
+    const AdornedView& view, const Database& db, const TreeDecomposition& td,
+    const DecomposedRepOptions& options, const Database* aux_db) {
+  WallTimer timer;
+  const ConjunctiveQuery& cq = view.cq();
+  if (!cq.IsNaturalJoin())
+    return Status::Error("DecomposedRep requires a natural join view");
+  Hypergraph h(cq);
+  Status s = td.Validate(h);
+  if (!s.ok()) return s;
+  s = td.ValidateConnex(view.bound_set());
+  if (!s.ok()) return s;
+
+  DelayAssignment delta = options.delta;
+  if (delta.delta.empty()) delta = DelayAssignment::Zero(td);
+  if ((int)delta.delta.size() != td.num_nodes())
+    return Status::Error("delay assignment size mismatch");
+
+  auto rep = std::unique_ptr<DecomposedRep>(new DecomposedRep(view));
+  rep->td_ = td;
+  rep->stats_.metrics = ComputeMetrics(td, h, delta);
+  rep->bag_of_node_.assign(td.num_nodes(), -1);
+
+  const double n_tuples = std::max<double>(2.0, (double)db.TotalTuples());
+
+  // Build per-bag representations in preorder.
+  for (int node : td.preorder()) {
+    if (node == td.root()) continue;
+    const BagPlan& plan = rep->stats_.metrics.bags[node];
+    Bag bag;
+    bag.td_node = node;
+    bag.bound_vars = VarsOf(td.BagBound(node));
+    bag.free_vars = VarsOf(td.BagFree(node));
+    bag.locals = std::make_unique<Database>();
+    bag.locals->SetFallback(aux_db);  // chain to the normalized view's aux
+
+    // Assemble the bag-local natural-join view.
+    ConjunctiveQuery local;
+    for (VarId v : bag.bound_vars) local.GetOrAddVar(cq.var_name(v));
+    for (VarId v : bag.free_vars) local.GetOrAddVar(cq.var_name(v));
+    std::string adornment;
+    for (VarId v : bag.bound_vars) {
+      local.AddHeadVar(local.FindVar(cq.var_name(v)));
+      adornment += 'b';
+    }
+    for (VarId v : bag.free_vars) {
+      local.AddHeadVar(local.FindVar(cq.var_name(v)));
+      adornment += 'f';
+    }
+    for (size_t j = 0; j < plan.edges.size(); ++j) {
+      const Atom& orig = cq.atoms()[plan.edge_atoms[j]];
+      const Relation* rel = ResolveRelation(orig.relation, db, aux_db);
+      if (rel == nullptr)
+        return Status::Error("unknown relation " + orig.relation);
+      // Columns of the original atom whose variable lies in the bag.
+      std::vector<int> cols;
+      std::vector<VarId> vars;
+      for (int p = 0; p < orig.arity(); ++p) {
+        VarId v = orig.terms[p].var;
+        if (VarSetContains(td.bag(node), v)) {
+          cols.push_back(p);
+          vars.push_back(v);
+        }
+      }
+      Atom local_atom;
+      if ((int)cols.size() == orig.arity()) {
+        local_atom.relation = orig.relation;  // fully contained: reuse
+      } else {
+        const std::string name =
+            StrFormat("bag%d_e%zu_%s", node, j, orig.relation.c_str());
+        bag.locals->AdoptRelation(ProjectDistinct(*rel, cols, name));
+        local_atom.relation = name;
+      }
+      for (VarId v : vars)
+        local_atom.terms.push_back(
+            Term::Var(local.FindVar(cq.var_name(v))));
+      local.AddAtom(std::move(local_atom));
+    }
+    Result<AdornedView> local_view =
+        AdornedView::Create(std::move(local), adornment);
+    if (!local_view.ok()) return local_view.status();
+
+    // Pick the representation by the bag's delay exponent. The bag-local
+    // database takes precedence, then the caller's aux_db, then db: chain
+    // them by copying aux relations into the bag database view... instead,
+    // resolve via the bag locals first and fall back to (db, aux_db).
+    const double d = delta.delta[node];
+    if (d <= 0.0) {
+      Result<std::unique_ptr<MaterializedBagRep>> r =
+          MaterializedBagRep::Build(local_view.value(), db,
+                                    bag.locals.get());
+      if (!r.ok()) return r.status();
+      bag.rep = std::move(r).value();
+    } else {
+      CompressedRepOptions copts;
+      copts.tau = std::pow(n_tuples, d);
+      copts.cover = plan.cover.u;
+      Result<std::unique_ptr<CompressedBagRep>> r = CompressedBagRep::Build(
+          local_view.value(), db, bag.locals.get(), copts);
+      if (!r.ok()) return r.status();
+      bag.rep = std::move(r).value();
+    }
+    rep->bag_of_node_[node] = (int)rep->bags_.size();
+    rep->bags_.push_back(std::move(bag));
+  }
+
+  // Parent/children links in bag-index space.
+  rep->bag_children_.assign(rep->bags_.size(), {});
+  for (size_t i = 0; i < rep->bags_.size(); ++i) {
+    int pnode = td.parent(rep->bags_[i].td_node);
+    rep->bags_[i].parent_bag =
+        (pnode == td.root()) ? -1 : rep->bag_of_node_[pnode];
+    if (rep->bags_[i].parent_bag >= 0)
+      rep->bag_children_[rep->bags_[i].parent_bag].push_back((int)i);
+  }
+
+  // Root membership atoms: hyperedges fully inside V_b.
+  std::vector<VarId> no_free;
+  for (const Atom& atom : cq.atoms()) {
+    if ((atom.Vars() & ~view.bound_set()) != 0) continue;
+    const Relation* rel = ResolveRelation(atom.relation, db, aux_db);
+    CQC_CHECK(rel != nullptr);
+    rep->root_atoms_.emplace_back(atom, *rel, view.bound_vars(), no_free);
+  }
+
+  // Algorithm 4: bottom-up semijoin fixup (children before parents).
+  if (options.run_fixup) {
+    const int num_vars = cq.num_vars();
+    for (int i = (int)rep->bags_.size() - 1; i >= 0; --i) {
+      if (rep->bag_children_[i].empty()) continue;
+      const Bag& bag = rep->bags_[i];
+      auto live = [&rep, &bag, i, num_vars](const Tuple& bound_vals,
+                                            const Tuple& free_vals) {
+        std::vector<Value> values(num_vars, 0);
+        for (size_t k = 0; k < bag.bound_vars.size(); ++k)
+          values[bag.bound_vars[k]] = bound_vals[k];
+        for (size_t k = 0; k < bag.free_vars.size(); ++k)
+          values[bag.free_vars[k]] = free_vals[k];
+        for (int c : rep->bag_children_[i])
+          if (!rep->SubtreeLive(c, values)) return false;
+        return true;
+      };
+      rep->bags_[i].rep->Fixup(live);
+    }
+  }
+
+  // Stats.
+  rep->stats_.build_seconds = timer.Seconds();
+  for (const Bag& bag : rep->bags_) {
+    size_t bytes = bag.rep->AuxBytes();
+    rep->stats_.bag_aux_bytes.push_back(bytes);
+    rep->stats_.bag_descriptions.push_back(bag.rep->Describe());
+    rep->stats_.total_aux_bytes += bytes;
+  }
+  return std::move(rep);
+}
+
+bool DecomposedRep::SubtreeLive(int b,
+                                const std::vector<Value>& values) const {
+  const Bag& bag = bags_[b];
+  Tuple vbt(bag.bound_vars.size());
+  for (size_t i = 0; i < bag.bound_vars.size(); ++i)
+    vbt[i] = values[bag.bound_vars[i]];
+  auto e = bag.rep->Answer(vbt);
+  Tuple vf;
+  std::vector<Value> scratch = values;
+  while (e->Next(&vf)) {
+    for (size_t i = 0; i < bag.free_vars.size(); ++i)
+      scratch[bag.free_vars[i]] = vf[i];
+    bool ok = true;
+    for (int c : bag_children_[b]) {
+      if (!SubtreeLive(c, scratch)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 5: pre-order enumeration with predecessor pointers.
+// ---------------------------------------------------------------------------
+
+class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
+ public:
+  Alg5Enumerator(const DecomposedRep* rep, BoundValuation vb) : rep_(rep) {
+    values_.assign(rep->view_.cq().num_vars(), 0);
+    const std::vector<VarId>& bvars = rep->view_.bound_vars();
+    CQC_CHECK_EQ(vb.size(), bvars.size());
+    for (size_t i = 0; i < bvars.size(); ++i) values_[bvars[i]] = vb[i];
+    // Root: check membership of every hyperedge inside V_b (line 2).
+    for (const BoundAtom& atom : rep->root_atoms_) {
+      if (atom.CountBound(vb) == 0) {
+        done_ = true;
+        return;
+      }
+    }
+    if (rep->bags_.empty()) {
+      solo_ = true;  // boolean view: emit one empty tuple
+      return;
+    }
+    states_.resize(rep->bags_.size());
+    cur_ = 0;
+    entering_ = true;
+  }
+
+  bool Next(Tuple* out) override {
+    if (done_) return false;
+    if (solo_) {
+      solo_ = false;
+      done_ = true;
+      out->clear();
+      return true;
+    }
+    Tuple vtf;
+    for (;;) {
+      if (cur_ < 0) {
+        done_ = true;
+        return false;
+      }
+      BagState& st = states_[cur_];
+      const Bag& bag = rep_->bags_[cur_];
+      if (entering_) {
+        Tuple vbt(bag.bound_vars.size());
+        for (size_t i = 0; i < bag.bound_vars.size(); ++i)
+          vbt[i] = values_[bag.bound_vars[i]];
+        st.enumerator = bag.rep->Answer(vbt);
+        st.visited = false;
+        entering_ = false;
+      }
+      if (st.enumerator->Next(&vtf)) {
+        for (size_t i = 0; i < bag.free_vars.size(); ++i)
+          values_[bag.free_vars[i]] = vtf[i];
+        st.visited = true;
+        if (cur_ + 1 == (int)rep_->bags_.size()) {
+          const std::vector<VarId>& head_free = rep_->view_.free_vars();
+          out->resize(head_free.size());
+          for (size_t i = 0; i < head_free.size(); ++i)
+            (*out)[i] = values_[head_free[i]];
+          return true;  // stay on the last bag; next call resumes here
+        }
+        ++cur_;
+        entering_ = true;
+      } else if (!st.visited) {
+        // Nothing for this binding: the parent's valuation is dead.
+        cur_ = bag.parent_bag;
+      } else {
+        // Exhausted after producing output: resume the pre-order
+        // predecessor (cartesian product across sibling subtrees).
+        st.visited = false;
+        --cur_;
+      }
+    }
+  }
+
+ private:
+  struct BagState {
+    std::unique_ptr<TupleEnumerator> enumerator;
+    bool visited = false;
+  };
+
+  const DecomposedRep* rep_;
+  std::vector<Value> values_;
+  std::vector<BagState> states_;
+  int cur_ = -1;
+  bool entering_ = false;
+  bool done_ = false;
+  bool solo_ = false;
+};
+
+std::unique_ptr<TupleEnumerator> DecomposedRep::Answer(
+    const BoundValuation& vb) const {
+  return std::make_unique<Alg5Enumerator>(this, vb);
+}
+
+namespace {
+
+struct CountMemoKey {
+  int bag;
+  Tuple interface_vals;
+  bool operator==(const CountMemoKey&) const = default;
+};
+
+struct CountMemoHash {
+  size_t operator()(const CountMemoKey& k) const {
+    return TupleHash()(k.interface_vals) * 1000003u + (size_t)k.bag;
+  }
+};
+
+}  // namespace
+
+size_t DecomposedRep::CountAnswer(const BoundValuation& vb) const {
+  const std::vector<VarId>& bvars = view_.bound_vars();
+  CQC_CHECK_EQ(vb.size(), bvars.size());
+  for (const BoundAtom& atom : root_atoms_)
+    if (atom.CountBound(vb) == 0) return 0;
+  if (bags_.empty()) return 1;  // boolean view, root checks passed
+
+  std::vector<Value> values(view_.cq().num_vars(), 0);
+  for (size_t i = 0; i < bvars.size(); ++i) values[bvars[i]] = vb[i];
+
+  std::unordered_map<CountMemoKey, size_t, CountMemoHash> memo;
+  // count over the subtree rooted at bag b, given `values` fixed for anc.
+  std::function<size_t(int, std::vector<Value>&)> count =
+      [&](int b, std::vector<Value>& vals) -> size_t {
+    const Bag& bag = bags_[b];
+    CountMemoKey key{b, Tuple(bag.bound_vars.size())};
+    for (size_t i = 0; i < bag.bound_vars.size(); ++i)
+      key.interface_vals[i] = vals[bag.bound_vars[i]];
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    size_t total = 0;
+    auto e = bag.rep->Answer(key.interface_vals);
+    Tuple vf;
+    while (e->Next(&vf)) {
+      for (size_t i = 0; i < bag.free_vars.size(); ++i)
+        vals[bag.free_vars[i]] = vf[i];
+      size_t prod = 1;
+      for (int c : bag_children_[b]) {
+        prod *= count(c, vals);
+        if (prod == 0) break;
+      }
+      total += prod;
+    }
+    memo.emplace(std::move(key), total);
+    return total;
+  };
+
+  // Top-level bags (children of the root) multiply together.
+  size_t result = 1;
+  for (size_t b = 0; b < bags_.size() && result > 0; ++b) {
+    if (bags_[b].parent_bag != -1) continue;
+    result *= count((int)b, values);
+  }
+  return result;
+}
+
+bool DecomposedRep::AnswerExists(const BoundValuation& vb) const {
+  auto e = Answer(vb);
+  Tuple t;
+  return e->Next(&t);
+}
+
+}  // namespace cqc

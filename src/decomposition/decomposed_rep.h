@@ -1,0 +1,108 @@
+// DecomposedRep: the Theorem 2 data structure.
+//
+// A V_b-connex tree decomposition (root bag = V_b) with a delay assignment
+// delta. Build():
+//   1. solves eq. 3 per bag (LP) for the optimal per-bag covers,
+//   2. projects each intersecting relation onto each bag (E_{B_t}),
+//   3. builds a per-bag representation: materialized (delta = 0) or
+//      Theorem-1 compressed with tau_t = |D|^{delta(t)},
+//   4. runs the bottom-up semijoin fixup (Algorithm 4) so that a
+//      dictionary 1-bit guarantees a full result below the bag,
+//   5. indexes the hyperedges contained in V_b at the root.
+//
+// Answer(v_b) implements Algorithm 5: a pre-order walk over the non-root
+// bags; each bag enumerates its free variables given its (already bound)
+// interface variables; exhausted bags return to their pre-order predecessor
+// (enumerating the cartesian product across sibling subtrees) or, when they
+// produced nothing for the current binding, to their parent. Space is
+// O~(|D| + |D|^f) and delay O~(|D|^h) for f the delta-width and h the
+// delta-height.
+#ifndef CQC_DECOMPOSITION_DECOMPOSED_REP_H_
+#define CQC_DECOMPOSITION_DECOMPOSED_REP_H_
+
+#include <memory>
+#include <vector>
+
+#include "decomposition/bag_rep.h"
+#include "decomposition/delay_assignment.h"
+#include "decomposition/tree_decomposition.h"
+#include "join/bound_atom.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+struct DecomposedRepOptions {
+  /// Per-node delay exponents; empty means all-zero (Prop. 4 regime).
+  DelayAssignment delta;
+  /// Run the Algorithm 4 semijoin pass (needed for the delay guarantee;
+  /// correctness holds either way thanks to Algorithm 5's backtracking).
+  bool run_fixup = true;
+};
+
+struct DecomposedRepStats {
+  double build_seconds = 0;
+  DecompositionMetrics metrics;
+  size_t total_aux_bytes = 0;           // sum over bags
+  std::vector<size_t> bag_aux_bytes;    // per decomposition node
+  std::vector<std::string> bag_descriptions;
+};
+
+class DecomposedRep {
+ public:
+  /// `view` must be a natural-join full CQ; `td` a finalized decomposition
+  /// that validates against the view's hypergraph and is V_b-connex.
+  static Result<std::unique_ptr<DecomposedRep>> Build(
+      const AdornedView& view, const Database& db,
+      const TreeDecomposition& td, const DecomposedRepOptions& options,
+      const Database* aux_db = nullptr);
+
+  /// Enumerates the access request; output tuples are aligned with
+  /// view().free_vars() (the enumeration *order* follows the
+  /// decomposition, §3.2).
+  std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
+  bool AnswerExists(const BoundValuation& vb) const;
+
+  /// |Q^eta[v_b]| without enumerating the output: memoized bottom-up
+  /// dynamic programming over the decomposition — count(bag, interface) =
+  /// sum over the bag's valuations of the product of child counts. This is
+  /// the §3.2 aggregation connection (group-by counts over the d-tree);
+  /// cost is the total number of *bag* tuples visited, independent of the
+  /// (possibly much larger) output size.
+  size_t CountAnswer(const BoundValuation& vb) const;
+
+  const AdornedView& view() const { return view_; }
+  const TreeDecomposition& decomposition() const { return td_; }
+  const DecomposedRepStats& stats() const { return stats_; }
+
+ private:
+  explicit DecomposedRep(AdornedView view) : view_(std::move(view)) {}
+
+  struct Bag {
+    int td_node = -1;
+    int parent_bag = -1;              // index into bags_, -1 = root
+    std::vector<VarId> bound_vars;    // V_b^t, ascending VarId
+    std::vector<VarId> free_vars;     // V_f^t, ascending VarId
+    std::unique_ptr<BagRep> rep;
+    std::unique_ptr<Database> locals;  // bag-projected relations
+  };
+
+  class Alg5Enumerator;
+
+  // Does the subtree rooted at bag index `b` produce any output when its
+  // interface variables are set as in `values`? (Algorithm 4 helper.)
+  bool SubtreeLive(int b, const std::vector<Value>& values) const;
+
+  AdornedView view_;
+  TreeDecomposition td_;
+  std::vector<Bag> bags_;              // non-root bags in preorder
+  std::vector<int> bag_of_node_;       // td node -> bag index (-1 for root)
+  std::vector<std::vector<int>> bag_children_;  // per bag index
+  std::vector<BoundAtom> root_atoms_;  // hyperedges inside V_b
+  DecomposedRepStats stats_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_DECOMPOSITION_DECOMPOSED_REP_H_

@@ -1,0 +1,82 @@
+#include "decomposition/delay_assignment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+DelayAssignment DelayAssignment::Zero(const TreeDecomposition& td) {
+  DelayAssignment a;
+  a.delta.assign(td.num_nodes(), 0.0);
+  return a;
+}
+
+DelayAssignment DelayAssignment::Uniform(const TreeDecomposition& td,
+                                         double d) {
+  DelayAssignment a;
+  a.delta.assign(td.num_nodes(), 0.0);
+  for (int t = 0; t < td.num_nodes(); ++t) {
+    if (t == td.root()) continue;
+    if (td.BagFree(t) != 0) a.delta[t] = d;
+  }
+  return a;
+}
+
+DecompositionMetrics ComputeMetrics(const TreeDecomposition& td,
+                                    const Hypergraph& h,
+                                    const DelayAssignment& delta) {
+  CQC_CHECK_EQ((int)delta.delta.size(), td.num_nodes());
+  CQC_CHECK_EQ(delta.delta[td.root()], 0.0) << "root delay must be 0";
+
+  DecompositionMetrics m;
+  m.bags.resize(td.num_nodes());
+  for (int t = 0; t < td.num_nodes(); ++t) {
+    if (t == td.root()) continue;
+    BagPlan& plan = m.bags[t];
+    for (int f = 0; f < h.num_edges(); ++f) {
+      VarSet restricted = h.edges()[f] & td.bag(t);
+      if (restricted == 0) continue;
+      plan.edges.push_back(restricted);
+      plan.edge_atoms.push_back(f);
+    }
+    plan.cover = SolveBagCover(plan.edges, td.bag(t), td.BagFree(t),
+                               delta.delta[t]);
+    CQC_CHECK(plan.cover.feasible) << "bag " << t << " has no edge cover";
+    m.width = std::max(m.width, plan.cover.rho_plus);
+    m.u_star = std::max(m.u_star, plan.cover.u_total);
+    m.max_delta = std::max(m.max_delta, delta.delta[t]);
+  }
+  // delta-height: max root-to-leaf path sum (DFS accumulating).
+  std::vector<double> acc(td.num_nodes(), 0.0);
+  for (int t : td.preorder()) {
+    double up = td.parent(t) >= 0 ? acc[td.parent(t)] : 0.0;
+    acc[t] = up + delta.delta[t];
+    m.height = std::max(m.height, acc[t]);
+  }
+  return m;
+}
+
+DelayAssignment OptimizeDelayAssignment(const TreeDecomposition& td,
+                                        const Hypergraph& h,
+                                        double log_n_rel,
+                                        double log_space_budget) {
+  DelayAssignment out = DelayAssignment::Zero(td);
+  for (int t = 0; t < td.num_nodes(); ++t) {
+    if (t == td.root()) continue;
+    VarSet bag_free = td.BagFree(t);
+    if (bag_free == 0) continue;  // pure filter bag: no enumeration delay
+    // Bag-local hypergraph: every intersecting edge, restricted.
+    std::vector<VarSet> edges;
+    for (VarSet e : h.edges())
+      if (e & td.bag(t)) edges.push_back(e & td.bag(t));
+    Hypergraph bag_h(h.num_vars(), edges);
+    std::vector<double> log_sizes(edges.size(), log_n_rel);
+    CoverSolution sol =
+        MinDelayCover(bag_h, bag_free, log_sizes, log_space_budget);
+    if (sol.feasible) out.delta[t] = sol.log_tau / log_n_rel;
+  }
+  return out;
+}
+
+}  // namespace cqc

@@ -1,0 +1,64 @@
+// Delay assignments over a connex decomposition (§3.2).
+//
+// A delay assignment maps each non-root bag t to an exponent delta(t) >= 0,
+// meaning the bag may spend O~(|D|^delta(t)) per valuation. From it derive:
+//   rho+_t  = min_u ( sum_F u_F - delta(t) * alpha(V_f^t) )      (eq. 3)
+//   delta-width  = max over non-root bags of rho+_t
+//   delta-height = max root-to-leaf path sum of delta(t)
+//   u*      = max over bags of the optimal cover total u+_t
+// Theorem 2 then promises space O~(|D| + |D|^width) and delay
+// O~(|D|^height) with compression time O~(|D| + |D|^{u* + max delta}).
+#ifndef CQC_DECOMPOSITION_DELAY_ASSIGNMENT_H_
+#define CQC_DECOMPOSITION_DELAY_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "fractional/optimizer.h"
+#include "query/hypergraph.h"
+
+namespace cqc {
+
+struct DelayAssignment {
+  /// delta[t] per decomposition node; delta[root] must be 0.
+  std::vector<double> delta;
+
+  /// delta = 0 everywhere (the constant-delay / Prop. 4 regime).
+  static DelayAssignment Zero(const TreeDecomposition& td);
+  /// The same exponent on every non-root bag that has free variables.
+  static DelayAssignment Uniform(const TreeDecomposition& td, double d);
+};
+
+struct BagPlan {
+  BagCoverSolution cover;    // optimal cover for eq. 3
+  std::vector<VarSet> edges; // hyperedges intersecting the bag (restricted)
+  std::vector<int> edge_atoms;  // originating atom index per edge
+};
+
+struct DecompositionMetrics {
+  double width = 0;     // delta-width (max rho+_t, non-root bags)
+  double height = 0;    // delta-height
+  double u_star = 0;    // max u+_t
+  double max_delta = 0;
+  std::vector<BagPlan> bags;  // indexed by node id (root entry unused)
+};
+
+/// Solves eq. 3 for every non-root bag and aggregates the metrics.
+DecompositionMetrics ComputeMetrics(const TreeDecomposition& td,
+                                    const Hypergraph& h,
+                                    const DelayAssignment& delta);
+
+/// §6, decomposition given: minimizes each bag's delay under a per-bag
+/// space budget by solving MinDelayCover on the bag's hypergraph ("we
+/// iterate over every bag ... and then solve MinDelayCover for each bag
+/// using the space constraint"). `log_n_rel` = ln N (uniform relation
+/// size), `log_space_budget` = ln Sigma. Bags without free variables get
+/// delta = 0.
+DelayAssignment OptimizeDelayAssignment(const TreeDecomposition& td,
+                                        const Hypergraph& h,
+                                        double log_n_rel,
+                                        double log_space_budget);
+
+}  // namespace cqc
+
+#endif  // CQC_DECOMPOSITION_DELAY_ASSIGNMENT_H_

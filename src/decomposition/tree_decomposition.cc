@@ -1,0 +1,141 @@
+#include "decomposition/tree_decomposition.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+int TreeDecomposition::AddNode(VarSet bag) {
+  CQC_CHECK(!finalized_);
+  bags_.push_back(bag);
+  return (int)bags_.size() - 1;
+}
+
+void TreeDecomposition::AddEdge(int a, int b) {
+  CQC_CHECK(!finalized_);
+  CQC_CHECK_GE(a, 0);
+  CQC_CHECK_LT(a, num_nodes());
+  CQC_CHECK_GE(b, 0);
+  CQC_CHECK_LT(b, num_nodes());
+  CQC_CHECK_NE(a, b);
+  edges_.emplace_back(a, b);
+}
+
+void TreeDecomposition::Finalize(int root) {
+  CQC_CHECK(!finalized_);
+  CQC_CHECK_GE(root, 0);
+  CQC_CHECK_LT(root, num_nodes());
+  CQC_CHECK_EQ(edges_.size(), bags_.size() - 1)
+      << "a tree on n nodes has n-1 edges";
+  root_ = root;
+  parent_.assign(num_nodes(), -1);
+  children_.assign(num_nodes(), {});
+  anc_.assign(num_nodes(), 0);
+
+  std::vector<std::vector<int>> adj(num_nodes());
+  for (auto [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // DFS orientation; also detects cycles / disconnection via visit count.
+  std::vector<int> stack{root};
+  std::vector<bool> seen(num_nodes(), false);
+  seen[root] = true;
+  preorder_.clear();
+  while (!stack.empty()) {
+    int t = stack.back();
+    stack.pop_back();
+    preorder_.push_back(t);
+    // Children in ascending id order for deterministic traversal.
+    std::vector<int> nbrs = adj[t];
+    std::sort(nbrs.begin(), nbrs.end(), std::greater<int>());
+    for (int nb : nbrs) {
+      if (seen[nb]) continue;
+      seen[nb] = true;
+      parent_[nb] = t;
+      anc_[nb] = anc_[t] | bags_[t];
+      stack.push_back(nb);
+    }
+  }
+  CQC_CHECK_EQ(preorder_.size(), bags_.size()) << "decomposition not a tree";
+  for (int t : preorder_)
+    if (t != root_) children_[parent_[t]].push_back(t);
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+  // Recompute preorder with sorted children for determinism.
+  preorder_.clear();
+  std::vector<int> stack2{root_};
+  while (!stack2.empty()) {
+    int t = stack2.back();
+    stack2.pop_back();
+    preorder_.push_back(t);
+    for (auto it = children_[t].rbegin(); it != children_[t].rend(); ++it)
+      stack2.push_back(*it);
+  }
+  finalized_ = true;
+}
+
+Status TreeDecomposition::Validate(const Hypergraph& h) const {
+  if (!finalized_) return Status::Error("decomposition not finalized");
+  // (1) every hyperedge inside some bag.
+  for (int f = 0; f < h.num_edges(); ++f) {
+    bool covered = false;
+    for (VarSet b : bags_)
+      if ((h.edges()[f] & ~b) == 0) covered = true;
+    if (!covered)
+      return Status::Error("hyperedge " + std::to_string(f) +
+                           " is not contained in any bag");
+  }
+  // (2) running intersection: the bags containing x form a subtree.
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(h.vertices(), v)) continue;
+    // Count nodes containing v whose parent does not contain v: must be <=1
+    // (a connected subtree has exactly one top node).
+    int tops = 0;
+    for (int t = 0; t < num_nodes(); ++t) {
+      if (!VarSetContains(bags_[t], v)) continue;
+      if (parent_[t] < 0 || !VarSetContains(bags_[parent_[t]], v)) ++tops;
+    }
+    if (tops > 1)
+      return Status::Error("variable " + std::to_string(v) +
+                           " violates the running intersection property");
+    if (tops == 0)
+      return Status::Error("variable " + std::to_string(v) +
+                           " appears in no bag");
+  }
+  return Status::Ok();
+}
+
+Status TreeDecomposition::ValidateConnex(VarSet bound) const {
+  if (!finalized_) return Status::Error("decomposition not finalized");
+  if (bags_[root_] != bound)
+    return Status::Error("root bag must equal the bound variables");
+  for (int t = 0; t < num_nodes(); ++t) {
+    if (t == root_) continue;
+    if (bags_[t] & bound & ~anc_[t])
+      return Status::Error("bound variable appears below the root without "
+                           "being introduced above");
+  }
+  return Status::Ok();
+}
+
+std::string TreeDecomposition::ToString(const ConjunctiveQuery& cq) const {
+  std::ostringstream os;
+  for (int t : preorder_) {
+    os << (t == root_ ? "root " : "     ") << "bag " << t << " {";
+    bool first = true;
+    for (VarId v = 0; v < cq.num_vars(); ++v) {
+      if (!VarSetContains(bags_[t], v)) continue;
+      if (!first) os << ",";
+      os << cq.var_name(v);
+      first = false;
+    }
+    os << "}";
+    if (parent_[t] >= 0) os << " <- bag " << parent_[t];
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cqc

@@ -1,0 +1,67 @@
+// Tree decompositions and V_b-connex tree decompositions (§2.1, Def. 1).
+//
+// A decomposition here is always *rooted*; for the connex case the root bag
+// holds exactly the bound variables V_b (the paper's set A, merged into a
+// single bag tb as §5 assumes w.l.o.g.). Orientation fixes, per node t:
+//   anc(t)   = union of ancestor bags,
+//   V_b^t    = B_t  intersect anc(t)   (top-down bound vars),
+//   V_f^t    = B_t  minus anc(t)       (top-down free vars).
+#ifndef CQC_DECOMPOSITION_TREE_DECOMPOSITION_H_
+#define CQC_DECOMPOSITION_TREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace cqc {
+
+class TreeDecomposition {
+ public:
+  /// Adds a bag; returns its node id.
+  int AddNode(VarSet bag);
+  /// Connects two nodes (undirected until Finalize).
+  void AddEdge(int a, int b);
+
+  /// Orients the tree from `root`, computing parents, preorder, anc sets.
+  /// CHECK-fails if the edges do not form a tree.
+  void Finalize(int root);
+
+  /// Structural validity for hypergraph `h` (§2.1): every hyperedge inside
+  /// some bag; every variable's bags form a connected subtree.
+  Status Validate(const Hypergraph& h) const;
+
+  /// V_b-connexity in the canonical single-bag form: the root bag equals
+  /// `bound` exactly.
+  Status ValidateConnex(VarSet bound) const;
+
+  int num_nodes() const { return (int)bags_.size(); }
+  int root() const { return root_; }
+  VarSet bag(int t) const { return bags_[t]; }
+  int parent(int t) const { return parent_[t]; }
+  const std::vector<int>& children(int t) const { return children_[t]; }
+  /// Nodes in preorder; preorder()[0] == root().
+  const std::vector<int>& preorder() const { return preorder_; }
+
+  VarSet anc(int t) const { return anc_[t]; }
+  VarSet BagBound(int t) const { return bags_[t] & anc_[t]; }
+  VarSet BagFree(int t) const { return bags_[t] & ~anc_[t]; }
+
+  std::string ToString(const ConjunctiveQuery& cq) const;
+
+ private:
+  std::vector<VarSet> bags_;
+  std::vector<std::pair<int, int>> edges_;
+  int root_ = -1;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> preorder_;
+  std::vector<VarSet> anc_;
+  bool finalized_ = false;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_DECOMPOSITION_TREE_DECOMPOSITION_H_

@@ -1,0 +1,112 @@
+#include "fractional/edge_cover.h"
+
+#include <cmath>
+#include <limits>
+
+#include "fractional/lp.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+EdgeCover FractionalEdgeCover(const Hypergraph& h, VarSet target) {
+  EdgeCover out;
+  out.weights.assign(h.num_edges(), 0.0);
+  // Feasibility: every target vertex must appear in an edge.
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(target, v)) continue;
+    bool covered = false;
+    for (VarSet e : h.edges())
+      if (VarSetContains(e, v)) covered = true;
+    if (!covered) return out;  // ok=false
+  }
+  if (target == 0) {
+    out.ok = true;
+    return out;  // empty cover
+  }
+  LinearProgram lp;
+  for (int f = 0; f < h.num_edges(); ++f) lp.AddVariable(1.0);
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(target, v)) continue;
+    std::vector<std::pair<int, double>> terms;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) terms.emplace_back(f, 1.0);
+    lp.AddGe(std::move(terms), 1.0);
+  }
+  LpSolution sol = lp.Minimize();
+  if (!sol.ok()) return out;
+  out.weights = sol.x;
+  out.total = sol.objective;
+  out.ok = true;
+  return out;
+}
+
+double Slack(const Hypergraph& h, const std::vector<double>& u, VarSet s) {
+  CQC_CHECK_EQ((int)u.size(), h.num_edges());
+  double alpha = std::numeric_limits<double>::infinity();
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(s, v)) continue;
+    double cover = 0.0;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) cover += u[f];
+    alpha = std::min(alpha, cover);
+  }
+  return alpha;
+}
+
+EdgeCover MaxSlackCover(const Hypergraph& h, VarSet cover_target,
+                        VarSet slack_target, double budget,
+                        double* slack_out) {
+  EdgeCover out;
+  out.weights.assign(h.num_edges(), 0.0);
+  // max alpha  s.t.  sum u <= budget, coverage(x) >= 1 (x in cover_target),
+  // coverage(x) >= alpha (x in slack_target), u >= 0, alpha >= 0.
+  LinearProgram lp;
+  for (int f = 0; f < h.num_edges(); ++f) lp.AddVariable(0.0);
+  int alpha = lp.AddVariable(-1.0);  // maximize alpha == minimize -alpha
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (int f = 0; f < h.num_edges(); ++f) terms.emplace_back(f, 1.0);
+    lp.AddLe(std::move(terms), budget);
+  }
+  // Per-edge weights stay in [0, 1], matching the Fig. 5 program.
+  for (int f = 0; f < h.num_edges(); ++f) lp.AddLe({{f, 1.0}}, 1.0);
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    const bool in_cover = VarSetContains(cover_target, v);
+    const bool in_slack = VarSetContains(slack_target, v);
+    if (!in_cover && !in_slack) continue;
+    std::vector<std::pair<int, double>> terms;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) terms.emplace_back(f, 1.0);
+    if (in_cover) lp.AddGe(terms, 1.0);
+    if (in_slack) {
+      terms.emplace_back(alpha, -1.0);
+      lp.AddGe(std::move(terms), 0.0);
+    }
+  }
+  LpSolution sol = lp.Minimize();
+  if (!sol.ok()) return out;
+  out.weights.assign(sol.x.begin(), sol.x.begin() + h.num_edges());
+  out.total = 0;
+  for (double w : out.weights) out.total += w;
+  out.ok = true;
+  if (slack_out) *slack_out = -sol.objective;
+  return out;
+}
+
+double AgmBound(const std::vector<double>& sizes, const std::vector<double>& u) {
+  return std::exp(LogAgmBound(sizes, u));
+}
+
+double LogAgmBound(const std::vector<double>& sizes,
+                   const std::vector<double>& u) {
+  CQC_CHECK_EQ(sizes.size(), u.size());
+  double log_bound = 0.0;
+  for (size_t f = 0; f < u.size(); ++f) {
+    if (u[f] <= 0) continue;
+    if (sizes[f] <= 0) return -std::numeric_limits<double>::infinity();
+    log_bound += u[f] * std::log(sizes[f]);
+  }
+  return log_bound;
+}
+
+}  // namespace cqc

@@ -1,0 +1,44 @@
+// Fractional edge covers, the slack of a cover (§3.1, eq. 2), and AGM size
+// bounds (§2.1, eq. 1).
+#ifndef CQC_FRACTIONAL_EDGE_COVER_H_
+#define CQC_FRACTIONAL_EDGE_COVER_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "util/common.h"
+
+namespace cqc {
+
+struct EdgeCover {
+  std::vector<double> weights;  // one per hyperedge, aligned with atoms
+  double total = 0.0;           // sum of weights (= rho* when optimal)
+  bool ok = false;
+};
+
+/// Minimum fractional edge cover of `target` (rho*_H(target)): min sum u_F
+/// s.t. every x in target has coverage >= 1, u >= 0. Pass H.vertices() for
+/// rho*(H). Returns ok=false if some target vertex lies in no edge.
+EdgeCover FractionalEdgeCover(const Hypergraph& h, VarSet target);
+
+/// Slack alpha(S) of cover `u` for S (eq. 2): min over x in S of the
+/// coverage sum. Returns +infinity when S is empty.
+double Slack(const Hypergraph& h, const std::vector<double>& u, VarSet s);
+
+/// Among covers of `cover_target` with total weight <= budget, maximizes the
+/// slack on `slack_target` (used to pick good Theorem-1 parameters, cf.
+/// Example 7 where u=(1,..,1) has slack n).
+EdgeCover MaxSlackCover(const Hypergraph& h, VarSet cover_target,
+                        VarSet slack_target, double budget,
+                        double* slack_out);
+
+/// AGM bound  prod_F |R_F|^{u_F}  for relation sizes `sizes`.
+double AgmBound(const std::vector<double>& sizes, const std::vector<double>& u);
+
+/// log of the AGM bound (natural log), safe for large products.
+double LogAgmBound(const std::vector<double>& sizes,
+                   const std::vector<double>& u);
+
+}  // namespace cqc
+
+#endif  // CQC_FRACTIONAL_EDGE_COVER_H_

@@ -1,0 +1,214 @@
+#include "fractional/lp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cqc {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau: rows_ constraints in equality form over structural +
+// slack/surplus + artificial columns, plus an objective row maintained as
+// reduced costs. Minimization throughout.
+class Tableau {
+ public:
+  Tableau(int num_rows, int num_cols)
+      : m_(num_rows), n_(num_cols), a_(num_rows, std::vector<double>(num_cols + 1, 0.0)),
+        basis_(num_rows, -1), obj_(num_cols + 1, 0.0) {}
+
+  std::vector<std::vector<double>> a_;  // m x (n+1), last col = rhs
+  std::vector<int> basis_;              // basic variable per row
+  std::vector<double> obj_;             // reduced costs + objective value
+
+  int m_, n_;
+
+  void SetObjective(const std::vector<double>& costs) {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    for (size_t j = 0; j < costs.size(); ++j) obj_[j] = costs[j];
+    // Price out current basis so reduced costs of basic columns are zero.
+    for (int i = 0; i < m_; ++i) {
+      int b = basis_[i];
+      double c = obj_[b];
+      if (std::fabs(c) < kEps) continue;
+      for (int j = 0; j <= n_; ++j) obj_[j] -= c * a_[i][j];
+    }
+  }
+
+  void Pivot(int row, int col) {
+    double p = a_[row][col];
+    for (int j = 0; j <= n_; ++j) a_[row][j] /= p;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      double f = a_[i][col];
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j <= n_; ++j) a_[i][j] -= f * a_[row][j];
+    }
+    double f = obj_[col];
+    if (std::fabs(f) > 0) {
+      for (int j = 0; j <= n_; ++j) obj_[j] -= f * a_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  /// Runs simplex on the current objective; `allowed(j)` gates entering
+  /// columns. Returns false on unboundedness.
+  template <typename Allowed>
+  bool Iterate(Allowed allowed) {
+    for (;;) {
+      // Bland's rule: smallest-index column with negative reduced cost.
+      int enter = -1;
+      for (int j = 0; j < n_; ++j) {
+        if (!allowed(j)) continue;
+        if (obj_[j] < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      int leave = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (a_[i][enter] > kEps) {
+          double ratio = a_[i][n_] / a_[i][enter];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  double ObjectiveValue() const { return -obj_[n_]; }
+};
+
+}  // namespace
+
+int LinearProgram::AddVariable(double cost) {
+  costs_.push_back(cost);
+  return (int)costs_.size() - 1;
+}
+
+void LinearProgram::AddLe(std::vector<std::pair<int, double>> terms, double rhs) {
+  rows_.push_back({std::move(terms), Op::kLe, rhs});
+}
+void LinearProgram::AddGe(std::vector<std::pair<int, double>> terms, double rhs) {
+  rows_.push_back({std::move(terms), Op::kGe, rhs});
+}
+void LinearProgram::AddEq(std::vector<std::pair<int, double>> terms, double rhs) {
+  rows_.push_back({std::move(terms), Op::kEq, rhs});
+}
+
+LpSolution LinearProgram::Minimize() const {
+  const int n_struct = num_vars();
+  const int m = (int)rows_.size();
+
+  // Column layout: [structural | slack/surplus | artificial].
+  int num_slack = 0;
+  for (const Row& r : rows_)
+    if (r.op != Op::kEq) ++num_slack;
+  // Every row gets an artificial if it has no natural initial basic column;
+  // allocate pessimistically (one per row) and only use what's needed.
+  const int slack_base = n_struct;
+  const int art_base = n_struct + num_slack;
+  const int n_total = art_base + m;
+
+  Tableau t(m, n_total);
+  int next_slack = 0;
+  int next_art = 0;
+  std::vector<bool> is_artificial(n_total, false);
+
+  for (int i = 0; i < m; ++i) {
+    Row r = rows_[i];
+    // Normalize to rhs >= 0.
+    double sign = 1.0;
+    if (r.rhs < 0) {
+      sign = -1.0;
+      r.rhs = -r.rhs;
+      if (r.op == Op::kLe)
+        r.op = Op::kGe;
+      else if (r.op == Op::kGe)
+        r.op = Op::kLe;
+    }
+    for (auto [var, coeff] : r.terms) {
+      CQC_CHECK_GE(var, 0);
+      CQC_CHECK_LT(var, n_struct);
+      t.a_[i][var] += sign * coeff;
+    }
+    t.a_[i][n_total] = r.rhs;
+    if (r.op == Op::kLe) {
+      int s = slack_base + next_slack++;
+      t.a_[i][s] = 1.0;
+      t.basis_[i] = s;
+    } else if (r.op == Op::kGe) {
+      int s = slack_base + next_slack++;
+      t.a_[i][s] = -1.0;
+      int a = art_base + next_art++;
+      t.a_[i][a] = 1.0;
+      is_artificial[a] = true;
+      t.basis_[i] = a;
+    } else {
+      int a = art_base + next_art++;
+      t.a_[i][a] = 1.0;
+      is_artificial[a] = true;
+      t.basis_[i] = a;
+    }
+  }
+
+  LpSolution sol;
+
+  // Phase 1: minimize the sum of artificials.
+  if (next_art > 0) {
+    std::vector<double> phase1(n_total, 0.0);
+    for (int j = 0; j < n_total; ++j)
+      if (is_artificial[j]) phase1[j] = 1.0;
+    t.SetObjective(phase1);
+    bool bounded = t.Iterate([](int) { return true; });
+    CQC_CHECK(bounded) << "phase-1 LP cannot be unbounded";
+    if (t.ObjectiveValue() > 1e-7) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    // Drive artificials out of the basis where possible.
+    for (int i = 0; i < m; ++i) {
+      if (!is_artificial[t.basis_[i]]) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < art_base; ++j) {
+        if (std::fabs(t.a_[i][j]) > kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) t.Pivot(i, pivot_col);
+      // Otherwise the row is redundant; its artificial stays basic at zero,
+      // which is harmless because phase 2 bans artificial entering columns.
+    }
+  }
+
+  // Phase 2: original objective over non-artificial columns.
+  std::vector<double> phase2(n_total, 0.0);
+  for (int j = 0; j < n_struct; ++j) phase2[j] = costs_[j];
+  t.SetObjective(phase2);
+  bool bounded =
+      t.Iterate([&](int j) { return !is_artificial[j]; });
+  if (!bounded) {
+    sol.status = LpStatus::kUnbounded;
+    return sol;
+  }
+
+  sol.status = LpStatus::kOptimal;
+  sol.objective = t.ObjectiveValue();
+  sol.x.assign(n_struct, 0.0);
+  for (int i = 0; i < m; ++i)
+    if (t.basis_[i] < n_struct) sol.x[t.basis_[i]] = t.a_[i][n_total];
+  return sol;
+}
+
+}  // namespace cqc

@@ -1,0 +1,55 @@
+// A small dense two-phase primal simplex solver.
+//
+// Query hypergraphs have at most kMaxVars variables and a handful of atoms,
+// so every LP in this library (fractional edge covers, slack maximization,
+// the MinDelayCover program of Fig. 5) has tens of rows/columns; a dense
+// tableau with Bland's anti-cycling rule is simple and exact enough.
+#ifndef CQC_FRACTIONAL_LP_H_
+#define CQC_FRACTIONAL_LP_H_
+
+#include <utility>
+#include <vector>
+
+namespace cqc {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // structural variable values
+  bool ok() const { return status == LpStatus::kOptimal; }
+};
+
+/// Builds `min c.x  s.t.  constraints, x >= 0` incrementally.
+class LinearProgram {
+ public:
+  /// Adds a variable with objective coefficient `cost`; returns its index.
+  int AddVariable(double cost);
+
+  int num_vars() const { return (int)costs_.size(); }
+
+  /// sum(coeff * x_var) <= rhs
+  void AddLe(std::vector<std::pair<int, double>> terms, double rhs);
+  /// sum(coeff * x_var) >= rhs
+  void AddGe(std::vector<std::pair<int, double>> terms, double rhs);
+  /// sum(coeff * x_var) == rhs
+  void AddEq(std::vector<std::pair<int, double>> terms, double rhs);
+
+  /// Solves min c.x. Deterministic (Bland's rule).
+  LpSolution Minimize() const;
+
+ private:
+  enum class Op { kLe, kGe, kEq };
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Op op;
+    double rhs;
+  };
+  std::vector<double> costs_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_FRACTIONAL_LP_H_

@@ -1,0 +1,151 @@
+#include "fractional/optimizer.h"
+
+#include <cmath>
+
+#include "fractional/edge_cover.h"
+#include "fractional/lp.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+CoverSolution MinDelayCover(const Hypergraph& h, VarSet free_set,
+                            const std::vector<double>& log_sizes,
+                            double log_space_budget) {
+  CoverSolution out;
+  CQC_CHECK_EQ((int)log_sizes.size(), h.num_edges());
+  CQC_CHECK(free_set != 0) << "MinDelayCover requires free variables";
+
+  // Charnes-Cooper variables: w_F = u_F / alpha, s = 1 / alpha,
+  // y = (alpha log tau) / alpha = log tau.
+  LinearProgram lp;
+  std::vector<int> w(h.num_edges());
+  for (int f = 0; f < h.num_edges(); ++f) w[f] = lp.AddVariable(0.0);
+  const int s = lp.AddVariable(0.0);
+  const int y = lp.AddVariable(1.0);  // minimize y = log tau
+
+  // Space constraint: sum w_F log|R_F| - s log Sigma - y <= 0.
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (int f = 0; f < h.num_edges(); ++f)
+      terms.emplace_back(w[f], log_sizes[f]);
+    terms.emplace_back(s, -log_space_budget);
+    terms.emplace_back(y, -1.0);
+    lp.AddLe(std::move(terms), 0.0);
+  }
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(h.vertices(), v)) continue;
+    std::vector<std::pair<int, double>> terms;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) terms.emplace_back(w[f], 1.0);
+    if (terms.empty()) return out;  // uncoverable vertex
+    if (VarSetContains(free_set, v)) {
+      // coverage(x)/alpha >= 1  (slack constraint scaled by s)
+      lp.AddGe(terms, 1.0);
+    }
+    // coverage(x) >= 1 scaled:  sum w >= s.
+    std::vector<std::pair<int, double>> scaled = terms;
+    scaled.emplace_back(s, -1.0);
+    lp.AddGe(std::move(scaled), 0.0);
+  }
+  // u_F <= 1 scaled: w_F <= s.
+  for (int f = 0; f < h.num_edges(); ++f)
+    lp.AddLe({{w[f], 1.0}, {s, -1.0}}, 0.0);
+  // alpha >= 1 <=> s <= 1.
+  lp.AddLe({{s, 1.0}}, 1.0);
+  // tau >= 1 <=> y >= 0, already implied by variable non-negativity. (The
+  // paper's Fig. 5 normalizes tau-hat >= 1 instead, which would force
+  // tau >= e^{1/alpha}; we use the natural constant-delay floor tau >= 1.)
+  // s must stay strictly positive for the transform to invert; with free
+  // variables present, w_F <= s and coverage >= 1 force s > 0 at any
+  // feasible point, so no explicit epsilon bound is needed.
+
+  LpSolution sol = lp.Minimize();
+  if (!sol.ok()) return out;
+  const double s_val = sol.x[s];
+  if (s_val < 1e-9) return out;  // defensive: transform not invertible
+
+  out.feasible = true;
+  out.alpha = 1.0 / s_val;
+  out.u.resize(h.num_edges());
+  out.rho = 0;
+  for (int f = 0; f < h.num_edges(); ++f) {
+    out.u[f] = sol.x[w[f]] / s_val;
+    out.rho += out.u[f];
+  }
+  out.log_tau = std::max(0.0, sol.objective);
+  // Space actually used: sum u log|R| - alpha log tau.
+  double log_space = -out.alpha * out.log_tau;
+  for (int f = 0; f < h.num_edges(); ++f)
+    log_space += out.u[f] * log_sizes[f];
+  out.log_space = std::max(0.0, log_space);
+  return out;
+}
+
+CoverSolution MinSpaceCover(const Hypergraph& h, VarSet free_set,
+                            const std::vector<double>& log_sizes,
+                            double log_delay_budget) {
+  // Binary search over log Sigma in [0, sum log sizes] (Prop. 12): space
+  // never needs to exceed the full materialization bound.
+  double lo = 0.0, hi = 0.0;
+  for (double ls : log_sizes) hi += ls;
+  hi = std::max(hi, 1.0);
+  CoverSolution best;
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    CoverSolution cand = MinDelayCover(h, free_set, log_sizes, mid);
+    if (cand.feasible && cand.log_tau <= log_delay_budget + 1e-9) {
+      best = cand;
+      best.log_space = std::min(best.log_space, mid);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+BagCoverSolution SolveBagCover(const std::vector<VarSet>& edges,
+                               VarSet bag_vars, VarSet bag_free,
+                               double delta) {
+  BagCoverSolution out;
+  LinearProgram lp;
+  std::vector<int> u(edges.size());
+  for (size_t f = 0; f < edges.size(); ++f) u[f] = lp.AddVariable(1.0);
+  // If the bag has free variables, alpha participates with objective
+  // coefficient -delta; otherwise alpha is irrelevant (pin it at 1).
+  const int alpha = lp.AddVariable(bag_free != 0 ? -delta : 0.0);
+  lp.AddGe({{alpha, 1.0}}, 1.0);
+  if (bag_free == 0) lp.AddLe({{alpha, 1.0}}, 1.0);
+
+  for (VarId v = 0; v < kMaxVars; ++v) {
+    if (!VarSetContains(bag_vars, v)) continue;
+    std::vector<std::pair<int, double>> terms;
+    for (size_t f = 0; f < edges.size(); ++f)
+      if (VarSetContains(edges[f], v)) terms.emplace_back(u[f], 1.0);
+    if (terms.empty()) return out;  // uncoverable bag variable
+    lp.AddGe(terms, 1.0);
+    if (VarSetContains(bag_free, v)) {
+      std::vector<std::pair<int, double>> slack_terms = terms;
+      slack_terms.emplace_back(alpha, -1.0);
+      lp.AddGe(std::move(slack_terms), 0.0);
+    }
+  }
+  // Keep the program bounded when delta > 0: alpha cannot exceed the best
+  // possible coverage, which is at most the number of edges.
+  lp.AddLe({{alpha, 1.0}}, (double)edges.size() + 1.0);
+
+  LpSolution sol = lp.Minimize();
+  if (!sol.ok()) return out;
+  out.feasible = true;
+  out.u.resize(edges.size());
+  out.u_total = 0;
+  for (size_t f = 0; f < edges.size(); ++f) {
+    out.u[f] = sol.x[u[f]];
+    out.u_total += out.u[f];
+  }
+  out.alpha = sol.x[alpha];
+  out.rho_plus = out.u_total - delta * out.alpha;
+  return out;
+}
+
+}  // namespace cqc

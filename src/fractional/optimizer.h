@@ -1,0 +1,69 @@
+// §6 "The Complexity of Minimizing Delay": polynomial-time parameter
+// optimization for Theorems 1 and 2.
+//
+// MinDelayCover: given a space budget Sigma, find the fractional edge cover
+// u (and slack alpha) minimizing the achievable delay tau of Theorem 1,
+// i.e. minimize log tau subject to
+//     sum_F u_F log|R_F| <= log Sigma + alpha log tau        (space fits)
+//     coverage(x) >= alpha   for x in V_f                    (slack)
+//     coverage(x) >= 1       for x in V                      (cover)
+//     0 <= u_F <= 1, alpha >= 1, tau >= e                    (tau-hat >= 1)
+// The program is linear-fractional (Fig. 5a); the Charnes-Cooper
+// substitution s = 1/alpha, w = s*u, y = s*tau_hat turns it into the LP of
+// Fig. 5b whose objective y equals log tau directly.
+//
+// MinSpaceCover: given a delay budget Delta, binary-search the space budget
+// (Prop. 12) re-running MinDelayCover at each step.
+#ifndef CQC_FRACTIONAL_OPTIMIZER_H_
+#define CQC_FRACTIONAL_OPTIMIZER_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "util/common.h"
+
+namespace cqc {
+
+struct CoverSolution {
+  bool feasible = false;
+  std::vector<double> u;   // fractional edge cover, aligned with atoms
+  double alpha = 1.0;      // slack on the free variables
+  double rho = 0.0;        // sum of u
+  double log_tau = 0.0;    // natural log of the minimized/required delay
+  double log_space = 0.0;  // natural log of the space the solution uses
+};
+
+/// Minimizes delay under a space budget. `log_sizes[f]` = ln |R_F|;
+/// `log_space_budget` = ln Sigma. Requires `free_set` nonempty (boolean
+/// adorned views have no delay/space tradeoff: Prop. 1 applies).
+CoverSolution MinDelayCover(const Hypergraph& h, VarSet free_set,
+                            const std::vector<double>& log_sizes,
+                            double log_space_budget);
+
+/// Minimizes space under a delay budget ln tau <= log_delay_budget.
+CoverSolution MinSpaceCover(const Hypergraph& h, VarSet free_set,
+                            const std::vector<double>& log_sizes,
+                            double log_delay_budget);
+
+/// Per-bag program of Theorem 2 (eq. 3): given a delay exponent delta for
+/// the bag, minimize  rho+ = sum_F u_F - delta * alpha(V_f^t)  over covers
+/// of the bag's variables. Returns rho+ in `rho` ... no: `rho` keeps sum u
+/// (the paper's u+_t) and `log_tau` is unused; rho+ is returned separately.
+struct BagCoverSolution {
+  bool feasible = false;
+  std::vector<double> u;  // aligned with the provided bag edges
+  double alpha = 1.0;
+  double u_total = 0.0;   // u+_t = sum of weights
+  double rho_plus = 0.0;  // sum u - delta * alpha
+};
+
+/// `edges` are the hyperedges available to cover the bag (already
+/// intersected with the bag's variables); `bag_vars` all bag variables;
+/// `bag_free` the bag's top-down free variables V_f^t; `delta` = delay
+/// exponent delta(t).
+BagCoverSolution SolveBagCover(const std::vector<VarSet>& edges,
+                               VarSet bag_vars, VarSet bag_free, double delta);
+
+}  // namespace cqc
+
+#endif  // CQC_FRACTIONAL_OPTIMIZER_H_

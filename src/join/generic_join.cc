@@ -1,0 +1,147 @@
+#include "join/generic_join.h"
+
+#include "util/logging.h"
+#include "util/op_counter.h"
+
+namespace cqc {
+
+JoinIterator::JoinIterator(std::vector<JoinAtomInput> atoms, int num_levels,
+                           std::vector<LevelConstraint> constraints)
+    : atoms_(std::move(atoms)),
+      num_levels_(num_levels),
+      constraints_(std::move(constraints)) {
+  CQC_CHECK_EQ((int)constraints_.size(), num_levels_);
+  participants_.resize(num_levels_);
+  range_stack_.resize(atoms_.size());
+  for (size_t a = 0; a < atoms_.size(); ++a) {
+    const JoinAtomInput& in = atoms_[a];
+    if (in.start.empty()) empty_atom_ = true;
+    range_stack_[a].assign(in.levels.size() + 1, in.start);
+    int prev_join = -1, prev_trie = in.start_level - 1;
+    for (size_t d = 0; d < in.levels.size(); ++d) {
+      auto [join_level, trie_level] = in.levels[d];
+      CQC_CHECK_GT(join_level, prev_join);
+      CQC_CHECK_GT(trie_level, prev_trie);
+      CQC_CHECK_LT(join_level, num_levels_);
+      prev_join = join_level;
+      prev_trie = trie_level;
+      participants_[join_level].push_back({(int)a, trie_level, (int)d});
+    }
+  }
+  for (int l = 0; l < num_levels_; ++l)
+    CQC_CHECK(!participants_[l].empty())
+        << "join level " << l << " has no participating atom";
+  values_.assign(num_levels_, 0);
+}
+
+Value JoinIterator::LevelStart(int level) const {
+  const LevelConstraint& c = constraints_[level];
+  switch (c.kind) {
+    case FBoxDim::kUnit:
+    case FBoxDim::kRange:
+      return c.lo;
+    case FBoxDim::kAny:
+      return kBottom;
+  }
+  return kBottom;
+}
+
+bool JoinIterator::SeekLevel(int level, Value from) {
+  const LevelConstraint& c = constraints_[level];
+  Value v = from;
+  if (c.kind != FBoxDim::kAny) {
+    if (v < c.lo) v = c.lo;
+    if (v > c.hi || c.lo > c.hi) return false;
+  }
+  const auto& parts = participants_[level];
+  // Leapfrog: cycle until every participant agrees on v.
+  size_t agreed = 0;
+  size_t i = 0;
+  while (agreed < parts.size()) {
+    const Participant& p = parts[i];
+    const SortedIndex& idx = *atoms_[p.atom].index;
+    const RowRange parent = range_stack_[p.atom][p.depth];
+    ops::Bump();
+    size_t pos = idx.LowerBound(parent, p.trie_level, v);
+    if (pos >= parent.end) return false;
+    Value got = idx.ValueAt(p.trie_level, pos);
+    if (got > v) {
+      if (c.kind == FBoxDim::kUnit) return false;
+      if (c.kind == FBoxDim::kRange && got > c.hi) return false;
+      v = got;
+      agreed = 1;
+    } else {
+      ++agreed;
+    }
+    i = (i + 1) % parts.size();
+  }
+  // All participants contain v: record refined child ranges.
+  for (const Participant& p : parts) {
+    const SortedIndex& idx = *atoms_[p.atom].index;
+    const RowRange parent = range_stack_[p.atom][p.depth];
+    size_t lo_pos = idx.LowerBound(parent, p.trie_level, v);
+    size_t hi_pos = idx.UpperBound({lo_pos, parent.end}, p.trie_level, v);
+    range_stack_[p.atom][p.depth + 1] = {lo_pos, hi_pos};
+  }
+  values_[level] = v;
+  return true;
+}
+
+bool JoinIterator::Next(Tuple* out) {
+  if (done_ || empty_atom_) {
+    done_ = true;
+    return false;
+  }
+  if (num_levels_ == 0) {
+    // Pure existence check on pre-bound atoms: all start ranges nonempty.
+    done_ = true;
+    out->clear();
+    return true;
+  }
+
+  int level;
+  bool advancing;  // move past values_[level] rather than start fresh
+  if (!started_) {
+    started_ = true;
+    level = 0;
+    advancing = false;
+  } else {
+    level = num_levels_ - 1;
+    advancing = true;
+  }
+
+  for (;;) {
+    Value from;
+    if (advancing) {
+      if (values_[level] == kTop) {
+        from = 0;  // unreachable sentinel; force backtrack below
+        --level;
+        if (level < 0) {
+          done_ = true;
+          return false;
+        }
+        continue;
+      }
+      from = values_[level] + 1;
+    } else {
+      from = LevelStart(level);
+    }
+    if (SeekLevel(level, from)) {
+      if (level == num_levels_ - 1) {
+        *out = values_;
+        return true;
+      }
+      ++level;
+      advancing = false;
+    } else {
+      --level;
+      if (level < 0) {
+        done_ = true;
+        return false;
+      }
+      advancing = true;
+    }
+  }
+}
+
+}  // namespace cqc

@@ -1,0 +1,51 @@
+#include "query/adorned_view.h"
+
+#include <sstream>
+
+namespace cqc {
+
+AdornedView::AdornedView(ConjunctiveQuery cq, std::vector<Binding> adornment)
+    : cq_(std::move(cq)), adornment_(std::move(adornment)) {
+  for (size_t i = 0; i < adornment_.size(); ++i) {
+    VarId v = cq_.head()[i];
+    if (adornment_[i] == Binding::kBound) {
+      bound_vars_.push_back(v);
+      bound_set_ |= VarBit(v);
+    } else {
+      free_vars_.push_back(v);
+      free_set_ |= VarBit(v);
+    }
+  }
+}
+
+Result<AdornedView> AdornedView::Create(ConjunctiveQuery cq,
+                                        const std::string& adornment) {
+  Status s = cq.Validate();
+  if (!s.ok()) return s;
+  if (adornment.size() != cq.head().size())
+    return Status::Error("adornment length " +
+                         std::to_string(adornment.size()) +
+                         " does not match head arity " +
+                         std::to_string(cq.head().size()));
+  std::vector<Binding> parsed;
+  for (char c : adornment) {
+    if (c == 'b')
+      parsed.push_back(Binding::kBound);
+    else if (c == 'f')
+      parsed.push_back(Binding::kFree);
+    else
+      return Status::Error(std::string("invalid adornment character '") + c +
+                           "'");
+  }
+  return AdornedView(std::move(cq), std::move(parsed));
+}
+
+std::string AdornedView::ToString() const {
+  std::ostringstream os;
+  std::string ad;
+  for (Binding b : adornment_) ad += (char)b;
+  os << "Q^" << ad << " :: " << cq_.ToString();
+  return os.str();
+}
+
+}  // namespace cqc

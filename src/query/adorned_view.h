@@ -1,0 +1,67 @@
+// Adorned views Q^eta (§2.2): each head variable carries a binding type,
+// bound (b) or free (f). An adorned view maps a valuation of the bound
+// variables to the relation of matching free-variable tuples (an "access
+// request" Q^eta[v]).
+#ifndef CQC_QUERY_ADORNED_VIEW_H_
+#define CQC_QUERY_ADORNED_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+#include "util/status.h"
+
+namespace cqc {
+
+enum class Binding : char { kBound = 'b', kFree = 'f' };
+
+/// An access request: values for the bound head variables, in the order the
+/// bound variables appear in the head.
+using BoundValuation = std::vector<Value>;
+
+class AdornedView {
+ public:
+  /// Binds `adornment` (e.g. "bfb") to the head of `cq`. Fails if lengths
+  /// mismatch or characters are not in {b, f}.
+  static Result<AdornedView> Create(ConjunctiveQuery cq,
+                                    const std::string& adornment);
+
+  const ConjunctiveQuery& cq() const { return cq_; }
+  const std::vector<Binding>& adornment() const { return adornment_; }
+
+  /// Bound head variables, in head order.
+  const std::vector<VarId>& bound_vars() const { return bound_vars_; }
+  /// Free head variables, in head order. This order is the lexicographic
+  /// enumeration order x_f^1, ..., x_f^mu of the paper (§3.1).
+  const std::vector<VarId>& free_vars() const { return free_vars_; }
+
+  VarSet bound_set() const { return bound_set_; }
+  VarSet free_set() const { return free_set_; }
+  int num_free() const { return (int)free_vars_.size(); }
+  int num_bound() const { return (int)bound_vars_.size(); }
+
+  /// Every head variable bound (a "boolean" adorned view, §2.2).
+  bool IsBooleanAdorned() const { return free_vars_.empty(); }
+  /// Every head variable free ("non-parametric").
+  bool IsNonParametric() const { return bound_vars_.empty(); }
+  /// The CQ is full and the view is non-parametric: full enumeration view.
+  bool IsFullEnumeration() const {
+    return cq_.IsFull() && IsNonParametric();
+  }
+
+  std::string ToString() const;
+
+ private:
+  AdornedView(ConjunctiveQuery cq, std::vector<Binding> adornment);
+
+  ConjunctiveQuery cq_;
+  std::vector<Binding> adornment_;
+  std::vector<VarId> bound_vars_;
+  std::vector<VarId> free_vars_;
+  VarSet bound_set_ = 0;
+  VarSet free_set_ = 0;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_QUERY_ADORNED_VIEW_H_

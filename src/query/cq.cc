@@ -1,0 +1,113 @@
+#include "query/cq.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+VarSet Atom::Vars() const {
+  VarSet s = 0;
+  for (const Term& t : terms)
+    if (t.is_var) s |= VarBit(t.var);
+  return s;
+}
+
+bool Atom::IsNaturalAtom() const {
+  VarSet seen = 0;
+  for (const Term& t : terms) {
+    if (!t.is_var) return false;
+    if (VarSetContains(seen, t.var)) return false;
+    seen |= VarBit(t.var);
+  }
+  return true;
+}
+
+VarId ConjunctiveQuery::GetOrAddVar(const std::string& name) {
+  auto it = var_ids_.find(name);
+  if (it != var_ids_.end()) return it->second;
+  CQC_CHECK_LT((int)var_names_.size(), kMaxVars) << "too many variables";
+  VarId id = (VarId)var_names_.size();
+  var_names_.push_back(name);
+  var_ids_.emplace(name, id);
+  return id;
+}
+
+VarId ConjunctiveQuery::FindVar(const std::string& name) const {
+  auto it = var_ids_.find(name);
+  return it == var_ids_.end() ? -1 : it->second;
+}
+
+void ConjunctiveQuery::AddHeadVar(VarId v) {
+  CQC_CHECK_GE(v, 0);
+  CQC_CHECK_LT(v, num_vars());
+  head_.push_back(v);
+}
+
+void ConjunctiveQuery::AddAtom(Atom atom) { atoms_.push_back(std::move(atom)); }
+
+VarSet ConjunctiveQuery::BodyVars() const {
+  VarSet s = 0;
+  for (const Atom& a : atoms_) s |= a.Vars();
+  return s;
+}
+
+VarSet ConjunctiveQuery::HeadVars() const {
+  VarSet s = 0;
+  for (VarId v : head_) s |= VarBit(v);
+  return s;
+}
+
+bool ConjunctiveQuery::IsFull() const {
+  return (BodyVars() & ~HeadVars()) == 0;
+}
+
+bool ConjunctiveQuery::IsNaturalJoin() const {
+  if (!IsFull()) return false;
+  for (const Atom& a : atoms_)
+    if (!a.IsNaturalAtom()) return false;
+  return true;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (atoms_.empty()) return Status::Error("query has no atoms");
+  VarSet body = BodyVars();
+  for (VarId v : head_) {
+    if (!VarSetContains(body, v))
+      return Status::Error("head variable " + var_names_[v] +
+                           " does not appear in the body");
+  }
+  VarSet head_seen = 0;
+  for (VarId v : head_) {
+    if (VarSetContains(head_seen, v))
+      return Status::Error("head repeats variable " + var_names_[v]);
+    head_seen |= VarBit(v);
+  }
+  return Status::Ok();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream os;
+  os << "Q(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i) os << ",";
+    os << var_names_[head_[i]];
+  }
+  os << ") = ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) os << ", ";
+    os << atoms_[i].relation << "(";
+    for (int j = 0; j < atoms_[i].arity(); ++j) {
+      if (j) os << ",";
+      const Term& t = atoms_[i].terms[j];
+      if (t.is_var)
+        os << var_names_[t.var];
+      else
+        os << t.constant;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace cqc

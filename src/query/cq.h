@@ -1,0 +1,85 @@
+// Conjunctive query AST.
+//
+//   Q(y) = R1(x1), R2(x2), ..., Rn(xn)        (§2.1 of the paper)
+//
+// Terms may be variables or constants; an atom may repeat a variable. The
+// normalization pass (query/normalize.h) rewrites any full CQ into a
+// *natural join* query (no constants, no repeated variables per atom) in
+// linear time, so the core data structures only ever see natural joins.
+#ifndef CQC_QUERY_CQ_H_
+#define CQC_QUERY_CQ_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace cqc {
+
+/// A term in an atom: either a variable or a domain constant.
+struct Term {
+  bool is_var = true;
+  VarId var = -1;
+  Value constant = 0;
+
+  static Term Var(VarId v) { return Term{true, v, 0}; }
+  static Term Const(Value c) { return Term{false, -1, c}; }
+  bool operator==(const Term&) const = default;
+};
+
+/// One atom R(t1, ..., tk) of the body.
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  int arity() const { return (int)terms.size(); }
+  /// Set of variables used by this atom.
+  VarSet Vars() const;
+  /// True iff all terms are distinct variables.
+  bool IsNaturalAtom() const;
+};
+
+/// A conjunctive query with named variables, a head, and a body.
+class ConjunctiveQuery {
+ public:
+  /// Interns a variable name, returning its dense id.
+  VarId GetOrAddVar(const std::string& name);
+  /// Returns the id of `name` or -1.
+  VarId FindVar(const std::string& name) const;
+
+  void AddHeadVar(VarId v);
+  void AddAtom(Atom atom);
+
+  int num_vars() const { return (int)var_names_.size(); }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+  const std::vector<VarId>& head() const { return head_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Set of all body variables.
+  VarSet BodyVars() const;
+  /// Set of head variables.
+  VarSet HeadVars() const;
+
+  /// Every body variable appears in the head (§2.1 "full").
+  bool IsFull() const;
+  /// Full, no constants, no repeated variables in an atom (§2.1).
+  bool IsNaturalJoin() const;
+
+  /// Structural sanity: head vars appear in the body, at least one atom,
+  /// every variable referenced is interned.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> var_names_;
+  std::map<std::string, VarId> var_ids_;
+  std::vector<VarId> head_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_QUERY_CQ_H_

@@ -1,0 +1,50 @@
+#include "query/hypergraph.h"
+
+#include "util/logging.h"
+
+namespace cqc {
+
+Hypergraph::Hypergraph(const ConjunctiveQuery& q) : num_vars_(q.num_vars()) {
+  vertices_ = q.BodyVars();
+  for (const Atom& a : q.atoms()) edges_.push_back(a.Vars());
+}
+
+Hypergraph::Hypergraph(int num_vars, std::vector<VarSet> edges)
+    : num_vars_(num_vars), edges_(std::move(edges)) {
+  CQC_CHECK_LE(num_vars, kMaxVars);
+  vertices_ = 0;
+  for (VarSet e : edges_) vertices_ |= e;
+}
+
+std::vector<int> Hypergraph::EdgesIntersecting(VarSet I) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_edges(); ++i)
+    if (edges_[i] & I) out.push_back(i);
+  return out;
+}
+
+VarSet Hypergraph::Neighbors(VarSet vars) const {
+  VarSet nb = 0;
+  for (VarSet e : edges_)
+    if (e & vars) nb |= e;
+  return nb & ~vars;
+}
+
+bool Hypergraph::IsConnected(VarSet subset) const {
+  if (subset == 0) return true;
+  // BFS over variables of `subset`, moving along edges restricted to it.
+  VarSet start = subset & (~subset + 1);  // lowest set bit
+  VarSet reached = start;
+  for (;;) {
+    VarSet next = reached;
+    for (VarSet e : edges_) {
+      VarSet inside = e & subset;
+      if (inside & reached) next |= inside;
+    }
+    if (next == reached) break;
+    reached = next;
+  }
+  return reached == subset;
+}
+
+}  // namespace cqc

@@ -1,0 +1,47 @@
+// Query hypergraph H = (V, E): one vertex per variable, one hyperedge per
+// atom. Edges are VarSet bitsets (<= 64 variables). Edge i corresponds to
+// atom i of the originating query, so fractional edge cover weights align
+// with atoms.
+#ifndef CQC_QUERY_HYPERGRAPH_H_
+#define CQC_QUERY_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "query/cq.h"
+#include "util/common.h"
+
+namespace cqc {
+
+class Hypergraph {
+ public:
+  /// Hypergraph of a query: vertices = body variables, edge i = vars of
+  /// atom i.
+  explicit Hypergraph(const ConjunctiveQuery& q);
+
+  /// Direct construction (used by tests and decomposition search).
+  Hypergraph(int num_vars, std::vector<VarSet> edges);
+
+  int num_vars() const { return num_vars_; }
+  VarSet vertices() const { return vertices_; }
+  const std::vector<VarSet>& edges() const { return edges_; }
+  int num_edges() const { return (int)edges_.size(); }
+
+  /// E_I = indices of edges intersecting I (§2.1).
+  std::vector<int> EdgesIntersecting(VarSet I) const;
+
+  /// True iff `subset` induces a connected sub-hypergraph (two vertices are
+  /// adjacent if some edge contains both). The empty set is connected.
+  bool IsConnected(VarSet subset) const;
+
+  /// Neighbors of `vars` (vertices sharing an edge with them), minus `vars`.
+  VarSet Neighbors(VarSet vars) const;
+
+ private:
+  int num_vars_;
+  VarSet vertices_;
+  std::vector<VarSet> edges_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_QUERY_HYPERGRAPH_H_

@@ -1,0 +1,89 @@
+#include "query/normalize.h"
+
+#include <set>
+
+#include "relational/projection.h"
+
+namespace cqc {
+
+const Relation* ResolveRelation(const std::string& name, const Database& db,
+                                const Database* aux_db) {
+  if (aux_db != nullptr) {
+    const Relation* r = aux_db->Find(name);
+    if (r != nullptr) return r;
+  }
+  return db.Find(name);
+}
+
+Result<NormalizedView> NormalizeView(const AdornedView& view,
+                                     const Database& db) {
+  const ConjunctiveQuery& cq = view.cq();
+  if (!cq.IsFull())
+    return Status::Error("normalization requires a full CQ (every body "
+                         "variable in the head)");
+
+  NormalizedView out{view, Database{}};
+  ConjunctiveQuery rewritten;
+  // Preserve variable ids: intern in the original order.
+  for (VarId v = 0; v < cq.num_vars(); ++v)
+    rewritten.GetOrAddVar(cq.var_name(v));
+  for (VarId v : cq.head()) rewritten.AddHeadVar(v);
+
+  int next_id = 0;
+  for (const Atom& atom : cq.atoms()) {
+    const Relation* rel = db.Find(atom.relation);
+    if (rel == nullptr)
+      return Status::Error("unknown relation " + atom.relation);
+    if (rel->arity() != atom.arity())
+      return Status::Error("atom " + atom.relation + " has arity " +
+                           std::to_string(atom.arity()) + " but relation has " +
+                           std::to_string(rel->arity()));
+    if (atom.IsNaturalAtom()) {
+      rewritten.AddAtom(atom);
+      ++next_id;
+      continue;
+    }
+    // Collect constant filters, equality filters among repeated variables,
+    // and the output columns (first occurrence of each variable).
+    std::vector<std::pair<int, Value>> equals;
+    std::vector<std::pair<int, int>> same;
+    std::vector<int> cols;
+    std::vector<Term> new_terms;
+    std::map<VarId, int> first_col;
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.terms[i];
+      if (!t.is_var) {
+        equals.emplace_back(i, t.constant);
+        continue;
+      }
+      auto it = first_col.find(t.var);
+      if (it != first_col.end()) {
+        same.emplace_back(it->second, i);
+      } else {
+        first_col.emplace(t.var, i);
+        cols.push_back(i);
+        new_terms.push_back(Term::Var(t.var));
+      }
+    }
+    if (cols.empty())
+      return Status::Error("atom " + atom.relation +
+                           " binds no variables; not supported");
+    const std::string derived_name =
+        atom.relation + "__n" + std::to_string(next_id++);
+    out.aux_db.AdoptRelation(
+        FilterProject(*rel, equals, same, cols, derived_name));
+    Atom derived;
+    derived.relation = derived_name;
+    derived.terms = std::move(new_terms);
+    rewritten.AddAtom(std::move(derived));
+  }
+
+  std::string adornment;
+  for (Binding b : view.adornment()) adornment += (char)b;
+  Result<AdornedView> rv = AdornedView::Create(std::move(rewritten), adornment);
+  if (!rv.ok()) return rv.status();
+  out.view = std::move(rv).value();
+  return std::move(out);
+}
+
+}  // namespace cqc

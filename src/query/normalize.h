@@ -1,0 +1,38 @@
+// §2.4 normalization: rewrite an adorned view whose body contains constants
+// or repeated variables into an equivalent *natural join* view over derived
+// relations, in linear time (Example 3 of the paper):
+//
+//   Q^fb(x,z) = R(x,y,7), S(y,y,z)
+//     ==>  R__n0(x,y) = sigma_{$2=7} proj_{0,1} R,
+//          S__n1(y,z) = sigma_{$0=$1} proj_{0,2} S,
+//          Q^fb(x,z) = R__n0(x,y), S__n1(y,z)
+//
+// The derived relations are materialized into `aux_db`; atoms that are
+// already natural are left referencing the original database.
+#ifndef CQC_QUERY_NORMALIZE_H_
+#define CQC_QUERY_NORMALIZE_H_
+
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+struct NormalizedView {
+  AdornedView view;        // natural-join view
+  Database aux_db;         // derived relations referenced by rewritten atoms
+};
+
+/// Rewrites `view` over `db`. Fails if the view is not full, or references
+/// a relation missing from `db`, or an atom's arity mismatches its relation.
+Result<NormalizedView> NormalizeView(const AdornedView& view,
+                                     const Database& db);
+
+/// Resolves an atom's relation against (aux_db, db): aux_db wins. Returns
+/// nullptr if absent from both.
+const Relation* ResolveRelation(const std::string& name, const Database& db,
+                                const Database* aux_db);
+
+}  // namespace cqc
+
+#endif  // CQC_QUERY_NORMALIZE_H_

@@ -1,0 +1,158 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <optional>
+
+#include "util/str_util.h"
+
+namespace cqc {
+namespace {
+
+// Hand-rolled recursive-descent tokenizer/parser. The grammar is tiny, so
+// we keep a cursor over the input and a pending error.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ConjunctiveQuery> ParseQuery(std::string* adornment_out) {
+    ConjunctiveQuery cq;
+    // Head: NAME [^adornment] ( term_list )
+    std::string head_name = ParseName();
+    if (!error_.empty()) return Fail();
+    if (Peek() == '^') {
+      Advance();
+      std::string ad = ParseName();
+      if (!error_.empty()) return Fail();
+      if (adornment_out) {
+        *adornment_out = ad;
+      } else {
+        return Status::Error("unexpected adornment on plain query head");
+      }
+    }
+    auto head_terms = ParseTermList(cq);
+    if (!error_.empty()) return Fail();
+    for (const Term& t : head_terms) {
+      if (!t.is_var) {
+        return Status::Error("constants are not allowed in the head");
+      }
+      cq.AddHeadVar(t.var);
+    }
+    // Separator.
+    SkipSpace();
+    if (Peek() == '=') {
+      Advance();
+    } else if (Peek() == ':' && PeekAt(1) == '-') {
+      Advance();
+      Advance();
+    } else {
+      return Status::Error("expected '=' or ':-' after head");
+    }
+    // Body atoms.
+    for (;;) {
+      Atom atom;
+      atom.relation = ParseName();
+      if (!error_.empty()) return Fail();
+      atom.terms = ParseTermList(cq);
+      if (!error_.empty()) return Fail();
+      cq.AddAtom(std::move(atom));
+      SkipSpace();
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size())
+      return Status::Error("trailing input: '" +
+                           std::string(text_.substr(pos_)) + "'");
+    Status s = cq.Validate();
+    if (!s.ok()) return s;
+    return cq;
+  }
+
+ private:
+  Status Fail() { return Status::Error(error_); }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char PeekAt(size_t d) const {
+    return pos_ + d < text_.size() ? text_[pos_ + d] : '\0';
+  }
+  void Advance() { ++pos_; }
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace((unsigned char)text_[pos_]))
+      ++pos_;
+  }
+
+  std::string ParseName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum((unsigned char)text_[pos_]) || text_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start) {
+      error_ = "expected identifier at offset " + std::to_string(pos_);
+      return "";
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::vector<Term> ParseTermList(ConjunctiveQuery& cq) {
+    std::vector<Term> terms;
+    SkipSpace();
+    if (Peek() != '(') {
+      error_ = "expected '(' at offset " + std::to_string(pos_);
+      return terms;
+    }
+    Advance();
+    for (;;) {
+      SkipSpace();
+      if (std::isdigit((unsigned char)Peek())) {
+        Value v = 0;
+        while (std::isdigit((unsigned char)Peek())) {
+          v = v * 10 + (Peek() - '0');
+          Advance();
+        }
+        terms.push_back(Term::Const(v));
+      } else {
+        std::string name = ParseName();
+        if (!error_.empty()) return terms;
+        terms.push_back(Term::Var(cq.GetOrAddVar(name)));
+      }
+      SkipSpace();
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      if (Peek() == ')') {
+        Advance();
+        return terms;
+      }
+      error_ = "expected ',' or ')' at offset " + std::to_string(pos_);
+      return terms;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseConjunctiveQuery(std::string_view text) {
+  Parser p(text);
+  return p.ParseQuery(nullptr);
+}
+
+Result<AdornedView> ParseAdornedView(std::string_view text) {
+  Parser p(text);
+  std::string adornment;
+  Result<ConjunctiveQuery> cq = p.ParseQuery(&adornment);
+  if (!cq.ok()) return cq.status();
+  if (adornment.empty())
+    return Status::Error("adorned view requires '^adornment' on the head");
+  return AdornedView::Create(std::move(cq).value(), adornment);
+}
+
+}  // namespace cqc

@@ -1,0 +1,37 @@
+// Textual conjunctive-query parser.
+//
+// Grammar (whitespace-insensitive):
+//
+//   adorned_view := NAME '^' ADORNMENT '(' term_list ')' sep atom_list
+//   query        := NAME '(' term_list ')' sep atom_list
+//   sep          := '=' | ':-'
+//   atom_list    := atom (',' atom)*
+//   atom         := NAME '(' term_list ')'
+//   term         := IDENT | INTEGER
+//
+// Identifiers starting with a letter are variables; integer literals are
+// domain constants. Examples:
+//
+//   "Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)"          (Example 1)
+//   "Q(x,z) = R(x,y,7), S(y,y,z)"                    (Example 3, pre-rewrite)
+#ifndef CQC_QUERY_PARSER_H_
+#define CQC_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "query/adorned_view.h"
+#include "query/cq.h"
+#include "util/status.h"
+
+namespace cqc {
+
+/// Parses a plain CQ (no adornment marker).
+Result<ConjunctiveQuery> ParseConjunctiveQuery(std::string_view text);
+
+/// Parses an adorned view; the head must carry `^adornment`.
+Result<AdornedView> ParseAdornedView(std::string_view text);
+
+}  // namespace cqc
+
+#endif  // CQC_QUERY_PARSER_H_

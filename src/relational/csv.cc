@@ -1,0 +1,67 @@
+#include "relational/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/str_util.h"
+
+namespace cqc {
+
+Result<Relation*> LoadRelationCsv(Database& db, const std::string& name,
+                                  int arity, const std::string& path,
+                                  char delimiter) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::Error("cannot open " + path);
+  Relation* rel = db.AddRelation(name, arity);
+  Tuple row((size_t)arity);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::vector<std::string_view> fields = SplitAndStrip(stripped, delimiter);
+    if ((int)fields.size() != arity)
+      return Status::Error(StrFormat("%s:%zu: expected %d fields, got %zu",
+                                     path.c_str(), line_no, arity,
+                                     fields.size()));
+    for (int c = 0; c < arity; ++c) {
+      Value v = 0;
+      bool any = false;
+      for (char ch : fields[c]) {
+        if (!std::isdigit((unsigned char)ch))
+          return Status::Error(StrFormat("%s:%zu: non-numeric field '%.*s'",
+                                         path.c_str(), line_no,
+                                         (int)fields[c].size(),
+                                         fields[c].data()));
+        v = v * 10 + (Value)(ch - '0');
+        any = true;
+      }
+      if (!any)
+        return Status::Error(
+            StrFormat("%s:%zu: empty field", path.c_str(), line_no));
+      row[c] = v;
+    }
+    rel->Insert(row);
+  }
+  rel->Seal();
+  return rel;
+}
+
+Status SaveRelationCsv(const Relation& rel, const std::string& path,
+                       char delimiter) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::Error("cannot open " + path);
+  for (size_t r = 0; r < rel.size(); ++r) {
+    for (int c = 0; c < rel.arity(); ++c) {
+      if (c) out << delimiter;
+      out << rel.At(r, c);
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::Ok() : Status::Error("write failed: " + path);
+}
+
+}  // namespace cqc

@@ -1,0 +1,27 @@
+// Delimiter-separated loading/saving of relations: the minimal I/O a
+// downstream user needs to point the library at real data. Values must be
+// unsigned integers (map external domains to dense ids upstream); lines
+// starting with '#' are comments.
+#ifndef CQC_RELATIONAL_CSV_H_
+#define CQC_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+/// Loads `path` into a new sealed relation `name` of the given arity.
+/// Fails on malformed rows (wrong column count, non-numeric fields).
+Result<Relation*> LoadRelationCsv(Database& db, const std::string& name,
+                                  int arity, const std::string& path,
+                                  char delimiter = ',');
+
+/// Writes a sealed relation to `path` (one row per line).
+Status SaveRelationCsv(const Relation& rel, const std::string& path,
+                       char delimiter = ',');
+
+}  // namespace cqc
+
+#endif  // CQC_RELATIONAL_CSV_H_

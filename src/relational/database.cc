@@ -1,0 +1,59 @@
+#include "relational/database.h"
+
+#include "util/logging.h"
+
+namespace cqc {
+
+Relation* Database::AddRelation(const std::string& name, int arity) {
+  CQC_CHECK(relations_.find(name) == relations_.end())
+      << "duplicate relation " << name;
+  auto rel = std::make_unique<Relation>(name, arity);
+  Relation* ptr = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return ptr;
+}
+
+Relation* Database::AdoptRelation(std::unique_ptr<Relation> rel) {
+  const std::string name = rel->name();
+  CQC_CHECK(relations_.find(name) == relations_.end())
+      << "duplicate relation " << name;
+  Relation* ptr = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return ptr;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) return it->second.get();
+  return fallback_ != nullptr ? fallback_->Find(name) : nullptr;
+}
+
+Relation* Database::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+void Database::SealAll() {
+  for (auto& [name, rel] : relations_)
+    if (!rel->sealed()) rel->Seal();
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->size();
+  return n;
+}
+
+size_t Database::BaseBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, rel] : relations_) bytes += rel->BaseBytes();
+  return bytes;
+}
+
+std::vector<const Relation*> Database::AllRelations() const {
+  std::vector<const Relation*> out;
+  for (const auto& [name, rel] : relations_) out.push_back(rel.get());
+  return out;
+}
+
+}  // namespace cqc

@@ -1,0 +1,56 @@
+// Database: a catalog of named relations. Owns its relations.
+#ifndef CQC_RELATIONAL_DATABASE_H_
+#define CQC_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace cqc {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates an (unsealed) relation. CHECK-fails if the name already exists.
+  Relation* AddRelation(const std::string& name, int arity);
+
+  /// Registers an externally built relation under its own name.
+  Relation* AdoptRelation(std::unique_ptr<Relation> rel);
+
+  /// Looks up a relation; returns nullptr if absent. Falls through to the
+  /// fallback database (if set) on a miss.
+  const Relation* Find(const std::string& name) const;
+  Relation* FindMutable(const std::string& name);
+
+  /// Chains lookups: misses in this database consult `fallback` (which must
+  /// outlive this database). Used by per-bag databases whose atoms may
+  /// reference relations from an enclosing normalized view.
+  void SetFallback(const Database* fallback) { fallback_ = fallback; }
+
+  /// Seals every relation that is still unsealed.
+  void SealAll();
+
+  /// Total tuple count across relations (the paper's |D|).
+  size_t TotalTuples() const;
+
+  /// Heap footprint of base data across all relations.
+  size_t BaseBytes() const;
+
+  std::vector<const Relation*> AllRelations() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  const Database* fallback_ = nullptr;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_RELATIONAL_DATABASE_H_

@@ -1,0 +1,39 @@
+#include "relational/projection.h"
+
+#include "util/logging.h"
+
+namespace cqc {
+
+std::unique_ptr<Relation> ProjectDistinct(const Relation& src,
+                                          const std::vector<int>& cols,
+                                          const std::string& name) {
+  return FilterProject(src, {}, {}, cols, name);
+}
+
+std::unique_ptr<Relation> FilterProject(
+    const Relation& src, const std::vector<std::pair<int, Value>>& equals,
+    const std::vector<std::pair<int, int>>& same, const std::vector<int>& cols,
+    const std::string& name) {
+  CQC_CHECK(src.sealed());
+  CQC_CHECK(!cols.empty());
+  auto out = std::make_unique<Relation>(name, (int)cols.size());
+  Tuple row(cols.size());
+  for (size_t r = 0; r < src.size(); ++r) {
+    bool keep = true;
+    for (const auto& [col, v] : equals) {
+      if (src.At(r, col) != v) { keep = false; break; }
+    }
+    if (keep) {
+      for (const auto& [a, b] : same) {
+        if (src.At(r, a) != src.At(r, b)) { keep = false; break; }
+      }
+    }
+    if (!keep) continue;
+    for (size_t i = 0; i < cols.size(); ++i) row[i] = src.At(r, cols[i]);
+    out->Insert(row);
+  }
+  out->Seal();  // sorts + dedups
+  return out;
+}
+
+}  // namespace cqc

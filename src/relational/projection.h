@@ -1,0 +1,32 @@
+// Distinct projection: builds a new relation from selected columns of an
+// existing one, removing duplicates. Used by the §2.4 normalization rewrite
+// and by Theorem 2 to restrict relations to the variables of a bag.
+#ifndef CQC_RELATIONAL_PROJECTION_H_
+#define CQC_RELATIONAL_PROJECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace cqc {
+
+/// Returns a sealed relation named `name` with columns `cols` (indices into
+/// `src`'s schema, in the output order) of the distinct projected tuples.
+std::unique_ptr<Relation> ProjectDistinct(const Relation& src,
+                                          const std::vector<int>& cols,
+                                          const std::string& name);
+
+/// Like ProjectDistinct but keeps only rows where for each (col, value) pair
+/// in `equals` the row matches, and for each (colA, colB) in `same` the two
+/// columns agree. This implements the Example 3 rewrite
+/// R'(x,y) = R(x,y,a) / S'(y,z) = S(y,y,z) in one linear pass.
+std::unique_ptr<Relation> FilterProject(
+    const Relation& src, const std::vector<std::pair<int, Value>>& equals,
+    const std::vector<std::pair<int, int>>& same, const std::vector<int>& cols,
+    const std::string& name);
+
+}  // namespace cqc
+
+#endif  // CQC_RELATIONAL_PROJECTION_H_

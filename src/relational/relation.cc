@@ -1,0 +1,118 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "relational/sorted_index.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+Relation::Relation(std::string name, int arity)
+    : name_(std::move(name)), arity_(arity) {
+  CQC_CHECK_GT(arity, 0);
+  CQC_CHECK_LE(arity, kMaxVars);
+}
+
+Relation::~Relation() = default;
+
+void Relation::Insert(const Tuple& t) {
+  CQC_CHECK_EQ((int)t.size(), arity_);
+  InsertRow(t.data());
+}
+
+void Relation::InsertRow(const Value* row) {
+  CQC_CHECK(!sealed_) << "insert into sealed relation " << name_;
+  staging_.insert(staging_.end(), row, row + arity_);
+}
+
+void Relation::Seal() {
+  CQC_CHECK(!sealed_);
+  const size_t n = staging_.size() / arity_;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const int arity = arity_;
+  const Value* data = staging_.data();
+  auto row_less = [&](size_t a, size_t b) {
+    const Value* ra = data + a * arity;
+    const Value* rb = data + b * arity;
+    return std::lexicographical_compare(ra, ra + arity, rb, rb + arity);
+  };
+  auto row_eq = [&](size_t a, size_t b) {
+    const Value* ra = data + a * arity;
+    const Value* rb = data + b * arity;
+    return std::equal(ra, ra + arity, rb);
+  };
+  std::sort(order.begin(), order.end(), row_less);
+  order.erase(std::unique(order.begin(), order.end(), row_eq), order.end());
+  num_rows_ = order.size();
+
+  cols_.assign(arity_, {});
+  for (int c = 0; c < arity_; ++c) {
+    cols_[c].resize(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i)
+      cols_[c][i] = data[order[i] * arity + c];
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+
+  active_domains_.assign(arity_, {});
+  for (int c = 0; c < arity_; ++c) {
+    auto dom = cols_[c];
+    std::sort(dom.begin(), dom.end());
+    dom.erase(std::unique(dom.begin(), dom.end()), dom.end());
+    active_domains_[c] = std::move(dom);
+  }
+  sealed_ = true;
+}
+
+const std::vector<Value>& Relation::ActiveDomain(int col) const {
+  CQC_CHECK(sealed_);
+  return active_domains_[col];
+}
+
+const SortedIndex& Relation::GetIndex(const std::vector<int>& perm) const {
+  CQC_CHECK(sealed_);
+  auto it = index_cache_.find(perm);
+  if (it == index_cache_.end()) {
+    it = index_cache_.emplace(perm, std::make_unique<SortedIndex>(*this, perm))
+             .first;
+  }
+  return *it->second;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  CQC_CHECK_EQ((int)t.size(), arity_);
+  std::vector<int> identity(arity_);
+  std::iota(identity.begin(), identity.end(), 0);
+  const SortedIndex& idx = GetIndex(identity);
+  RowRange r = idx.Root();
+  for (int level = 0; level < arity_ && !r.empty(); ++level)
+    r = idx.Refine(r, level, t[level]);
+  return !r.empty();
+}
+
+uint64_t Relation::ContentHash() const {
+  CQC_CHECK(sealed_);
+  uint64_t h = 0x243f6a8885a308d3ULL ^ ((uint64_t)arity_ << 32) ^ num_rows_;
+  for (size_t r = 0; r < num_rows_; ++r)
+    for (int c = 0; c < arity_; ++c)
+      h = (h ^ MixHash(cols_[c][r] + (uint64_t)c)) * 0x100000001b3ULL;
+  return h;
+}
+
+size_t Relation::BaseBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& c : cols_) bytes += c.capacity() * sizeof(Value);
+  for (const auto& d : active_domains_) bytes += d.capacity() * sizeof(Value);
+  return bytes;
+}
+
+size_t Relation::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& [perm, idx] : index_cache_) bytes += idx->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace cqc

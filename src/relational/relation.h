@@ -1,0 +1,85 @@
+// Set-semantics relation with columnar storage.
+//
+// Relations are immutable once Seal()ed: construction bulk-loads tuples,
+// Seal() sorts, deduplicates, and computes per-column active domains.
+// SortedIndexes (relational/sorted_index.h) over arbitrary column
+// permutations are built lazily and cached on the relation; they are the
+// only access path the join and cost-model layers use.
+#ifndef CQC_RELATIONAL_RELATION_H_
+#define CQC_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace cqc {
+
+class SortedIndex;
+
+/// A named relation of fixed arity holding a set of tuples.
+class Relation {
+ public:
+  Relation(std::string name, int arity);
+  ~Relation();
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  int arity() const { return arity_; }
+
+  /// Number of tuples. Valid only after Seal().
+  size_t size() const { return num_rows_; }
+  bool sealed() const { return sealed_; }
+
+  /// Appends a tuple (pre-seal only). `t.size()` must equal arity().
+  void Insert(const Tuple& t);
+  /// Appends a tuple given as a pointer to `arity()` values (pre-seal only).
+  void InsertRow(const Value* row);
+
+  /// Sorts, deduplicates and freezes the relation; computes active domains.
+  void Seal();
+
+  /// Value at (row, col). Valid only after Seal().
+  Value At(size_t row, int col) const { return cols_[col][row]; }
+
+  /// The sorted distinct values appearing in column `col`.
+  const std::vector<Value>& ActiveDomain(int col) const;
+
+  /// Returns (building and caching on first use) the index that stores the
+  /// tuples sorted lexicographically by the column order `perm`. `perm` must
+  /// be a permutation of {0..arity-1}.
+  const SortedIndex& GetIndex(const std::vector<int>& perm) const;
+
+  /// True iff the tuple (given in schema column order) is present. O(log N).
+  bool Contains(const Tuple& t) const;
+
+  /// Order-insensitive 64-bit digest of the relation's content (rows are
+  /// canonically sorted after Seal, so this identifies the tuple set).
+  /// Used by serialization fingerprints. Valid only after Seal().
+  uint64_t ContentHash() const;
+
+  /// Approximate heap footprint of base data (excludes cached indexes).
+  size_t BaseBytes() const;
+  /// Approximate heap footprint of all cached indexes.
+  size_t IndexBytes() const;
+
+ private:
+  std::string name_;
+  int arity_;
+  bool sealed_ = false;
+  size_t num_rows_ = 0;
+  // Pre-seal staging: row-major buffer. Post-seal: empty.
+  std::vector<Value> staging_;
+  // Post-seal: column-major storage, rows sorted by identity permutation.
+  std::vector<std::vector<Value>> cols_;
+  std::vector<std::vector<Value>> active_domains_;
+  mutable std::map<std::vector<int>, std::unique_ptr<SortedIndex>> index_cache_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_RELATIONAL_RELATION_H_

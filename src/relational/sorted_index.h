@@ -1,0 +1,83 @@
+// SortedIndex: a trie realized as column-major sorted arrays.
+//
+// The tuples of a relation are sorted lexicographically under a column
+// permutation; a "trie node" is then just a contiguous row range plus a
+// depth. Refining a range by fixing the next column to a value, or bounding
+// it to an interval, is binary search: this gives the O~(1) count oracle
+// that Lemma 3 of the paper assumes ("we can create an index that returns
+// the count |RF(B)| in logarithmic time"), as well as the sorted child
+// iteration required by worst-case optimal join.
+#ifndef CQC_RELATIONAL_SORTED_INDEX_H_
+#define CQC_RELATIONAL_SORTED_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.h"
+
+namespace cqc {
+
+class Relation;
+
+/// Contiguous run of rows [begin, end) at a given trie depth.
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+class SortedIndex {
+ public:
+  /// Builds the index over `rel` (must be sealed) with sort order `perm`
+  /// (level k of the trie is relation column perm[k]).
+  SortedIndex(const Relation& rel, std::vector<int> perm);
+
+  int depth() const { return (int)perm_.size(); }
+  const std::vector<int>& perm() const { return perm_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Root trie node spanning every tuple.
+  RowRange Root() const { return {0, num_rows_}; }
+
+  /// Value at trie level `level` of sorted row `row`.
+  Value ValueAt(int level, size_t row) const { return cols_[level][row]; }
+
+  /// Sub-range of `r` whose level-`level` value equals `v` (may be empty).
+  RowRange Refine(RowRange r, int level, Value v) const;
+
+  /// Sub-range of `r` whose level-`level` value lies in [lo, hi].
+  RowRange RefineRange(RowRange r, int level, Value lo, Value hi) const;
+
+  /// First row at/after `r.begin` within `r` whose level value is >= v.
+  size_t LowerBound(RowRange r, int level, Value v) const;
+  /// First row within `r` whose level value is > v.
+  size_t UpperBound(RowRange r, int level, Value v) const;
+
+  /// Smallest level value within `r`. Requires !r.empty().
+  Value MinValue(RowRange r, int level) const { return cols_[level][r.begin]; }
+  /// Largest level value within `r`. Requires !r.empty().
+  Value MaxValue(RowRange r, int level) const { return cols_[level][r.end - 1]; }
+
+  /// Given the row index of the current distinct value at `level`, returns
+  /// the row index of the next distinct value within `r` (or r.end).
+  size_t NextDistinct(RowRange r, int level, Value current) const {
+    return UpperBound(r, level, current);
+  }
+
+  /// Number of distinct values at `level` within `r`. O(k log n) in the
+  /// number k of distinct values.
+  size_t CountDistinct(RowRange r, int level) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<int> perm_;
+  size_t num_rows_;
+  // cols_[level][sorted_row]; level k holds relation column perm_[k].
+  std::vector<std::vector<Value>> cols_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_RELATIONAL_SORTED_INDEX_H_

@@ -1,0 +1,36 @@
+// Basic shared type aliases for the cqc library.
+//
+// The paper works over an abstract ordered domain `dom`; we fix it to 64-bit
+// unsigned integers (uniform-cost RAM model, values of constant size), which
+// loses no generality: string dictionaries can map any domain onto dense ids.
+#ifndef CQC_UTIL_COMMON_H_
+#define CQC_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqc {
+
+/// A constant from the data domain `dom`.
+using Value = uint64_t;
+
+/// A query variable identifier: dense index into a query's variable table.
+using VarId = int32_t;
+
+/// A tuple of domain constants. Layout matches some schema known from context.
+using Tuple = std::vector<Value>;
+
+/// Maximum number of distinct variables a query may use. Hypergraph edges are
+/// stored as 64-bit variable bitsets, so this cannot exceed 64.
+inline constexpr int kMaxVars = 64;
+
+/// Bitset of variables (bit i set <=> variable with VarId i present).
+using VarSet = uint64_t;
+
+inline VarSet VarBit(VarId v) { return VarSet{1} << v; }
+inline bool VarSetContains(VarSet s, VarId v) { return (s >> v) & 1; }
+inline int VarSetSize(VarSet s) { return __builtin_popcountll(s); }
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_COMMON_H_

@@ -1,0 +1,31 @@
+// Hashing helpers for tuples of domain values.
+#ifndef CQC_UTIL_HASHING_H_
+#define CQC_UTIL_HASHING_H_
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace cqc {
+
+/// 64-bit mix (splitmix64 finalizer).
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ t.size();
+    for (Value v : t) h = MixHash(h ^ v) * 0x100000001b3ULL;
+    return (size_t)h;
+  }
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_HASHING_H_

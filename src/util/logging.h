@@ -1,0 +1,50 @@
+// Checked assertions. A failed check aborts with a source location and
+// message; checks guard internal invariants, not user input (user input
+// errors are reported through Status, see util/status.h).
+#ifndef CQC_UTIL_LOGGING_H_
+#define CQC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cqc {
+namespace internal {
+
+/// Aborts the process after printing `file:line CHECK failed: expr msg`.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+/// Stream-style message collector used by the CQC_CHECK macro.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, os_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace cqc
+
+#define CQC_CHECK(cond)                                            \
+  if (!(cond))                                                     \
+  ::cqc::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define CQC_CHECK_EQ(a, b) CQC_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CQC_CHECK_NE(a, b) CQC_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CQC_CHECK_LT(a, b) CQC_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CQC_CHECK_LE(a, b) CQC_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CQC_CHECK_GT(a, b) CQC_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CQC_CHECK_GE(a, b) CQC_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // CQC_UTIL_LOGGING_H_

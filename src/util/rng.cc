@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cqc {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  CQC_CHECK_GT(n, 0u);
+  // Rejection to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  CQC_CHECK_LE(lo, hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Rng::NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow((double)i, theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CQC_CHECK_GT(n, 0u);
+  if (theta_ <= 0) return;  // uniform fallback
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / (double)n_, 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (theta_ <= 0) return rng.Uniform(n_);
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v =
+      (uint64_t)((double)n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace cqc

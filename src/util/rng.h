@@ -1,0 +1,55 @@
+// Deterministic random number generation for workload synthesis.
+// All generators in src/workload take an explicit seed so every experiment
+// is reproducible bit-for-bit across runs and machines.
+#ifndef CQC_UTIL_RNG_H_
+#define CQC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqc {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic; fast and portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(n, theta) sampler over {0, .., n-1} using the rejection-inversion
+/// method; theta = 0 degenerates to uniform. Used for skewed workloads
+/// (e.g. the DBLP-style author-paper data of the paper's intro).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_RNG_H_

@@ -1,0 +1,59 @@
+// Minimal Status / Result for reporting user-input errors (query parsing,
+// schema mismatches, invalid decompositions) without exceptions.
+#ifndef CQC_UTIL_STATUS_H_
+#define CQC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+/// Outcome of a fallible operation: OK or an error message.
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status Error(std::string msg) { return Status(std::move(msg)); }
+
+  bool ok() const { return !msg_.has_value(); }
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return msg_ ? *msg_ : kOk;
+  }
+
+ private:
+  explicit Status(std::string msg) : msg_(std::move(msg)) {}
+  std::optional<std::string> msg_;
+};
+
+/// A value or an error. `value()` CHECK-fails on error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    CQC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& {
+    CQC_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T&& value() && {
+    CQC_CHECK(ok()) << status_.message();
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_STATUS_H_

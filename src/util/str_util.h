@@ -1,0 +1,25 @@
+// Small string helpers shared by the query parser and report printers.
+#ifndef CQC_UTIL_STR_UTIL_H_
+#define CQC_UTIL_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqc {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`, strips each piece; empty pieces are kept.
+std::vector<std::string_view> SplitAndStrip(std::string_view s, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_STR_UTIL_H_

@@ -1,0 +1,28 @@
+// Wall-clock timing for the benchmark harness.
+#ifndef CQC_UTIL_TIMER_H_
+#define CQC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cqc {
+
+/// Monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  /// Seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_TIMER_H_

@@ -1,0 +1,98 @@
+#include "workload/catalog.h"
+
+#include "query/parser.h"
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace cqc {
+namespace {
+
+AdornedView MustParse(const std::string& text) {
+  Result<AdornedView> v = ParseAdornedView(text);
+  CQC_CHECK(v.ok()) << v.status().message() << " in " << text;
+  return std::move(v).value();
+}
+
+}  // namespace
+
+AdornedView TriangleView(const std::string& adornment) {
+  CQC_CHECK_EQ(adornment.size(), 3u);
+  return MustParse("Q^" + adornment + "(x,y,z) = R(x,y), R(y,z), R(z,x)");
+}
+
+AdornedView RunningExampleView() {
+  return MustParse(
+      "Q^fffbbb(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z)");
+}
+
+AdornedView StarView(int n, const std::string& adornment) {
+  CQC_CHECK_GE(n, 1);
+  std::string ad = adornment.empty()
+                       ? std::string((size_t)n, 'b') + "f"
+                       : adornment;
+  std::string head, body;
+  for (int i = 1; i <= n; ++i) {
+    head += StrFormat("x%d,", i);
+    body += StrFormat("%sR%d(x%d,z)", i > 1 ? ", " : "", i, i);
+  }
+  return MustParse(StrFormat("Q^%s(%sz) = %s", ad.c_str(), head.c_str(),
+                             body.c_str()));
+}
+
+AdornedView PathView(int n, const std::string& adornment) {
+  CQC_CHECK_GE(n, 1);
+  std::string ad = adornment;
+  if (ad.empty()) {
+    ad = "b" + std::string((size_t)n - 1, 'f') + "b";
+  }
+  std::string head, body;
+  for (int i = 1; i <= n + 1; ++i)
+    head += StrFormat("%sx%d", i > 1 ? "," : "", i);
+  for (int i = 1; i <= n; ++i)
+    body += StrFormat("%sR%d(x%d,x%d)", i > 1 ? ", " : "", i, i, i + 1);
+  return MustParse(StrFormat("Q^%s(%s) = %s", ad.c_str(), head.c_str(),
+                             body.c_str()));
+}
+
+AdornedView LoomisWhitneyView(int n) {
+  CQC_CHECK_GE(n, 3);
+  std::string ad = std::string((size_t)n - 1, 'b') + "f";
+  std::string head;
+  for (int i = 1; i <= n; ++i)
+    head += StrFormat("%sx%d", i > 1 ? "," : "", i);
+  std::string body;
+  for (int i = 1; i <= n; ++i) {
+    body += StrFormat("%sS%d(", i > 1 ? ", " : "", i);
+    bool first = true;
+    for (int j = 1; j <= n; ++j) {
+      if (j == i) continue;
+      body += StrFormat("%sx%d", first ? "" : ",", j);
+      first = false;
+    }
+    body += ")";
+  }
+  return MustParse(StrFormat("Q^%s(%s) = %s", ad.c_str(), head.c_str(),
+                             body.c_str()));
+}
+
+AdornedView CoauthorView() {
+  return MustParse("Q^bff(x,y,p) = R(x,p), R(y,p)");
+}
+
+AdornedView SetIntersectionView() {
+  return MustParse("Q^bbf(s1,s2,z) = R(s1,z), R(s2,z)");
+}
+
+AdornedView SetDisjointnessView(int k) {
+  CQC_CHECK_GE(k, 2);
+  std::string head, body;
+  for (int i = 1; i <= k; ++i) {
+    head += StrFormat("s%d,", i);
+    body += StrFormat("%sR(s%d,z)", i > 1 ? ", " : "", i);
+  }
+  std::string ad = std::string((size_t)k, 'b') + "f";
+  return MustParse(StrFormat("Q^%s(%sz) = %s", ad.c_str(), head.c_str(),
+                             body.c_str()));
+}
+
+}  // namespace cqc

@@ -1,0 +1,49 @@
+// Canned adorned views for every query family the paper analyzes.
+//
+// Each builder returns the AdornedView (over conventional relation names)
+// matching a worked example of the paper; the matching data generators live
+// in workload/generators.h. Views with projections in the paper (co-author,
+// k-SetDisjointness) are stated here in their *full* variants — the paper's
+// own §3.3 reduction answers the projected/boolean form through the full
+// view's data structure.
+#ifndef CQC_WORKLOAD_CATALOG_H_
+#define CQC_WORKLOAD_CATALOG_H_
+
+#include <string>
+
+#include "query/adorned_view.h"
+
+namespace cqc {
+
+/// Example 1 / Example 2: triangle over a single (symmetric) relation R.
+///   Q^adorn(x,y,z) = R(x,y), R(y,z), R(z,x)
+AdornedView TriangleView(const std::string& adornment);
+
+/// Example 4 (the running example):
+///   Q^fffbbb(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z)
+AdornedView RunningExampleView();
+
+/// Example 7: star join S_n^{b..bf}(x1..xn, z) = R1(x1,z), ..., Rn(xn,z).
+AdornedView StarView(int n, const std::string& adornment = "");
+
+/// Example 10: path P_n^{bf..fb}(x1..x_{n+1}) = R1(x1,x2), .., Rn(xn,x_{n+1}).
+AdornedView PathView(int n, const std::string& adornment = "");
+
+/// Example 6: Loomis-Whitney LW_n^{b..bf}(x1..xn) = S1(x2..xn), ...,
+/// Sn(x1..x_{n-1}) (S_i omits x_i).
+AdornedView LoomisWhitneyView(int n);
+
+/// §1 graph-analytics application, full variant with the shared paper as a
+/// witness: V^bff(x, y, p) = R(x,p), R(y,p).
+AdornedView CoauthorView();
+
+/// §3.1 / [13] fast set intersection: S_2^{bbf}(s1,s2,z) = R(s1,z), R(s2,z).
+AdornedView SetIntersectionView();
+
+/// §3.3 k-SetDisjointness through the full view Q^{b..bf}(s1..sk, z) =
+/// R(s1,z), ..., R(sk,z); emptiness of the answer = disjointness.
+AdornedView SetDisjointnessView(int k);
+
+}  // namespace cqc
+
+#endif  // CQC_WORKLOAD_CATALOG_H_

@@ -1,0 +1,131 @@
+#include "workload/generators.h"
+
+#include <set>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+Relation* MakeRandomGraph(Database& db, const std::string& name,
+                          uint64_t num_nodes, size_t num_edges,
+                          bool symmetric, uint64_t seed) {
+  CQC_CHECK_GT(num_nodes, 1u);
+  Relation* r = db.AddRelation(name, 2);
+  Rng rng(seed);
+  std::set<std::pair<Value, Value>> seen;
+  size_t guard = 0;
+  while (seen.size() < num_edges && guard < num_edges * 50 + 1000) {
+    ++guard;
+    Value a = rng.UniformRange(1, num_nodes);
+    Value b = rng.UniformRange(1, num_nodes);
+    if (a == b) continue;
+    if (!seen.insert({a, b}).second) continue;
+    r->Insert({a, b});
+    if (symmetric && seen.insert({b, a}).second) r->Insert({b, a});
+  }
+  r->Seal();
+  return r;
+}
+
+Relation* MakeRandomRelation(Database& db, const std::string& name,
+                             const std::vector<uint64_t>& domain_sizes,
+                             size_t count, uint64_t seed) {
+  Relation* r = db.AddRelation(name, (int)domain_sizes.size());
+  Rng rng(seed);
+  Tuple t(domain_sizes.size());
+  std::set<Tuple> seen;
+  size_t guard = 0;
+  while (seen.size() < count && guard < count * 50 + 1000) {
+    ++guard;
+    for (size_t c = 0; c < domain_sizes.size(); ++c)
+      t[c] = rng.UniformRange(1, domain_sizes[c]);
+    if (seen.insert(t).second) r->Insert(t);
+  }
+  r->Seal();
+  return r;
+}
+
+Relation* MakeZipfBipartite(Database& db, const std::string& name,
+                            uint64_t num_authors, uint64_t num_papers,
+                            size_t count, double theta, uint64_t seed) {
+  Relation* r = db.AddRelation(name, 2);
+  Rng rng(seed);
+  ZipfSampler zipf(num_authors, theta);
+  std::set<std::pair<Value, Value>> seen;
+  size_t guard = 0;
+  while (seen.size() < count && guard < count * 50 + 1000) {
+    ++guard;
+    Value author = zipf.Sample(rng) + 1;
+    Value paper = rng.UniformRange(1, num_papers);
+    if (seen.insert({author, paper}).second) r->Insert({author, paper});
+  }
+  r->Seal();
+  return r;
+}
+
+Relation* MakeSetFamily(Database& db, const std::string& name,
+                        uint64_t num_sets, uint64_t universe,
+                        size_t total_size, double theta, uint64_t seed) {
+  Relation* r = db.AddRelation(name, 2);
+  Rng rng(seed);
+  ZipfSampler zipf(num_sets, theta);
+  std::set<std::pair<Value, Value>> seen;
+  size_t guard = 0;
+  while (seen.size() < total_size && guard < total_size * 50 + 1000) {
+    ++guard;
+    Value set_id = zipf.Sample(rng) + 1;
+    Value elem = rng.UniformRange(1, universe);
+    if (seen.insert({set_id, elem}).second) r->Insert({set_id, elem});
+  }
+  r->Seal();
+  return r;
+}
+
+std::vector<Relation*> MakePathRelations(Database& db,
+                                         const std::string& prefix, int n,
+                                         uint64_t num_nodes,
+                                         size_t edges_per_relation,
+                                         uint64_t seed) {
+  std::vector<Relation*> out;
+  for (int i = 1; i <= n; ++i) {
+    out.push_back(MakeRandomGraph(db, prefix + std::to_string(i), num_nodes,
+                                  edges_per_relation, /*symmetric=*/false,
+                                  seed + (uint64_t)i * 7919));
+  }
+  return out;
+}
+
+std::vector<Relation*> MakeLoomisWhitneyRelations(Database& db,
+                                                  const std::string& prefix,
+                                                  int n, uint64_t num_nodes,
+                                                  size_t count,
+                                                  uint64_t seed) {
+  std::vector<Relation*> out;
+  std::vector<uint64_t> domains((size_t)n - 1, num_nodes);
+  for (int i = 1; i <= n; ++i) {
+    out.push_back(MakeRandomRelation(db, prefix + std::to_string(i), domains,
+                                     count, seed + (uint64_t)i * 104729));
+  }
+  return out;
+}
+
+Relation* MakeTripartiteTriangleGraph(Database& db, const std::string& name,
+                                      uint64_t m) {
+  Relation* r = db.AddRelation(name, 2);
+  // Vertex ids: A = [1, m], B = [m+1, 2m], C = [2m+1, 3m].
+  auto add_biclique = [&](Value lo1, Value lo2) {
+    for (Value a = 0; a < m; ++a) {
+      for (Value b = 0; b < m; ++b) {
+        r->Insert({lo1 + a, lo2 + b});
+        r->Insert({lo2 + b, lo1 + a});
+      }
+    }
+  };
+  add_biclique(1, m + 1);
+  add_biclique(m + 1, 2 * m + 1);
+  add_biclique(2 * m + 1, 1);
+  r->Seal();
+  return r;
+}
+
+}  // namespace cqc

@@ -1,0 +1,70 @@
+// Seeded synthetic data generators for the paper's workloads.
+//
+// Every generator takes an explicit seed; identical seeds reproduce
+// identical databases. Relations are created inside the caller's Database
+// and sealed before returning.
+#ifndef CQC_WORKLOAD_GENERATORS_H_
+#define CQC_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/rng.h"
+
+namespace cqc {
+
+/// Random directed graph: `num_edges` distinct edges over `num_nodes`
+/// vertices (node ids 1..num_nodes). If `symmetric`, both (a,b) and (b,a)
+/// are inserted (Example 1's friendship relation).
+Relation* MakeRandomGraph(Database& db, const std::string& name,
+                          uint64_t num_nodes, size_t num_edges,
+                          bool symmetric, uint64_t seed);
+
+/// Random k-ary relation: `count` distinct tuples, column c drawn uniformly
+/// from [1, domain_sizes[c]].
+Relation* MakeRandomRelation(Database& db, const std::string& name,
+                             const std::vector<uint64_t>& domain_sizes,
+                             size_t count, uint64_t seed);
+
+/// Zipf-skewed bipartite author-paper relation R(author, paper): `count`
+/// pairs with authors drawn Zipf(theta) from [1, num_authors], papers
+/// uniform from [1, num_papers] (the §1 DBLP-style workload).
+Relation* MakeZipfBipartite(Database& db, const std::string& name,
+                            uint64_t num_authors, uint64_t num_papers,
+                            size_t count, double theta, uint64_t seed);
+
+/// Set-membership relation R(set_id, element) for the fast-set-intersection
+/// workload: `num_sets` sets over a universe of `universe` elements; set
+/// sizes are skewed so a few sets are very large (the hard case of [13]).
+Relation* MakeSetFamily(Database& db, const std::string& name,
+                        uint64_t num_sets, uint64_t universe,
+                        size_t total_size, double theta, uint64_t seed);
+
+/// Path-query relations R1..Rn (binary) over shared node domains:
+/// R_i ~ random graph on `num_nodes` nodes with `edges_per_relation` edges.
+/// Returns the created relations ("<prefix>1" .. "<prefix>n").
+std::vector<Relation*> MakePathRelations(Database& db,
+                                         const std::string& prefix, int n,
+                                         uint64_t num_nodes,
+                                         size_t edges_per_relation,
+                                         uint64_t seed);
+
+/// Loomis-Whitney relations S1..Sn, each of arity n-1 (S_i omits x_i), with
+/// `count` tuples per relation over domain [1, num_nodes].
+std::vector<Relation*> MakeLoomisWhitneyRelations(Database& db,
+                                                  const std::string& prefix,
+                                                  int n, uint64_t num_nodes,
+                                                  size_t count,
+                                                  uint64_t seed);
+
+/// Tripartite "worst-case" triangle graph: the union of complete bipartite
+/// graphs A x B, B x C, C x A with |A|=|B|=|C|=m, as a symmetric edge
+/// relation. |R| = 6 m^2 while the number of triangles is 2 m^3 — the
+/// Theta(N^{3/2}) output regime of Example 1.
+Relation* MakeTripartiteTriangleGraph(Database& db, const std::string& name,
+                                      uint64_t m);
+
+}  // namespace cqc
+
+#endif  // CQC_WORKLOAD_GENERATORS_H_

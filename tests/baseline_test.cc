@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "baseline/direct_eval.h"
+#include "baseline/materialized_view.h"
+#include "core/compressed_rep.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+using testing::InterestingBoundValuations;
+using testing::IsStrictlySortedLex;
+using testing::OracleAnswer;
+
+TEST(MaterializedViewTest, MatchesOracleTriangle) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 55, true, 91);
+  AdornedView view = TriangleView("bfb");
+  auto mv = MaterializedView::Build(view, db);
+  ASSERT_TRUE(mv.ok()) << mv.status().message();
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    auto got = CollectAll(*mv.value()->Answer(vb));
+    EXPECT_TRUE(IsStrictlySortedLex(got));
+    EXPECT_EQ(got, OracleAnswer(view, db, vb));
+  }
+}
+
+TEST(MaterializedViewTest, NumTuplesEqualsOutputSize) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 40, true, 17);
+  AdornedView view = TriangleView("fff");
+  auto mv = MaterializedView::Build(view, db);
+  ASSERT_TRUE(mv.ok());
+  EXPECT_EQ(mv.value()->num_tuples(), OracleAnswer(view, db, {}).size());
+  EXPECT_GT(mv.value()->SpaceBytes(), 0u);
+}
+
+TEST(DirectEvalTest, MatchesOracleTriangle) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 55, true, 92);
+  AdornedView view = TriangleView("bfb");
+  auto de = DirectEval::Build(view, db);
+  ASSERT_TRUE(de.ok()) << de.status().message();
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    auto got = CollectAll(*de.value()->Answer(vb));
+    EXPECT_TRUE(IsStrictlySortedLex(got));
+    EXPECT_EQ(got, OracleAnswer(view, db, vb));
+  }
+}
+
+TEST(DirectEvalTest, BooleanAndMissingRequests) {
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}, {2, 3}});
+  auto view = ParseAdornedView("Q^bb(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  auto de = DirectEval::Build(view.value(), db);
+  ASSERT_TRUE(de.ok());
+  EXPECT_TRUE(de.value()->AnswerExists({1, 2}));
+  EXPECT_FALSE(de.value()->AnswerExists({3, 1}));
+}
+
+TEST(BaselineAgreementTest, AllThreeStructuresAgree) {
+  // Materialized, direct, and compressed answers coincide on a star join.
+  Database db;
+  for (int i = 1; i <= 3; ++i)
+    MakeRandomGraph(db, "R" + std::to_string(i), 10, 45, false, 200 + i);
+  AdornedView view = StarView(3);
+  auto mv = MaterializedView::Build(view, db);
+  auto de = DirectEval::Build(view, db);
+  CompressedRepOptions copt;
+  copt.tau = 4.0;
+  auto cr = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(mv.ok());
+  ASSERT_TRUE(de.ok());
+  ASSERT_TRUE(cr.ok());
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    auto a = CollectAll(*mv.value()->Answer(vb));
+    auto b = CollectAll(*de.value()->Answer(vb));
+    auto c = CollectAll(*cr.value()->Answer(vb));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, c);
+  }
+}
+
+TEST(BaselineSpaceTest, MaterializedDominatesOnDenseTriangles) {
+  // On the tripartite worst case, the materialized view stores ~N^{3/2}
+  // tuples while direct evaluation keeps only linear indexes.
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 8);
+  AdornedView view = TriangleView("bfb");
+  auto mv = MaterializedView::Build(view, db);
+  auto de = DirectEval::Build(view, db);
+  ASSERT_TRUE(mv.ok());
+  ASSERT_TRUE(de.ok());
+  // 2 m^3 = 1024 triangles, each listed once per (x,z) orientation.
+  EXPECT_GT(mv.value()->num_tuples(), db.TotalTuples());
+  EXPECT_GT(mv.value()->SpaceBytes(), de.value()->SpaceBytes());
+}
+
+TEST(BaselineSpaceTest, CompressedInterpolates) {
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 10);
+  AdornedView view = TriangleView("bfb");
+  auto mv = MaterializedView::Build(view, db);
+  ASSERT_TRUE(mv.ok());
+  CompressedRepOptions tight, loose;
+  tight.tau = 1.0;
+  loose.tau = 1e9;
+  auto small_tau = CompressedRep::Build(view, db, tight);
+  auto big_tau = CompressedRep::Build(view, db, loose);
+  ASSERT_TRUE(small_tau.ok());
+  ASSERT_TRUE(big_tau.ok());
+  // With huge tau the structure keeps almost nothing beyond the indexes.
+  EXPECT_LT(big_tau.value()->stats().AuxBytes(),
+            small_tau.value()->stats().AuxBytes());
+}
+
+}  // namespace
+}  // namespace cqc

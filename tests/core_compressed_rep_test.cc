@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "core/compressed_rep.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+using testing::InterestingBoundValuations;
+using testing::IsStrictlySortedLex;
+using testing::OracleAnswer;
+
+std::unique_ptr<CompressedRep> MustBuild(const AdornedView& view,
+                                         const Database& db, double tau) {
+  CompressedRepOptions options;
+  options.tau = tau;
+  auto rep = CompressedRep::Build(view, db, options);
+  CQC_CHECK(rep.ok()) << rep.status().message();
+  return std::move(rep).value();
+}
+
+// Checks every interesting access request against the oracle: same set of
+// tuples, strictly lexicographic order (hence no duplicates).
+void CheckAllRequests(const AdornedView& view, const Database& db,
+                      const CompressedRep& rep) {
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    auto e = rep.Answer(vb);
+    std::vector<Tuple> got = CollectAll(*e);
+    EXPECT_TRUE(IsStrictlySortedLex(got)) << rep.view().ToString();
+    EXPECT_EQ(got, OracleAnswer(view, db, vb))
+        << view.ToString() << " tau=" << rep.tau();
+  }
+}
+
+TEST(CompressedRepTest, TriangleBfbSmall) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, /*symmetric=*/true, 7);
+  AdornedView view = TriangleView("bfb");
+  for (double tau : {1.0, 2.0, 8.0, 64.0, 1e6}) {
+    auto rep = MustBuild(view, db, tau);
+    CheckAllRequests(view, db, *rep);
+  }
+}
+
+TEST(CompressedRepTest, TriangleAllAdornments) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 45, /*symmetric=*/true, 19);
+  for (const char* ad : {"fff", "bff", "fbf", "ffb", "bbf", "bfb", "fbb",
+                         "bbb"}) {
+    AdornedView view = TriangleView(ad);
+    auto rep = MustBuild(view, db, 4.0);
+    CheckAllRequests(view, db, *rep);
+  }
+}
+
+TEST(CompressedRepTest, RunningExampleAllTaus) {
+  Database db;
+  Rng rng(3);
+  auto make = [&](const std::string& name, uint64_t seed) {
+    Rng local(seed);
+    std::vector<Tuple> rows;
+    for (int i = 0; i < 60; ++i)
+      rows.push_back({local.UniformRange(1, 4), local.UniformRange(1, 6),
+                      local.UniformRange(1, 6)});
+    AddRelation(db, name, 3, rows);
+  };
+  make("R1", 11);
+  make("R2", 12);
+  make("R3", 13);
+  AdornedView view = RunningExampleView();
+  for (double tau : {1.0, 4.0, 16.0, 256.0}) {
+    auto rep = MustBuild(view, db, tau);
+    CheckAllRequests(view, db, *rep);
+  }
+}
+
+TEST(CompressedRepTest, StarJoin) {
+  Database db;
+  for (int i = 1; i <= 3; ++i)
+    MakeRandomGraph(db, "R" + std::to_string(i), 14, 70, false, 100 + i);
+  AdornedView view = StarView(3);
+  for (double tau : {1.0, 3.0, 27.0}) {
+    auto rep = MustBuild(view, db, tau);
+    EXPECT_NEAR(rep->stats().alpha, 3.0, 1e-6);  // Example 7 slack
+    CheckAllRequests(view, db, *rep);
+  }
+}
+
+TEST(CompressedRepTest, PathQueryTheorem1) {
+  Database db;
+  MakePathRelations(db, "R", 4, 12, 50, 44);
+  AdornedView view = PathView(4);
+  for (double tau : {1.0, 8.0}) {
+    auto rep = MustBuild(view, db, tau);
+    CheckAllRequests(view, db, *rep);
+  }
+}
+
+TEST(CompressedRepTest, LoomisWhitney3) {
+  Database db;
+  MakeLoomisWhitneyRelations(db, "S", 3, 10, 50, 55);
+  AdornedView view = LoomisWhitneyView(3);
+  auto rep = MustBuild(view, db, 4.0);
+  CheckAllRequests(view, db, *rep);
+}
+
+TEST(CompressedRepTest, SetIntersection) {
+  Database db;
+  MakeSetFamily(db, "R", 8, 30, 120, 0.9, 66);
+  AdornedView view = SetIntersectionView();
+  for (double tau : {1.0, 4.0, 32.0}) {
+    auto rep = MustBuild(view, db, tau);
+    CheckAllRequests(view, db, *rep);
+  }
+}
+
+TEST(CompressedRepTest, BooleanAdornedView) {
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}, {2, 3}});
+  auto view = ParseAdornedView("Q^bb(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  auto rep = MustBuild(view.value(), db, 1.0);
+  EXPECT_TRUE(rep->AnswerExists({1, 2}));
+  EXPECT_FALSE(rep->AnswerExists({1, 3}));
+  auto e = rep->Answer({2, 3});
+  Tuple t;
+  ASSERT_TRUE(e->Next(&t));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(e->Next(&t));
+}
+
+TEST(CompressedRepTest, FullEnumerationView) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 40, true, 5);
+  AdornedView view = TriangleView("fff");
+  auto rep = MustBuild(view, db, 6.0);
+  auto got = CollectAll(*rep->Answer({}));
+  EXPECT_TRUE(IsStrictlySortedLex(got));
+  EXPECT_EQ(got, OracleAnswer(view, db, {}));
+}
+
+TEST(CompressedRepTest, EmptyRelation) {
+  Database db;
+  AddRelation(db, "R", 2, {});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  auto rep = MustBuild(view.value(), db, 1.0);
+  EXPECT_FALSE(rep->AnswerExists({1}));
+}
+
+TEST(CompressedRepTest, SingleTupleRelation) {
+  Database db;
+  AddRelation(db, "R", 2, {{5, 9}});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  auto rep = MustBuild(view.value(), db, 1.0);
+  EXPECT_EQ(CollectAll(*rep->Answer({5})), (std::vector<Tuple>{{9}}));
+  EXPECT_TRUE(CollectAll(*rep->Answer({6})).empty());
+}
+
+TEST(CompressedRepTest, RejectsNonNaturalJoin) {
+  Database db;
+  AddRelation(db, "R", 2, {{1, 1}});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,x)");  // y unused -> invalid
+  ASSERT_FALSE(view.ok());  // head var y not in body
+  auto view2 = ParseAdornedView("Q^b(x) = R(x,x)");
+  ASSERT_TRUE(view2.ok());
+  CompressedRepOptions options;
+  EXPECT_FALSE(CompressedRep::Build(view2.value(), db, options).ok());
+}
+
+TEST(CompressedRepTest, RejectsBadCover) {
+  Database db;
+  AddRelation(db, "R", 2, {{1, 1}});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  CompressedRepOptions options;
+  options.cover = std::vector<double>{0.2};  // does not cover x or y
+  EXPECT_FALSE(CompressedRep::Build(view.value(), db, options).ok());
+  options.cover = std::vector<double>{1.0, 1.0};  // wrong arity
+  EXPECT_FALSE(CompressedRep::Build(view.value(), db, options).ok());
+}
+
+TEST(CompressedRepTest, SpaceShrinksAsTauGrows) {
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 12);
+  AdornedView view = TriangleView("bfb");
+  auto tight = MustBuild(view, db, 1.0);
+  auto loose = MustBuild(view, db, 64.0);
+  EXPECT_GT(tight->stats().dict_entries, loose->stats().dict_entries);
+  EXPECT_GE(tight->stats().tree_nodes, loose->stats().tree_nodes);
+}
+
+TEST(CompressedRepTest, NormalizedViewWithConstants) {
+  Database db;
+  AddRelation(db, "R", 3, {{1, 2, 7}, {3, 4, 7}, {5, 6, 8}});
+  AddRelation(db, "S", 2, {{2, 10}, {4, 20}});
+  auto raw = ParseAdornedView("Q^bff(x,y,z) = R(x,y,7), S(y,z)");
+  ASSERT_TRUE(raw.ok());
+  auto norm = NormalizeView(raw.value(), db);
+  ASSERT_TRUE(norm.ok()) << norm.status().message();
+  CompressedRepOptions options;
+  options.tau = 2.0;
+  auto rep = CompressedRep::Build(norm.value().view, db, options,
+                                  &norm.value().aux_db);
+  ASSERT_TRUE(rep.ok()) << rep.status().message();
+  auto got = CollectAll(*rep.value()->Answer({1}));
+  EXPECT_EQ(got, (std::vector<Tuple>{{2, 10}}));
+  EXPECT_TRUE(CollectAll(*rep.value()->Answer({5})).empty());
+}
+
+// Property sweep: random instances x adornments x tau.
+class CompressedRepSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CompressedRepSweep, MatchesOracle) {
+  auto [seed, tau] = GetParam();
+  Database db;
+  Rng rng(seed);
+  auto rand_rel = [&](const std::string& name, int arity) {
+    std::vector<Tuple> rows;
+    int n = 25 + (int)rng.Uniform(40);
+    for (int i = 0; i < n; ++i) {
+      Tuple t(arity);
+      for (auto& v : t) v = rng.UniformRange(1, 7);
+      rows.push_back(t);
+    }
+    AddRelation(db, name, arity, rows);
+  };
+  rand_rel("R", 2);
+  rand_rel("S", 2);
+  rand_rel("T", 3);
+  auto view = ParseAdornedView("Q^bffb(x,y,z,w) = R(x,y), S(y,z), T(z,w,x)");
+  ASSERT_TRUE(view.ok());
+  auto rep = MustBuild(view.value(), db, tau);
+  CheckAllRequests(view.value(), db, *rep);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressedRepSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(1.0, 4.0, 64.0)));
+
+}  // namespace
+}  // namespace cqc

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/finterval.h"
+#include "core/lex_domain.h"
+#include "util/rng.h"
+
+namespace cqc {
+namespace {
+
+LexDomain SmallDomain(int mu, int per_dim) {
+  std::vector<std::vector<Value>> doms(mu);
+  for (int i = 0; i < mu; ++i)
+    for (int v = 1; v <= per_dim; ++v) doms[i].push_back((Value)v);
+  return LexDomain(std::move(doms));
+}
+
+// Enumerates every grid tuple of `dom`.
+std::vector<Tuple> AllGridTuples(const LexDomain& dom) {
+  std::vector<Tuple> out;
+  Tuple t = dom.MinTuple();
+  out.push_back(t);
+  while (dom.Succ(t)) out.push_back(t);
+  return out;
+}
+
+TEST(LexDomainTest, MinMaxSuccPred) {
+  LexDomain dom({{1, 3, 5}, {2, 4}});
+  EXPECT_EQ(dom.MinTuple(), (Tuple{1, 2}));
+  EXPECT_EQ(dom.MaxTuple(), (Tuple{5, 4}));
+  Tuple t{1, 2};
+  ASSERT_TRUE(dom.Succ(t));
+  EXPECT_EQ(t, (Tuple{1, 4}));
+  ASSERT_TRUE(dom.Succ(t));
+  EXPECT_EQ(t, (Tuple{3, 2}));
+  ASSERT_TRUE(dom.Pred(t));
+  EXPECT_EQ(t, (Tuple{1, 4}));
+  t = {5, 4};
+  EXPECT_FALSE(dom.Succ(t));
+  t = {1, 2};
+  EXPECT_FALSE(dom.Pred(t));
+}
+
+TEST(LexDomainTest, SuccEnumeratesWholeGrid) {
+  LexDomain dom = SmallDomain(3, 3);
+  auto all = AllGridTuples(dom);
+  EXPECT_EQ(all.size(), 27u);
+  for (size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(LexDomain::Compare(all[i - 1], all[i]), 0);
+}
+
+TEST(LexDomainTest, PredInvertsSucc) {
+  LexDomain dom({{2, 7}, {1, 9}, {4, 5, 6}});
+  Tuple t = dom.MinTuple();
+  std::vector<Tuple> forward{t};
+  while (dom.Succ(t)) forward.push_back(t);
+  t = dom.MaxTuple();
+  std::vector<Tuple> backward{t};
+  while (dom.Pred(t)) backward.push_back(t);
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(LexDomainTest, EmptyAndGridSize) {
+  LexDomain dom({{1, 2}, {}, {3}});
+  EXPECT_TRUE(dom.AnyEmpty());
+  LexDomain dom2({{1, 2}, {3, 4, 5}});
+  EXPECT_FALSE(dom2.AnyEmpty());
+  EXPECT_DOUBLE_EQ(dom2.GridSize(), 6.0);
+}
+
+TEST(FBoxTest, CanonicalRecognition) {
+  FBox canonical{{FBoxDim::Unit(1), FBoxDim::Range(2, 5), FBoxDim::Any()}};
+  EXPECT_TRUE(canonical.IsCanonical());
+  FBox all_any{{FBoxDim::Any(), FBoxDim::Any()}};
+  EXPECT_TRUE(all_any.IsCanonical());
+  FBox bad{{FBoxDim::Range(1, 2), FBoxDim::Unit(3)}};
+  EXPECT_FALSE(bad.IsCanonical());
+  FBox bad2{{FBoxDim::Any(), FBoxDim::Unit(3)}};
+  EXPECT_FALSE(bad2.IsCanonical());
+}
+
+TEST(FBoxTest, Contains) {
+  FBox box{{FBoxDim::Unit(2), FBoxDim::Range(3, 6)}};
+  EXPECT_TRUE(box.Contains({2, 3}));
+  EXPECT_TRUE(box.Contains({2, 6}));
+  EXPECT_FALSE(box.Contains({2, 7}));
+  EXPECT_FALSE(box.Contains({1, 4}));
+}
+
+TEST(BoxDecomposeTest, UnitInterval) {
+  FInterval i{{1, 2, 3}, {1, 2, 3}};
+  auto boxes = BoxDecompose(i);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_TRUE(boxes[0].Contains({1, 2, 3}));
+  EXPECT_TRUE(boxes[0].IsCanonical());
+}
+
+TEST(BoxDecomposeTest, LastPositionOnly) {
+  FInterval i{{1, 2, 3}, {1, 2, 9}};
+  auto boxes = BoxDecompose(i);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_TRUE(boxes[0].Contains({1, 2, 5}));
+  EXPECT_FALSE(boxes[0].Contains({1, 2, 10}));
+}
+
+TEST(BoxDecomposeTest, PaperExample12) {
+  // Example 12: I = (<10,50,100>, <20,10,50>) open; our closed equivalent
+  // is [succ(<10,50,100>), pred(<20,10,50>)] over the full grid
+  // {1..1000}^3; the decomposition must contain exactly the same five
+  // regions (as value sets).
+  FInterval i{{10, 50, 101}, {20, 10, 49}};  // closed version on a dense grid
+  auto boxes = BoxDecompose(i);
+  ASSERT_EQ(boxes.size(), 5u);
+  // B^l_3 = <10, 50, (100, top]>
+  EXPECT_TRUE(boxes[0].Contains({10, 50, 101}));
+  EXPECT_TRUE(boxes[0].Contains({10, 50, 1000}));
+  EXPECT_FALSE(boxes[0].Contains({10, 50, 100}));
+  // B^l_2 = <10, (50, top]>
+  EXPECT_TRUE(boxes[1].Contains({10, 51, 1}));
+  EXPECT_FALSE(boxes[1].Contains({10, 50, 1}));
+  // B_1 = <(10, 20)>
+  EXPECT_TRUE(boxes[2].Contains({11, 1, 1}));
+  EXPECT_TRUE(boxes[2].Contains({19, 1000, 1000}));
+  EXPECT_FALSE(boxes[2].Contains({20, 1, 1}));
+  // B^r_2 = <20, [bottom, 10)>
+  EXPECT_TRUE(boxes[3].Contains({20, 9, 500}));
+  EXPECT_FALSE(boxes[3].Contains({20, 10, 1}));
+  // B^r_3 = <20, 10, [bottom, 50)>
+  EXPECT_TRUE(boxes[4].Contains({20, 10, 49}));
+  EXPECT_FALSE(boxes[4].Contains({20, 10, 50}));
+}
+
+TEST(BoxDecomposeTest, PaperExample12SecondInterval) {
+  // I' = [<10,50,100>, <10,50,200>): one box <10, 50, [100, 200)>.
+  FInterval i{{10, 50, 100}, {10, 50, 199}};
+  auto boxes = BoxDecompose(i);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_TRUE(boxes[0].Contains({10, 50, 100}));
+  EXPECT_TRUE(boxes[0].Contains({10, 50, 199}));
+  EXPECT_FALSE(boxes[0].Contains({10, 50, 200}));
+}
+
+// Lemma 1 as a property test: partition, ordering, size bound.
+TEST(BoxDecomposeTest, Lemma1PropertySweep) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    int mu = 1 + (int)rng.Uniform(4);
+    int per_dim = 2 + (int)rng.Uniform(4);
+    LexDomain dom = SmallDomain(mu, per_dim);
+    auto all = AllGridTuples(dom);
+    // Random closed interval.
+    Tuple a = all[rng.Uniform(all.size())];
+    Tuple b = all[rng.Uniform(all.size())];
+    if (LexDomain::Compare(a, b) > 0) std::swap(a, b);
+    FInterval interval{a, b};
+    auto boxes = BoxDecompose(interval);
+
+    // (3) |B(I)| <= 2 mu - 1.
+    EXPECT_LE((int)boxes.size(), 2 * mu - 1);
+    for (const auto& box : boxes) EXPECT_TRUE(box.IsCanonical());
+
+    // (2) partition: every grid tuple in I lies in exactly one box; tuples
+    // outside I lie in none.
+    for (const Tuple& t : all) {
+      int count = 0;
+      for (const auto& box : boxes)
+        if (box.Contains(t)) ++count;
+      EXPECT_EQ(count, interval.Contains(t) ? 1 : 0)
+          << "iter " << iter << " tuple membership mismatch";
+    }
+
+    // (1) ordering: boxes are lexicographically increasing blocks.
+    // Verify via representative tuples: max of box i < min of box i+1.
+    for (size_t bi = 0; bi + 1 < boxes.size(); ++bi) {
+      Tuple max_prev, min_next;
+      bool have_prev = false, have_next = false;
+      for (const Tuple& t : all) {
+        if (boxes[bi].Contains(t)) {
+          max_prev = t;  // `all` is lex-sorted, so last hit is the max
+          have_prev = true;
+        }
+        if (!have_next && boxes[bi + 1].Contains(t)) {
+          min_next = t;
+          have_next = true;
+        }
+      }
+      if (have_prev && have_next)
+        EXPECT_LT(LexDomain::Compare(max_prev, min_next), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqc

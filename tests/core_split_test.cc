@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "core/dbtree.h"
+#include "core/lex_domain.h"
+#include "core/splitter.h"
+#include "fractional/edge_cover.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+
+// Bundles the machinery Theorem 1 needs below the tree level.
+struct SplitRig {
+  Database db;
+  std::unique_ptr<AdornedView> view;
+  std::vector<BoundAtom> atoms;
+  std::unique_ptr<LexDomain> domain;
+  std::unique_ptr<CostModel> cost;
+  double alpha = 1;
+
+  void Init(const std::string& view_text, const std::vector<double>& u) {
+    auto v = ParseAdornedView(view_text);
+    CQC_CHECK(v.ok()) << v.status().message();
+    view = std::make_unique<AdornedView>(std::move(v).value());
+    for (const Atom& atom : view->cq().atoms())
+      atoms.emplace_back(atom, *db.Find(atom.relation), view->bound_vars(),
+                         view->free_vars());
+    Hypergraph h(view->cq());
+    alpha = Slack(h, u, view->free_set());
+    std::vector<double> exponents(u.size());
+    for (size_t f = 0; f < u.size(); ++f) exponents[f] = u[f] / alpha;
+    std::vector<std::vector<Value>> doms(view->num_free());
+    for (int i = 0; i < view->num_free(); ++i) {
+      std::set<Value> merged;
+      for (const BoundAtom& atom : atoms)
+        for (int p : atom.free_positions())
+          if (p == i) {
+            const auto& d = atom.FreeDomain(i);
+            merged.insert(d.begin(), d.end());
+          }
+      doms[i].assign(merged.begin(), merged.end());
+    }
+    domain = std::make_unique<LexDomain>(std::move(doms));
+    cost = std::make_unique<CostModel>(&atoms, std::move(exponents));
+  }
+};
+
+void FillRandomBinary(Database& db, const std::string& name, int n,
+                      uint64_t dom, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < n; ++i)
+    rows.push_back({rng.UniformRange(1, dom), rng.UniformRange(1, dom)});
+  AddRelation(db, name, 2, rows);
+}
+
+TEST(CostModelTest, CountsMatchBruteForce) {
+  SplitRig s;
+  AddRelation(s.db, "R", 2, {{1, 1}, {1, 2}, {2, 1}, {3, 3}});
+  AddRelation(s.db, "S", 2, {{1, 1}, {2, 2}, {2, 3}, {3, 1}});
+  s.Init("Q^ff(x,y) = R(x,y), S(y,x)", {1.0, 1.0});
+  // Box <1, *>: R has 2 rows with x=1; S has... S(y,x): free order (x,y);
+  // S's columns: y=col0, x=col1. x=1 rows in S: (1,1),(3,1) -> 2.
+  FBox box{{FBoxDim::Unit(1), FBoxDim::Any()}};
+  // alpha: coverage of x = 2, y = 2 -> alpha 2; exponents 1/2 each.
+  double expected = std::sqrt(2.0) * std::sqrt(2.0);
+  EXPECT_NEAR(s.cost->BoxCost(box), expected, 1e-9);
+}
+
+TEST(CostModelTest, IntervalCostSumsBoxes) {
+  SplitRig s;
+  AddRelation(s.db, "R", 2, {{1, 1}, {1, 2}, {2, 1}, {2, 2}});
+  s.Init("Q^ff(x,y) = R(x,y)", {1.0});
+  FInterval whole{s.domain->MinTuple(), s.domain->MaxTuple()};
+  // Single relation, alpha = 1, exponent 1: T(whole) = |R| = 4.
+  EXPECT_NEAR(s.cost->IntervalCost(whole), 4.0, 1e-9);
+}
+
+TEST(CostModelTest, BoundRestrictionShrinksCost) {
+  SplitRig s;
+  AddRelation(s.db, "R", 2, {{1, 10}, {1, 20}, {2, 10}, {2, 30}, {2, 40}});
+  s.Init("Q^bf(x,y) = R(x,y)", {1.0});
+  FInterval whole{s.domain->MinTuple(), s.domain->MaxTuple()};
+  EXPECT_NEAR(s.cost->IntervalCostBound({1}, whole), 2.0, 1e-9);
+  EXPECT_NEAR(s.cost->IntervalCostBound({2}, whole), 3.0, 1e-9);
+  EXPECT_NEAR(s.cost->IntervalCostBound({9}, whole), 0.0, 1e-9);
+}
+
+// Proposition 8 as a property test: the split point lies inside and both
+// halves cost at most T/2 (modulo floating-point slack).
+TEST(SplitterTest, BalancePropertySweep) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SplitRig s;
+    FillRandomBinary(s.db, "R", 60, 15, seed);
+    FillRandomBinary(s.db, "S", 60, 15, seed + 100);
+    FillRandomBinary(s.db, "T", 60, 15, seed + 200);
+    s.Init("Q^fff(x,y,z) = R(x,y), S(y,z), T(z,x)", {1.0, 1.0, 1.0});
+    ASSERT_FALSE(s.domain->AnyEmpty());
+    FInterval whole{s.domain->MinTuple(), s.domain->MaxTuple()};
+    double total = s.cost->IntervalCost(whole);
+    if (total <= 0) continue;
+
+    SplitResult split = SplitInterval(whole, *s.domain, *s.cost);
+    EXPECT_NEAR(split.total_cost, total, total * 1e-9);
+    ASSERT_TRUE(whole.Contains(split.c)) << "seed " << seed;
+
+    FInterval left, right;
+    const double budget = total / 2 + 1e-7 * total;
+    if (DelayBalancedTree::LeftInterval(whole, split.c, *s.domain, &left))
+      EXPECT_LE(s.cost->IntervalCost(left), budget) << "seed " << seed;
+    if (DelayBalancedTree::RightInterval(whole, split.c, *s.domain, &right))
+      EXPECT_LE(s.cost->IntervalCost(right), budget) << "seed " << seed;
+  }
+}
+
+TEST(SplitterTest, RecursiveSplittingTerminates) {
+  SplitRig s;
+  FillRandomBinary(s.db, "R", 80, 12, 5);
+  s.Init("Q^ff(x,y) = R(x,y)", {1.0});
+  // Repeatedly split the leftmost interval; cost must halve every time.
+  FInterval cur{s.domain->MinTuple(), s.domain->MaxTuple()};
+  double prev = s.cost->IntervalCost(cur);
+  int steps = 0;
+  while (prev > 1 && !cur.IsUnit() && steps < 64) {
+    SplitResult split = SplitInterval(cur, *s.domain, *s.cost);
+    FInterval left;
+    if (!DelayBalancedTree::LeftInterval(cur, split.c, *s.domain, &left)) {
+      // Left half empty: continue on the right side.
+      ASSERT_TRUE(
+          DelayBalancedTree::RightInterval(cur, split.c, *s.domain, &left));
+    }
+    double now = s.cost->IntervalCost(left);
+    EXPECT_LE(now, prev / 2 + 1e-6 * prev);
+    cur = left;
+    prev = now;
+    ++steps;
+  }
+  EXPECT_LT(steps, 64);
+}
+
+TEST(DbTreeTest, ThresholdFormula) {
+  // tau_l = tau * 2^{-l (1 - 1/alpha)}.
+  EXPECT_DOUBLE_EQ(DelayBalancedTree::Threshold(8.0, 2.0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(DelayBalancedTree::Threshold(8.0, 2.0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(DelayBalancedTree::Threshold(8.0, 1.0, 5), 8.0);
+}
+
+TEST(DbTreeTest, CostHalvesPerLevel) {
+  SplitRig s;
+  FillRandomBinary(s.db, "R", 100, 20, 9);
+  FillRandomBinary(s.db, "S", 100, 20, 10);
+  s.Init("Q^fff(x,y,z) = R(x,y), S(y,z)", {1.0, 1.0});
+  DelayBalancedTree::BuildParams params;
+  params.tau = 2.0;
+  params.alpha = s.alpha;
+  DelayBalancedTree tree =
+      DelayBalancedTree::Build(*s.domain, *s.cost, params);
+  ASSERT_FALSE(tree.empty());
+  double root_cost = tree.node(0).cost;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const DbTreeNode& n = tree.node(i);
+    // Lemma 4 item (1).
+    EXPECT_LE(n.cost,
+              root_cost / std::pow(2.0, n.level) + 1e-5 * root_cost);
+    if (!n.leaf) {
+      EXPECT_GE(
+          n.cost,
+          DelayBalancedTree::Threshold(params.tau, params.alpha, n.level) -
+              1e-9);
+    }
+  }
+}
+
+TEST(DbTreeTest, LeavesBelowThresholdOrUnit) {
+  SplitRig s;
+  FillRandomBinary(s.db, "R", 50, 10, 21);
+  s.Init("Q^ff(x,y) = R(x,y)", {1.0});
+  DelayBalancedTree::BuildParams params;
+  params.tau = 4.0;
+  params.alpha = 1.0;
+  DelayBalancedTree tree =
+      DelayBalancedTree::Build(*s.domain, *s.cost, params);
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const DbTreeNode& n = tree.node(i);
+    if (n.leaf) continue;
+    EXPECT_GE(n.cost, DelayBalancedTree::Threshold(params.tau, 1.0, n.level));
+    EXPECT_FALSE(n.beta.empty());
+  }
+}
+
+TEST(DbTreeTest, EmptyDomainYieldsEmptyTree) {
+  SplitRig s;
+  AddRelation(s.db, "R", 2, {});
+  s.Init("Q^ff(x,y) = R(x,y)", {1.0});
+  DelayBalancedTree::BuildParams params;
+  params.tau = 1.0;
+  params.alpha = 1.0;
+  DelayBalancedTree tree =
+      DelayBalancedTree::Build(*s.domain, *s.cost, params);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(DbTreeTest, LargeTauSingleLeaf) {
+  SplitRig s;
+  FillRandomBinary(s.db, "R", 30, 8, 33);
+  s.Init("Q^ff(x,y) = R(x,y)", {1.0});
+  DelayBalancedTree::BuildParams params;
+  params.tau = 1e9;  // everything fits under the threshold
+  params.alpha = 1.0;
+  DelayBalancedTree tree =
+      DelayBalancedTree::Build(*s.domain, *s.cost, params);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.node(0).leaf);
+}
+
+}  // namespace
+}  // namespace cqc

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "relational/csv.h"
+#include "tests/test_util.h"
+
+namespace cqc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvTest, RoundTrip) {
+  Database db;
+  cqc::testing::AddRelation(db, "R", 3, {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveRelationCsv(*db.Find("R"), path).ok());
+  Database db2;
+  auto loaded = LoadRelationCsv(db2, "R", 3, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value()->size(), 3u);
+  EXPECT_TRUE(loaded.value()->Contains({4, 5, 6}));
+}
+
+TEST(CsvTest, CommentsAndBlanksSkipped) {
+  const std::string path = TempPath("comments.csv");
+  WriteFile(path, "# header\n1,2\n\n  \n3,4\n# trailing\n");
+  Database db;
+  auto loaded = LoadRelationCsv(db, "R", 2, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->size(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiterAndWhitespace) {
+  const std::string path = TempPath("tsv.tsv");
+  WriteFile(path, "1\t 20\n 3 \t40\n");
+  Database db;
+  auto loaded = LoadRelationCsv(db, "R", 2, path, '\t');
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded.value()->Contains({1, 20}));
+  EXPECT_TRUE(loaded.value()->Contains({3, 40}));
+}
+
+TEST(CsvTest, Errors) {
+  Database db;
+  EXPECT_FALSE(LoadRelationCsv(db, "R", 2, "/nonexistent/file.csv").ok());
+  const std::string bad_cols = TempPath("badcols.csv");
+  WriteFile(bad_cols, "1,2,3\n");
+  Database db2;
+  EXPECT_FALSE(LoadRelationCsv(db2, "R", 2, bad_cols).ok());
+  const std::string bad_field = TempPath("badfield.csv");
+  WriteFile(bad_field, "1,abc\n");
+  Database db3;
+  EXPECT_FALSE(LoadRelationCsv(db3, "R", 2, bad_field).ok());
+}
+
+TEST(CsvTest, DedupOnLoad) {
+  const std::string path = TempPath("dups.csv");
+  WriteFile(path, "1,2\n1,2\n1,2\n3,4\n");
+  Database db;
+  auto loaded = LoadRelationCsv(db, "R", 2, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->size(), 2u);
+}
+
+}  // namespace
+}  // namespace cqc

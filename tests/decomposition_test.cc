@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decomposition/connex_builder.h"
+#include "decomposition/delay_assignment.h"
+#include "decomposition/tree_decomposition.h"
+#include "query/parser.h"
+#include "workload/catalog.h"
+
+namespace cqc {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+ConjunctiveQuery Parse(const std::string& text) {
+  auto q = ParseConjunctiveQuery(text);
+  CQC_CHECK(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(TreeDecompositionTest, FinalizeOrientsAndComputesAnc) {
+  ConjunctiveQuery cq = Parse("Q(a,b,c) = R(a,b), S(b,c)");
+  VarId a = cq.FindVar("a"), b = cq.FindVar("b"), c = cq.FindVar("c");
+  TreeDecomposition td;
+  int root = td.AddNode(VarBit(a));
+  int n1 = td.AddNode(VarBit(a) | VarBit(b));
+  int n2 = td.AddNode(VarBit(b) | VarBit(c));
+  td.AddEdge(root, n1);
+  td.AddEdge(n1, n2);
+  td.Finalize(root);
+  EXPECT_EQ(td.parent(n1), root);
+  EXPECT_EQ(td.parent(n2), n1);
+  EXPECT_EQ(td.anc(n2), VarBit(a) | VarBit(b));
+  EXPECT_EQ(td.BagBound(n2), VarBit(b));
+  EXPECT_EQ(td.BagFree(n2), VarBit(c));
+  EXPECT_EQ(td.preorder().front(), root);
+  Hypergraph h(cq);
+  EXPECT_TRUE(td.Validate(h).ok());
+}
+
+TEST(TreeDecompositionTest, DetectsMissingEdgeCoverage) {
+  ConjunctiveQuery cq = Parse("Q(a,b,c) = R(a,b), S(b,c), T(a,c)");
+  VarId a = cq.FindVar("a"), b = cq.FindVar("b"), c = cq.FindVar("c");
+  TreeDecomposition td;
+  int r = td.AddNode(VarBit(a) | VarBit(b));
+  int n = td.AddNode(VarBit(b) | VarBit(c));
+  td.AddEdge(r, n);
+  td.Finalize(r);
+  Hypergraph h(cq);
+  EXPECT_FALSE(td.Validate(h).ok());  // T(a,c) fits in no bag
+}
+
+TEST(TreeDecompositionTest, DetectsRunningIntersectionViolation) {
+  ConjunctiveQuery cq = Parse("Q(a,b,c) = R(a,b), S(b,c)");
+  VarId a = cq.FindVar("a"), b = cq.FindVar("b"), c = cq.FindVar("c");
+  TreeDecomposition td;
+  // a appears in two bags separated by one without it.
+  int r = td.AddNode(VarBit(a) | VarBit(b));
+  int m = td.AddNode(VarBit(b) | VarBit(c));
+  int l = td.AddNode(VarBit(a) | VarBit(c));
+  td.AddEdge(r, m);
+  td.AddEdge(m, l);
+  td.Finalize(r);
+  Hypergraph h(cq);
+  EXPECT_FALSE(td.Validate(h).ok());
+}
+
+TEST(TreeDecompositionTest, ConnexValidation) {
+  ConjunctiveQuery cq = Parse("Q(a,b) = R(a,b)");
+  VarId a = cq.FindVar("a"), b = cq.FindVar("b");
+  TreeDecomposition td;
+  int r = td.AddNode(VarBit(a));
+  int n = td.AddNode(VarBit(a) | VarBit(b));
+  td.AddEdge(r, n);
+  td.Finalize(r);
+  EXPECT_TRUE(td.ValidateConnex(VarBit(a)).ok());
+  EXPECT_FALSE(td.ValidateConnex(VarBit(b)).ok());
+}
+
+TEST(ConnexBuilderTest, EliminationOnTwoPath) {
+  // Example 16: R(x,y), S(y,z) with V_b = {x,z}: the only decomposition has
+  // a bag {x,y,z}, so fhw(H | V_b) = 2 > fhw(H) = 1.
+  ConjunctiveQuery cq = Parse("Q(x,y,z) = R(x,y), S(y,z)");
+  VarId x = cq.FindVar("x"), y = cq.FindVar("y"), z = cq.FindVar("z");
+  Hypergraph h(cq);
+  auto td = BuildConnexByElimination(h, VarBit(x) | VarBit(z), {y});
+  ASSERT_TRUE(td.ok()) << td.status().message();
+  EXPECT_TRUE(td.value().Validate(h).ok());
+  auto found = SearchConnexDecomposition(h, VarBit(x) | VarBit(z));
+  ASSERT_TRUE(found.ok());
+  EXPECT_NEAR(found.value().width, 2.0, kTol);  // Example 16
+}
+
+TEST(ConnexBuilderTest, TriangleBfb) {
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  auto found = SearchConnexDecomposition(h, view.bound_set());
+  ASSERT_TRUE(found.ok());
+  // Single free variable y: bag {x,y,z}; rho*(triangle) = 3/2.
+  EXPECT_NEAR(found.value().width, 1.5, kTol);
+  EXPECT_TRUE(found.value().decomposition.Validate(h).ok());
+  EXPECT_TRUE(
+      found.value().decomposition.ValidateConnex(view.bound_set()).ok());
+}
+
+TEST(ConnexBuilderTest, FullEnumerationTriangleFhw) {
+  // V_b = empty: fhw(H | {}) = fhw(H) = 3/2 for the triangle.
+  AdornedView view = TriangleView("fff");
+  Hypergraph h(view.cq());
+  auto found = SearchConnexDecomposition(h, 0);
+  ASSERT_TRUE(found.ok());
+  EXPECT_NEAR(found.value().width, 1.5, kTol);
+}
+
+TEST(ConnexBuilderTest, AcyclicPathFullEnumerationWidth1) {
+  AdornedView view = PathView(4, "fffff");
+  Hypergraph h(view.cq());
+  auto found = SearchConnexDecomposition(h, 0);
+  ASSERT_TRUE(found.ok());
+  EXPECT_NEAR(found.value().width, 1.0, kTol);  // acyclic: fhw = 1
+}
+
+TEST(ConnexBuilderTest, EliminationOrderErrors) {
+  ConjunctiveQuery cq = Parse("Q(x,y,z) = R(x,y), S(y,z)");
+  VarId x = cq.FindVar("x"), y = cq.FindVar("y"), z = cq.FindVar("z");
+  Hypergraph h(cq);
+  EXPECT_FALSE(BuildConnexByElimination(h, VarBit(x), {y, y}).ok());
+  EXPECT_FALSE(BuildConnexByElimination(h, VarBit(x), {x}).ok());
+  EXPECT_FALSE(BuildConnexByElimination(h, VarBit(x), {y}).ok());  // z miss
+}
+
+TEST(ConnexBuilderTest, ZigZagPathValid) {
+  for (int n = 2; n <= 7; ++n) {
+    AdornedView view = PathView(n);
+    Hypergraph h(view.cq());
+    std::vector<VarId> path_vars;
+    for (int i = 1; i <= n + 1; ++i)
+      path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+    TreeDecomposition td = BuildZigZagPath(path_vars);
+    EXPECT_TRUE(td.Validate(h).ok()) << "n=" << n;
+    EXPECT_TRUE(td.ValidateConnex(view.bound_set()).ok()) << "n=" << n;
+  }
+}
+
+TEST(DelayAssignmentTest, Example9Numbers) {
+  // Figure 2 right + Example 9: path v1..v7, C = {v1,v5,v6}; bags
+  // t1 = {v2,v4,v1,v5} (delta 1/3), t2 = {v3,v2,v4} (delta 1/6),
+  // t3 = {v7,v6} (delta 0). Expect width 5/3, height 1/2, u* = 2.
+  ConjunctiveQuery cq = Parse(
+      "Q(v1,v2,v3,v4,v5,v6,v7) = R1(v1,v2), R2(v2,v3), R3(v3,v4), "
+      "R4(v4,v5), R5(v5,v6), R6(v6,v7)");
+  auto v = [&](int i) { return VarBit(cq.FindVar("v" + std::to_string(i))); };
+  Hypergraph h(cq);
+  TreeDecomposition td;
+  int root = td.AddNode(v(1) | v(5) | v(6));
+  int t1 = td.AddNode(v(2) | v(4) | v(1) | v(5));
+  int t2 = td.AddNode(v(3) | v(2) | v(4));
+  int t3 = td.AddNode(v(7) | v(6));
+  td.AddEdge(root, t1);
+  td.AddEdge(t1, t2);
+  td.AddEdge(root, t3);
+  td.Finalize(root);
+  ASSERT_TRUE(td.Validate(h).ok());
+  ASSERT_TRUE(td.ValidateConnex(v(1) | v(5) | v(6)).ok());
+
+  DelayAssignment delta = DelayAssignment::Zero(td);
+  delta.delta[t1] = 1.0 / 3.0;
+  delta.delta[t2] = 1.0 / 6.0;
+  DecompositionMetrics m = ComputeMetrics(td, h, delta);
+  EXPECT_NEAR(m.width, 5.0 / 3.0, kTol);
+  EXPECT_NEAR(m.height, 0.5, kTol);
+  EXPECT_NEAR(m.u_star, 2.0, kTol);
+  EXPECT_NEAR(m.bags[t3].cover.rho_plus, 1.0, kTol);
+}
+
+TEST(DelayAssignmentTest, Example10PathWidths) {
+  // Zig-zag decomposition of P_6 with uniform delta: width = 2 - delta,
+  // height = floor(n/2) * delta.
+  AdornedView view = PathView(6);
+  Hypergraph h(view.cq());
+  std::vector<VarId> path_vars;
+  for (int i = 1; i <= 7; ++i)
+    path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+  TreeDecomposition td = BuildZigZagPath(path_vars);
+  const double d = 0.25;
+  DelayAssignment delta = DelayAssignment::Uniform(td, d);
+  DecompositionMetrics m = ComputeMetrics(td, h, delta);
+  EXPECT_NEAR(m.width, 2.0 - d, kTol);
+  EXPECT_NEAR(m.height, 3 * d, kTol);
+}
+
+TEST(DelayAssignmentTest, ZeroAssignmentGivesPlainWidths) {
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  auto found = SearchConnexDecomposition(h, view.bound_set());
+  ASSERT_TRUE(found.ok());
+  DelayAssignment zero = DelayAssignment::Zero(found.value().decomposition);
+  DecompositionMetrics m =
+      ComputeMetrics(found.value().decomposition, h, zero);
+  EXPECT_NEAR(m.width, found.value().width, kTol);
+  EXPECT_NEAR(m.height, 0.0, kTol);
+}
+
+TEST(DelayAssignmentTest, OptimizeUnderSpaceBudget) {
+  // Zig-zag P_4 bags have rho = 2 and alpha = 1 on their free variables,
+  // so MinDelayCover under budget N^b yields delta = 2 - b per bag.
+  AdornedView view = PathView(4);
+  Hypergraph h(view.cq());
+  std::vector<VarId> path_vars;
+  for (int i = 1; i <= 5; ++i)
+    path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+  TreeDecomposition td = BuildZigZagPath(path_vars);
+  const double log_n = std::log(1e5);
+  DelayAssignment a = OptimizeDelayAssignment(td, h, log_n, 1.5 * log_n);
+  for (int t = 0; t < td.num_nodes(); ++t) {
+    if (t == td.root()) continue;
+    if (VarSetSize(td.BagFree(t)) == 2) {
+      // Paired bag {x1,x2,x4,x5}: rho = 2, slack 1 on {x2,x4}:
+      // delta = (2 - 1.5) / 1 = 0.5.
+      EXPECT_NEAR(a.delta[t], 0.5, 1e-3) << "bag " << t;
+    } else {
+      // Middle bag {x2,x3,x4}: single free var x3 covered twice, so the
+      // LP exploits slack 2: delta = (2 - 1.5) / 2 = 0.25.
+      EXPECT_NEAR(a.delta[t], 0.25, 1e-3) << "bag " << t;
+    }
+  }
+  // A full budget (N^2) buys constant delay everywhere.
+  DelayAssignment zero = OptimizeDelayAssignment(td, h, log_n, 2.0 * log_n);
+  for (int t = 0; t < td.num_nodes(); ++t)
+    EXPECT_NEAR(zero.delta[t], 0.0, 1e-3);
+  // Budgets are monotone: less space, more delay.
+  DelayAssignment tight = OptimizeDelayAssignment(td, h, log_n, 1.2 * log_n);
+  for (int t = 0; t < td.num_nodes(); ++t) {
+    if (t == td.root()) continue;
+    EXPECT_GT(tight.delta[t], a.delta[t]);
+  }
+}
+
+TEST(DelayAssignmentTest, Example17Figure7Width) {
+  // Figure 7: edges U(v1,v2), W(v1,v5), V(v2,v5)... the paper's hypergraph
+  // has C = {v1,v2,v3,v4} and a lower bag {v5, v1, v2} coverable with
+  // fractional weight 3/2: fhw(H | C) = 3/2 while fhw(H) = 2.
+  ConjunctiveQuery cq = Parse(
+      "Q(v1,v2,v3,v4,v5) = R(v1,v2), S(v2,v3), T(v3,v4), U(v4,v1), "
+      "V(v2,v5), W(v1,v5)");
+  auto v = [&](int i) { return VarBit(cq.FindVar("v" + std::to_string(i))); };
+  Hypergraph h(cq);
+  VarSet bound = v(1) | v(2) | v(3) | v(4);
+  TreeDecomposition td;
+  int root = td.AddNode(bound);
+  int t1 = td.AddNode(v(5) | v(1) | v(2));
+  td.AddEdge(root, t1);
+  td.Finalize(root);
+  ASSERT_TRUE(td.Validate(h).ok());
+  ASSERT_TRUE(td.ValidateConnex(bound).ok());
+  DelayAssignment zero = DelayAssignment::Zero(td);
+  DecompositionMetrics m = ComputeMetrics(td, h, zero);
+  EXPECT_NEAR(m.width, 1.5, kTol);  // Example 17
+}
+
+}  // namespace
+}  // namespace cqc

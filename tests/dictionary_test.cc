@@ -1,0 +1,187 @@
+// Deep invariants of the heavy-pair dictionary (Appendix A): entries exist
+// exactly where Algorithm 2 can reach a heavy pair, bits reflect true
+// emptiness of the restricted join, and light reachable pairs are cheap.
+#include <gtest/gtest.h>
+
+#include "core/compressed_rep.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+
+// Walks the delay-balanced tree with its intervals, calling
+// visit(node, interval).
+template <typename Fn>
+void WalkTree(const CompressedRep& rep, Fn&& visit) {
+  if (rep.tree().empty()) return;
+  FInterval root{rep.domain().MinTuple(), rep.domain().MaxTuple()};
+  std::vector<std::pair<int, FInterval>> stack{{rep.tree().root(), root}};
+  while (!stack.empty()) {
+    auto [node, interval] = stack.back();
+    stack.pop_back();
+    visit(node, interval);
+    const DbTreeNode& n = rep.tree().node(node);
+    if (n.leaf) continue;
+    FInterval child;
+    if (n.left >= 0 &&
+        DelayBalancedTree::LeftInterval(interval, n.beta, rep.domain(),
+                                        &child))
+      stack.emplace_back(n.left, child);
+    if (n.right >= 0 &&
+        DelayBalancedTree::RightInterval(interval, n.beta, rep.domain(),
+                                         &child))
+      stack.emplace_back(n.right, child);
+  }
+}
+
+// Oracle: does the view (restricted to interval I and bound valuation vb)
+// have any output?
+bool OracleNonEmpty(const AdornedView& view, const Database& db,
+                    const BoundValuation& vb, const FInterval& interval) {
+  for (const Tuple& vf : testing::OracleAnswer(view, db, vb))
+    if (interval.Contains(vf)) return true;
+  return false;
+}
+
+TEST(DictionaryInvariantTest, BitsMatchOracleEmptiness) {
+  Database db;
+  MakeRandomGraph(db, "R", 14, 70, true, 5);
+  AdornedView view = TriangleView("bfb");
+  for (double tau : {1.0, 4.0, 32.0}) {
+    CompressedRepOptions copt;
+    copt.tau = tau;
+    auto rep = CompressedRep::Build(view, db, copt);
+    ASSERT_TRUE(rep.ok());
+    const HeavyDictionary& dict = rep.value()->dictionary();
+    WalkTree(*rep.value(), [&](int node, const FInterval& interval) {
+      dict.ForEachEntry(node, [&](uint32_t vb_id, bool bit) {
+        const Tuple& vb = dict.candidates()[vb_id];
+        EXPECT_EQ(bit, OracleNonEmpty(view, db, vb, interval))
+            << "node " << node << " tau " << tau;
+      });
+    });
+  }
+}
+
+TEST(DictionaryInvariantTest, EntriesOnlyWhereParentLive) {
+  // An entry below the root requires the parent entry to exist with bit 1
+  // (Algorithm 2 never descends otherwise).
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 8);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const HeavyDictionary& dict = rep.value()->dictionary();
+  const DelayBalancedTree& tree = rep.value()->tree();
+  // Build child -> parent map.
+  std::vector<int> parent(tree.size(), -1);
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const DbTreeNode& n = tree.node((int)i);
+    if (n.left >= 0) parent[n.left] = (int)i;
+    if (n.right >= 0) parent[n.right] = (int)i;
+  }
+  for (size_t node = 1; node < tree.size(); ++node) {
+    dict.ForEachEntry((int)node, [&](uint32_t vb_id, bool bit) {
+      ASSERT_GE(parent[node], 0);
+      EXPECT_EQ(dict.Lookup(parent[node], vb_id),
+                HeavyDictionary::Bit::kOne)
+          << "orphan dictionary entry at node " << node;
+    });
+  }
+}
+
+TEST(DictionaryInvariantTest, LeafEntriesOnlyOnUnitIntervals) {
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 6);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 1.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const HeavyDictionary& dict = rep.value()->dictionary();
+  WalkTree(*rep.value(), [&](int node, const FInterval& interval) {
+    if (!rep.value()->tree().node(node).leaf) return;
+    size_t entries = 0;
+    dict.ForEachEntry(node, [&](uint32_t, bool) { ++entries; });
+    if (entries > 0) EXPECT_TRUE(interval.IsUnit());
+  });
+}
+
+TEST(DictionaryInvariantTest, CandidatesAreExactlyBoundJoin) {
+  // Candidates = distinct bound valuations in the join of bound
+  // projections; no access request outside it can have answers.
+  Database db;
+  MakeSetFamily(db, "R", 6, 20, 50, 0.5, 3);
+  AdornedView view = SetIntersectionView();
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const HeavyDictionary& dict = rep.value()->dictionary();
+  // Any (s1, s2) with both sets present is a candidate.
+  const Relation* r = db.Find("R");
+  std::set<Value> sets;
+  for (size_t i = 0; i < r->size(); ++i) sets.insert(r->At(i, 0));
+  for (Value s1 : sets)
+    for (Value s2 : sets)
+      EXPECT_NE(dict.FindValuation({s1, s2}), HeavyDictionary::kNoValuation);
+  EXPECT_EQ(dict.NumCandidates(), sets.size() * sets.size());
+  EXPECT_EQ(dict.FindValuation({999, 999}), HeavyDictionary::kNoValuation);
+}
+
+TEST(DictionaryInvariantTest, FixupFlipsDeadBits) {
+  // FixupDictionary with a live-predicate that rejects everything must
+  // flip every 1-bit to 0; afterwards every request must come up empty
+  // when routed through the dictionary (light intervals still evaluate,
+  // so answers can remain — this checks only the bit state).
+  Database db;
+  MakeRandomGraph(db, "R", 10, 50, true, 99);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 1.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  rep.value()->FixupDictionary(
+      [](const BoundValuation&, const Tuple&) { return false; });
+  const HeavyDictionary& dict = rep.value()->dictionary();
+  for (size_t node = 0; node < rep.value()->tree().size(); ++node) {
+    dict.ForEachEntry((int)node, [&](uint32_t, bool bit) {
+      EXPECT_FALSE(bit);
+    });
+  }
+}
+
+TEST(DictionaryInvariantTest, FixupKeepsLiveBits) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 50, true, 99);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 1.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  size_t ones_before = 0;
+  const HeavyDictionary& dict = rep.value()->dictionary();
+  for (size_t node = 0; node < rep.value()->tree().size(); ++node)
+    dict.ForEachEntry((int)node, [&](uint32_t, bool bit) {
+      if (bit) ++ones_before;
+    });
+  rep.value()->FixupDictionary(
+      [](const BoundValuation&, const Tuple&) { return true; });
+  size_t ones_after = 0;
+  for (size_t node = 0; node < rep.value()->tree().size(); ++node)
+    dict.ForEachEntry((int)node, [&](uint32_t, bool bit) {
+      if (bit) ++ones_after;
+    });
+  EXPECT_EQ(ones_before, ones_after);
+}
+
+}  // namespace
+}  // namespace cqc

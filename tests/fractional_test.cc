@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fractional/edge_cover.h"
+#include "fractional/lp.h"
+#include "query/parser.h"
+#include "workload/catalog.h"
+
+namespace cqc {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(LpTest, SimpleMinimize) {
+  // min x + y  s.t. x + y >= 2, x >= 0, y >= 0  -> 2.
+  LinearProgram lp;
+  int x = lp.AddVariable(1.0);
+  int y = lp.AddVariable(1.0);
+  lp.AddGe({{x, 1.0}, {y, 1.0}}, 2.0);
+  LpSolution s = lp.Minimize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(LpTest, EqualityAndLe) {
+  // min -x  s.t. x <= 5, x + y == 7, y <= 4 -> x = 5 (y = 2).
+  LinearProgram lp;
+  int x = lp.AddVariable(-1.0);
+  int y = lp.AddVariable(0.0);
+  lp.AddLe({{x, 1.0}}, 5.0);
+  lp.AddEq({{x, 1.0}, {y, 1.0}}, 7.0);
+  lp.AddLe({{y, 1.0}}, 4.0);
+  LpSolution s = lp.Minimize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.x[x], 5.0, kTol);
+  EXPECT_NEAR(s.objective, -5.0, kTol);
+}
+
+TEST(LpTest, Infeasible) {
+  LinearProgram lp;
+  int x = lp.AddVariable(1.0);
+  lp.AddGe({{x, 1.0}}, 5.0);
+  lp.AddLe({{x, 1.0}}, 2.0);
+  EXPECT_EQ(lp.Minimize().status, LpStatus::kInfeasible);
+}
+
+TEST(LpTest, Unbounded) {
+  LinearProgram lp;
+  int x = lp.AddVariable(-1.0);
+  lp.AddGe({{x, 1.0}}, 0.0);
+  EXPECT_EQ(lp.Minimize().status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp;
+  int x = lp.AddVariable(1.0);
+  lp.AddLe({{x, -1.0}}, -3.0);
+  LpSolution s = lp.Minimize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.x[x], 3.0, kTol);
+}
+
+TEST(LpTest, DegenerateRedundantConstraints) {
+  LinearProgram lp;
+  int x = lp.AddVariable(1.0);
+  int y = lp.AddVariable(2.0);
+  lp.AddGe({{x, 1.0}, {y, 1.0}}, 1.0);
+  lp.AddGe({{x, 1.0}, {y, 1.0}}, 1.0);  // duplicate
+  lp.AddEq({{x, 2.0}, {y, 2.0}}, 2.0);  // same hyperplane scaled
+  LpSolution s = lp.Minimize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 1.0, kTol);  // all weight on x
+}
+
+// ---- fractional edge covers: known values from the paper ----
+
+Hypergraph HypergraphOf(const std::string& text) {
+  auto q = ParseConjunctiveQuery(text);
+  CQC_CHECK(q.ok()) << q.status().message();
+  return Hypergraph(q.value());
+}
+
+TEST(EdgeCoverTest, TriangleRhoIs1_5) {
+  Hypergraph h = HypergraphOf("Q(x,y,z) = R(x,y), S(y,z), T(z,x)");
+  EdgeCover c = FractionalEdgeCover(h, h.vertices());
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.total, 1.5, kTol);
+}
+
+TEST(EdgeCoverTest, PathFourEdges) {
+  // P_4 (5 vertices): endpoints force u1 = u4 = 1 and the middle vertex
+  // needs u2 + u3 >= 1, so rho* = 3.
+  Hypergraph h = HypergraphOf(
+      "Q(a,b,c,d,e) = R1(a,b), R2(b,c), R3(c,d), R4(d,e)");
+  EdgeCover c = FractionalEdgeCover(h, h.vertices());
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.total, 3.0, kTol);
+}
+
+TEST(EdgeCoverTest, PathRhoThreeEdges) {
+  // P_3 on 4 vertices: rho* = 2 (R1 + R3).
+  Hypergraph h = HypergraphOf("Q(a,b,c,d) = R1(a,b), R2(b,c), R3(c,d)");
+  EdgeCover c = FractionalEdgeCover(h, h.vertices());
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.total, 2.0, kTol);
+}
+
+TEST(EdgeCoverTest, LoomisWhitneyRho) {
+  // LW_3 = triangle; LW_4: rho* = 4/3 (Example 6: n/(n-1)).
+  auto q = ParseConjunctiveQuery(
+      "Q(x1,x2,x3,x4) = S1(x2,x3,x4), S2(x1,x3,x4), S3(x1,x2,x4), "
+      "S4(x1,x2,x3)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  EdgeCover c = FractionalEdgeCover(h, h.vertices());
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.total, 4.0 / 3.0, kTol);
+}
+
+TEST(EdgeCoverTest, StarRhoIsN) {
+  Hypergraph h =
+      HypergraphOf("Q(x1,x2,x3,z) = R1(x1,z), R2(x2,z), R3(x3,z)");
+  EdgeCover c = FractionalEdgeCover(h, h.vertices());
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.total, 3.0, kTol);
+}
+
+TEST(EdgeCoverTest, SubsetCover) {
+  // Covering only z in the star needs weight 1.
+  auto q = ParseConjunctiveQuery(
+      "Q(x1,x2,x3,z) = R1(x1,z), R2(x2,z), R3(x3,z)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  VarId z = q.value().FindVar("z");
+  EdgeCover c = FractionalEdgeCover(h, VarBit(z));
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.total, 1.0, kTol);
+}
+
+TEST(EdgeCoverTest, UncoverableVertex) {
+  Hypergraph h(3, {VarBit(0) | VarBit(1)});  // vertex 2 in no edge
+  EdgeCover c = FractionalEdgeCover(h, VarBit(2));
+  EXPECT_FALSE(c.ok);
+}
+
+TEST(SlackTest, RunningExampleSlackIs2) {
+  // Example 4/paper §3.1: u = (1,1,1) has slack 2 on {x,y,z}.
+  auto q = ParseConjunctiveQuery(
+      "Q(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  VarSet f = VarBit(q.value().FindVar("x")) |
+             VarBit(q.value().FindVar("y")) |
+             VarBit(q.value().FindVar("z"));
+  EXPECT_NEAR(Slack(h, {1, 1, 1}, f), 2.0, kTol);
+}
+
+TEST(SlackTest, StarSlackIsN) {
+  // Example 7: u = (1,..,1) has slack n on {z}.
+  auto q = ParseConjunctiveQuery(
+      "Q(x1,x2,x3,z) = R1(x1,z), R2(x2,z), R3(x3,z)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  VarSet f = VarBit(q.value().FindVar("z"));
+  EXPECT_NEAR(Slack(h, {1, 1, 1}, f), 3.0, kTol);
+}
+
+TEST(SlackTest, EmptySetIsInfinite) {
+  Hypergraph h(2, {VarBit(0) | VarBit(1)});
+  EXPECT_TRUE(std::isinf(Slack(h, {1.0}, 0)));
+}
+
+TEST(MaxSlackCoverTest, StarFindsFullSlack) {
+  auto view = StarView(3);
+  Hypergraph h(view.cq());
+  double slack = 0;
+  EdgeCover c = MaxSlackCover(h, h.vertices(), view.free_set(), 3.0, &slack);
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(slack, 3.0, kTol);
+}
+
+TEST(MaxSlackCoverTest, BudgetLimitsSlack) {
+  auto view = StarView(3);
+  Hypergraph h(view.cq());
+  double slack = 0;
+  // With total weight <= 3 the x_i constraints already force u_i = 1 each;
+  // a tighter budget is infeasible for covering x1..x3, looser budget
+  // cannot help slack beyond n.
+  EdgeCover c = MaxSlackCover(h, h.vertices(), view.free_set(), 10.0, &slack);
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(slack, 3.0, kTol);
+}
+
+TEST(AgmTest, Bounds) {
+  EXPECT_NEAR(AgmBound({100, 100, 100}, {0.5, 0.5, 0.5}), 1000.0, 1e-6);
+  EXPECT_NEAR(AgmBound({100, 100}, {1.0, 0.0}), 100.0, 1e-9);
+  EXPECT_NEAR(LogAgmBound({std::exp(1.0)}, {2.0}), 2.0, 1e-9);
+  EXPECT_TRUE(std::isinf(LogAgmBound({0.0}, {1.0})));
+}
+
+}  // namespace
+}  // namespace cqc

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "join/bound_atom.h"
+#include "join/generic_join.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+using testing::IsStrictlySortedLex;
+using testing::NaiveEvaluate;
+
+// Runs a generic join over all (free) variables of a natural-join view with
+// no bound variables and compares against the naive oracle.
+std::vector<Tuple> RunFullJoin(const ConjunctiveQuery& cq,
+                               const Database& db) {
+  std::vector<VarId> order;
+  for (VarId v = 0; v < cq.num_vars(); ++v) order.push_back(v);
+  std::vector<VarId> none;
+  std::vector<BoundAtom> atoms;
+  for (const Atom& atom : cq.atoms())
+    atoms.emplace_back(atom, *db.Find(atom.relation), none, order);
+  std::vector<JoinAtomInput> inputs;
+  for (const BoundAtom& atom : atoms) {
+    JoinAtomInput in;
+    in.index = &atom.bf_index();
+    in.start = atom.bf_index().Root();
+    in.start_level = 0;
+    for (int i = 0; i < atom.num_free(); ++i)
+      in.levels.emplace_back(atom.free_positions()[i], i);
+    inputs.push_back(std::move(in));
+  }
+  JoinIterator join(
+      std::move(inputs), cq.num_vars(),
+      std::vector<LevelConstraint>(cq.num_vars(), LevelConstraint::Any()));
+  Tuple t;
+  std::vector<Tuple> out;
+  while (join.Next(&t)) out.push_back(t);
+  return out;
+}
+
+// Oracle with head = all variables in VarId order.
+std::vector<Tuple> OracleAllVars(const ConjunctiveQuery& cq,
+                                 const Database& db) {
+  ConjunctiveQuery copy = cq;  // re-head with every variable
+  auto text = cq.ToString();
+  // Build a fresh CQ with identical body but full identity head.
+  ConjunctiveQuery full;
+  for (VarId v = 0; v < cq.num_vars(); ++v)
+    full.GetOrAddVar(cq.var_name(v));
+  for (VarId v = 0; v < cq.num_vars(); ++v) full.AddHeadVar(v);
+  for (const Atom& a : cq.atoms()) full.AddAtom(a);
+  return NaiveEvaluate(full, db);
+}
+
+TEST(BoundAtomTest, SplitsBoundAndFree) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(y,x,z)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 3, {{1, 2, 3}});
+  VarId x = q.value().FindVar("x"), y = q.value().FindVar("y"),
+        z = q.value().FindVar("z");
+  BoundAtom atom(q.value().atoms()[0], *db.Find("R"), {x, z}, {y});
+  EXPECT_EQ(atom.num_bound(), 2);
+  EXPECT_EQ(atom.num_free(), 1);
+  // Bound positions ascending: x at view pos 0 (col 1), z at pos 1 (col 2).
+  EXPECT_EQ(atom.bound_positions(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(atom.free_positions(), (std::vector<int>{0}));
+  // Row (y=1, x=2, z=3): bound (x=2, z=3), free y=1.
+  EXPECT_EQ(atom.CountBound({2, 3}), 1u);
+  EXPECT_EQ(atom.CountBound({1, 3}), 0u);
+  EXPECT_TRUE(atom.ContainsValuation({2, 3}, {1}));
+  EXPECT_FALSE(atom.ContainsValuation({2, 3}, {9}));
+}
+
+TEST(BoundAtomTest, CountBoxCanonical) {
+  auto q = ParseConjunctiveQuery("Q(a,b) = R(a,b)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 2,
+              {{1, 10}, {1, 20}, {2, 10}, {2, 30}, {3, 10}});
+  VarId a = q.value().FindVar("a"), b = q.value().FindVar("b");
+  std::vector<VarId> none;
+  BoundAtom atom(q.value().atoms()[0], *db.Find("R"), none, {a, b});
+  // Box <1, *>: 2 rows.
+  FBox box1{{FBoxDim::Unit(1), FBoxDim::Any()}};
+  EXPECT_EQ(atom.CountBox(box1), 2u);
+  // Box <[2,3], *>: 3 rows.
+  FBox box2{{FBoxDim::Range(2, 3), FBoxDim::Any()}};
+  EXPECT_EQ(atom.CountBox(box2), 3u);
+  // Box <2, [10,29]>: 1 row.
+  FBox box3{{FBoxDim::Unit(2), FBoxDim::Range(10, 29)}};
+  EXPECT_EQ(atom.CountBox(box3), 1u);
+  // Empty range.
+  FBox box4{{FBoxDim::Range(5, 4), FBoxDim::Any()}};
+  EXPECT_EQ(atom.CountBox(box4), 0u);
+}
+
+TEST(BoundAtomTest, CountBoundBoxMixesBoundAndBox) {
+  // R(w, x, y) with w bound; count under (w=1) and y-range.
+  auto q = ParseConjunctiveQuery("Q(w,x,y) = R(w,x,y)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 3,
+              {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {3, 1, 1}});
+  VarId w = q.value().FindVar("w"), x = q.value().FindVar("x"),
+        y = q.value().FindVar("y");
+  BoundAtom atom(q.value().atoms()[0], *db.Find("R"), {w}, {x, y});
+  FBox all{{FBoxDim::Any(), FBoxDim::Any()}};
+  EXPECT_EQ(atom.CountBoundBox({1}, all), 3u);
+  FBox x1{{FBoxDim::Unit(1), FBoxDim::Any()}};
+  EXPECT_EQ(atom.CountBoundBox({1}, x1), 2u);
+  FBox x1y2{{FBoxDim::Unit(1), FBoxDim::Range(2, 5)}};
+  EXPECT_EQ(atom.CountBoundBox({1}, x1y2), 1u);
+  EXPECT_EQ(atom.CountBoundBox({9}, all), 0u);
+}
+
+TEST(GenericJoinTest, TwoPathMatchesOracle) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), S(y,z)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}, {1, 3}, {4, 2}});
+  AddRelation(db, "S", 2, {{2, 7}, {2, 8}, {3, 9}, {5, 1}});
+  auto got = RunFullJoin(q.value(), db);
+  EXPECT_TRUE(IsStrictlySortedLex(got));
+  EXPECT_EQ(got, OracleAllVars(q.value(), db));
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(GenericJoinTest, TriangleMatchesOracle) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), S(y,z), T(z,x)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Rng rng(77);
+  std::vector<Tuple> edges;
+  for (int i = 0; i < 120; ++i)
+    edges.push_back({rng.UniformRange(1, 12), rng.UniformRange(1, 12)});
+  AddRelation(db, "R", 2, edges);
+  AddRelation(db, "S", 2, edges);
+  AddRelation(db, "T", 2, edges);
+  auto got = RunFullJoin(q.value(), db);
+  EXPECT_TRUE(IsStrictlySortedLex(got));
+  EXPECT_EQ(got, OracleAllVars(q.value(), db));
+}
+
+TEST(GenericJoinTest, SelfJoinSameRelation) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), R(y,z)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}, {2, 3}, {3, 1}, {2, 1}});
+  auto got = RunFullJoin(q.value(), db);
+  EXPECT_EQ(got, OracleAllVars(q.value(), db));
+}
+
+TEST(GenericJoinTest, EmptyRelationKillsJoin) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), S(y,z)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}});
+  AddRelation(db, "S", 2, {});
+  EXPECT_TRUE(RunFullJoin(q.value(), db).empty());
+}
+
+TEST(GenericJoinTest, RandomInstancesPropertySweep) {
+  // Property test: on random ternary-join instances, the streaming join
+  // equals the oracle and is lexicographically sorted.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto q = ParseConjunctiveQuery("Q(x,y,z,w) = R(x,y), S(y,z), T(z,w)");
+    ASSERT_TRUE(q.ok());
+    Database db;
+    Rng rng(seed);
+    auto rand_rel = [&](const std::string& name) {
+      std::vector<Tuple> rows;
+      int n = 20 + (int)rng.Uniform(40);
+      for (int i = 0; i < n; ++i)
+        rows.push_back({rng.UniformRange(1, 8), rng.UniformRange(1, 8)});
+      AddRelation(db, name, 2, rows);
+    };
+    rand_rel("R");
+    rand_rel("S");
+    rand_rel("T");
+    auto got = RunFullJoin(q.value(), db);
+    EXPECT_TRUE(IsStrictlySortedLex(got)) << "seed " << seed;
+    EXPECT_EQ(got, OracleAllVars(q.value(), db)) << "seed " << seed;
+  }
+}
+
+TEST(GenericJoinTest, UnitAndRangeConstraints) {
+  auto q = ParseConjunctiveQuery("Q(x,y) = R(x,y)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 2, {{1, 5}, {1, 6}, {2, 5}, {3, 7}});
+  std::vector<VarId> none;
+  BoundAtom atom(q.value().atoms()[0], *db.Find("R"), none,
+                 {q.value().FindVar("x"), q.value().FindVar("y")});
+  JoinAtomInput in;
+  in.index = &atom.bf_index();
+  in.start = atom.bf_index().Root();
+  in.start_level = 0;
+  in.levels = {{0, 0}, {1, 1}};
+  {
+    JoinIterator join({in}, 2,
+                      {LevelConstraint::Unit(1), LevelConstraint::Any()});
+    Tuple t;
+    std::vector<Tuple> got;
+    while (join.Next(&t)) got.push_back(t);
+    EXPECT_EQ(got, (std::vector<Tuple>{{1, 5}, {1, 6}}));
+  }
+  {
+    LevelConstraint range{FBoxDim::kRange, 2, 3};
+    JoinIterator join({in}, 2, {range, LevelConstraint::Any()});
+    Tuple t;
+    std::vector<Tuple> got;
+    while (join.Next(&t)) got.push_back(t);
+    EXPECT_EQ(got, (std::vector<Tuple>{{2, 5}, {3, 7}}));
+  }
+}
+
+TEST(GenericJoinTest, ZeroLevelExistenceCheck) {
+  auto q = ParseConjunctiveQuery("Q(x) = R(x)");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  AddRelation(db, "R", 1, {{1}});
+  std::vector<VarId> none;
+  BoundAtom atom(q.value().atoms()[0], *db.Find("R"),
+                 {q.value().FindVar("x")}, none);
+  JoinAtomInput in;
+  in.index = &atom.bf_index();
+  in.start = atom.SeekBound({1});
+  in.start_level = 1;
+  JoinIterator join({in}, 0, {});
+  Tuple t;
+  EXPECT_TRUE(join.Next(&t));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(join.Next(&t));
+
+  JoinAtomInput miss = in;
+  miss.start = atom.SeekBound({9});
+  JoinIterator join2({miss}, 0, {});
+  EXPECT_FALSE(join2.Next(&t));
+}
+
+}  // namespace
+}  // namespace cqc

@@ -1,0 +1,140 @@
+// Odds and ends: surfaces not covered by the focused suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressed_rep.h"
+#include "decomposition/connex_builder.h"
+#include "query/parser.h"
+#include "relational/database.h"
+#include "tests/test_util.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+
+TEST(RelationHashTest, ContentHashIdentifiesTupleSets) {
+  Database db;
+  Relation* a = AddRelation(db, "A", 2, {{1, 2}, {3, 4}});
+  Relation* b = AddRelation(db, "B", 2, {{3, 4}, {1, 2}});  // same set
+  Relation* c = AddRelation(db, "C", 2, {{1, 2}, {3, 5}});
+  EXPECT_EQ(a->ContentHash(), b->ContentHash());
+  EXPECT_NE(a->ContentHash(), c->ContentHash());
+}
+
+TEST(RelationHashTest, ArityAffectsHash) {
+  Database db;
+  Relation* a = AddRelation(db, "A", 1, {{1}, {2}});
+  Relation* b = AddRelation(db, "B", 2, {{1, 2}});
+  EXPECT_NE(a->ContentHash(), b->ContentHash());
+}
+
+TEST(DatabaseTest, AdoptRelation) {
+  Database db;
+  auto rel = std::make_unique<Relation>("X", 2);
+  rel->Insert({1, 2});
+  rel->Seal();
+  Relation* ptr = rel.get();
+  EXPECT_EQ(db.AdoptRelation(std::move(rel)), ptr);
+  EXPECT_EQ(db.Find("X"), ptr);
+}
+
+TEST(DecompositionTest, ToStringMentionsVariables) {
+  auto q = ParseConjunctiveQuery("Q(x,y) = R(x,y)");
+  ASSERT_TRUE(q.ok());
+  VarId x = q.value().FindVar("x"), y = q.value().FindVar("y");
+  TreeDecomposition td;
+  int r = td.AddNode(VarBit(x));
+  int n = td.AddNode(VarBit(x) | VarBit(y));
+  td.AddEdge(r, n);
+  td.Finalize(r);
+  std::string s = td.ToString(q.value());
+  EXPECT_NE(s.find("root"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find("y"), std::string::npos);
+}
+
+TEST(HypergraphTest, DirectConstruction) {
+  Hypergraph h(4, {VarBit(0) | VarBit(1), VarBit(2) | VarBit(3)});
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_EQ(VarSetSize(h.vertices()), 4);
+  EXPECT_FALSE(h.IsConnected(h.vertices()));
+}
+
+TEST(StatsTest, AuxAndTotalBytes) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 40, true, 1);
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(TriangleView("bfb"), db, copt);
+  ASSERT_TRUE(rep.ok());
+  const CompressedRepStats& s = rep.value()->stats();
+  EXPECT_EQ(s.AuxBytes(), s.tree_bytes + s.dict_bytes);
+  EXPECT_EQ(s.TotalBytes(), s.AuxBytes() + s.index_bytes);
+  EXPECT_GT(s.index_bytes, 0u);
+  EXPECT_GE(s.build_seconds, 0.0);
+}
+
+TEST(ViewToStringTest, AdornmentVisible) {
+  AdornedView v = TriangleView("bfb");
+  EXPECT_NE(v.ToString().find("Q^bfb"), std::string::npos);
+}
+
+TEST(CompressedRepTest, MaxTreeNodeGuardRespectsOption) {
+  // A tiny node budget must abort cleanly... the guard is a CHECK, so we
+  // instead verify a generous budget succeeds and reports sizes under it.
+  Database db;
+  MakeRandomGraph(db, "R", 8, 30, true, 2);
+  CompressedRepOptions copt;
+  copt.tau = 1.0;
+  copt.max_tree_nodes = 1u << 20;
+  auto rep = CompressedRep::Build(TriangleView("bfb"), db, copt);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_LT(rep.value()->stats().tree_nodes, copt.max_tree_nodes);
+}
+
+TEST(ZigZagTest, UncoveredMiddleEdgeGetsOwnBag) {
+  // P_5: after pairing, the middle edge {x3, x4} is already inside the
+  // last paired bag {x2,x3,x4,x5}; P_7 leaves {x4,x5} uncovered by pairs
+  // only if the closing logic failed — validate both.
+  for (int n : {5, 7}) {
+    AdornedView view = PathView(n);
+    Hypergraph h(view.cq());
+    std::vector<VarId> path_vars;
+    for (int i = 1; i <= n + 1; ++i)
+      path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+    TreeDecomposition td = BuildZigZagPath(path_vars);
+    EXPECT_TRUE(td.Validate(h).ok()) << n;
+  }
+}
+
+TEST(AnswerTimeTest, TotalAnswerTimeBoundHolds) {
+  // T_A = O~(|q(D)| + tau |q(D)|^{1/alpha}) (Theorem 1): check the
+  // measured total ops stay within a generous constant of the bound.
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 12);
+  AdornedView view = TriangleView("bfb");
+  const double tau = 16.0;
+  CompressedRepOptions copt;
+  copt.tau = tau;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const double alpha = rep.value()->stats().alpha;
+  const double log_n = std::log2((double)db.TotalTuples());
+  for (Value a = 1; a <= 12; ++a) {
+    auto e = rep.value()->Answer({a, 12 + a});
+    DelayProfile p = MeasureEnumeration(*e);
+    if (p.num_tuples == 0) continue;
+    const double bound =
+        ((double)p.num_tuples +
+         tau * std::pow((double)p.num_tuples, 1.0 / alpha)) *
+        log_n * 16.0;
+    EXPECT_LE((double)p.total_ops, bound);
+  }
+}
+
+}  // namespace
+}  // namespace cqc

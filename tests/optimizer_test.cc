@@ -1,0 +1,164 @@
+// §6: MinDelayCover / MinSpaceCover / per-bag LPs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fractional/optimizer.h"
+#include "query/parser.h"
+#include "workload/catalog.h"
+
+namespace cqc {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+std::vector<double> LogSizes(int count, double n) {
+  return std::vector<double>(count, std::log(n));
+}
+
+TEST(MinDelayCoverTest, StarTradeoffShape) {
+  // Example 7 / §3.3: space N^n / tau^n. With budget Sigma, the optimal
+  // log tau is (n log N - log Sigma) / n.
+  const double n_rel = 1e5;
+  AdornedView view = StarView(3);
+  Hypergraph h(view.cq());
+  for (double budget_exp : {1.0, 1.5, 2.0, 2.5}) {
+    const double log_budget = budget_exp * std::log(n_rel);
+    CoverSolution sol =
+        MinDelayCover(h, view.free_set(), LogSizes(3, n_rel), log_budget);
+    ASSERT_TRUE(sol.feasible) << budget_exp;
+    EXPECT_NEAR(sol.alpha, 3.0, 1e-3);
+    const double expected_log_tau =
+        std::max(0.0, (3.0 * std::log(n_rel) - log_budget) / 3.0);
+    EXPECT_NEAR(sol.log_tau, expected_log_tau, 1e-3);
+  }
+}
+
+TEST(MinDelayCoverTest, FullBudgetGivesConstantDelay) {
+  const double n_rel = 1e4;
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  // Budget = full materialization bound N^{3/2}: tau should collapse to ~1.
+  CoverSolution sol = MinDelayCover(h, view.free_set(), LogSizes(3, n_rel),
+                                    1.5 * std::log(n_rel));
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.log_tau, 0.0, 1e-3);
+}
+
+TEST(MinDelayCoverTest, MonotoneInBudget) {
+  const double n_rel = 1e5;
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  double prev = 1e100;
+  for (double budget_exp : {1.0, 1.2, 1.4, 1.6}) {
+    CoverSolution sol = MinDelayCover(h, view.free_set(), LogSizes(3, n_rel),
+                                      budget_exp * std::log(n_rel));
+    ASSERT_TRUE(sol.feasible);
+    EXPECT_LE(sol.log_tau, prev + kTol);
+    prev = sol.log_tau;
+  }
+}
+
+TEST(MinDelayCoverTest, SolutionIsValidCover) {
+  const double n_rel = 1e4;
+  AdornedView view = RunningExampleView();
+  Hypergraph h(view.cq());
+  CoverSolution sol = MinDelayCover(h, view.free_set(), LogSizes(3, n_rel),
+                                    1.2 * std::log(n_rel));
+  ASSERT_TRUE(sol.feasible);
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(h.vertices(), v)) continue;
+    double cover = 0;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) cover += sol.u[f];
+    EXPECT_GE(cover, 1.0 - kTol);
+  }
+  EXPECT_GE(sol.alpha, 1.0 - kTol);
+  // Slack consistency: alpha <= coverage of every free variable.
+  for (VarId v = 0; v < h.num_vars(); ++v) {
+    if (!VarSetContains(view.free_set(), v)) continue;
+    double cover = 0;
+    for (int f = 0; f < h.num_edges(); ++f)
+      if (VarSetContains(h.edges()[f], v)) cover += sol.u[f];
+    EXPECT_GE(cover, sol.alpha - kTol);
+  }
+}
+
+TEST(MinSpaceCoverTest, InverseOfMinDelay) {
+  const double n_rel = 1e5;
+  AdornedView view = StarView(3);
+  Hypergraph h(view.cq());
+  // Ask for delay tau = N^{1/3}: space should be ~ N^{3} / N = N^2.
+  const double log_delay = std::log(n_rel) / 3.0;
+  CoverSolution sol =
+      MinSpaceCover(h, view.free_set(), LogSizes(3, n_rel), log_delay);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_LE(sol.log_tau, log_delay + 1e-3);
+  EXPECT_NEAR(sol.log_space / std::log(n_rel), 2.0, 0.02);
+}
+
+TEST(MinSpaceCoverTest, ZeroDelayNeedsFullSpace) {
+  const double n_rel = 1e4;
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  CoverSolution sol =
+      MinSpaceCover(h, view.free_set(), LogSizes(3, n_rel), 0.0);
+  ASSERT_TRUE(sol.feasible);
+  // Must pay about N^{3/2} (the AGM bound) for constant delay.
+  EXPECT_NEAR(sol.log_space / std::log(n_rel), 1.5, 0.05);
+}
+
+TEST(BagCoverTest, TriangleBag) {
+  // Bag {x,y,z} of the triangle with delta = 0: rho+ = 3/2.
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  BagCoverSolution sol =
+      SolveBagCover(h.edges(), h.vertices(), view.free_set(), 0.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.rho_plus, 1.5, kTol);
+}
+
+TEST(BagCoverTest, DeltaReducesRhoPlus) {
+  AdornedView view = TriangleView("bfb");
+  Hypergraph h(view.cq());
+  BagCoverSolution zero =
+      SolveBagCover(h.edges(), h.vertices(), view.free_set(), 0.0);
+  BagCoverSolution half =
+      SolveBagCover(h.edges(), h.vertices(), view.free_set(), 0.5);
+  ASSERT_TRUE(zero.feasible);
+  ASSERT_TRUE(half.feasible);
+  EXPECT_LT(half.rho_plus, zero.rho_plus - 0.1);
+}
+
+TEST(BagCoverTest, NoFreeVarsPinsAlpha) {
+  Hypergraph h(2, {VarBit(0) | VarBit(1)});
+  BagCoverSolution sol =
+      SolveBagCover(h.edges(), VarBit(0) | VarBit(1), 0, 0.7);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.u_total, 1.0, kTol);
+}
+
+TEST(BagCoverTest, InfeasibleWhenUncoverable) {
+  std::vector<VarSet> edges{VarBit(0)};
+  BagCoverSolution sol = SolveBagCover(edges, VarBit(0) | VarBit(1), 0, 0.0);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(OptimizerScalingTest, PolynomialInQuerySize) {
+  // Prop. 11: solvable in polynomial time; star joins of growing arity
+  // should all solve quickly and match the closed form.
+  const double n_rel = 1e5;
+  for (int n = 2; n <= 8; ++n) {
+    AdornedView view = StarView(n);
+    Hypergraph h(view.cq());
+    CoverSolution sol =
+        MinDelayCover(h, view.free_set(), LogSizes(n, n_rel),
+                      (double)n / 2.0 * std::log(n_rel));
+    ASSERT_TRUE(sol.feasible) << n;
+    EXPECT_NEAR(sol.alpha, (double)n, 1e-2) << n;
+    EXPECT_NEAR(sol.log_tau / std::log(n_rel), 0.5, 1e-2) << n;
+  }
+}
+
+}  // namespace
+}  // namespace cqc

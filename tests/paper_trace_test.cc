@@ -1,0 +1,168 @@
+// Reproduces the paper's worked trace of the running example, end to end:
+//   Example 13 - the instance, T(I(r)) ~ 10.56, T(vb, I(r)) ~ 4.414,
+//                (vb, I(r)) is tau-heavy for tau = 4;
+//   Example 14 - the split point beta(r) = (1,1,2), T values 2.44 / 4.56,
+//                and the delay-balanced tree of Figure 3;
+//   Example 15 - the dictionary stores D(I(r), vb) = 1, D(I(rr), vb) = 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressed_rep.h"
+#include "core/cost_model.h"
+#include "core/splitter.h"
+#include "tests/test_util.h"
+#include "workload/catalog.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+
+// The Example 13 instance.
+void FillExample13(Database& db) {
+  AddRelation(db, "R1", 3,
+              {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {3, 1, 1}});
+  AddRelation(db, "R2", 3,
+              {{1, 1, 2}, {1, 2, 1}, {1, 2, 2}, {2, 1, 1}, {2, 1, 2}});
+  AddRelation(db, "R3", 3,
+              {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {2, 1, 2}});
+}
+
+class PaperTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FillExample13(db_);
+    view_ = std::make_unique<AdornedView>(RunningExampleView());
+    for (const Atom& atom : view_->cq().atoms())
+      atoms_.emplace_back(atom, *db_.Find(atom.relation),
+                          view_->bound_vars(), view_->free_vars());
+    // u = (1,1,1), alpha = 2, u^ = (1/2, 1/2, 1/2).
+    cost_ = std::make_unique<CostModel>(
+        &atoms_, std::vector<double>{0.5, 0.5, 0.5});
+    domain_ = std::make_unique<LexDomain>(std::vector<std::vector<Value>>{
+        {1, 2}, {1, 2}, {1, 2}});
+  }
+
+  Database db_;
+  std::unique_ptr<AdornedView> view_;
+  std::vector<BoundAtom> atoms_;
+  std::unique_ptr<CostModel> cost_;
+  std::unique_ptr<LexDomain> domain_;
+};
+
+TEST_F(PaperTraceTest, Example13RootIntervalCost) {
+  // T(I(r)) = sqrt(3*3*4) + sqrt(1*2*4) + sqrt(1*3*1) + 0 ~ 10.56.
+  FInterval root{{1, 1, 1}, {2, 2, 2}};
+  auto boxes = BoxDecompose(root);
+  // The paper's decomposition has 4 boxes: <1,1,[1,2]>, <1,(1,2]>,
+  // <2,[1,2)>, <2,2,[1,2]>.
+  ASSERT_EQ(boxes.size(), 4u);
+  const double expected =
+      std::sqrt(3.0 * 3.0 * 4.0) + std::sqrt(1.0 * 2.0 * 4.0) +
+      std::sqrt(1.0 * 3.0 * 1.0);
+  EXPECT_NEAR(cost_->IntervalCost(root), expected, 1e-9);
+  EXPECT_NEAR(cost_->IntervalCost(root), 10.56, 0.02);
+}
+
+TEST_F(PaperTraceTest, Example13HeavyValuation) {
+  // T(vb, I(r)) = sqrt(2) + 2 + 1 = 4.414 for vb = (1,1,1): tau=4-heavy.
+  FInterval root{{1, 1, 1}, {2, 2, 2}};
+  const double t = cost_->IntervalCostBound({1, 1, 1}, root);
+  EXPECT_NEAR(t, std::sqrt(2.0) + 2.0 + 1.0, 1e-9);
+  EXPECT_GT(t, 4.0);  // tau-heavy for tau = 4
+}
+
+TEST_F(PaperTraceTest, Example14SplitPoint) {
+  // beta(r) = (1,1,2): T([<1,1,1>,<1,1,1>]) ~ 2.44 <= T/2 while extending
+  // to (1,1,2) exceeds T/2.
+  FInterval root{{1, 1, 1}, {2, 2, 2}};
+  SplitResult split = SplitInterval(root, *domain_, *cost_);
+  EXPECT_EQ(split.c, (Tuple{1, 1, 2}));
+  // And the left fragment cost matches the paper's 2.44.
+  FInterval left{{1, 1, 1}, {1, 1, 1}};
+  EXPECT_NEAR(cost_->IntervalCost(left), std::sqrt(3.0 * 1.0 * 2.0), 1e-9);
+  EXPECT_NEAR(cost_->IntervalCost(left), 2.44, 0.01);
+  // Right side [<1,2,1>, <2,2,2>] ~ 4.56.
+  FInterval right{{1, 2, 1}, {2, 2, 2}};
+  EXPECT_NEAR(cost_->IntervalCost(right),
+              std::sqrt(1.0 * 2.0 * 4.0) + std::sqrt(1.0 * 3.0 * 1.0), 1e-9);
+  EXPECT_NEAR(cost_->IntervalCost(right), 4.56, 0.01);
+}
+
+TEST_F(PaperTraceTest, Example14Figure3Tree) {
+  // tau = 4: the tree of Figure 3 has root r (split beta=(1,1,2)), leaf
+  // rl = [<1,1,1>,<1,1,1>], internal rr split at (1,2,2), leaves
+  // rrl = [<1,2,1>,<1,2,1>] and rrr = [<2,1,1>,<2,2,2>].
+  DelayBalancedTree::BuildParams params;
+  params.tau = 4.0;
+  params.alpha = 2.0;
+  DelayBalancedTree tree = DelayBalancedTree::Build(*domain_, *cost_, params);
+  ASSERT_EQ(tree.size(), 5u);  // r, rl, rr, rrl, rrr (Figure 3)
+
+  const DbTreeNode& r = tree.node(0);
+  ASSERT_FALSE(r.leaf);
+  EXPECT_EQ(r.beta, (Tuple{1, 1, 2}));
+  ASSERT_GE(r.left, 0);
+  ASSERT_GE(r.right, 0);
+
+  const DbTreeNode& rl = tree.node(r.left);
+  EXPECT_TRUE(rl.leaf);
+  EXPECT_NEAR(rl.cost, 2.44, 0.01);
+
+  const DbTreeNode& rr = tree.node(r.right);
+  ASSERT_FALSE(rr.leaf);
+  EXPECT_EQ(rr.beta, (Tuple{1, 2, 2}));
+  // Children of rr: [<1,2,1>,<1,2,1>] (cost sqrt(2) ~ 1.414) and
+  // [<2,1,1>,<2,2,2>] (cost sqrt(3)); both below tau_2 = 2.
+  ASSERT_GE(rr.left, 0);
+  const DbTreeNode& rrl = tree.node(rr.left);
+  EXPECT_TRUE(rrl.leaf);
+  EXPECT_NEAR(rrl.cost, std::sqrt(2.0), 0.01);
+  ASSERT_GE(rr.right, 0);
+  const DbTreeNode& rrr = tree.node(rr.right);
+  EXPECT_TRUE(rrr.leaf);
+  EXPECT_NEAR(rrr.cost, std::sqrt(3.0), 0.01);
+}
+
+TEST_F(PaperTraceTest, Example15Dictionary) {
+  // With tau = 4 and vb = (1,1,1): entries D(r, vb) = 1 and D(rr, vb) = 1.
+  CompressedRepOptions options;
+  options.tau = 4.0;
+  options.cover = std::vector<double>{1.0, 1.0, 1.0};
+  auto rep = CompressedRep::Build(*view_, db_, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().message();
+  const CompressedRep& cr = *rep.value();
+  EXPECT_NEAR(cr.stats().alpha, 2.0, 1e-9);
+
+  const HeavyDictionary& dict = cr.dictionary();
+  uint32_t vb_id = dict.FindValuation({1, 1, 1});
+  ASSERT_NE(vb_id, HeavyDictionary::kNoValuation);
+  // Node ids: 0 = r; root's right child = rr.
+  const DbTreeNode& r = cr.tree().node(0);
+  EXPECT_EQ(dict.Lookup(0, vb_id), HeavyDictionary::Bit::kOne);
+  ASSERT_GE(r.right, 0);
+  EXPECT_EQ(dict.Lookup(r.right, vb_id), HeavyDictionary::Bit::kOne);
+  // The left child rl is light for vb (T ~ 1.19 < tau_1 ~ 2.83): no entry.
+  ASSERT_GE(r.left, 0);
+  EXPECT_EQ(dict.Lookup(r.left, vb_id), HeavyDictionary::Bit::kAbsent);
+}
+
+TEST_F(PaperTraceTest, Example5EndToEndAnswers) {
+  // The data structure answers the running example correctly for every
+  // bound valuation, at the paper's parameters.
+  CompressedRepOptions options;
+  options.tau = 4.0;
+  options.cover = std::vector<double>{1.0, 1.0, 1.0};
+  auto rep = CompressedRep::Build(*view_, db_, options);
+  ASSERT_TRUE(rep.ok());
+  for (const BoundValuation& vb :
+       testing::InterestingBoundValuations(*view_, db_)) {
+    auto got = CollectAll(*rep.value()->Answer(vb));
+    EXPECT_TRUE(testing::IsStrictlySortedLex(got));
+    EXPECT_EQ(got, testing::OracleAnswer(*view_, db_, vb));
+  }
+}
+
+}  // namespace
+}  // namespace cqc

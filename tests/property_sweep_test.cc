@@ -1,0 +1,216 @@
+// Wide property sweeps: every adornment of a query, bigger query families
+// (LW_4, S_4, P_5), and cross-structure agreement, all against the naive
+// oracle. These are the "catch what unit tests missed" nets.
+#include <gtest/gtest.h>
+
+#include "baseline/direct_eval.h"
+#include "core/compressed_rep.h"
+#include "decomposition/connex_builder.h"
+#include "decomposition/decomposed_rep.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::AddRelation;
+using testing::InterestingBoundValuations;
+using testing::IsStrictlySortedLex;
+using testing::OracleAnswer;
+using testing::SortedCopy;
+
+void CheckRep(const AdornedView& view, const Database& db, double tau) {
+  CompressedRepOptions copt;
+  copt.tau = tau;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok()) << rep.status().message() << " " << view.ToString();
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    auto got = CollectAll(*rep.value()->Answer(vb));
+    EXPECT_TRUE(IsStrictlySortedLex(got)) << view.ToString();
+    EXPECT_EQ(got, OracleAnswer(view, db, vb))
+        << view.ToString() << " tau=" << tau;
+  }
+}
+
+// Every one of the 16 adornments of a 4-variable cyclic query.
+class AdornmentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdornmentSweep, AllAdornmentsMatchOracle) {
+  const int mask = GetParam();
+  std::string ad;
+  for (int i = 0; i < 4; ++i) ad += (mask >> i) & 1 ? 'b' : 'f';
+  Database db;
+  Rng rng(99);
+  auto rel = [&](const std::string& name) {
+    std::vector<Tuple> rows;
+    for (int i = 0; i < 40; ++i)
+      rows.push_back({rng.UniformRange(1, 6), rng.UniformRange(1, 6)});
+    AddRelation(db, name, 2, rows);
+  };
+  rel("R");
+  rel("S");
+  rel("T");
+  rel("U");
+  auto view = ParseAdornedView(
+      "Q^" + ad + "(a,b,c,d) = R(a,b), S(b,c), T(c,d), U(d,a)");
+  ASSERT_TRUE(view.ok());
+  CheckRep(view.value(), db, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, AdornmentSweep, ::testing::Range(0, 16));
+
+TEST(FamilySweep, LoomisWhitney4) {
+  Database db;
+  MakeLoomisWhitneyRelations(db, "S", 4, 6, 60, 7);
+  CheckRep(LoomisWhitneyView(4), db, 2.0);
+  CheckRep(LoomisWhitneyView(4), db, 16.0);
+}
+
+TEST(FamilySweep, Star4) {
+  Database db;
+  for (int i = 1; i <= 4; ++i)
+    MakeRandomGraph(db, "R" + std::to_string(i), 9, 30, false, 60 + i);
+  CheckRep(StarView(4), db, 2.0);
+  CheckRep(StarView(4), db, 81.0);
+}
+
+TEST(FamilySweep, Path5Theorem1) {
+  Database db;
+  MakePathRelations(db, "R", 5, 9, 26, 15);
+  CheckRep(PathView(5), db, 4.0);
+}
+
+TEST(FamilySweep, Path5Theorem2ZigZag) {
+  Database db;
+  MakePathRelations(db, "R", 5, 9, 26, 16);
+  AdornedView view = PathView(5);
+  std::vector<VarId> path_vars;
+  for (int i = 1; i <= 6; ++i)
+    path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+  TreeDecomposition td = BuildZigZagPath(path_vars);
+  for (double d : {0.0, 0.4}) {
+    DecomposedRepOptions dopt;
+    dopt.delta = DelayAssignment::Uniform(td, d);
+    auto rep = DecomposedRep::Build(view, db, td, dopt);
+    ASSERT_TRUE(rep.ok()) << rep.status().message();
+    for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+      EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer(vb))),
+                OracleAnswer(view, db, vb));
+    }
+  }
+}
+
+TEST(FamilySweep, MixedArityAtoms) {
+  // Ternary + binary atoms, partially bound.
+  Database db;
+  Rng rng(123);
+  Relation* r = db.AddRelation("R", 3);
+  for (int i = 0; i < 80; ++i)
+    r->Insert({rng.UniformRange(1, 5), rng.UniformRange(1, 5),
+               rng.UniformRange(1, 5)});
+  r->Seal();
+  Relation* s = db.AddRelation("S", 2);
+  for (int i = 0; i < 30; ++i)
+    s->Insert({rng.UniformRange(1, 5), rng.UniformRange(1, 5)});
+  s->Seal();
+  auto view = ParseAdornedView("Q^bffb(w,x,y,z) = R(w,x,y), S(y,z)");
+  ASSERT_TRUE(view.ok());
+  for (double tau : {1.0, 8.0, 128.0}) CheckRep(view.value(), db, tau);
+}
+
+TEST(CrossStructureAgreement, CompressedEqualsDirectEverywhere) {
+  // Agreement (including order: both lexicographic) between the tunable
+  // structure and direct evaluation on a query with a skewed instance.
+  Database db;
+  MakeZipfBipartite(db, "R", 25, 60, 300, 0.9, 44);
+  AdornedView view = SetIntersectionView();
+  CompressedRepOptions copt;
+  copt.tau = 8.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  auto de = DirectEval::Build(view, db);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(de.ok());
+  for (Value s1 = 1; s1 <= 12; ++s1)
+    for (Value s2 = 1; s2 <= 12; ++s2)
+      EXPECT_EQ(CollectAll(*rep.value()->Answer({s1, s2}))
+,
+                CollectAll(*de.value()->Answer({s1, s2})));
+}
+
+TEST(SpaceMonotonicity, DictShrinksWithTauAcrossFamilies) {
+  struct Case {
+    AdornedView view;
+    Database db;
+  };
+  // Triangle.
+  {
+    Database db;
+    MakeTripartiteTriangleGraph(db, "R", 8);
+    size_t prev = SIZE_MAX;
+    for (double tau : {1.0, 8.0, 64.0}) {
+      CompressedRepOptions copt;
+      copt.tau = tau;
+      auto rep = CompressedRep::Build(TriangleView("bfb"), db, copt);
+      ASSERT_TRUE(rep.ok());
+      EXPECT_LE(rep.value()->stats().dict_entries, prev);
+      prev = rep.value()->stats().dict_entries;
+    }
+  }
+  // Set intersection.
+  {
+    Database db;
+    MakeSetFamily(db, "R", 10, 40, 150, 0.9, 2);
+    size_t prev = SIZE_MAX;
+    for (double tau : {1.0, 8.0, 64.0}) {
+      CompressedRepOptions copt;
+      copt.tau = tau;
+      auto rep = CompressedRep::Build(SetIntersectionView(), db, copt);
+      ASSERT_TRUE(rep.ok());
+      EXPECT_LE(rep.value()->stats().dict_entries, prev);
+      prev = rep.value()->stats().dict_entries;
+    }
+  }
+}
+
+TEST(DegenerateInstances, AllValuesEqual) {
+  Database db;
+  AddRelation(db, "R", 2, {{5, 5}});
+  auto view = ParseAdornedView("Q^ff(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  CheckRep(view.value(), db, 1.0);
+}
+
+TEST(DegenerateInstances, SingleColumnRelations) {
+  Database db;
+  AddRelation(db, "R", 1, {{1}, {2}, {3}});
+  AddRelation(db, "S", 1, {{2}, {3}, {4}});
+  auto view = ParseAdornedView("Q^f(x) = R(x), S(x)");
+  ASSERT_TRUE(view.ok());
+  CompressedRepOptions copt;
+  copt.tau = 1.0;
+  auto rep = CompressedRep::Build(view.value(), db, copt);
+  ASSERT_TRUE(rep.ok()) << rep.status().message();
+  EXPECT_EQ(CollectAll(*rep.value()->Answer({})),
+            (std::vector<Tuple>{{2}, {3}}));
+}
+
+TEST(DegenerateInstances, WideRelation) {
+  Database db;
+  Rng rng(5);
+  Relation* r = db.AddRelation("R", 6);
+  for (int i = 0; i < 50; ++i) {
+    Tuple t(6);
+    for (auto& v : t) v = rng.UniformRange(1, 3);
+    r->Insert(t);
+  }
+  r->Seal();
+  auto view = ParseAdornedView("Q^bffbff(a,b,c,d,e,f) = R(a,b,c,d,e,f)");
+  ASSERT_TRUE(view.ok());
+  CheckRep(view.value(), db, 2.0);
+}
+
+}  // namespace
+}  // namespace cqc

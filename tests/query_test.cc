@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "query/adorned_view.h"
+#include "query/cq.h"
+#include "query/hypergraph.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace cqc {
+namespace {
+
+TEST(ParserTest, ParsesTriangle) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), S(y,z), T(z,x)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  const ConjunctiveQuery& cq = q.value();
+  EXPECT_EQ(cq.num_vars(), 3);
+  EXPECT_EQ(cq.atoms().size(), 3u);
+  EXPECT_TRUE(cq.IsFull());
+  EXPECT_TRUE(cq.IsNaturalJoin());
+}
+
+TEST(ParserTest, ParsesDatalogArrow) {
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x,y), S(y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q.value().IsFull());  // y not in head
+}
+
+TEST(ParserTest, ParsesConstantsAndRepeats) {
+  auto q = ParseConjunctiveQuery("Q(x,z) = R(x,y,7), S(y,y,z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q.value().IsNaturalJoin());
+  EXPECT_FALSE(q.value().atoms()[0].IsNaturalAtom());
+  EXPECT_EQ(q.value().atoms()[0].terms[2].constant, 7u);
+}
+
+TEST(ParserTest, AdornedView) {
+  auto v = ParseAdornedView("Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)");
+  ASSERT_TRUE(v.ok()) << v.status().message();
+  EXPECT_EQ(v.value().num_bound(), 2);
+  EXPECT_EQ(v.value().num_free(), 1);
+  EXPECT_EQ(v.value().bound_vars().size(), 2u);
+  // x and z bound; y free.
+  EXPECT_EQ(v.value().cq().var_name(v.value().free_vars()[0]), "y");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x = R(x)").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) R(x)").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) = R(x) garbage").ok());
+  EXPECT_FALSE(ParseAdornedView("Q(x) = R(x)").ok());       // no adornment
+  EXPECT_FALSE(ParseAdornedView("Q^bb(x) = R(x)").ok());    // length
+  EXPECT_FALSE(ParseAdornedView("Q^q(x) = R(x)").ok());     // bad char
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) = R(y)").ok());  // x not in body
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(7) = R(x)").ok());  // const in head
+}
+
+TEST(AdornedViewTest, Classification) {
+  auto boolean = ParseAdornedView("Q^bbb(x,y,z) = R(x,y,z)");
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean.value().IsBooleanAdorned());
+  auto full = ParseAdornedView("Q^fff(x,y,z) = R(x,y,z)");
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full.value().IsFullEnumeration());
+  EXPECT_TRUE(full.value().IsNonParametric());
+}
+
+TEST(HypergraphTest, EdgesAndIntersections) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), S(y,z), T(z,x)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(VarSetSize(h.vertices()), 3);
+  VarId y = q.value().FindVar("y");
+  auto touching = h.EdgesIntersecting(VarBit(y));
+  EXPECT_EQ(touching.size(), 2u);  // R and S
+}
+
+TEST(HypergraphTest, Connectivity) {
+  // Disconnected: R(x,y), S(z,w).
+  auto q = ParseConjunctiveQuery("Q(x,y,z,w) = R(x,y), S(z,w)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  EXPECT_TRUE(h.IsConnected(0));
+  VarId x = q.value().FindVar("x"), y = q.value().FindVar("y"),
+        z = q.value().FindVar("z");
+  EXPECT_TRUE(h.IsConnected(VarBit(x) | VarBit(y)));
+  EXPECT_FALSE(h.IsConnected(VarBit(x) | VarBit(z)));
+  EXPECT_FALSE(h.IsConnected(h.vertices()));
+}
+
+TEST(HypergraphTest, Neighbors) {
+  auto q = ParseConjunctiveQuery("Q(x,y,z) = R(x,y), S(y,z)");
+  ASSERT_TRUE(q.ok());
+  Hypergraph h(q.value());
+  VarId x = q.value().FindVar("x"), y = q.value().FindVar("y"),
+        z = q.value().FindVar("z");
+  EXPECT_EQ(h.Neighbors(VarBit(x)), VarBit(y));
+  EXPECT_EQ(h.Neighbors(VarBit(y)), VarBit(x) | VarBit(z));
+}
+
+TEST(NormalizeTest, Example3Rewrite) {
+  // Q^fb(x,z) = R(x,y,7), S(y,y,z): after rewriting, a natural join whose
+  // result matches brute force over the original query.
+  Database db;
+  testing::AddRelation(db, "R", 3,
+                       {{1, 2, 7}, {1, 3, 8}, {4, 2, 7}, {5, 9, 7}});
+  testing::AddRelation(db, "S", 3,
+                       {{2, 2, 100}, {2, 3, 101}, {9, 9, 102}, {3, 3, 103}});
+  auto view = ParseAdornedView("Q^fbf(x,y,z) = R(x,y,7), S(y,y,z)");
+  ASSERT_TRUE(view.ok()) << view.status().message();
+  auto norm = NormalizeView(view.value(), db);
+  ASSERT_TRUE(norm.ok()) << norm.status().message();
+  EXPECT_TRUE(norm.value().view.cq().IsNaturalJoin());
+  // Evaluate both and compare.
+  auto expected = testing::NaiveEvaluate(view.value().cq(), db);
+  auto got = testing::NaiveEvaluate(norm.value().view.cq(), db,
+                                    &norm.value().aux_db);
+  EXPECT_EQ(expected, got);
+  EXPECT_FALSE(expected.empty());
+}
+
+TEST(NormalizeTest, NaturalAtomsUntouched) {
+  Database db;
+  testing::AddRelation(db, "R", 2, {{1, 2}});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  auto norm = NormalizeView(view.value(), db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().view.cq().atoms()[0].relation, "R");
+  EXPECT_EQ(norm.value().aux_db.TotalTuples(), 0u);
+}
+
+TEST(NormalizeTest, RejectsNonFull) {
+  Database db;
+  testing::AddRelation(db, "R", 2, {{1, 2}});
+  auto view = ParseAdornedView("Q^b(x) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(NormalizeView(view.value(), db).ok());
+}
+
+TEST(NormalizeTest, UnknownRelation) {
+  Database db;
+  auto view = ParseAdornedView("Q^bf(x,y) = Missing(x,y)");
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(NormalizeView(view.value(), db).ok());
+}
+
+TEST(CqTest, ToStringRoundTrip) {
+  auto q = ParseConjunctiveQuery("Q(x,y) = R(x,y), S(y,7)");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseConjunctiveQuery(q.value().ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q.value().ToString(), q2.value().ToString());
+}
+
+}  // namespace
+}  // namespace cqc

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/serialization.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::InterestingBoundValuations;
+using testing::OracleAnswer;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripAnswersIdentically) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto original = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("triangle.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*original.value(), path).ok());
+  auto loaded = LoadCompressedRep(view, db, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  EXPECT_EQ(loaded.value()->stats().tree_nodes,
+            original.value()->stats().tree_nodes);
+  EXPECT_EQ(loaded.value()->stats().dict_entries,
+            original.value()->stats().dict_entries);
+  EXPECT_DOUBLE_EQ(loaded.value()->tau(), original.value()->tau());
+
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    EXPECT_EQ(CollectAll(*loaded.value()->Answer(vb)),
+              CollectAll(*original.value()->Answer(vb)));
+    EXPECT_EQ(CollectAll(*loaded.value()->Answer(vb)),
+              OracleAnswer(view, db, vb));
+  }
+}
+
+TEST(SerializationTest, RoundTripStarAndRunningExample) {
+  {
+    Database db;
+    for (int i = 1; i <= 3; ++i)
+      MakeRandomGraph(db, "R" + std::to_string(i), 10, 40, false, 70 + i);
+    AdornedView view = StarView(3);
+    CompressedRepOptions copt;
+    copt.tau = 4.0;
+    auto rep = CompressedRep::Build(view, db, copt);
+    ASSERT_TRUE(rep.ok());
+    const std::string path = TempPath("star.cqcrep");
+    ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+    auto loaded = LoadCompressedRep(view, db, path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    for (const BoundValuation& vb : InterestingBoundValuations(view, db))
+      EXPECT_EQ(CollectAll(*loaded.value()->Answer(vb)),
+                OracleAnswer(view, db, vb));
+  }
+}
+
+TEST(SerializationTest, DetectsWrongData) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const std::string path = TempPath("fingerprint.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+
+  Database other;
+  MakeRandomGraph(other, "R", 12, 59, true, 10);  // different size
+  EXPECT_FALSE(LoadCompressedRep(view, other, path).ok());
+}
+
+TEST(SerializationTest, DetectsGarbageFiles) {
+  Database db;
+  MakeRandomGraph(db, "R", 8, 30, true, 4);
+  AdornedView view = TriangleView("bfb");
+  const std::string path = TempPath("garbage.cqcrep");
+  std::ofstream(path) << "not a rep file at all";
+  EXPECT_FALSE(LoadCompressedRep(view, db, path).ok());
+  EXPECT_FALSE(LoadCompressedRep(view, db, TempPath("missing.cqcrep")).ok());
+}
+
+TEST(SerializationTest, DetectsTruncation) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 50, true, 6);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const std::string path = TempPath("full.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string cut = TempPath("cut.cqcrep");
+  std::ofstream(cut, std::ios::binary)
+      << data.substr(0, data.size() / 2);
+  EXPECT_FALSE(LoadCompressedRep(view, db, cut).ok());
+}
+
+TEST(SerializationTest, BooleanViewRoundTrip) {
+  Database db;
+  testing::AddRelation(db, "R", 2, {{1, 2}, {3, 4}});
+  auto view = ParseAdornedView("Q^bb(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  CompressedRepOptions copt;
+  auto rep = CompressedRep::Build(view.value(), db, copt);
+  ASSERT_TRUE(rep.ok());
+  const std::string path = TempPath("boolean.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+  auto loaded = LoadCompressedRep(view.value(), db, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded.value()->AnswerExists({1, 2}));
+  EXPECT_FALSE(loaded.value()->AnswerExists({1, 4}));
+}
+
+}  // namespace
+}  // namespace cqc

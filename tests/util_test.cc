@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/common.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/str_util.h"
+
+namespace cqc {
+namespace {
+
+TEST(VarSetTest, BitOperations) {
+  VarSet s = VarBit(0) | VarBit(3) | VarBit(63);
+  EXPECT_TRUE(VarSetContains(s, 0));
+  EXPECT_TRUE(VarSetContains(s, 3));
+  EXPECT_TRUE(VarSetContains(s, 63));
+  EXPECT_FALSE(VarSetContains(s, 1));
+  EXPECT_EQ(VarSetSize(s), 3);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(rng.Bernoulli(0.0));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(ZipfTest, UniformFallbackInRange) {
+  Rng rng(5);
+  ZipfSampler z(100, 0.0);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(z.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, SkewPrefersSmallIds) {
+  Rng rng(5);
+  ZipfSampler z(1000, 0.99);
+  size_t low = 0, total = 5000;
+  for (size_t i = 0; i < total; ++i)
+    if (z.Sample(rng) < 10) ++low;
+  // With theta ~ 1, the first few ranks dominate.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(ZipfTest, InRangeAlways) {
+  Rng rng(9);
+  ZipfSampler z(37, 0.8);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(z.Sample(rng), 37u);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status err = Status::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Error("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StrUtilTest, SplitAndStrip) {
+  auto parts = SplitAndStrip("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(StrFormat("%s", "long string to exceed inline buffers maybe"),
+            "long string to exceed inline buffers maybe");
+}
+
+TEST(HashTest, TupleHashDistinguishes) {
+  TupleHash h;
+  EXPECT_NE(h({1, 2, 3}), h({1, 2, 4}));
+  EXPECT_NE(h({1, 2}), h({1, 2, 0}));
+  EXPECT_EQ(h({5, 6}), h({5, 6}));
+}
+
+}  // namespace
+}  // namespace cqc

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+TEST(GeneratorTest, RandomGraphDeterministicAndSized) {
+  Database a, b;
+  Relation* ra = MakeRandomGraph(a, "R", 50, 200, false, 42);
+  Relation* rb = MakeRandomGraph(b, "R", 50, 200, false, 42);
+  ASSERT_EQ(ra->size(), rb->size());
+  EXPECT_EQ(ra->size(), 200u);
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ(ra->At(i, 0), rb->At(i, 0));
+    EXPECT_EQ(ra->At(i, 1), rb->At(i, 1));
+  }
+}
+
+TEST(GeneratorTest, SymmetricGraphClosedUnderReversal) {
+  Database db;
+  Relation* r = MakeRandomGraph(db, "R", 30, 120, true, 9);
+  for (size_t i = 0; i < r->size(); ++i)
+    EXPECT_TRUE(r->Contains({r->At(i, 1), r->At(i, 0)}));
+}
+
+TEST(GeneratorTest, NoSelfLoops) {
+  Database db;
+  Relation* r = MakeRandomGraph(db, "R", 10, 60, false, 3);
+  for (size_t i = 0; i < r->size(); ++i)
+    EXPECT_NE(r->At(i, 0), r->At(i, 1));
+}
+
+TEST(GeneratorTest, RandomRelationRespectsDomains) {
+  Database db;
+  Relation* r = MakeRandomRelation(db, "R", {5, 100, 2}, 150, 8);
+  EXPECT_GT(r->size(), 100u);
+  for (size_t i = 0; i < r->size(); ++i) {
+    EXPECT_LE(r->At(i, 0), 5u);
+    EXPECT_LE(r->At(i, 1), 100u);
+    EXPECT_LE(r->At(i, 2), 2u);
+    EXPECT_GE(r->At(i, 0), 1u);
+  }
+}
+
+TEST(GeneratorTest, ZipfBipartiteSkew) {
+  Database db;
+  Relation* r = MakeZipfBipartite(db, "R", 100, 1000, 800, 0.95, 4);
+  EXPECT_EQ(r->size(), 800u);
+  // The most popular author should have far more papers than the median.
+  std::map<Value, int> counts;
+  for (size_t i = 0; i < r->size(); ++i) counts[r->At(i, 0)]++;
+  int max_count = 0;
+  for (auto& [k, v] : counts) max_count = std::max(max_count, v);
+  EXPECT_GT(max_count, 20);
+}
+
+TEST(GeneratorTest, SetFamilyWithinUniverse) {
+  Database db;
+  Relation* r = MakeSetFamily(db, "R", 10, 50, 200, 0.9, 12);
+  EXPECT_EQ(r->size(), 200u);
+  for (size_t i = 0; i < r->size(); ++i) {
+    EXPECT_GE(r->At(i, 0), 1u);
+    EXPECT_LE(r->At(i, 0), 10u);
+    EXPECT_LE(r->At(i, 1), 50u);
+  }
+}
+
+TEST(GeneratorTest, PathRelationsCount) {
+  Database db;
+  auto rels = MakePathRelations(db, "R", 5, 20, 80, 6);
+  EXPECT_EQ(rels.size(), 5u);
+  for (Relation* r : rels) EXPECT_EQ(r->size(), 80u);
+  EXPECT_NE(db.Find("R1"), nullptr);
+  EXPECT_NE(db.Find("R5"), nullptr);
+}
+
+TEST(GeneratorTest, LoomisWhitneyArity) {
+  Database db;
+  auto rels = MakeLoomisWhitneyRelations(db, "S", 4, 15, 60, 10);
+  EXPECT_EQ(rels.size(), 4u);
+  for (Relation* r : rels) {
+    EXPECT_EQ(r->arity(), 3);
+    EXPECT_EQ(r->size(), 60u);
+  }
+}
+
+TEST(GeneratorTest, TripartiteTriangleCount) {
+  Database db;
+  const uint64_t m = 5;
+  Relation* r = MakeTripartiteTriangleGraph(db, "R", m);
+  EXPECT_EQ(r->size(), 6 * m * m);
+  // Count triangles via the oracle: Q(x,y,z) with x<y<z orientations gives
+  // 6 * m^3 ordered triangles? Each undirected triangle appears 6 times.
+  AdornedView view = TriangleView("fff");
+  auto triangles = testing::OracleAnswer(view, db, {});
+  EXPECT_EQ(triangles.size(), 6 * m * m * m);
+}
+
+TEST(CatalogTest, ViewShapes) {
+  EXPECT_EQ(TriangleView("bfb").num_free(), 1);
+  EXPECT_EQ(RunningExampleView().num_bound(), 3);
+  EXPECT_EQ(StarView(4).num_bound(), 4);
+  EXPECT_EQ(StarView(4).num_free(), 1);
+  EXPECT_EQ(PathView(5).num_free(), 4);
+  EXPECT_EQ(LoomisWhitneyView(4).cq().atoms().size(), 4u);
+  EXPECT_EQ(LoomisWhitneyView(4).cq().atoms()[0].arity(), 3);
+  EXPECT_EQ(CoauthorView().num_bound(), 1);
+  EXPECT_EQ(SetIntersectionView().num_bound(), 2);
+  EXPECT_EQ(SetDisjointnessView(3).num_bound(), 3);
+  EXPECT_TRUE(PathView(3).cq().IsNaturalJoin());
+  EXPECT_TRUE(LoomisWhitneyView(5).cq().IsNaturalJoin());
+}
+
+TEST(CatalogTest, StarCustomAdornment) {
+  AdornedView v = StarView(2, "ffb");
+  EXPECT_EQ(v.num_bound(), 1);
+  EXPECT_EQ(v.num_free(), 2);
+}
+
+}  // namespace
+}  // namespace cqc

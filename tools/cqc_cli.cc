@@ -1,0 +1,193 @@
+// cqc_cli — build and query a compressed view from the command line.
+//
+// Usage:
+//   cqc_cli --rel R=edges.csv:2 [--rel S=...] \
+//           --view "Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)" \
+//           [--tau 64] [--space-budget 1.5] [--save rep.cqcrep] \
+//           [--load rep.cqcrep] [--stats]
+//
+// Then reads one access request per line from stdin (bound values,
+// whitespace-separated, in head order of the bound variables) and prints
+// the matching free-variable tuples. With --space-budget B (an exponent:
+// Sigma = N^B), the §6 MinDelayCover LP picks tau and the cover.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "core/compressed_rep.h"
+#include "core/serialization.h"
+#include "fractional/optimizer.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+#include "relational/csv.h"
+#include "util/str_util.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cqc_cli --rel NAME=PATH:ARITY [--rel ...] --view VIEW\n"
+      "               [--tau T | --space-budget B] [--save PATH]\n"
+      "               [--load PATH] [--stats]\n"
+      "then: one access request per line on stdin (bound values).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqc;
+  Database db;
+  std::string view_text, save_path, load_path;
+  double tau = 1.0;
+  double space_budget = -1;
+  bool want_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--rel") {
+      std::string spec = next();
+      size_t eq = spec.find('=');
+      size_t colon = spec.rfind(':');
+      if (eq == std::string::npos || colon == std::string::npos ||
+          colon < eq) {
+        std::fprintf(stderr, "bad --rel spec: %s\n", spec.c_str());
+        return 2;
+      }
+      std::string name = spec.substr(0, eq);
+      std::string path = spec.substr(eq + 1, colon - eq - 1);
+      int arity = std::atoi(spec.c_str() + colon + 1);
+      auto loaded = LoadRelationCsv(db, name, arity, path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().message().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded %s: %zu tuples\n", name.c_str(),
+                   loaded.value()->size());
+    } else if (arg == "--view") {
+      view_text = next();
+    } else if (arg == "--tau") {
+      tau = std::atof(next());
+    } else if (arg == "--space-budget") {
+      space_budget = std::atof(next());
+    } else if (arg == "--save") {
+      save_path = next();
+    } else if (arg == "--load") {
+      load_path = next();
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (view_text.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto parsed = ParseAdornedView(view_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "view: %s\n", parsed.status().message().c_str());
+    return 1;
+  }
+  auto normalized = NormalizeView(parsed.value(), db);
+  if (!normalized.ok()) {
+    std::fprintf(stderr, "%s\n", normalized.status().message().c_str());
+    return 1;
+  }
+  const AdornedView& view = normalized.value().view;
+  const Database* aux = &normalized.value().aux_db;
+
+  CompressedRepOptions options;
+  options.tau = tau;
+  if (space_budget > 0) {
+    Hypergraph h(view.cq());
+    std::vector<double> log_sizes;
+    for (const Atom& atom : view.cq().atoms()) {
+      const Relation* r = ResolveRelation(atom.relation, db, aux);
+      log_sizes.push_back(std::log(std::max<double>(2.0, (double)r->size())));
+    }
+    double log_n = 0;
+    for (double ls : log_sizes) log_n = std::max(log_n, ls);
+    CoverSolution sol = MinDelayCover(h, view.free_set(), log_sizes,
+                                      space_budget * log_n);
+    if (!sol.feasible) {
+      std::fprintf(stderr, "space budget infeasible\n");
+      return 1;
+    }
+    options.tau = std::exp(sol.log_tau);
+    options.cover = sol.u;
+    std::fprintf(stderr, "optimizer: tau = %.1f, alpha = %.2f\n",
+                 options.tau, sol.alpha);
+  }
+
+  std::unique_ptr<CompressedRep> rep;
+  if (!load_path.empty()) {
+    auto loaded = LoadCompressedRep(view, db, load_path, aux);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    rep = std::move(loaded).value();
+    std::fprintf(stderr, "loaded structure from %s\n", load_path.c_str());
+  } else {
+    auto built = CompressedRep::Build(view, db, options, aux);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().message().c_str());
+      return 1;
+    }
+    rep = std::move(built).value();
+  }
+  if (!save_path.empty()) {
+    Status s = SaveCompressedRep(*rep, save_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved structure to %s\n", save_path.c_str());
+  }
+  if (want_stats) {
+    const CompressedRepStats& s = rep->stats();
+    std::fprintf(stderr,
+                 "tau=%.1f alpha=%.2f rho=%.2f tree=%zu nodes (depth %d) "
+                 "dict=%zu entries aux=%zu B build=%.3fs\n",
+                 rep->tau(), s.alpha, s.rho, s.tree_nodes, s.tree_depth,
+                 s.dict_entries, s.AuxBytes(), s.build_seconds);
+  }
+
+  std::fprintf(stderr, "ready: %d bound value(s) per request\n",
+               view.num_bound());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    BoundValuation vb;
+    Value v;
+    while (in >> v) vb.push_back(v);
+    if ((int)vb.size() != view.num_bound()) {
+      std::fprintf(stderr, "expected %d values, got %zu\n",
+                   view.num_bound(), vb.size());
+      continue;
+    }
+    auto e = rep->Answer(vb);
+    Tuple t;
+    size_t count = 0;
+    while (e->Next(&t)) {
+      ++count;
+      for (size_t i = 0; i < t.size(); ++i)
+        std::printf("%s%llu", i ? "," : "", (unsigned long long)t[i]);
+      std::printf("\n");
+    }
+    std::fprintf(stderr, "(%zu tuples)\n", count);
+  }
+  return 0;
+}

@@ -1,23 +1,31 @@
-// Shared harness for the experiment benches: request measurement and
-// fixed-width table printing. Every bench prints (a) what the paper's
-// analysis predicts and (b) the measured series, so EXPERIMENTS.md can
-// record paper-vs-measured per experiment.
+// Shared harness for the experiment benches: request measurement,
+// fixed-width table printing, and machine-readable result emission. Every
+// bench prints (a) what the paper's analysis predicts and (b) the measured
+// series, so EXPERIMENTS.md can record paper-vs-measured per experiment; a
+// BenchReport additionally writes BENCH_<name>.json (per-query build time,
+// delay percentiles, bytes, throughput) so the perf trajectory is tracked
+// across PRs by diffing JSON instead of scraping stdout.
 #ifndef CQC_BENCH_BENCH_COMMON_H_
 #define CQC_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/enumerator.h"
 #include "query/adorned_view.h"
 #include "util/str_util.h"
+#include "util/timer.h"
 
 namespace cqc {
 namespace bench {
 
-/// Aggregate over a set of access requests.
+/// Aggregate over a set of access requests, keeping the per-request series
+/// so reports can compute percentiles.
 struct RequestStats {
   size_t num_requests = 0;
   size_t total_tuples = 0;
@@ -25,6 +33,21 @@ struct RequestStats {
   double worst_delay_us = 0;      // same, wall clock
   uint64_t total_ops = 0;
   double total_seconds = 0;       // total answer time over all requests
+  std::vector<double> request_seconds;     // per-request answer time
+  std::vector<double> request_delay_us;    // per-request worst gap
+  std::vector<uint64_t> request_delay_ops;
+
+  void Add(const DelayProfile& p) {
+    ++num_requests;
+    total_tuples += p.num_tuples;
+    worst_delay_ops = std::max(worst_delay_ops, p.max_delay_ops);
+    worst_delay_us = std::max(worst_delay_us, p.max_delay_seconds * 1e6);
+    total_ops += p.total_ops;
+    total_seconds += p.total_seconds;
+    request_seconds.push_back(p.total_seconds);
+    request_delay_us.push_back(p.max_delay_seconds * 1e6);
+    request_delay_ops.push_back(p.max_delay_ops);
+  }
 };
 
 /// Runs `answer(vb)` for every request and aggregates delay / answer time.
@@ -34,14 +57,82 @@ RequestStats MeasureRequests(const std::vector<BoundValuation>& requests,
   RequestStats out;
   for (const BoundValuation& vb : requests) {
     auto e = answer(vb);
-    DelayProfile p = MeasureEnumeration(*e);
-    ++out.num_requests;
-    out.total_tuples += p.num_tuples;
-    out.worst_delay_ops = std::max(out.worst_delay_ops, p.max_delay_ops);
-    out.worst_delay_us = std::max(out.worst_delay_us,
-                                  p.max_delay_seconds * 1e6);
-    out.total_ops += p.total_ops;
-    out.total_seconds += p.total_seconds;
+    out.Add(MeasureEnumeration(*e));
+  }
+  return out;
+}
+
+/// Batched counterpart: drains each request through NextBatch.
+template <typename AnswerFn>
+RequestStats MeasureRequestsBatched(
+    const std::vector<BoundValuation>& requests, AnswerFn&& answer,
+    int arity, size_t batch_size = 256) {
+  RequestStats out;
+  for (const BoundValuation& vb : requests) {
+    auto e = answer(vb);
+    out.Add(MeasureEnumerationBatched(*e, arity, batch_size));
+  }
+  return out;
+}
+
+/// p in [0, 100]; nearest-rank percentile of an unsorted series.
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * (double)(xs.size() - 1);
+  const size_t lo = (size_t)rank;
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - (double)lo;
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+/// One-tuple-at-a-time vs batched drain of the same enumerator factory:
+/// the throughput headline for the batch enumeration API.
+struct ThroughputComparison {
+  size_t tuples = 0;
+  double single_seconds = 0;
+  double batched_seconds = 0;
+  double single_mtps() const {  // million tuples / second
+    return single_seconds > 0 ? tuples / single_seconds / 1e6 : 0;
+  }
+  double batched_mtps() const {
+    return batched_seconds > 0 ? tuples / batched_seconds / 1e6 : 0;
+  }
+  double speedup() const {
+    return batched_seconds > 0 ? single_seconds / batched_seconds : 0;
+  }
+};
+
+/// `make()` returns a fresh enumerator over the same stream. Each path is
+/// drained `repeats` times; best time wins (classic min-of-N to shed noise).
+template <typename MakeFn>
+ThroughputComparison CompareDrainThroughput(MakeFn&& make, int arity,
+                                            size_t batch_size = 256,
+                                            int repeats = 5) {
+  ThroughputComparison out;
+  out.single_seconds = 1e300;
+  out.batched_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      auto e = make();
+      WallTimer t;
+      Tuple tup;
+      size_t n = 0;
+      while (e->Next(&tup)) ++n;
+      out.single_seconds = std::min(out.single_seconds, t.Seconds());
+      out.tuples = n;
+    }
+    {
+      auto e = make();
+      WallTimer t;
+      size_t n = DrainBatched(*e, arity, batch_size);
+      out.batched_seconds = std::min(out.batched_seconds, t.Seconds());
+      if (n != out.tuples) {
+        std::fprintf(stderr,
+                     "WARNING: batched drain saw %zu tuples, single saw %zu\n",
+                     n, out.tuples);
+      }
+    }
   }
   return out;
 }
@@ -87,6 +178,116 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+// --- machine-readable results (BENCH_<name>.json) --------------------------
+
+/// A flat JSON object: insertion-ordered key -> encoded value.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    return SetRaw(key, std::isfinite(v) ? StrFormat("%.9g", v) : "null");
+  }
+  JsonObject& Set(const std::string& key, unsigned long v) {
+    return SetRaw(key, StrFormat("%llu", (unsigned long long)v));
+  }
+  JsonObject& Set(const std::string& key, unsigned long long v) {
+    return SetRaw(key, StrFormat("%llu", v));
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return SetRaw(key, StrFormat("%d", v));
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return SetRaw(key, Quote(v));
+  }
+  JsonObject& Set(const std::string& key, const char* v) {
+    return SetRaw(key, Quote(v));
+  }
+  /// `value` must already be valid JSON (nested object/array).
+  JsonObject& SetRaw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  /// Convenience: the standard per-structure measurement block.
+  JsonObject& SetRequestStats(const std::string& prefix,
+                              const RequestStats& s) {
+    Set(prefix + "_requests", s.num_requests);
+    Set(prefix + "_tuples", s.total_tuples);
+    Set(prefix + "_total_seconds", s.total_seconds);
+    Set(prefix + "_worst_delay_ops", s.worst_delay_ops);
+    Set(prefix + "_delay_us_p50", Percentile(s.request_delay_us, 50));
+    Set(prefix + "_delay_us_p95", Percentile(s.request_delay_us, 95));
+    Set(prefix + "_delay_us_p99", Percentile(s.request_delay_us, 99));
+    Set(prefix + "_delay_us_max", s.worst_delay_us);
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects per-query/per-structure records and writes BENCH_<name>.json
+/// into the working directory on Write() (and from the destructor, so a
+/// bench cannot forget).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  ~BenchReport() { Write(); }
+
+  /// Adds one record; fill the returned object in place.
+  JsonObject& AddRecord() {
+    records_.push_back(std::make_unique<JsonObject>());
+    return *records_.back();
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": " << JsonObject::Quote(name_)
+        << ",\n  \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << "    " << records_[i]->ToString()
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<JsonObject>> records_;
+  bool written_ = false;
 };
 
 inline void Banner(const std::string& title, const std::string& claim) {

@@ -52,7 +52,7 @@ void PaperTrace() {
   std::printf("T(I(r))        = %.4f   (paper: ~10.56)\n",
               cost.IntervalCost(root));
   std::printf("T(vb, I(r))    = %.4f   (paper: 4.414)\n",
-              cost.IntervalCostBound({1, 1, 1}, root));
+              cost.IntervalCostBound(Tuple{1, 1, 1}, root));
   SplitResult split = SplitInterval(root, domain, cost);
   std::printf("beta(r)        = (%llu,%llu,%llu)  (paper: (1,1,2))\n",
               (unsigned long long)split.c[0], (unsigned long long)split.c[1],
@@ -62,7 +62,7 @@ void PaperTrace() {
   copt.cover = std::vector<double>{1, 1, 1};
   auto rep = CompressedRep::Build(view, db, copt);
   const HeavyDictionary& dict = rep.value()->dictionary();
-  uint32_t vb = dict.FindValuation({1, 1, 1});
+  uint32_t vb = dict.FindValuation(Tuple{1, 1, 1});
   std::printf("tree nodes     = %zu       (Figure 3: 5)\n",
               rep.value()->stats().tree_nodes);
   std::printf("D(r, vb)       = %d        (paper: 1)\n",
@@ -106,6 +106,7 @@ int main() {
       "tau=sqrt(N) space is O~(N^2)");
   Table table({"tau", "aux space", "dict entries", "tree nodes", "build s",
                "worst delay (ops)", "total TA (ops)", "tuples"});
+  bench::BenchReport report("running_example");
   for (double tau : {std::sqrt(n), 8 * std::sqrt(n), 64 * std::sqrt(n),
                      512 * std::sqrt(n)}) {
     CompressedRepOptions copt;
@@ -116,9 +117,10 @@ int main() {
       std::printf("build failed: %s\n", rep.status().message().c_str());
       return 1;
     }
-    RequestStats s = MeasureRequests(
-        requests,
-        [&](const BoundValuation& vb) { return rep.value()->Answer(vb); });
+    auto answer = [&](const BoundValuation& vb) {
+      return rep.value()->Answer(vb);
+    };
+    RequestStats s = MeasureRequests(requests, answer);
     const CompressedRepStats& st = rep.value()->stats();
     table.AddRow({StrFormat("%.0f", tau), bench::HumanBytes(st.AuxBytes()),
                   StrFormat("%zu", st.dict_entries),
@@ -127,6 +129,17 @@ int main() {
                   StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
                   StrFormat("%llu", (unsigned long long)s.total_ops),
                   StrFormat("%zu", s.total_tuples)});
+    report.AddRecord()
+        .Set("experiment", "E2b_running_example")
+        .Set("structure", "compressed_rep")
+        .Set("tau", tau)
+        .Set("build_seconds", st.build_seconds)
+        .Set("aux_bytes", st.AuxBytes())
+        .Set("dict_entries", st.dict_entries)
+        .Set("tree_nodes", st.tree_nodes)
+        .SetRequestStats("single", s)
+        .SetRequestStats("batched", bench::MeasureRequestsBatched(
+                                        requests, answer, view.num_free()));
   }
   table.Print();
   return 0;

@@ -94,6 +94,7 @@ int main() {
 
   AdornedView view = TriangleView("bfb");
   auto requests = MakeRequests(*r, m, hubs, hub_degree);
+  bench::BenchReport report("triangle_tradeoff");
 
   Banner("E1: triangle V^bfb space/delay tradeoff (Example 1)",
          "space O~(N^{3/2}/tau), delay O~(tau); extremes bracket it");
@@ -114,6 +115,12 @@ int main() {
                   StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
                   StrFormat("%llu", (unsigned long long)s.total_ops),
                   StrFormat("%zu", s.total_tuples)});
+    report.AddRecord()
+        .Set("experiment", "E1_triangle_tradeoff")
+        .Set("structure", "materialized_view")
+        .Set("build_seconds", mv.value()->build_seconds())
+        .Set("aux_bytes", mv.value()->SpaceBytes())
+        .SetRequestStats("single", s);
   }
   // The tunable structure across tau.
   for (double tau : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
@@ -136,6 +143,22 @@ int main() {
                   StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
                   StrFormat("%llu", (unsigned long long)s.total_ops),
                   StrFormat("%zu", s.total_tuples)});
+    report.AddRecord()
+        .Set("experiment", "E1_triangle_tradeoff")
+        .Set("structure", "compressed_rep")
+        .Set("tau", tau)
+        .Set("build_seconds", st.build_seconds)
+        .Set("aux_bytes", st.AuxBytes())
+        .Set("dict_entries", st.dict_entries)
+        .Set("tree_nodes", st.tree_nodes)
+        .SetRequestStats("single", s)
+        .SetRequestStats("batched",
+                         bench::MeasureRequestsBatched(
+                             requests,
+                             [&](const BoundValuation& vb) {
+                               return rep.value()->Answer(vb);
+                             },
+                             view.num_free()));
   }
   // Extreme 2: direct evaluation.
   {
@@ -149,6 +172,12 @@ int main() {
                   StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
                   StrFormat("%llu", (unsigned long long)s.total_ops),
                   StrFormat("%zu", s.total_tuples)});
+    report.AddRecord()
+        .Set("experiment", "E1_triangle_tradeoff")
+        .Set("structure", "direct_eval")
+        .Set("build_seconds", de.value()->build_seconds())
+        .Set("aux_bytes", de.value()->SpaceBytes())
+        .SetRequestStats("single", s);
   }
   table.Print();
   std::printf(

@@ -14,6 +14,9 @@ class JoinEnumerator : public TupleEnumerator {
  public:
   explicit JoinEnumerator(JoinIterator join) : join_(std::move(join)) {}
   bool Next(Tuple* out) override { return join_.Next(out); }
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    return join_.NextBatch(out, max_tuples);
+  }
 
  private:
   JoinIterator join_;

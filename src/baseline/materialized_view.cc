@@ -25,6 +25,18 @@ class SuffixScanEnumerator : public TupleEnumerator {
     return true;
   }
 
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    size_t n = 0;
+    while (n < max_tuples && row_ < range_.end) {
+      Value* slot = out->AppendSlot();
+      for (int l = from_; l < to_; ++l)
+        slot[l - from_] = index_->ValueAt(l, row_);
+      ++row_;
+      ++n;
+    }
+    return n;
+  }
+
  private:
   const SortedIndex* index_;
   RowRange range_;
@@ -70,8 +82,14 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
   }
   JoinIterator join(std::move(inputs), k,
                     std::vector<LevelConstraint>(k, LevelConstraint::Any()));
-  Tuple t;
-  while (join.Next(&t)) mv->table_->Insert(t);
+  constexpr size_t kBatch = 1024;
+  TupleBuffer batch(k);
+  for (;;) {
+    batch.Clear();
+    const size_t n = join.NextBatch(&batch, kBatch);
+    for (size_t i = 0; i < n; ++i) mv->table_->InsertRow(batch[i].data());
+    if (n < kBatch) break;
+  }
   mv->table_->Seal();
   std::vector<int> identity(k);
   std::iota(identity.begin(), identity.end(), 0);

@@ -146,7 +146,7 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::Build(
   s.build_seconds = timer.Seconds();
   s.tree_nodes = rep->tree_.size();
   s.tree_depth = rep->tree_.max_depth();
-  if (!rep->tree_.empty()) s.root_cost = rep->tree_.node(0).cost;
+  if (!rep->tree_.empty()) s.root_cost = rep->tree_.cost(0);
   s.dict_entries = rep->dict_.NumEntries();
   s.num_candidates = rep->dict_.NumCandidates();
   s.tree_bytes = rep->tree_.MemoryBytes();
@@ -158,10 +158,13 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::Build(
 // Algorithm 2: in-order traversal of the delay-balanced tree.
 // ---------------------------------------------------------------------------
 
+// The traversal is written once, as the batch producer NextBatch(); the
+// one-at-a-time Next() pulls single-tuple batches through a scratch buffer,
+// so both entry points share one state machine and cannot diverge.
 class CompressedRep::Alg2Enumerator : public TupleEnumerator {
  public:
   Alg2Enumerator(const CompressedRep* rep, BoundValuation vb)
-      : rep_(rep), vb_(std::move(vb)) {
+      : rep_(rep), vb_(std::move(vb)), scratch_(rep->view().num_free()) {
     CQC_CHECK_EQ((int)vb_.size(), rep_->view_.num_bound());
     // Pre-bind every atom; an empty range kills the whole request.
     for (const BoundAtom& atom : rep_->atoms_) {
@@ -177,6 +180,20 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
       return;
     }
     vb_id_ = rep_->dict_.FindValuation(vb_);
+    // One shared join-input table for every box join of this request: the
+    // trie, pre-bound start range, and level map never change, only the
+    // per-box constraints do (JoinIterator::Reset).
+    for (size_t a = 0; a < rep_->atoms_.size(); ++a) {
+      const BoundAtom& atom = rep_->atoms_[a];
+      JoinAtomInput in;
+      in.index = &atom.bf_index();
+      in.start = start_ranges_[a];
+      in.start_level = atom.num_bound();
+      for (int i = 0; i < atom.num_free(); ++i)
+        in.levels.emplace_back(atom.free_positions()[i],
+                               atom.num_bound() + i);
+      base_inputs_.push_back(std::move(in));
+    }
     stack_.push_back(Frame{
         rep_->tree_.root(),
         FInterval{rep_->domain_.MinTuple(), rep_->domain_.MaxTuple()},
@@ -184,10 +201,21 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   }
 
   bool Next(Tuple* out) override {
-    while (!done_) {
-      if (join_.has_value()) {
-        if (join_->Next(out)) return true;
-        join_.reset();
+    scratch_.Clear();
+    if (NextBatch(&scratch_, 1) == 0) return false;
+    TupleSpan t = scratch_[0];
+    out->assign(t.begin(), t.end());
+    return true;
+  }
+
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    size_t emitted = 0;
+    while (!done_ && emitted < max_tuples) {
+      if (join_active_) {
+        size_t n = join_->NextBatch(out, max_tuples - emitted);
+        emitted += n;
+        if (emitted == max_tuples) break;  // join may still have more
+        join_active_ = false;
         if (!AdvanceBox()) stack_.pop_back();
         continue;
       }
@@ -196,6 +224,7 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
         break;
       }
       Frame& f = stack_.back();
+      const DelayBalancedTree& tree = rep_->tree_;
       switch (f.phase) {
         case Phase::kEnter: {
           HeavyDictionary::Bit bit = rep_->dict_.Lookup(f.node, vb_id_);
@@ -207,51 +236,51 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
             if (!AdvanceBox()) stack_.pop_back();
           } else if (bit == HeavyDictionary::Bit::kZero) {
             stack_.pop_back();  // heavy but empty: skip the subtree
-          } else if (rep_->tree_.node(f.node).leaf) {
+          } else if (tree.leaf(f.node)) {
             // Only unit-interval leaves can carry heavy entries (non-unit
             // leaves satisfy T(I) < tau_l, so no pair is heavy there); a
             // 1-bit certifies the single grid point is an output.
             CQC_CHECK(f.interval.IsUnit());
-            *out = f.interval.lo;
+            out->Append(f.interval.lo);
+            ++emitted;
             stack_.pop_back();
-            return true;
           } else {
             f.phase = Phase::kAfterLeft;
-            const DbTreeNode& n = rep_->tree_.node(f.node);
-            if (n.left >= 0) {
+            const int32_t left = tree.left(f.node);
+            if (left >= 0) {
               FInterval child;
               CQC_CHECK(DelayBalancedTree::LeftInterval(
-                  f.interval, n.beta, rep_->domain_, &child));
-              stack_.push_back(
-                  Frame{n.left, std::move(child), Phase::kEnter});
+                  f.interval, tree.beta(f.node), rep_->domain_, &child));
+              stack_.push_back(Frame{left, std::move(child), Phase::kEnter});
             }
           }
           break;
         }
         case Phase::kAfterLeft: {
           f.phase = Phase::kAfterBeta;
-          const DbTreeNode& n = rep_->tree_.node(f.node);
-          if (BetaMatches(n.beta)) {
-            *out = n.beta;
-            return true;
+          const TupleSpan beta = tree.beta(f.node);
+          if (BetaMatches(beta)) {
+            out->Append(beta);
+            ++emitted;
           }
           break;
         }
         case Phase::kAfterBeta: {
-          const DbTreeNode n = rep_->tree_.node(f.node);
-          const FInterval interval = f.interval;
-          stack_.pop_back();
-          if (n.right >= 0) {
+          const int node = f.node;
+          const FInterval interval = std::move(f.interval);
+          stack_.pop_back();  // invalidates f
+          const int32_t right = tree.right(node);
+          if (right >= 0) {
             FInterval child;
             CQC_CHECK(DelayBalancedTree::RightInterval(
-                interval, n.beta, rep_->domain_, &child));
-            stack_.push_back(Frame{n.right, std::move(child), Phase::kEnter});
+                interval, tree.beta(node), rep_->domain_, &child));
+            stack_.push_back(Frame{right, std::move(child), Phase::kEnter});
           }
           break;
         }
       }
     }
-    return false;
+    return emitted;
   }
 
  private:
@@ -265,33 +294,22 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   // Starts the join for eval_boxes_[eval_idx_]; false when exhausted.
   bool AdvanceBox() {
     const int mu = rep_->domain_.mu();
-    while (eval_idx_ < eval_boxes_.size()) {
-      const FBox& box = eval_boxes_[eval_idx_++];
-      std::vector<JoinAtomInput> inputs;
-      inputs.reserve(rep_->atoms_.size());
-      for (size_t a = 0; a < rep_->atoms_.size(); ++a) {
-        const BoundAtom& atom = rep_->atoms_[a];
-        JoinAtomInput in;
-        in.index = &atom.bf_index();
-        in.start = start_ranges_[a];
-        in.start_level = atom.num_bound();
-        for (int i = 0; i < atom.num_free(); ++i)
-          in.levels.emplace_back(atom.free_positions()[i],
-                                 atom.num_bound() + i);
-        inputs.push_back(std::move(in));
-      }
-      std::vector<LevelConstraint> constraints;
-      constraints.reserve(mu);
-      for (int i = 0; i < mu; ++i)
-        constraints.push_back(LevelConstraint::FromDim(box.dims[i]));
-      join_.emplace(std::move(inputs), mu, std::move(constraints));
-      return true;
+    if (eval_idx_ >= eval_boxes_.size()) return false;
+    const FBox& box = eval_boxes_[eval_idx_++];
+    box_constraints_.clear();
+    for (int i = 0; i < mu; ++i)
+      box_constraints_.push_back(LevelConstraint::FromDim(box.dims[i]));
+    if (!join_.has_value()) {
+      join_.emplace(&base_inputs_, mu, box_constraints_);
+    } else {
+      join_->Reset(box_constraints_);
     }
-    return false;
+    join_active_ = true;
+    return true;
   }
 
   // Membership of the split point: the unit-interval probe of Algorithm 2.
-  bool BetaMatches(const Tuple& beta) const {
+  bool BetaMatches(TupleSpan beta) const {
     for (size_t a = 0; a < rep_->atoms_.size(); ++a) {
       const BoundAtom& atom = rep_->atoms_[a];
       RowRange r = start_ranges_[a];
@@ -307,10 +325,14 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   BoundValuation vb_;
   uint32_t vb_id_ = HeavyDictionary::kNoValuation;
   std::vector<RowRange> start_ranges_;
+  std::vector<JoinAtomInput> base_inputs_;  // shared by every box join
   std::vector<Frame> stack_;
   std::vector<FBox> eval_boxes_;
   size_t eval_idx_ = 0;
-  std::optional<JoinIterator> join_;
+  std::optional<JoinIterator> join_;  // reused across boxes via Reset()
+  bool join_active_ = false;
+  std::vector<LevelConstraint> box_constraints_;  // reused per box
+  TupleBuffer scratch_;  // 1-tuple staging for the legacy Next() entry point
   bool done_ = false;
 };
 
@@ -351,32 +373,34 @@ struct FixupWalker {
 
   // Streams the join outputs of (vb, boxes) into `visit`; stops early when
   // visit returns false. Returns true if stopped early (a live output).
-  bool AnyLiveOutput(const Tuple& vb, const std::vector<FBox>& boxes) const {
+  bool AnyLiveOutput(TupleSpan vb_span, const std::vector<FBox>& boxes) const {
+    const Tuple vb = vb_span.ToTuple();  // the live() callback wants a Tuple
     const int mu = domain->mu();
+    std::vector<JoinAtomInput> inputs;
+    for (const BoundAtom& atom : *atoms) {
+      JoinAtomInput in;
+      in.index = &atom.bf_index();
+      in.start = atom.SeekBound(vb);
+      if (in.start.empty()) return false;
+      in.start_level = atom.num_bound();
+      for (int i = 0; i < atom.num_free(); ++i)
+        in.levels.emplace_back(atom.free_positions()[i],
+                               atom.num_bound() + i);
+      inputs.push_back(std::move(in));
+    }
+    std::optional<JoinIterator> join;
+    std::vector<LevelConstraint> constraints;
+    Tuple vf;
     for (const FBox& box : boxes) {
-      std::vector<JoinAtomInput> inputs;
-      bool dead = false;
-      for (const BoundAtom& atom : *atoms) {
-        JoinAtomInput in;
-        in.index = &atom.bf_index();
-        in.start = atom.SeekBound(vb);
-        if (in.start.empty()) {
-          dead = true;
-          break;
-        }
-        in.start_level = atom.num_bound();
-        for (int i = 0; i < atom.num_free(); ++i)
-          in.levels.emplace_back(atom.free_positions()[i],
-                                 atom.num_bound() + i);
-        inputs.push_back(std::move(in));
-      }
-      if (dead) return false;
-      std::vector<LevelConstraint> constraints;
+      constraints.clear();
       for (int i = 0; i < mu; ++i)
         constraints.push_back(LevelConstraint::FromDim(box.dims[i]));
-      JoinIterator join(std::move(inputs), mu, std::move(constraints));
-      Tuple vf;
-      while (join.Next(&vf)) {
+      if (!join.has_value()) {
+        join.emplace(&inputs, mu, constraints);
+      } else {
+        join->Reset(constraints);
+      }
+      while (join->Next(&vf)) {
         if ((*live)(vb, vf)) return true;
       }
     }
@@ -388,20 +412,20 @@ struct FixupWalker {
     std::vector<uint32_t> to_clear;
     dict->ForEachEntry(node, [&](uint32_t vb_id, bool bit) {
       if (!bit) return;
-      const Tuple& vb = dict->candidates()[vb_id];
-      if (!AnyLiveOutput(vb, boxes)) to_clear.push_back(vb_id);
+      if (!AnyLiveOutput(dict->candidate(vb_id), boxes))
+        to_clear.push_back(vb_id);
     });
     for (uint32_t id : to_clear) dict->SetBit(node, id, false);
 
-    const DbTreeNode& n = tree->node(node);
-    if (n.leaf) return;
+    if (tree->leaf(node)) return;
+    const TupleSpan beta = tree->beta(node);
     FInterval child;
-    if (n.left >= 0 &&
-        DelayBalancedTree::LeftInterval(interval, n.beta, *domain, &child))
-      Walk(n.left, child);
-    if (n.right >= 0 &&
-        DelayBalancedTree::RightInterval(interval, n.beta, *domain, &child))
-      Walk(n.right, child);
+    if (tree->left(node) >= 0 &&
+        DelayBalancedTree::LeftInterval(interval, beta, *domain, &child))
+      Walk(tree->left(node), child);
+    if (tree->right(node) >= 0 &&
+        DelayBalancedTree::RightInterval(interval, beta, *domain, &child))
+      Walk(tree->right(node), child);
   }
 };
 

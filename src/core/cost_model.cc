@@ -30,8 +30,7 @@ double CostModel::BoxCost(const FBox& box) const {
   return t;
 }
 
-double CostModel::BoxCostBound(const std::vector<Value>& bound_vals,
-                               const FBox& box) const {
+double CostModel::BoxCostBound(TupleSpan bound_vals, const FBox& box) const {
   double t = 1.0;
   for (size_t f = 0; f < atoms_->size() && t > 0; ++f)
     t *= Pow((*atoms_)[f].CountBoundBox(bound_vals, box), exponents_[f]);
@@ -44,7 +43,7 @@ double CostModel::BoxesCost(const std::vector<FBox>& boxes) const {
   return t;
 }
 
-double CostModel::BoxesCostBound(const std::vector<Value>& bound_vals,
+double CostModel::BoxesCostBound(TupleSpan bound_vals,
                                  const std::vector<FBox>& boxes) const {
   double t = 0.0;
   for (const FBox& b : boxes) t += BoxCostBound(bound_vals, b);
@@ -56,7 +55,7 @@ double CostModel::IntervalCost(const FInterval& interval) const {
   return BoxesCost(BoxDecompose(interval));
 }
 
-double CostModel::IntervalCostBound(const std::vector<Value>& bound_vals,
+double CostModel::IntervalCostBound(TupleSpan bound_vals,
                                     const FInterval& interval) const {
   if (interval.Empty()) return 0.0;
   return BoxesCostBound(bound_vals, BoxDecompose(interval));

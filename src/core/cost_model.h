@@ -25,16 +25,15 @@ class CostModel {
             std::vector<double> exponents);
 
   double BoxCost(const FBox& box) const;
-  double BoxCostBound(const std::vector<Value>& bound_vals,
-                      const FBox& box) const;
+  double BoxCostBound(TupleSpan bound_vals, const FBox& box) const;
 
   double IntervalCost(const FInterval& interval) const;
-  double IntervalCostBound(const std::vector<Value>& bound_vals,
+  double IntervalCostBound(TupleSpan bound_vals,
                            const FInterval& interval) const;
 
   /// Sum of BoxCost over an explicit box list.
   double BoxesCost(const std::vector<FBox>& boxes) const;
-  double BoxesCostBound(const std::vector<Value>& bound_vals,
+  double BoxesCostBound(TupleSpan bound_vals,
                         const std::vector<FBox>& boxes) const;
 
   const std::vector<double>& exponents() const { return exponents_; }

@@ -1,6 +1,7 @@
 #include "core/dbtree.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "core/splitter.h"
 #include "util/logging.h"
@@ -11,10 +12,9 @@ double DelayBalancedTree::Threshold(double tau, double alpha, int level) {
   return tau * std::pow(2.0, -(double)level * (1.0 - 1.0 / alpha));
 }
 
-bool DelayBalancedTree::LeftInterval(const FInterval& parent,
-                                     const Tuple& beta,
+bool DelayBalancedTree::LeftInterval(const FInterval& parent, TupleSpan beta,
                                      const LexDomain& domain, FInterval* out) {
-  Tuple hi = beta;
+  Tuple hi = beta.ToTuple();
   if (!domain.Pred(hi)) return false;  // beta is the grid minimum
   if (LexDomain::Compare(parent.lo, hi) > 0) return false;
   out->lo = parent.lo;
@@ -22,11 +22,10 @@ bool DelayBalancedTree::LeftInterval(const FInterval& parent,
   return true;
 }
 
-bool DelayBalancedTree::RightInterval(const FInterval& parent,
-                                      const Tuple& beta,
+bool DelayBalancedTree::RightInterval(const FInterval& parent, TupleSpan beta,
                                       const LexDomain& domain,
                                       FInterval* out) {
-  Tuple lo = beta;
+  Tuple lo = beta.ToTuple();
   if (!domain.Succ(lo)) return false;  // beta is the grid maximum
   if (LexDomain::Compare(lo, parent.hi) > 0) return false;
   out->lo = std::move(lo);
@@ -41,25 +40,52 @@ DelayBalancedTree DelayBalancedTree::Build(const LexDomain& domain,
   if (domain.mu() == 0 || domain.AnyEmpty()) return tree;
   CQC_CHECK_GT(params.tau, 0.0);
   CQC_CHECK_GE(params.alpha, 1.0);
+  tree.mu_ = domain.mu();
   FInterval root{domain.MinTuple(), domain.MaxTuple()};
   tree.BuildNode(domain, cost, params, root, 0);
   return tree;
+}
+
+DelayBalancedTree DelayBalancedTree::FromFlat(
+    int mu, std::vector<Value> beta, std::vector<int32_t> left,
+    std::vector<int32_t> right, std::vector<float> cost,
+    std::vector<uint16_t> level, std::vector<uint8_t> leaf) {
+  const size_t n = left.size();
+  CQC_CHECK_EQ(beta.size(), n * (size_t)mu);
+  CQC_CHECK_EQ(right.size(), n);
+  CQC_CHECK_EQ(cost.size(), n);
+  CQC_CHECK_EQ(level.size(), n);
+  CQC_CHECK_EQ(leaf.size(), n);
+  DelayBalancedTree t;
+  t.mu_ = mu;
+  t.beta_ = std::move(beta);
+  t.left_ = std::move(left);
+  t.right_ = std::move(right);
+  t.cost_ = std::move(cost);
+  t.level_ = std::move(level);
+  t.leaf_ = std::move(leaf);
+  for (uint16_t l : t.level_) t.max_depth_ = std::max(t.max_depth_, (int)l);
+  return t;
 }
 
 int DelayBalancedTree::BuildNode(const LexDomain& domain,
                                  const CostModel& cost,
                                  const BuildParams& params,
                                  const FInterval& interval, int level) {
-  CQC_CHECK_LT(nodes_.size(), params.max_nodes)
+  CQC_CHECK_LT(size(), params.max_nodes)
       << "delay-balanced tree exceeded the node budget";
   CQC_CHECK_LT(level, 4096) << "delay-balanced tree too deep";
   const double t = cost.IntervalCost(interval);
   const double threshold = Threshold(params.tau, params.alpha, level);
 
-  const int id = (int)nodes_.size();
-  nodes_.emplace_back();
-  nodes_[id].level = (uint16_t)level;
-  nodes_[id].cost = (float)t;
+  // Append one SoA row (leaf defaults; beta slot zero-filled).
+  const int id = (int)size();
+  beta_.resize(beta_.size() + mu_, 0);
+  left_.push_back(-1);
+  right_.push_back(-1);
+  cost_.push_back((float)t);
+  level_.push_back((uint16_t)level);
+  leaf_.push_back(1);
   max_depth_ = std::max(max_depth_, level);
 
   if (t < threshold || interval.IsUnit()) {
@@ -67,27 +93,32 @@ int DelayBalancedTree::BuildNode(const LexDomain& domain,
   }
 
   SplitResult split = SplitInterval(interval, domain, cost);
-  nodes_[id].leaf = false;
-  nodes_[id].beta = split.c;
+  leaf_[id] = 0;
+  CQC_CHECK_EQ(split.c.size(), (size_t)mu_);
+  std::memcpy(beta_.data() + (size_t)id * mu_, split.c.data(),
+              mu_ * sizeof(Value));
 
   FInterval child;
   if (LeftInterval(interval, split.c, domain, &child) &&
       cost.IntervalCost(child) > 0) {
     int left = BuildNode(domain, cost, params, child, level + 1);
-    nodes_[id].left = left;
+    left_[id] = left;
   }
   if (RightInterval(interval, split.c, domain, &child) &&
       cost.IntervalCost(child) > 0) {
     int right = BuildNode(domain, cost, params, child, level + 1);
-    nodes_[id].right = right;
+    right_[id] = right;
   }
   return id;
 }
 
 size_t DelayBalancedTree::MemoryBytes() const {
-  size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(DbTreeNode);
-  for (const auto& n : nodes_) bytes += n.beta.capacity() * sizeof(Value);
-  return bytes;
+  return sizeof(*this) + beta_.capacity() * sizeof(Value) +
+         left_.capacity() * sizeof(int32_t) +
+         right_.capacity() * sizeof(int32_t) +
+         cost_.capacity() * sizeof(float) +
+         level_.capacity() * sizeof(uint16_t) +
+         leaf_.capacity() * sizeof(uint8_t);
 }
 
 }  // namespace cqc

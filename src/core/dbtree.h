@@ -7,10 +7,15 @@
 // (beta, c]. Lemma 4: T halves per level, so depth is O(log T) and size
 // O(T / tau^alpha)-ish.
 //
-// Nodes store only beta and child links; a node's interval is recomputed
-// from the root interval and the beta values along the path (children are
-// [lo, pred(beta)] and [succ(beta), hi] on the active-domain grid), which
-// keeps per-node space at O(mu) values.
+// Storage is struct-of-arrays: nodes are rows of parallel flat vectors
+// (split-point pool, child offsets, cost/level/leaf annotations) indexed by
+// node id, with node 0 the root and children at higher ids (preorder). Every
+// split point lives in one contiguous `beta` pool at offset id * mu, so a
+// lookup is pointer arithmetic (returned as TupleSpan), traversal touches
+// adjacent cache lines, and the whole tree serializes as a handful of flat
+// array blocks (mmap-friendly: a future zero-copy load can point spans
+// straight into the file). A node's interval is still recomputed from the
+// root interval and the betas along the path, keeping per-node space O(mu).
 #ifndef CQC_CORE_DBTREE_H_
 #define CQC_CORE_DBTREE_H_
 
@@ -23,6 +28,8 @@
 
 namespace cqc {
 
+/// Materialized row view of one tree node — inspection, tests and printing;
+/// the hot paths use the flat per-field accessors on DelayBalancedTree.
 struct DbTreeNode {
   Tuple beta;          // split point; empty for leaves
   int32_t left = -1;   // child over [lo, pred(beta)]
@@ -46,28 +53,61 @@ class DelayBalancedTree {
   static DelayBalancedTree Build(const LexDomain& domain,
                                  const CostModel& cost, BuildParams params);
 
-  /// Reassembles a tree from stored nodes (deserialization only).
-  static DelayBalancedTree FromNodes(std::vector<DbTreeNode> nodes) {
-    DelayBalancedTree t;
-    for (const DbTreeNode& n : nodes)
-      t.max_depth_ = std::max(t.max_depth_, (int)n.level);
-    t.nodes_ = std::move(nodes);
-    return t;
+  /// Reassembles a tree from its flat arrays (deserialization only). The
+  /// vectors are the SoA columns: `beta` holds num_nodes * mu values.
+  static DelayBalancedTree FromFlat(int mu, std::vector<Value> beta,
+                                    std::vector<int32_t> left,
+                                    std::vector<int32_t> right,
+                                    std::vector<float> cost,
+                                    std::vector<uint16_t> level,
+                                    std::vector<uint8_t> leaf);
+
+  bool empty() const { return left_.empty(); }
+  int root() const { return empty() ? -1 : 0; }
+  size_t size() const { return left_.size(); }
+  int max_depth() const { return max_depth_; }
+  /// Arity of every split point (the number of free variables).
+  int mu() const { return mu_; }
+
+  // Flat per-field accessors (the hot-path interface).
+  int32_t left(int i) const { return left_[i]; }
+  int32_t right(int i) const { return right_[i]; }
+  float cost(int i) const { return cost_[i]; }
+  uint16_t level(int i) const { return level_[i]; }
+  bool leaf(int i) const { return leaf_[i] != 0; }
+  /// The split point of node `i` as a view into the contiguous pool.
+  /// Meaningless (all zeros) for leaves.
+  TupleSpan beta(int i) const {
+    return TupleSpan(beta_.data() + (size_t)i * mu_, (size_t)mu_);
   }
 
-  bool empty() const { return nodes_.empty(); }
-  int root() const { return nodes_.empty() ? -1 : 0; }
-  size_t size() const { return nodes_.size(); }
-  const DbTreeNode& node(int i) const { return nodes_[i]; }
-  int max_depth() const { return max_depth_; }
+  /// Materialized row view of node `i` (tests / diagnostics; allocates).
+  DbTreeNode node(int i) const {
+    DbTreeNode n;
+    if (!leaf(i)) n.beta = beta(i).ToTuple();
+    n.left = left_[i];
+    n.right = right_[i];
+    n.cost = cost_[i];
+    n.level = level_[i];
+    n.leaf = leaf(i);
+    return n;
+  }
+
+  // Raw column access (serialization).
+  const std::vector<Value>& beta_pool() const { return beta_; }
+  const std::vector<int32_t>& lefts() const { return left_; }
+  const std::vector<int32_t>& rights() const { return right_; }
+  const std::vector<float>& costs() const { return cost_; }
+  const std::vector<uint16_t>& levels() const { return level_; }
+  const std::vector<uint8_t>& leaf_flags() const { return leaf_; }
 
   /// Level threshold tau_l = tau * 2^(-l (1 - 1/alpha)).
   static double Threshold(double tau, double alpha, int level);
 
   /// Child interval derivation on the grid; returns false if empty.
-  static bool LeftInterval(const FInterval& parent, const Tuple& beta,
+  static bool LeftInterval(const FInterval& parent, TupleSpan beta,
                            const LexDomain& domain, FInterval* out);
-  static bool RightInterval(const FInterval& parent, const Tuple& beta,
+  static bool RightInterval(const FInterval& parent, TupleSpan beta,
                             const LexDomain& domain, FInterval* out);
 
   size_t MemoryBytes() const;
@@ -77,7 +117,15 @@ class DelayBalancedTree {
                 const BuildParams& params, const FInterval& interval,
                 int level);
 
-  std::vector<DbTreeNode> nodes_;
+  // SoA node columns; row i = node i, preorder (root first, left before
+  // right). beta_ is the flat split-point pool, mu_ values per node.
+  int mu_ = 0;
+  std::vector<Value> beta_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<float> cost_;
+  std::vector<uint16_t> level_;
+  std::vector<uint8_t> leaf_;
   int max_depth_ = 0;
 };
 

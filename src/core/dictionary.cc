@@ -1,6 +1,7 @@
 #include "core/dictionary.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "join/generic_join.h"
 #include "util/logging.h"
@@ -9,46 +10,102 @@ namespace cqc {
 
 HeavyDictionary::Bit HeavyDictionary::Lookup(int node, uint32_t vb_id) const {
   if (vb_id == kNoValuation) return Bit::kAbsent;
-  if (node < 0 || node >= (int)per_node_.size()) return Bit::kAbsent;
-  const auto& entries = per_node_[node];
-  auto it = std::lower_bound(
-      entries.begin(), entries.end(), vb_id,
-      [](const Entry& e, uint32_t id) { return e.vb < id; });
-  if (it == entries.end() || it->vb != vb_id) return Bit::kAbsent;
-  return it->bit ? Bit::kOne : Bit::kZero;
+  if (node < 0 || (size_t)node + 1 >= node_offsets_.size())
+    return Bit::kAbsent;
+  const uint32_t* begin = entry_vb_.data() + node_offsets_[node];
+  const uint32_t* end = entry_vb_.data() + node_offsets_[node + 1];
+  const uint32_t* it = std::lower_bound(begin, end, vb_id);
+  if (it == end || *it != vb_id) return Bit::kAbsent;
+  return entry_bit_[it - entry_vb_.data()] ? Bit::kOne : Bit::kZero;
 }
 
-uint32_t HeavyDictionary::FindValuation(const Tuple& vb) const {
-  auto it = candidate_ids_.find(vb);
-  return it == candidate_ids_.end() ? kNoValuation : it->second;
+uint32_t HeavyDictionary::FindValuation(TupleSpan vb) const {
+  if (num_candidates_ == 0 || (int)vb.size() != vb_arity_)
+    return kNoValuation;
+  const size_t mask = id_slots_.size() - 1;
+  size_t slot = SpanHash()(vb) & mask;
+  for (;;) {
+    const uint32_t id = id_slots_[slot];
+    if (id == kNoValuation) return kNoValuation;
+    if (candidate(id) == vb) return id;
+    slot = (slot + 1) & mask;
+  }
+}
+
+uint32_t HeavyDictionary::AddCandidate(TupleSpan vb) {
+  CQC_CHECK_EQ((int)vb.size(), vb_arity_);
+  const uint32_t id = (uint32_t)num_candidates_++;
+  candidate_pool_.insert(candidate_pool_.end(), vb.begin(), vb.end());
+  // Grow at 50% load (amortized); otherwise insert in place.
+  if (id_slots_.empty() || 2 * num_candidates_ > id_slots_.size()) {
+    RehashCandidates();
+  } else {
+    const size_t mask = id_slots_.size() - 1;
+    size_t slot = SpanHash()(vb) & mask;
+    while (id_slots_[slot] != kNoValuation) slot = (slot + 1) & mask;
+    id_slots_[slot] = id;
+  }
+  return id;
+}
+
+void HeavyDictionary::RehashCandidates() {
+  size_t cap = 16;
+  while (cap < 4 * num_candidates_) cap <<= 1;
+  id_slots_.assign(cap, kNoValuation);
+  const size_t mask = cap - 1;
+  for (uint32_t id = 0; id < num_candidates_; ++id) {
+    size_t slot = SpanHash()(candidate(id)) & mask;
+    while (id_slots_[slot] != kNoValuation) slot = (slot + 1) & mask;
+    id_slots_[slot] = id;
+  }
 }
 
 void HeavyDictionary::SetBit(int node, uint32_t vb_id, bool bit) {
   CQC_CHECK_GE(node, 0);
-  CQC_CHECK_LT(node, (int)per_node_.size());
-  auto& entries = per_node_[node];
-  auto it = std::lower_bound(
-      entries.begin(), entries.end(), vb_id,
-      [](const Entry& e, uint32_t id) { return e.vb < id; });
-  CQC_CHECK(it != entries.end() && it->vb == vb_id)
-      << "SetBit on absent dictionary entry";
-  it->bit = bit ? 1 : 0;
-}
-
-size_t HeavyDictionary::NumEntries() const {
-  size_t n = 0;
-  for (const auto& e : per_node_) n += e.size();
-  return n;
+  CQC_CHECK_LT((size_t)node + 1, node_offsets_.size());
+  uint32_t* begin = entry_vb_.data() + node_offsets_[node];
+  uint32_t* end = entry_vb_.data() + node_offsets_[node + 1];
+  uint32_t* it = std::lower_bound(begin, end, vb_id);
+  CQC_CHECK(it != end && *it == vb_id) << "SetBit on absent dictionary entry";
+  entry_bit_[it - entry_vb_.data()] = bit ? 1 : 0;
 }
 
 size_t HeavyDictionary::MemoryBytes() const {
-  size_t bytes = sizeof(*this);
-  for (const auto& e : per_node_) bytes += e.capacity() * sizeof(Entry);
-  for (const auto& c : candidates_)
-    bytes += sizeof(Tuple) + c.capacity() * sizeof(Value);
-  // Hash map overhead: buckets + nodes (approximate).
-  bytes += candidate_ids_.size() * (sizeof(Tuple) + sizeof(uint32_t) + 16);
-  return bytes;
+  return sizeof(*this) + candidate_pool_.capacity() * sizeof(Value) +
+         id_slots_.capacity() * sizeof(uint32_t) +
+         node_offsets_.capacity() * sizeof(uint32_t) +
+         entry_vb_.capacity() * sizeof(uint32_t) +
+         entry_bit_.capacity() * sizeof(uint8_t);
+}
+
+HeavyDictionary HeavyDictionary::FromFlat(int vb_arity,
+                                          std::vector<Value> candidate_pool,
+                                          std::vector<uint32_t> node_offsets,
+                                          std::vector<uint32_t> entry_vb,
+                                          std::vector<uint8_t> entry_bit) {
+  HeavyDictionary d;
+  d.vb_arity_ = vb_arity;
+  if (vb_arity > 0) {
+    CQC_CHECK_EQ(candidate_pool.size() % (size_t)vb_arity, 0u);
+    d.num_candidates_ = candidate_pool.size() / vb_arity;
+  } else {
+    // Arity-0 pools cannot encode their count: a dictionary that was built
+    // for an all-free view interns exactly the one empty valuation, while a
+    // never-built dictionary (no offsets) has none.
+    d.num_candidates_ = node_offsets.empty() ? 0 : 1;
+  }
+  CQC_CHECK_EQ(entry_vb.size(), entry_bit.size());
+  if (!node_offsets.empty()) {
+    CQC_CHECK_EQ((size_t)node_offsets.back(), entry_vb.size());
+  } else {
+    CQC_CHECK(entry_vb.empty());
+  }
+  d.candidate_pool_ = std::move(candidate_pool);
+  d.node_offsets_ = std::move(node_offsets);
+  d.entry_vb_ = std::move(entry_vb);
+  d.entry_bit_ = std::move(entry_bit);
+  d.RehashCandidates();
+  return d;
 }
 
 DictionaryBuilder::DictionaryBuilder(const std::vector<BoundAtom>* atoms,
@@ -65,10 +122,10 @@ DictionaryBuilder::DictionaryBuilder(const std::vector<BoundAtom>* atoms,
       alpha_(alpha) {}
 
 void DictionaryBuilder::CollectCandidates(HeavyDictionary* dict) {
+  dict->vb_arity_ = num_bound_;
   if (num_bound_ == 0) {
     // A single empty valuation: the full-enumeration / no-bound case.
-    dict->candidates_.push_back({});
-    dict->candidate_ids_.emplace(Tuple{}, 0);
+    dict->AddCandidate(TupleSpan());
     return;
   }
   // Join the bound projections of every atom that touches a bound variable.
@@ -88,57 +145,54 @@ void DictionaryBuilder::CollectCandidates(HeavyDictionary* dict) {
                                            LevelConstraint::Any());
   JoinIterator join(std::move(inputs), num_bound_, std::move(constraints));
   Tuple vb;
-  while (join.Next(&vb)) {
-    uint32_t id = (uint32_t)dict->candidates_.size();
-    dict->candidates_.push_back(vb);
-    dict->candidate_ids_.emplace(vb, id);
-  }
+  while (join.Next(&vb)) dict->AddCandidate(vb);
 }
 
-bool DictionaryBuilder::ProbeNonEmpty(const Tuple& vb,
+bool DictionaryBuilder::ProbeNonEmpty(TupleSpan vb,
                                       const std::vector<FBox>& boxes) const {
   const int mu = domain_->mu();
+  // The atom inputs depend only on vb; the boxes just change constraints,
+  // so one JoinIterator serves every box via Reset().
+  std::vector<JoinAtomInput> inputs;
+  for (const BoundAtom& atom : *atoms_) {
+    JoinAtomInput in;
+    in.index = &atom.bf_index();
+    in.start = atom.SeekBound(vb);
+    if (in.start.empty()) return false;  // no tuple under vb at all
+    in.start_level = atom.num_bound();
+    for (int i = 0; i < atom.num_free(); ++i)
+      in.levels.emplace_back(atom.free_positions()[i], atom.num_bound() + i);
+    inputs.push_back(std::move(in));
+  }
+  std::optional<JoinIterator> join;
+  std::vector<LevelConstraint> constraints;
+  Tuple out;
   for (const FBox& box : boxes) {
-    std::vector<JoinAtomInput> inputs;
-    bool dead_atom = false;
-    for (const BoundAtom& atom : *atoms_) {
-      JoinAtomInput in;
-      in.index = &atom.bf_index();
-      in.start = atom.SeekBound(vb);
-      if (in.start.empty()) {
-        dead_atom = true;
-        break;
-      }
-      in.start_level = atom.num_bound();
-      for (int i = 0; i < atom.num_free(); ++i)
-        in.levels.emplace_back(atom.free_positions()[i],
-                               atom.num_bound() + i);
-      inputs.push_back(std::move(in));
-    }
-    if (dead_atom) return false;  // some atom has no tuple under vb at all
-    std::vector<LevelConstraint> constraints;
-    constraints.reserve(mu);
+    constraints.clear();
     for (int i = 0; i < mu; ++i)
       constraints.push_back(LevelConstraint::FromDim(box.dims[i]));
-    JoinIterator join(std::move(inputs), mu, std::move(constraints));
-    Tuple out;
-    if (join.Next(&out)) return true;
+    if (!join.has_value()) {
+      join.emplace(&inputs, mu, constraints);
+    } else {
+      join->Reset(constraints);
+    }
+    if (join->Next(&out)) return true;
   }
   return false;
 }
 
-void DictionaryBuilder::ProcessNode(HeavyDictionary* dict, int node,
-                                    const FInterval& interval,
+void DictionaryBuilder::ProcessNode(HeavyDictionary* dict,
+                                    std::vector<std::vector<Entry>>* staging,
+                                    int node, const FInterval& interval,
                                     const std::vector<uint32_t>& cand) {
-  const DbTreeNode& n = tree_->node(node);
   const double threshold =
-      DelayBalancedTree::Threshold(tau_, alpha_, n.level);
+      DelayBalancedTree::Threshold(tau_, alpha_, tree_->level(node));
   const std::vector<FBox> boxes = BoxDecompose(interval);
 
   std::vector<uint32_t> live;  // heavy with bit 1: propagate to children
-  auto& entries = dict->per_node_[node];
+  auto& entries = (*staging)[node];
   for (uint32_t id : cand) {
-    const Tuple& vb = dict->candidates_[id];
+    const TupleSpan vb = dict->candidate(id);
     const double t = cost_->BoxesCostBound(vb, boxes);
     if (t <= threshold) continue;  // light: no entry
     const bool nonempty = ProbeNonEmpty(vb, boxes);
@@ -147,30 +201,50 @@ void DictionaryBuilder::ProcessNode(HeavyDictionary* dict, int node,
   }
   // `cand` is sorted; filtering preserves order, so entries stay sorted.
 
-  if (live.empty() || n.leaf) return;
+  if (live.empty() || tree_->leaf(node)) return;
+  const TupleSpan beta = tree_->beta(node);
   FInterval child;
-  if (n.left >= 0) {
-    CQC_CHECK(DelayBalancedTree::LeftInterval(interval, n.beta, *domain_,
-                                              &child));
-    ProcessNode(dict, n.left, child, live);
+  if (tree_->left(node) >= 0) {
+    CQC_CHECK(
+        DelayBalancedTree::LeftInterval(interval, beta, *domain_, &child));
+    ProcessNode(dict, staging, tree_->left(node), child, live);
   }
-  if (n.right >= 0) {
-    CQC_CHECK(DelayBalancedTree::RightInterval(interval, n.beta, *domain_,
-                                               &child));
-    ProcessNode(dict, n.right, child, live);
+  if (tree_->right(node) >= 0) {
+    CQC_CHECK(
+        DelayBalancedTree::RightInterval(interval, beta, *domain_, &child));
+    ProcessNode(dict, staging, tree_->right(node), child, live);
   }
 }
 
 HeavyDictionary DictionaryBuilder::Build() {
   HeavyDictionary dict;
   CollectCandidates(&dict);
-  dict.per_node_.resize(tree_->size());
-  if (tree_->empty() || domain_->mu() == 0) return dict;
+  const size_t num_nodes = tree_->size();
+  if (tree_->empty() || domain_->mu() == 0) {
+    dict.node_offsets_.assign(num_nodes + 1, 0);
+    return dict;
+  }
 
-  std::vector<uint32_t> all(dict.candidates_.size());
+  std::vector<std::vector<Entry>> staging(num_nodes);
+  std::vector<uint32_t> all((size_t)dict.NumCandidates());
   for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
   FInterval root{domain_->MinTuple(), domain_->MaxTuple()};
-  ProcessNode(&dict, tree_->root(), root, all);
+  ProcessNode(&dict, &staging, tree_->root(), root, all);
+
+  // Flatten the per-node staging vectors into the CSR columns.
+  size_t total = 0;
+  for (const auto& e : staging) total += e.size();
+  dict.node_offsets_.resize(num_nodes + 1);
+  dict.entry_vb_.reserve(total);
+  dict.entry_bit_.reserve(total);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    dict.node_offsets_[n] = (uint32_t)dict.entry_vb_.size();
+    for (const Entry& e : staging[n]) {
+      dict.entry_vb_.push_back(e.vb);
+      dict.entry_bit_.push_back(e.bit);
+    }
+  }
+  dict.node_offsets_[num_nodes] = (uint32_t)dict.entry_vb_.size();
   return dict;
 }
 

@@ -17,12 +17,16 @@
 //   never descends past a light or empty node, so deeper entries for such
 //   valuations are unreachable.
 //
-// Valuations are interned into dense ids (the candidate table); per node,
-// entries live in a sorted array keyed by valuation id (4+1 bytes each).
+// Storage is flat: interned valuations live in one contiguous pool
+// (vb_arity values per candidate, dense ids = pool order) looked up through
+// an open-addressed id table, and the per-node entries are a CSR — one
+// offsets array over the tree's node ids plus parallel (valuation id, bit)
+// entry columns sorted by id within each node. A lookup is two array reads
+// and a binary search over a contiguous slice; the whole dictionary
+// serializes as flat array blocks (mmap-friendly for zero-copy loading).
 #ifndef CQC_CORE_DICTIONARY_H_
 #define CQC_CORE_DICTIONARY_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -42,50 +46,69 @@ class HeavyDictionary {
 
   /// Interns a bound valuation; returns its id or kNoValuation.
   static constexpr uint32_t kNoValuation = ~0u;
-  uint32_t FindValuation(const Tuple& vb) const;
+  uint32_t FindValuation(TupleSpan vb) const;
 
-  size_t NumEntries() const;
-  size_t NumCandidates() const { return candidates_.size(); }
+  size_t NumEntries() const { return entry_vb_.size(); }
+  size_t NumCandidates() const { return num_candidates_; }
   size_t MemoryBytes() const;
+
+  /// Arity of every interned valuation (the number of bound variables).
+  int vb_arity() const { return vb_arity_; }
+
+  /// The interned candidate valuation `id` (bound order), as a view into
+  /// the contiguous candidate pool.
+  TupleSpan candidate(uint32_t id) const {
+    return TupleSpan(candidate_pool_.data() + (size_t)id * vb_arity_,
+                     (size_t)vb_arity_);
+  }
 
   /// Flips an existing entry's bit (used by the Theorem-2 semijoin fixup,
   /// Algorithm 4). CHECK-fails if the entry is absent.
   void SetBit(int node, uint32_t vb_id, bool bit);
 
-  /// Access to the interned candidate valuations (bound order tuples).
-  const std::vector<Tuple>& candidates() const { return candidates_; }
-
   /// Visits every entry of `node` as fn(vb_id, bit).
   template <typename Fn>
   void ForEachEntry(int node, Fn&& fn) const {
-    for (const Entry& e : per_node_[node]) fn(e.vb, e.bit != 0);
+    if (node < 0 || (size_t)node + 1 >= node_offsets_.size()) return;
+    for (uint32_t i = node_offsets_[node]; i < node_offsets_[node + 1]; ++i)
+      fn(entry_vb_[i], entry_bit_[i] != 0);
   }
 
-  /// Reassembles a dictionary from stored parts (deserialization only).
-  /// `entries[node]` must be sorted by valuation id.
-  static HeavyDictionary FromParts(
-      std::vector<Tuple> candidates,
-      std::vector<std::vector<std::pair<uint32_t, bool>>> entries) {
-    HeavyDictionary d;
-    d.candidates_ = std::move(candidates);
-    for (uint32_t i = 0; i < d.candidates_.size(); ++i)
-      d.candidate_ids_.emplace(d.candidates_[i], i);
-    d.per_node_.resize(entries.size());
-    for (size_t n = 0; n < entries.size(); ++n)
-      for (auto [vb, bit] : entries[n])
-        d.per_node_[n].push_back({vb, (uint8_t)(bit ? 1 : 0)});
-    return d;
-  }
+  /// Reassembles a dictionary from its flat parts (deserialization only).
+  /// `node_offsets` has num_nodes + 1 entries; within a node's slice the
+  /// `entry_vb` ids must be strictly ascending.
+  static HeavyDictionary FromFlat(int vb_arity,
+                                  std::vector<Value> candidate_pool,
+                                  std::vector<uint32_t> node_offsets,
+                                  std::vector<uint32_t> entry_vb,
+                                  std::vector<uint8_t> entry_bit);
+
+  // Raw column access (serialization).
+  const std::vector<Value>& candidate_pool() const { return candidate_pool_; }
+  const std::vector<uint32_t>& node_offsets() const { return node_offsets_; }
+  const std::vector<uint32_t>& entry_vbs() const { return entry_vb_; }
+  const std::vector<uint8_t>& entry_bits() const { return entry_bit_; }
 
  private:
   friend class DictionaryBuilder;
-  struct Entry {
-    uint32_t vb;
-    uint8_t bit;
-  };
-  std::vector<std::vector<Entry>> per_node_;  // sorted by vb
-  std::vector<Tuple> candidates_;
-  std::unordered_map<Tuple, uint32_t, TupleHash> candidate_ids_;
+
+  /// Appends `vb` to the pool, assigning the next dense id.
+  uint32_t AddCandidate(TupleSpan vb);
+  /// Rebuilds the open-addressed id table over the pool.
+  void RehashCandidates();
+
+  int vb_arity_ = 0;
+  size_t num_candidates_ = 0;
+  std::vector<Value> candidate_pool_;  // num_candidates * vb_arity
+  // Open-addressed hash table: slot -> candidate id (kNoValuation = empty).
+  // Power-of-two size, linear probing against pool spans.
+  std::vector<uint32_t> id_slots_;
+
+  // CSR entries: node_offsets_[n] .. node_offsets_[n+1] index the parallel
+  // entry columns, sorted by valuation id within each node.
+  std::vector<uint32_t> node_offsets_;
+  std::vector<uint32_t> entry_vb_;
+  std::vector<uint8_t> entry_bit_;
 };
 
 /// Builds the dictionary for a tree; see file comment.
@@ -99,13 +122,20 @@ class DictionaryBuilder {
   HeavyDictionary Build();
 
  private:
+  struct Entry {
+    uint32_t vb;
+    uint8_t bit;
+  };
+
   // Enumerates the candidate bound valuations (join over bound variables).
   void CollectCandidates(HeavyDictionary* dict);
-  // Recursive heavy-pair sweep.
-  void ProcessNode(HeavyDictionary* dict, int node, const FInterval& interval,
+  // Recursive heavy-pair sweep appending into `staging` (per tree node).
+  void ProcessNode(HeavyDictionary* dict,
+                   std::vector<std::vector<Entry>>* staging, int node,
+                   const FInterval& interval,
                    const std::vector<uint32_t>& cand);
   // True iff the join under vb restricted to `boxes` is non-empty.
-  bool ProbeNonEmpty(const Tuple& vb, const std::vector<FBox>& boxes) const;
+  bool ProbeNonEmpty(TupleSpan vb, const std::vector<FBox>& boxes) const;
 
   const std::vector<BoundAtom>* atoms_;
   const CostModel* cost_;

@@ -8,12 +8,15 @@
 #define CQC_CORE_ENUMERATOR_H_
 
 #include <memory>
-#include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "util/common.h"
+#include "util/hashing.h"
 #include "util/op_counter.h"
 #include "util/timer.h"
+#include "util/tuple_arena.h"
+#include "util/tuple_buffer.h"
 
 namespace cqc {
 
@@ -22,12 +25,32 @@ class TupleEnumerator {
   virtual ~TupleEnumerator() = default;
   /// Writes the next tuple into `out`; returns false when exhausted.
   virtual bool Next(Tuple* out) = 0;
+
+  /// Batch pull: appends up to `max_tuples` tuples to `out` (which must have
+  /// the stream's arity; it is NOT cleared) and returns how many were
+  /// appended. A return < max_tuples means the stream is exhausted. The
+  /// stream is shared with Next(): mixing the two never duplicates or drops
+  /// tuples. The base implementation loops Next(); hot enumerators override
+  /// it to fill the caller-owned buffer without per-tuple virtual dispatch
+  /// or allocation.
+  virtual size_t NextBatch(TupleBuffer* out, size_t max_tuples) {
+    Tuple t;
+    size_t n = 0;
+    while (n < max_tuples && Next(&t)) {
+      out->Append(t);
+      ++n;
+    }
+    return n;
+  }
 };
 
 /// An enumerator over an empty result.
 class EmptyEnumerator : public TupleEnumerator {
  public:
   bool Next(Tuple* out) override { return false; }
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    return 0;
+  }
 };
 
 /// An enumerator over a fixed list of tuples.
@@ -39,6 +62,14 @@ class VectorEnumerator : public TupleEnumerator {
     if (pos_ >= tuples_.size()) return false;
     *out = tuples_[pos_++];
     return true;
+  }
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    size_t n = 0;
+    while (n < max_tuples && pos_ < tuples_.size()) {
+      out->Append(tuples_[pos_++]);
+      ++n;
+    }
+    return n;
   }
 
  private:
@@ -54,6 +85,31 @@ inline std::vector<Tuple> CollectAll(TupleEnumerator& e) {
   return out;
 }
 
+/// Drains an enumerator through the batch API into a flat buffer. `arity`
+/// must be the stream's tuple arity (for an adorned view: num_free()).
+inline TupleBuffer CollectAllBatched(TupleEnumerator& e, int arity,
+                                     size_t batch_size = 256) {
+  TupleBuffer out(arity);
+  while (e.NextBatch(&out, batch_size) == batch_size) {
+  }
+  return out;
+}
+
+/// Counts an enumerator's remaining tuples via the batch API, reusing one
+/// buffer (the fastest way to drain when the tuples themselves are not
+/// needed — benchmarks and existence sweeps).
+inline size_t DrainBatched(TupleEnumerator& e, int arity,
+                           size_t batch_size = 256) {
+  TupleBuffer buf(arity);
+  size_t total = 0;
+  for (;;) {
+    buf.Clear();
+    size_t n = e.NextBatch(&buf, batch_size);
+    total += n;
+    if (n < batch_size) return total;
+  }
+}
+
 /// Projection with duplicate elimination — the paper's §3.2/§8 projection
 /// extension in its simple form: project each output onto `positions` and
 /// emit each distinct projection once. Correct for any inner enumerator;
@@ -64,25 +120,37 @@ class ProjectingEnumerator : public TupleEnumerator {
  public:
   ProjectingEnumerator(std::unique_ptr<TupleEnumerator> inner,
                        std::vector<int> positions)
-      : inner_(std::move(inner)), positions_(std::move(positions)) {}
+      : inner_(std::move(inner)),
+        positions_(std::move(positions)),
+        scratch_(positions_.size()) {}
 
   bool Next(Tuple* out) override {
     Tuple t;
     while (inner_->Next(&t)) {
-      Tuple proj(positions_.size());
       for (size_t i = 0; i < positions_.size(); ++i)
-        proj[i] = t[positions_[i]];
-      if (!seen_.insert(proj).second) continue;
-      *out = std::move(proj);
+        scratch_[i] = t[positions_[i]];
+      if (!InsertDistinct(scratch_)) continue;
+      *out = scratch_;
       return true;
     }
     return false;
   }
 
  private:
+  // Interns `proj` into the arena-backed dedup set; true if it was new.
+  bool InsertDistinct(const Tuple& proj) {
+    if (seen_.count(proj)) return false;
+    seen_.insert(arena_.Copy(proj));
+    return true;
+  }
+
   std::unique_ptr<TupleEnumerator> inner_;
   std::vector<int> positions_;
-  std::set<Tuple> seen_;
+  Tuple scratch_;
+  // Distinct projections, each stored once in the arena; the set holds
+  // views, so dedup costs one hash probe and no per-tuple allocation.
+  TupleArena arena_;
+  std::unordered_set<TupleSpan, SpanHash, SpanEq> seen_;
 };
 
 /// Per-access-request measurement: total answer time, output count, and the
@@ -115,6 +183,37 @@ inline DelayProfile MeasureEnumeration(TupleEnumerator& e,
     if (!more) break;
     ++p.num_tuples;
     if (sink) sink->push_back(t);
+    gap.Reset();
+    gap_ops = ops::Now();
+  }
+  p.total_seconds = total.Seconds();
+  p.total_ops = ops::Now() - ops_start;
+  return p;
+}
+
+/// Batched counterpart of MeasureEnumeration: drains through NextBatch and
+/// records the worst per-batch gap (the batch contract trades per-tuple
+/// delay for throughput, so the "delay" here is time between batches).
+inline DelayProfile MeasureEnumerationBatched(
+    TupleEnumerator& e, int arity, size_t batch_size = 256,
+    std::vector<Tuple>* sink = nullptr) {
+  DelayProfile p;
+  WallTimer total;
+  WallTimer gap;
+  uint64_t ops_start = ops::Now();
+  uint64_t gap_ops = ops_start;
+  TupleBuffer buf(arity);
+  for (;;) {
+    buf.Clear();
+    size_t n = e.NextBatch(&buf, batch_size);
+    double d = gap.Seconds();
+    uint64_t o = ops::Now() - gap_ops;
+    p.max_delay_seconds = std::max(p.max_delay_seconds, d);
+    p.max_delay_ops = std::max(p.max_delay_ops, o);
+    p.num_tuples += n;
+    if (sink)
+      for (size_t i = 0; i < n; ++i) sink->push_back(buf[i].ToTuple());
+    if (n < batch_size) break;
     gap.Reset();
     gap_ops = ops::Now();
   }

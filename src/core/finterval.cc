@@ -15,7 +15,7 @@ bool FBox::IsCanonical() const {
   return true;
 }
 
-bool FBox::Contains(const Tuple& t) const {
+bool FBox::Contains(TupleSpan t) const {
   CQC_CHECK_EQ((int)t.size(), mu());
   for (int i = 0; i < mu(); ++i)
     if (!dims[i].Contains(t[i])) return false;

@@ -57,7 +57,7 @@ struct FBox {
   }
   /// Unit prefix, then at most one range, then kAny (Definition 2).
   bool IsCanonical() const;
-  bool Contains(const Tuple& t) const;
+  bool Contains(TupleSpan t) const;
   std::string ToString() const;
 };
 
@@ -68,7 +68,7 @@ struct FInterval {
 
   bool Empty() const { return LexDomain::Compare(lo, hi) > 0; }
   bool IsUnit() const { return lo == hi; }
-  bool Contains(const Tuple& t) const {
+  bool Contains(TupleSpan t) const {
     return LexDomain::Compare(lo, t) <= 0 && LexDomain::Compare(t, hi) <= 0;
   }
   std::string ToString() const;

@@ -43,7 +43,7 @@ int LexDomain::IndexOf(int i, Value v) const {
   return (int)(it - d.begin());
 }
 
-bool LexDomain::Succ(Tuple& t) const {
+bool LexDomain::Succ(TupleRef t) const {
   CQC_CHECK_EQ((int)t.size(), mu());
   for (int i = mu() - 1; i >= 0; --i) {
     int idx = IndexOf(i, t[i]);
@@ -57,7 +57,7 @@ bool LexDomain::Succ(Tuple& t) const {
   return false;
 }
 
-bool LexDomain::Pred(Tuple& t) const {
+bool LexDomain::Pred(TupleRef t) const {
   CQC_CHECK_EQ((int)t.size(), mu());
   for (int i = mu() - 1; i >= 0; --i) {
     int idx = IndexOf(i, t[i]);
@@ -71,7 +71,7 @@ bool LexDomain::Pred(Tuple& t) const {
   return false;
 }
 
-int LexDomain::Compare(const Tuple& a, const Tuple& b) {
+int LexDomain::Compare(TupleSpan a, TupleSpan b) {
   CQC_CHECK_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i] < b[i]) return -1;

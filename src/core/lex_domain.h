@@ -29,12 +29,12 @@ class LexDomain {
 
   /// Advances `t` to its lexicographic successor on the grid. Returns false
   /// (t unchanged) if t is the maximum. `t` must be a grid tuple.
-  bool Succ(Tuple& t) const;
+  bool Succ(TupleRef t) const;
   /// Mirror of Succ.
-  bool Pred(Tuple& t) const;
+  bool Pred(TupleRef t) const;
 
-  /// Three-way lexicographic comparison.
-  static int Compare(const Tuple& a, const Tuple& b);
+  /// Three-way lexicographic comparison (span views; Tuple converts).
+  static int Compare(TupleSpan a, TupleSpan b);
 
   /// Index of `v` in dom(i), or -1 if absent. O(log).
   int IndexOf(int i, Value v) const;

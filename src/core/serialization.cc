@@ -8,7 +8,12 @@
 namespace cqc {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '1'};
+// Format 02: the tree and dictionary are stored as their in-memory flat SoA
+// columns — a handful of length-prefixed contiguous array blocks instead of
+// per-node records. Loading is a straight block read into each vector (and
+// the layout is mmap-friendly: a future zero-copy loader can point the
+// structures straight into the mapped file).
+constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '2'};
 
 // Little-endian POD writers/readers (x86-64 target; the on-disk format is
 // the native layout of these fixed-width types).
@@ -23,19 +28,32 @@ bool Get(std::istream& in, T* v) {
   return in.good();
 }
 
-void PutTuple(std::ostream& out, const Tuple& t) {
-  Put<uint32_t>(out, (uint32_t)t.size());
-  for (Value v : t) Put<uint64_t>(out, v);
+// A flat array block: u64 element count, then the raw elements.
+template <typename T>
+void PutBlock(std::ostream& out, const std::vector<T>& v) {
+  Put<uint64_t>(out, (uint64_t)v.size());
+  if (!v.empty())
+    out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
 }
 
-bool GetTuple(std::istream& in, Tuple* t) {
-  uint32_t n;
+template <typename T>
+bool GetBlock(std::istream& in, std::vector<T>* v) {
+  uint64_t n;
   if (!Get(in, &n)) return false;
-  if (n > 1u << 20) return false;  // sanity
-  t->resize(n);
-  for (uint32_t i = 0; i < n; ++i)
-    if (!Get(in, &(*t)[i])) return false;
-  return true;
+  // Validate the claimed length against the bytes actually left in the
+  // stream before allocating: a corrupt length field must produce a clean
+  // Status error, not a giant resize() that throws bad_alloc.
+  const std::istream::pos_type pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (pos == std::istream::pos_type(-1) || end < pos) return false;
+  const uint64_t remaining = (uint64_t)(end - pos);
+  if (n > remaining / sizeof(T)) return false;
+  v->resize(n);
+  if (n == 0) return true;
+  in.read(reinterpret_cast<char*>(v->data()), n * sizeof(T));
+  return in.good();
 }
 
 }  // namespace
@@ -53,30 +71,22 @@ Status SaveCompressedRep(const CompressedRep& rep, const std::string& path) {
   Put<uint32_t>(out, (uint32_t)rep.atoms_.size());
   for (const BoundAtom& atom : rep.atoms_)
     Put<uint64_t>(out, atom.relation().ContentHash());
-  // Tree.
-  Put<uint32_t>(out, (uint32_t)rep.tree_.size());
-  for (size_t i = 0; i < rep.tree_.size(); ++i) {
-    const DbTreeNode& n = rep.tree_.node((int)i);
-    PutTuple(out, n.beta);
-    Put<int32_t>(out, n.left);
-    Put<int32_t>(out, n.right);
-    Put<float>(out, n.cost);
-    Put<uint16_t>(out, n.level);
-    Put<uint8_t>(out, n.leaf ? 1 : 0);
-  }
-  // Dictionary.
+  // Tree: flat SoA columns.
+  const DelayBalancedTree& tree = rep.tree_;
+  Put<uint32_t>(out, (uint32_t)tree.mu());
+  PutBlock(out, tree.beta_pool());
+  PutBlock(out, tree.lefts());
+  PutBlock(out, tree.rights());
+  PutBlock(out, tree.costs());
+  PutBlock(out, tree.levels());
+  PutBlock(out, tree.leaf_flags());
+  // Dictionary: flat candidate pool + CSR entry columns.
   const HeavyDictionary& dict = rep.dict_;
-  Put<uint32_t>(out, (uint32_t)dict.candidates().size());
-  for (const Tuple& t : dict.candidates()) PutTuple(out, t);
-  for (size_t node = 0; node < rep.tree_.size(); ++node) {
-    uint32_t count = 0;
-    dict.ForEachEntry((int)node, [&](uint32_t, bool) { ++count; });
-    Put<uint32_t>(out, count);
-    dict.ForEachEntry((int)node, [&](uint32_t vb, bool bit) {
-      Put<uint32_t>(out, vb);
-      Put<uint8_t>(out, bit ? 1 : 0);
-    });
-  }
+  Put<uint32_t>(out, (uint32_t)dict.vb_arity());
+  PutBlock(out, dict.candidate_pool());
+  PutBlock(out, dict.node_offsets());
+  PutBlock(out, dict.entry_vbs());
+  PutBlock(out, dict.entry_bits());
   if (!out.good()) return Status::Error("write failed: " + path);
   return Status::Ok();
 }
@@ -89,7 +99,7 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return Status::Error(path + ": not a cqc compressed-rep file");
+    return Status::Error(path + ": not a cqc compressed-rep (v02) file");
 
   double tau, alpha;
   if (!Get(in, &tau) || !Get(in, &alpha))
@@ -120,55 +130,74 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
           "relation content mismatch: file built over different data");
   }
 
-  // Tree.
-  uint32_t num_nodes;
-  if (!Get(in, &num_nodes) || num_nodes > 1u << 28)
-    return Status::Error("bad tree size");
-  std::vector<DbTreeNode> nodes(num_nodes);
-  for (DbTreeNode& n : nodes) {
-    uint8_t leaf;
-    if (!GetTuple(in, &n.beta) || !Get(in, &n.left) || !Get(in, &n.right) ||
-        !Get(in, &n.cost) || !Get(in, &n.level) || !Get(in, &leaf))
-      return Status::Error("truncated tree");
-    if (n.left >= (int32_t)num_nodes || n.right >= (int32_t)num_nodes)
+  // Tree: flat SoA columns.
+  uint32_t mu;
+  if (!Get(in, &mu) || mu > (uint32_t)kMaxVars)
+    return Status::Error("bad tree arity");
+  std::vector<Value> beta;
+  std::vector<int32_t> left, right;
+  std::vector<float> cost;
+  std::vector<uint16_t> level;
+  std::vector<uint8_t> leaf;
+  if (!GetBlock(in, &beta) || !GetBlock(in, &left) ||
+      !GetBlock(in, &right) || !GetBlock(in, &cost) ||
+      !GetBlock(in, &level) || !GetBlock(in, &leaf))
+    return Status::Error("truncated tree");
+  const size_t num_nodes = left.size();
+  if (right.size() != num_nodes || cost.size() != num_nodes ||
+      level.size() != num_nodes || leaf.size() != num_nodes ||
+      beta.size() != num_nodes * (size_t)mu)
+    return Status::Error("inconsistent tree column lengths");
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (left[i] >= (int64_t)num_nodes || right[i] >= (int64_t)num_nodes)
       return Status::Error("corrupt tree links");
-    n.leaf = leaf != 0;
   }
-  rep->tree_ = DelayBalancedTree::FromNodes(std::move(nodes));
+  rep->tree_ = DelayBalancedTree::FromFlat(
+      (int)mu, std::move(beta), std::move(left), std::move(right),
+      std::move(cost), std::move(level), std::move(leaf));
 
-  // Dictionary.
-  uint32_t num_candidates;
-  if (!Get(in, &num_candidates) || num_candidates > 1u << 30)
-    return Status::Error("bad candidate count");
-  std::vector<Tuple> candidates(num_candidates);
-  for (Tuple& t : candidates)
-    if (!GetTuple(in, &t)) return Status::Error("truncated candidates");
-  std::vector<std::vector<std::pair<uint32_t, bool>>> entries(num_nodes);
-  for (uint32_t node = 0; node < num_nodes; ++node) {
-    uint32_t count;
-    if (!Get(in, &count) || count > num_candidates)
-      return Status::Error("bad entry count");
-    entries[node].reserve(count);
-    uint32_t prev = 0;
-    for (uint32_t i = 0; i < count; ++i) {
-      uint32_t vb;
-      uint8_t bit;
-      if (!Get(in, &vb) || !Get(in, &bit))
-        return Status::Error("truncated entries");
-      if (vb >= num_candidates || (i > 0 && vb <= prev))
-        return Status::Error("corrupt dictionary ordering");
-      prev = vb;
-      entries[node].emplace_back(vb, bit != 0);
+  // Dictionary: flat candidate pool + CSR entry columns.
+  uint32_t vb_arity;
+  if (!Get(in, &vb_arity) || vb_arity > (uint32_t)kMaxVars)
+    return Status::Error("bad dictionary arity");
+  std::vector<Value> pool;
+  std::vector<uint32_t> offsets, entry_vb;
+  std::vector<uint8_t> entry_bit;
+  if (!GetBlock(in, &pool) || !GetBlock(in, &offsets) ||
+      !GetBlock(in, &entry_vb) || !GetBlock(in, &entry_bit))
+    return Status::Error("truncated dictionary");
+  if (vb_arity > 0 && pool.size() % vb_arity != 0)
+    return Status::Error("bad candidate pool length");
+  const size_t num_candidates = vb_arity > 0 ? pool.size() / vb_arity : 1;
+  if (offsets.size() != num_nodes + 1 && !(offsets.empty() && num_nodes == 0))
+    return Status::Error("bad dictionary offsets length");
+  if (entry_vb.size() != entry_bit.size())
+    return Status::Error("inconsistent dictionary entry columns");
+  if (!offsets.empty()) {
+    if (offsets.front() != 0 || offsets.back() != entry_vb.size())
+      return Status::Error("corrupt dictionary offsets");
+    for (size_t n = 0; n + 1 < offsets.size(); ++n) {
+      if (offsets[n] > offsets[n + 1])
+        return Status::Error("corrupt dictionary offsets");
+      for (uint32_t i = offsets[n]; i < offsets[n + 1]; ++i) {
+        if (entry_vb[i] >= num_candidates ||
+            (i > offsets[n] && entry_vb[i] <= entry_vb[i - 1]))
+          return Status::Error("corrupt dictionary ordering");
+      }
     }
+  } else if (!entry_vb.empty()) {
+    return Status::Error("dictionary entries without offsets");
   }
-  rep->dict_ =
-      HeavyDictionary::FromParts(std::move(candidates), std::move(entries));
+  rep->dict_ = HeavyDictionary::FromFlat((int)vb_arity, std::move(pool),
+                                         std::move(offsets),
+                                         std::move(entry_vb),
+                                         std::move(entry_bit));
 
   // Refresh stats that depend on the loaded parts.
   CompressedRepStats& s = rep->stats_;
   s.tree_nodes = rep->tree_.size();
   s.tree_depth = rep->tree_.max_depth();
-  if (!rep->tree_.empty()) s.root_cost = rep->tree_.node(0).cost;
+  if (!rep->tree_.empty()) s.root_cost = rep->tree_.cost(0);
   s.dict_entries = rep->dict_.NumEntries();
   s.num_candidates = rep->dict_.NumCandidates();
   s.tree_bytes = rep->tree_.MemoryBytes();

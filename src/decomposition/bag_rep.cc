@@ -26,6 +26,18 @@ class RangeScanEnumerator : public TupleEnumerator {
     return true;
   }
 
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    size_t n = 0;
+    while (n < max_tuples && row_ < range_.end) {
+      Value* slot = out->AppendSlot();
+      for (int l = from_; l < to_; ++l)
+        slot[l - from_] = index_->ValueAt(l, row_);
+      ++row_;
+      ++n;
+    }
+    return n;
+  }
+
  private:
   const SortedIndex* index_;
   RowRange range_;
@@ -83,8 +95,14 @@ Result<std::unique_ptr<MaterializedBagRep>> MaterializedBagRep::Build(
   }
   std::vector<LevelConstraint> constraints(nb + nf, LevelConstraint::Any());
   JoinIterator join(std::move(inputs), nb + nf, std::move(constraints));
-  Tuple t;
-  while (join.Next(&t)) rep->table_->Insert(t);
+  constexpr size_t kBatch = 1024;
+  TupleBuffer batch(nb + nf);
+  for (;;) {
+    batch.Clear();
+    const size_t n = join.NextBatch(&batch, kBatch);
+    for (size_t i = 0; i < n; ++i) rep->table_->InsertRow(batch[i].data());
+    if (n < kBatch) break;
+  }
   rep->table_->Seal();
   rep->Reindex();
   return std::move(rep);

@@ -229,11 +229,85 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
       return;
     }
     states_.resize(rep->bags_.size());
+    bag_batch_ = TupleBuffer((int)rep->bags_.back().free_vars.size());
+    // Bulk-path stitch map: head positions fed by the last bag.
+    const Bag& last = rep->bags_.back();
+    const std::vector<VarId>& head_free = rep->view_.free_vars();
+    for (size_t i = 0; i < head_free.size(); ++i)
+      for (size_t j = 0; j < last.free_vars.size(); ++j)
+        if (last.free_vars[j] == head_free[i]) patch_.emplace_back(i, j);
     cur_ = 0;
     entering_ = true;
   }
 
-  bool Next(Tuple* out) override {
+  bool Next(Tuple* out) override { return Produce(out); }
+
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    size_t n = 0;
+    while (n < max_tuples) {
+      // Bulk path: positioned on the last bag with an open enumerator,
+      // every bag tuple maps 1:1 to an output — drain the bag through its
+      // own batch API and stitch outputs in place instead of stepping the
+      // whole state machine per tuple.
+      if (!done_ && !solo_ && !entering_ &&
+          cur_ + 1 == (int)rep_->bags_.size() && cur_ >= 0 &&
+          states_[cur_].enumerator != nullptr && states_[cur_].visited) {
+        n += DrainLastBag(out, max_tuples - n);
+        if (n == max_tuples) break;
+        // Last bag exhausted after producing: hand control back to the
+        // pre-order predecessor exactly as Produce() would.
+        states_[cur_].visited = false;
+        --cur_;
+      }
+      if (!Produce(&scratch_)) break;
+      out->Append(scratch_);
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Pulls up to `max_tuples` further tuples of the last bag's enumerator
+  // and emits one output per tuple. Requires the state checked in
+  // NextBatch. Returns the number emitted; < max_tuples means the bag
+  // enumerator is exhausted (the caller backtracks).
+  size_t DrainLastBag(TupleBuffer* out, size_t max_tuples) {
+    const Bag& bag = rep_->bags_[cur_];
+    BagState& st = states_[cur_];
+    const std::vector<VarId>& head_free = rep_->view_.free_vars();
+    const int bag_arity = (int)bag.free_vars.size();
+    // Output template: head positions fed by ancestor bags are fixed while
+    // we stay inside this bag; positions in patch_ vary per bag tuple.
+    scratch_.resize(head_free.size());
+    for (size_t i = 0; i < head_free.size(); ++i)
+      scratch_[i] = values_[head_free[i]];
+    size_t emitted = 0;
+    while (emitted < max_tuples) {
+      bag_batch_.Clear();
+      const size_t want = std::min<size_t>(max_tuples - emitted, 256);
+      const size_t got = st.enumerator->NextBatch(&bag_batch_, want);
+      for (size_t r = 0; r < got; ++r) {
+        const TupleSpan vf = bag_batch_[r];
+        for (auto [out_pos, vf_pos] : patch_) scratch_[out_pos] = vf[vf_pos];
+        out->Append(scratch_);
+      }
+      emitted += got;
+      if (got > 0) {
+        // Keep values_ consistent with the last emitted bag tuple so the
+        // state machine resumes from the right point.
+        const TupleSpan last = bag_batch_[got - 1];
+        for (int i = 0; i < bag_arity; ++i)
+          values_[bag.free_vars[i]] = last[i];
+      }
+      if (got < want) break;
+    }
+    return emitted;
+  }
+
+  // Staging buffer + stitch map for DrainLastBag (last bag is fixed).
+  TupleBuffer bag_batch_{0};
+  std::vector<std::pair<size_t, size_t>> patch_;  // (out pos, vf pos)
+  bool Produce(Tuple* out) {
     if (done_) return false;
     if (solo_) {
       solo_ = false;
@@ -282,7 +356,6 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
     }
   }
 
- private:
   struct BagState {
     std::unique_ptr<TupleEnumerator> enumerator;
     bool visited = false;
@@ -290,6 +363,7 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
 
   const DecomposedRep* rep_;
   std::vector<Value> values_;
+  Tuple scratch_;  // staging for NextBatch
   std::vector<BagState> states_;
   int cur_ = -1;
   bool entering_ = false;
@@ -341,16 +415,23 @@ size_t DecomposedRep::CountAnswer(const BoundValuation& vb) const {
 
     size_t total = 0;
     auto e = bag.rep->Answer(key.interface_vals);
-    Tuple vf;
-    while (e->Next(&vf)) {
-      for (size_t i = 0; i < bag.free_vars.size(); ++i)
-        vals[bag.free_vars[i]] = vf[i];
-      size_t prod = 1;
-      for (int c : bag_children_[b]) {
-        prod *= count(c, vals);
-        if (prod == 0) break;
+    constexpr size_t kBatch = 64;
+    TupleBuffer batch((int)bag.free_vars.size());
+    for (;;) {
+      batch.Clear();
+      const size_t n = e->NextBatch(&batch, kBatch);
+      for (size_t j = 0; j < n; ++j) {
+        const TupleSpan vf = batch[j];
+        for (size_t i = 0; i < bag.free_vars.size(); ++i)
+          vals[bag.free_vars[i]] = vf[i];
+        size_t prod = 1;
+        for (int c : bag_children_[b]) {
+          prod *= count(c, vals);
+          if (prod == 0) break;
+        }
+        total += prod;
       }
-      total += prod;
+      if (n < kBatch) break;
     }
     memo.emplace(std::move(key), total);
     return total;

@@ -103,26 +103,25 @@ size_t BoundAtom::CountBox(const FBox& box) const {
                          box);
 }
 
-RowRange BoundAtom::SeekBound(const std::vector<Value>& bound_vals) const {
+RowRange BoundAtom::SeekBound(TupleSpan bound_vals) const {
   RowRange r = bf_index_->Root();
   for (size_t i = 0; i < bound_positions_.size() && !r.empty(); ++i)
     r = bf_index_->Refine(r, (int)i, bound_vals[bound_positions_[i]]);
   return r;
 }
 
-size_t BoundAtom::CountBoundBox(const std::vector<Value>& bound_vals,
-                                const FBox& box) const {
+size_t BoundAtom::CountBoundBox(TupleSpan bound_vals, const FBox& box) const {
   RowRange r = SeekBound(bound_vals);
   if (r.empty()) return 0;
   return CountFreeLevels(*bf_index_, r, num_bound(), free_positions_, box);
 }
 
-size_t BoundAtom::CountBound(const std::vector<Value>& bound_vals) const {
+size_t BoundAtom::CountBound(TupleSpan bound_vals) const {
   return SeekBound(bound_vals).size();
 }
 
-bool BoundAtom::ContainsValuation(const std::vector<Value>& bound_vals,
-                                  const Tuple& free_vals) const {
+bool BoundAtom::ContainsValuation(TupleSpan bound_vals,
+                                  TupleSpan free_vals) const {
   RowRange r = SeekBound(bound_vals);
   for (size_t i = 0; i < free_positions_.size() && !r.empty(); ++i)
     r = bf_index_->Refine(r, num_bound() + (int)i,

@@ -53,19 +53,19 @@ class BoundAtom {
 
   /// |R_F(v) ⋉ B|: bound columns fixed by `bound_vals` (aligned with the
   /// view bound order), free columns restricted by canonical `box`.
-  size_t CountBoundBox(const std::vector<Value>& bound_vals,
-                       const FBox& box) const;
+  /// All valuation parameters are spans: callers pass views into arena /
+  /// flat-pool storage (or Tuples, which convert) without materializing.
+  size_t CountBoundBox(TupleSpan bound_vals, const FBox& box) const;
 
   /// |R_F(v)|: tuples matching the bound valuation.
-  size_t CountBound(const std::vector<Value>& bound_vals) const;
+  size_t CountBound(TupleSpan bound_vals) const;
 
   /// Trie range of the bf index after fixing the bound columns.
-  RowRange SeekBound(const std::vector<Value>& bound_vals) const;
+  RowRange SeekBound(TupleSpan bound_vals) const;
 
   /// Membership: does the relation contain the row given by `bound_vals`
   /// (view bound order) + `free_vals` (view free order)? O(arity log N).
-  bool ContainsValuation(const std::vector<Value>& bound_vals,
-                         const Tuple& free_vals) const;
+  bool ContainsValuation(TupleSpan bound_vals, TupleSpan free_vals) const;
 
   const SortedIndex& bf_index() const { return *bf_index_; }
   const SortedIndex& fb_index() const { return *fb_index_; }

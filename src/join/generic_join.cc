@@ -5,16 +5,17 @@
 
 namespace cqc {
 
-JoinIterator::JoinIterator(std::vector<JoinAtomInput> atoms, int num_levels,
+JoinIterator::JoinIterator(const std::vector<JoinAtomInput>* atoms,
+                           int num_levels,
                            std::vector<LevelConstraint> constraints)
-    : atoms_(std::move(atoms)),
+    : atoms_(atoms),
       num_levels_(num_levels),
       constraints_(std::move(constraints)) {
   CQC_CHECK_EQ((int)constraints_.size(), num_levels_);
   participants_.resize(num_levels_);
-  range_stack_.resize(atoms_.size());
-  for (size_t a = 0; a < atoms_.size(); ++a) {
-    const JoinAtomInput& in = atoms_[a];
+  range_stack_.resize(this->atoms().size());
+  for (size_t a = 0; a < this->atoms().size(); ++a) {
+    const JoinAtomInput& in = this->atoms()[a];
     if (in.start.empty()) empty_atom_ = true;
     range_stack_[a].assign(in.levels.size() + 1, in.start);
     int prev_join = -1, prev_trie = in.start_level - 1;
@@ -32,6 +33,54 @@ JoinIterator::JoinIterator(std::vector<JoinAtomInput> atoms, int num_levels,
     CQC_CHECK(!participants_[l].empty())
         << "join level " << l << " has no participating atom";
   values_.assign(num_levels_, 0);
+}
+
+JoinIterator::JoinIterator(std::vector<JoinAtomInput> atoms, int num_levels,
+                           std::vector<LevelConstraint> constraints)
+    : JoinIterator(&atoms, num_levels, std::move(constraints)) {
+  // The delegated ctor read from the caller's vector; adopt it afterwards
+  // (element heap buffers are stable under vector move).
+  owned_atoms_ = std::move(atoms);
+  atoms_ = &owned_atoms_;
+}
+
+JoinIterator::JoinIterator(JoinIterator&& other) noexcept
+    : owned_atoms_(std::move(other.owned_atoms_)),
+      atoms_(other.atoms_ == &other.owned_atoms_ ? &owned_atoms_
+                                                 : other.atoms_),
+      num_levels_(other.num_levels_),
+      constraints_(std::move(other.constraints_)),
+      participants_(std::move(other.participants_)),
+      range_stack_(std::move(other.range_stack_)),
+      values_(std::move(other.values_)),
+      started_(other.started_),
+      done_(other.done_),
+      empty_atom_(other.empty_atom_) {}
+
+JoinIterator& JoinIterator::operator=(JoinIterator&& other) noexcept {
+  if (this == &other) return *this;
+  const bool owned = other.atoms_ == &other.owned_atoms_;
+  owned_atoms_ = std::move(other.owned_atoms_);
+  atoms_ = owned ? &owned_atoms_ : other.atoms_;
+  num_levels_ = other.num_levels_;
+  constraints_ = std::move(other.constraints_);
+  participants_ = std::move(other.participants_);
+  range_stack_ = std::move(other.range_stack_);
+  values_ = std::move(other.values_);
+  started_ = other.started_;
+  done_ = other.done_;
+  empty_atom_ = other.empty_atom_;
+  return *this;
+}
+
+void JoinIterator::Reset(const std::vector<LevelConstraint>& constraints) {
+  CQC_CHECK_EQ((int)constraints.size(), num_levels_);
+  constraints_.assign(constraints.begin(), constraints.end());
+  // Depth-0 ranges (the pre-bound starts) are never overwritten by
+  // SeekLevel, and deeper entries are re-derived before use — nothing else
+  // to restore.
+  started_ = false;
+  done_ = false;
 }
 
 Value JoinIterator::LevelStart(int level) const {
@@ -59,7 +108,7 @@ bool JoinIterator::SeekLevel(int level, Value from) {
   size_t i = 0;
   while (agreed < parts.size()) {
     const Participant& p = parts[i];
-    const SortedIndex& idx = *atoms_[p.atom].index;
+    const SortedIndex& idx = *atoms()[p.atom].index;
     const RowRange parent = range_stack_[p.atom][p.depth];
     ops::Bump();
     size_t pos = idx.LowerBound(parent, p.trie_level, v);
@@ -77,7 +126,7 @@ bool JoinIterator::SeekLevel(int level, Value from) {
   }
   // All participants contain v: record refined child ranges.
   for (const Participant& p : parts) {
-    const SortedIndex& idx = *atoms_[p.atom].index;
+    const SortedIndex& idx = *atoms()[p.atom].index;
     const RowRange parent = range_stack_[p.atom][p.depth];
     size_t lo_pos = idx.LowerBound(parent, p.trie_level, v);
     size_t hi_pos = idx.UpperBound({lo_pos, parent.end}, p.trie_level, v);
@@ -87,15 +136,18 @@ bool JoinIterator::SeekLevel(int level, Value from) {
   return true;
 }
 
-bool JoinIterator::Next(Tuple* out) {
+bool JoinIterator::AdvanceToMatch() {
   if (done_ || empty_atom_) {
     done_ = true;
     return false;
   }
   if (num_levels_ == 0) {
     // Pure existence check on pre-bound atoms: all start ranges nonempty.
-    done_ = true;
-    out->clear();
+    if (started_) {
+      done_ = true;
+      return false;
+    }
+    started_ = true;
     return true;
   }
 
@@ -127,10 +179,7 @@ bool JoinIterator::Next(Tuple* out) {
       from = LevelStart(level);
     }
     if (SeekLevel(level, from)) {
-      if (level == num_levels_ - 1) {
-        *out = values_;
-        return true;
-      }
+      if (level == num_levels_ - 1) return true;
       ++level;
       advancing = false;
     } else {
@@ -142,6 +191,65 @@ bool JoinIterator::Next(Tuple* out) {
       advancing = true;
     }
   }
+}
+
+bool JoinIterator::Next(Tuple* out) {
+  if (!AdvanceToMatch()) return false;
+  *out = values_;
+  return true;
+}
+
+size_t JoinIterator::ScanLastLevel(TupleBuffer* out, size_t max_tuples) {
+  const int level = num_levels_ - 1;
+  const auto& parts = participants_[level];
+  if (parts.size() != 1) return 0;
+  const LevelConstraint& c = constraints_[level];
+  if (c.kind == FBoxDim::kUnit) return 0;  // a unit level has one match
+
+  const Participant& p = parts[0];
+  const SortedIndex& idx = *atoms()[p.atom].index;
+  const RowRange parent = range_stack_[p.atom][p.depth];
+  size_t pos = range_stack_[p.atom][p.depth + 1].end;  // past current run
+  size_t emitted = 0;
+  while (emitted < max_tuples && pos < parent.end) {
+    const Value v = idx.ValueAt(p.trie_level, pos);
+    if (c.kind == FBoxDim::kRange && v > c.hi) break;
+    ops::Bump();
+    // Find the run of rows equal to v; runs are short in practice, so a
+    // linear probe beats re-seeking, with a binary-search fallback.
+    size_t end = pos + 1;
+    size_t probes = 0;
+    while (end < parent.end && idx.ValueAt(p.trie_level, end) == v) {
+      ++end;
+      if (++probes >= 32) {
+        end = idx.UpperBound({end, parent.end}, p.trie_level, v);
+        break;
+      }
+    }
+    Value* slot = out->AppendSlot();
+    for (int l = 0; l < level; ++l) slot[l] = values_[l];
+    slot[level] = v;
+    values_[level] = v;
+    range_stack_[p.atom][p.depth + 1] = {pos, end};
+    pos = end;
+    ++emitted;
+  }
+  return emitted;
+}
+
+size_t JoinIterator::NextBatch(TupleBuffer* out, size_t max_tuples) {
+  size_t emitted = 0;
+  const bool scannable =
+      num_levels_ > 0 && participants_[num_levels_ - 1].size() == 1 &&
+      constraints_[num_levels_ - 1].kind != FBoxDim::kUnit;
+  while (emitted < max_tuples) {
+    if (!AdvanceToMatch()) break;
+    out->Append(values_);
+    ++emitted;
+    if (scannable && emitted < max_tuples)
+      emitted += ScanLastLevel(out, max_tuples - emitted);
+  }
+  return emitted;
 }
 
 }  // namespace cqc

@@ -17,6 +17,7 @@
 #include "core/finterval.h"
 #include "relational/sorted_index.h"
 #include "util/common.h"
+#include "util/tuple_buffer.h"
 
 namespace cqc {
 
@@ -53,9 +54,32 @@ class JoinIterator {
   JoinIterator(std::vector<JoinAtomInput> atoms, int num_levels,
                std::vector<LevelConstraint> constraints);
 
+  /// Borrowing variant: `atoms` must outlive the iterator. The hot callers
+  /// (Algorithm 2 box streaming, dictionary probes) build the atom inputs
+  /// once per request and re-run the join per f-box via Reset(), paying no
+  /// per-box allocation.
+  JoinIterator(const std::vector<JoinAtomInput>* atoms, int num_levels,
+               std::vector<LevelConstraint> constraints);
+
+  JoinIterator(JoinIterator&& other) noexcept;
+  JoinIterator& operator=(JoinIterator&& other) noexcept;
+
+  /// Rewinds the iterator to run again from the same atom inputs under new
+  /// per-level constraints (e.g. the next f-box). Reuses every internal
+  /// buffer: no allocation once the constraint capacity is warm.
+  void Reset(const std::vector<LevelConstraint>& constraints);
+
   /// Emits the next result into `out` (resized to num_levels). Returns
   /// false when exhausted. Results come in ascending lexicographic order.
   bool Next(Tuple* out);
+
+  /// Batch emission: appends up to `max_tuples` results to `out` (arity
+  /// num_levels; not cleared) and returns the count; < max_tuples means
+  /// exhausted. Shares the stream with Next(). Beyond skipping the
+  /// per-tuple copy, runs at the deepest level with a single participating
+  /// atom are emitted by scanning the sorted column directly instead of
+  /// re-seeking — O(run) instead of O(run log n).
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples);
 
  private:
   struct Participant {
@@ -72,7 +96,23 @@ class JoinIterator {
   // Smallest admissible start value for `level`.
   Value LevelStart(int level) const;
 
-  std::vector<JoinAtomInput> atoms_;
+  // Positions the iterator on the next full match (values_ holds it).
+  // Returns false when exhausted.
+  bool AdvanceToMatch();
+
+  // Fast path for NextBatch: with the iterator positioned on a match,
+  // emits further matches that differ only in the last level by scanning
+  // that level's single participant column. Leaves values_/range_stack_
+  // consistent for the generic path. Returns the number emitted.
+  size_t ScanLastLevel(TupleBuffer* out, size_t max_tuples);
+
+  const std::vector<JoinAtomInput>& atoms() const { return *atoms_; }
+
+  // Either owns the inputs (owned_atoms_, atoms_ points at it) or borrows
+  // a caller-owned vector. The custom move operations re-point atoms_ when
+  // the owned storage moves.
+  std::vector<JoinAtomInput> owned_atoms_;
+  const std::vector<JoinAtomInput>* atoms_ = nullptr;
   int num_levels_;
   std::vector<LevelConstraint> constraints_;
   std::vector<std::vector<Participant>> participants_;  // per level

@@ -18,12 +18,15 @@ Relation::Relation(std::string name, int arity)
 Relation::~Relation() = default;
 
 void Relation::Insert(const Tuple& t) {
-  CQC_CHECK_EQ((int)t.size(), arity_);
+  CQC_CHECK(!sealed_) << "insert into sealed relation " << name_;
+  CQC_CHECK_EQ((int)t.size(), arity_)
+      << "tuple arity mismatch on relation " << name_;
   InsertRow(t.data());
 }
 
 void Relation::InsertRow(const Value* row) {
   CQC_CHECK(!sealed_) << "insert into sealed relation " << name_;
+  CQC_CHECK(row != nullptr) << "null row inserted into relation " << name_;
   staging_.insert(staging_.end(), row, row + arity_);
 }
 
@@ -67,13 +70,36 @@ void Relation::Seal() {
   sealed_ = true;
 }
 
+Value Relation::At(size_t row, int col) const {
+  CQC_CHECK(sealed_) << "At() on unsealed relation " << name_;
+  CQC_CHECK_LT(row, num_rows_) << "row out of range on relation " << name_;
+  CQC_CHECK_GE(col, 0);
+  CQC_CHECK_LT(col, arity_) << "column out of range on relation " << name_;
+  return cols_[col][row];
+}
+
 const std::vector<Value>& Relation::ActiveDomain(int col) const {
   CQC_CHECK(sealed_);
+  CQC_CHECK_GE(col, 0);
+  CQC_CHECK_LT(col, arity_);
   return active_domains_[col];
 }
 
 const SortedIndex& Relation::GetIndex(const std::vector<int>& perm) const {
   CQC_CHECK(sealed_);
+  // A malformed permutation would silently build an index over the wrong
+  // (possibly repeated) columns; reject it here where the caller is visible.
+  CQC_CHECK_EQ((int)perm.size(), arity_)
+      << "index permutation size mismatch on relation " << name_;
+  std::vector<bool> seen(arity_, false);
+  for (int c : perm) {
+    CQC_CHECK(c >= 0 && c < arity_)
+        << "index permutation entry " << c << " out of range on relation "
+        << name_;
+    CQC_CHECK(!seen[c]) << "index permutation repeats column " << c
+                        << " on relation " << name_;
+    seen[c] = true;
+  }
   auto it = index_cache_.find(perm);
   if (it == index_cache_.end()) {
     it = index_cache_.emplace(perm, std::make_unique<SortedIndex>(*this, perm))
@@ -82,7 +108,7 @@ const SortedIndex& Relation::GetIndex(const std::vector<int>& perm) const {
   return *it->second;
 }
 
-bool Relation::Contains(const Tuple& t) const {
+bool Relation::Contains(TupleSpan t) const {
   CQC_CHECK_EQ((int)t.size(), arity_);
   std::vector<int> identity(arity_);
   std::iota(identity.begin(), identity.end(), 0);

@@ -44,7 +44,7 @@ class Relation {
   void Seal();
 
   /// Value at (row, col). Valid only after Seal().
-  Value At(size_t row, int col) const { return cols_[col][row]; }
+  Value At(size_t row, int col) const;
 
   /// The sorted distinct values appearing in column `col`.
   const std::vector<Value>& ActiveDomain(int col) const;
@@ -55,7 +55,8 @@ class Relation {
   const SortedIndex& GetIndex(const std::vector<int>& perm) const;
 
   /// True iff the tuple (given in schema column order) is present. O(log N).
-  bool Contains(const Tuple& t) const;
+  /// Accepts any span view (Tuple converts implicitly) — no materialization.
+  bool Contains(TupleSpan t) const;
 
   /// Order-insensitive 64-bit digest of the relation's content (rows are
   /// canonically sorted after Seal, so this identifies the tuple set).

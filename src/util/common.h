@@ -6,7 +6,10 @@
 #ifndef CQC_UTIL_COMMON_H_
 #define CQC_UTIL_COMMON_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 namespace cqc {
@@ -19,6 +22,73 @@ using VarId = int32_t;
 
 /// A tuple of domain constants. Layout matches some schema known from context.
 using Tuple = std::vector<Value>;
+
+/// A non-owning read-only view of a tuple: pointer + arity into storage owned
+/// elsewhere (a Tuple, a TupleArena, a TupleBuffer, or a flat node pool). The
+/// probe paths (index seeks, membership checks, cost counts) take TupleSpan so
+/// enumeration never has to materialize a std::vector just to look a row up.
+/// A span must not outlive the storage it points into.
+class TupleSpan {
+ public:
+  constexpr TupleSpan() = default;
+  constexpr TupleSpan(const Value* data, size_t size)
+      : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): Tuple call sites stay valid.
+  TupleSpan(const Tuple& t) : data_(t.data()), size_(t.size()) {}
+  // No initializer_list constructor on purpose: `TupleSpan s = {1, 2};`
+  // would dangle the moment the statement ends. Brace call sites pass an
+  // explicit `Tuple{1, 2}` temporary instead (alive for the full
+  // expression, and visibly an allocation).
+
+  const Value* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Value operator[](size_t i) const { return data_[i]; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+  Value front() const { return data_[0]; }
+  Value back() const { return data_[size_ - 1]; }
+
+  /// Materializes an owning copy.
+  Tuple ToTuple() const { return Tuple(data_, data_ + size_); }
+
+  friend bool operator==(TupleSpan a, TupleSpan b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  /// Lexicographic order (shorter prefix sorts first, as for Tuple).
+  friend bool operator<(TupleSpan a, TupleSpan b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A non-owning mutable view of a tuple. Converts to TupleSpan.
+class TupleRef {
+ public:
+  constexpr TupleRef() = default;
+  constexpr TupleRef(Value* data, size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  TupleRef(Tuple& t) : data_(t.data()), size_(t.size()) {}
+
+  Value* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Value& operator[](size_t i) const { return data_[i]; }
+  Value* begin() const { return data_; }
+  Value* end() const { return data_ + size_; }
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator TupleSpan() const { return TupleSpan(data_, size_); }
+  Tuple ToTuple() const { return Tuple(data_, data_ + size_); }
+
+ private:
+  Value* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Maximum number of distinct variables a query may use. Hypergraph edges are
 /// stored as 64-bit variable bitsets, so this cannot exceed 64.

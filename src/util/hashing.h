@@ -18,12 +18,22 @@ inline uint64_t MixHash(uint64_t x) {
   return x;
 }
 
-struct TupleHash {
-  size_t operator()(const Tuple& t) const {
+/// Hash of a tuple's content; identical for Tuple and TupleSpan views of the
+/// same values (Tuple converts to TupleSpan implicitly).
+struct SpanHash {
+  size_t operator()(TupleSpan t) const {
     uint64_t h = 0x9e3779b97f4a7c15ULL ^ t.size();
     for (Value v : t) h = MixHash(h ^ v) * 0x100000001b3ULL;
     return (size_t)h;
   }
+};
+
+struct SpanEq {
+  bool operator()(TupleSpan a, TupleSpan b) const { return a == b; }
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return SpanHash()(t); }
 };
 
 }  // namespace cqc

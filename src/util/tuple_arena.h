@@ -1,0 +1,95 @@
+// TupleArena: a bump allocator for tuple payloads.
+//
+// The enumeration hot path produces and probes many short-lived tuples; a
+// general-purpose allocator charges a malloc/free round trip plus pointer
+// chasing for each. The arena hands out contiguous Value slots from large
+// chunks instead: allocation is a pointer bump, deallocation is a single
+// Reset() of the whole arena, and every span it returns stays valid until
+// that Reset (so interned tuples can be shared by reference, see
+// ProjectingEnumerator's dedup set).
+#ifndef CQC_UTIL_TUPLE_ARENA_H_
+#define CQC_UTIL_TUPLE_ARENA_H_
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/common.h"
+
+namespace cqc {
+
+class TupleArena {
+ public:
+  /// `chunk_values` is the default chunk capacity in Values (not bytes).
+  explicit TupleArena(size_t chunk_values = 4096)
+      : chunk_values_(chunk_values == 0 ? 1 : chunk_values) {}
+
+  TupleArena(const TupleArena&) = delete;
+  TupleArena& operator=(const TupleArena&) = delete;
+  TupleArena(TupleArena&&) = default;
+  TupleArena& operator=(TupleArena&&) = default;
+
+  /// Returns `n` uninitialized contiguous Value slots. The slots stay valid
+  /// until Reset() or destruction; n == 0 yields an empty ref.
+  TupleRef Alloc(size_t n) {
+    if (n == 0) return TupleRef();
+    if (pos_ + n > cap_) Grow(n);
+    Value* out = chunks_.back().get() + pos_;
+    pos_ += n;
+    return TupleRef(out, n);
+  }
+
+  /// Copies `t` into the arena and returns the stable copy.
+  TupleRef Copy(TupleSpan t) {
+    TupleRef ref = Alloc(t.size());
+    if (!t.empty())
+      std::memcpy(ref.data(), t.data(), t.size() * sizeof(Value));
+    return ref;
+  }
+
+  /// Invalidates every span handed out so far; keeps one chunk (grown to the
+  /// largest capacity seen) so steady-state reuse stops allocating entirely.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      chunks_.erase(chunks_.begin() + 1, chunks_.end());
+      if (largest_cap_ > chunks_[0].capacity) {
+        chunks_[0] = Chunk(largest_cap_);
+      }
+      total_capacity_ = chunks_[0].capacity;
+    }
+    cap_ = chunks_.empty() ? 0 : chunks_.back().capacity;
+    pos_ = 0;
+  }
+
+  size_t MemoryBytes() const { return total_capacity_ * sizeof(Value); }
+
+ private:
+  struct Chunk {
+    explicit Chunk(size_t cap)
+        : values(std::make_unique<Value[]>(cap)), capacity(cap) {}
+    std::unique_ptr<Value[]> values;
+    size_t capacity;
+    Value* get() const { return values.get(); }
+  };
+
+  void Grow(size_t min_values) {
+    const size_t cap = std::max(chunk_values_, min_values);
+    chunks_.push_back(Chunk(cap));
+    total_capacity_ += cap;
+    largest_cap_ = std::max(largest_cap_, cap);
+    cap_ = cap;
+    pos_ = 0;
+  }
+
+  size_t chunk_values_;
+  std::vector<Chunk> chunks_;
+  size_t pos_ = 0;          // bump cursor within the current chunk
+  size_t cap_ = 0;          // capacity of the current chunk
+  size_t largest_cap_ = 0;  // for Reset() chunk reuse
+  size_t total_capacity_ = 0;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_TUPLE_ARENA_H_

@@ -1,0 +1,100 @@
+// TupleBuffer: a caller-owned flat buffer of fixed-arity tuples, the unit of
+// the batch enumeration API (TupleEnumerator::NextBatch).
+//
+// Tuples live back to back in one contiguous Value array — no per-tuple
+// allocation, no pointer indirection — so filling a batch is a sequence of
+// bump-and-memcpy appends and draining one is a linear scan. Growth leaves
+// new slots uninitialized (AppendSlot hands the raw slot to the producer),
+// which keeps the append fast path to a capacity check and a pointer bump.
+// The buffer is meant to be reused across batches: Clear() keeps the
+// capacity.
+#ifndef CQC_UTIL_TUPLE_BUFFER_H_
+#define CQC_UTIL_TUPLE_BUFFER_H_
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace cqc {
+
+class TupleBuffer {
+ public:
+  /// All tuples in the buffer share this arity (>= 0; arity 0 supports
+  /// boolean views, whose single output is the empty tuple).
+  explicit TupleBuffer(int arity) : arity_(arity) {
+    CQC_CHECK_GE(arity, 0);
+  }
+
+  TupleBuffer(TupleBuffer&&) = default;
+  TupleBuffer& operator=(TupleBuffer&&) = default;
+
+  int arity() const { return arity_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Drops all tuples but keeps the allocation.
+  void Clear() {
+    count_ = 0;
+    used_ = 0;
+  }
+
+  void Reserve(size_t num_tuples) { Grow(num_tuples * arity_); }
+
+  /// Appends one uninitialized tuple and returns a pointer to its `arity()`
+  /// slots (nullptr when arity is 0 — the tuple still counts).
+  Value* AppendSlot() {
+    ++count_;
+    if (arity_ == 0) return nullptr;
+    if (used_ + arity_ > cap_) Grow(used_ + arity_);
+    Value* slot = data_.get() + used_;
+    used_ += arity_;
+    return slot;
+  }
+
+  /// Appends a copy of `t` (its size must equal arity()).
+  void Append(TupleSpan t) {
+    CQC_CHECK_EQ(t.size(), (size_t)arity_);
+    Value* slot = AppendSlot();
+    if (arity_ > 0) std::memcpy(slot, t.data(), arity_ * sizeof(Value));
+  }
+
+  TupleSpan operator[](size_t i) const {
+    return TupleSpan(data_.get() + i * arity_, arity_);
+  }
+  TupleSpan back() const { return (*this)[count_ - 1]; }
+
+  /// The flat row-major payload (size() * arity() values).
+  const Value* data() const { return data_.get(); }
+
+  /// Materializes owning tuples (tests / interop with legacy call sites).
+  std::vector<Tuple> ToTuples() const {
+    std::vector<Tuple> out;
+    out.reserve(count_);
+    for (size_t i = 0; i < count_; ++i) out.push_back((*this)[i].ToTuple());
+    return out;
+  }
+
+ private:
+  void Grow(size_t min_values) {
+    if (min_values <= cap_) return;
+    size_t cap = cap_ == 0 ? 64 : cap_;
+    while (cap < min_values) cap *= 2;
+    std::unique_ptr<Value[]> grown(new Value[cap]);
+    if (used_ > 0) std::memcpy(grown.get(), data_.get(), used_ * sizeof(Value));
+    data_ = std::move(grown);
+    cap_ = cap;
+  }
+
+  int arity_;
+  size_t count_ = 0;  // tuples
+  size_t used_ = 0;   // values
+  size_t cap_ = 0;    // values
+  std::unique_ptr<Value[]> data_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_TUPLE_BUFFER_H_

@@ -81,17 +81,17 @@ TEST(FBoxTest, CanonicalRecognition) {
 
 TEST(FBoxTest, Contains) {
   FBox box{{FBoxDim::Unit(2), FBoxDim::Range(3, 6)}};
-  EXPECT_TRUE(box.Contains({2, 3}));
-  EXPECT_TRUE(box.Contains({2, 6}));
-  EXPECT_FALSE(box.Contains({2, 7}));
-  EXPECT_FALSE(box.Contains({1, 4}));
+  EXPECT_TRUE(box.Contains(Tuple{2, 3}));
+  EXPECT_TRUE(box.Contains(Tuple{2, 6}));
+  EXPECT_FALSE(box.Contains(Tuple{2, 7}));
+  EXPECT_FALSE(box.Contains(Tuple{1, 4}));
 }
 
 TEST(BoxDecomposeTest, UnitInterval) {
   FInterval i{{1, 2, 3}, {1, 2, 3}};
   auto boxes = BoxDecompose(i);
   ASSERT_EQ(boxes.size(), 1u);
-  EXPECT_TRUE(boxes[0].Contains({1, 2, 3}));
+  EXPECT_TRUE(boxes[0].Contains(Tuple{1, 2, 3}));
   EXPECT_TRUE(boxes[0].IsCanonical());
 }
 
@@ -99,8 +99,8 @@ TEST(BoxDecomposeTest, LastPositionOnly) {
   FInterval i{{1, 2, 3}, {1, 2, 9}};
   auto boxes = BoxDecompose(i);
   ASSERT_EQ(boxes.size(), 1u);
-  EXPECT_TRUE(boxes[0].Contains({1, 2, 5}));
-  EXPECT_FALSE(boxes[0].Contains({1, 2, 10}));
+  EXPECT_TRUE(boxes[0].Contains(Tuple{1, 2, 5}));
+  EXPECT_FALSE(boxes[0].Contains(Tuple{1, 2, 10}));
 }
 
 TEST(BoxDecomposeTest, PaperExample12) {
@@ -112,22 +112,22 @@ TEST(BoxDecomposeTest, PaperExample12) {
   auto boxes = BoxDecompose(i);
   ASSERT_EQ(boxes.size(), 5u);
   // B^l_3 = <10, 50, (100, top]>
-  EXPECT_TRUE(boxes[0].Contains({10, 50, 101}));
-  EXPECT_TRUE(boxes[0].Contains({10, 50, 1000}));
-  EXPECT_FALSE(boxes[0].Contains({10, 50, 100}));
+  EXPECT_TRUE(boxes[0].Contains(Tuple{10, 50, 101}));
+  EXPECT_TRUE(boxes[0].Contains(Tuple{10, 50, 1000}));
+  EXPECT_FALSE(boxes[0].Contains(Tuple{10, 50, 100}));
   // B^l_2 = <10, (50, top]>
-  EXPECT_TRUE(boxes[1].Contains({10, 51, 1}));
-  EXPECT_FALSE(boxes[1].Contains({10, 50, 1}));
+  EXPECT_TRUE(boxes[1].Contains(Tuple{10, 51, 1}));
+  EXPECT_FALSE(boxes[1].Contains(Tuple{10, 50, 1}));
   // B_1 = <(10, 20)>
-  EXPECT_TRUE(boxes[2].Contains({11, 1, 1}));
-  EXPECT_TRUE(boxes[2].Contains({19, 1000, 1000}));
-  EXPECT_FALSE(boxes[2].Contains({20, 1, 1}));
+  EXPECT_TRUE(boxes[2].Contains(Tuple{11, 1, 1}));
+  EXPECT_TRUE(boxes[2].Contains(Tuple{19, 1000, 1000}));
+  EXPECT_FALSE(boxes[2].Contains(Tuple{20, 1, 1}));
   // B^r_2 = <20, [bottom, 10)>
-  EXPECT_TRUE(boxes[3].Contains({20, 9, 500}));
-  EXPECT_FALSE(boxes[3].Contains({20, 10, 1}));
+  EXPECT_TRUE(boxes[3].Contains(Tuple{20, 9, 500}));
+  EXPECT_FALSE(boxes[3].Contains(Tuple{20, 10, 1}));
   // B^r_3 = <20, 10, [bottom, 50)>
-  EXPECT_TRUE(boxes[4].Contains({20, 10, 49}));
-  EXPECT_FALSE(boxes[4].Contains({20, 10, 50}));
+  EXPECT_TRUE(boxes[4].Contains(Tuple{20, 10, 49}));
+  EXPECT_FALSE(boxes[4].Contains(Tuple{20, 10, 50}));
 }
 
 TEST(BoxDecomposeTest, PaperExample12SecondInterval) {
@@ -135,9 +135,9 @@ TEST(BoxDecomposeTest, PaperExample12SecondInterval) {
   FInterval i{{10, 50, 100}, {10, 50, 199}};
   auto boxes = BoxDecompose(i);
   ASSERT_EQ(boxes.size(), 1u);
-  EXPECT_TRUE(boxes[0].Contains({10, 50, 100}));
-  EXPECT_TRUE(boxes[0].Contains({10, 50, 199}));
-  EXPECT_FALSE(boxes[0].Contains({10, 50, 200}));
+  EXPECT_TRUE(boxes[0].Contains(Tuple{10, 50, 100}));
+  EXPECT_TRUE(boxes[0].Contains(Tuple{10, 50, 199}));
+  EXPECT_FALSE(boxes[0].Contains(Tuple{10, 50, 200}));
 }
 
 // Lemma 1 as a property test: partition, ordering, size bound.

@@ -88,9 +88,9 @@ TEST(CostModelTest, BoundRestrictionShrinksCost) {
   AddRelation(s.db, "R", 2, {{1, 10}, {1, 20}, {2, 10}, {2, 30}, {2, 40}});
   s.Init("Q^bf(x,y) = R(x,y)", {1.0});
   FInterval whole{s.domain->MinTuple(), s.domain->MaxTuple()};
-  EXPECT_NEAR(s.cost->IntervalCostBound({1}, whole), 2.0, 1e-9);
-  EXPECT_NEAR(s.cost->IntervalCostBound({2}, whole), 3.0, 1e-9);
-  EXPECT_NEAR(s.cost->IntervalCostBound({9}, whole), 0.0, 1e-9);
+  EXPECT_NEAR(s.cost->IntervalCostBound(Tuple{1}, whole), 2.0, 1e-9);
+  EXPECT_NEAR(s.cost->IntervalCostBound(Tuple{2}, whole), 3.0, 1e-9);
+  EXPECT_NEAR(s.cost->IntervalCostBound(Tuple{9}, whole), 0.0, 1e-9);
 }
 
 // Proposition 8 as a property test: the split point lies inside and both

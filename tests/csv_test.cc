@@ -27,7 +27,7 @@ TEST(CsvTest, RoundTrip) {
   auto loaded = LoadRelationCsv(db2, "R", 3, path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().message();
   EXPECT_EQ(loaded.value()->size(), 3u);
-  EXPECT_TRUE(loaded.value()->Contains({4, 5, 6}));
+  EXPECT_TRUE(loaded.value()->Contains(Tuple{4, 5, 6}));
 }
 
 TEST(CsvTest, CommentsAndBlanksSkipped) {
@@ -45,8 +45,8 @@ TEST(CsvTest, CustomDelimiterAndWhitespace) {
   Database db;
   auto loaded = LoadRelationCsv(db, "R", 2, path, '\t');
   ASSERT_TRUE(loaded.ok()) << loaded.status().message();
-  EXPECT_TRUE(loaded.value()->Contains({1, 20}));
-  EXPECT_TRUE(loaded.value()->Contains({3, 40}));
+  EXPECT_TRUE(loaded.value()->Contains(Tuple{1, 20}));
+  EXPECT_TRUE(loaded.value()->Contains(Tuple{3, 40}));
 }
 
 TEST(CsvTest, Errors) {

@@ -61,7 +61,7 @@ TEST(DictionaryInvariantTest, BitsMatchOracleEmptiness) {
     const HeavyDictionary& dict = rep.value()->dictionary();
     WalkTree(*rep.value(), [&](int node, const FInterval& interval) {
       dict.ForEachEntry(node, [&](uint32_t vb_id, bool bit) {
-        const Tuple& vb = dict.candidates()[vb_id];
+        const Tuple vb = dict.candidate(vb_id).ToTuple();
         EXPECT_EQ(bit, OracleNonEmpty(view, db, vb, interval))
             << "node " << node << " tau " << tau;
       });
@@ -132,9 +132,9 @@ TEST(DictionaryInvariantTest, CandidatesAreExactlyBoundJoin) {
   for (size_t i = 0; i < r->size(); ++i) sets.insert(r->At(i, 0));
   for (Value s1 : sets)
     for (Value s2 : sets)
-      EXPECT_NE(dict.FindValuation({s1, s2}), HeavyDictionary::kNoValuation);
+      EXPECT_NE(dict.FindValuation(Tuple{s1, s2}), HeavyDictionary::kNoValuation);
   EXPECT_EQ(dict.NumCandidates(), sets.size() * sets.size());
-  EXPECT_EQ(dict.FindValuation({999, 999}), HeavyDictionary::kNoValuation);
+  EXPECT_EQ(dict.FindValuation(Tuple{999, 999}), HeavyDictionary::kNoValuation);
 }
 
 TEST(DictionaryInvariantTest, FixupFlipsDeadBits) {

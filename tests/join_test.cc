@@ -70,10 +70,10 @@ TEST(BoundAtomTest, SplitsBoundAndFree) {
   EXPECT_EQ(atom.bound_positions(), (std::vector<int>{0, 1}));
   EXPECT_EQ(atom.free_positions(), (std::vector<int>{0}));
   // Row (y=1, x=2, z=3): bound (x=2, z=3), free y=1.
-  EXPECT_EQ(atom.CountBound({2, 3}), 1u);
-  EXPECT_EQ(atom.CountBound({1, 3}), 0u);
-  EXPECT_TRUE(atom.ContainsValuation({2, 3}, {1}));
-  EXPECT_FALSE(atom.ContainsValuation({2, 3}, {9}));
+  EXPECT_EQ(atom.CountBound(Tuple{2, 3}), 1u);
+  EXPECT_EQ(atom.CountBound(Tuple{1, 3}), 0u);
+  EXPECT_TRUE(atom.ContainsValuation(Tuple{2, 3}, Tuple{1}));
+  EXPECT_FALSE(atom.ContainsValuation(Tuple{2, 3}, Tuple{9}));
 }
 
 TEST(BoundAtomTest, CountBoxCanonical) {
@@ -110,12 +110,12 @@ TEST(BoundAtomTest, CountBoundBoxMixesBoundAndBox) {
         y = q.value().FindVar("y");
   BoundAtom atom(q.value().atoms()[0], *db.Find("R"), {w}, {x, y});
   FBox all{{FBoxDim::Any(), FBoxDim::Any()}};
-  EXPECT_EQ(atom.CountBoundBox({1}, all), 3u);
+  EXPECT_EQ(atom.CountBoundBox(Tuple{1}, all), 3u);
   FBox x1{{FBoxDim::Unit(1), FBoxDim::Any()}};
-  EXPECT_EQ(atom.CountBoundBox({1}, x1), 2u);
+  EXPECT_EQ(atom.CountBoundBox(Tuple{1}, x1), 2u);
   FBox x1y2{{FBoxDim::Unit(1), FBoxDim::Range(2, 5)}};
-  EXPECT_EQ(atom.CountBoundBox({1}, x1y2), 1u);
-  EXPECT_EQ(atom.CountBoundBox({9}, all), 0u);
+  EXPECT_EQ(atom.CountBoundBox(Tuple{1}, x1y2), 1u);
+  EXPECT_EQ(atom.CountBoundBox(Tuple{9}, all), 0u);
 }
 
 TEST(GenericJoinTest, TwoPathMatchesOracle) {
@@ -229,7 +229,7 @@ TEST(GenericJoinTest, ZeroLevelExistenceCheck) {
                  {q.value().FindVar("x")}, none);
   JoinAtomInput in;
   in.index = &atom.bf_index();
-  in.start = atom.SeekBound({1});
+  in.start = atom.SeekBound(Tuple{1});
   in.start_level = 1;
   JoinIterator join({in}, 0, {});
   Tuple t;
@@ -238,7 +238,7 @@ TEST(GenericJoinTest, ZeroLevelExistenceCheck) {
   EXPECT_FALSE(join.Next(&t));
 
   JoinAtomInput miss = in;
-  miss.start = atom.SeekBound({9});
+  miss.start = atom.SeekBound(Tuple{9});
   JoinIterator join2({miss}, 0, {});
   EXPECT_FALSE(join2.Next(&t));
 }

@@ -68,7 +68,7 @@ TEST_F(PaperTraceTest, Example13RootIntervalCost) {
 TEST_F(PaperTraceTest, Example13HeavyValuation) {
   // T(vb, I(r)) = sqrt(2) + 2 + 1 = 4.414 for vb = (1,1,1): tau=4-heavy.
   FInterval root{{1, 1, 1}, {2, 2, 2}};
-  const double t = cost_->IntervalCostBound({1, 1, 1}, root);
+  const double t = cost_->IntervalCostBound(Tuple{1, 1, 1}, root);
   EXPECT_NEAR(t, std::sqrt(2.0) + 2.0 + 1.0, 1e-9);
   EXPECT_GT(t, 4.0);  // tau-heavy for tau = 4
 }
@@ -136,7 +136,7 @@ TEST_F(PaperTraceTest, Example15Dictionary) {
   EXPECT_NEAR(cr.stats().alpha, 2.0, 1e-9);
 
   const HeavyDictionary& dict = cr.dictionary();
-  uint32_t vb_id = dict.FindValuation({1, 1, 1});
+  uint32_t vb_id = dict.FindValuation(Tuple{1, 1, 1});
   ASSERT_NE(vb_id, HeavyDictionary::kNoValuation);
   // Node ids: 0 = r; root's right child = rr.
   const DbTreeNode& r = cr.tree().node(0);

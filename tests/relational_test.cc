@@ -40,17 +40,17 @@ TEST(RelationTest, Contains) {
   r.Insert({1, 2, 3});
   r.Insert({4, 5, 6});
   r.Seal();
-  EXPECT_TRUE(r.Contains({1, 2, 3}));
-  EXPECT_TRUE(r.Contains({4, 5, 6}));
-  EXPECT_FALSE(r.Contains({1, 2, 4}));
-  EXPECT_FALSE(r.Contains({0, 0, 0}));
+  EXPECT_TRUE(r.Contains(Tuple{1, 2, 3}));
+  EXPECT_TRUE(r.Contains(Tuple{4, 5, 6}));
+  EXPECT_FALSE(r.Contains(Tuple{1, 2, 4}));
+  EXPECT_FALSE(r.Contains(Tuple{0, 0, 0}));
 }
 
 TEST(RelationTest, EmptyRelation) {
   Relation r("R", 2);
   r.Seal();
   EXPECT_EQ(r.size(), 0u);
-  EXPECT_FALSE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains(Tuple{1, 2}));
   EXPECT_TRUE(r.ActiveDomain(0).empty());
 }
 
@@ -161,8 +161,8 @@ TEST(ProjectionTest, DistinctProjection) {
                                      {{1, 2, 3}, {1, 2, 4}, {5, 2, 3}});
   auto p = ProjectDistinct(*r, {1, 0}, "P");
   EXPECT_EQ(p->size(), 2u);  // (2,1) and (2,5)
-  EXPECT_TRUE(p->Contains({2, 1}));
-  EXPECT_TRUE(p->Contains({2, 5}));
+  EXPECT_TRUE(p->Contains(Tuple{2, 1}));
+  EXPECT_TRUE(p->Contains(Tuple{2, 5}));
 }
 
 TEST(ProjectionTest, FilterProjectConstantsAndRepeats) {
@@ -172,15 +172,15 @@ TEST(ProjectionTest, FilterProjectConstantsAndRepeats) {
       db, "R", 3, {{1, 2, 7}, {1, 3, 8}, {4, 5, 7}, {4, 5, 7}});
   auto rp = FilterProject(*r, {{2, 7}}, {}, {0, 1}, "Rp");
   EXPECT_EQ(rp->size(), 2u);
-  EXPECT_TRUE(rp->Contains({1, 2}));
-  EXPECT_TRUE(rp->Contains({4, 5}));
+  EXPECT_TRUE(rp->Contains(Tuple{1, 2}));
+  EXPECT_TRUE(rp->Contains(Tuple{4, 5}));
   // S'(y,z) = S(y,y,z).
   Relation* s = testing::AddRelation(db, "S", 3,
                                      {{2, 2, 9}, {2, 3, 9}, {4, 4, 1}});
   auto sp = FilterProject(*s, {}, {{0, 1}}, {0, 2}, "Sp");
   EXPECT_EQ(sp->size(), 2u);
-  EXPECT_TRUE(sp->Contains({2, 9}));
-  EXPECT_TRUE(sp->Contains({4, 1}));
+  EXPECT_TRUE(sp->Contains(Tuple{2, 9}));
+  EXPECT_TRUE(sp->Contains(Tuple{4, 1}));
 }
 
 }  // namespace

@@ -23,7 +23,7 @@ TEST(GeneratorTest, SymmetricGraphClosedUnderReversal) {
   Database db;
   Relation* r = MakeRandomGraph(db, "R", 30, 120, true, 9);
   for (size_t i = 0; i < r->size(); ++i)
-    EXPECT_TRUE(r->Contains({r->At(i, 1), r->At(i, 0)}));
+    EXPECT_TRUE(r->Contains(Tuple{r->At(i, 1), r->At(i, 0)}));
 }
 
 TEST(GeneratorTest, NoSelfLoops) {

@@ -178,14 +178,23 @@ int main(int argc, char** argv) {
                    view.num_bound(), vb.size());
       continue;
     }
+    // Drain through the batch API: one NextBatch fill per kBatch rows keeps
+    // the enumerator out of the per-line printf loop.
     auto e = rep->Answer(vb);
-    Tuple t;
+    constexpr size_t kBatch = 512;
+    TupleBuffer batch(view.num_free());
     size_t count = 0;
-    while (e->Next(&t)) {
-      ++count;
-      for (size_t i = 0; i < t.size(); ++i)
-        std::printf("%s%llu", i ? "," : "", (unsigned long long)t[i]);
-      std::printf("\n");
+    for (;;) {
+      batch.Clear();
+      const size_t n = e->NextBatch(&batch, kBatch);
+      count += n;
+      for (size_t j = 0; j < n; ++j) {
+        TupleSpan t = batch[j];
+        for (size_t i = 0; i < t.size(); ++i)
+          std::printf("%s%llu", i ? "," : "", (unsigned long long)t[i]);
+        std::printf("\n");
+      }
+      if (n < kBatch) break;
     }
     std::fprintf(stderr, "(%zu tuples)\n", count);
   }

@@ -1,5 +1,6 @@
 #include "baseline/direct_eval.h"
 
+#include <optional>
 #include <set>
 
 #include "join/generic_join.h"
@@ -42,28 +43,55 @@ Result<std::unique_ptr<DirectEval>> DirectEval::Build(
   return std::move(de);
 }
 
-std::unique_ptr<TupleEnumerator> DirectEval::Answer(
-    const BoundValuation& vb) const {
-  const int mu = view_.num_free();
+namespace {
+
+// Builds the per-atom join inputs for a bound valuation; nullopt when some
+// atom has no rows under vb (the whole request is empty). Shared by the
+// full and range-restricted answer paths so they can never diverge.
+std::optional<std::vector<JoinAtomInput>> BuildJoinInputs(
+    const std::vector<BoundAtom>& atoms, const BoundValuation& vb) {
   std::vector<JoinAtomInput> inputs;
-  for (const BoundAtom& atom : atoms_) {
+  for (const BoundAtom& atom : atoms) {
     JoinAtomInput in;
     in.index = &atom.bf_index();
     in.start = atom.SeekBound(vb);
-    if (in.start.empty()) return std::make_unique<EmptyEnumerator>();
+    if (in.start.empty()) return std::nullopt;
     in.start_level = atom.num_bound();
     for (int i = 0; i < atom.num_free(); ++i)
       in.levels.emplace_back(atom.free_positions()[i], atom.num_bound() + i);
     inputs.push_back(std::move(in));
   }
+  return inputs;
+}
+
+}  // namespace
+
+std::unique_ptr<TupleEnumerator> DirectEval::Answer(
+    const BoundValuation& vb) const {
+  const int mu = view_.num_free();
+  auto inputs = BuildJoinInputs(atoms_, vb);
+  if (!inputs.has_value()) return std::make_unique<EmptyEnumerator>();
   if (mu == 0) {
     // Boolean request: all atoms non-empty under vb.
     std::vector<Tuple> one{Tuple{}};
     return std::make_unique<VectorEnumerator>(std::move(one));
   }
-  JoinIterator join(std::move(inputs), mu,
+  JoinIterator join(std::move(*inputs), mu,
                     std::vector<LevelConstraint>(mu, LevelConstraint::Any()));
   return std::make_unique<JoinEnumerator>(std::move(join));
+}
+
+std::unique_ptr<TupleEnumerator> DirectEval::AnswerRange(
+    const BoundValuation& vb, const FInterval& range) const {
+  const int mu = view_.num_free();
+  CQC_CHECK_GT(mu, 0) << "AnswerRange needs a free dimension";
+  CQC_CHECK_EQ((int)range.lo.size(), mu);
+  CQC_CHECK_EQ((int)range.hi.size(), mu);
+  if (range.Empty()) return std::make_unique<EmptyEnumerator>();
+  auto inputs = BuildJoinInputs(atoms_, vb);
+  if (!inputs.has_value()) return std::make_unique<EmptyEnumerator>();
+  return std::make_unique<BoxJoinEnumerator>(std::move(*inputs), mu,
+                                             BoxDecompose(range));
 }
 
 bool DirectEval::AnswerExists(const BoundValuation& vb) const {

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "core/enumerator.h"
+#include "core/finterval.h"
 #include "join/bound_atom.h"
 #include "query/adorned_view.h"
 #include "relational/database.h"
@@ -24,6 +25,15 @@ class DirectEval {
   /// Streams the access request via generic join (lexicographic order).
   std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
   bool AnswerExists(const BoundValuation& vb) const;
+
+  /// Range-restricted Answer: exactly the outputs inside the closed lex
+  /// interval `range` (arity num_free), in the same order — the join runs
+  /// once per box of the Lemma 1 decomposition of `range`
+  /// (BoxJoinEnumerator). Lets the baseline consume the same ShardPlan lex
+  /// ranges as the compressed structure, for differential shard testing
+  /// and parallel draining. Requires num_free() > 0.
+  std::unique_ptr<TupleEnumerator> AnswerRange(const BoundValuation& vb,
+                                               const FInterval& range) const;
 
   /// Space: the sorted tries over the base relations (linear).
   size_t SpaceBytes() const;

@@ -161,9 +161,20 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::Build(
 // The traversal is written once, as the batch producer NextBatch(); the
 // one-at-a-time Next() pulls single-tuple batches through a scratch buffer,
 // so both entry points share one state machine and cannot diverge.
+//
+// An optional lex range [range_lo_, range_hi_] restricts the traversal: every
+// interval is clipped against the range when its frame is pushed (the child
+// derivation below a clipped parent can escape the parent's bounds, so the
+// clip must happen at every push, not just at the root), subtrees whose
+// clipped interval is empty are skipped, and split points are emitted only
+// when they fall inside the clipped frame. Dictionary bits stay sound under
+// clipping: a light pair stays light on a sub-interval (cost is monotone)
+// and a 0-bit (empty on the full interval) implies empty on any
+// sub-interval.
 class CompressedRep::Alg2Enumerator : public TupleEnumerator {
  public:
-  Alg2Enumerator(const CompressedRep* rep, BoundValuation vb)
+  Alg2Enumerator(const CompressedRep* rep, BoundValuation vb,
+                 const FInterval* range = nullptr)
       : rep_(rep), vb_(std::move(vb)), scratch_(rep->view().num_free()) {
     CQC_CHECK_EQ((int)vb_.size(), rep_->view_.num_bound());
     // Pre-bind every atom; an empty range kills the whole request.
@@ -178,6 +189,16 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
     if (rep_->tree_.empty()) {
       done_ = true;
       return;
+    }
+    range_lo_ = rep_->domain_.MinTuple();
+    range_hi_ = rep_->domain_.MaxTuple();
+    if (range != nullptr) {
+      CQC_CHECK_EQ((int)range->lo.size(), rep_->domain_.mu());
+      CQC_CHECK_EQ((int)range->hi.size(), rep_->domain_.mu());
+      if (LexDomain::Compare(range->lo, range_lo_) > 0)
+        range_lo_ = range->lo;
+      if (LexDomain::Compare(range_hi_, range->hi) > 0)
+        range_hi_ = range->hi;
     }
     vb_id_ = rep_->dict_.FindValuation(vb_);
     // One shared join-input table for every box join of this request: the
@@ -194,10 +215,9 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
                                atom.num_bound() + i);
       base_inputs_.push_back(std::move(in));
     }
-    stack_.push_back(Frame{
-        rep_->tree_.root(),
-        FInterval{rep_->domain_.MinTuple(), rep_->domain_.MaxTuple()},
-        Phase::kEnter});
+    PushClipped(rep_->tree_.root(),
+                FInterval{rep_->domain_.MinTuple(), rep_->domain_.MaxTuple()});
+    done_ = stack_.empty();
   }
 
   bool Next(Tuple* out) override {
@@ -249,9 +269,9 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
             const int32_t left = tree.left(f.node);
             if (left >= 0) {
               FInterval child;
-              CQC_CHECK(DelayBalancedTree::LeftInterval(
-                  f.interval, tree.beta(f.node), rep_->domain_, &child));
-              stack_.push_back(Frame{left, std::move(child), Phase::kEnter});
+              if (DelayBalancedTree::LeftInterval(
+                      f.interval, tree.beta(f.node), rep_->domain_, &child))
+                PushClipped(left, std::move(child));
             }
           }
           break;
@@ -259,7 +279,9 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
         case Phase::kAfterLeft: {
           f.phase = Phase::kAfterBeta;
           const TupleSpan beta = tree.beta(f.node);
-          if (BetaMatches(beta)) {
+          // The frame interval is already clipped, so containment is the
+          // range check (beta always lies in the unclipped node interval).
+          if (f.interval.Contains(beta) && BetaMatches(beta)) {
             out->Append(beta);
             ++emitted;
           }
@@ -272,9 +294,9 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
           const int32_t right = tree.right(node);
           if (right >= 0) {
             FInterval child;
-            CQC_CHECK(DelayBalancedTree::RightInterval(
-                interval, tree.beta(node), rep_->domain_, &child));
-            stack_.push_back(Frame{right, std::move(child), Phase::kEnter});
+            if (DelayBalancedTree::RightInterval(
+                    interval, tree.beta(node), rep_->domain_, &child))
+              PushClipped(right, std::move(child));
           }
           break;
         }
@@ -290,6 +312,18 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
     FInterval interval;
     Phase phase;
   };
+
+  // Clips `interval` against the enumeration range and pushes a frame for
+  // `node` unless the clipped interval is empty. Every frame on the stack
+  // therefore holds an interval fully inside [range_lo_, range_hi_].
+  void PushClipped(int node, FInterval interval) {
+    if (LexDomain::Compare(range_lo_, interval.lo) > 0)
+      interval.lo = range_lo_;
+    if (LexDomain::Compare(interval.hi, range_hi_) > 0)
+      interval.hi = range_hi_;
+    if (interval.Empty()) return;
+    stack_.push_back(Frame{node, std::move(interval), Phase::kEnter});
+  }
 
   // Starts the join for eval_boxes_[eval_idx_]; false when exhausted.
   bool AdvanceBox() {
@@ -324,6 +358,8 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   const CompressedRep* rep_;
   BoundValuation vb_;
   uint32_t vb_id_ = HeavyDictionary::kNoValuation;
+  Tuple range_lo_;  // enumeration range (defaults to the full grid)
+  Tuple range_hi_;
   std::vector<RowRange> start_ranges_;
   std::vector<JoinAtomInput> base_inputs_;  // shared by every box join
   std::vector<Frame> stack_;
@@ -352,6 +388,65 @@ std::unique_ptr<TupleEnumerator> CompressedRep::Answer(
   if (domain_.AnyEmpty() || tree_.empty())
     return std::make_unique<EmptyEnumerator>();
   return std::make_unique<Alg2Enumerator>(this, vb);
+}
+
+std::unique_ptr<TupleEnumerator> CompressedRep::AnswerRange(
+    const BoundValuation& vb, const FInterval& range) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
+  CQC_CHECK_GT(view_.num_free(), 0) << "AnswerRange needs a free dimension";
+  if (domain_.AnyEmpty() || tree_.empty() || range.Empty())
+    return std::make_unique<EmptyEnumerator>();
+  return std::make_unique<Alg2Enumerator>(this, vb, &range);
+}
+
+FInterval CompressedRep::FullRange() const {
+  if (view_.num_free() == 0 || domain_.AnyEmpty()) return FInterval{};
+  return FInterval{domain_.MinTuple(), domain_.MaxTuple()};
+}
+
+Result<std::unique_ptr<TupleEnumerator>> CompressedRep::Resume(
+    const BoundValuation& vb, const EnumerationCursor& cursor) const {
+  if ((int)vb.size() != view_.num_bound())
+    return Status::Error("resume: bound valuation arity mismatch");
+  if (cursor.exhausted)
+    return std::unique_ptr<TupleEnumerator>(
+        std::make_unique<EmptyEnumerator>());
+  if (view_.num_free() == 0) {
+    // Boolean view: the stream holds at most one (empty) tuple.
+    if (cursor.emitted > 0)
+      return std::unique_ptr<TupleEnumerator>(
+          std::make_unique<EmptyEnumerator>());
+    return Answer(vb);
+  }
+  if (domain_.AnyEmpty() || tree_.empty())
+    return std::unique_ptr<TupleEnumerator>(
+        std::make_unique<EmptyEnumerator>());
+  FInterval range{domain_.MinTuple(), domain_.MaxTuple()};
+  if (!cursor.range_hi.empty()) {
+    if ((int)cursor.range_hi.size() != domain_.mu())
+      return Status::Error("resume: cursor range arity mismatch");
+    range.hi = cursor.range_hi;
+  }
+  // A cursor paused before its first tuple must resume at the range's own
+  // lower bound — not the domain minimum, which would replay every earlier
+  // shard of a partitioned drain.
+  if (!cursor.range_lo.empty()) {
+    if ((int)cursor.range_lo.size() != domain_.mu())
+      return Status::Error("resume: cursor range arity mismatch");
+    range.lo = cursor.range_lo;
+  }
+  if (cursor.has_last) {
+    if ((int)cursor.last.size() != domain_.mu())
+      return Status::Error("resume: cursor tuple arity mismatch");
+    for (int i = 0; i < domain_.mu(); ++i)
+      if (domain_.IndexOf(i, cursor.last[i]) < 0)
+        return Status::Error("resume: cursor tuple is not on the grid");
+    range.lo = cursor.last;
+    if (!domain_.Succ(range.lo))  // paused on the grid maximum
+      return std::unique_ptr<TupleEnumerator>(
+          std::make_unique<EmptyEnumerator>());
+  }
+  return AnswerRange(vb, range);
 }
 
 bool CompressedRep::AnswerExists(const BoundValuation& vb) const {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/cursor.h"
 #include "core/dbtree.h"
 #include "core/dictionary.h"
 #include "core/enumerator.h"
@@ -82,6 +83,31 @@ class CompressedRep {
   /// Enumerates the access request Q^eta[v_b] in lexicographic order of the
   /// free variables. `vb` is aligned with view().bound_vars().
   std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
+
+  /// Range-restricted Algorithm 2: enumerates exactly the outputs of
+  /// Answer(vb) that lie in the closed lex interval `range` (arity mu), in
+  /// the same lexicographic order. The traversal clips every tree interval
+  /// against the range, so work is proportional to the restricted output
+  /// plus the O~(tau) delay — this is the shard primitive: the shards of a
+  /// ShardPlan partition the domain, so draining them in order reproduces
+  /// Answer(vb) tuple for tuple, and draining them concurrently partitions
+  /// the work. Requires num_free() > 0.
+  std::unique_ptr<TupleEnumerator> AnswerRange(const BoundValuation& vb,
+                                               const FInterval& range) const;
+
+  /// The full free-variable lex range [min, max] (empty tuples when the
+  /// domain is empty or mu = 0): AnswerRange(vb, FullRange()) == Answer(vb).
+  FInterval FullRange() const;
+
+  /// Resumes a paused enumeration: returns the stream Answer(vb) (or the
+  /// range-restricted stream the cursor was taken over) would have produced
+  /// after the cursor position — O~(tau) to the first resumed tuple, via
+  /// AnswerRange over [succ(cursor.last), cursor.range_hi]. Fails with a
+  /// Status error if the cursor is malformed for this representation (wrong
+  /// arity or off-grid last tuple), so untrusted cursor blobs cannot crash
+  /// the server.
+  Result<std::unique_ptr<TupleEnumerator>> Resume(
+      const BoundValuation& vb, const EnumerationCursor& cursor) const;
 
   /// Convenience: is the access request non-empty? (boolean adorned views,
   /// k-SetDisjointness).

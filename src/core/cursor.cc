@@ -1,0 +1,109 @@
+#include "core/cursor.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cqc {
+namespace {
+
+constexpr char kCursorMagic[8] = {'C', 'Q', 'C', 'C', 'U', 'R', '0', '1'};
+
+// Cursor payloads are tiny (two tuples), so the encoding favors explicit
+// bounds checking over throughput: every read validates against the bytes
+// actually remaining before touching them.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool Read(void* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool Get(T* v) {
+    return Read(v, sizeof(T));
+  }
+
+  bool GetTuple(Tuple* t) {
+    uint32_t len;
+    if (!Get(&len)) return false;
+    // A length field cannot claim more values than bytes remain.
+    if ((uint64_t)len * sizeof(Value) > size_ - pos_) return false;
+    t->resize(len);
+    return len == 0 || Read(t->data(), len * sizeof(Value));
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+void Append(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void AppendTuple(std::string* out, const Tuple& t) {
+  Append<uint32_t>(out, (uint32_t)t.size());
+  if (!t.empty())
+    out->append(reinterpret_cast<const char*>(t.data()),
+                t.size() * sizeof(Value));
+}
+
+}  // namespace
+
+std::string EnumerationCursor::Serialize() const {
+  std::string out(kCursorMagic, sizeof(kCursorMagic));
+  Append<uint64_t>(&out, emitted);
+  const uint8_t flags =
+      (exhausted ? 1 : 0) | (has_last ? 2 : 0);
+  Append<uint8_t>(&out, flags);
+  AppendTuple(&out, last);
+  AppendTuple(&out, range_lo);
+  AppendTuple(&out, range_hi);
+  return out;
+}
+
+Result<EnumerationCursor> EnumerationCursor::Deserialize(
+    const std::string& bytes) {
+  if (bytes.size() < sizeof(kCursorMagic) ||
+      std::memcmp(bytes.data(), kCursorMagic, sizeof(kCursorMagic)) != 0)
+    return Status::Error("not a cqc cursor (v01) blob");
+  ByteReader in(bytes.data() + sizeof(kCursorMagic),
+                bytes.size() - sizeof(kCursorMagic));
+  EnumerationCursor c;
+  uint8_t flags;
+  if (!in.Get(&c.emitted) || !in.Get(&flags))
+    return Status::Error("truncated cursor header");
+  c.exhausted = flags & 1;
+  c.has_last = flags & 2;
+  if (flags & ~uint8_t{3}) return Status::Error("bad cursor flags");
+  if (!in.GetTuple(&c.last)) return Status::Error("truncated cursor tuple");
+  if (!in.GetTuple(&c.range_lo) || !in.GetTuple(&c.range_hi))
+    return Status::Error("truncated cursor range");
+  if (!in.AtEnd()) return Status::Error("trailing bytes after cursor");
+  if (c.has_last && c.emitted == 0)
+    return Status::Error("inconsistent cursor: last tuple without output");
+  return c;
+}
+
+size_t SkipTuples(TupleEnumerator& e, int arity, uint64_t n) {
+  TupleBuffer buf(arity);
+  size_t skipped = 0;
+  while (skipped < n) {
+    buf.Clear();
+    const size_t want = (size_t)std::min<uint64_t>(n - skipped, 1024);
+    const size_t got = e.NextBatch(&buf, want);
+    skipped += got;
+    if (got < want) break;
+  }
+  return skipped;
+}
+
+}  // namespace cqc

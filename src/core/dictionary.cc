@@ -33,6 +33,7 @@ uint32_t HeavyDictionary::FindValuation(TupleSpan vb) const {
 }
 
 uint32_t HeavyDictionary::AddCandidate(TupleSpan vb) {
+  CQC_DCHECK(!sealed_) << "AddCandidate on a sealed dictionary";
   CQC_CHECK_EQ((int)vb.size(), vb_arity_);
   const uint32_t id = (uint32_t)num_candidates_++;
   candidate_pool_.insert(candidate_pool_.end(), vb.begin(), vb.end());
@@ -49,6 +50,7 @@ uint32_t HeavyDictionary::AddCandidate(TupleSpan vb) {
 }
 
 void HeavyDictionary::RehashCandidates() {
+  CQC_DCHECK(!sealed_) << "RehashCandidates on a sealed dictionary";
   size_t cap = 16;
   while (cap < 4 * num_candidates_) cap <<= 1;
   id_slots_.assign(cap, kNoValuation);
@@ -105,6 +107,7 @@ HeavyDictionary HeavyDictionary::FromFlat(int vb_arity,
   d.entry_vb_ = std::move(entry_vb);
   d.entry_bit_ = std::move(entry_bit);
   d.RehashCandidates();
+  d.Seal();
   return d;
 }
 
@@ -222,6 +225,7 @@ HeavyDictionary DictionaryBuilder::Build() {
   const size_t num_nodes = tree_->size();
   if (tree_->empty() || domain_->mu() == 0) {
     dict.node_offsets_.assign(num_nodes + 1, 0);
+    dict.Seal();
     return dict;
   }
 
@@ -245,6 +249,7 @@ HeavyDictionary DictionaryBuilder::Build() {
     }
   }
   dict.node_offsets_[num_nodes] = (uint32_t)dict.entry_vb_.size();
+  dict.Seal();
   return dict;
 }
 

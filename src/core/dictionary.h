@@ -24,6 +24,19 @@
 // entry columns sorted by id within each node. A lookup is two array reads
 // and a binary search over a contiguous slice; the whole dictionary
 // serializes as flat array blocks (mmap-friendly for zero-copy loading).
+//
+// Thread safety — the read-only-after-seal contract. Construction
+// (AddCandidate / RehashCandidates) grows the candidate pool and rebuilds
+// the open-addressed id table, which MOVES memory: a concurrent reader
+// holding a TupleSpan from candidate(), or probing id_slots_ mid-rehash,
+// would chase freed storage. Both mutators are therefore builder-private
+// and assert (CQC_DCHECK) that the dictionary is not yet sealed; the
+// builder and the deserializer seal the finished dictionary, after which
+// every accessor reads immutable flat arrays and any number of enumeration
+// threads may share one instance. The one post-seal mutation is SetBit
+// (the Algorithm 4 semijoin fixup): it flips a byte in place — no
+// reallocation, spans stay valid — but it is NOT synchronized, so run the
+// fixup before the structure is shared across threads.
 #ifndef CQC_CORE_DICTIONARY_H_
 #define CQC_CORE_DICTIONARY_H_
 
@@ -50,6 +63,12 @@ class HeavyDictionary {
 
   size_t NumEntries() const { return entry_vb_.size(); }
   size_t NumCandidates() const { return num_candidates_; }
+  /// Number of CSR entries stored for `node` (0 for out-of-range nodes) —
+  /// a density signal the ShardPlanner folds into its per-subtree weights.
+  size_t NumEntriesAt(int node) const {
+    if (node < 0 || (size_t)node + 1 >= node_offsets_.size()) return 0;
+    return node_offsets_[node + 1] - node_offsets_[node];
+  }
   size_t MemoryBytes() const;
 
   /// Arity of every interned valuation (the number of bound variables).
@@ -89,14 +108,23 @@ class HeavyDictionary {
   const std::vector<uint32_t>& entry_vbs() const { return entry_vb_; }
   const std::vector<uint8_t>& entry_bits() const { return entry_bit_; }
 
+  /// Freezes the structure: any later AddCandidate / RehashCandidates is a
+  /// contract violation (enumeration must never mutate a shared
+  /// dictionary) and aborts in debug/sanitizer builds.
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+
  private:
   friend class DictionaryBuilder;
 
-  /// Appends `vb` to the pool, assigning the next dense id.
+  /// Appends `vb` to the pool, assigning the next dense id. Build-time
+  /// only: invalidates candidate() spans (pool growth) — asserts !sealed().
   uint32_t AddCandidate(TupleSpan vb);
-  /// Rebuilds the open-addressed id table over the pool.
+  /// Rebuilds the open-addressed id table over the pool. Build-time only:
+  /// racy against concurrent FindValuation — asserts !sealed().
   void RehashCandidates();
 
+  bool sealed_ = false;
   int vb_arity_ = 0;
   size_t num_candidates_ = 0;
   std::vector<Value> candidate_pool_;  // num_candidates * vb_arity

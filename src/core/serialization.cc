@@ -1,5 +1,6 @@
 #include "core/serialization.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -104,12 +105,20 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
   double tau, alpha;
   if (!Get(in, &tau) || !Get(in, &alpha))
     return Status::Error("truncated header");
+  // Bit-flipped float fields can decode as NaN, which slides through
+  // ordering checks (every comparison is false) — reject non-finite
+  // parameters outright.
+  if (!std::isfinite(tau) || tau <= 0 || !std::isfinite(alpha) || alpha <= 0)
+    return Status::Error("corrupt header: non-finite tau/alpha");
   uint32_t cover_size;
   if (!Get(in, &cover_size) || cover_size > 1u << 16)
     return Status::Error("bad cover");
   std::vector<double> cover(cover_size);
-  for (double& w : cover)
+  for (double& w : cover) {
     if (!Get(in, &w)) return Status::Error("truncated cover");
+    if (!std::isfinite(w) || w < 0)
+      return Status::Error("corrupt cover weight");
+  }
 
   Result<std::unique_ptr<CompressedRep>> skeleton =
       CompressedRep::MakeSkeleton(view, db, cover, tau, aux_db);
@@ -149,8 +158,20 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
       beta.size() != num_nodes * (size_t)mu)
     return Status::Error("inconsistent tree column lengths");
   for (size_t i = 0; i < num_nodes; ++i) {
-    if (left[i] >= (int64_t)num_nodes || right[i] >= (int64_t)num_nodes)
+    // Children live at strictly higher preorder ids: also rules out link
+    // cycles, which would hang the traversal on a corrupt file.
+    if (left[i] >= (int64_t)num_nodes || right[i] >= (int64_t)num_nodes ||
+        (left[i] >= 0 && left[i] <= (int64_t)i) ||
+        (right[i] >= 0 && right[i] <= (int64_t)i))
       return Status::Error("corrupt tree links");
+    // Non-leaf split points must be grid tuples: the traversal takes their
+    // grid successor/predecessor, which CHECK-aborts off the grid.
+    if (!leaf[i]) {
+      for (uint32_t d = 0; d < mu; ++d) {
+        if (rep->domain_.IndexOf((int)d, beta[i * mu + d]) < 0)
+          return Status::Error("corrupt split point (off-grid value)");
+      }
+    }
   }
   rep->tree_ = DelayBalancedTree::FromFlat(
       (int)mu, std::move(beta), std::move(left), std::move(right),

@@ -1,0 +1,126 @@
+#include "core/shard_planner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cqc {
+namespace {
+
+// One frontier piece: a contiguous lex range plus the tree node that covers
+// it (-1 for split-point singletons and childless sides, which cannot be
+// expanded further).
+struct Segment {
+  int node;
+  FInterval interval;
+  double weight;
+};
+
+double NodeWeight(const DelayBalancedTree& tree, const HeavyDictionary* dict,
+                  int node) {
+  double w = std::max<double>(1.0, tree.cost(node));
+  if (dict != nullptr) w += (double)dict->NumEntriesAt(node);
+  return w;
+}
+
+}  // namespace
+
+ShardPlan ShardPlanner::Plan(const CompressedRep& rep, size_t max_shards) {
+  if (rep.view().num_free() == 0) return ShardPlan{};
+  return Plan(rep.tree(), rep.domain(), &rep.dictionary(), max_shards);
+}
+
+ShardPlan ShardPlanner::Plan(const DelayBalancedTree& tree,
+                             const LexDomain& domain,
+                             const HeavyDictionary* dict, size_t max_shards) {
+  ShardPlan plan;
+  if (domain.mu() == 0 || domain.AnyEmpty()) return plan;
+  const FInterval root{domain.MinTuple(), domain.MaxTuple()};
+  if (max_shards <= 1 || tree.empty()) {
+    plan.shards.push_back(root);
+    plan.weights.push_back(tree.empty() ? 1.0 : NodeWeight(tree, dict, 0));
+    return plan;
+  }
+
+  // Expand the heaviest expandable segment until there are several segments
+  // per shard (slack for the greedy cut) or no split points remain.
+  const size_t target =
+      std::min<size_t>(std::max<size_t>(4 * max_shards, 8), 4096);
+  std::vector<Segment> segments;
+  segments.push_back(Segment{tree.root(), root, NodeWeight(tree, dict, 0)});
+  while (segments.size() < target) {
+    int best = -1;
+    double best_weight = 0;
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const Segment& s = segments[i];
+      if (s.node < 0 || tree.leaf(s.node)) continue;
+      if (s.weight > best_weight) {
+        best_weight = s.weight;
+        best = (int)i;
+      }
+    }
+    if (best < 0) break;  // nothing left to split
+
+    const Segment seg = segments[best];
+    const TupleSpan beta = tree.beta(seg.node);
+    std::vector<Segment> pieces;
+    FInterval child;
+    if (DelayBalancedTree::LeftInterval(seg.interval, beta, domain, &child)) {
+      const int32_t left = tree.left(seg.node);
+      pieces.push_back(Segment{
+          left, std::move(child),
+          left >= 0 ? NodeWeight(tree, dict, left)
+                    : std::max(1.0, seg.weight / 4)});
+    }
+    // The split point itself: one grid tuple, at most one output.
+    pieces.push_back(
+        Segment{-1, FInterval{beta.ToTuple(), beta.ToTuple()}, 1.0});
+    if (DelayBalancedTree::RightInterval(seg.interval, beta, domain,
+                                         &child)) {
+      const int32_t right = tree.right(seg.node);
+      pieces.push_back(Segment{
+          right, std::move(child),
+          right >= 0 ? NodeWeight(tree, dict, right)
+                     : std::max(1.0, seg.weight / 4)});
+    }
+    segments.erase(segments.begin() + best);
+    segments.insert(segments.begin() + best,
+                    std::make_move_iterator(pieces.begin()),
+                    std::make_move_iterator(pieces.end()));
+  }
+
+  // Greedy cut: walk the lex-ordered segments accumulating weight; close a
+  // shard whenever the running total reaches its proportional share, always
+  // leaving enough segments for the remaining shards.
+  double remaining_total = 0;
+  for (const Segment& s : segments) remaining_total += s.weight;
+  const size_t num_shards = std::min(max_shards, segments.size());
+  size_t seg_idx = 0;
+  for (size_t k = 0; k < num_shards; ++k) {
+    const size_t shards_left = num_shards - k;
+    const size_t segs_left = segments.size() - seg_idx;
+    CQC_CHECK_GE(segs_left, shards_left);
+    const size_t max_take = segs_left - (shards_left - 1);
+    double acc = segments[seg_idx].weight;
+    size_t take = 1;
+    const double share = remaining_total / (double)shards_left;
+    while (take < max_take && acc + segments[seg_idx + take].weight / 2 <=
+                                  share) {
+      acc += segments[seg_idx + take].weight;
+      ++take;
+    }
+    plan.shards.push_back(FInterval{segments[seg_idx].interval.lo,
+                                    segments[seg_idx + take - 1].interval.hi});
+    plan.weights.push_back(acc);
+    remaining_total = std::max(0.0, remaining_total - acc);
+    seg_idx += take;
+  }
+  CQC_CHECK_EQ(seg_idx, segments.size());
+
+  // Adjacent segments tile the grid, so the grouped ranges must too.
+  CQC_CHECK(plan.shards.front().lo == root.lo);
+  CQC_CHECK(plan.shards.back().hi == root.hi);
+  return plan;
+}
+
+}  // namespace cqc

@@ -212,7 +212,16 @@ bool DecomposedRep::SubtreeLive(int b,
 
 class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
  public:
-  Alg5Enumerator(const DecomposedRep* rep, BoundValuation vb) : rep_(rep) {
+  // (offset, stride) select a residue-class shard of the first bag's tuple
+  // stream: the walk descends only below first-bag tuples with ordinal ==
+  // offset (mod stride). Shards 0..stride-1 partition the output because
+  // every output is produced under exactly one first-bag tuple, and the
+  // first bag's stream order is deterministic.
+  Alg5Enumerator(const DecomposedRep* rep, BoundValuation vb,
+                 size_t offset = 0, size_t stride = 1)
+      : rep_(rep), offset_(offset), stride_(stride) {
+    CQC_CHECK_GT(stride, 0u);
+    CQC_CHECK_LT(offset, stride);
     values_.assign(rep->view_.cq().num_vars(), 0);
     const std::vector<VarId>& bvars = rep->view_.bound_vars();
     CQC_CHECK_EQ(vb.size(), bvars.size());
@@ -225,7 +234,11 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
       }
     }
     if (rep->bags_.empty()) {
-      solo_ = true;  // boolean view: emit one empty tuple
+      // Boolean view: the single empty tuple belongs to shard 0.
+      if (offset_ == 0)
+        solo_ = true;
+      else
+        done_ = true;
       return;
     }
     states_.resize(rep->bags_.size());
@@ -249,8 +262,12 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
       // every bag tuple maps 1:1 to an output — drain the bag through its
       // own batch API and stitch outputs in place instead of stepping the
       // whole state machine per tuple.
+      // (When a stride shard is active and the first bag IS the last bag,
+      // the bulk path would bypass the residue filter — fall through to
+      // Produce, which applies it.)
       if (!done_ && !solo_ && !entering_ &&
           cur_ + 1 == (int)rep_->bags_.size() && cur_ >= 0 &&
+          (stride_ == 1 || rep_->bags_.size() > 1) &&
           states_[cur_].enumerator != nullptr && states_[cur_].visited) {
         n += DrainLastBag(out, max_tuples - n);
         if (n == max_tuples) break;
@@ -332,6 +349,14 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
         entering_ = false;
       }
       if (st.enumerator->Next(&vtf)) {
+        if (cur_ == 0 && stride_ > 1) {
+          // Residue-class shard filter on the first bag's stream. Skipped
+          // tuples leave `visited` untouched: if every tuple is skipped the
+          // bag looks unproductive and the walk ends, which is exactly
+          // right — this shard owns none of the output.
+          const uint64_t ordinal = first_bag_ordinal_++;
+          if (ordinal % stride_ != offset_) continue;
+        }
         for (size_t i = 0; i < bag.free_vars.size(); ++i)
           values_[bag.free_vars[i]] = vtf[i];
         st.visited = true;
@@ -369,11 +394,37 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
   bool entering_ = false;
   bool done_ = false;
   bool solo_ = false;
+  size_t offset_ = 0;              // residue-class shard selector
+  size_t stride_ = 1;
+  uint64_t first_bag_ordinal_ = 0;  // tuples seen from the first bag
 };
 
 std::unique_ptr<TupleEnumerator> DecomposedRep::Answer(
     const BoundValuation& vb) const {
   return std::make_unique<Alg5Enumerator>(this, vb);
+}
+
+std::unique_ptr<TupleEnumerator> DecomposedRep::AnswerShard(
+    const BoundValuation& vb, size_t offset, size_t stride) const {
+  return std::make_unique<Alg5Enumerator>(this, vb, offset, stride);
+}
+
+std::unique_ptr<TupleEnumerator> DecomposedRep::Resume(
+    const BoundValuation& vb, const EnumerationCursor& cursor) const {
+  return ResumeShard(vb, cursor, 0, 1);
+}
+
+std::unique_ptr<TupleEnumerator> DecomposedRep::ResumeShard(
+    const BoundValuation& vb, const EnumerationCursor& cursor, size_t offset,
+    size_t stride) const {
+  if (cursor.exhausted) return std::make_unique<EmptyEnumerator>();
+  auto e = AnswerShard(vb, offset, stride);
+  // Algorithm 5's order follows the decomposition, not the output lex
+  // order, so the generic skip-ahead resume applies: the (shard) stream is
+  // deterministic, so dropping `emitted` tuples lands exactly where the
+  // cursor paused (O(emitted) work; see core/cursor.h).
+  SkipTuples(*e, view_.num_free(), cursor.emitted);
+  return e;
 }
 
 namespace {

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cursor.h"
 #include "decomposition/bag_rep.h"
 #include "decomposition/delay_assignment.h"
 #include "decomposition/tree_decomposition.h"
@@ -63,6 +64,33 @@ class DecomposedRep {
   /// decomposition, §3.2).
   std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
   bool AnswerExists(const BoundValuation& vb) const;
+
+  /// Residue-class shard of Answer(vb): descends only below first-bag
+  /// tuples with ordinal == offset (mod stride), so the shards
+  /// 0..stride-1 partition the output multiset (every output lives under
+  /// exactly one first-bag tuple). Each shard walks the first bag's stream
+  /// fully but pays the subtree work only for its own residue class —
+  /// the shard primitive for parallel Algorithm 5 (exec/ParallelAnswer).
+  std::unique_ptr<TupleEnumerator> AnswerShard(const BoundValuation& vb,
+                                               size_t offset,
+                                               size_t stride) const;
+
+  /// Resumes a paused enumeration by skip-ahead (the Algorithm 5 order is
+  /// decomposition-driven, not lex, so the O(delay) range-resume of the
+  /// Theorem 1 structure does not apply): O(cursor.emitted) re-walk, then
+  /// the stream continues exactly where the cursor paused. The cursor MUST
+  /// have been taken over Answer(vb); for a cursor taken over an
+  /// AnswerShard stream use ResumeShard with the same (offset, stride) —
+  /// the cursor does not encode the residue class, and skipping on the
+  /// full stream would interleave other shards' tuples.
+  std::unique_ptr<TupleEnumerator> Resume(const BoundValuation& vb,
+                                          const EnumerationCursor& cursor) const;
+
+  /// Resume counterpart for AnswerShard(vb, offset, stride) streams.
+  std::unique_ptr<TupleEnumerator> ResumeShard(const BoundValuation& vb,
+                                               const EnumerationCursor& cursor,
+                                               size_t offset,
+                                               size_t stride) const;
 
   /// |Q^eta[v_b]| without enumerating the output: memoized bottom-up
   /// dynamic programming over the decomposition — count(bag, interface) =

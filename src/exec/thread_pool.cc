@@ -1,0 +1,113 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cqc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const size_t n = (size_t)std::max(1, num_threads);
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  CQC_CHECK(fn != nullptr);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  const size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                   queues_.size();
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++epoch_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::Grab(size_t self, std::function<void()>* out) {
+  {  // Own work first, oldest-first — see the header on why FIFO.
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal oldest-first from the next victim around the ring.
+  for (size_t d = 1; d < queues_.size(); ++d) {
+    WorkerQueue& q = *queues_[(self + d) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (Grab(self, &task)) {
+      task();
+      task = nullptr;
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task out: wake WaitIdle under the lock so the wakeup cannot
+        // slip between its predicate check and its wait.
+        std::lock_guard<std::mutex> lk(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) return;
+    const uint64_t seen = epoch_;
+    lk.unlock();
+    // A submit may have landed between the failed Grab and reading epoch_;
+    // re-check the queues once before committing to sleep.
+    if (Grab(self, &task)) {
+      task();
+      task = nullptr;
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> ilk(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    lk.lock();
+    work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+  }
+}
+
+}  // namespace cqc

@@ -1,0 +1,81 @@
+// A small work-stealing thread pool for shard-parallel enumeration.
+//
+// Each worker owns a deque: submissions are spread round-robin, a worker
+// pops its own work from the front, and it steals from the front of a
+// victim's deque when its own runs dry. Both ends are FIFO — deliberately
+// NOT the classic owner-LIFO discipline: a producer task may block on
+// consumer backpressure while occupying its worker (see
+// parallel_enumerator.h), and an ordered consumer only drains the
+// lowest-numbered unfinished shard. FIFO pops guarantee a queue's earliest
+// task is taken (by owner or thief) before any later one, so the shard the
+// consumer is waiting on is always already started — with LIFO pops, late
+// shards can fill their buffers and park every worker while the front
+// shard's task is still queued: deadlock. Deques are mutex-guarded rather
+// than lock-free: the pool runs coarse tasks (a whole shard drain each),
+// so queue operations are nanoseconds against milliseconds of task work
+// and the simpler invariants are worth far more than the lock elision.
+//
+// Lifecycle: Submit() never blocks; WaitIdle() blocks until every submitted
+// task has finished; the destructor stops accepting work, drains nothing
+// (pending tasks still run), and joins. All public methods are thread-safe.
+#ifndef CQC_EXEC_THREAD_POOL_H_
+#define CQC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Joins after all submitted tasks have run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` (round-robin across worker deques).
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has completed.
+  void WaitIdle();
+
+  int num_threads() const { return (int)threads_.size(); }
+
+  /// The hardware parallelism available to this process (>= 1).
+  static int DefaultThreadCount();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops the front of the own queue, else steals the front of the next
+  /// non-empty victim. FIFO at both ends — load-bearing, see file header.
+  bool Grab(size_t self, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;  // guards epoch_ / stop_ transitions and the cvs
+  std::condition_variable work_cv_;   // signalled on submit and stop
+  std::condition_variable idle_cv_;   // signalled when pending_ hits zero
+  uint64_t epoch_ = 0;                // bumped per submit (missed-wakeup guard)
+  bool stop_ = false;
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};
+};
+
+}  // namespace cqc
+
+#endif  // CQC_EXEC_THREAD_POOL_H_

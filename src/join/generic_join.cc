@@ -252,4 +252,47 @@ size_t JoinIterator::NextBatch(TupleBuffer* out, size_t max_tuples) {
   return emitted;
 }
 
+BoxJoinEnumerator::BoxJoinEnumerator(std::vector<JoinAtomInput> atoms,
+                                     int num_levels, std::vector<FBox> boxes)
+    : atoms_(std::move(atoms)),
+      num_levels_(num_levels),
+      boxes_(std::move(boxes)) {
+  active_ = AdvanceBox();
+}
+
+bool BoxJoinEnumerator::AdvanceBox() {
+  while (box_idx_ < boxes_.size()) {
+    const FBox& box = boxes_[box_idx_++];
+    CQC_CHECK_EQ(box.mu(), num_levels_);
+    constraints_.clear();
+    for (int i = 0; i < num_levels_; ++i)
+      constraints_.push_back(LevelConstraint::FromDim(box.dims[i]));
+    if (!join_.has_value()) {
+      join_.emplace(&atoms_, num_levels_, constraints_);
+    } else {
+      join_->Reset(constraints_);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool BoxJoinEnumerator::Next(Tuple* out) {
+  while (active_) {
+    if (join_->Next(out)) return true;
+    active_ = AdvanceBox();
+  }
+  return false;
+}
+
+size_t BoxJoinEnumerator::NextBatch(TupleBuffer* out, size_t max_tuples) {
+  size_t emitted = 0;
+  while (active_ && emitted < max_tuples) {
+    emitted += join_->NextBatch(out, max_tuples - emitted);
+    if (emitted == max_tuples) break;  // the box may still have more
+    active_ = AdvanceBox();
+  }
+  return emitted;
+}
+
 }  // namespace cqc

@@ -12,8 +12,10 @@
 #ifndef CQC_JOIN_GENERIC_JOIN_H_
 #define CQC_JOIN_GENERIC_JOIN_H_
 
+#include <optional>
 #include <vector>
 
+#include "core/enumerator.h"
 #include "core/finterval.h"
 #include "relational/sorted_index.h"
 #include "util/common.h"
@@ -123,6 +125,36 @@ class JoinIterator {
   bool started_ = false;
   bool done_ = false;
   bool empty_atom_ = false;  // some existence filter failed up front
+};
+
+/// Streams a worst-case-optimal join over a sequence of f-boxes: one
+/// JoinIterator run per box, internal buffers reused via Reset(), outputs
+/// in ascending lex order when the boxes are (Lemma 1 decompositions are).
+/// This is the range-restriction primitive for join-backed enumerators:
+/// BoxDecompose a lex interval, hand the boxes here, and the stream is the
+/// full join clipped to that interval — the direct-eval counterpart of the
+/// clipped Algorithm 2 traversal, and the per-shard worker for parallel
+/// enumeration over baselines.
+class BoxJoinEnumerator : public TupleEnumerator {
+ public:
+  /// `num_levels` is the join arity; every box must have that many dims.
+  BoxJoinEnumerator(std::vector<JoinAtomInput> atoms, int num_levels,
+                    std::vector<FBox> boxes);
+
+  bool Next(Tuple* out) override;
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override;
+
+ private:
+  // Starts the join for boxes_[box_idx_]; false when every box is done.
+  bool AdvanceBox();
+
+  std::vector<JoinAtomInput> atoms_;  // owned; joins borrow via pointer
+  int num_levels_;
+  std::vector<FBox> boxes_;
+  size_t box_idx_ = 0;
+  std::optional<JoinIterator> join_;  // reused across boxes via Reset()
+  std::vector<LevelConstraint> constraints_;
+  bool active_ = false;
 };
 
 }  // namespace cqc

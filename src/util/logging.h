@@ -47,4 +47,17 @@ class CheckMessage {
 #define CQC_CHECK_GT(a, b) CQC_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
 #define CQC_CHECK_GE(a, b) CQC_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
 
+// Debug-only check: compiled out under NDEBUG (release), active in Debug
+// and sanitizer builds. Guards contracts too hot to verify in production —
+// e.g. that enumeration never mutates a sealed (shared, concurrently read)
+// structure.
+#ifdef NDEBUG
+#define CQC_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    CQC_CHECK(cond)
+#else
+#define CQC_DCHECK(cond) CQC_CHECK(cond)
+#endif
+
 #endif  // CQC_UTIL_LOGGING_H_

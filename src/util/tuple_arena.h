@@ -7,6 +7,17 @@
 // Reset() of the whole arena, and every span it returns stays valid until
 // that Reset (so interned tuples can be shared by reference, see
 // ProjectingEnumerator's dedup set).
+//
+// Thread safety — the read-only-after-seal contract. An arena is NOT safe
+// for concurrent mutation: Alloc/Copy bump shared cursors and Reset frees
+// chunks, so a reader on another thread holding a span from before the
+// mutation may chase freed memory. An arena private to one enumerator
+// (ProjectingEnumerator's dedup pool) may keep mutating single-threaded;
+// an arena whose spans are published to other threads must first be
+// Seal()ed, after which the payloads are immutable, concurrent readers
+// need no synchronization, and any further Alloc/Reset aborts in
+// debug/sanitizer builds (CQC_DCHECK) — the guard that enumeration never
+// mutates a sealed structure.
 #ifndef CQC_UTIL_TUPLE_ARENA_H_
 #define CQC_UTIL_TUPLE_ARENA_H_
 
@@ -16,6 +27,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/logging.h"
 
 namespace cqc {
 
@@ -33,6 +45,7 @@ class TupleArena {
   /// Returns `n` uninitialized contiguous Value slots. The slots stay valid
   /// until Reset() or destruction; n == 0 yields an empty ref.
   TupleRef Alloc(size_t n) {
+    CQC_DCHECK(!sealed_) << "Alloc on a sealed arena";
     if (n == 0) return TupleRef();
     if (pos_ + n > cap_) Grow(n);
     Value* out = chunks_.back().get() + pos_;
@@ -48,9 +61,16 @@ class TupleArena {
     return ref;
   }
 
+  /// Freezes the arena for lock-free sharing across threads: existing spans
+  /// stay valid and immutable; further Alloc/Reset is a contract violation
+  /// caught by CQC_DCHECK.
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+
   /// Invalidates every span handed out so far; keeps one chunk (grown to the
   /// largest capacity seen) so steady-state reuse stops allocating entirely.
   void Reset() {
+    CQC_DCHECK(!sealed_) << "Reset on a sealed arena";
     if (chunks_.size() > 1) {
       chunks_.erase(chunks_.begin() + 1, chunks_.end());
       if (largest_cap_ > chunks_[0].capacity) {
@@ -83,6 +103,7 @@ class TupleArena {
   }
 
   size_t chunk_values_;
+  bool sealed_ = false;
   std::vector<Chunk> chunks_;
   size_t pos_ = 0;          // bump cursor within the current chunk
   size_t cap_ = 0;          // capacity of the current chunk

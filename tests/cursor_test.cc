@@ -1,0 +1,278 @@
+// Pause/serialize/resume coverage for EnumerationCursor.
+//
+// The core property: pausing any answering stream at a random offset,
+// round-tripping the cursor through its byte encoding, and resuming must
+// produce exactly the uninterrupted suffix — including when the resume
+// happens against a *reloaded* representation (serialization round trip of
+// the structure itself), on a shard-restricted stream, and via the generic
+// skip-ahead path of the Theorem 2 structure. Corrupt cursor blobs must be
+// rejected with Status errors, never crashes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/compressed_rep.h"
+#include "core/cursor.h"
+#include "core/serialization.h"
+#include "core/shard_planner.h"
+#include "decomposition/connex_builder.h"
+#include "decomposition/decomposed_rep.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::InterestingBoundValuations;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Drains `e` fully, pausing through a CursorEnumerator after `pause_after`
+// tuples; returns (prefix, cursor-at-pause).
+std::pair<std::vector<Tuple>, EnumerationCursor> DrainPrefix(
+    std::unique_ptr<TupleEnumerator> e, size_t pause_after,
+    Tuple range_lo = {}, Tuple range_hi = {}) {
+  CursorEnumerator ce(std::move(e), std::move(range_lo),
+                      std::move(range_hi));
+  std::vector<Tuple> prefix;
+  Tuple t;
+  while (prefix.size() < pause_after && ce.Next(&t)) prefix.push_back(t);
+  return {std::move(prefix), ce.cursor()};
+}
+
+TEST(CursorTest, RandomizedPauseResumeEqualsSuffix) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 70, true, 9);
+  AdornedView view = TriangleView("bff");
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  Rng rng(2024);
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    const std::vector<Tuple> full = CollectAll(*rep.value()->Answer(vb));
+    // Randomized offsets, plus the edges: 0, everything, beyond the end.
+    std::vector<size_t> offsets = {0, full.size(), full.size() + 3};
+    for (int i = 0; i < 6; ++i)
+      offsets.push_back(rng.UniformRange(0, full.size() + 1));
+    for (size_t off : offsets) {
+      auto [prefix, cursor] =
+          DrainPrefix(rep.value()->Answer(vb), off);
+
+      // Serialize the cursor and resume from the decoded copy.
+      auto decoded = EnumerationCursor::Deserialize(cursor.Serialize());
+      ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+      EXPECT_EQ(decoded.value(), cursor);
+
+      auto resumed = rep.value()->Resume(vb, decoded.value());
+      ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+      std::vector<Tuple> suffix = CollectAll(*resumed.value());
+
+      std::vector<Tuple> stitched = prefix;
+      stitched.insert(stitched.end(), suffix.begin(), suffix.end());
+      EXPECT_EQ(stitched, full) << "offset=" << off;
+    }
+  }
+}
+
+TEST(CursorTest, ResumeAcrossRepresentationRoundTrip) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const std::string path = TempPath("cursor_rt.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+  auto reloaded = LoadCompressedRep(view, db, path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().message();
+
+  Rng rng(7);
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    const std::vector<Tuple> full = CollectAll(*rep.value()->Answer(vb));
+    for (int i = 0; i < 4; ++i) {
+      const size_t off = rng.UniformRange(0, full.size() + 1);
+      // Pause against the ORIGINAL structure...
+      auto [prefix, cursor] =
+          DrainPrefix(rep.value()->Answer(vb), off);
+      const std::string blob = cursor.Serialize();
+      // ... resume against the RELOADED one: the cursor stores the logical
+      // position, so it survives the structure's own round trip.
+      auto decoded = EnumerationCursor::Deserialize(blob);
+      ASSERT_TRUE(decoded.ok());
+      auto resumed = reloaded.value()->Resume(vb, decoded.value());
+      ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+      std::vector<Tuple> stitched = prefix;
+      for (Tuple t; resumed.value()->Next(&t);) stitched.push_back(t);
+      EXPECT_EQ(stitched, full) << "offset=" << off;
+    }
+  }
+}
+
+TEST(CursorTest, ResumeWithinShardStopsAtShardBoundary) {
+  Database db;
+  MakePathRelations(db, "R", 3, 20, 300, 5);
+  AdornedView view = PathView(3, "ffff");
+  CompressedRepOptions copt;
+  copt.tau = 8.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  ShardPlan plan = ShardPlanner::Plan(*rep.value(), 4);
+  ASSERT_GT(plan.size(), 1u);
+  Rng rng(99);
+  for (const FInterval& shard : plan.shards) {
+    const std::vector<Tuple> full =
+        CollectAll(*rep.value()->AnswerRange({}, shard));
+    // Offset 0 matters: a cursor checkpointed before the shard's first
+    // tuple must resume at the shard's LOWER bound, not replay every
+    // earlier shard from the domain minimum.
+    std::vector<size_t> offsets = {0, full.size()};
+    if (!full.empty()) offsets.push_back(rng.UniformRange(1, full.size()));
+    for (size_t off : offsets) {
+      // The cursor records the shard's bounds, so the resumed stream must
+      // start and stop at the shard boundaries, not span the grid.
+      auto [prefix, cursor] = DrainPrefix(
+          rep.value()->AnswerRange({}, shard), off, shard.lo, shard.hi);
+      auto decoded = EnumerationCursor::Deserialize(cursor.Serialize());
+      ASSERT_TRUE(decoded.ok());
+      auto resumed = rep.value()->Resume({}, decoded.value());
+      ASSERT_TRUE(resumed.ok());
+      std::vector<Tuple> stitched = prefix;
+      for (Tuple t; resumed.value()->Next(&t);) stitched.push_back(t);
+      EXPECT_EQ(stitched, full) << "offset=" << off;
+    }
+  }
+}
+
+TEST(CursorTest, BatchAndSingleTupleCursorsAgree) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 50, true, 6);
+  AdornedView view = TriangleView("fff");
+  CompressedRepOptions copt;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  // Walk the same stream through Next() and NextBatch() wrappers; cursors
+  // at the same offset must match.
+  CursorEnumerator a(rep.value()->Answer({}));
+  CursorEnumerator b(rep.value()->Answer({}));
+  Tuple t;
+  TupleBuffer buf(view.num_free());
+  size_t consumed = 0;
+  while (a.Next(&t)) {
+    ++consumed;
+    buf.Clear();
+    ASSERT_EQ(b.NextBatch(&buf, 1), 1u);
+    EXPECT_EQ(a.cursor(), b.cursor()) << "offset " << consumed;
+  }
+  buf.Clear();
+  EXPECT_EQ(b.NextBatch(&buf, 1), 0u);
+  EXPECT_TRUE(a.cursor().exhausted);
+  EXPECT_TRUE(b.cursor().exhausted);
+}
+
+TEST(CursorTest, DecomposedRepSkipResume) {
+  Database db;
+  MakePathRelations(db, "R", 5, 9, 26, 16);
+  AdornedView view = PathView(5);
+  std::vector<VarId> path_vars;
+  for (int i = 1; i <= 6; ++i)
+    path_vars.push_back(view.cq().FindVar("x" + std::to_string(i)));
+  TreeDecomposition td = BuildZigZagPath(path_vars);
+  DecomposedRepOptions dopt;
+  dopt.delta = DelayAssignment::Uniform(td, 0.4);
+  auto rep = DecomposedRep::Build(view, db, td, dopt);
+  ASSERT_TRUE(rep.ok());
+  Rng rng(5);
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    const std::vector<Tuple> full = CollectAll(*rep.value()->Answer(vb));
+    const size_t off = rng.UniformRange(0, full.size() + 1);
+    auto [prefix, cursor] = DrainPrefix(rep.value()->Answer(vb), off);
+    auto resumed = rep.value()->Resume(vb, cursor);
+    std::vector<Tuple> stitched = prefix;
+    for (Tuple t; resumed->Next(&t);) stitched.push_back(t);
+    EXPECT_EQ(stitched, full) << "offset=" << off;
+
+    // A cursor taken over a residue-class shard resumes via ResumeShard
+    // with the same (offset, stride): the suffix must be the shard's own.
+    for (size_t shard_off : {size_t{0}, size_t{2}}) {
+      const std::vector<Tuple> shard_full =
+          CollectAll(*rep.value()->AnswerShard(vb, shard_off, 3));
+      const size_t pause = shard_full.size() / 2;
+      auto [sprefix, scursor] =
+          DrainPrefix(rep.value()->AnswerShard(vb, shard_off, 3), pause);
+      auto sresumed = rep.value()->ResumeShard(vb, scursor, shard_off, 3);
+      std::vector<Tuple> sstitched = sprefix;
+      for (Tuple t; sresumed->Next(&t);) sstitched.push_back(t);
+      EXPECT_EQ(sstitched, shard_full) << "shard offset=" << shard_off;
+    }
+  }
+}
+
+// --- corrupt cursor blobs --------------------------------------------------
+
+TEST(CursorTest, DeserializeRejectsCorruptBlobs) {
+  EnumerationCursor c;
+  c.emitted = 17;
+  c.has_last = true;
+  c.last = {4, 5, 6};
+  c.range_lo = {1, 1, 1};
+  c.range_hi = {9, 9, 9};
+  const std::string good = c.Serialize();
+  ASSERT_TRUE(EnumerationCursor::Deserialize(good).ok());
+
+  // Wrong magic.
+  std::string bad = good;
+  bad[0] ^= 0x5a;
+  EXPECT_FALSE(EnumerationCursor::Deserialize(bad).ok());
+  // Truncations at every byte boundary.
+  for (size_t cut = 0; cut < good.size(); ++cut)
+    EXPECT_FALSE(EnumerationCursor::Deserialize(good.substr(0, cut)).ok())
+        << "cut=" << cut;
+  // Trailing garbage.
+  EXPECT_FALSE(EnumerationCursor::Deserialize(good + "x").ok());
+  // Oversized tuple length field (claims more values than bytes remain).
+  std::string oversized = good;
+  const size_t len_pos = 8 + 8 + 1;  // magic | emitted | flags
+  oversized[len_pos] = (char)0xff;
+  oversized[len_pos + 1] = (char)0xff;
+  EXPECT_FALSE(EnumerationCursor::Deserialize(oversized).ok());
+  // Unknown flag bits.
+  std::string badflags = good;
+  badflags[8 + 8] = (char)0xf0;
+  EXPECT_FALSE(EnumerationCursor::Deserialize(badflags).ok());
+}
+
+TEST(CursorTest, ResumeRejectsForeignCursors) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  AdornedView view = TriangleView("bff");
+  CompressedRepOptions copt;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+
+  EnumerationCursor wrong_arity;
+  wrong_arity.emitted = 1;
+  wrong_arity.has_last = true;
+  wrong_arity.last = {1, 2, 3, 4, 5};  // view has 2 free vars
+  EXPECT_FALSE(rep.value()->Resume({1}, wrong_arity).ok());
+
+  EnumerationCursor off_grid;
+  off_grid.emitted = 1;
+  off_grid.has_last = true;
+  off_grid.last = {999999998, 999999998};  // not active-domain values
+  EXPECT_FALSE(rep.value()->Resume({1}, off_grid).ok());
+
+  EnumerationCursor bad_range;
+  bad_range.range_hi = {7};  // arity mismatch
+  EXPECT_FALSE(rep.value()->Resume({1}, bad_range).ok());
+}
+
+}  // namespace
+}  // namespace cqc

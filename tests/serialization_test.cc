@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "core/serialization.h"
 #include "query/parser.h"
@@ -160,6 +162,107 @@ TEST(SerializationTest, DetectsTruncation) {
   std::ofstream(cut, std::ios::binary)
       << data.substr(0, data.size() / 2);
   EXPECT_FALSE(LoadCompressedRep(view, db, cut).ok());
+}
+
+// --- corrupt-input coverage ------------------------------------------------
+// Every malformed file must come back as a Status error: no crash, no
+// CHECK-abort, no unbounded allocation (run under ASan/UBSan in CI).
+
+class CorruptInputTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MakeRandomGraph(db_, "R", 12, 60, true, 9);
+    view_ = TriangleView("bfb");
+    CompressedRepOptions copt;
+    copt.tau = 2.0;
+    auto rep = CompressedRep::Build(*view_, db_, copt);
+    ASSERT_TRUE(rep.ok());
+    path_ = TempPath("corrupt_base.cqcrep");
+    ASSERT_TRUE(SaveCompressedRep(*rep.value(), path_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_FALSE(bytes_.empty());
+  }
+
+  // Writes `data` to a scratch file and tries to load it.
+  Status TryLoad(const std::string& data) {
+    const std::string p = TempPath("corrupt_case.cqcrep");
+    std::ofstream(p, std::ios::binary) << data;
+    auto loaded = LoadCompressedRep(*view_, db_, p);
+    return loaded.ok() ? Status::Ok() : loaded.status();
+  }
+
+  Database db_;
+  std::optional<AdornedView> view_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(CorruptInputTest, TruncationAtEveryStride) {
+  // Cut the file at a spread of positions including every early byte (the
+  // header decode path) and strides through the array blocks.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < std::min<size_t>(bytes_.size(), 64); ++i)
+    cuts.push_back(i);
+  for (size_t i = 64; i < bytes_.size(); i += 97) cuts.push_back(i);
+  for (size_t cut : cuts) {
+    EXPECT_FALSE(TryLoad(bytes_.substr(0, cut)).ok()) << "cut=" << cut;
+  }
+}
+
+TEST_F(CorruptInputTest, BitFlippedHeaders) {
+  // Flipping any single bit of the first 64 bytes (magic, tau/alpha,
+  // cover, fingerprint region) must be rejected — or, if it lands in a
+  // semantically neutral spot, still load without crashing.
+  for (size_t byte = 0; byte < std::min<size_t>(bytes_.size(), 64); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes_;
+      mutated[byte] = (char)(mutated[byte] ^ (1 << bit));
+      TryLoad(mutated);  // must not crash; result may be error or ok
+    }
+  }
+  // The magic itself must always be rejected.
+  for (size_t byte = 0; byte < 8; ++byte) {
+    std::string mutated = bytes_;
+    mutated[byte] = (char)(mutated[byte] ^ 0x40);
+    EXPECT_FALSE(TryLoad(mutated).ok()) << "magic byte " << byte;
+  }
+}
+
+TEST_F(CorruptInputTest, OversizedBlockLengths) {
+  // Each flat array block starts with a u64 element count; inflating one
+  // must produce a clean error (the loader validates the claim against the
+  // bytes remaining BEFORE allocating — no bad_alloc, no OOM kill).
+  // Header layout: magic(8) tau(8) alpha(8) cover_n(4) cover(8*3)
+  // atoms_n(4) digests(8*3) mu(4), then the first block length.
+  const size_t first_block_len_pos = 8 + 8 + 8 + 4 + 24 + 4 + 24 + 4;
+  ASSERT_LE(first_block_len_pos + 8, bytes_.size());
+  for (uint64_t huge :
+       {~uint64_t{0}, ~uint64_t{0} / 2, (uint64_t)bytes_.size() + 1}) {
+    std::string mutated = bytes_;
+    std::memcpy(mutated.data() + first_block_len_pos, &huge, sizeof(huge));
+    EXPECT_FALSE(TryLoad(mutated).ok());
+  }
+  // Stomp u64s across the whole tail: every load must return cleanly
+  // (error or structurally-valid ok), never crash or over-allocate.
+  for (size_t pos = first_block_len_pos; pos + 8 <= bytes_.size();
+       pos += 37) {
+    std::string mutated = bytes_;
+    const uint64_t huge = ~uint64_t{0} / 3;
+    std::memcpy(mutated.data() + pos, &huge, sizeof(huge));
+    TryLoad(mutated);
+  }
+}
+
+TEST_F(CorruptInputTest, CorruptTreeLinksAndBetaPool) {
+  // Flip bytes in the back half of the file (tree columns / CSR entries):
+  // every load must terminate with a clean Status or a structurally valid
+  // reload — never hang (link cycles are rejected), never abort (off-grid
+  // split points are rejected), never read out of bounds (ASan verifies).
+  for (size_t pos = bytes_.size() / 2; pos < bytes_.size(); pos += 31) {
+    std::string mutated = bytes_;
+    mutated[pos] = (char)(mutated[pos] ^ 0xff);
+    TryLoad(mutated);  // result may be error or ok; must return cleanly
+  }
 }
 
 TEST(SerializationTest, BooleanViewRoundTrip) {

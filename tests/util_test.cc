@@ -8,6 +8,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/str_util.h"
+#include "util/tuple_arena.h"
 
 namespace cqc {
 namespace {
@@ -127,6 +128,32 @@ TEST(HashTest, TupleHashDistinguishes) {
   EXPECT_NE(h({1, 2, 3}), h({1, 2, 4}));
   EXPECT_NE(h({1, 2}), h({1, 2, 0}));
   EXPECT_EQ(h({5, 6}), h({5, 6}));
+}
+
+TEST(TupleArenaTest, SealFreezesSpansAndBlocksMutation) {
+  TupleArena arena;
+  TupleRef a = arena.Copy(Tuple{1, 2, 3});
+  TupleRef b = arena.Copy(Tuple{4, 5});
+  arena.Seal();
+  EXPECT_TRUE(arena.sealed());
+  // Published spans stay valid and readable after the seal.
+  EXPECT_EQ(TupleSpan(a).ToTuple(), (Tuple{1, 2, 3}));
+  EXPECT_EQ(TupleSpan(b).ToTuple(), (Tuple{4, 5}));
+#ifndef NDEBUG
+  // The read-only-after-seal contract is enforced in debug/sanitizer
+  // builds: mutating a sealed arena aborts.
+  EXPECT_DEATH(arena.Alloc(2), "sealed arena");
+  EXPECT_DEATH(arena.Reset(), "sealed arena");
+#endif
+}
+
+TEST(TupleArenaTest, UnsealedArenaReusesChunks) {
+  TupleArena arena(8);
+  arena.Copy(Tuple{1, 2, 3, 4, 5, 6, 7});
+  arena.Copy(Tuple{8, 9, 10});  // forces a second chunk
+  arena.Reset();                // legal while unsealed
+  TupleRef r = arena.Alloc(4);
+  EXPECT_EQ(r.size(), 4u);
 }
 
 }  // namespace

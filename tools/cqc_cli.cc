@@ -18,6 +18,7 @@
 
 #include "core/compressed_rep.h"
 #include "core/serialization.h"
+#include "exec/parallel_enumerator.h"
 #include "fractional/optimizer.h"
 #include "query/normalize.h"
 #include "query/parser.h"
@@ -31,8 +32,10 @@ void Usage() {
       stderr,
       "usage: cqc_cli --rel NAME=PATH:ARITY [--rel ...] --view VIEW\n"
       "               [--tau T | --space-budget B] [--save PATH]\n"
-      "               [--load PATH] [--stats]\n"
-      "then: one access request per line on stdin (bound values).\n");
+      "               [--load PATH] [--stats] [--threads N]\n"
+      "then: one access request per line on stdin (bound values).\n"
+      "--threads N > 1 drains each request shard-parallel (order-preserving\n"
+      "merge, so output order matches the sequential enumeration).\n");
 }
 
 }  // namespace
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
   double tau = 1.0;
   double space_budget = -1;
   bool want_stats = false;
+  int threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -85,6 +89,12 @@ int main(int argc, char** argv) {
       load_path = next();
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
     } else {
       Usage();
       return 2;
@@ -179,8 +189,18 @@ int main(int argc, char** argv) {
       continue;
     }
     // Drain through the batch API: one NextBatch fill per kBatch rows keeps
-    // the enumerator out of the per-line printf loop.
-    auto e = rep->Answer(vb);
+    // the enumerator out of the per-line printf loop. With --threads N > 1
+    // the shards of the answer space are drained concurrently and merged in
+    // order, so stdout is identical either way.
+    std::unique_ptr<TupleEnumerator> e;
+    if (threads > 1 && view.num_free() > 0) {
+      ParallelOptions popt;
+      popt.num_threads = threads;
+      popt.ordered = true;
+      e = ParallelAnswer(*rep, vb, popt);
+    } else {
+      e = rep->Answer(vb);
+    }
     constexpr size_t kBatch = 512;
     TupleBuffer batch(view.num_free());
     size_t count = 0;

@@ -3,10 +3,9 @@
 #include <cmath>
 #include <cstdio>
 
-#include "baseline/direct_eval.h"
-#include "baseline/materialized_view.h"
 #include "bench/bench_common.h"
 #include "core/compressed_rep.h"
+#include "plan/answer_rep.h"
 #include "query/parser.h"
 #include "util/rng.h"
 #include "workload/catalog.h"
@@ -53,40 +52,34 @@ int main() {
   std::vector<BoundValuation> requests;
   for (Value a = 1; a <= 30; ++a) requests.push_back({a, 40 + a});
 
-  Table table({"structure", "build s", "space", "worst delay (ops)",
-               "total TA (s)", "tuples"});
+  // One dispatch for every structure: build via spec, measure via the
+  // AnswerRep serving interface.
+  std::vector<std::pair<std::string, RepBuildSpec>> specs;
   {
-    auto mv = MaterializedView::Build(view, db);
-    auto s = bench::MeasureRequests(requests, [&](const BoundValuation& vb) {
-      return mv.value()->Answer(vb);
-    });
-    table.AddRow({"materialized", StrFormat("%.3f", mv.value()->build_seconds()),
-                  bench::HumanBytes(mv.value()->SpaceBytes()),
-                  StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
-                  StrFormat("%.4f", s.total_seconds),
-                  StrFormat("%zu", s.total_tuples)});
+    RepBuildSpec s;
+    s.kind = RepKind::kMaterialized;
+    specs.emplace_back("materialized", s);
   }
   for (double tau : {4.0, 64.0}) {
-    CompressedRepOptions copt;
-    copt.tau = tau;
-    auto rep = CompressedRep::Build(view, db, copt);
-    auto s = bench::MeasureRequests(requests, [&](const BoundValuation& vb) {
-      return rep.value()->Answer(vb);
-    });
-    table.AddRow({StrFormat("compressed tau=%.0f", tau),
-                  StrFormat("%.3f", rep.value()->stats().build_seconds),
-                  bench::HumanBytes(rep.value()->stats().AuxBytes()),
-                  StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
-                  StrFormat("%.4f", s.total_seconds),
-                  StrFormat("%zu", s.total_tuples)});
+    RepBuildSpec s;
+    s.kind = RepKind::kCompressed;
+    s.compressed.tau = tau;
+    specs.emplace_back(StrFormat("compressed tau=%.0f", tau), s);
   }
   {
-    auto de = DirectEval::Build(view, db);
-    auto s = bench::MeasureRequests(requests, [&](const BoundValuation& vb) {
-      return de.value()->Answer(vb);
-    });
-    table.AddRow({"direct", StrFormat("%.3f", de.value()->build_seconds()),
-                  bench::HumanBytes(de.value()->SpaceBytes()),
+    RepBuildSpec s;
+    s.kind = RepKind::kDirect;
+    specs.emplace_back("direct", s);
+  }
+
+  Table table({"structure", "build s", "space", "worst delay (ops)",
+               "total TA (s)", "tuples"});
+  for (const auto& [label, spec] : specs) {
+    auto rep = BuildAnswerRep(spec, view, db);
+    CQC_CHECK(rep.ok()) << rep.status().message();
+    auto s = bench::MeasureRep(requests, *rep.value());
+    table.AddRow({label, StrFormat("%.3f", rep.value()->build_seconds()),
+                  bench::HumanBytes(rep.value()->SpaceBytes()),
                   StrFormat("%llu", (unsigned long long)s.worst_delay_ops),
                   StrFormat("%.4f", s.total_seconds),
                   StrFormat("%zu", s.total_tuples)});

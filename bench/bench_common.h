@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/enumerator.h"
+#include "plan/answer_rep.h"
 #include "query/adorned_view.h"
 #include "util/str_util.h"
 #include "util/timer.h"
@@ -51,28 +52,30 @@ struct RequestStats {
 };
 
 /// Runs `answer(vb)` for every request and aggregates delay / answer time.
+/// batch_size > 0 drains through NextBatch (`arity` = the stream's tuple
+/// arity; the "delay" is then per batch); otherwise per tuple.
 template <typename AnswerFn>
 RequestStats MeasureRequests(const std::vector<BoundValuation>& requests,
-                             AnswerFn&& answer) {
+                             AnswerFn&& answer, int arity = 0,
+                             size_t batch_size = 0) {
   RequestStats out;
   for (const BoundValuation& vb : requests) {
     auto e = answer(vb);
-    out.Add(MeasureEnumeration(*e));
+    out.Add(batch_size > 0
+                ? MeasureEnumerationBatched(*e, arity, batch_size)
+                : MeasureEnumeration(*e));
   }
   return out;
 }
 
-/// Batched counterpart: drains each request through NextBatch.
-template <typename AnswerFn>
-RequestStats MeasureRequestsBatched(
-    const std::vector<BoundValuation>& requests, AnswerFn&& answer,
-    int arity, size_t batch_size = 256) {
-  RequestStats out;
-  for (const BoundValuation& vb : requests) {
-    auto e = answer(vb);
-    out.Add(MeasureEnumerationBatched(*e, arity, batch_size));
-  }
-  return out;
+/// Measures any structure through the unified AnswerRep serving interface
+/// (Result::value() CHECK-fails with the status on a malformed request).
+inline RequestStats MeasureRep(const std::vector<BoundValuation>& requests,
+                               const AnswerRep& rep, size_t batch_size = 0) {
+  return MeasureRequests(
+      requests,
+      [&](const BoundValuation& vb) { return rep.Answer(vb).value(); },
+      rep.view().num_free(), batch_size);
 }
 
 /// p in [0, 100]; nearest-rank percentile of an unsorted series.
@@ -82,8 +85,7 @@ inline double Percentile(std::vector<double> xs, double p) {
   const double rank = p / 100.0 * (double)(xs.size() - 1);
   const size_t lo = (size_t)rank;
   const size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = rank - (double)lo;
-  return xs[lo] * (1 - frac) + xs[hi] * frac;
+  return xs[lo] * (1 - (rank - lo)) + xs[hi] * (rank - lo);
 }
 
 /// One-tuple-at-a-time vs batched drain of the same enumerator factory:
@@ -92,12 +94,12 @@ struct ThroughputComparison {
   size_t tuples = 0;
   double single_seconds = 0;
   double batched_seconds = 0;
-  double single_mtps() const {  // million tuples / second
-    return single_seconds > 0 ? tuples / single_seconds / 1e6 : 0;
+  /// Million tuples / second.
+  double Mtps(double seconds) const {
+    return seconds > 0 ? tuples / seconds / 1e6 : 0;
   }
-  double batched_mtps() const {
-    return batched_seconds > 0 ? tuples / batched_seconds / 1e6 : 0;
-  }
+  double single_mtps() const { return Mtps(single_seconds); }
+  double batched_mtps() const { return Mtps(batched_seconds); }
   double speedup() const {
     return batched_seconds > 0 ? single_seconds / batched_seconds : 0;
   }
@@ -110,38 +112,37 @@ ThroughputComparison CompareDrainThroughput(MakeFn&& make, int arity,
                                             size_t batch_size = 256,
                                             int repeats = 5) {
   ThroughputComparison out;
-  out.single_seconds = 1e300;
-  out.batched_seconds = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    {
+  size_t expected = SIZE_MAX;  // no drain finished yet
+  auto best_drain = [&](bool batched) {
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
       auto e = make();
       WallTimer t;
-      Tuple tup;
       size_t n = 0;
-      while (e->Next(&tup)) ++n;
-      out.single_seconds = std::min(out.single_seconds, t.Seconds());
-      out.tuples = n;
-    }
-    {
-      auto e = make();
-      WallTimer t;
-      size_t n = DrainBatched(*e, arity, batch_size);
-      out.batched_seconds = std::min(out.batched_seconds, t.Seconds());
-      if (n != out.tuples) {
-        std::fprintf(stderr,
-                     "WARNING: batched drain saw %zu tuples, single saw %zu\n",
-                     n, out.tuples);
+      if (batched) {
+        n = DrainBatched(*e, arity, batch_size);
+      } else {
+        Tuple tup;
+        while (e->Next(&tup)) ++n;
       }
+      best = std::min(best, t.Seconds());
+      if (expected != SIZE_MAX && n != expected)
+        std::fprintf(stderr, "WARNING: drain saw %zu vs %zu tuples\n", n,
+                     expected);
+      expected = n;
     }
-  }
+    return best;
+  };
+  out.single_seconds = best_drain(false);
+  out.tuples = expected;  // the single-drain count is the reference
+  out.batched_seconds = best_drain(true);
   return out;
 }
 
 inline std::string HumanBytes(size_t bytes) {
   if (bytes >= 10 * 1024 * 1024)
     return StrFormat("%.1f MiB", (double)bytes / (1024.0 * 1024.0));
-  if (bytes >= 10 * 1024)
-    return StrFormat("%.1f KiB", (double)bytes / 1024.0);
+  if (bytes >= 10 * 1024) return StrFormat("%.1f KiB", bytes / 1024.0);
   return StrFormat("%zu B", bytes);
 }
 
@@ -151,9 +152,7 @@ class Table {
   explicit Table(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
-  void AddRow(std::vector<std::string> cells) {
-    rows_.push_back(std::move(cells));
-  }
+  void AddRow(std::vector<std::string> c) { rows_.push_back(std::move(c)); }
 
   void Print() const {
     std::vector<size_t> widths(headers_.size());

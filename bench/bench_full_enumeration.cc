@@ -77,7 +77,7 @@ int main() {
         .SetRequestStats("single", s)
         .SetRequestStats(
             "batched",
-            bench::MeasureRequestsBatched(requests, answer, arity))
+            bench::MeasureRequests(requests, answer, arity, 256))
         .Set("drain_tuples", tc.tuples)
         .Set("drain_single_mtps", tc.single_mtps())
         .Set("drain_batched_mtps", tc.batched_mtps())
@@ -106,7 +106,7 @@ int main() {
         .SetRequestStats("single", s)
         .SetRequestStats(
             "batched",
-            bench::MeasureRequestsBatched(requests, answer, arity))
+            bench::MeasureRequests(requests, answer, arity, 256))
         .Set("drain_tuples", tc.tuples)
         .Set("drain_single_mtps", tc.single_mtps())
         .Set("drain_batched_mtps", tc.batched_mtps())

@@ -138,8 +138,9 @@ int main() {
         .Set("dict_entries", st.dict_entries)
         .Set("tree_nodes", st.tree_nodes)
         .SetRequestStats("single", s)
-        .SetRequestStats("batched", bench::MeasureRequestsBatched(
-                                        requests, answer, view.num_free()));
+        .SetRequestStats("batched", bench::MeasureRequests(
+                                        requests, answer, view.num_free(),
+                                        256));
   }
   table.Print();
   return 0;

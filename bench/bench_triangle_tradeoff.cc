@@ -153,12 +153,12 @@ int main() {
         .Set("tree_nodes", st.tree_nodes)
         .SetRequestStats("single", s)
         .SetRequestStats("batched",
-                         bench::MeasureRequestsBatched(
+                         bench::MeasureRequests(
                              requests,
                              [&](const BoundValuation& vb) {
                                return rep.value()->Answer(vb);
                              },
-                             view.num_free()));
+                             view.num_free(), 256));
   }
   // Extreme 2: direct evaluation.
   {

@@ -68,6 +68,7 @@ std::optional<std::vector<JoinAtomInput>> BuildJoinInputs(
 
 std::unique_ptr<TupleEnumerator> DirectEval::Answer(
     const BoundValuation& vb) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
   const int mu = view_.num_free();
   auto inputs = BuildJoinInputs(atoms_, vb);
   if (!inputs.has_value()) return std::make_unique<EmptyEnumerator>();

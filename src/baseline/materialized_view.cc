@@ -100,6 +100,7 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
 
 std::unique_ptr<TupleEnumerator> MaterializedView::Answer(
     const BoundValuation& vb) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
   const int nb = view_.num_bound();
   const int k = nb + view_.num_free();
   RowRange r = index_->Root();
@@ -113,6 +114,14 @@ bool MaterializedView::AnswerExists(const BoundValuation& vb) const {
   auto e = Answer(vb);
   Tuple t;
   return e->Next(&t);
+}
+
+size_t MaterializedView::CountAnswer(const BoundValuation& vb) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
+  RowRange r = index_->Root();
+  for (int i = 0; i < view_.num_bound() && !r.empty(); ++i)
+    r = index_->Refine(r, i, vb[i]);
+  return r.size();
 }
 
 size_t MaterializedView::SpaceBytes() const {

@@ -24,6 +24,10 @@ class MaterializedView {
   std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
   bool AnswerExists(const BoundValuation& vb) const;
 
+  /// |Q^eta[v_b]| via O(num_bound) index refinements (the table is distinct,
+  /// so the refined row range size *is* the answer count). No scan.
+  size_t CountAnswer(const BoundValuation& vb) const;
+
   size_t num_tuples() const { return table_->size(); }
   /// Space of the materialized output + its index.
   size_t SpaceBytes() const;

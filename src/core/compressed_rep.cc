@@ -57,9 +57,11 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::MakeSkeleton(
       return Status::Error("cover does not cover variable " + cq.var_name(v));
   }
 
-  const double alpha =
-      view.num_free() > 0 ? Slack(h, u, view.free_set()) : 1.0;
-  CQC_CHECK_GE(alpha, 1.0 - 1e-9);
+  // LP-produced covers can undershoot the unit coverage by an ulp; accept
+  // and clamp (DelayBalancedTree::Build requires alpha >= 1 exactly).
+  double alpha = view.num_free() > 0 ? Slack(h, u, view.free_set()) : 1.0;
+  CQC_CHECK_GE(alpha, 1.0 - 1e-6);
+  alpha = std::max(alpha, 1.0);
   std::vector<double> exponents(u.size());
   for (size_t f = 0; f < u.size(); ++f) exponents[f] = u[f] / alpha;
 

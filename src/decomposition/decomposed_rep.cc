@@ -399,6 +399,17 @@ class DecomposedRep::Alg5Enumerator : public TupleEnumerator {
   uint64_t first_bag_ordinal_ = 0;  // tuples seen from the first bag
 };
 
+size_t DecomposedRep::SpaceBytes() const {
+  size_t bytes = stats_.total_aux_bytes;
+  for (const Bag& bag : bags_) {
+    if (bag.locals == nullptr) continue;
+    bytes += bag.locals->BaseBytes();
+    for (const Relation* rel : bag.locals->AllRelations())
+      bytes += rel->IndexBytes();
+  }
+  return bytes;
+}
+
 std::unique_ptr<TupleEnumerator> DecomposedRep::Answer(
     const BoundValuation& vb) const {
   return std::make_unique<Alg5Enumerator>(this, vb);

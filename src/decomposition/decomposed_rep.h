@@ -104,6 +104,11 @@ class DecomposedRep {
   const TreeDecomposition& decomposition() const { return td_; }
   const DecomposedRepStats& stats() const { return stats_; }
 
+  /// Resident footprint: per-bag auxiliary structures plus the bag-local
+  /// projected relations (base data + indexes) the bags enumerate from —
+  /// the decomposed counterpart of CompressedRepStats::TotalBytes().
+  size_t SpaceBytes() const;
+
  private:
   explicit DecomposedRep(AdornedView view) : view_(std::move(view)) {}
 

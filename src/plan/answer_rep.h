@@ -1,0 +1,278 @@
+// AnswerRep: one capability-tagged interface over every answer structure.
+//
+// The paper gives four ways to hold a query result — the Theorem 1
+// compressed structure, the Theorem 2 decomposed structure, and the two
+// extremal baselines (materialize everything / evaluate directly) — and the
+// serving question is always the same: given an access request v_b, stream
+// Q^eta[v_b]. AnswerRep is that contract. Every consumer (the CLI, the
+// benches, the RepCache, the parallel enumerator glue) dispatches through
+// this type instead of hand-rolling per-structure switches.
+//
+// Entry points are *hardened*: arity and bound-valuation mismatches return
+// Status errors in release builds — a malformed request from an untrusted
+// caller can never index out of bounds or trip a debug-only DCHECK. The
+// underlying structures keep their CHECK-based contracts for trusted
+// in-process callers; this layer is the boundary where user input arrives.
+//
+// Capabilities advertise what a structure can do beyond plain enumeration
+// (lex order, range restriction, O(delay) resume, shard-parallel drain,
+// count-without-enumeration) so generic code can branch on *capability*
+// rather than on concrete type.
+#ifndef CQC_PLAN_ANSWER_REP_H_
+#define CQC_PLAN_ANSWER_REP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baseline/direct_eval.h"
+#include "baseline/materialized_view.h"
+#include "core/compressed_rep.h"
+#include "core/cursor.h"
+#include "core/enumerator.h"
+#include "core/finterval.h"
+#include "decomposition/decomposed_rep.h"
+#include "exec/parallel_enumerator.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+enum class RepKind : uint8_t {
+  kCompressed,    // Theorem 1: delay-balanced tree + heavy dictionary
+  kDecomposed,    // Theorem 2: connex decomposition of per-bag structures
+  kDirect,        // §2.3 baseline: worst-case optimal join per request
+  kMaterialized,  // §2.3 baseline: full output, indexed by bound vars
+};
+
+/// Lower-case structure name ("compressed", "decomposed", ...).
+const char* RepKindName(RepKind kind);
+
+/// Inverse of RepKindName; nullopt for unknown names.
+std::optional<RepKind> ParseRepKind(const std::string& name);
+
+/// What a representation supports beyond Answer/AnswerExists.
+struct RepCapabilities {
+  /// Answer streams in lexicographic order of the free variables.
+  bool lex_ordered = false;
+  /// AnswerRange enumerates an arbitrary closed lex interval.
+  bool range_restricted = false;
+  /// Resume reaches the first resumed tuple in O~(delay), not O(emitted).
+  bool low_delay_resume = false;
+  /// ParallelAnswer drains a real shard plan (not the sequential fallback).
+  bool sharded = false;
+  /// Count answers |Q^eta[v_b]| without enumerating the output.
+  bool counting = false;
+};
+
+class AnswerRep {
+ public:
+  virtual ~AnswerRep() = default;
+
+  virtual RepKind kind() const = 0;
+  virtual RepCapabilities capabilities() const = 0;
+  virtual const AdornedView& view() const = 0;
+
+  /// Build statistics: wall-clock build time and the resident footprint of
+  /// the structure (indexes + auxiliary data; the paper's S up to
+  /// constants). One-line human description for logs / --stats.
+  virtual double build_seconds() const = 0;
+  virtual size_t SpaceBytes() const = 0;
+  virtual std::string Describe() const = 0;
+
+  // --- hardened serving entry points ---------------------------------------
+  // Each validates the request shape and returns a Status error on misuse
+  // (wrong bound-valuation arity, unsupported capability, malformed range or
+  // cursor) instead of relying on debug-only checks.
+
+  /// Streams Q^eta[v_b]; tuples are aligned with view().free_vars().
+  Result<std::unique_ptr<TupleEnumerator>> Answer(
+      const BoundValuation& vb) const;
+
+  /// Streams exactly the outputs inside the closed lex interval `range`
+  /// (arity num_free). Requires capabilities().range_restricted.
+  Result<std::unique_ptr<TupleEnumerator>> AnswerRange(
+      const BoundValuation& vb, const FInterval& range) const;
+
+  /// Resumes a paused enumeration from a (possibly untrusted) cursor.
+  Result<std::unique_ptr<TupleEnumerator>> Resume(
+      const BoundValuation& vb, const EnumerationCursor& cursor) const;
+
+  /// Is the access request non-empty?
+  Result<bool> AnswerExists(const BoundValuation& vb) const;
+
+  /// |Q^eta[v_b]|. Counting-capable structures answer without enumerating;
+  /// the rest drain the stream.
+  Result<uint64_t> Count(const BoundValuation& vb) const;
+
+  /// Shard-planning hook: drains the request with `options.num_threads`
+  /// workers when the structure shards (capabilities().sharded); otherwise
+  /// falls back to the sequential stream. Order follows the structure's
+  /// parallel contract (see exec/parallel_enumerator.h).
+  Result<std::unique_ptr<TupleEnumerator>> ParallelAnswer(
+      const BoundValuation& vb, const ParallelOptions& options) const;
+
+ protected:
+  // Per-structure implementations, called only after validation.
+  virtual std::unique_ptr<TupleEnumerator> AnswerImpl(
+      const BoundValuation& vb) const = 0;
+  /// Only called when capabilities().range_restricted.
+  virtual std::unique_ptr<TupleEnumerator> AnswerRangeImpl(
+      const BoundValuation& vb, const FInterval& range) const;
+  /// Default: re-enumerate and skip cursor.emitted tuples (O(emitted)).
+  virtual Result<std::unique_ptr<TupleEnumerator>> ResumeImpl(
+      const BoundValuation& vb, const EnumerationCursor& cursor) const;
+  /// Default: pull one tuple.
+  virtual bool AnswerExistsImpl(const BoundValuation& vb) const;
+  /// Default: drain through the batch API.
+  virtual uint64_t CountImpl(const BoundValuation& vb) const;
+  /// Default: the sequential stream.
+  virtual std::unique_ptr<TupleEnumerator> ParallelAnswerImpl(
+      const BoundValuation& vb, const ParallelOptions& options) const;
+
+  /// Shared request validation (arity of v_b against the view).
+  Status ValidateRequest(const BoundValuation& vb) const;
+};
+
+// --- adapters ---------------------------------------------------------------
+// Each adapter owns its structure and exposes it via underlying() so callers
+// that need a structure-specific API (serialization, dictionary fixup,
+// differential tests) can still reach it.
+
+class CompressedAnswerRep : public AnswerRep {
+ public:
+  explicit CompressedAnswerRep(std::unique_ptr<CompressedRep> rep);
+
+  RepKind kind() const override { return RepKind::kCompressed; }
+  RepCapabilities capabilities() const override;
+  const AdornedView& view() const override { return rep_->view(); }
+  double build_seconds() const override {
+    return rep_->stats().build_seconds;
+  }
+  size_t SpaceBytes() const override { return rep_->stats().TotalBytes(); }
+  std::string Describe() const override;
+
+  const CompressedRep& underlying() const { return *rep_; }
+  CompressedRep& mutable_underlying() { return *rep_; }
+
+ protected:
+  std::unique_ptr<TupleEnumerator> AnswerImpl(
+      const BoundValuation& vb) const override;
+  std::unique_ptr<TupleEnumerator> AnswerRangeImpl(
+      const BoundValuation& vb, const FInterval& range) const override;
+  Result<std::unique_ptr<TupleEnumerator>> ResumeImpl(
+      const BoundValuation& vb, const EnumerationCursor& cursor) const override;
+  bool AnswerExistsImpl(const BoundValuation& vb) const override;
+  std::unique_ptr<TupleEnumerator> ParallelAnswerImpl(
+      const BoundValuation& vb, const ParallelOptions& options) const override;
+
+ private:
+  std::unique_ptr<CompressedRep> rep_;
+};
+
+class DecomposedAnswerRep : public AnswerRep {
+ public:
+  explicit DecomposedAnswerRep(std::unique_ptr<DecomposedRep> rep);
+
+  RepKind kind() const override { return RepKind::kDecomposed; }
+  RepCapabilities capabilities() const override;
+  const AdornedView& view() const override { return rep_->view(); }
+  double build_seconds() const override {
+    return rep_->stats().build_seconds;
+  }
+  size_t SpaceBytes() const override { return rep_->SpaceBytes(); }
+  std::string Describe() const override;
+
+  const DecomposedRep& underlying() const { return *rep_; }
+
+ protected:
+  std::unique_ptr<TupleEnumerator> AnswerImpl(
+      const BoundValuation& vb) const override;
+  Result<std::unique_ptr<TupleEnumerator>> ResumeImpl(
+      const BoundValuation& vb, const EnumerationCursor& cursor) const override;
+  bool AnswerExistsImpl(const BoundValuation& vb) const override;
+  uint64_t CountImpl(const BoundValuation& vb) const override;
+  std::unique_ptr<TupleEnumerator> ParallelAnswerImpl(
+      const BoundValuation& vb, const ParallelOptions& options) const override;
+
+ private:
+  std::unique_ptr<DecomposedRep> rep_;
+};
+
+class DirectAnswerRep : public AnswerRep {
+ public:
+  explicit DirectAnswerRep(std::unique_ptr<DirectEval> rep);
+
+  RepKind kind() const override { return RepKind::kDirect; }
+  RepCapabilities capabilities() const override;
+  const AdornedView& view() const override { return rep_->view(); }
+  double build_seconds() const override { return rep_->build_seconds(); }
+  size_t SpaceBytes() const override { return rep_->SpaceBytes(); }
+  std::string Describe() const override;
+
+  const DirectEval& underlying() const { return *rep_; }
+
+ protected:
+  std::unique_ptr<TupleEnumerator> AnswerImpl(
+      const BoundValuation& vb) const override;
+  std::unique_ptr<TupleEnumerator> AnswerRangeImpl(
+      const BoundValuation& vb, const FInterval& range) const override;
+  Result<std::unique_ptr<TupleEnumerator>> ResumeImpl(
+      const BoundValuation& vb, const EnumerationCursor& cursor) const override;
+  bool AnswerExistsImpl(const BoundValuation& vb) const override;
+
+ private:
+  std::unique_ptr<DirectEval> rep_;
+};
+
+class MaterializedAnswerRep : public AnswerRep {
+ public:
+  explicit MaterializedAnswerRep(std::unique_ptr<MaterializedView> rep);
+
+  RepKind kind() const override { return RepKind::kMaterialized; }
+  RepCapabilities capabilities() const override;
+  const AdornedView& view() const override { return rep_->view(); }
+  double build_seconds() const override { return rep_->build_seconds(); }
+  size_t SpaceBytes() const override { return rep_->SpaceBytes(); }
+  std::string Describe() const override;
+
+  const MaterializedView& underlying() const { return *rep_; }
+
+ protected:
+  std::unique_ptr<TupleEnumerator> AnswerImpl(
+      const BoundValuation& vb) const override;
+  bool AnswerExistsImpl(const BoundValuation& vb) const override;
+  uint64_t CountImpl(const BoundValuation& vb) const override;
+
+ private:
+  std::unique_ptr<MaterializedView> rep_;
+};
+
+/// Wrappers over already-built structures.
+std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<CompressedRep> rep);
+std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<DecomposedRep> rep);
+std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<DirectEval> rep);
+std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<MaterializedView> rep);
+
+/// How to build a representation of a given kind. Structure-specific knobs
+/// are honored only by the matching kind; a decomposed build without an
+/// explicit decomposition runs the connex elimination-order search.
+struct RepBuildSpec {
+  RepKind kind = RepKind::kCompressed;
+  CompressedRepOptions compressed;
+  std::optional<TreeDecomposition> decomposition;
+  DecomposedRepOptions decomposed;
+};
+
+/// Builds the requested structure over (db, aux_db) and wraps it. `view`
+/// must already be a natural-join full CQ (NormalizeView).
+Result<std::unique_ptr<AnswerRep>> BuildAnswerRep(const RepBuildSpec& spec,
+                                                  const AdornedView& view,
+                                                  const Database& db,
+                                                  const Database* aux_db =
+                                                      nullptr);
+
+}  // namespace cqc
+
+#endif  // CQC_PLAN_ANSWER_REP_H_

@@ -1,0 +1,249 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decomposition/connex_builder.h"
+#include "decomposition/delay_assignment.h"
+#include "fractional/edge_cover.h"
+#include "fractional/optimizer.h"
+#include "query/hypergraph.h"
+#include "util/str_util.h"
+
+namespace cqc {
+namespace {
+
+/// Stand-in for "unlimited" in log space: e^700 is finite in double
+/// arithmetic, so the LPs stay well-conditioned.
+constexpr double kUnlimitedLog = 700.0;
+constexpr double kFeasibilityEps = 1e-6;
+
+double Dot(const std::vector<double>& u, const std::vector<double>& logs) {
+  double s = 0;
+  for (size_t i = 0; i < u.size() && i < logs.size(); ++i) s += u[i] * logs[i];
+  return s;
+}
+
+/// Tie-break order when predicted delay and space coincide: the paper's
+/// tunable structure first (cheapest build at equal guarantees), the
+/// full-output baseline last.
+int KindPreference(RepKind kind) {
+  switch (kind) {
+    case RepKind::kCompressed:
+      return 0;
+    case RepKind::kDecomposed:
+      return 1;
+    case RepKind::kMaterialized:
+      return 2;
+    case RepKind::kDirect:
+      return 3;
+  }
+  return 4;
+}
+
+struct Scored {
+  PlanCandidate pub;
+  RepBuildSpec spec;
+  /// The candidate produced a complete build spec (its LP / search
+  /// succeeded). Distinct from pub.feasible, which additionally requires
+  /// fitting the budget: only buildable candidates may ever be selected.
+  bool buildable = false;
+};
+
+}  // namespace
+
+std::string Plan::Explain() const {
+  const double ln = log_n > 0 ? log_n : 1.0;
+  std::string out = StrFormat("plan: %s", RepKindName(spec.kind));
+  if (spec.kind == RepKind::kCompressed)
+    out += StrFormat(" tau=%.1f", spec.compressed.tau);
+  out += StrFormat(" — predicted space N^%.2f, delay N^%.2f",
+                   predicted_log_space / ln, predicted_log_delay / ln);
+  if (log_space_budget >= 0) {
+    out += StrFormat(", budget N^%.2f", log_space_budget / ln);
+    if (!within_budget) out += " (EXCEEDED: no candidate fits)";
+  } else {
+    out += ", budget unlimited";
+  }
+  out += "\n";
+  for (const PlanCandidate& c : candidates) {
+    out += StrFormat("  %-12s %-4s space N^%.2f delay N^%.2f",
+                     RepKindName(c.kind), c.feasible ? "ok" : "skip",
+                     c.predicted_log_space / ln, c.predicted_log_delay / ln);
+    if (c.kind == RepKind::kCompressed && c.feasible)
+      out += StrFormat(" tau=%.1f", c.tau);
+    if (!c.note.empty()) out += " — " + c.note;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Plan> Planner::PlanView(const AdornedView& view,
+                               const PlannerOptions& options) const {
+  if (!view.cq().IsNaturalJoin())
+    return Status::Error(
+        "planner requires a natural-join view (run NormalizeView first)");
+  Result<CatalogStats> stats_or = CollectCatalogStats(view, *db_, aux_db_);
+  if (!stats_or.ok()) return stats_or.status();
+  const CatalogStats& stats = stats_or.value();
+  const Hypergraph h(view.cq());
+  const int mu = view.num_free();
+
+  Plan plan;
+  plan.log_n = stats.log_n;
+  plan.log_space_budget = options.space_budget_exponent < 0
+                              ? -1
+                              : options.space_budget_exponent * stats.log_n;
+  const double budget = plan.log_space_budget < 0 ? kUnlimitedLog
+                                                  : plan.log_space_budget;
+
+  std::vector<Scored> scored;
+  auto add = [&](Scored s) {
+    s.pub.feasible = s.buildable;
+    if (s.buildable && s.pub.predicted_log_space > budget + kFeasibilityEps) {
+      s.pub.feasible = false;
+      s.pub.note += s.pub.note.empty() ? "over budget" : "; over budget";
+    }
+    scored.push_back(std::move(s));
+  };
+
+  if (options.consider_materialized) {
+    Scored s;
+    s.pub.kind = s.spec.kind = RepKind::kMaterialized;
+    EdgeCover cover = FractionalEdgeCover(h, view.cq().BodyVars());
+    if (cover.ok) {
+      // Output size is bounded by AGM (eq. 1); the structure stores the
+      // output plus its index, answering with O(1) delay.
+      s.pub.predicted_log_space =
+          std::max(stats.log_input, Dot(cover.weights, stats.log_sizes));
+      s.pub.predicted_log_delay = 0;
+      s.buildable = true;
+      s.pub.note = StrFormat("output <= N^%.2f by AGM",
+                             s.pub.predicted_log_space / stats.log_n);
+    } else {
+      s.pub.note = "no fractional edge cover";
+    }
+    add(std::move(s));
+  }
+
+  if (options.consider_compressed) {
+    Scored s;
+    s.pub.kind = s.spec.kind = RepKind::kCompressed;
+    if (mu == 0) {
+      // Prop. 1: boolean adorned views answer in O(1) from linear space;
+      // there is no tradeoff to tune.
+      s.pub.tau = s.spec.compressed.tau = 1.0;
+      s.pub.predicted_log_space = stats.log_input;
+      s.pub.predicted_log_delay = 0;
+      s.buildable = true;
+      s.pub.note = "boolean view (Prop. 1)";
+    } else {
+      CoverSolution sol =
+          MinDelayCover(h, view.free_set(), stats.log_sizes, budget);
+      if (sol.feasible) {
+        s.pub.tau = s.spec.compressed.tau = std::exp(sol.log_tau);
+        s.spec.compressed.cover = sol.u;
+        s.pub.predicted_log_space = std::max(stats.log_input, sol.log_space);
+        s.pub.predicted_log_delay = sol.log_tau;
+        s.buildable = true;
+        s.pub.note = StrFormat("MinDelayCover alpha=%.2f", sol.alpha);
+      } else {
+        s.pub.note = "MinDelayCover infeasible at this budget";
+      }
+    }
+    add(std::move(s));
+  }
+
+  if (options.consider_decomposed && mu > 0 &&
+      mu <= options.max_free_vars_for_decomposition) {
+    Scored s;
+    s.pub.kind = s.spec.kind = RepKind::kDecomposed;
+    Result<ConnexSearchResult> found =
+        SearchConnexDecomposition(h, view.bound_set());
+    if (found.ok()) {
+      TreeDecomposition td = std::move(found).value().decomposition;
+      DelayAssignment delta =
+          plan.log_space_budget < 0
+              ? DelayAssignment::Zero(td)
+              : OptimizeDelayAssignment(td, h, stats.log_n, budget);
+      DecompositionMetrics metrics = ComputeMetrics(td, h, delta);
+      s.pub.predicted_log_space =
+          std::max(stats.log_input, metrics.width * stats.log_n);
+      s.pub.predicted_log_delay = metrics.height * stats.log_n;
+      s.buildable = true;
+      s.pub.note = StrFormat("connex width=%.2f height=%.2f", metrics.width,
+                             metrics.height);
+      s.spec.decomposition = std::move(td);
+      s.spec.decomposed.delta = std::move(delta);
+    } else {
+      s.pub.note = found.status().message();
+    }
+    add(std::move(s));
+  }
+
+  if (options.consider_direct) {
+    Scored s;
+    s.pub.kind = s.spec.kind = RepKind::kDirect;
+    s.pub.predicted_log_space = stats.log_input;
+    if (mu == 0) {
+      s.pub.predicted_log_delay = 0;  // per-atom membership probes
+      s.pub.note = "boolean probe";
+    } else {
+      // A worst-case optimal join evaluates the residual query in time
+      // AGM(free cover) per request (Prop. 6 applied to the full range).
+      EdgeCover cover = FractionalEdgeCover(h, view.free_set());
+      s.pub.predicted_log_delay =
+          cover.ok ? Dot(cover.weights, stats.log_sizes) : kUnlimitedLog;
+      s.pub.note = "per-request worst-case optimal join";
+    }
+    s.buildable = true;
+    add(std::move(s));
+  }
+
+  if (scored.empty())
+    return Status::Error("planner: no candidate representations enabled");
+
+  // Minimum predicted delay among budget-feasible candidates; ties prefer
+  // smaller space, then the cheaper structure. If nothing fits, fall back
+  // to the smallest-space candidate and flag the overrun.
+  const Scored* best = nullptr;
+  for (const Scored& s : scored) {
+    if (!s.pub.feasible) continue;
+    if (best == nullptr ||
+        s.pub.predicted_log_delay <
+            best->pub.predicted_log_delay - kFeasibilityEps ||
+        (std::abs(s.pub.predicted_log_delay - best->pub.predicted_log_delay) <=
+             kFeasibilityEps &&
+         (s.pub.predicted_log_space <
+              best->pub.predicted_log_space - kFeasibilityEps ||
+          (std::abs(s.pub.predicted_log_space -
+                    best->pub.predicted_log_space) <= kFeasibilityEps &&
+           KindPreference(s.pub.kind) < KindPreference(best->pub.kind))))) {
+      best = &s;
+    }
+  }
+  if (best == nullptr) {
+    plan.within_budget = false;
+    for (const Scored& s : scored) {
+      if (!s.buildable) continue;
+      if (best == nullptr ||
+          s.pub.predicted_log_space < best->pub.predicted_log_space)
+        best = &s;
+    }
+  }
+  if (best == nullptr)
+    return Status::Error("planner: no buildable candidate for this view");
+
+  plan.spec = best->spec;
+  plan.predicted_log_space = best->pub.predicted_log_space;
+  plan.predicted_log_delay = best->pub.predicted_log_delay;
+  for (Scored& s : scored) plan.candidates.push_back(std::move(s.pub));
+  return plan;
+}
+
+Result<std::unique_ptr<AnswerRep>> Planner::BuildPlan(const AdornedView& view,
+                                                      const Plan& plan) const {
+  return BuildAnswerRep(plan.spec, view, *db_, aux_db_);
+}
+
+}  // namespace cqc

@@ -1,0 +1,101 @@
+// Cost-based representation planning: pick (structure, tau) from catalog
+// statistics and a space budget.
+//
+// The paper's §6 optimizers already answer "best tau and cover for Theorem 1
+// under a budget" (MinDelayCover) and "best per-bag delay exponents for
+// Theorem 2" (OptimizeDelayAssignment); the two baselines bracket the
+// tradeoff. The Planner runs all four, prices each candidate in the same
+// currency — predicted space and delay as exponents of N — and picks the
+// minimum-delay candidate that fits the budget (ties: smaller space, then
+// the cheaper structure). This is the decision the repo previously left to
+// a hand-picked CLI flag.
+//
+// Predicted sizes are the paper's asymptotic bounds evaluated on the
+// catalog statistics (AGM products over actual relation sizes), not byte
+// counts: they order candidates correctly and make budget feasibility a
+// clean linear constraint, while measured bytes stay a per-build statistic
+// (bench_planner reports predicted-vs-measured and plan regret).
+#ifndef CQC_PLAN_PLANNER_H_
+#define CQC_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/answer_rep.h"
+#include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
+#include "workload/catalog.h"
+
+namespace cqc {
+
+struct PlannerOptions {
+  /// Space budget exponent B: the structure may use O~(N^B) tuple units,
+  /// N = largest relation. Negative = unlimited.
+  double space_budget_exponent = -1;
+  /// Candidate toggles (ablations / forcing a structure family).
+  bool consider_compressed = true;
+  bool consider_decomposed = true;
+  bool consider_direct = true;
+  bool consider_materialized = true;
+  /// The connex decomposition search is exhaustive over elimination orders;
+  /// views with more free variables skip the decomposed candidate.
+  int max_free_vars_for_decomposition = 8;
+};
+
+/// One scored candidate. Exponents are log-space values (natural log);
+/// divide by log_n for the N^x form.
+struct PlanCandidate {
+  RepKind kind = RepKind::kDirect;
+  double tau = 1.0;
+  double predicted_log_space = 0;
+  double predicted_log_delay = 0;
+  bool feasible = false;
+  std::string note;
+};
+
+struct Plan {
+  /// What to build (kind plus the structure-specific knobs the scoring
+  /// chose: tau + cover, or decomposition + delay assignment).
+  RepBuildSpec spec;
+  double predicted_log_space = 0;
+  double predicted_log_delay = 0;
+  /// ln Sigma for the budget (negative = unlimited) and ln N for display.
+  double log_space_budget = -1;
+  double log_n = 0;
+  /// False when no candidate fit the budget and the planner fell back to
+  /// the smallest-space candidate.
+  bool within_budget = true;
+  /// Every candidate scored, in evaluation order (for explain / tests).
+  std::vector<PlanCandidate> candidates;
+
+  double tau() const { return spec.compressed.tau; }
+  RepKind kind() const { return spec.kind; }
+  /// Multi-line human-readable account of the decision.
+  std::string Explain() const;
+};
+
+class Planner {
+ public:
+  /// Both databases must outlive the planner and anything it builds.
+  explicit Planner(const Database* db, const Database* aux_db = nullptr)
+      : db_(db), aux_db_(aux_db) {}
+
+  /// Scores every applicable candidate for `view` (a natural-join full CQ;
+  /// run NormalizeView first) and returns the chosen plan.
+  Result<Plan> PlanView(const AdornedView& view,
+                        const PlannerOptions& options = {}) const;
+
+  /// Builds the representation a plan chose.
+  Result<std::unique_ptr<AnswerRep>> BuildPlan(const AdornedView& view,
+                                               const Plan& plan) const;
+
+ private:
+  const Database* db_;
+  const Database* aux_db_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_PLAN_PLANNER_H_

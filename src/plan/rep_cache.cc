@@ -1,0 +1,119 @@
+#include "plan/rep_cache.h"
+
+#include "query/parser.h"
+#include "util/str_util.h"
+
+namespace cqc {
+
+RepCache::RepCache(const Database* db, RepCacheOptions options)
+    : db_(db), options_(std::move(options)) {
+  CQC_CHECK(db_ != nullptr);
+  CQC_CHECK_GT(options_.capacity, 0u);
+}
+
+Result<std::shared_ptr<const CachedRep>> RepCache::Get(
+    const std::string& view_text, double space_budget_exponent) {
+  Result<AdornedView> parsed = ParseAdornedView(view_text);
+  if (!parsed.ok()) return parsed.status();
+  return GetView(parsed.value(), space_budget_exponent);
+}
+
+Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
+    const AdornedView& view, double space_budget_exponent) {
+  // Budget is part of the identity: the same query at two budgets may be
+  // two different structures.
+  const std::string key =
+      CanonicalViewKey(view) +
+      StrFormat("|B=%.6g", space_budget_exponent < 0
+                               ? -1.0
+                               : space_budget_exponent);
+
+  std::shared_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      // Single-flight: someone else is already building this entry.
+      ++stats_.coalesced;
+      flight = fit->second;
+      cv_.wait(lock, [&] { return flight->done; });
+      if (flight->result != nullptr) return flight->result;
+      return flight->error;
+    }
+    ++stats_.misses;
+    flight = std::make_shared<InFlight>();
+    inflight_.emplace(key, flight);
+  }
+
+  // Build without holding the cache lock: distinct keys build in parallel,
+  // and hits never wait behind a build.
+  Result<std::shared_ptr<const CachedRep>> built =
+      BuildEntry(key, view, space_budget_exponent);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    flight->done = true;
+    if (built.ok()) {
+      ++stats_.builds;
+      flight->result = built.value();
+      lru_.emplace_front(key, built.value());
+      entries_[key] = lru_.begin();
+      while (lru_.size() > options_.capacity) {
+        ++stats_.evictions;
+        entries_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    } else {
+      // Failures are not cached: the next request retries (the database
+      // may have gained the missing relation in the meantime).
+      ++stats_.build_failures;
+      flight->error = built.status();
+    }
+    inflight_.erase(key);
+  }
+  cv_.notify_all();
+  return built;
+}
+
+Result<std::shared_ptr<const CachedRep>> RepCache::BuildEntry(
+    const std::string& key, const AdornedView& view,
+    double space_budget_exponent) const {
+  Result<NormalizedView> normalized = NormalizeView(view, *db_);
+  if (!normalized.ok()) return normalized.status();
+
+  // The entry owns the normalized view *before* planning/building, so the
+  // aux database the structure will reference has its final address.
+  std::shared_ptr<CachedRep> entry(
+      new CachedRep(key, std::move(normalized).value()));
+
+  Planner planner(db_, &entry->normalized_.aux_db);
+  PlannerOptions popts = options_.planner;
+  popts.space_budget_exponent = space_budget_exponent;
+  Result<Plan> plan = planner.PlanView(entry->normalized_.view, popts);
+  if (!plan.ok()) return plan.status();
+  entry->plan_ = std::move(plan).value();
+
+  Result<std::unique_ptr<AnswerRep>> rep =
+      planner.BuildPlan(entry->normalized_.view, entry->plan_);
+  if (!rep.ok()) return rep.status();
+  entry->rep_ = std::move(rep).value();
+  return std::shared_ptr<const CachedRep>(std::move(entry));
+}
+
+RepCacheStats RepCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t RepCache::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace cqc

@@ -1,0 +1,120 @@
+// RepCache: the serving layer — plan once, build once, serve many.
+//
+// An LRU cache of built representations keyed by the canonical query key
+// (query/normalize.h: alpha-renamed copies of a query share an entry) plus
+// the space-budget exponent. A miss parses nothing twice: the entry owns
+// its NormalizedView (including the aux database of derived relations the
+// built structure references), the Plan that chose the structure, and the
+// AnswerRep itself, so a cache hit is immediately servable and survives
+// eviction for as long as any caller holds the shared_ptr.
+//
+// Builds are *single-flight*: concurrent requests for the same key find
+// the in-flight build and wait on it instead of duplicating the (possibly
+// expensive) compression — the thundering-herd behavior a serving cache
+// must not have. Distinct keys build concurrently; the cache lock guards
+// only metadata, never a build.
+#ifndef CQC_PLAN_REP_CACHE_H_
+#define CQC_PLAN_REP_CACHE_H_
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "plan/answer_rep.h"
+#include "plan/planner.h"
+#include "query/normalize.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace cqc {
+
+struct RepCacheOptions {
+  /// Maximum resident entries (>= 1; evicted entries stay alive while any
+  /// caller still holds their shared_ptr).
+  size_t capacity = 16;
+  /// Planner defaults for entries; the per-Get budget overrides
+  /// space_budget_exponent.
+  PlannerOptions planner;
+};
+
+struct RepCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;        // triggered a build
+  uint64_t coalesced = 0;     // waited on another request's build
+  uint64_t builds = 0;        // successful builds
+  uint64_t build_failures = 0;
+  uint64_t evictions = 0;
+};
+
+/// One immutable cache entry: the normalized view (owning the derived
+/// relations the structure references), the plan, and the built structure.
+class CachedRep {
+ public:
+  const AnswerRep& rep() const { return *rep_; }
+  const Plan& plan() const { return plan_; }
+  const AdornedView& view() const { return normalized_.view; }
+  const std::string& key() const { return key_; }
+
+ private:
+  friend class RepCache;
+  explicit CachedRep(std::string key, NormalizedView normalized)
+      : key_(std::move(key)), normalized_(std::move(normalized)) {}
+
+  std::string key_;
+  NormalizedView normalized_;
+  Plan plan_;
+  std::unique_ptr<AnswerRep> rep_;
+};
+
+class RepCache {
+ public:
+  /// `db` must outlive the cache and every entry handed out.
+  explicit RepCache(const Database* db, RepCacheOptions options = {});
+
+  /// Parses and serves `view_text` (e.g. "Q^bf(x,y) = R(x,y)").
+  Result<std::shared_ptr<const CachedRep>> Get(
+      const std::string& view_text, double space_budget_exponent = -1);
+
+  /// Serves an already-parsed view. The view may contain constants or
+  /// repeated variables; normalization happens on miss.
+  Result<std::shared_ptr<const CachedRep>> GetView(
+      const AdornedView& view, double space_budget_exponent = -1);
+
+  RepCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct InFlight {
+    bool done = false;
+    std::shared_ptr<const CachedRep> result;  // null on failure
+    Status error;
+  };
+
+  /// Builds the entry for (view, budget); no cache locks held.
+  Result<std::shared_ptr<const CachedRep>> BuildEntry(
+      const std::string& key, const AdornedView& view,
+      double space_budget_exponent) const;
+
+  const Database* db_;
+  const RepCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Most-recently-used first; entries_ indexes into it.
+  std::list<std::pair<std::string, std::shared_ptr<const CachedRep>>> lru_;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, std::shared_ptr<const CachedRep>>>::
+          iterator>
+      entries_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  RepCacheStats stats_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_PLAN_REP_CACHE_H_

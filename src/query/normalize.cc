@@ -3,6 +3,7 @@
 #include <set>
 
 #include "relational/projection.h"
+#include "util/str_util.h"
 
 namespace cqc {
 
@@ -84,6 +85,38 @@ Result<NormalizedView> NormalizeView(const AdornedView& view,
   if (!rv.ok()) return rv.status();
   out.view = std::move(rv).value();
   return std::move(out);
+}
+
+std::string CanonicalViewKey(const AdornedView& view) {
+  const ConjunctiveQuery& cq = view.cq();
+  std::vector<int> rename(cq.num_vars(), -1);
+  int next = 0;
+  auto canon = [&](VarId v) {
+    if (rename[v] < 0) rename[v] = next++;
+    return rename[v];
+  };
+  for (VarId v : cq.head()) canon(v);
+
+  std::string key = "Q^";
+  for (Binding b : view.adornment()) key += (char)b;
+  key += '(';
+  for (size_t i = 0; i < cq.head().size(); ++i)
+    key += StrFormat("%sv%d", i ? "," : "", rename[cq.head()[i]]);
+  key += ")=";
+  for (size_t a = 0; a < cq.atoms().size(); ++a) {
+    const Atom& atom = cq.atoms()[a];
+    key += StrFormat("%s%s(", a ? "," : "", atom.relation.c_str());
+    for (int c = 0; c < atom.arity(); ++c) {
+      const Term& t = atom.terms[c];
+      if (t.is_var)
+        key += StrFormat("%sv%d", c ? "," : "", canon(t.var));
+      else
+        key += StrFormat("%s#%llu", c ? "," : "",
+                         (unsigned long long)t.constant);
+    }
+    key += ')';
+  }
+  return key;
 }
 
 }  // namespace cqc

@@ -33,6 +33,13 @@ Result<NormalizedView> NormalizeView(const AdornedView& view,
 const Relation* ResolveRelation(const std::string& name, const Database& db,
                                 const Database* aux_db);
 
+/// Canonical cache key for a view: variables renamed by first occurrence
+/// (head order, then body order), so alpha-renamed copies of the same query
+/// map to the same key. Atom order is preserved (full query-graph
+/// canonicalization is deliberately out of scope). Serving layers key
+/// caches on this plus their build parameters.
+std::string CanonicalViewKey(const AdornedView& view);
+
 }  // namespace cqc
 
 #endif  // CQC_QUERY_NORMALIZE_H_

@@ -1,10 +1,42 @@
 #include "workload/catalog.h"
 
+#include <cmath>
+#include <set>
+
+#include "query/normalize.h"
 #include "query/parser.h"
 #include "util/logging.h"
 #include "util/str_util.h"
 
 namespace cqc {
+
+Result<CatalogStats> CollectCatalogStats(const AdornedView& view,
+                                         const Database& db,
+                                         const Database* aux_db) {
+  CatalogStats stats;
+  std::set<const Relation*> distinct;
+  double max_size = 2.0;
+  for (const Atom& atom : view.cq().atoms()) {
+    const Relation* rel = ResolveRelation(atom.relation, db, aux_db);
+    if (rel == nullptr) {
+      return Status::Error(
+          StrFormat("catalog: unknown relation %s", atom.relation.c_str()));
+    }
+    const double size = std::max<double>(2.0, (double)rel->size());
+    stats.log_sizes.push_back(std::log(size));
+    max_size = std::max(max_size, size);
+    distinct.insert(rel);
+  }
+  for (const Relation* rel : distinct) {
+    stats.total_tuples += rel->size();
+    stats.input_bytes += rel->BaseBytes();
+  }
+  stats.log_n = std::log(max_size);
+  stats.log_input =
+      std::log(std::max<double>(2.0, (double)stats.total_tuples));
+  return stats;
+}
+
 namespace {
 
 AdornedView MustParse(const std::string& text) {

@@ -10,10 +10,34 @@
 #define CQC_WORKLOAD_CATALOG_H_
 
 #include <string>
+#include <vector>
 
 #include "query/adorned_view.h"
+#include "relational/database.h"
+#include "util/status.h"
 
 namespace cqc {
+
+/// Catalog statistics for one view over one database: everything the
+/// cost-based planner needs to score candidate representations. All sizes
+/// use a floor of 2 tuples so logarithms stay positive and ratios finite.
+struct CatalogStats {
+  /// ln |R_F| per atom, aligned with view.cq().atoms().
+  std::vector<double> log_sizes;
+  /// ln N for N = the largest referenced relation (the paper's N).
+  double log_n = 0;
+  /// ln |D| for |D| = total tuples across the distinct referenced relations.
+  double log_input = 0;
+  /// Base-data footprint of the distinct referenced relations.
+  size_t input_bytes = 0;
+  size_t total_tuples = 0;
+};
+
+/// Collects statistics for `view` against (db, aux_db). Fails if an atom's
+/// relation is missing from both databases.
+Result<CatalogStats> CollectCatalogStats(const AdornedView& view,
+                                         const Database& db,
+                                         const Database* aux_db = nullptr);
 
 /// Example 1 / Example 2: triangle over a single (symmetric) relation R.
 ///   Q^adorn(x,y,z) = R(x,y), R(y,z), R(z,x)

@@ -1,0 +1,168 @@
+// RepCache tests: hit/miss accounting, canonical-key sharing, LRU
+// eviction, error paths, end-to-end serving, and the single-flight
+// guarantee under concurrent requests for the same key.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "plan/rep_cache.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::OracleAnswer;
+using testing::SortedCopy;
+
+Database MakeTriangleDb(uint64_t m = 8) {
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", m);
+  return db;
+}
+
+constexpr char kTriangle[] = "Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)";
+
+TEST(RepCache, SecondGetIsAHit) {
+  Database db = MakeTriangleDb();
+  RepCache cache(&db);
+  auto first = cache.Get(kTriangle, 1.2);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  auto second = cache.Get(kTriangle, 1.2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RepCache, AlphaRenamedQuerySharesTheEntry) {
+  Database db = MakeTriangleDb();
+  RepCache cache(&db);
+  auto a = cache.Get("Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)", 1.2);
+  auto b = cache.Get("Q^bfb(u,v,w) = R(u,v), R(v,w), R(w,u)", 1.2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());
+  EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(RepCache, BudgetIsPartOfTheKey) {
+  Database db = MakeTriangleDb();
+  RepCache cache(&db);
+  auto a = cache.Get(kTriangle, 2.0);
+  auto b = cache.Get(kTriangle, 1.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().get(), b.value().get());
+  EXPECT_EQ(cache.stats().builds, 2u);
+  // The tighter budget may not pick a larger-space structure.
+  EXPECT_LE(b.value()->plan().predicted_log_space,
+            a.value()->plan().predicted_log_space + 1e-6);
+}
+
+TEST(RepCache, LruEvictionKeepsHandlesAlive) {
+  Database db = MakeTriangleDb();
+  RepCacheOptions options;
+  options.capacity = 2;
+  RepCache cache(&db, options);
+  auto a = cache.Get(kTriangle, 1.0);
+  auto b = cache.Get(kTriangle, 1.5);
+  auto c = cache.Get(kTriangle, 2.0);  // evicts the 1.0 entry
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The evicted handle still serves (shared ownership)...
+  auto e = a.value()->rep().Answer({1, 9});
+  EXPECT_TRUE(e.ok());
+  // ...and re-requesting it is a fresh build.
+  auto a2 = cache.Get(kTriangle, 1.0);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(cache.stats().builds, 4u);
+  EXPECT_NE(a.value().get(), a2.value().get());
+}
+
+TEST(RepCache, ErrorsAreReportedAndNotCached) {
+  Database db = MakeTriangleDb();
+  RepCache cache(&db);
+  EXPECT_FALSE(cache.Get("not a view").ok());           // parse error
+  auto missing = cache.Get("Q^bf(x,y) = NOPE(x,y)");    // unknown relation
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(cache.stats().build_failures, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // A failed key retries (and fails again) instead of serving the error.
+  EXPECT_FALSE(cache.Get("Q^bf(x,y) = NOPE(x,y)").ok());
+  EXPECT_EQ(cache.stats().build_failures, 2u);
+}
+
+TEST(RepCache, ServesCorrectAnswersIncludingNormalizedViews) {
+  Database db;
+  testing::AddRelation(db, "R", 3, {{1, 2, 7}, {1, 3, 7}, {2, 2, 5}});
+  RepCache cache(&db);
+  // Constant in the body: the entry owns the derived aux relation.
+  auto entry = cache.Get("Q^bf(x,y) = R(x,y,7)");
+  ASSERT_TRUE(entry.ok()) << entry.status().message();
+  auto parsed = ParseAdornedView("Q^bf(x,y) = R(x,y,7)");
+  ASSERT_TRUE(parsed.ok());
+  for (Value x : {Value{1}, Value{2}, Value{3}}) {
+    auto e = entry.value()->rep().Answer({x});
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(SortedCopy(CollectAll(*e.value())),
+              OracleAnswer(parsed.value(), db, {x}));
+  }
+  EXPECT_FALSE(entry.value()->plan().Explain().empty());
+}
+
+TEST(RepCache, SingleFlightCoalescesConcurrentBuilds) {
+  // A bigger instance so the build takes long enough for real overlap.
+  Database db = MakeTriangleDb(24);
+  RepCache cache(&db);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const CachedRep>> got(kThreads);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto r = cache.Get(kTriangle, 1.4);
+      if (r.ok())
+        got[t] = r.value();
+      else
+        ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(got[t].get(), got[0].get());
+  const RepCacheStats stats = cache.stats();
+  // The heart of single-flight: exactly one build ever ran, and every
+  // other request either coalesced onto it or hit the finished entry.
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, (uint64_t)kThreads - 1);
+}
+
+TEST(RepCache, DistinctKeysBuildIndependently) {
+  Database db = MakeTriangleDb(12);
+  RepCache cache(&db);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Two distinct budgets -> two entries, built concurrently.
+      auto r = cache.Get(kTriangle, t % 2 == 0 ? 1.1 : 1.9);
+      if (!r.ok()) ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cqc

@@ -1,29 +1,22 @@
-// cqc_cli — build and query a compressed view from the command line.
+// cqc_cli — build and query a planned answer representation (see Usage()).
 //
-// Usage:
-//   cqc_cli --rel R=edges.csv:2 [--rel S=...] \
-//           --view "Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)" \
-//           [--tau 64] [--space-budget 1.5] [--save rep.cqcrep] \
-//           [--load rep.cqcrep] [--stats]
-//
-// Then reads one access request per line from stdin (bound values,
-// whitespace-separated, in head order of the bound variables) and prints
-// the matching free-variable tuples. With --space-budget B (an exponent:
-// Sigma = N^B), the §6 MinDelayCover LP picks tau and the cover.
-#include <cmath>
+// Reads one access request per line from stdin (bound values, in head
+// order) and prints the matching free-variable tuples. With --plan auto
+// (or any plan plus --space-budget B, an exponent: Sigma = N^B) the
+// cost-based planner picks the structure and tau and prints its explain
+// report to stderr. All serving goes through the AnswerRep interface, so
+// every structure gets the same batch drain and (with --threads N > 1)
+// the same shard-parallel enumeration where the structure supports it.
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <sstream>
 
-#include "core/compressed_rep.h"
 #include "core/serialization.h"
-#include "exec/parallel_enumerator.h"
-#include "fractional/optimizer.h"
+#include "plan/answer_rep.h"
+#include "plan/planner.h"
 #include "query/normalize.h"
 #include "query/parser.h"
 #include "relational/csv.h"
-#include "util/str_util.h"
 
 namespace {
 
@@ -31,11 +24,10 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: cqc_cli --rel NAME=PATH:ARITY [--rel ...] --view VIEW\n"
-      "               [--tau T | --space-budget B] [--save PATH]\n"
-      "               [--load PATH] [--stats] [--threads N]\n"
-      "then: one access request per line on stdin (bound values).\n"
-      "--threads N > 1 drains each request shard-parallel (order-preserving\n"
-      "merge, so output order matches the sequential enumeration).\n");
+      "               [--plan auto|compressed|decomposed|direct|materialized]\n"
+      "               [--tau T] [--space-budget B] [--threads N] [--stats]\n"
+      "               [--save PATH] [--load PATH]\n"
+      "then: one access request per line on stdin (bound values).\n");
 }
 
 }  // namespace
@@ -43,7 +35,7 @@ void Usage() {
 int main(int argc, char** argv) {
   using namespace cqc;
   Database db;
-  std::string view_text, save_path, load_path;
+  std::string view_text, save_path, load_path, plan_name = "compressed";
   double tau = 1.0;
   double space_budget = -1;
   bool want_stats = false;
@@ -77,16 +69,15 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "loaded %s: %zu tuples\n", name.c_str(),
                    loaded.value()->size());
-    } else if (arg == "--view") {
-      view_text = next();
-    } else if (arg == "--tau") {
-      tau = std::atof(next());
-    } else if (arg == "--space-budget") {
-      space_budget = std::atof(next());
-    } else if (arg == "--save") {
-      save_path = next();
-    } else if (arg == "--load") {
-      load_path = next();
+    } else if (arg == "--view" || arg == "--plan" || arg == "--save" ||
+               arg == "--load") {
+      std::string& dst = arg == "--view"   ? view_text
+                         : arg == "--plan" ? plan_name
+                         : arg == "--save" ? save_path
+                                           : load_path;
+      dst = next();
+    } else if (arg == "--tau" || arg == "--space-budget") {
+      (arg == "--tau" ? tau : space_budget) = std::atof(next());
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--threads") {
@@ -118,100 +109,104 @@ int main(int argc, char** argv) {
   const AdornedView& view = normalized.value().view;
   const Database* aux = &normalized.value().aux_db;
 
-  CompressedRepOptions options;
-  options.tau = tau;
-  if (space_budget > 0) {
-    Hypergraph h(view.cq());
-    std::vector<double> log_sizes;
-    for (const Atom& atom : view.cq().atoms()) {
-      const Relation* r = ResolveRelation(atom.relation, db, aux);
-      log_sizes.push_back(std::log(std::max<double>(2.0, (double)r->size())));
-    }
-    double log_n = 0;
-    for (double ls : log_sizes) log_n = std::max(log_n, ls);
-    CoverSolution sol = MinDelayCover(h, view.free_set(), log_sizes,
-                                      space_budget * log_n);
-    if (!sol.feasible) {
-      std::fprintf(stderr, "space budget infeasible\n");
-      return 1;
-    }
-    options.tau = std::exp(sol.log_tau);
-    options.cover = sol.u;
-    std::fprintf(stderr, "optimizer: tau = %.1f, alpha = %.2f\n",
-                 options.tau, sol.alpha);
-  }
-
-  std::unique_ptr<CompressedRep> rep;
+  std::unique_ptr<AnswerRep> rep;
   if (!load_path.empty()) {
     auto loaded = LoadCompressedRep(view, db, load_path, aux);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load: %s\n", loaded.status().message().c_str());
       return 1;
     }
-    rep = std::move(loaded).value();
+    rep = WrapAnswerRep(std::move(loaded).value());
     std::fprintf(stderr, "loaded structure from %s\n", load_path.c_str());
   } else {
-    auto built = CompressedRep::Build(view, db, options, aux);
+    // One build path for every mode: the planner scores all candidates for
+    // --plan auto and just the requested family otherwise.
+    Planner planner(&db, aux);
+    PlannerOptions popt;
+    popt.space_budget_exponent = space_budget;
+    std::optional<RepKind> fixed = ParseRepKind(plan_name);
+    if (plan_name != "auto") {
+      if (!fixed.has_value()) {
+        std::fprintf(stderr, "unknown --plan %s\n", plan_name.c_str());
+        return 2;
+      }
+      popt.consider_compressed = *fixed == RepKind::kCompressed;
+      popt.consider_decomposed = *fixed == RepKind::kDecomposed;
+      popt.consider_direct = *fixed == RepKind::kDirect;
+      popt.consider_materialized = *fixed == RepKind::kMaterialized;
+    }
+    auto planned = planner.PlanView(view, popt);
+    if (!planned.ok()) {
+      std::fprintf(stderr, "plan: %s\n", planned.status().message().c_str());
+      return 1;
+    }
+    Plan plan = std::move(planned).value();
+    if (plan_name == "auto" || space_budget > 0)
+      std::fprintf(stderr, "%s", plan.Explain().c_str());
+    if (!plan.within_budget) {
+      std::fprintf(stderr, "space budget infeasible\n");
+      return 1;
+    }
+    if (fixed == RepKind::kCompressed && space_budget <= 0) {
+      plan.spec.compressed.tau = tau;  // manual knob without a budget
+      plan.spec.compressed.cover.reset();
+    }
+    auto built = planner.BuildPlan(view, plan);
     if (!built.ok()) {
       std::fprintf(stderr, "build: %s\n", built.status().message().c_str());
       return 1;
     }
     rep = std::move(built).value();
   }
+
   if (!save_path.empty()) {
-    Status s = SaveCompressedRep(*rep, save_path);
+    auto* compressed = dynamic_cast<const CompressedAnswerRep*>(rep.get());
+    if (compressed == nullptr) {
+      std::fprintf(stderr, "--save requires a compressed structure\n");
+      return 2;
+    }
+    Status s = SaveCompressedRep(compressed->underlying(), save_path);
     if (!s.ok()) {
       std::fprintf(stderr, "save: %s\n", s.message().c_str());
       return 1;
     }
     std::fprintf(stderr, "saved structure to %s\n", save_path.c_str());
   }
-  if (want_stats) {
-    const CompressedRepStats& s = rep->stats();
-    std::fprintf(stderr,
-                 "tau=%.1f alpha=%.2f rho=%.2f tree=%zu nodes (depth %d) "
-                 "dict=%zu entries aux=%zu B build=%.3fs\n",
-                 rep->tau(), s.alpha, s.rho, s.tree_nodes, s.tree_depth,
-                 s.dict_entries, s.AuxBytes(), s.build_seconds);
-  }
+  if (want_stats)
+    std::fprintf(stderr, "%s build=%.3fs\n", rep->Describe().c_str(),
+                 rep->build_seconds());
 
   std::fprintf(stderr, "ready: %d bound value(s) per request\n",
                view.num_bound());
+  ParallelOptions popts;
+  popts.num_threads = threads;
+  popts.ordered = true;
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
     BoundValuation vb;
     Value v;
     while (in >> v) vb.push_back(v);
-    if ((int)vb.size() != view.num_bound()) {
-      std::fprintf(stderr, "expected %d values, got %zu\n",
-                   view.num_bound(), vb.size());
+    // One hardened entry point for every structure; --threads N > 1 drains
+    // shard-parallel with an order-preserving merge where supported.
+    auto stream = threads > 1 ? rep->ParallelAnswer(vb, popts)
+                              : rep->Answer(vb);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s\n", stream.status().message().c_str());
       continue;
     }
-    // Drain through the batch API: one NextBatch fill per kBatch rows keeps
-    // the enumerator out of the per-line printf loop. With --threads N > 1
-    // the shards of the answer space are drained concurrently and merged in
-    // order, so stdout is identical either way.
-    std::unique_ptr<TupleEnumerator> e;
-    if (threads > 1 && view.num_free() > 0) {
-      ParallelOptions popt;
-      popt.num_threads = threads;
-      popt.ordered = true;
-      e = ParallelAnswer(*rep, vb, popt);
-    } else {
-      e = rep->Answer(vb);
-    }
+    TupleEnumerator& e = *stream.value();
     constexpr size_t kBatch = 512;
     TupleBuffer batch(view.num_free());
     size_t count = 0;
     for (;;) {
       batch.Clear();
-      const size_t n = e->NextBatch(&batch, kBatch);
+      const size_t n = e.NextBatch(&batch, kBatch);
       count += n;
       for (size_t j = 0; j < n; ++j) {
         TupleSpan t = batch[j];
-        for (size_t i = 0; i < t.size(); ++i)
-          std::printf("%s%llu", i ? "," : "", (unsigned long long)t[i]);
+        for (size_t c = 0; c < t.size(); ++c)
+          std::printf("%s%llu", c ? "," : "", (unsigned long long)t[c]);
         std::printf("\n");
       }
       if (n < kBatch) break;

@@ -285,11 +285,17 @@ void WriteMicroReport() {
            f.view->num_free(), 64);
   }
   {
-    // Adversarial case for the scan fast path: the triangle's deepest
-    // level has two participating atoms, so batching only removes
-    // dispatch/copy overhead.
+    // Cyclic case for the scan fast path: the triangle's deepest level has
+    // two participating atoms (S's and T's z columns), so the batch API
+    // drains it through the galloping intersection instead of a full
+    // leapfrog re-seek per tuple. tau is set so light intervals stream
+    // through the WCOJ joins (at tau=1 the traversal emits almost every
+    // tuple via per-tuple tree operations — split probes and unit leaves —
+    // which no batch API can amortize).
     AdornedView full = TriangleView("fff");
-    auto cr = CompressedRep::Build(full, f.db, CompressedRepOptions{});
+    CompressedRepOptions copt;
+    copt.tau = 256.0;
+    auto cr = CompressedRep::Build(full, f.db, copt);
     record("compressed_rep_triangle_full_enumeration",
            [&]() -> std::unique_ptr<TupleEnumerator> {
              return cr.value()->Answer({});

@@ -59,13 +59,15 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Build(
   const int k = (int)order.size();
 
   std::vector<VarId> no_bound;
-  std::vector<BoundAtom> atoms;
+  std::vector<const Relation*> rels;
   for (const Atom& atom : cq.atoms()) {
     const Relation* rel = ResolveRelation(atom.relation, db, aux_db);
     if (rel == nullptr)
       return Status::Error("unknown relation " + atom.relation);
-    atoms.emplace_back(atom, *rel, no_bound, order);
+    rels.push_back(rel);
   }
+  // Bind atoms (index builds) on the shared pool.
+  std::vector<BoundAtom> atoms = BindAtomsParallel(cq, rels, no_bound, order);
 
   auto mv = std::unique_ptr<MaterializedView>(new MaterializedView(view));
   mv->table_ = std::make_unique<Relation>("materialized_view", k);

@@ -65,11 +65,11 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::MakeSkeleton(
   std::vector<double> exponents(u.size());
   for (size_t f = 0; f < u.size(); ++f) exponents[f] = u[f] / alpha;
 
-  // Bind atoms (builds the bf / fb sorted indexes).
-  std::vector<BoundAtom> atoms;
-  for (size_t i = 0; i < cq.atoms().size(); ++i)
-    atoms.emplace_back(cq.atoms()[i], *rels[i], view.bound_vars(),
-                       view.free_vars());
+  // Bind atoms (builds the bf / fb sorted indexes). Index construction
+  // dominates skeleton time, so the per-atom binds fan out on the shared
+  // build pool (BindAtomsParallel gates itself).
+  std::vector<BoundAtom> atoms =
+      BindAtomsParallel(cq, rels, view.bound_vars(), view.free_vars());
 
   // Free-variable grid: per variable, the union of the active domains of
   // the atoms containing it (a superset of the output-relevant values,
@@ -96,7 +96,14 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::MakeSkeleton(
   s.alpha = alpha;
   for (double w : u) s.rho += w;
   std::set<const Relation*> distinct(rels.begin(), rels.end());
-  for (const Relation* r : distinct) s.index_bytes += r->IndexBytes();
+  for (const Relation* r : distinct) {
+    // The hash probe plan is part of the serving structure (index policy:
+    // point probes bypass the tries): build it now rather than on the first
+    // request's split probe.
+    r->GetHashIndex();
+    s.index_bytes += r->IndexBytes();
+    s.hash_index_bytes += r->HashIndexBytes();
+  }
   return std::move(rep);
 }
 
@@ -219,7 +226,7 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
     }
     PushClipped(rep_->tree_.root(),
                 FInterval{rep_->domain_.MinTuple(), rep_->domain_.MaxTuple()});
-    done_ = stack_.empty();
+    done_ = top_ == 0;
   }
 
   bool Next(Tuple* out) override {
@@ -238,14 +245,14 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
         emitted += n;
         if (emitted == max_tuples) break;  // join may still have more
         join_active_ = false;
-        if (!AdvanceBox()) stack_.pop_back();
+        if (!AdvanceBox()) --top_;
         continue;
       }
-      if (stack_.empty()) {
+      if (top_ == 0) {
         done_ = true;
         break;
       }
-      Frame& f = stack_.back();
+      Frame& f = stack_[top_ - 1];
       const DelayBalancedTree& tree = rep_->tree_;
       switch (f.phase) {
         case Phase::kEnter: {
@@ -253,11 +260,11 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
           if (bit == HeavyDictionary::Bit::kAbsent) {
             // Light pair: evaluate the interval directly (Prop. 6), box by
             // box; the boxes and the per-box joins are in lex order.
-            eval_boxes_ = BoxDecompose(f.interval);
+            BoxDecomposeInto(f.interval, &eval_boxes_);
             eval_idx_ = 0;
-            if (!AdvanceBox()) stack_.pop_back();
+            if (!AdvanceBox()) --top_;
           } else if (bit == HeavyDictionary::Bit::kZero) {
-            stack_.pop_back();  // heavy but empty: skip the subtree
+            --top_;  // heavy but empty: skip the subtree
           } else if (tree.leaf(f.node)) {
             // Only unit-interval leaves can carry heavy entries (non-unit
             // leaves satisfy T(I) < tau_l, so no pair is heavy there); a
@@ -265,15 +272,15 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
             CQC_CHECK(f.interval.IsUnit());
             out->Append(f.interval.lo);
             ++emitted;
-            stack_.pop_back();
+            --top_;
           } else {
             f.phase = Phase::kAfterLeft;
             const int32_t left = tree.left(f.node);
             if (left >= 0) {
-              FInterval child;
-              if (DelayBalancedTree::LeftInterval(
-                      f.interval, tree.beta(f.node), rep_->domain_, &child))
-                PushClipped(left, std::move(child));
+              if (DelayBalancedTree::LeftInterval(f.interval,
+                                                  tree.beta(f.node),
+                                                  rep_->domain_, &child_))
+                PushClipped(left, child_);
             }
           }
           break;
@@ -290,16 +297,17 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
           break;
         }
         case Phase::kAfterBeta: {
+          // Derive the right child into the scratch before the pop: the
+          // popped slot's tuples stay alive (slots are reused, not
+          // destroyed) but the next push overwrites that very slot.
           const int node = f.node;
-          const FInterval interval = std::move(f.interval);
-          stack_.pop_back();  // invalidates f
           const int32_t right = tree.right(node);
-          if (right >= 0) {
-            FInterval child;
-            if (DelayBalancedTree::RightInterval(
-                    interval, tree.beta(node), rep_->domain_, &child))
-              PushClipped(right, std::move(child));
-          }
+          const bool have_child =
+              right >= 0 && DelayBalancedTree::RightInterval(
+                                f.interval, tree.beta(node), rep_->domain_,
+                                &child_);
+          --top_;  // invalidates f
+          if (have_child) PushClipped(right, child_);
           break;
         }
       }
@@ -310,21 +318,30 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
  private:
   enum class Phase { kEnter, kAfterLeft, kAfterBeta };
   struct Frame {
-    int node;
+    int node = -1;
     FInterval interval;
-    Phase phase;
+    Phase phase = Phase::kEnter;
   };
 
   // Clips `interval` against the enumeration range and pushes a frame for
   // `node` unless the clipped interval is empty. Every frame on the stack
   // therefore holds an interval fully inside [range_lo_, range_hi_].
-  void PushClipped(int node, FInterval interval) {
-    if (LexDomain::Compare(range_lo_, interval.lo) > 0)
-      interval.lo = range_lo_;
-    if (LexDomain::Compare(interval.hi, range_hi_) > 0)
-      interval.hi = range_hi_;
-    if (interval.Empty()) return;
-    stack_.push_back(Frame{node, std::move(interval), Phase::kEnter});
+  // Frames are recycled (top_ index over a grow-only vector), so a push
+  // after warm-up assigns into existing tuple capacity — no allocation.
+  // `interval` must not alias the target slot (callers pass child_).
+  void PushClipped(int node, const FInterval& interval) {
+    if (top_ == stack_.size()) stack_.emplace_back();
+    Frame& f = stack_[top_];
+    f.interval.lo = interval.lo;
+    f.interval.hi = interval.hi;
+    if (LexDomain::Compare(range_lo_, f.interval.lo) > 0)
+      f.interval.lo = range_lo_;
+    if (LexDomain::Compare(f.interval.hi, range_hi_) > 0)
+      f.interval.hi = range_hi_;
+    if (f.interval.Empty()) return;
+    f.node = node;
+    f.phase = Phase::kEnter;
+    ++top_;
   }
 
   // Starts the join for eval_boxes_[eval_idx_]; false when exhausted.
@@ -345,14 +362,11 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   }
 
   // Membership of the split point: the unit-interval probe of Algorithm 2.
+  // One hash probe per atom (index-selection policy: point membership goes
+  // to the HashIndex, not the sorted tries).
   bool BetaMatches(TupleSpan beta) const {
-    for (size_t a = 0; a < rep_->atoms_.size(); ++a) {
-      const BoundAtom& atom = rep_->atoms_[a];
-      RowRange r = start_ranges_[a];
-      for (int i = 0; i < atom.num_free() && !r.empty(); ++i)
-        r = atom.bf_index().Refine(r, atom.num_bound() + i,
-                                   beta[atom.free_positions()[i]]);
-      if (r.empty()) return false;
+    for (const BoundAtom& atom : rep_->atoms_) {
+      if (!atom.ContainsValuation(vb_, beta)) return false;
     }
     return true;
   }
@@ -364,7 +378,9 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   Tuple range_hi_;
   std::vector<RowRange> start_ranges_;
   std::vector<JoinAtomInput> base_inputs_;  // shared by every box join
-  std::vector<Frame> stack_;
+  std::vector<Frame> stack_;  // slots [0, top_) live; the rest recycled
+  size_t top_ = 0;
+  FInterval child_;  // scratch for child-interval derivation
   std::vector<FBox> eval_boxes_;
   size_t eval_idx_ = 0;
   std::optional<JoinIterator> join_;  // reused across boxes via Reset()
@@ -470,8 +486,7 @@ struct FixupWalker {
 
   // Streams the join outputs of (vb, boxes) into `visit`; stops early when
   // visit returns false. Returns true if stopped early (a live output).
-  bool AnyLiveOutput(TupleSpan vb_span, const std::vector<FBox>& boxes) const {
-    const Tuple vb = vb_span.ToTuple();  // the live() callback wants a Tuple
+  bool AnyLiveOutput(const Tuple& vb, const std::vector<FBox>& boxes) const {
     const int mu = domain->mu();
     std::vector<JoinAtomInput> inputs;
     for (const BoundAtom& atom : *atoms) {
@@ -507,10 +522,11 @@ struct FixupWalker {
   void Walk(int node, const FInterval& interval) {
     const std::vector<FBox> boxes = BoxDecompose(interval);
     std::vector<uint32_t> to_clear;
+    Tuple vb_scratch(dict->vb_arity());  // reused across the entry sweep
     dict->ForEachEntry(node, [&](uint32_t vb_id, bool bit) {
       if (!bit) return;
-      if (!AnyLiveOutput(dict->candidate(vb_id), boxes))
-        to_clear.push_back(vb_id);
+      dict->UnpackCandidate(vb_id, vb_scratch.data());
+      if (!AnyLiveOutput(vb_scratch, boxes)) to_clear.push_back(vb_id);
     });
     for (uint32_t id : to_clear) dict->SetBit(node, id, false);
 

@@ -60,7 +60,8 @@ struct CompressedRepStats {
   size_t num_candidates = 0;
   size_t tree_bytes = 0;
   size_t dict_bytes = 0;
-  size_t index_bytes = 0;  // sorted tries over the base relations
+  size_t index_bytes = 0;       // sorted tries over the base relations
+  size_t hash_index_bytes = 0;  // hash probe plans over the base relations
 
   /// The structure's own footprint (tree + dictionary); the paper's S minus
   /// the always-linear index/input component.

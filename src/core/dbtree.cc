@@ -14,21 +14,22 @@ double DelayBalancedTree::Threshold(double tau, double alpha, int level) {
 
 bool DelayBalancedTree::LeftInterval(const FInterval& parent, TupleSpan beta,
                                      const LexDomain& domain, FInterval* out) {
-  Tuple hi = beta.ToTuple();
-  if (!domain.Pred(hi)) return false;  // beta is the grid minimum
-  if (LexDomain::Compare(parent.lo, hi) > 0) return false;
+  // Writes into *out directly (callers pass a reused scratch; `out` must
+  // not alias `parent`) so the per-node hot path allocates nothing once the
+  // scratch tuples have capacity.
+  out->hi.assign(beta.begin(), beta.end());
+  if (!domain.Pred(out->hi)) return false;  // beta is the grid minimum
+  if (LexDomain::Compare(parent.lo, out->hi) > 0) return false;
   out->lo = parent.lo;
-  out->hi = std::move(hi);
   return true;
 }
 
 bool DelayBalancedTree::RightInterval(const FInterval& parent, TupleSpan beta,
                                       const LexDomain& domain,
                                       FInterval* out) {
-  Tuple lo = beta.ToTuple();
-  if (!domain.Succ(lo)) return false;  // beta is the grid maximum
-  if (LexDomain::Compare(lo, parent.hi) > 0) return false;
-  out->lo = std::move(lo);
+  out->lo.assign(beta.begin(), beta.end());
+  if (!domain.Succ(out->lo)) return false;  // beta is the grid maximum
+  if (LexDomain::Compare(out->lo, parent.hi) > 0) return false;
   out->hi = parent.hi;
   return true;
 }

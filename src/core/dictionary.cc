@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 
+#include "exec/par_util.h"
+#include "exec/thread_pool.h"
 #include "join/generic_join.h"
 #include "util/logging.h"
 
@@ -27,9 +30,30 @@ uint32_t HeavyDictionary::FindValuation(TupleSpan vb) const {
   for (;;) {
     const uint32_t id = id_slots_[slot];
     if (id == kNoValuation) return kNoValuation;
-    if (candidate(id) == vb) return id;
+    const bool eq =
+        sealed_ ? packed_pool_.RowEquals(id, vb) : candidate(id) == vb;
+    if (eq) return id;
     slot = (slot + 1) & mask;
   }
+}
+
+uint64_t HeavyDictionary::CandidateHash(uint32_t id) const {
+  if (vb_arity_ == 0) return SpanHash()(TupleSpan());
+  if (!candidate_pool_.empty())
+    return SpanHash()(TupleSpan(
+        candidate_pool_.data() + (size_t)id * vb_arity_, (size_t)vb_arity_));
+  Value buf[kMaxVars];
+  packed_pool_.UnpackRow(id, buf);
+  return SpanHash()(TupleSpan(buf, (size_t)vb_arity_));
+}
+
+void HeavyDictionary::Seal() {
+  if (sealed_) return;
+  packed_pool_ = PackedTuplePool::Pack(candidate_pool_, vb_arity_,
+                                       num_candidates_);
+  candidate_pool_.clear();
+  candidate_pool_.shrink_to_fit();
+  sealed_ = true;
 }
 
 uint32_t HeavyDictionary::AddCandidate(TupleSpan vb) {
@@ -56,7 +80,7 @@ void HeavyDictionary::RehashCandidates() {
   id_slots_.assign(cap, kNoValuation);
   const size_t mask = cap - 1;
   for (uint32_t id = 0; id < num_candidates_; ++id) {
-    size_t slot = SpanHash()(candidate(id)) & mask;
+    size_t slot = CandidateHash(id) & mask;
     while (id_slots_[slot] != kNoValuation) slot = (slot + 1) & mask;
     id_slots_[slot] = id;
   }
@@ -74,6 +98,7 @@ void HeavyDictionary::SetBit(int node, uint32_t vb_id, bool bit) {
 
 size_t HeavyDictionary::MemoryBytes() const {
   return sizeof(*this) + candidate_pool_.capacity() * sizeof(Value) +
+         packed_pool_.MemoryBytes() +
          id_slots_.capacity() * sizeof(uint32_t) +
          node_offsets_.capacity() * sizeof(uint32_t) +
          entry_vb_.capacity() * sizeof(uint32_t) +
@@ -108,6 +133,30 @@ HeavyDictionary HeavyDictionary::FromFlat(int vb_arity,
   d.entry_bit_ = std::move(entry_bit);
   d.RehashCandidates();
   d.Seal();
+  return d;
+}
+
+HeavyDictionary HeavyDictionary::FromPacked(
+    int vb_arity, size_t num_candidates, PackedTuplePool pool,
+    std::vector<uint32_t> node_offsets, std::vector<uint32_t> entry_vb,
+    std::vector<uint8_t> entry_bit) {
+  CQC_CHECK_EQ(pool.arity(), vb_arity);
+  if (vb_arity > 0) CQC_CHECK_EQ(pool.size(), num_candidates);
+  CQC_CHECK_EQ(entry_vb.size(), entry_bit.size());
+  if (!node_offsets.empty()) {
+    CQC_CHECK_EQ((size_t)node_offsets.back(), entry_vb.size());
+  } else {
+    CQC_CHECK(entry_vb.empty());
+  }
+  HeavyDictionary d;
+  d.vb_arity_ = vb_arity;
+  d.num_candidates_ = num_candidates;
+  d.packed_pool_ = std::move(pool);
+  d.node_offsets_ = std::move(node_offsets);
+  d.entry_vb_ = std::move(entry_vb);
+  d.entry_bit_ = std::move(entry_bit);
+  d.RehashCandidates();  // hashes decode from the packed pool (raw is empty)
+  d.sealed_ = true;      // already packed: skip Seal()'s repack
   return d;
 }
 
@@ -184,25 +233,35 @@ bool DictionaryBuilder::ProbeNonEmpty(TupleSpan vb,
   return false;
 }
 
+// Sweeps one node: appends its heavy entries and returns (via `live`) the
+// candidate ids that propagate to the children. Reads the dictionary's raw
+// candidate pool and the shared read-only inputs only, and writes only
+// staging[node] — safe to run concurrently for distinct nodes.
+void DictionaryBuilder::ProcessOne(const HeavyDictionary& dict,
+                                   std::vector<Entry>* entries, int node,
+                                   const std::vector<FBox>& boxes,
+                                   const std::vector<uint32_t>& cand,
+                                   std::vector<uint32_t>* live) const {
+  const double threshold =
+      DelayBalancedTree::Threshold(tau_, alpha_, tree_->level(node));
+  for (uint32_t id : cand) {
+    const TupleSpan vb = dict.candidate(id);
+    const double t = cost_->BoxesCostBound(vb, boxes);
+    if (t <= threshold) continue;  // light: no entry
+    const bool nonempty = ProbeNonEmpty(vb, boxes);
+    entries->push_back({id, (uint8_t)(nonempty ? 1 : 0)});
+    if (nonempty) live->push_back(id);
+  }
+  // `cand` is sorted; filtering preserves order, so entries stay sorted.
+}
+
 void DictionaryBuilder::ProcessNode(HeavyDictionary* dict,
                                     std::vector<std::vector<Entry>>* staging,
                                     int node, const FInterval& interval,
                                     const std::vector<uint32_t>& cand) {
-  const double threshold =
-      DelayBalancedTree::Threshold(tau_, alpha_, tree_->level(node));
   const std::vector<FBox> boxes = BoxDecompose(interval);
-
   std::vector<uint32_t> live;  // heavy with bit 1: propagate to children
-  auto& entries = (*staging)[node];
-  for (uint32_t id : cand) {
-    const TupleSpan vb = dict->candidate(id);
-    const double t = cost_->BoxesCostBound(vb, boxes);
-    if (t <= threshold) continue;  // light: no entry
-    const bool nonempty = ProbeNonEmpty(vb, boxes);
-    entries.push_back({id, (uint8_t)(nonempty ? 1 : 0)});
-    if (nonempty) live.push_back(id);
-  }
-  // `cand` is sorted; filtering preserves order, so entries stay sorted.
+  ProcessOne(*dict, &(*staging)[node], node, boxes, cand, &live);
 
   if (live.empty() || tree_->leaf(node)) return;
   const TupleSpan beta = tree_->beta(node);
@@ -233,7 +292,54 @@ HeavyDictionary DictionaryBuilder::Build() {
   std::vector<uint32_t> all((size_t)dict.NumCandidates());
   for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
   FInterval root{domain_->MinTuple(), domain_->MaxTuple()};
-  ProcessNode(&dict, &staging, tree_->root(), root, all);
+
+  const int threads = par::BuildThreads();
+  if (threads <= 1 || ThreadPool::InWorker()) {
+    ProcessNode(&dict, &staging, tree_->root(), root, all);
+  } else {
+    // Per-subtree parallelism: expand a work frontier breadth-first on the
+    // caller thread (child candidate sets depend on the parent sweep, so
+    // the prefix is inherently sequential), then hand each remaining
+    // subtree to the shared pool. Subtrees write disjoint staging slots and
+    // read the shared structures only.
+    struct SubtreeTask {
+      int node;
+      FInterval interval;
+      std::vector<uint32_t> cand;
+    };
+    std::deque<SubtreeTask> frontier;
+    frontier.push_back({tree_->root(), root, std::move(all)});
+    const size_t target = 4 * (size_t)threads;
+    while (!frontier.empty() && frontier.size() < target) {
+      SubtreeTask t = std::move(frontier.front());
+      frontier.pop_front();
+      const std::vector<FBox> boxes = BoxDecompose(t.interval);
+      std::vector<uint32_t> live;
+      ProcessOne(dict, &staging[t.node], t.node, boxes, t.cand, &live);
+      if (live.empty() || tree_->leaf(t.node)) continue;
+      const TupleSpan beta = tree_->beta(t.node);
+      FInterval child;
+      if (tree_->left(t.node) >= 0) {
+        CQC_CHECK(DelayBalancedTree::LeftInterval(t.interval, beta, *domain_,
+                                                  &child));
+        frontier.push_back({tree_->left(t.node), child, live});
+      }
+      if (tree_->right(t.node) >= 0) {
+        CQC_CHECK(DelayBalancedTree::RightInterval(t.interval, beta,
+                                                   *domain_, &child));
+        frontier.push_back({tree_->right(t.node), child, std::move(live)});
+      }
+    }
+    if (!frontier.empty()) {
+      ThreadPool& pool = SharedBuildPool();
+      for (SubtreeTask& t : frontier) {
+        pool.Submit([this, &dict, &staging, task = std::move(t)] {
+          ProcessNode(&dict, &staging, task.node, task.interval, task.cand);
+        });
+      }
+      pool.WaitIdle();
+    }
+  }
 
   // Flatten the per-node staging vectors into the CSR columns.
   size_t total = 0;

@@ -17,13 +17,17 @@
 //   never descends past a light or empty node, so deeper entries for such
 //   valuations are unreachable.
 //
-// Storage is flat: interned valuations live in one contiguous pool
-// (vb_arity values per candidate, dense ids = pool order) looked up through
-// an open-addressed id table, and the per-node entries are a CSR — one
+// Storage is flat: interned valuations live in one pool (vb_arity values
+// per candidate, dense ids = pool order) looked up through an
+// open-addressed id table, and the per-node entries are a CSR — one
 // offsets array over the tree's node ids plus parallel (valuation id, bit)
 // entry columns sorted by id within each node. A lookup is two array reads
-// and a binary search over a contiguous slice; the whole dictionary
-// serializes as flat array blocks (mmap-friendly for zero-copy loading).
+// and a binary search over a contiguous slice. During construction the
+// pool is a raw Value array (spans stay valid for the builder's probes);
+// Seal() bit-packs it to per-column minimal widths (core/bitpack.h) and
+// drops the raw copy, so the served dictionary pays packed bits per
+// candidate and decodes rows branch-free. The whole dictionary serializes
+// as flat array blocks (packed words included, mmap-friendly).
 //
 // Thread safety — the read-only-after-seal contract. Construction
 // (AddCandidate / RehashCandidates) grows the candidate pool and rebuilds
@@ -42,6 +46,7 @@
 
 #include <vector>
 
+#include "core/bitpack.h"
 #include "core/cost_model.h"
 #include "core/dbtree.h"
 #include "core/lex_domain.h"
@@ -74,11 +79,31 @@ class HeavyDictionary {
   /// Arity of every interned valuation (the number of bound variables).
   int vb_arity() const { return vb_arity_; }
 
-  /// The interned candidate valuation `id` (bound order), as a view into
-  /// the contiguous candidate pool.
+  /// Build-time view of interned candidate `id` (bound order) into the raw
+  /// pool. Valid only before Seal() — the raw pool is dropped when the
+  /// packed pool takes over.
   TupleSpan candidate(uint32_t id) const {
+    CQC_DCHECK(!sealed_) << "candidate() span on a sealed (packed) dictionary";
     return TupleSpan(candidate_pool_.data() + (size_t)id * vb_arity_,
                      (size_t)vb_arity_);
+  }
+
+  /// Decodes candidate `id` into `out` (vb_arity() slots). Works before and
+  /// after Seal(); post-seal this is the branch-free bit-packed unpack.
+  void UnpackCandidate(uint32_t id, Value* out) const {
+    if (sealed_) {
+      packed_pool_.UnpackRow(id, out);
+    } else {
+      const Value* src = candidate_pool_.data() + (size_t)id * vb_arity_;
+      for (int c = 0; c < vb_arity_; ++c) out[c] = src[c];
+    }
+  }
+
+  /// Materializes candidate `id` (tests / cold paths).
+  Tuple Candidate(uint32_t id) const {
+    Tuple t(vb_arity_);
+    UnpackCandidate(id, t.data());
+    return t;
   }
 
   /// Flips an existing entry's bit (used by the Theorem-2 semijoin fixup,
@@ -93,25 +118,35 @@ class HeavyDictionary {
       fn(entry_vb_[i], entry_bit_[i] != 0);
   }
 
-  /// Reassembles a dictionary from its flat parts (deserialization only).
-  /// `node_offsets` has num_nodes + 1 entries; within a node's slice the
-  /// `entry_vb` ids must be strictly ascending.
+  /// Reassembles a dictionary from its flat parts (deserialization and
+  /// tests). `node_offsets` has num_nodes + 1 entries; within a node's
+  /// slice the `entry_vb` ids must be strictly ascending. The result is
+  /// sealed (pool packed).
   static HeavyDictionary FromFlat(int vb_arity,
                                   std::vector<Value> candidate_pool,
                                   std::vector<uint32_t> node_offsets,
                                   std::vector<uint32_t> entry_vb,
                                   std::vector<uint8_t> entry_bit);
 
-  // Raw column access (serialization).
-  const std::vector<Value>& candidate_pool() const { return candidate_pool_; }
+  /// Same, but directly from an already-packed pool (the v03 load path —
+  /// no unpack/repack round trip).
+  static HeavyDictionary FromPacked(int vb_arity, size_t num_candidates,
+                                    PackedTuplePool pool,
+                                    std::vector<uint32_t> node_offsets,
+                                    std::vector<uint32_t> entry_vb,
+                                    std::vector<uint8_t> entry_bit);
+
+  // Flat column access (serialization).
+  const PackedTuplePool& packed_pool() const { return packed_pool_; }
   const std::vector<uint32_t>& node_offsets() const { return node_offsets_; }
   const std::vector<uint32_t>& entry_vbs() const { return entry_vb_; }
   const std::vector<uint8_t>& entry_bits() const { return entry_bit_; }
 
-  /// Freezes the structure: any later AddCandidate / RehashCandidates is a
-  /// contract violation (enumeration must never mutate a shared
-  /// dictionary) and aborts in debug/sanitizer builds.
-  void Seal() { sealed_ = true; }
+  /// Freezes the structure: bit-packs the candidate pool (dropping the raw
+  /// build-time copy) and makes any later AddCandidate / RehashCandidates
+  /// a contract violation (enumeration must never mutate a shared
+  /// dictionary) that aborts in debug/sanitizer builds.
+  void Seal();
   bool sealed() const { return sealed_; }
 
  private:
@@ -124,12 +159,18 @@ class HeavyDictionary {
   /// racy against concurrent FindValuation — asserts !sealed().
   void RehashCandidates();
 
+  // Hash of candidate `id` from whichever pool currently holds it.
+  uint64_t CandidateHash(uint32_t id) const;
+
   bool sealed_ = false;
   int vb_arity_ = 0;
   size_t num_candidates_ = 0;
-  std::vector<Value> candidate_pool_;  // num_candidates * vb_arity
+  // Build-time raw pool (num_candidates * vb_arity); cleared by Seal().
+  std::vector<Value> candidate_pool_;
+  // Post-seal bit-packed pool (core/bitpack.h).
+  PackedTuplePool packed_pool_;
   // Open-addressed hash table: slot -> candidate id (kNoValuation = empty).
-  // Power-of-two size, linear probing against pool spans.
+  // Power-of-two size, linear probing against pool rows.
   std::vector<uint32_t> id_slots_;
 
   // CSR entries: node_offsets_[n] .. node_offsets_[n+1] index the parallel
@@ -157,6 +198,12 @@ class DictionaryBuilder {
 
   // Enumerates the candidate bound valuations (join over bound variables).
   void CollectCandidates(HeavyDictionary* dict);
+  // One node's heavy-pair sweep: entries out, surviving candidates to
+  // `live`. Thread-safe for distinct nodes (reads shared state only).
+  void ProcessOne(const HeavyDictionary& dict, std::vector<Entry>* entries,
+                  int node, const std::vector<FBox>& boxes,
+                  const std::vector<uint32_t>& cand,
+                  std::vector<uint32_t>* live) const;
   // Recursive heavy-pair sweep appending into `staging` (per tree node).
   void ProcessNode(HeavyDictionary* dict,
                    std::vector<std::vector<Entry>>* staging, int node,

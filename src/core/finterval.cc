@@ -55,36 +55,48 @@ std::string FInterval::ToString() const {
 
 namespace {
 
-// Appends `box` unless an inverted range makes it definitely empty.
-void PushIfNonEmpty(std::vector<FBox>& out, FBox box) {
-  if (!box.DefinitelyEmpty()) out.push_back(std::move(box));
-}
+// In-place builder over a reused vector: boxes [0, size) are live, slots
+// past that keep their dims capacity from earlier decompositions.
+struct BoxWriter {
+  std::vector<FBox>& out;
+  size_t size = 0;
 
-// <p1, .., p_{k-1}, [lo, hi], *, ..> over mu dimensions.
-FBox PrefixRangeBox(const Tuple& prefix_src, int k, Value lo, Value hi,
-                    int mu) {
-  FBox box;
-  box.dims.assign(mu, FBoxDim::Any());
-  for (int i = 0; i < k; ++i) box.dims[i] = FBoxDim::Unit(prefix_src[i]);
-  box.dims[k] = FBoxDim::Range(lo, hi);
-  return box;
-}
+  // Writes <p1, .., p_{k-1}, [lo, hi], *, ..> over mu dimensions into the
+  // next slot unless the range is inverted (definitely empty).
+  void PrefixRangeBox(const Tuple& prefix_src, int k, Value lo, Value hi,
+                      int mu) {
+    if (lo > hi) return;
+    FBox& box = Next(mu);
+    for (int i = 0; i < k; ++i) box.dims[i] = FBoxDim::Unit(prefix_src[i]);
+    box.dims[k] = FBoxDim::Range(lo, hi);
+    for (int i = k + 1; i < mu; ++i) box.dims[i] = FBoxDim::Any();
+  }
+
+  FBox& Next(int mu) {
+    if (size == out.size()) out.emplace_back();
+    FBox& box = out[size++];
+    box.dims.resize(mu);
+    return box;
+  }
+};
 
 }  // namespace
 
-std::vector<FBox> BoxDecompose(const FInterval& interval) {
+void BoxDecomposeInto(const FInterval& interval, std::vector<FBox>* out) {
   CQC_CHECK(!interval.Empty()) << "box decomposition of empty interval";
   const int mu = (int)interval.lo.size();
-  std::vector<FBox> out;
+  BoxWriter w{*out};
 
-  if (mu == 0) return out;  // boolean views have no free dimensions
+  if (mu == 0) {  // boolean views have no free dimensions
+    out->clear();
+    return;
+  }
 
   if (interval.IsUnit()) {
-    FBox box;
-    for (int i = 0; i < mu; ++i)
-      box.dims.push_back(FBoxDim::Unit(interval.lo[i]));
-    out.push_back(std::move(box));
-    return out;
+    FBox& box = w.Next(mu);
+    for (int i = 0; i < mu; ++i) box.dims[i] = FBoxDim::Unit(interval.lo[i]);
+    out->resize(w.size);
+    return;
   }
 
   const Tuple& a = interval.lo;
@@ -94,30 +106,37 @@ std::vector<FBox> BoxDecompose(const FInterval& interval) {
 
   if (j == mu - 1) {
     // Only the last position differs: a single canonical box.
-    PushIfNonEmpty(out, PrefixRangeBox(a, j, a[j], b[j], mu));
-    return out;
+    w.PrefixRangeBox(a, j, a[j], b[j], mu);
+    out->resize(w.size);
+    return;
   }
 
   // Left side: B^l_mu, ..., B^l_{j+1} (paper order: deepest first).
   // B^l_mu  = <a1, .., a_{mu-1}, [a_mu, top]>
-  PushIfNonEmpty(out, PrefixRangeBox(a, mu - 1, a[mu - 1], kTop, mu));
+  w.PrefixRangeBox(a, mu - 1, a[mu - 1], kTop, mu);
   // B^l_i = <a1, .., a_{i-1}, (a_i, top]> for i = mu-1 .. j+1 (1-based),
   // i.e. zero-based prefix lengths mu-2 .. j+1.
   for (int k = mu - 2; k >= j + 1; --k) {
     if (a[k] == kTop) continue;  // (top, top] is empty
-    PushIfNonEmpty(out, PrefixRangeBox(a, k, a[k] + 1, kTop, mu));
+    w.PrefixRangeBox(a, k, a[k] + 1, kTop, mu);
   }
   // B_j = <a1, .., a_{j-1}, (a_j, b_j)>  (here prefix a[0..j) == b[0..j)).
   if (a[j] != kTop && b[j] != kBottom) {
-    PushIfNonEmpty(out, PrefixRangeBox(a, j, a[j] + 1, b[j] - 1, mu));
+    w.PrefixRangeBox(a, j, a[j] + 1, b[j] - 1, mu);
   }
   // Right side: B^r_{j+1}, .., B^r_mu.
   for (int k = j + 1; k <= mu - 2; ++k) {
     if (b[k] == kBottom) continue;  // [bottom, bottom) is empty
-    PushIfNonEmpty(out, PrefixRangeBox(b, k, kBottom, b[k] - 1, mu));
+    w.PrefixRangeBox(b, k, kBottom, b[k] - 1, mu);
   }
   // B^r_mu = <b1, .., b_{mu-1}, [bottom, b_mu]>
-  PushIfNonEmpty(out, PrefixRangeBox(b, mu - 1, kBottom, b[mu - 1], mu));
+  w.PrefixRangeBox(b, mu - 1, kBottom, b[mu - 1], mu);
+  out->resize(w.size);
+}
+
+std::vector<FBox> BoxDecompose(const FInterval& interval) {
+  std::vector<FBox> out;
+  BoxDecomposeInto(interval, &out);
   return out;
 }
 

@@ -79,6 +79,12 @@ struct FInterval {
 /// Boxes that are definitely empty (inverted ranges) are dropped.
 std::vector<FBox> BoxDecompose(const FInterval& interval);
 
+/// Allocation-free variant for hot loops (the Algorithm 2 traversal runs
+/// one decomposition per light interval): rewrites `out` in place, reusing
+/// the outer vector's and each surviving box's dims capacity. After the
+/// first few calls at a given mu the decomposition allocates nothing.
+void BoxDecomposeInto(const FInterval& interval, std::vector<FBox>* out);
+
 }  // namespace cqc
 
 #endif  // CQC_CORE_FINTERVAL_H_

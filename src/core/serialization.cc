@@ -9,12 +9,11 @@
 namespace cqc {
 namespace {
 
-// Format 02: the tree and dictionary are stored as their in-memory flat SoA
-// columns — a handful of length-prefixed contiguous array blocks instead of
-// per-node records. Loading is a straight block read into each vector (and
-// the layout is mmap-friendly: a future zero-copy loader can point the
-// structures straight into the mapped file).
-constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '2'};
+// Format 03: flat SoA blocks as in 02, with the dictionary compressed — the
+// candidate pool is stored bit-packed at per-column widths (exactly the
+// in-memory PackedTuplePool layout, so loading is a block read with no
+// decode/repack), and the CSR entry ids are per-row delta varints.
+constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '3'};
 
 // Little-endian POD writers/readers (x86-64 target; the on-disk format is
 // the native layout of these fixed-width types).
@@ -35,6 +34,72 @@ void PutBlock(std::ostream& out, const std::vector<T>& v) {
   Put<uint64_t>(out, (uint64_t)v.size());
   if (!v.empty())
     out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+// Per-CSR-row delta varint codec for the dictionary entry ids: within a
+// node's slice ids are strictly ascending, so each row stores its first id
+// absolute and every later id as (gap - 1), all LEB128.
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back((uint8_t)(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back((uint8_t)v);
+}
+
+bool GetVarint(const std::vector<uint8_t>& bytes, size_t* pos, uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= bytes.size()) return false;
+    const uint8_t b = bytes[(*pos)++];
+    out |= (uint64_t)(b & 0x7f) << shift;
+    if (!(b & 0x80)) {
+      *v = out;
+      return true;
+    }
+  }
+  return false;  // over-long encoding
+}
+
+std::vector<uint8_t> EncodeEntryIds(const std::vector<uint32_t>& offsets,
+                                    const std::vector<uint32_t>& entry_vb) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(entry_vb.size());
+  for (size_t n = 0; n + 1 < offsets.size(); ++n) {
+    for (uint32_t i = offsets[n]; i < offsets[n + 1]; ++i) {
+      if (i == offsets[n])
+        PutVarint(&bytes, entry_vb[i]);
+      else
+        PutVarint(&bytes, entry_vb[i] - entry_vb[i - 1] - 1);
+    }
+  }
+  return bytes;
+}
+
+bool DecodeEntryIds(const std::vector<uint8_t>& bytes,
+                    const std::vector<uint32_t>& offsets,
+                    std::vector<uint32_t>* entry_vb) {
+  const size_t total = offsets.empty() ? 0 : offsets.back();
+  entry_vb->clear();
+  entry_vb->reserve(total);
+  size_t pos = 0;
+  for (size_t n = 0; n + 1 < offsets.size(); ++n) {
+    uint64_t prev = 0;
+    for (uint32_t i = offsets[n]; i < offsets[n + 1]; ++i) {
+      uint64_t d;
+      if (!GetVarint(bytes, &pos, &d)) return false;
+      // Bound the delta before adding: a crafted near-2^64 delta would
+      // wrap prev + d + 1 back below prev and smuggle a descending id
+      // past the range check (the binary searches over a node's slice
+      // require strictly ascending ids).
+      if (d > 0xffffffffull) return false;
+      const uint64_t id = i == offsets[n] ? d : prev + d + 1;  // no wrap now
+      if (id > 0xffffffffull) return false;
+      entry_vb->push_back((uint32_t)id);
+      prev = id;
+    }
+  }
+  return pos == bytes.size();  // no trailing garbage
 }
 
 template <typename T>
@@ -81,12 +146,24 @@ Status SaveCompressedRep(const CompressedRep& rep, const std::string& path) {
   PutBlock(out, tree.costs());
   PutBlock(out, tree.levels());
   PutBlock(out, tree.leaf_flags());
-  // Dictionary: flat candidate pool + CSR entry columns.
+  // Dictionary: bit-packed candidate pool + CSR entry columns (entry ids
+  // as per-row delta varints).
   const HeavyDictionary& dict = rep.dict_;
   Put<uint32_t>(out, (uint32_t)dict.vb_arity());
-  PutBlock(out, dict.candidate_pool());
+  Put<uint64_t>(out, (uint64_t)dict.NumCandidates());
+  if (dict.sealed()) {
+    PutBlock(out, dict.packed_pool().widths());
+    PutBlock(out, dict.packed_pool().words());
+  } else {
+    // Only a never-built dictionary (boolean view / empty domain) may be
+    // serialized unsealed; it has nothing to pack.
+    CQC_CHECK_EQ(dict.NumCandidates(), 0u)
+        << "serializing an unsealed non-empty dictionary";
+    PutBlock(out, std::vector<uint8_t>((size_t)dict.vb_arity(), 0));
+    PutBlock(out, std::vector<uint64_t>());
+  }
   PutBlock(out, dict.node_offsets());
-  PutBlock(out, dict.entry_vbs());
+  PutBlock(out, EncodeEntryIds(dict.node_offsets(), dict.entry_vbs()));
   PutBlock(out, dict.entry_bits());
   if (!out.good()) return Status::Error("write failed: " + path);
   return Status::Ok();
@@ -100,7 +177,7 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return Status::Error(path + ": not a cqc compressed-rep (v02) file");
+    return Status::Error(path + ": not a cqc compressed-rep (v03) file");
 
   double tau, alpha;
   if (!Get(in, &tau) || !Get(in, &alpha))
@@ -177,42 +254,56 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
       (int)mu, std::move(beta), std::move(left), std::move(right),
       std::move(cost), std::move(level), std::move(leaf));
 
-  // Dictionary: flat candidate pool + CSR entry columns.
+  // Dictionary: bit-packed candidate pool + CSR entry columns.
   uint32_t vb_arity;
+  uint64_t num_candidates;
   if (!Get(in, &vb_arity) || vb_arity > (uint32_t)kMaxVars)
     return Status::Error("bad dictionary arity");
-  std::vector<Value> pool;
-  std::vector<uint32_t> offsets, entry_vb;
-  std::vector<uint8_t> entry_bit;
-  if (!GetBlock(in, &pool) || !GetBlock(in, &offsets) ||
-      !GetBlock(in, &entry_vb) || !GetBlock(in, &entry_bit))
+  if (!Get(in, &num_candidates) || num_candidates >= 0xffffffffull ||
+      (vb_arity == 0 && num_candidates > 1))
+    return Status::Error("bad candidate count");
+  std::vector<uint8_t> widths;
+  std::vector<uint64_t> words;
+  std::vector<uint32_t> offsets;
+  std::vector<uint8_t> entry_delta, entry_bit;
+  if (!GetBlock(in, &widths) || !GetBlock(in, &words) ||
+      !GetBlock(in, &offsets) || !GetBlock(in, &entry_delta) ||
+      !GetBlock(in, &entry_bit))
     return Status::Error("truncated dictionary");
-  if (vb_arity > 0 && pool.size() % vb_arity != 0)
+  if (widths.size() != vb_arity)
+    return Status::Error("bad candidate pool widths");
+  size_t row_bits = 0;
+  for (uint8_t w : widths) {
+    if (w > 64) return Status::Error("bad candidate pool widths");
+    row_bits += w;
+  }
+  const uint64_t payload_bits = num_candidates * row_bits;
+  if (words.size() != (payload_bits == 0 ? 0 : (payload_bits + 63) / 64 + 1))
     return Status::Error("bad candidate pool length");
-  const size_t num_candidates = vb_arity > 0 ? pool.size() / vb_arity : 1;
   if (offsets.size() != num_nodes + 1 && !(offsets.empty() && num_nodes == 0))
     return Status::Error("bad dictionary offsets length");
-  if (entry_vb.size() != entry_bit.size())
-    return Status::Error("inconsistent dictionary entry columns");
+  std::vector<uint32_t> entry_vb;
   if (!offsets.empty()) {
-    if (offsets.front() != 0 || offsets.back() != entry_vb.size())
+    if (offsets.front() != 0)
       return Status::Error("corrupt dictionary offsets");
-    for (size_t n = 0; n + 1 < offsets.size(); ++n) {
+    for (size_t n = 0; n + 1 < offsets.size(); ++n)
       if (offsets[n] > offsets[n + 1])
         return Status::Error("corrupt dictionary offsets");
-      for (uint32_t i = offsets[n]; i < offsets[n + 1]; ++i) {
-        if (entry_vb[i] >= num_candidates ||
-            (i > offsets[n] && entry_vb[i] <= entry_vb[i - 1]))
-          return Status::Error("corrupt dictionary ordering");
-      }
-    }
-  } else if (!entry_vb.empty()) {
+    if (!DecodeEntryIds(entry_delta, offsets, &entry_vb))
+      return Status::Error("corrupt dictionary entry ids");
+    for (uint32_t id : entry_vb)
+      if (id >= num_candidates)
+        return Status::Error("corrupt dictionary ordering");
+  } else if (!entry_delta.empty()) {
     return Status::Error("dictionary entries without offsets");
   }
-  rep->dict_ = HeavyDictionary::FromFlat((int)vb_arity, std::move(pool),
-                                         std::move(offsets),
-                                         std::move(entry_vb),
-                                         std::move(entry_bit));
+  if (entry_vb.size() != entry_bit.size())
+    return Status::Error("inconsistent dictionary entry columns");
+  rep->dict_ = HeavyDictionary::FromPacked(
+      (int)vb_arity, (size_t)num_candidates,
+      PackedTuplePool::FromFlatParts((int)vb_arity, (size_t)num_candidates,
+                                     std::move(widths), std::move(words)),
+      std::move(offsets), std::move(entry_vb), std::move(entry_bit));
 
   // Refresh stats that depend on the loaded parts.
   CompressedRepStats& s = rep->stats_;

@@ -8,13 +8,17 @@
 // stores the cover, tau, slack and a fingerprint of the relation sizes to
 // catch obvious mismatches.
 //
-// Format (little-endian, version 1):
-//   magic "CQCREP01" | tau f64 | alpha f64 | cover [n f64]
-//   fingerprint: num atoms u32, per atom relation size u64
-//   tree: node count u32, then per node {beta len u32, beta values u64...,
-//         left i32, right i32, cost f32, level u16, leaf u8}
-//   dictionary: candidate count u32, per candidate {len u32, values u64..};
-//         per tree node: entry count u32, then {vb u32, bit u8}...
+// Format (little-endian, version 3 — "CQCREP03"):
+//   header: magic | tau f64 | alpha f64 | cover count u32 + [f64...]
+//   fingerprint: num atoms u32, per atom relation content digest u64
+//   tree (flat SoA blocks): mu u32, beta pool, lefts, rights, costs,
+//         levels, leaf flags — each a u64-count-prefixed raw array
+//   dictionary: vb_arity u32, candidate count u64, then the bit-packed
+//         candidate pool (per-column bit widths u8 block + packed u64 word
+//         block, the in-memory PackedTuplePool layout — loaded zero-decode),
+//         CSR node offsets u32 block, entry valuation ids as per-CSR-row
+//         delta varints (first id absolute, then gap-1; ids are strictly
+//         ascending within a node row) in a byte block, entry bits u8 block.
 #ifndef CQC_CORE_SERIALIZATION_H_
 #define CQC_CORE_SERIALIZATION_H_
 

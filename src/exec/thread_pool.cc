@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "exec/par_util.h"
 #include "util/logging.h"
 
 namespace cqc {
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+ThreadPool& SharedBuildPool() {
+  static ThreadPool pool(par::BuildThreads());
+  return pool;
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   const size_t n = (size_t)std::max(1, num_threads);
@@ -76,6 +89,7 @@ bool ThreadPool::Grab(size_t self, std::function<void()>* out) {
 }
 
 void ThreadPool::WorkerLoop(size_t self) {
+  tls_in_worker = true;
   std::function<void()> task;
   for (;;) {
     if (Grab(self, &task)) {

@@ -53,6 +53,13 @@ class ThreadPool {
   /// The hardware parallelism available to this process (>= 1).
   static int DefaultThreadCount();
 
+  /// True while the calling thread is executing inside a pool worker. Used
+  /// by nested-parallelism gates (par_util): a pool task that reaches a
+  /// parallel sort runs it serially instead of oversubscribing, and must
+  /// never Submit+WaitIdle on its own pool (deadlock: the waiting worker is
+  /// itself a pending task).
+  static bool InWorker();
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -75,6 +82,13 @@ class ThreadPool {
   std::atomic<size_t> pending_{0};
   std::atomic<size_t> next_queue_{0};
 };
+
+/// Process-wide pool for build-time parallelism (index builds, dictionary
+/// subtree sweeps), created on first use and sized par::BuildThreads().
+/// Builds Submit from caller threads and WaitIdle for their own tasks; the
+/// wait may also cover tasks of a concurrent build sharing the pool, which
+/// is benign (no task ever blocks on another).
+ThreadPool& SharedBuildPool();
 
 }  // namespace cqc
 

@@ -1,7 +1,10 @@
 #include "join/bound_atom.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "exec/par_util.h"
+#include "exec/thread_pool.h"
 #include "util/logging.h"
 
 namespace cqc {
@@ -120,13 +123,42 @@ size_t BoundAtom::CountBound(TupleSpan bound_vals) const {
   return SeekBound(bound_vals).size();
 }
 
+std::vector<BoundAtom> BindAtomsParallel(
+    const ConjunctiveQuery& cq, const std::vector<const Relation*>& rels,
+    const std::vector<VarId>& bound_order,
+    const std::vector<VarId>& free_order) {
+  const size_t num_atoms = cq.atoms().size();
+  CQC_CHECK_EQ(rels.size(), num_atoms);
+  std::vector<BoundAtom> atoms;
+  atoms.reserve(num_atoms);
+  if (num_atoms > 1 && par::BuildThreads() > 1 && !ThreadPool::InWorker()) {
+    std::vector<std::optional<BoundAtom>> staged(num_atoms);
+    ThreadPool& pool = SharedBuildPool();
+    for (size_t i = 0; i < num_atoms; ++i) {
+      pool.Submit([&, i] {
+        staged[i].emplace(cq.atoms()[i], *rels[i], bound_order, free_order);
+      });
+    }
+    pool.WaitIdle();
+    for (auto& s : staged) atoms.push_back(std::move(*s));
+  } else {
+    for (size_t i = 0; i < num_atoms; ++i)
+      atoms.emplace_back(cq.atoms()[i], *rels[i], bound_order, free_order);
+  }
+  return atoms;
+}
+
 bool BoundAtom::ContainsValuation(TupleSpan bound_vals,
                                   TupleSpan free_vals) const {
-  RowRange r = SeekBound(bound_vals);
-  for (size_t i = 0; i < free_positions_.size() && !r.empty(); ++i)
-    r = bf_index_->Refine(r, num_bound() + (int)i,
-                          free_vals[free_positions_[i]]);
-  return !r.empty();
+  // Point membership: scatter the valuation into schema column order (the
+  // per-atom probe plan cached at bind time) and hit the relation's hash
+  // index — one probe instead of a binary search per column.
+  Value key[kMaxVars];
+  for (size_t i = 0; i < bound_cols_.size(); ++i)
+    key[bound_cols_[i]] = bound_vals[bound_positions_[i]];
+  for (size_t i = 0; i < free_cols_.size(); ++i)
+    key[free_cols_[i]] = free_vals[free_positions_[i]];
+  return rel_->Contains(TupleSpan(key, (size_t)rel_->arity()));
 }
 
 }  // namespace cqc

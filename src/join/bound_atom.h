@@ -64,7 +64,9 @@ class BoundAtom {
   RowRange SeekBound(TupleSpan bound_vals) const;
 
   /// Membership: does the relation contain the row given by `bound_vals`
-  /// (view bound order) + `free_vals` (view free order)? O(arity log N).
+  /// (view bound order) + `free_vals` (view free order)? O(1) expected via
+  /// the relation's hash index (point probes never pay the sorted-trie
+  /// log-factor; lex-range refinement stays on the tries).
   bool ContainsValuation(TupleSpan bound_vals, TupleSpan free_vals) const;
 
   const SortedIndex& bf_index() const { return *bf_index_; }
@@ -97,6 +99,18 @@ std::vector<BoundAtom> BindAtoms(const ConjunctiveQuery& cq,
     out.emplace_back(atom, resolve(atom), bound_order, free_order);
   return out;
 }
+
+/// Binds one BoundAtom per atom over pre-resolved relations (`rels[i]` for
+/// `cq.atoms()[i]`), fanning the per-atom index builds out on the shared
+/// build pool when build parallelism is enabled and the caller is not
+/// itself a pool task. Relation::GetIndex coalesces concurrent requests
+/// for one permutation, so atoms sharing a relation stay correct. The
+/// result order always matches the atom order (builds are deterministic
+/// across thread counts).
+std::vector<BoundAtom> BindAtomsParallel(
+    const ConjunctiveQuery& cq, const std::vector<const Relation*>& rels,
+    const std::vector<VarId>& bound_order,
+    const std::vector<VarId>& free_order);
 
 }  // namespace cqc
 

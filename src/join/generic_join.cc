@@ -29,9 +29,13 @@ JoinIterator::JoinIterator(const std::vector<JoinAtomInput>* atoms,
       participants_[join_level].push_back({(int)a, trie_level, (int)d});
     }
   }
-  for (int l = 0; l < num_levels_; ++l)
+  size_t max_parts = 0;
+  for (int l = 0; l < num_levels_; ++l) {
     CQC_CHECK(!participants_[l].empty())
         << "join level " << l << " has no participating atom";
+    max_parts = std::max(max_parts, participants_[l].size());
+  }
+  seek_pos_.assign(max_parts, 0);
   values_.assign(num_levels_, 0);
 }
 
@@ -53,6 +57,7 @@ JoinIterator::JoinIterator(JoinIterator&& other) noexcept
       participants_(std::move(other.participants_)),
       range_stack_(std::move(other.range_stack_)),
       values_(std::move(other.values_)),
+      seek_pos_(std::move(other.seek_pos_)),
       started_(other.started_),
       done_(other.done_),
       empty_atom_(other.empty_atom_) {}
@@ -67,6 +72,7 @@ JoinIterator& JoinIterator::operator=(JoinIterator&& other) noexcept {
   participants_ = std::move(other.participants_);
   range_stack_ = std::move(other.range_stack_);
   values_ = std::move(other.values_);
+  seek_pos_ = std::move(other.seek_pos_);
   started_ = other.started_;
   done_ = other.done_;
   empty_atom_ = other.empty_atom_;
@@ -95,7 +101,7 @@ Value JoinIterator::LevelStart(int level) const {
   return kBottom;
 }
 
-bool JoinIterator::SeekLevel(int level, Value from) {
+bool JoinIterator::SeekLevel(int level, Value from, bool use_hints) {
   const LevelConstraint& c = constraints_[level];
   Value v = from;
   if (c.kind != FBoxDim::kAny) {
@@ -103,16 +109,26 @@ bool JoinIterator::SeekLevel(int level, Value from) {
     if (v > c.hi || c.lo > c.hi) return false;
   }
   const auto& parts = participants_[level];
+  const size_t k = parts.size();
+  // Search cursors: when advancing past values_[level] under an unchanged
+  // parent, everything before the previous refinement's end is < v, so the
+  // gallop starts there (usually a direct hit on the next run).
+  for (size_t j = 0; j < k; ++j) {
+    const Participant& p = parts[j];
+    seek_pos_[j] = use_hints ? range_stack_[p.atom][p.depth + 1].end
+                             : range_stack_[p.atom][p.depth].begin;
+  }
   // Leapfrog: cycle until every participant agrees on v.
   size_t agreed = 0;
   size_t i = 0;
-  while (agreed < parts.size()) {
+  while (agreed < k) {
     const Participant& p = parts[i];
     const SortedIndex& idx = *atoms()[p.atom].index;
     const RowRange parent = range_stack_[p.atom][p.depth];
     ops::Bump();
-    size_t pos = idx.LowerBound(parent, p.trie_level, v);
+    const size_t pos = idx.SeekGE(parent, p.trie_level, v, seek_pos_[i]);
     if (pos >= parent.end) return false;
+    seek_pos_[i] = pos;
     Value got = idx.ValueAt(p.trie_level, pos);
     if (got > v) {
       if (c.kind == FBoxDim::kUnit) return false;
@@ -122,15 +138,18 @@ bool JoinIterator::SeekLevel(int level, Value from) {
     } else {
       ++agreed;
     }
-    i = (i + 1) % parts.size();
+    i = (i + 1) % k;
   }
-  // All participants contain v: record refined child ranges.
-  for (const Participant& p : parts) {
+  // Every cursor sits on the first row of its v-run (the seek targets only
+  // ever grew, so no position was overshot): record the refined child
+  // ranges straight from the cursors — no re-search.
+  for (size_t j = 0; j < k; ++j) {
+    const Participant& p = parts[j];
     const SortedIndex& idx = *atoms()[p.atom].index;
     const RowRange parent = range_stack_[p.atom][p.depth];
-    size_t lo_pos = idx.LowerBound(parent, p.trie_level, v);
-    size_t hi_pos = idx.UpperBound({lo_pos, parent.end}, p.trie_level, v);
-    range_stack_[p.atom][p.depth + 1] = {lo_pos, hi_pos};
+    const size_t lo_pos = seek_pos_[j];
+    range_stack_[p.atom][p.depth + 1] = {
+        lo_pos, idx.RunEnd(parent, p.trie_level, lo_pos)};
   }
   values_[level] = v;
   return true;
@@ -178,7 +197,7 @@ bool JoinIterator::AdvanceToMatch() {
     } else {
       from = LevelStart(level);
     }
-    if (SeekLevel(level, from)) {
+    if (SeekLevel(level, from, /*use_hints=*/advancing)) {
       if (level == num_levels_ - 1) return true;
       ++level;
       advancing = false;
@@ -202,36 +221,99 @@ bool JoinIterator::Next(Tuple* out) {
 size_t JoinIterator::ScanLastLevel(TupleBuffer* out, size_t max_tuples) {
   const int level = num_levels_ - 1;
   const auto& parts = participants_[level];
-  if (parts.size() != 1) return 0;
   const LevelConstraint& c = constraints_[level];
   if (c.kind == FBoxDim::kUnit) return 0;  // a unit level has one match
+  const size_t k = parts.size();
 
-  const Participant& p = parts[0];
-  const SortedIndex& idx = *atoms()[p.atom].index;
-  const RowRange parent = range_stack_[p.atom][p.depth];
-  size_t pos = range_stack_[p.atom][p.depth + 1].end;  // past current run
   size_t emitted = 0;
-  while (emitted < max_tuples && pos < parent.end) {
-    const Value v = idx.ValueAt(p.trie_level, pos);
-    if (c.kind == FBoxDim::kRange && v > c.hi) break;
-    ops::Bump();
-    // Find the run of rows equal to v; runs are short in practice, so a
-    // linear probe beats re-seeking, with a binary-search fallback.
-    size_t end = pos + 1;
-    size_t probes = 0;
-    while (end < parent.end && idx.ValueAt(p.trie_level, end) == v) {
-      ++end;
-      if (++probes >= 32) {
-        end = idx.UpperBound({end, parent.end}, p.trie_level, v);
-        break;
+  if (k == 1) {
+    // Single participant: a raw walk of its sorted column, run by run. The
+    // values_/range_stack_ book-keeping the generic path resumes from is
+    // written back once on exit, not per tuple.
+    const Participant& p = parts[0];
+    const SortedIndex& idx = *atoms()[p.atom].index;
+    const Value* col = idx.LevelData(p.trie_level);
+    const RowRange parent = range_stack_[p.atom][p.depth];
+    size_t pos = range_stack_[p.atom][p.depth + 1].end;  // past current run
+    size_t run_begin = pos;
+    Value v = 0;
+    while (emitted < max_tuples && pos < parent.end) {
+      v = col[pos];
+      if (c.kind == FBoxDim::kRange && v > c.hi) break;
+      ops::Bump();
+      // Runs are short in practice: linear probe with a seek fallback.
+      size_t end = pos + 1;
+      size_t probes = 0;
+      while (end < parent.end && col[end] == v) {
+        ++end;
+        if (++probes >= 32) {
+          end = v == kTop ? parent.end
+                          : idx.SeekGE(parent, p.trie_level, v + 1, end);
+          break;
+        }
       }
+      Value* slot = out->AppendSlot();
+      for (int l = 0; l < level; ++l) slot[l] = values_[l];
+      slot[level] = v;
+      run_begin = pos;
+      pos = end;
+      ++emitted;
+    }
+    if (emitted > 0) {
+      values_[level] = col[run_begin];
+      range_stack_[p.atom][p.depth + 1] = {run_begin, pos};
+    }
+    return emitted;
+  }
+  while (emitted < max_tuples) {
+    // Advance past the current runs and leapfrog the cursors to the next
+    // value present in every participant. One participant degenerates to a
+    // straight run-scan; several (a cyclic deepest level — the triangle's
+    // z) make this a galloping intersection instead of a full re-seek
+    // through AdvanceToMatch per output tuple.
+    const Participant& p0 = parts[0];
+    const SortedIndex& idx0 = *atoms()[p0.atom].index;
+    const RowRange parent0 = range_stack_[p0.atom][p0.depth];
+    const size_t pos0 = range_stack_[p0.atom][p0.depth + 1].end;
+    if (pos0 >= parent0.end) return emitted;
+    seek_pos_[0] = pos0;
+    Value v = idx0.ValueAt(p0.trie_level, pos0);
+    for (size_t j = 1; j < k; ++j)
+      seek_pos_[j] = range_stack_[parts[j].atom][parts[j].depth + 1].end;
+
+    size_t agreed = 1;
+    size_t i = k > 1 ? 1 : 0;
+    while (agreed < k) {
+      const Participant& p = parts[i];
+      const SortedIndex& idx = *atoms()[p.atom].index;
+      const RowRange parent = range_stack_[p.atom][p.depth];
+      const size_t pos = idx.SeekGE(parent, p.trie_level, v, seek_pos_[i]);
+      if (pos >= parent.end) return emitted;
+      seek_pos_[i] = pos;
+      const Value got = idx.ValueAt(p.trie_level, pos);
+      if (got > v) {
+        v = got;
+        agreed = 1;
+      } else {
+        ++agreed;
+      }
+      i = (i + 1) % k;
+    }
+    if (c.kind == FBoxDim::kRange && v > c.hi) return emitted;
+    ops::Bump();
+
+    for (size_t j = 0; j < k; ++j) {
+      const Participant& p = parts[j];
+      const SortedIndex& idx = *atoms()[p.atom].index;
+      const RowRange parent = range_stack_[p.atom][p.depth];
+      const size_t lo_pos = seek_pos_[j];
+      range_stack_[p.atom][p.depth + 1] = {
+          lo_pos, idx.RunEnd(parent, p.trie_level, lo_pos)};
     }
     Value* slot = out->AppendSlot();
     for (int l = 0; l < level; ++l) slot[l] = values_[l];
     slot[level] = v;
     values_[level] = v;
-    range_stack_[p.atom][p.depth + 1] = {pos, end};
-    pos = end;
     ++emitted;
   }
   return emitted;
@@ -240,8 +322,7 @@ size_t JoinIterator::ScanLastLevel(TupleBuffer* out, size_t max_tuples) {
 size_t JoinIterator::NextBatch(TupleBuffer* out, size_t max_tuples) {
   size_t emitted = 0;
   const bool scannable =
-      num_levels_ > 0 && participants_[num_levels_ - 1].size() == 1 &&
-      constraints_[num_levels_ - 1].kind != FBoxDim::kUnit;
+      num_levels_ > 0 && constraints_[num_levels_ - 1].kind != FBoxDim::kUnit;
   while (emitted < max_tuples) {
     if (!AdvanceToMatch()) break;
     out->Append(values_);

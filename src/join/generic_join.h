@@ -78,9 +78,11 @@ class JoinIterator {
   /// Batch emission: appends up to `max_tuples` results to `out` (arity
   /// num_levels; not cleared) and returns the count; < max_tuples means
   /// exhausted. Shares the stream with Next(). Beyond skipping the
-  /// per-tuple copy, runs at the deepest level with a single participating
-  /// atom are emitted by scanning the sorted column directly instead of
-  /// re-seeking — O(run) instead of O(run log n).
+  /// per-tuple copy, the deepest level is drained by a direct scan: a
+  /// single participant's sorted column is walked run by run, and multiple
+  /// participants (cyclic queries — triangle, Loomis–Whitney) are merged by
+  /// a galloping intersection over their refined ranges — either way no
+  /// per-tuple re-seek through the full leapfrog machinery.
   size_t NextBatch(TupleBuffer* out, size_t max_tuples);
 
  private:
@@ -92,8 +94,12 @@ class JoinIterator {
 
   // Seeks the smallest value >= `from` at `level` present in all
   // participants and allowed by the constraint; on success records the
-  // refined ranges and the value. Returns false if none exists.
-  bool SeekLevel(int level, Value from);
+  // refined ranges and the value. Returns false if none exists. With
+  // `use_hints`, each participant's search starts from its previous
+  // refinement at this level (valid whenever the caller is advancing past
+  // values_[level] under an unchanged parent range) — sequential seeks
+  // then gallop O(1) instead of binary-searching the whole range.
+  bool SeekLevel(int level, Value from, bool use_hints);
 
   // Smallest admissible start value for `level`.
   Value LevelStart(int level) const;
@@ -103,9 +109,11 @@ class JoinIterator {
   bool AdvanceToMatch();
 
   // Fast path for NextBatch: with the iterator positioned on a match,
-  // emits further matches that differ only in the last level by scanning
-  // that level's single participant column. Leaves values_/range_stack_
-  // consistent for the generic path. Returns the number emitted.
+  // emits further matches that differ only in the last level. One
+  // participant: a straight run-scan of its sorted column. Several
+  // participants (cyclic deepest level): a galloping intersection over
+  // their refined parent ranges. Leaves values_/range_stack_ consistent
+  // for the generic path. Returns the number emitted.
   size_t ScanLastLevel(TupleBuffer* out, size_t max_tuples);
 
   const std::vector<JoinAtomInput>& atoms() const { return *atoms_; }
@@ -122,6 +130,9 @@ class JoinIterator {
   // levels (d = 0 is the start range).
   std::vector<std::vector<RowRange>> range_stack_;
   std::vector<Value> values_;  // current value per join level
+  // Scratch: per-participant search cursor of the level being sought
+  // (everything before seek_pos_[i] is known < the current target value).
+  std::vector<size_t> seek_pos_;
   bool started_ = false;
   bool done_ = false;
   bool empty_atom_ = false;  // some existence filter failed up front

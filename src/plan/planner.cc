@@ -66,6 +66,9 @@ std::string Plan::Explain() const {
     out += ", budget unlimited";
   }
   out += "\n";
+  out +=
+      "index policy: point probes -> hash index (O(1) expected), lex-range "
+      "scans and count oracle -> sorted tries\n";
   for (const PlanCandidate& c : candidates) {
     out += StrFormat("  %-12s %-4s space N^%.2f delay N^%.2f",
                      RepKindName(c.kind), c.feasible ? "ok" : "skip",

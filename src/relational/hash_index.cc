@@ -1,0 +1,74 @@
+#include "relational/hash_index.h"
+
+#include "relational/relation.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+#include "util/op_counter.h"
+
+namespace cqc {
+namespace {
+
+inline uint8_t Fingerprint(uint64_t h) {
+  // Top byte of the mixed hash: independent of the slot bits (low bits),
+  // so a fingerprint match is a real 1/256 filter within a cluster.
+  return (uint8_t)(h >> 56);
+}
+
+}  // namespace
+
+HashIndex::HashIndex(const Relation& rel) {
+  CQC_CHECK(rel.sealed()) << "hash index over unsealed relation "
+                          << rel.name();
+  num_rows_ = rel.size();
+  const int arity = rel.arity();
+  cols_.reserve(arity);
+  for (int c = 0; c < arity; ++c) cols_.push_back(rel.ColumnData(c));
+  CQC_CHECK_LT(num_rows_, (size_t)kEmptySlot) << "relation too large";
+
+  // Power-of-two capacity at <= 50% load.
+  size_t cap = 16;
+  while (cap < 2 * num_rows_) cap <<= 1;
+  mask_ = cap - 1;
+  fps_.assign(cap, 0);
+  rows_.assign(cap, kEmptySlot);
+
+  Value buf[kMaxVars];
+  for (size_t row = 0; row < num_rows_; ++row) {
+    for (int c = 0; c < arity; ++c) buf[c] = cols_[c][row];
+    const uint64_t h = SpanHash()(TupleSpan(buf, arity));
+    size_t slot = h & mask_;
+    while (rows_[slot] != kEmptySlot) slot = (slot + 1) & mask_;
+    fps_[slot] = Fingerprint(h);
+    rows_[slot] = (uint32_t)row;
+  }
+}
+
+bool HashIndex::Contains(TupleSpan t) const {
+  ops::Bump();
+  ops::BumpHashProbe();
+  const size_t arity = cols_.size();
+  if (t.size() != arity) return false;
+  const uint64_t h = SpanHash()(t);
+  const uint8_t fp = Fingerprint(h);
+  size_t slot = h & mask_;
+  __builtin_prefetch(fps_.data() + slot);
+  __builtin_prefetch(rows_.data() + slot);
+  for (;;) {
+    const uint32_t row = rows_[slot];
+    if (row == kEmptySlot) return false;
+    if (fps_[slot] == fp) {
+      size_t c = 0;
+      while (c < arity && cols_[c][row] == t[c]) ++c;
+      if (c == arity) return true;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+size_t HashIndex::MemoryBytes() const {
+  return sizeof(*this) + cols_.capacity() * sizeof(const Value*) +
+         fps_.capacity() * sizeof(uint8_t) +
+         rows_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace cqc

@@ -1,0 +1,61 @@
+// HashIndex: a flat open-addressed membership index over a sealed relation.
+//
+// The index-selection policy of the probe path: *point* membership checks
+// (Relation::Contains, BoundAtom::ContainsValuation, the Algorithm 2 split
+// probe, the update-path derivability filter) route here; *lex-range*
+// iteration and the O~(1) counting oracle stay on SortedIndex, which is the
+// only structure that can refine an ordered prefix. A sorted probe is
+// O(arity log N) branchy binary searches; a hash probe is one mixed hash,
+// one prefetched fingerprint scan, and (usually) one row comparison.
+//
+// Layout is two parallel flat arrays over a power-of-two slot count:
+//   fps_[slot]   one fingerprint byte (top bits of the row hash),
+//   rows_[slot]  the relation row id, or kEmptySlot.
+// Linear probing at <= 50% load keeps clusters short; the fingerprint
+// rejects almost every non-matching slot without touching the relation's
+// columns, and the probe prefetches both arrays before the first compare.
+// Rows are compared against the relation's column-major storage directly,
+// so the index stores no tuple payload: 5 bytes per slot (~10 bytes per
+// row) regardless of arity.
+//
+// Thread safety: built once (Relation caches it behind a call_once) and
+// immutable afterwards; any number of threads may probe concurrently.
+#ifndef CQC_RELATIONAL_HASH_INDEX_H_
+#define CQC_RELATIONAL_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace cqc {
+
+class Relation;
+
+class HashIndex {
+ public:
+  /// Builds the index over `rel` (must be sealed).
+  explicit HashIndex(const Relation& rel);
+
+  /// True iff the relation contains `t` (schema column order).
+  bool Contains(TupleSpan t) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t capacity() const { return rows_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr uint32_t kEmptySlot = ~0u;
+
+  // First row of each column's post-seal storage; the relation outlives the
+  // index (it owns it), and sealed columns never move.
+  std::vector<const Value*> cols_;
+  size_t num_rows_ = 0;
+  size_t mask_ = 0;  // capacity - 1
+  std::vector<uint8_t> fps_;
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace cqc
+
+#endif  // CQC_RELATIONAL_HASH_INDEX_H_

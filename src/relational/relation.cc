@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/par_util.h"
+#include "relational/hash_index.h"
 #include "relational/sorted_index.h"
 #include "util/hashing.h"
 #include "util/logging.h"
@@ -47,26 +49,29 @@ void Relation::Seal() {
     const Value* rb = data + b * arity;
     return std::equal(ra, ra + arity, rb);
   };
-  std::sort(order.begin(), order.end(), row_less);
+  par::ParallelSort(order.begin(), order.end(), row_less);
   order.erase(std::unique(order.begin(), order.end(), row_eq), order.end());
   num_rows_ = order.size();
 
+  // Column scatter + per-column active domains, one task per column.
   cols_.assign(arity_, {});
+  active_domains_.assign(arity_, {});
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(arity_);
   for (int c = 0; c < arity_; ++c) {
-    cols_[c].resize(num_rows_);
-    for (size_t i = 0; i < num_rows_; ++i)
-      cols_[c][i] = data[order[i] * arity + c];
+    tasks.push_back([this, c, data, arity, &order] {
+      cols_[c].resize(num_rows_);
+      for (size_t i = 0; i < num_rows_; ++i)
+        cols_[c][i] = data[order[i] * arity + c];
+      auto dom = cols_[c];
+      std::sort(dom.begin(), dom.end());
+      dom.erase(std::unique(dom.begin(), dom.end()), dom.end());
+      active_domains_[c] = std::move(dom);
+    });
   }
+  par::RunTasks(std::move(tasks));
   staging_.clear();
   staging_.shrink_to_fit();
-
-  active_domains_.assign(arity_, {});
-  for (int c = 0; c < arity_; ++c) {
-    auto dom = cols_[c];
-    std::sort(dom.begin(), dom.end());
-    dom.erase(std::unique(dom.begin(), dom.end()), dom.end());
-    active_domains_[c] = std::move(dom);
-  }
   sealed_ = true;
 }
 
@@ -100,23 +105,35 @@ const SortedIndex& Relation::GetIndex(const std::vector<int>& perm) const {
                         << " on relation " << name_;
     seen[c] = true;
   }
-  auto it = index_cache_.find(perm);
-  if (it == index_cache_.end()) {
-    it = index_cache_.emplace(perm, std::make_unique<SortedIndex>(*this, perm))
-             .first;
+  std::shared_ptr<IndexSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    auto it = index_cache_.find(perm);
+    if (it == index_cache_.end())
+      it = index_cache_.emplace(perm, std::make_shared<IndexSlot>()).first;
+    slot = it->second;
   }
-  return *it->second;
+  // Build outside the map lock: concurrent requests for the same perm
+  // coalesce on the once_flag, distinct perms build in parallel.
+  std::call_once(slot->once, [&] {
+    slot->index = std::make_unique<SortedIndex>(*this, perm);
+    slot->ready.store(true, std::memory_order_release);
+  });
+  return *slot->index;
+}
+
+const HashIndex& Relation::GetHashIndex() const {
+  CQC_CHECK(sealed_);
+  std::call_once(hash_once_, [&] {
+    hash_index_ = std::make_unique<HashIndex>(*this);
+    hash_ready_.store(true, std::memory_order_release);
+  });
+  return *hash_index_;
 }
 
 bool Relation::Contains(TupleSpan t) const {
   CQC_CHECK_EQ((int)t.size(), arity_);
-  std::vector<int> identity(arity_);
-  std::iota(identity.begin(), identity.end(), 0);
-  const SortedIndex& idx = GetIndex(identity);
-  RowRange r = idx.Root();
-  for (int level = 0; level < arity_ && !r.empty(); ++level)
-    r = idx.Refine(r, level, t[level]);
-  return !r.empty();
+  return GetHashIndex().Contains(t);
 }
 
 uint64_t Relation::ContentHash() const {
@@ -137,8 +154,16 @@ size_t Relation::BaseBytes() const {
 
 size_t Relation::IndexBytes() const {
   size_t bytes = 0;
-  for (const auto& [perm, idx] : index_cache_) bytes += idx->MemoryBytes();
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const auto& [perm, slot] : index_cache_)
+    if (slot->ready.load(std::memory_order_acquire))
+      bytes += slot->index->MemoryBytes();
   return bytes;
+}
+
+size_t Relation::HashIndexBytes() const {
+  return hash_ready_.load(std::memory_order_acquire) ? hash_index_->MemoryBytes()
+                                                     : 0;
 }
 
 }  // namespace cqc

@@ -2,14 +2,20 @@
 //
 // Relations are immutable once Seal()ed: construction bulk-loads tuples,
 // Seal() sorts, deduplicates, and computes per-column active domains.
-// SortedIndexes (relational/sorted_index.h) over arbitrary column
-// permutations are built lazily and cached on the relation; they are the
-// only access path the join and cost-model layers use.
+// Two access paths are built lazily and cached on the relation:
+//   * SortedIndexes (relational/sorted_index.h) over arbitrary column
+//     permutations — lex-range iteration and the counting oracle;
+//   * one HashIndex (relational/hash_index.h) — point membership.
+// Both caches are guarded so concurrent readers (parallel enumeration,
+// parallel rep builds) can trigger first-use builds safely; an index is
+// built exactly once and immutable afterwards.
 #ifndef CQC_RELATIONAL_RELATION_H_
 #define CQC_RELATIONAL_RELATION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +23,7 @@
 
 namespace cqc {
 
+class HashIndex;
 class SortedIndex;
 
 /// A named relation of fixed arity holding a set of tuples.
@@ -46,16 +53,29 @@ class Relation {
   /// Value at (row, col). Valid only after Seal().
   Value At(size_t row, int col) const;
 
+  /// Raw post-seal column storage (num rows values, row-sorted). The
+  /// pointer is stable for the relation's lifetime — the zero-copy probe
+  /// path HashIndex builds on.
+  const Value* ColumnData(int col) const { return cols_[col].data(); }
+
   /// The sorted distinct values appearing in column `col`.
   const std::vector<Value>& ActiveDomain(int col) const;
 
   /// Returns (building and caching on first use) the index that stores the
   /// tuples sorted lexicographically by the column order `perm`. `perm` must
-  /// be a permutation of {0..arity-1}.
+  /// be a permutation of {0..arity-1}. Thread-safe: concurrent callers for
+  /// the same perm share one build; distinct perms build concurrently.
   const SortedIndex& GetIndex(const std::vector<int>& perm) const;
 
-  /// True iff the tuple (given in schema column order) is present. O(log N).
-  /// Accepts any span view (Tuple converts implicitly) — no materialization.
+  /// The point-membership index (built and cached on first use). This is
+  /// the relation's probe plan: resolved once, shared by every Contains /
+  /// ContainsValuation call instead of re-deriving a permutation per probe.
+  const HashIndex& GetHashIndex() const;
+
+  /// True iff the tuple (given in schema column order) is present. O(1)
+  /// expected via the hash probe plan (policy: point probes go to the hash
+  /// index, range scans to the sorted tries). Accepts any span view (Tuple
+  /// converts implicitly) — no materialization.
   bool Contains(TupleSpan t) const;
 
   /// Order-insensitive 64-bit digest of the relation's content (rows are
@@ -65,10 +85,22 @@ class Relation {
 
   /// Approximate heap footprint of base data (excludes cached indexes).
   size_t BaseBytes() const;
-  /// Approximate heap footprint of all cached indexes.
+  /// Approximate heap footprint of all cached sorted indexes.
   size_t IndexBytes() const;
+  /// Approximate heap footprint of the hash probe plan (0 until first use).
+  size_t HashIndexBytes() const;
 
  private:
+  // A lazily-built sorted index: the map entry is created under the cache
+  // mutex, the (expensive) build runs outside it exactly once. `ready`
+  // (release after the build, acquire by stats readers) lets IndexBytes
+  // observe finished builds without touching the once_flag.
+  struct IndexSlot {
+    std::once_flag once;
+    std::unique_ptr<SortedIndex> index;
+    std::atomic<bool> ready{false};
+  };
+
   std::string name_;
   int arity_;
   bool sealed_ = false;
@@ -78,7 +110,11 @@ class Relation {
   // Post-seal: column-major storage, rows sorted by identity permutation.
   std::vector<std::vector<Value>> cols_;
   std::vector<std::vector<Value>> active_domains_;
-  mutable std::map<std::vector<int>, std::unique_ptr<SortedIndex>> index_cache_;
+  mutable std::mutex index_mu_;  // guards the cache map shape only
+  mutable std::map<std::vector<int>, std::shared_ptr<IndexSlot>> index_cache_;
+  mutable std::once_flag hash_once_;
+  mutable std::unique_ptr<HashIndex> hash_index_;
+  mutable std::atomic<bool> hash_ready_{false};
 };
 
 }  // namespace cqc

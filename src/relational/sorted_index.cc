@@ -1,8 +1,10 @@
 #include "relational/sorted_index.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
+#include "exec/par_util.h"
 #include "relational/relation.h"
 #include "util/logging.h"
 #include "util/op_counter.h"
@@ -16,31 +18,72 @@ SortedIndex::SortedIndex(const Relation& rel, std::vector<int> perm)
 
   std::vector<size_t> order(num_rows_);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    for (int c : perm_) {
-      Value va = rel.At(a, c), vb = rel.At(b, c);
-      if (va != vb) return va < vb;
+  std::vector<const Value*> key_cols;
+  key_cols.reserve(perm_.size());
+  for (int c : perm_) key_cols.push_back(rel.ColumnData(c));
+  par::ParallelSort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (const Value* col : key_cols) {
+      if (col[a] != col[b]) return col[a] < col[b];
     }
     return false;
   });
 
   cols_.resize(perm_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(perm_.size());
   for (size_t level = 0; level < perm_.size(); ++level) {
-    cols_[level].resize(num_rows_);
-    const int c = perm_[level];
-    for (size_t i = 0; i < num_rows_; ++i) cols_[level][i] = rel.At(order[i], c);
+    tasks.push_back([this, level, &rel, &order] {
+      cols_[level].resize(num_rows_);
+      const int c = perm_[level];
+      const Value* col = rel.ColumnData(c);
+      for (size_t i = 0; i < num_rows_; ++i) cols_[level][i] = col[order[i]];
+    });
   }
+  par::RunTasks(std::move(tasks));
 }
 
 size_t SortedIndex::LowerBound(RowRange r, int level, Value v) const {
   ops::Bump();
+  ops::BumpRangeSeek();
   const auto& col = cols_[level];
   return std::lower_bound(col.begin() + r.begin, col.begin() + r.end, v) -
          col.begin();
 }
 
+size_t SortedIndex::SeekGE(RowRange r, int level, Value v,
+                           size_t hint) const {
+  ops::Bump();
+  ops::BumpRangeSeek();
+  const Value* col = cols_[level].data();
+  size_t lo = hint < r.begin ? r.begin : hint;
+  if (lo >= r.end || col[lo] >= v) return lo;
+  // col[lo] < v: gallop until the step overshoots, then binary-search the
+  // last bracket. Invariant: col[prev] < v.
+  size_t step = 1;
+  size_t prev = lo;
+  while (lo + step < r.end && col[lo + step] < v) {
+    prev = lo + step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(lo + step, r.end);
+  return std::lower_bound(col + prev + 1, col + hi, v) - col;
+}
+
+size_t SortedIndex::RunEnd(RowRange r, int level, size_t pos) const {
+  const Value* col = cols_[level].data();
+  const Value v = col[pos];
+  size_t end = pos + 1;
+  int probes = 0;
+  while (end < r.end && col[end] == v) {
+    ++end;
+    if (++probes >= 32) return UpperBound({end, r.end}, level, v);
+  }
+  return end;
+}
+
 size_t SortedIndex::UpperBound(RowRange r, int level, Value v) const {
   ops::Bump();
+  ops::BumpRangeSeek();
   const auto& col = cols_[level];
   return std::upper_bound(col.begin() + r.begin, col.begin() + r.end, v) -
          col.begin();

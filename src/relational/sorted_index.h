@@ -43,6 +43,11 @@ class SortedIndex {
   /// Value at trie level `level` of sorted row `row`.
   Value ValueAt(int level, size_t row) const { return cols_[level][row]; }
 
+  /// Raw sorted column of `level` (num_rows values). For tight scan loops
+  /// that want to walk a run without per-row accessor calls; the pointer is
+  /// stable for the index's lifetime.
+  const Value* LevelData(int level) const { return cols_[level].data(); }
+
   /// Sub-range of `r` whose level-`level` value equals `v` (may be empty).
   RowRange Refine(RowRange r, int level, Value v) const;
 
@@ -53,6 +58,19 @@ class SortedIndex {
   size_t LowerBound(RowRange r, int level, Value v) const;
   /// First row within `r` whose level value is > v.
   size_t UpperBound(RowRange r, int level, Value v) const;
+
+  /// First row in `r` with level value >= v, found by galloping
+  /// (exponential search) from `hint`. Precondition: every row of `r`
+  /// before `hint` has level value < v (hint = a previous seek position for
+  /// a smaller target; pass r.begin when no hint is known). O(log d) in the
+  /// distance d from the hint — O(1) for the sequential-enumeration case
+  /// where the target is the very next run, vs O(log |r|) for LowerBound.
+  size_t SeekGE(RowRange r, int level, Value v, size_t hint) const;
+
+  /// End of the run of rows equal to the value at `pos` within `r`
+  /// (pos must be in [r.begin, r.end)). Linear probe with a galloping
+  /// fallback: runs are short in practice, so this beats a binary search.
+  size_t RunEnd(RowRange r, int level, size_t pos) const;
 
   /// Smallest level value within `r`. Requires !r.empty().
   Value MinValue(RowRange r, int level) const { return cols_[level][r.begin]; }

@@ -145,6 +145,59 @@ TEST(BatchEnumeration, QueryFamilies) {
   }
 }
 
+// The cyclic-box fast path: at high tau nearly the whole stream drains
+// through WCOJ joins whose deepest level has several participating atoms
+// (triangle: S's and T's z columns; Loomis–Whitney likewise), i.e. through
+// the galloping-intersection scan rather than the one-participant column
+// walk. Exercise large batch sizes so a single ScanLastLevel call crosses
+// many runs, and batch sizes that pause it mid-run.
+TEST(BatchEnumeration, CyclicDeepestLevelScanTriangle) {
+  Database db;
+  MakeTripartiteTriangleGraph(db, "R", 16);
+  AdornedView view = TriangleView("fff");
+  for (double tau : {1.0, 64.0, 4096.0}) {
+    CompressedRepOptions copt;
+    copt.tau = tau;
+    auto cr = CompressedRep::Build(view, db, copt);
+    ASSERT_TRUE(cr.ok());
+    const std::vector<Tuple> expected = OracleAnswer(view, db, {});
+    ASSERT_FALSE(expected.empty());
+    for (size_t batch : {size_t{1}, size_t{5}, size_t{256}}) {
+      auto e = cr.value()->Answer({});
+      TupleBuffer buf(3);
+      while (e->NextBatch(&buf, batch) == batch) {
+      }
+      EXPECT_EQ(buf.ToTuples(), expected) << "tau " << tau << " batch "
+                                          << batch;
+    }
+  }
+}
+
+TEST(BatchEnumeration, CyclicDeepestLevelScanLoomisWhitney) {
+  Database db;
+  MakeLoomisWhitneyRelations(db, "S", 3, 14, 240, 3);
+  // All-free LW(3): the catalog's LoomisWhitneyView is b..bf, but the scan
+  // fast path needs free join levels.
+  auto view = ParseAdornedView(
+      "Q^fff(x1,x2,x3) = S1(x2,x3), S2(x1,x3), S3(x1,x2)");
+  ASSERT_TRUE(view.ok());
+  for (double tau : {2.0, 512.0}) {
+    CompressedRepOptions copt;
+    copt.tau = tau;
+    auto cr = CompressedRep::Build(view.value(), db, copt);
+    ASSERT_TRUE(cr.ok());
+    const std::vector<Tuple> expected = OracleAnswer(view.value(), db, {});
+    for (size_t batch : {size_t{3}, size_t{128}}) {
+      auto e = cr.value()->Answer({});
+      TupleBuffer buf(3);
+      while (e->NextBatch(&buf, batch) == batch) {
+      }
+      EXPECT_EQ(buf.ToTuples(), expected) << "tau " << tau << " batch "
+                                          << batch;
+    }
+  }
+}
+
 TEST(BatchEnumeration, DecomposedRepAgrees) {
   Database db;
   MakePathRelations(db, "R", 5, 9, 26, 16);

@@ -61,7 +61,7 @@ TEST(DictionaryInvariantTest, BitsMatchOracleEmptiness) {
     const HeavyDictionary& dict = rep.value()->dictionary();
     WalkTree(*rep.value(), [&](int node, const FInterval& interval) {
       dict.ForEachEntry(node, [&](uint32_t vb_id, bool bit) {
-        const Tuple vb = dict.candidate(vb_id).ToTuple();
+        const Tuple vb = dict.Candidate(vb_id);
         EXPECT_EQ(bit, OracleNonEmpty(view, db, vb, interval))
             << "node " << node << " tau " << tau;
       });

@@ -1,11 +1,12 @@
 // §8 extension walkthrough: keeping a compressed view answerable while the
-// base data grows (insert-only maintenance).
+// base data churns (insert + delete maintenance; docs/update-semantics.md).
 //
 // A fraud-detection pipeline watches a payments graph for "money cycles":
 // mutual counterparties of a suspicious pair, i.e. the triangle view
-// Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x). New transactions stream in; the
-// structure answers continuously and rebuilds itself when the delta grows
-// past 20% of the snapshot.
+// Q^bfb(x,y,z) = R(x,y), R(y,z), R(z,x). New transactions stream in and
+// stale ones expire (deletions filter answers via tombstone probes); the
+// structure answers continuously and folds the pending delta into a fresh
+// snapshot when its mass grows past 20% of the snapshot.
 #include <cstdio>
 
 #include "core/updatable_rep.h"
@@ -29,12 +30,17 @@ int main() {
   Rng rng(7);
   size_t answered = 0, hits = 0;
   for (int minute = 1; minute <= 10; ++minute) {
-    // A burst of new transactions...
+    // A burst of new transactions, with some older ones expiring...
     for (int i = 0; i < 400; ++i) {
       Value a = rng.UniformRange(1, 200), b = rng.UniformRange(1, 200);
       if (a == b) continue;
-      rep->Insert("R", {a, b}).ok();
-      rep->Insert("R", {b, a}).ok();
+      if (i % 5 == 4) {
+        rep->Delete("R", {a, b}).ok();
+        rep->Delete("R", {b, a}).ok();
+      } else {
+        rep->Insert("R", {a, b}).ok();
+        rep->Insert("R", {b, a}).ok();
+      }
     }
     // ...interleaved with monitoring queries on fresh edges.
     for (int q = 0; q < 50; ++q) {
@@ -44,14 +50,14 @@ int main() {
       if (rep->AnswerExists({a, b})) ++hits;
     }
     std::printf(
-        "minute %2d: snapshot %6zu edges, pending %5zu, rebuilds %d\n",
+        "minute %2d: snapshot %6zu edges, pending +%zu/-%zu, rebuilds %d\n",
         minute, rep->snapshot_tuples(), rep->pending_inserts(),
-        rep->num_rebuilds());
+        rep->pending_deletes(), rep->num_rebuilds());
   }
   std::printf(
       "\n%zu monitoring requests answered (%zu with mutual "
-      "counterparties);\nanswers always reflect the inserts, rebuilds "
-      "amortize the maintenance.\n",
+      "counterparties);\nanswers always reflect the inserts and deletes, "
+      "folds amortize the maintenance.\n",
       answered, hits);
   return 0;
 }

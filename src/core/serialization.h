@@ -8,7 +8,9 @@
 // stores the cover, tau, slack and a fingerprint of the relation sizes to
 // catch obvious mismatches.
 //
-// Format (little-endian, version 3 — "CQCREP03"):
+// Format (little-endian, version 3 — "CQCREP03"); the full field-by-field
+// spec and the corruption-rejection guarantees live in
+// docs/serialization.md:
 //   header: magic | tau f64 | alpha f64 | cover count u32 + [f64...]
 //   fingerprint: num atoms u32, per atom relation content digest u64
 //   tree (flat SoA blocks): mu u32, beta pool, lefts, rights, costs,

@@ -2,6 +2,7 @@
 
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "join/bound_atom.h"
 #include "join/generic_join.h"
@@ -10,17 +11,101 @@
 #include "util/logging.h"
 
 namespace cqc {
+namespace {
 
-void UpdatableRep::CopyRelation(const Relation& src, Database& out,
-                                const std::vector<Tuple>& extra) {
+/// Forwards a stream while keeping an owner (the published State or
+/// Snapshot an enumerator reads) alive: answers stay valid across
+/// concurrent updates and rebuild pointer swaps.
+class KeepAliveEnumerator : public TupleEnumerator {
+ public:
+  KeepAliveEnumerator(std::shared_ptr<const void> keep,
+                      std::unique_ptr<TupleEnumerator> inner)
+      : keep_(std::move(keep)), inner_(std::move(inner)) {}
+
+  bool Next(Tuple* out) override { return inner_->Next(out); }
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    return inner_->NextBatch(out, max_tuples);
+  }
+
+ private:
+  std::shared_ptr<const void> keep_;
+  std::unique_ptr<TupleEnumerator> inner_;
+};
+
+void CopyRelationInto(const Relation& src, Database& out) {
   Relation* dst = out.AddRelation(src.name(), src.arity());
   Tuple row(src.arity());
   for (size_t r = 0; r < src.size(); ++r) {
     for (int c = 0; c < src.arity(); ++c) row[c] = src.At(r, c);
     dst->Insert(row);
   }
-  for (const Tuple& t : extra) dst->Insert(t);
   dst->Seal();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// State: lazily derived delta databases.
+// ---------------------------------------------------------------------------
+
+void UpdatableRep::State::EnsureDerived() const {
+  std::call_once(derived_once, [this] {
+    auto ins = std::make_unique<Database>();
+    auto cur = std::make_unique<Database>();
+    for (const Relation* r : snapshot->base->AllRelations()) {
+      auto it = pending.find(r->name());
+      const RelationPending* m =
+          it == pending.end() ? nullptr : it->second.get();
+      Relation* di = ins->AddRelation(r->name(), r->arity());
+      Relation* dc = cur->AddRelation(r->name(), r->arity());
+      Tuple row(r->arity());
+      for (size_t i = 0; i < r->size(); ++i) {
+        for (int c = 0; c < r->arity(); ++c) row[c] = r->At(i, c);
+        if (m != nullptr) {
+          auto pit = m->find(row);
+          if (pit != m->end() && pit->second < 0) continue;  // tombstoned
+        }
+        dc->Insert(row);
+      }
+      if (m != nullptr) {
+        for (const auto& [t, sign] : *m) {
+          if (sign > 0) {
+            di->Insert(t);
+            dc->Insert(t);
+          }
+        }
+      }
+      di->Seal();
+      dc->Seal();
+    }
+    has_tombstones = num_deletes > 0;
+    inserts_db = std::move(ins);
+    current_db = std::move(cur);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Construction / publishing.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const UpdatableRep::Snapshot> UpdatableRep::BuildSnapshot(
+    const AdornedView& view, std::shared_ptr<const Database> source,
+    const CompressedRepOptions& options, Status* status) {
+  // The base is adopted, not copied: a fold reuses the previous epoch's
+  // (immutable) merged database directly. Lazy index builds on the shared
+  // relations are safe under concurrent readers (Relation's caches are
+  // once_flag-coalesced).
+  auto snap = std::make_shared<Snapshot>();
+  snap->base = std::move(source);
+  Result<std::unique_ptr<CompressedRep>> built =
+      CompressedRep::Build(view, *snap->base, options);
+  if (!built.ok()) {
+    *status = built.status();
+    return nullptr;
+  }
+  snap->rep = std::move(built).value();
+  *status = Status::Ok();
+  return snap;
 }
 
 Result<std::unique_ptr<UpdatableRep>> UpdatableRep::Build(
@@ -31,109 +116,266 @@ Result<std::unique_ptr<UpdatableRep>> UpdatableRep::Build(
   auto rep = std::unique_ptr<UpdatableRep>(new UpdatableRep(view));
   rep->options_ = options;
   // Snapshot every referenced relation (each name once).
-  rep->base_ = std::make_unique<Database>();
+  auto referenced = std::make_shared<Database>();
   std::set<std::string> seen;
   for (const Atom& atom : view.cq().atoms()) {
     if (!seen.insert(atom.relation).second) continue;
     const Relation* r = ResolveRelation(atom.relation, db, aux_db);
     if (r == nullptr) return Status::Error("unknown relation " + atom.relation);
-    CopyRelation(*r, *rep->base_, {});
+    CopyRelationInto(*r, *referenced);
   }
-  Result<std::unique_ptr<CompressedRep>> built =
-      CompressedRep::Build(view, *rep->base_, options.rep);
-  if (!built.ok()) return built.status();
-  rep->rep_ = std::move(built).value();
+  Status status = Status::Ok();
+  auto snap = BuildSnapshot(view, std::move(referenced), options.rep, &status);
+  if (!status.ok()) return status;
+  auto state = std::make_shared<State>();
+  state->snapshot = std::move(snap);
+  rep->state_ = std::move(state);
   return std::move(rep);
 }
 
+std::shared_ptr<const UpdatableRep::State> UpdatableRep::Load() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+void UpdatableRep::Publish(std::shared_ptr<const State> next) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_ = std::move(next);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: canonical pending delta + optional synchronous fold.
+// ---------------------------------------------------------------------------
+
+Status UpdatableRep::Apply(const UpdateBatch& batch) {
+  if (batch.empty()) return Status::Ok();
+  {
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    std::shared_ptr<const State> cur = Load();
+    const Database& base = *cur->snapshot->base;
+    // Validate the whole batch before touching anything: a bad op leaves
+    // the published state untouched.
+    std::set<std::string> touched;
+    for (const UpdateOp& op : batch) {
+      const Relation* r = base.Find(op.relation);
+      if (r == nullptr)
+        return Status::Error("relation " + op.relation +
+                             " is not part of the view");
+      if ((int)op.tuple.size() != r->arity())
+        return Status::Error("arity mismatch updating " + op.relation);
+      touched.insert(op.relation);
+    }
+    auto next = std::make_shared<State>();
+    next->snapshot = cur->snapshot;
+    next->pending = cur->pending;  // shallow: per-relation maps are shared
+    next->num_inserts = cur->num_inserts;
+    next->num_deletes = cur->num_deletes;
+    // Copy-on-write per touched relation; untouched relations share their
+    // (immutable) maps with the previous epoch.
+    for (const std::string& name : touched) {
+      const Relation* r = base.Find(name);
+      RelationPending m;
+      if (auto it = next->pending.find(name); it != next->pending.end()) {
+        m = *it->second;
+        for (const auto& [t, sign] : m)
+          --(sign > 0 ? next->num_inserts : next->num_deletes);
+      }
+      for (const UpdateOp& op : batch) {
+        if (op.relation != name) continue;
+        // Canonicalize against the snapshot (one O(1) expected hash
+        // probe): +1 entries are exactly current \ base, -1 entries
+        // base \ current.
+        const bool in_base = r->Contains(op.tuple);
+        if (op.kind == UpdateOp::kInsert) {
+          if (in_base)
+            m.erase(op.tuple);  // un-delete (or no-op)
+          else
+            m[op.tuple] = +1;
+        } else {
+          if (in_base)
+            m[op.tuple] = -1;  // tombstone
+          else
+            m.erase(op.tuple);  // cancel a pending insert (or no-op)
+        }
+      }
+      for (const auto& [t, sign] : m)
+        ++(sign > 0 ? next->num_inserts : next->num_deletes);
+      if (m.empty())
+        next->pending.erase(name);
+      else
+        next->pending[name] =
+            std::make_shared<const RelationPending>(std::move(m));
+    }
+    Publish(std::move(next));
+  }
+  // The fold runs outside writer_mu_ (Rebuild re-acquires it only for the
+  // final rebase + publish).
+  if (options_.auto_rebuild && NeedsRebuild())
+    return Rebuild(/*only_if_needed=*/true);
+  return Status::Ok();
+}
+
 Status UpdatableRep::Insert(const std::string& relation, const Tuple& t) {
-  const Relation* r = base_->Find(relation);
-  if (r == nullptr)
-    return Status::Error("relation " + relation + " is not part of the view");
-  if ((int)t.size() != r->arity())
-    return Status::Error("arity mismatch inserting into " + relation);
-  staging_[relation].push_back(t);
-  derived_dirty_ = true;
-  if ((double)pending_inserts() >
-      options_.rebuild_fraction * (double)base_->TotalTuples()) {
-    return Rebuild();
+  return Apply({UpdateOp::Insert(relation, t)});
+}
+
+Status UpdatableRep::Delete(const std::string& relation, const Tuple& t) {
+  return Apply({UpdateOp::Delete(relation, t)});
+}
+
+bool UpdatableRep::NeedsRebuild() const {
+  std::shared_ptr<const State> st = Load();
+  return (double)(st->num_inserts + st->num_deletes) >
+         options_.rebuild_fraction *
+             (double)st->snapshot->base->TotalTuples();
+}
+
+Status UpdatableRep::Rebuild(bool only_if_needed) {
+  std::lock_guard<std::mutex> rl(rebuild_mu_);  // one rebuild at a time
+  if (only_if_needed && !NeedsRebuild()) return Status::Ok();
+  std::shared_ptr<const State> captured = Load();
+  if (!captured->HasPending()) return Status::Ok();
+  captured->EnsureDerived();
+  // The expensive part — rebuilding the Theorem-1 structure over the
+  // merged data (adopted, not copied) — runs without the writer lock, so
+  // concurrent Apply calls proceed against the old snapshot meanwhile.
+  Status status = Status::Ok();
+  std::shared_ptr<const Snapshot> snap =
+      BuildSnapshot(view_, captured->current_db, options_.rep, &status);
+  if (!status.ok()) return status;
+  {
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    // Rebuilds are serialized, so the current state still points at the
+    // snapshot we captured; only its pending delta may have advanced.
+    std::shared_ptr<const State> cur = Load();
+    auto next = std::make_shared<State>();
+    next->snapshot = snap;
+    // Rebase: a pending entry records current membership relative to the
+    // *old* base; re-derive it against the new base. Only tuples touched
+    // by either pending map can differ between the two bases.
+    for (const Relation* r : captured->snapshot->base->AllRelations()) {
+      const std::string& name = r->name();
+      const Relation* nb = snap->base->Find(name);
+      auto cit = cur->pending.find(name);
+      auto kit = captured->pending.find(name);
+      const RelationPending* cur_m =
+          cit == cur->pending.end() ? nullptr : cit->second.get();
+      RelationPending rebased;
+      auto consider = [&](const Tuple& t) {
+        bool present_now;
+        if (cur_m != nullptr) {
+          auto pit = cur_m->find(t);
+          present_now =
+              pit != cur_m->end() ? pit->second > 0 : r->Contains(t);
+        } else {
+          present_now = r->Contains(t);
+        }
+        const bool in_new_base = nb->Contains(t);
+        if (present_now != in_new_base)
+          rebased[t] = present_now ? +1 : -1;
+      };
+      if (cur_m != nullptr)
+        for (const auto& [t, sign] : *cur_m) consider(t);
+      if (kit != captured->pending.end())
+        for (const auto& [t, sign] : *kit->second) consider(t);
+      if (rebased.empty()) continue;
+      for (const auto& [t, sign] : rebased)
+        ++(sign > 0 ? next->num_inserts : next->num_deletes);
+      next->pending[name] =
+          std::make_shared<const RelationPending>(std::move(rebased));
+    }
+    Publish(std::move(next));
   }
-  return Status::Ok();
-}
-
-size_t UpdatableRep::pending_inserts() const {
-  size_t n = 0;
-  for (const auto& [name, rows] : staging_) n += rows.size();
-  return n;
-}
-
-Status UpdatableRep::RefreshDerived() const {
-  if (!derived_dirty_) return Status::Ok();
-  delta_ = std::make_unique<Database>();
-  merged_ = std::make_unique<Database>();
-  for (const Relation* r : base_->AllRelations()) {
-    auto it = staging_.find(r->name());
-    static const std::vector<Tuple> kNone;
-    const std::vector<Tuple>& extra =
-        it == staging_.end() ? kNone : it->second;
-    // Delta holds only the staged tuples; merged holds base + staged.
-    Relation* d = delta_->AddRelation(r->name(), r->arity());
-    for (const Tuple& t : extra) d->Insert(t);
-    d->Seal();
-    CopyRelation(*r, *merged_, extra);
-  }
-  derived_dirty_ = false;
-  return Status::Ok();
-}
-
-Status UpdatableRep::Rebuild() {
-  Status s = RefreshDerived();
-  if (!s.ok()) return s;
-  rep_.reset();
-  base_ = std::move(merged_);
-  merged_.reset();
-  delta_.reset();
-  staging_.clear();
-  derived_dirty_ = true;
-  Result<std::unique_ptr<CompressedRep>> built =
-      CompressedRep::Build(view_, *base_, options_.rep);
-  if (!built.ok()) return built.status();
-  rep_ = std::move(built).value();
   ++num_rebuilds_;
   return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------
-// Combined enumeration: snapshot answers, then delta-term answers.
+// Accessors.
 // ---------------------------------------------------------------------------
 
-class UpdatableRep::MergedEnumerator : public TupleEnumerator {
+size_t UpdatableRep::pending_inserts() const { return Load()->num_inserts; }
+size_t UpdatableRep::pending_deletes() const { return Load()->num_deletes; }
+
+size_t UpdatableRep::snapshot_tuples() const {
+  return Load()->snapshot->base->TotalTuples();
+}
+
+double UpdatableRep::build_seconds() const {
+  return Load()->snapshot->rep->stats().build_seconds;
+}
+
+size_t UpdatableRep::StateSpaceBytes(const State& st) {
+  size_t pending_bytes = 0;
+  for (const auto& [name, m] : st.pending)
+    for (const auto& [t, sign] : *m)
+      pending_bytes += t.size() * sizeof(Value) + 48;
+  return st.snapshot->rep->stats().TotalBytes() +
+         st.snapshot->base->BaseBytes() + pending_bytes;
+}
+
+size_t UpdatableRep::SpaceBytes() const { return StateSpaceBytes(*Load()); }
+
+UpdatableRep::Info UpdatableRep::GetInfo() const {
+  // One epoch load: every field comes from the same published state, and
+  // the state (not a dangling reference) is what we read from — safe
+  // against a concurrent rebuild swapping the snapshot mid-read.
+  std::shared_ptr<const State> st = Load();
+  Info info;
+  info.tau = st->snapshot->rep->tau();
+  info.snapshot_tuples = st->snapshot->base->TotalTuples();
+  info.pending_inserts = st->num_inserts;
+  info.pending_deletes = st->num_deletes;
+  info.num_rebuilds = num_rebuilds_;
+  info.space_bytes = StateSpaceBytes(*st);
+  return info;
+}
+
+const CompressedRep& UpdatableRep::rep() const {
+  return *Load()->snapshot->rep;
+}
+
+const Database& UpdatableRep::snapshot_base() const {
+  return *Load()->snapshot->base;
+}
+
+// ---------------------------------------------------------------------------
+// Combined enumeration: filtered snapshot answers, then delta-term answers.
+// ---------------------------------------------------------------------------
+
+class UpdatableRep::CombinedEnumerator : public TupleEnumerator {
  public:
-  MergedEnumerator(const UpdatableRep* owner, BoundValuation vb)
-      : owner_(owner), vb_(std::move(vb)) {
-    base_enum_ = owner_->rep_->Answer(vb_);
-    const ConjunctiveQuery& cq = owner_->view_.cq();
-    // Bind each atom against old / delta / merged variants once.
+  CombinedEnumerator(std::shared_ptr<const State> state,
+                     const AdornedView& view, BoundValuation vb)
+      : state_(std::move(state)), view_(&view), vb_(std::move(vb)) {
+    base_enum_ = state_->snapshot->rep->Answer(vb_);
+    const ConjunctiveQuery& cq = view_->cq();
+    // Bind each atom against snapshot / inserted / current variants once.
     for (const Atom& atom : cq.atoms()) {
-      old_.emplace_back(atom, *owner_->base_->Find(atom.relation),
-                        owner_->view_.bound_vars(),
-                        owner_->view_.free_vars());
-      delta_.emplace_back(atom, *owner_->delta_->Find(atom.relation),
-                          owner_->view_.bound_vars(),
-                          owner_->view_.free_vars());
-      merged_.emplace_back(atom, *owner_->merged_->Find(atom.relation),
-                           owner_->view_.bound_vars(),
-                           owner_->view_.free_vars());
+      old_.emplace_back(atom, *state_->snapshot->base->Find(atom.relation),
+                        view_->bound_vars(), view_->free_vars());
+      ins_.emplace_back(atom, *state_->inserts_db->Find(atom.relation),
+                        view_->bound_vars(), view_->free_vars());
+      cur_.emplace_back(atom, *state_->current_db->Find(atom.relation),
+                        view_->bound_vars(), view_->free_vars());
     }
   }
 
   bool Next(Tuple* out) override {
     if (base_enum_) {
-      if (base_enum_->Next(out)) return true;
+      Tuple t;
+      while (base_enum_->Next(&t)) {
+        // Tombstone filter: a full natural-join answer has a unique
+        // derivation, so it survives iff every atom's projection is still
+        // present — one hash probe per atom against the current data.
+        if (state_->has_tombstones && !PresentInCurrent(t)) continue;
+        *out = std::move(t);
+        return true;
+      }
       base_enum_.reset();
     }
     const int n = (int)old_.size();
-    const int mu = owner_->view_.num_free();
+    const int mu = view_->num_free();
     for (;;) {
       if (!term_join_.has_value()) {
         if (term_ >= n) return false;
@@ -145,7 +387,7 @@ class UpdatableRep::MergedEnumerator : public TupleEnumerator {
       Tuple t;
       while (term_join_->Next(&t)) {
         if (mu == 0) t.clear();
-        if (DerivableFromBase(t)) continue;
+        if (DerivableFromSnapshot(t)) continue;
         if (!emitted_.insert(t).second) continue;
         *out = t;
         return true;
@@ -156,13 +398,15 @@ class UpdatableRep::MergedEnumerator : public TupleEnumerator {
   }
 
  private:
-  // Delta term i: atoms < i merged, atom i delta, atoms > i old.
+  // Signed delta term i: atom i ranges over the net inserts, every other
+  // atom over the current (merged) relation. Produces every answer whose
+  // (unique) derivation uses an inserted tuple at atom i; the cross-term
+  // duplicates are removed by emitted_.
   bool StartTerm(int i) {
-    const int mu = owner_->view_.num_free();
+    const int mu = view_->num_free();
     std::vector<JoinAtomInput> inputs;
     for (int j = 0; j < (int)old_.size(); ++j) {
-      const BoundAtom& atom =
-          (j < i) ? merged_[j] : (j == i) ? delta_[j] : old_[j];
+      const BoundAtom& atom = (j == i) ? ins_[j] : cur_[j];
       JoinAtomInput in;
       in.index = &atom.bf_index();
       in.start = atom.SeekBound(vb_);
@@ -179,18 +423,26 @@ class UpdatableRep::MergedEnumerator : public TupleEnumerator {
     return true;
   }
 
-  // v in Q(old snapshot)? For a full natural join: every old atom contains
-  // the projection of (vb, v).
-  bool DerivableFromBase(const Tuple& vf) const {
+  // v in Q(snapshot)? Every snapshot atom contains the projection of
+  // (vb, v) — those answers stream (filtered) from base_enum_ already.
+  bool DerivableFromSnapshot(const Tuple& vf) const {
     for (const BoundAtom& atom : old_)
       if (!atom.ContainsValuation(vb_, vf)) return false;
     return true;
   }
 
-  const UpdatableRep* owner_;
+  // v in Q(current)? Same probe against the merged relations.
+  bool PresentInCurrent(const Tuple& vf) const {
+    for (const BoundAtom& atom : cur_)
+      if (!atom.ContainsValuation(vb_, vf)) return false;
+    return true;
+  }
+
+  std::shared_ptr<const State> state_;  // owns everything we read
+  const AdornedView* view_;
   BoundValuation vb_;
   std::unique_ptr<TupleEnumerator> base_enum_;
-  std::vector<BoundAtom> old_, delta_, merged_;
+  std::vector<BoundAtom> old_, ins_, cur_;
   int term_ = 0;
   std::optional<JoinIterator> term_join_;
   std::unordered_set<Tuple, TupleHash> emitted_;
@@ -198,10 +450,14 @@ class UpdatableRep::MergedEnumerator : public TupleEnumerator {
 
 std::unique_ptr<TupleEnumerator> UpdatableRep::Answer(
     const BoundValuation& vb) const {
-  if (pending_inserts() == 0) return rep_->Answer(vb);
-  Status s = RefreshDerived();
-  CQC_CHECK(s.ok()) << s.message();
-  return std::make_unique<MergedEnumerator>(this, vb);
+  std::shared_ptr<const State> st = Load();
+  if (!st->HasPending()) {
+    std::unique_ptr<TupleEnumerator> inner = st->snapshot->rep->Answer(vb);
+    return std::make_unique<KeepAliveEnumerator>(std::move(st),
+                                                 std::move(inner));
+  }
+  st->EnsureDerived();
+  return std::make_unique<CombinedEnumerator>(std::move(st), view_, vb);
 }
 
 bool UpdatableRep::AnswerExists(const BoundValuation& vb) const {

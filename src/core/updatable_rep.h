@@ -1,33 +1,56 @@
-// UpdatableRep: insert-only maintenance of a compressed representation —
+// UpdatableRep: insert+delete maintenance of a compressed representation —
 // the paper's §8 open problem "whether our data structures can be modified
-// to support efficient updates of the base tables", in its standard
-// first-stage form (inserts; deletions would need tombstone filtering).
+// to support efficient updates of the base tables", grown from the
+// insert-only first stage into a full signed-delta design (see
+// docs/update-semantics.md for the formal account).
 //
-// Design: the structure owns a sealed snapshot of the base data plus a
-// per-relation delta of pending inserts. Answers combine
+// Design: the structure owns a sealed *snapshot* (base data + the
+// Theorem-1 structure over it) plus a per-relation *pending delta*: net
+// inserts (+1) and tombstones (-1), canonicalized against base membership
+// so the pending map is exactly the symmetric difference between the
+// current data and the snapshot. Answers combine
 //
-//   (1) the Theorem-1 enumeration over the snapshot (lexicographic), and
-//   (2) the classic delta-join expansion over the pending inserts:
-//         Q(D + dD) \ Q(D) = union_i  join(M_1, .., M_{i-1}, dR_i,
-//                                          R_{i+1}, .., R_n)
-//       where M_j = R_j + dR_j ("merged"), dR_i the delta, R_j the old
-//       snapshot — each term pins atom i to a delta tuple, so every new
-//       derivation is produced; duplicates are removed by (a) a
-//       base-membership check (for full CQs, v in Q(D) iff every atom of
-//       the old snapshot contains its projection of v) and (b) a hash set
-//       across delta terms.
+//   (1) the Theorem-1 enumeration over the snapshot (lexicographic),
+//       *filtered* against tombstones: a full natural-join answer has a
+//       unique derivation (one base tuple per atom, determined by
+//       projection), so a snapshot answer survives iff every atom's
+//       projection is still present in the current data — one O(1)
+//       expected hash probe per atom (relational/hash_index.h); and
+//   (2) the signed delta-join expansion over the pending inserts:
+//         Q(D') \ Q(D) = union_i  join(M_1, .., M_{i-1}, dR_i+, M_{i+1},
+//                                      .., M_n)
+//       where D' is the current data, M_j = the current ("merged")
+//       relation and dR_i+ the net-inserted tuples of atom i — every
+//       answer using at least one inserted tuple is produced; answers
+//       already derivable from the snapshot are skipped (base-membership
+//       probes) and a hash set dedups across terms. Deletions never
+//       create answers, so they enter only through the merged relations
+//       and the tombstone filter of (1).
 //
 // Delta answering costs O~(|dD| * join work) per request, so once the
-// delta grows past `rebuild_fraction * |D|` the snapshot is merged and the
-// Theorem-1 structure rebuilt (amortized O~(build / fraction) per
-// inserted tuple). The combined enumeration is *not* globally
-// lexicographic: snapshot answers stream in lex order first, then the
-// delta-derived answers.
+// pending mass (inserts + tombstones) grows past
+// `rebuild_fraction * |D|` the delta is folded and the Theorem-1
+// structure rebuilt (amortized O~(build / fraction) per update). The
+// combined enumeration is *not* globally lexicographic: surviving
+// snapshot answers stream in lex order first, then the delta-derived
+// answers (documented contract; see docs/update-semantics.md).
+//
+// Concurrency: the whole queryable state is published as one immutable
+// `State` behind an epoch-style pointer swap. Readers grab the current
+// state (a shared_ptr copy) and enumerate it for as long as they like;
+// writers build a new state and publish it; Rebuild() captures a state,
+// builds the new snapshot *without holding the writer lock*, then rebases
+// any ops applied meanwhile and publishes. Readers therefore never block
+// on updates or rebuilds and never observe a torn structure. Concurrent
+// Insert/Delete/Apply calls are serialized internally.
 #ifndef CQC_CORE_UPDATABLE_REP_H_
 #define CQC_CORE_UPDATABLE_REP_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/compressed_rep.h"
@@ -37,11 +60,35 @@
 
 namespace cqc {
 
+/// One base-table mutation. Batches of these flow through the whole update
+/// pipeline: UpdatableRep::Apply, AnswerRep::ApplyDelta, RepCache::
+/// ApplyDelta, and the cqc_cli --mutate script mode.
+struct UpdateOp {
+  enum Kind : uint8_t { kInsert, kDelete };
+  Kind kind = kInsert;
+  std::string relation;
+  Tuple tuple;
+
+  static UpdateOp Insert(std::string relation, Tuple tuple) {
+    return {kInsert, std::move(relation), std::move(tuple)};
+  }
+  static UpdateOp Delete(std::string relation, Tuple tuple) {
+    return {kDelete, std::move(relation), std::move(tuple)};
+  }
+};
+using UpdateBatch = std::vector<UpdateOp>;
+
 struct UpdatableRepOptions {
   CompressedRepOptions rep;
-  /// Rebuild when total pending inserts exceed this fraction of the
-  /// snapshot size (set to infinity to never rebuild automatically).
+  /// Rebuild when the pending mass (net inserts + tombstones) exceeds this
+  /// fraction of the snapshot size (set to infinity to never rebuild
+  /// automatically).
   double rebuild_fraction = 0.25;
+  /// Fold the delta synchronously inside Apply/Insert/Delete when the
+  /// threshold is crossed. Serving layers that amortize rebuilds on a
+  /// background pool (plan/rep_cache.h) set this false and drive
+  /// Rebuild(/*only_if_needed=*/true) themselves.
+  bool auto_rebuild = true;
 };
 
 class UpdatableRep {
@@ -52,45 +99,118 @@ class UpdatableRep {
       const AdornedView& view, const Database& db,
       const UpdatableRepOptions& options, const Database* aux_db = nullptr);
 
-  /// Queues an insert into `relation`. Duplicates (already in snapshot or
-  /// delta) are tolerated and deduplicated lazily.
-  Status Insert(const std::string& relation, const Tuple& t);
+  /// Applies a batch of mutations in order (last op per tuple wins).
+  /// Duplicate inserts and deletes of absent tuples are no-ops. Thread-safe
+  /// against concurrent Apply/Rebuild and concurrent readers.
+  Status Apply(const UpdateBatch& batch);
 
-  /// Answers over the *current* data (snapshot + pending inserts).
+  /// Single-op conveniences.
+  Status Insert(const std::string& relation, const Tuple& t);
+  Status Delete(const std::string& relation, const Tuple& t);
+
+  /// Answers over the *current* data (snapshot + pending delta). The
+  /// enumerator owns the state it reads: it stays valid across concurrent
+  /// updates and rebuilds.
   std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
   bool AnswerExists(const BoundValuation& vb) const;
 
-  /// Merges the delta into the snapshot and rebuilds the structure now.
-  Status Rebuild();
+  /// Folds the pending delta into the snapshot and rebuilds the Theorem-1
+  /// structure. The expensive build runs without blocking writers; ops
+  /// applied concurrently are rebased onto the new snapshot. With
+  /// `only_if_needed`, returns immediately unless NeedsRebuild() (the
+  /// coalescing check for background rebuild tasks).
+  Status Rebuild(bool only_if_needed = false);
+
+  /// Pending mass exceeded options_.rebuild_fraction * snapshot size?
+  bool NeedsRebuild() const;
 
   size_t pending_inserts() const;
-  size_t snapshot_tuples() const { return base_->TotalTuples(); }
+  size_t pending_deletes() const;
+  size_t snapshot_tuples() const;
   int num_rebuilds() const { return num_rebuilds_; }
-  const CompressedRep& rep() const { return *rep_; }
+  double build_seconds() const;
+  /// Snapshot structure + base copy + pending delta footprint.
+  size_t SpaceBytes() const;
+
+  /// One consistent reading of the serving state (a single epoch load —
+  /// safe against concurrent updates and rebuilds, unlike rep()).
+  struct Info {
+    double tau = 0;
+    size_t snapshot_tuples = 0;
+    size_t pending_inserts = 0;
+    size_t pending_deletes = 0;
+    int num_rebuilds = 0;
+    size_t space_bytes = 0;
+  };
+  Info GetInfo() const;
+
+  /// Current snapshot structure / base data. Unsynchronized conveniences
+  /// for stats, tests, and single-threaded callers: the references are
+  /// invalidated by a concurrent Rebuild (concurrent *updates* are fine).
+  const CompressedRep& rep() const;
+  const Database& snapshot_base() const;
   const AdornedView& view() const { return view_; }
 
  private:
+  /// The immutable snapshot: a sealed copy of the base data plus the
+  /// Theorem-1 structure over it. Replaced wholesale by Rebuild. The base
+  /// is shared (a fold adopts the previous epoch's merged database instead
+  /// of copying it again).
+  struct Snapshot {
+    std::shared_ptr<const Database> base;
+    std::unique_ptr<CompressedRep> rep;
+  };
+
+  /// Net pending ops per relation: +1 = tuple inserted (absent from the
+  /// snapshot), -1 = tombstone (present in the snapshot). Canonical: a
+  /// tuple appears iff its current membership differs from the snapshot's.
+  /// Per-relation maps are immutable and shared across epochs; Apply
+  /// copies only the relations a batch touches.
+  using RelationPending = std::map<Tuple, int8_t>;
+  using PendingMap =
+      std::map<std::string, std::shared_ptr<const RelationPending>>;
+
+  /// One immutable published epoch: snapshot + pending delta. The derived
+  /// databases are built lazily at most once (thread-safe) on first answer.
+  struct State {
+    std::shared_ptr<const Snapshot> snapshot;
+    PendingMap pending;
+    size_t num_inserts = 0;
+    size_t num_deletes = 0;
+
+    // Lazily derived from (snapshot, pending); immutable once built.
+    mutable std::once_flag derived_once;
+    mutable std::unique_ptr<Database> inserts_db;  // net-inserted tuples
+    mutable std::shared_ptr<const Database> current_db;  // base -/+ delta
+    mutable bool has_tombstones = false;
+
+    bool HasPending() const { return num_inserts + num_deletes > 0; }
+    /// Builds inserts_db / current_db (idempotent, thread-safe).
+    void EnsureDerived() const;
+  };
+
   explicit UpdatableRep(AdornedView view) : view_(std::move(view)) {}
 
-  // Copies relation `name` (plus staged extras) into `out`.
-  static void CopyRelation(const Relation& src, Database& out,
-                           const std::vector<Tuple>& extra);
-  // Re-seals the delta/merged databases from staging if dirty.
-  Status RefreshDerived() const;
+  std::shared_ptr<const State> Load() const;
+  void Publish(std::shared_ptr<const State> next);
+  /// Footprint of one epoch: snapshot structure + base copy + pending
+  /// delta (the single source for SpaceBytes() and Info::space_bytes).
+  static size_t StateSpaceBytes(const State& st);
+  static std::shared_ptr<const Snapshot> BuildSnapshot(
+      const AdornedView& view, std::shared_ptr<const Database> source,
+      const CompressedRepOptions& options, Status* status);
 
-  class MergedEnumerator;
+  class CombinedEnumerator;
+  class TombstoneFilterEnumerator;
 
   AdornedView view_;
-  std::unique_ptr<Database> base_;  // sealed snapshot
-  std::unique_ptr<CompressedRep> rep_;
   UpdatableRepOptions options_;
-  // Pending inserts per relation name.
-  std::map<std::string, std::vector<Tuple>> staging_;
-  // Lazily derived: delta + merged databases (relation name -> data).
-  mutable std::unique_ptr<Database> delta_;
-  mutable std::unique_ptr<Database> merged_;
-  mutable bool derived_dirty_ = true;
-  int num_rebuilds_ = 0;
+
+  mutable std::mutex state_mu_;   // guards the state_ pointer swap only
+  std::shared_ptr<const State> state_;
+  std::mutex writer_mu_;          // serializes Apply bookkeeping + publish
+  std::mutex rebuild_mu_;         // one rebuild at a time
+  std::atomic<int> num_rebuilds_{0};
 };
 
 }  // namespace cqc

@@ -41,13 +41,16 @@ const char* RepKindName(RepKind kind) {
       return "direct";
     case RepKind::kMaterialized:
       return "materialized";
+    case RepKind::kUpdatable:
+      return "updatable";
   }
   return "unknown";
 }
 
 std::optional<RepKind> ParseRepKind(const std::string& name) {
   for (RepKind k : {RepKind::kCompressed, RepKind::kDecomposed,
-                    RepKind::kDirect, RepKind::kMaterialized}) {
+                    RepKind::kDirect, RepKind::kMaterialized,
+                    RepKind::kUpdatable}) {
     if (name == RepKindName(k)) return k;
   }
   return std::nullopt;
@@ -156,6 +159,13 @@ uint64_t AnswerRep::CountImpl(const BoundValuation& vb) const {
 std::unique_ptr<TupleEnumerator> AnswerRep::ParallelAnswerImpl(
     const BoundValuation& vb, const ParallelOptions& options) const {
   return AnswerImpl(vb);
+}
+
+Status AnswerRep::ApplyDelta(const UpdateBatch& delta) {
+  return Status::Error(
+      StrFormat("%s does not support in-place updates; rebuild (or let the "
+                "serving cache invalidate) instead",
+                RepKindName(kind())));
 }
 
 // --- CompressedAnswerRep ----------------------------------------------------
@@ -365,6 +375,45 @@ uint64_t MaterializedAnswerRep::CountImpl(const BoundValuation& vb) const {
   return rep_->CountAnswer(vb);
 }
 
+// --- UpdatableAnswerRep -----------------------------------------------------
+
+UpdatableAnswerRep::UpdatableAnswerRep(std::unique_ptr<UpdatableRep> rep)
+    : rep_(std::move(rep)) {
+  CQC_CHECK(rep_ != nullptr);
+}
+
+RepCapabilities UpdatableAnswerRep::capabilities() const {
+  RepCapabilities c;
+  // The combined stream (snapshot part, then delta part) is not globally
+  // lexicographic, so no order-dependent capability is advertised.
+  c.updatable = true;
+  return c;
+}
+
+std::string UpdatableAnswerRep::Describe() const {
+  // One consistent epoch read: piecemeal accessors could mix epochs (or
+  // dangle) under a concurrent background fold.
+  const UpdatableRep::Info info = rep_->GetInfo();
+  return StrFormat(
+      "updatable(tau=%.1f snapshot=%zu tuples pending=+%zu/-%zu rebuilds=%d "
+      "space=%zu B)",
+      info.tau, info.snapshot_tuples, info.pending_inserts,
+      info.pending_deletes, info.num_rebuilds, info.space_bytes);
+}
+
+Status UpdatableAnswerRep::ApplyDelta(const UpdateBatch& delta) {
+  return rep_->Apply(delta);
+}
+
+std::unique_ptr<TupleEnumerator> UpdatableAnswerRep::AnswerImpl(
+    const BoundValuation& vb) const {
+  return rep_->Answer(vb);
+}
+
+bool UpdatableAnswerRep::AnswerExistsImpl(const BoundValuation& vb) const {
+  return rep_->AnswerExists(vb);
+}
+
 // --- factories --------------------------------------------------------------
 
 std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<CompressedRep> rep) {
@@ -379,6 +428,9 @@ std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<DirectEval> rep) {
 std::unique_ptr<AnswerRep> WrapAnswerRep(
     std::unique_ptr<MaterializedView> rep) {
   return std::make_unique<MaterializedAnswerRep>(std::move(rep));
+}
+std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<UpdatableRep> rep) {
+  return std::make_unique<UpdatableAnswerRep>(std::move(rep));
 }
 
 Result<std::unique_ptr<AnswerRep>> BuildAnswerRep(const RepBuildSpec& spec,
@@ -412,6 +464,11 @@ Result<std::unique_ptr<AnswerRep>> BuildAnswerRep(const RepBuildSpec& spec,
     }
     case RepKind::kMaterialized: {
       auto rep = MaterializedView::Build(view, db, aux_db);
+      if (!rep.ok()) return rep.status();
+      return WrapAnswerRep(std::move(rep).value());
+    }
+    case RepKind::kUpdatable: {
+      auto rep = UpdatableRep::Build(view, db, spec.updatable, aux_db);
       if (!rep.ok()) return rep.status();
       return WrapAnswerRep(std::move(rep).value());
     }

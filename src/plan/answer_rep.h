@@ -31,6 +31,7 @@
 #include "core/cursor.h"
 #include "core/enumerator.h"
 #include "core/finterval.h"
+#include "core/updatable_rep.h"
 #include "decomposition/decomposed_rep.h"
 #include "exec/parallel_enumerator.h"
 #include "query/adorned_view.h"
@@ -44,6 +45,7 @@ enum class RepKind : uint8_t {
   kDecomposed,    // Theorem 2: connex decomposition of per-bag structures
   kDirect,        // §2.3 baseline: worst-case optimal join per request
   kMaterialized,  // §2.3 baseline: full output, indexed by bound vars
+  kUpdatable,     // §8 extension: Theorem-1 snapshot + signed pending delta
 };
 
 /// Lower-case structure name ("compressed", "decomposed", ...).
@@ -64,6 +66,9 @@ struct RepCapabilities {
   bool sharded = false;
   /// Count answers |Q^eta[v_b]| without enumerating the output.
   bool counting = false;
+  /// ApplyDelta mutates the base tables in place (inserts + deletions)
+  /// while concurrent readers keep enumerating a consistent state.
+  bool updatable = false;
 };
 
 class AnswerRep {
@@ -112,6 +117,12 @@ class AnswerRep {
   /// parallel contract (see exec/parallel_enumerator.h).
   Result<std::unique_ptr<TupleEnumerator>> ParallelAnswer(
       const BoundValuation& vb, const ParallelOptions& options) const;
+
+  /// Applies base-table mutations (docs/update-semantics.md). Only
+  /// structures advertising capabilities().updatable accept a delta; the
+  /// rest return an error (the serving layer invalidates them instead).
+  /// Thread-safe against concurrent serving entry points.
+  virtual Status ApplyDelta(const UpdateBatch& delta);
 
  protected:
   // Per-structure implementations, called only after validation.
@@ -249,11 +260,50 @@ class MaterializedAnswerRep : public AnswerRep {
   std::unique_ptr<MaterializedView> rep_;
 };
 
+/// §8 extension: a mutable serving structure. Answer / AnswerExists / Count
+/// reflect the current data (snapshot + pending signed delta); ApplyDelta
+/// routes mutations to the underlying UpdatableRep. The combined stream is
+/// NOT lexicographic once a delta is pending (surviving snapshot answers
+/// stream in lex order first, then delta-derived answers), so the adapter
+/// advertises none of the order-dependent capabilities.
+class UpdatableAnswerRep : public AnswerRep {
+ public:
+  explicit UpdatableAnswerRep(std::unique_ptr<UpdatableRep> rep);
+
+  RepKind kind() const override { return RepKind::kUpdatable; }
+  RepCapabilities capabilities() const override;
+  const AdornedView& view() const override { return rep_->view(); }
+  double build_seconds() const override { return rep_->build_seconds(); }
+  size_t SpaceBytes() const override { return rep_->SpaceBytes(); }
+  std::string Describe() const override;
+
+  Status ApplyDelta(const UpdateBatch& delta) override;
+
+  /// The pending-mass rebuild trigger + fold, for serving layers that
+  /// amortize rebuilds on a background pool (plan/rep_cache.h).
+  bool NeedsRebuild() const { return rep_->NeedsRebuild(); }
+  Status Rebuild(bool only_if_needed = false) {
+    return rep_->Rebuild(only_if_needed);
+  }
+
+  const UpdatableRep& underlying() const { return *rep_; }
+  UpdatableRep& mutable_underlying() { return *rep_; }
+
+ protected:
+  std::unique_ptr<TupleEnumerator> AnswerImpl(
+      const BoundValuation& vb) const override;
+  bool AnswerExistsImpl(const BoundValuation& vb) const override;
+
+ private:
+  std::unique_ptr<UpdatableRep> rep_;
+};
+
 /// Wrappers over already-built structures.
 std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<CompressedRep> rep);
 std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<DecomposedRep> rep);
 std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<DirectEval> rep);
 std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<MaterializedView> rep);
+std::unique_ptr<AnswerRep> WrapAnswerRep(std::unique_ptr<UpdatableRep> rep);
 
 /// How to build a representation of a given kind. Structure-specific knobs
 /// are honored only by the matching kind; a decomposed build without an
@@ -263,6 +313,9 @@ struct RepBuildSpec {
   CompressedRepOptions compressed;
   std::optional<TreeDecomposition> decomposition;
   DecomposedRepOptions decomposed;
+  /// Knobs for kUpdatable (its snapshot structure uses updatable.rep, NOT
+  /// `compressed`; the planner copies its chosen tau + cover across).
+  UpdatableRepOptions updatable;
 };
 
 /// Builds the requested structure over (db, aux_db) and wraps it. `view`

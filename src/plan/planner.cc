@@ -37,8 +37,17 @@ int KindPreference(RepKind kind) {
       return 2;
     case RepKind::kDirect:
       return 3;
+    case RepKind::kUpdatable:
+      return 4;  // at equal cost, prefer the simpler static structures
   }
-  return 4;
+  return 5;
+}
+
+/// ln(e^a + e^b) without overflow: combining additive cost terms that are
+/// carried as logarithms.
+double LogAddExp(double a, double b) {
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
 }
 
 struct Scored {
@@ -69,6 +78,12 @@ std::string Plan::Explain() const {
   out +=
       "index policy: point probes -> hash index (O(1) expected), lex-range "
       "scans and count oracle -> sorted tries\n";
+  if (churn_per_request > 0)
+    out += StrFormat(
+        "churn: %.3g mutations/request priced into every candidate "
+        "(static structures pay invalidate+rebuild; updatable pays delta "
+        "join + amortized fold)\n",
+        churn_per_request);
   for (const PlanCandidate& c : candidates) {
     out += StrFormat("  %-12s %-4s space N^%.2f delay N^%.2f",
                      RepKindName(c.kind), c.feasible ? "ok" : "skip",
@@ -88,12 +103,18 @@ Result<Plan> Planner::PlanView(const AdornedView& view,
         "planner requires a natural-join view (run NormalizeView first)");
   Result<CatalogStats> stats_or = CollectCatalogStats(view, *db_, aux_db_);
   if (!stats_or.ok()) return stats_or.status();
-  const CatalogStats& stats = stats_or.value();
+  CatalogStats stats = stats_or.value();
+  // Churn is a workload property, not a data property: record the caller's
+  // rate into the catalog stats the candidates are priced from.
+  stats.churn_per_request = std::max(0.0, options.churn_per_request);
+  const double churn = stats.churn_per_request;
+  const double log_churn = churn > 0 ? std::log(churn) : 0;
   const Hypergraph h(view.cq());
   const int mu = view.num_free();
 
   Plan plan;
   plan.log_n = stats.log_n;
+  plan.churn_per_request = churn;
   plan.log_space_budget = options.space_budget_exponent < 0
                               ? -1
                               : options.space_budget_exponent * stats.log_n;
@@ -102,6 +123,17 @@ Result<Plan> Planner::PlanView(const AdornedView& view,
 
   std::vector<Scored> scored;
   auto add = [&](Scored s) {
+    // Under churn, a static structure is invalidated by every mutation and
+    // rebuilt from scratch (cost ~ its size in tuple units), amortized over
+    // 1/churn requests: delay += churn * space.
+    if (churn > 0 && s.buildable && s.pub.kind != RepKind::kUpdatable) {
+      s.pub.predicted_log_delay =
+          LogAddExp(s.pub.predicted_log_delay,
+                    log_churn + s.pub.predicted_log_space);
+      s.pub.note += StrFormat("; +churn rebuild N^%.2f",
+                              (log_churn + s.pub.predicted_log_space) /
+                                  std::max(stats.log_n, 1.0));
+    }
     s.pub.feasible = s.buildable;
     if (s.buildable && s.pub.predicted_log_space > budget + kFeasibilityEps) {
       s.pub.feasible = false;
@@ -153,6 +185,58 @@ Result<Plan> Planner::PlanView(const AdornedView& view,
       } else {
         s.pub.note = "MinDelayCover infeasible at this budget";
       }
+    }
+    add(std::move(s));
+  }
+
+  if (options.consider_updatable && churn > 0) {
+    // §8 extension: a Theorem-1 snapshot plus a signed pending delta. Per
+    // request it pays the snapshot delay, the delta-join overhead (~ the
+    // pending mass f*|D|), and the amortized fold (churn * build / (f*|D|)
+    // with build ~ space); the planner picks the rebuild fraction f that
+    // balances the last two terms.
+    Scored s;
+    s.pub.kind = s.spec.kind = RepKind::kUpdatable;
+    double log_tau = 0, log_space = stats.log_input;
+    bool snapshot_ok = true;
+    if (mu == 0) {
+      s.spec.updatable.rep.tau = 1.0;
+      s.pub.note = "boolean snapshot (Prop. 1)";
+    } else {
+      CoverSolution sol =
+          MinDelayCover(h, view.free_set(), stats.log_sizes, budget);
+      if (sol.feasible) {
+        log_tau = sol.log_tau;
+        log_space = std::max(stats.log_input, sol.log_space);
+        s.spec.updatable.rep.tau = std::exp(sol.log_tau);
+        s.spec.updatable.rep.cover = sol.u;
+      } else {
+        snapshot_ok = false;
+        s.pub.note = "MinDelayCover infeasible at this budget";
+      }
+    }
+    if (snapshot_ok) {
+      // Balance per-request delta work f*|D| against fold amortization
+      // churn*build/(f*|D|). The fold is priced at the near-linear build
+      // cost O~(|D|) (the LP's space bound saturates to the budget, which
+      // would overprice it): log f* = (log churn - log |D|) / 2.
+      const double log_f =
+          std::clamp(0.5 * (log_churn - stats.log_input), std::log(1e-4),
+                     std::log(0.5));
+      const double log_delta_work = log_f + stats.log_input;
+      const double log_fold = log_churn - log_f;
+      s.spec.updatable.rebuild_fraction = std::exp(log_f);
+      s.pub.tau = s.spec.updatable.rep.tau;
+      s.pub.predicted_log_space = log_space;  // delta <= f|D| is absorbed
+      s.pub.predicted_log_delay =
+          LogAddExp(log_tau, LogAddExp(log_delta_work, log_fold));
+      s.buildable = true;
+      s.pub.note += StrFormat(
+          "%ssnapshot tau=%.1f, delta N^%.2f + fold N^%.2f at f=%.3g",
+          s.pub.note.empty() ? "" : "; ", s.spec.updatable.rep.tau,
+          log_delta_work / std::max(stats.log_n, 1.0),
+          log_fold / std::max(stats.log_n, 1.0),
+          s.spec.updatable.rebuild_fraction);
     }
     add(std::move(s));
   }

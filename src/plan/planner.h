@@ -39,6 +39,18 @@ struct PlannerOptions {
   bool consider_decomposed = true;
   bool consider_direct = true;
   bool consider_materialized = true;
+  /// The updatable candidate (§8 extension: Theorem-1 snapshot + signed
+  /// pending delta) is scored only for mutable workloads (churn > 0).
+  bool consider_updatable = true;
+  /// Expected base-table mutations per access request (the workload churn
+  /// rate, recorded into CatalogStats). 0 = static workload: the updatable
+  /// candidate is skipped and no maintenance cost is priced in. When > 0,
+  /// every static candidate's delay is charged an amortized
+  /// invalidate-and-rebuild term (churn * predicted space per request)
+  /// while the updatable candidate pays its delta-join + amortized-fold
+  /// cost at the planner-optimized rebuild fraction — see
+  /// docs/update-semantics.md.
+  double churn_per_request = 0;
   /// The connex decomposition search is exhaustive over elimination orders;
   /// views with more free variables skip the decomposed candidate.
   int max_free_vars_for_decomposition = 8;
@@ -64,6 +76,8 @@ struct Plan {
   /// ln Sigma for the budget (negative = unlimited) and ln N for display.
   double log_space_budget = -1;
   double log_n = 0;
+  /// The churn rate the candidates were priced at (0 = static workload).
+  double churn_per_request = 0;
   /// False when no candidate fit the budget and the planner fell back to
   /// the smallest-space candidate.
   bool within_budget = true;

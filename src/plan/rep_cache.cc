@@ -1,5 +1,11 @@
 #include "plan/rep_cache.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "exec/thread_pool.h"
 #include "query/parser.h"
 #include "util/str_util.h"
 
@@ -10,6 +16,8 @@ RepCache::RepCache(const Database* db, RepCacheOptions options)
   CQC_CHECK(db_ != nullptr);
   CQC_CHECK_GT(options_.capacity, 0u);
 }
+
+RepCache::~RepCache() { WaitForRebuilds(); }
 
 Result<std::shared_ptr<const CachedRep>> RepCache::Get(
     const std::string& view_text, double space_budget_exponent) {
@@ -35,7 +43,7 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
     if (it != entries_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second);
-      return it->second->second;
+      return std::shared_ptr<const CachedRep>(it->second->second);
     }
     auto fit = inflight_.find(key);
     if (fit != inflight_.end()) {
@@ -53,15 +61,20 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
 
   // Build without holding the cache lock: distinct keys build in parallel,
   // and hits never wait behind a build.
-  Result<std::shared_ptr<const CachedRep>> built =
+  Result<std::shared_ptr<CachedRep>> built =
       BuildEntry(key, view, space_budget_exponent);
 
+  Result<std::shared_ptr<const CachedRep>> out =
+      built.ok()
+          ? Result<std::shared_ptr<const CachedRep>>(
+                std::shared_ptr<const CachedRep>(built.value()))
+          : built.status();
   {
     std::unique_lock<std::mutex> lock(mu_);
     flight->done = true;
     if (built.ok()) {
       ++stats_.builds;
-      flight->result = built.value();
+      flight->result = out.value();
       lru_.emplace_front(key, built.value());
       entries_[key] = lru_.begin();
       while (lru_.size() > options_.capacity) {
@@ -78,10 +91,10 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
     inflight_.erase(key);
   }
   cv_.notify_all();
-  return built;
+  return out;
 }
 
-Result<std::shared_ptr<const CachedRep>> RepCache::BuildEntry(
+Result<std::shared_ptr<CachedRep>> RepCache::BuildEntry(
     const std::string& key, const AdornedView& view,
     double space_budget_exponent) const {
   Result<NormalizedView> normalized = NormalizeView(view, *db_);
@@ -98,17 +111,158 @@ Result<std::shared_ptr<const CachedRep>> RepCache::BuildEntry(
   Result<Plan> plan = planner.PlanView(entry->normalized_.view, popts);
   if (!plan.ok()) return plan.status();
   entry->plan_ = std::move(plan).value();
+  // The cache amortizes snapshot folds on the shared pool itself
+  // (ApplyDelta -> MaybeScheduleRebuild); a synchronous fold inside
+  // ApplyDelta would stall the writer.
+  entry->plan_.spec.updatable.auto_rebuild = false;
 
   Result<std::unique_ptr<AnswerRep>> rep =
       planner.BuildPlan(entry->normalized_.view, entry->plan_);
   if (!rep.ok()) return rep.status();
   entry->rep_ = std::move(rep).value();
-  return std::shared_ptr<const CachedRep>(std::move(entry));
+  return entry;
+}
+
+// --- update path ------------------------------------------------------------
+
+namespace {
+
+/// How a delta touches one cached view: not at all, via exactly-named
+/// atoms (routable), or via a derived aux relation (normalize.h rewrites
+/// "R" with constants/repeats into "R__n<k>"), which an updatable
+/// structure cannot absorb — the entry must be invalidated.
+struct TouchReport {
+  bool exact = false;
+  bool derived = false;
+};
+
+TouchReport Touches(const CachedRep& entry,
+                    const std::set<std::string>& mutated) {
+  TouchReport t;
+  for (const Atom& atom : entry.view().cq().atoms()) {
+    if (mutated.count(atom.relation) > 0) {
+      t.exact = true;
+      continue;
+    }
+    const size_t sep = atom.relation.rfind("__n");
+    if (sep != std::string::npos &&
+        mutated.count(atom.relation.substr(0, sep)) > 0) {
+      t.derived = true;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Status RepCache::ApplyDelta(const std::string& key, const UpdateBatch& delta) {
+  if (delta.empty()) return Status::Ok();
+  std::set<std::string> mutated;
+  for (const UpdateOp& op : delta) mutated.insert(op.relation);
+
+  // Snapshot the affected entries under the lock; route the delta outside
+  // it (an in-place Apply can contend with its own writers, never with the
+  // cache metadata).
+  std::vector<std::shared_ptr<CachedRep>> updatable_targets;
+  bool key_found = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    key_found = entries_.find(key) != entries_.end();
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      const std::shared_ptr<CachedRep>& entry = it->second;
+      const TouchReport touch = Touches(*entry, mutated);
+      if (!touch.exact && !touch.derived) {
+        ++it;
+        continue;
+      }
+      if (touch.derived || !entry->rep().capabilities().updatable) {
+        // Invalidate: live handles keep serving their (now stale) build;
+        // the next Get replans against the caller-maintained database.
+        ++stats_.invalidations;
+        entries_.erase(it->first);
+        it = lru_.erase(it);
+        continue;
+      }
+      ++stats_.deltas_applied;
+      updatable_targets.push_back(entry);
+      ++it;
+    }
+  }
+
+  Status result = Status::Ok();
+  for (const std::shared_ptr<CachedRep>& entry : updatable_targets) {
+    // Each entry absorbs only the ops naming its own relations (a batch
+    // may span views).
+    UpdateBatch relevant;
+    std::set<std::string> names;
+    for (const Atom& atom : entry->view().cq().atoms())
+      names.insert(atom.relation);
+    for (const UpdateOp& op : delta)
+      if (names.count(op.relation) > 0) relevant.push_back(op);
+    Status s = entry->rep_->ApplyDelta(relevant);
+    if (!s.ok() && result.ok()) result = s;
+    MaybeScheduleRebuild(entry);
+  }
+  if (!key_found && result.ok())
+    return Status::Error("ApplyDelta: no cached entry for key " + key +
+                         " (evicted or never built)");
+  return result;
+}
+
+void RepCache::MaybeScheduleRebuild(const std::shared_ptr<CachedRep>& entry) {
+  auto* rep = dynamic_cast<UpdatableAnswerRep*>(entry->rep_.get());
+  if (rep == nullptr || !rep->NeedsRebuild()) return;
+  if (entry->rebuild_scheduled_.exchange(true)) return;  // fold coalesced
+  std::shared_ptr<RebuildTracker> tracker = rebuilds_;
+  {
+    std::lock_guard<std::mutex> lock(tracker->mu);
+    ++tracker->outstanding;
+    ++tracker->scheduled;
+  }
+  // The task owns the entry (survives eviction and cache destruction; the
+  // destructor additionally drains the tracker). Rebuild(true) re-checks
+  // the threshold, so a fold that raced a concurrent manual Rebuild is a
+  // no-op. Deltas applied *during* the fold can re-cross the threshold
+  // after the rebase — they all skipped scheduling while the flag was
+  // set, so this task must loop until the entry is genuinely below
+  // threshold (or another scheduler claimed the flag).
+  SharedBuildPool().Submit([entry, rep, tracker] {
+    for (;;) {
+      Status s = rep->Rebuild(/*only_if_needed=*/true);
+      if (!s.ok())
+        std::fprintf(stderr, "RepCache: background rebuild failed: %s\n",
+                     s.message().c_str());
+      entry->rebuild_scheduled_.store(false);
+      if (!s.ok() || !rep->NeedsRebuild()) break;
+      if (entry->rebuild_scheduled_.exchange(true)) break;  // claimed anew
+    }
+    {
+      std::lock_guard<std::mutex> lock(tracker->mu);
+      ++tracker->completed;
+      --tracker->outstanding;
+    }
+    tracker->cv.notify_all();
+  });
+}
+
+void RepCache::WaitForRebuilds() {
+  std::shared_ptr<RebuildTracker> tracker = rebuilds_;
+  std::unique_lock<std::mutex> lock(tracker->mu);
+  tracker->cv.wait(lock, [&] { return tracker->outstanding == 0; });
 }
 
 RepCacheStats RepCache::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return stats_;
+  RepCacheStats out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(rebuilds_->mu);
+    out.rebuilds_scheduled = rebuilds_->scheduled;
+    out.rebuilds_completed = rebuilds_->completed;
+  }
+  return out;
 }
 
 size_t RepCache::size() const {

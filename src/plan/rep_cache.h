@@ -1,4 +1,5 @@
-// RepCache: the serving layer — plan once, build once, serve many.
+// RepCache: the serving layer — plan once, build once, serve many, and
+// keep serving while the base tables move.
 //
 // An LRU cache of built representations keyed by the canonical query key
 // (query/normalize.h: alpha-renamed copies of a query share an entry) plus
@@ -13,9 +14,24 @@
 // expensive) compression — the thundering-herd behavior a serving cache
 // must not have. Distinct keys build concurrently; the cache lock guards
 // only metadata, never a build.
+//
+// Updates (docs/update-semantics.md): ApplyDelta(key, delta) routes a
+// batch of base-table mutations through the cache. Every cached entry
+// whose view references a mutated relation is affected: entries holding an
+// updatable structure (capabilities().updatable) absorb the delta in
+// place — concurrent readers keep enumerating, protected by the
+// structure's epoch-style state swap — while static entries are
+// invalidated (dropped from the cache; live handles keep serving their
+// now-stale build, and the next Get rebuilds from the caller-maintained
+// base database). When an updatable entry's pending mass crosses its
+// rebuild threshold, the cache schedules ONE amortized snapshot fold on
+// the shared exec/ThreadPool (concurrent deltas coalesce on the
+// per-entry flag); the fold swaps the structure's snapshot pointer, so
+// readers never block on it and never observe a torn rep.
 #ifndef CQC_PLAN_REP_CACHE_H_
 #define CQC_PLAN_REP_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <list>
 #include <memory>
@@ -37,7 +53,8 @@ struct RepCacheOptions {
   /// caller still holds their shared_ptr).
   size_t capacity = 16;
   /// Planner defaults for entries; the per-Get budget overrides
-  /// space_budget_exponent.
+  /// space_budget_exponent. Set planner.churn_per_request > 0 to let the
+  /// planner pick the updatable structure for mutable workloads.
   PlannerOptions planner;
 };
 
@@ -48,10 +65,17 @@ struct RepCacheStats {
   uint64_t builds = 0;        // successful builds
   uint64_t build_failures = 0;
   uint64_t evictions = 0;
+  // Update path.
+  uint64_t deltas_applied = 0;       // updatable entries that absorbed a delta
+  uint64_t invalidations = 0;        // static entries dropped by a delta
+  uint64_t rebuilds_scheduled = 0;   // background folds submitted
+  uint64_t rebuilds_completed = 0;   // background folds finished
 };
 
-/// One immutable cache entry: the normalized view (owning the derived
-/// relations the structure references), the plan, and the built structure.
+/// One cache entry: the normalized view (owning the derived relations the
+/// structure references), the plan, and the built structure. Entries are
+/// immutable except through RepCache::ApplyDelta, which mutates only
+/// updatable structures (themselves safe for concurrent readers).
 class CachedRep {
  public:
   const AnswerRep& rep() const { return *rep_; }
@@ -68,12 +92,16 @@ class CachedRep {
   NormalizedView normalized_;
   Plan plan_;
   std::unique_ptr<AnswerRep> rep_;
+  /// Coalesces background snapshot folds: set while one is queued/running.
+  std::atomic<bool> rebuild_scheduled_{false};
 };
 
 class RepCache {
  public:
   /// `db` must outlive the cache and every entry handed out.
   explicit RepCache(const Database* db, RepCacheOptions options = {});
+  /// Blocks until outstanding background rebuilds finish.
+  ~RepCache();
 
   /// Parses and serves `view_text` (e.g. "Q^bf(x,y) = R(x,y)").
   Result<std::shared_ptr<const CachedRep>> Get(
@@ -84,6 +112,19 @@ class RepCache {
   Result<std::shared_ptr<const CachedRep>> GetView(
       const AdornedView& view, double space_budget_exponent = -1);
 
+  /// Routes a batch of base-table mutations through the cache: the
+  /// addressed entry (`key` from CachedRep::key(); error if no longer
+  /// cached) and every other affected entry absorb the delta when
+  /// updatable, or are invalidated when not. Updatable entries that cross
+  /// their rebuild threshold get ONE background snapshot fold scheduled on
+  /// the shared build pool. The caller owns keeping the base Database
+  /// consistent with the deltas it applies (entries built after this call
+  /// see whatever that database then holds).
+  Status ApplyDelta(const std::string& key, const UpdateBatch& delta);
+
+  /// Blocks until every scheduled background rebuild has completed.
+  void WaitForRebuilds();
+
   RepCacheStats stats() const;
   size_t size() const;
 
@@ -93,11 +134,24 @@ class RepCache {
     std::shared_ptr<const CachedRep> result;  // null on failure
     Status error;
   };
+  /// Lifetime-shared with background rebuild tasks, so the tasks can
+  /// report completion even if they outlive a particular wait.
+  struct RebuildTracker {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t outstanding = 0;
+    uint64_t scheduled = 0;
+    uint64_t completed = 0;
+  };
+  using LruList = std::list<std::pair<std::string, std::shared_ptr<CachedRep>>>;
 
   /// Builds the entry for (view, budget); no cache locks held.
-  Result<std::shared_ptr<const CachedRep>> BuildEntry(
+  Result<std::shared_ptr<CachedRep>> BuildEntry(
       const std::string& key, const AdornedView& view,
       double space_budget_exponent) const;
+
+  /// Schedules one coalesced background fold if the entry needs it.
+  void MaybeScheduleRebuild(const std::shared_ptr<CachedRep>& entry);
 
   const Database* db_;
   const RepCacheOptions options_;
@@ -105,14 +159,12 @@ class RepCache {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   /// Most-recently-used first; entries_ indexes into it.
-  std::list<std::pair<std::string, std::shared_ptr<const CachedRep>>> lru_;
-  std::unordered_map<
-      std::string,
-      std::list<std::pair<std::string, std::shared_ptr<const CachedRep>>>::
-          iterator>
-      entries_;
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> entries_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   RepCacheStats stats_;
+  std::shared_ptr<RebuildTracker> rebuilds_ =
+      std::make_shared<RebuildTracker>();
 };
 
 }  // namespace cqc

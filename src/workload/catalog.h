@@ -31,6 +31,12 @@ struct CatalogStats {
   /// Base-data footprint of the distinct referenced relations.
   size_t input_bytes = 0;
   size_t total_tuples = 0;
+  /// Expected base-table mutations per access request. Not derivable from
+  /// the data: CollectCatalogStats leaves it 0 and the workload owner (or
+  /// PlannerOptions::churn_per_request) fills it in. The planner prices
+  /// maintenance — rebuild amortization for static structures, the delta
+  /// term of the updatable structure — from this rate.
+  double churn_per_request = 0;
 };
 
 /// Collects statistics for `view` against (db, aux_db). Fails if an atom's

@@ -1,6 +1,7 @@
-// Insert-only maintenance (§8 extension): answers over snapshot + delta
-// always match the oracle on the *current* data; rebuilds fire at the
-// configured threshold.
+// Insert+delete maintenance (§8 extension): answers over snapshot + signed
+// delta always match the oracle on the *current* data; tombstones filter
+// snapshot answers; rebuilds fire at the configured pending-mass threshold
+// and rebase concurrent ops. See docs/update-semantics.md.
 #include <gtest/gtest.h>
 
 #include "core/updatable_rep.h"
@@ -158,6 +159,176 @@ TEST(UpdatableRepTest, InsertValidation) {
   ASSERT_TRUE(rep.ok());
   EXPECT_FALSE(rep.value()->Insert("S", {1, 2}).ok());
   EXPECT_FALSE(rep.value()->Insert("R", {1, 2, 3}).ok());
+}
+
+TEST(UpdatableRepTest, DeletionsFilterSnapshotAnswers) {
+  // Deleting an edge of a snapshot triangle must remove the answer without
+  // a rebuild (tombstone filter); re-inserting restores it.
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  auto edge = [&](Value a, Value b) {
+    r->Insert({a, b});
+    r->Insert({b, a});
+  };
+  edge(1, 2);
+  edge(2, 3);
+  edge(3, 1);  // complete triangle 1-2-3
+  edge(1, 4);
+  edge(4, 3);  // second witness 1-4-3
+  r->Seal();
+  AdornedView view = TriangleView("bfb");
+  UpdatableRepOptions opt;
+  opt.rep.tau = 1.0;
+  opt.rebuild_fraction = 1e9;
+  auto rep = UpdatableRep::Build(view, db, opt);
+  ASSERT_TRUE(rep.ok());
+
+  EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer({1, 3}))),
+            (std::vector<Tuple>{{2}, {4}}));
+  ASSERT_TRUE(rep.value()->Delete("R", {2, 3}).ok());
+  EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer({1, 3}))),
+            (std::vector<Tuple>{{4}}));
+  EXPECT_EQ(rep.value()->pending_deletes(), 1u);
+  EXPECT_EQ(rep.value()->num_rebuilds(), 0);
+  // Un-delete: the tombstone cancels instead of stacking a pending insert.
+  ASSERT_TRUE(rep.value()->Insert("R", {2, 3}).ok());
+  EXPECT_EQ(rep.value()->pending_deletes(), 0u);
+  EXPECT_EQ(rep.value()->pending_inserts(), 0u);
+  EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer({1, 3}))),
+            (std::vector<Tuple>{{2}, {4}}));
+}
+
+TEST(UpdatableRepTest, DeleteOfPendingInsertCancels) {
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  UpdatableRepOptions opt;
+  opt.rebuild_fraction = 1e9;
+  auto rep = UpdatableRep::Build(view.value(), db, opt);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(rep.value()->Insert("R", {1, 5}).ok());
+  EXPECT_EQ(rep.value()->pending_inserts(), 1u);
+  ASSERT_TRUE(rep.value()->Delete("R", {1, 5}).ok());
+  EXPECT_EQ(rep.value()->pending_inserts(), 0u);
+  EXPECT_EQ(rep.value()->pending_deletes(), 0u);
+  EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer({1}))),
+            (std::vector<Tuple>{{2}}));
+  // Deleting an absent tuple is a no-op, not an error.
+  ASSERT_TRUE(rep.value()->Delete("R", {9, 9}).ok());
+  EXPECT_EQ(rep.value()->pending_deletes(), 0u);
+}
+
+TEST(UpdatableRepTest, TombstoneMassTriggersRebuild) {
+  Database db;
+  std::vector<Tuple> rows;
+  for (Value i = 1; i <= 40; ++i) rows.push_back({i, i + 100});
+  AddRelation(db, "R", 2, rows);
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  UpdatableRepOptions opt;
+  opt.rebuild_fraction = 0.10;  // rebuild after ~4 pending ops
+  auto rep = UpdatableRep::Build(view.value(), db, opt);
+  ASSERT_TRUE(rep.ok());
+  for (Value i = 1; i <= 10; ++i)
+    ASSERT_TRUE(rep.value()->Delete("R", {i, i + 100}).ok());
+  EXPECT_GT(rep.value()->num_rebuilds(), 0);
+  EXPECT_LT(rep.value()->snapshot_tuples(), 40u);
+  EXPECT_TRUE(CollectAll(*rep.value()->Answer({1})).empty());
+  EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer({11}))),
+            (std::vector<Tuple>{{111}}));
+}
+
+TEST(UpdatableRepTest, ValidationRejectsBadOps) {
+  Database db;
+  AddRelation(db, "R", 2, {{1, 2}});
+  auto view = ParseAdornedView("Q^bf(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  UpdatableRepOptions opt;
+  auto rep = UpdatableRep::Build(view.value(), db, opt);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.value()->Delete("S", {1, 2}).ok());
+  EXPECT_FALSE(rep.value()->Delete("R", {1}).ok());
+  // A batch with one bad op is rejected atomically: the good op must not
+  // have been applied.
+  UpdateBatch batch{UpdateOp::Insert("R", {7, 8}),
+                    UpdateOp::Delete("R", {1, 2, 3})};
+  EXPECT_FALSE(rep.value()->Apply(batch).ok());
+  EXPECT_EQ(rep.value()->pending_inserts(), 0u);
+}
+
+TEST(UpdatableRepTest, MixedScriptMatchesOracleAndScratchRebuild) {
+  // A random insert/delete script; at checkpoints the structure must agree
+  // with the naive oracle on the current data, the stream must have a lex-
+  // sorted prefix (the surviving snapshot answers) followed by the delta
+  // answers, and at the end a from-scratch rebuild must agree too.
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    Database db;
+    MakeRandomGraph(db, "R", 10, 40, true, seed * 7);
+    AdornedView view = TriangleView("bfb");
+    UpdatableRepOptions opt;
+    opt.rep.tau = 2.0;
+    opt.rebuild_fraction = 0.35;
+    auto rep = UpdatableRep::Build(view, db, opt);
+    ASSERT_TRUE(rep.ok());
+
+    // Mirror of the current data, replayed alongside the structure.
+    std::set<Tuple> current;
+    {
+      const Relation* r = db.Find("R");
+      Tuple row(2);
+      for (size_t i = 0; i < r->size(); ++i) {
+        row[0] = r->At(i, 0);
+        row[1] = r->At(i, 1);
+        current.insert(row);
+      }
+    }
+    Rng rng(seed);
+    for (int i = 0; i < 300; ++i) {
+      Tuple t{rng.UniformRange(1, 10), rng.UniformRange(1, 10)};
+      if (t[0] == t[1]) continue;
+      if (rng.Uniform(3) == 0) {
+        ASSERT_TRUE(rep.value()->Delete("R", t).ok());
+        current.erase(t);
+      } else {
+        ASSERT_TRUE(rep.value()->Insert("R", t).ok());
+        current.insert(t);
+      }
+      if (i % 60 != 59) continue;
+      Database now;
+      AddRelation(now, "R", 2,
+                  std::vector<Tuple>(current.begin(), current.end()));
+      // Snapshot-part answers (surviving base answers) must form a strictly
+      // lex-sorted prefix of the stream.
+      const Database& base = rep.value()->snapshot_base();
+      for (const BoundValuation& vb :
+           InterestingBoundValuations(view, now)) {
+        std::vector<Tuple> got = CollectAll(*rep.value()->Answer(vb));
+        std::vector<Tuple> oracle_base = OracleAnswer(view, base, vb);
+        std::vector<Tuple> oracle_now = OracleAnswer(view, now, vb);
+        std::set<Tuple> now_set(oracle_now.begin(), oracle_now.end());
+        size_t prefix = 0;
+        for (const Tuple& t2 : oracle_base)
+          if (now_set.count(t2) > 0) ++prefix;
+        ASSERT_LE(prefix, got.size());
+        std::vector<Tuple> head(got.begin(), got.begin() + prefix);
+        EXPECT_TRUE(testing::IsStrictlySortedLex(head));
+        EXPECT_EQ(SortedCopy(got), oracle_now);
+      }
+    }
+    // From-scratch rebuild on the final data agrees with the maintained
+    // structure everywhere.
+    ASSERT_TRUE(rep.value()->Rebuild().ok());
+    Database final_db;
+    AddRelation(final_db, "R", 2,
+                std::vector<Tuple>(current.begin(), current.end()));
+    for (const BoundValuation& vb :
+         InterestingBoundValuations(view, final_db)) {
+      EXPECT_EQ(SortedCopy(CollectAll(*rep.value()->Answer(vb))),
+                OracleAnswer(view, final_db, vb));
+    }
+    EXPECT_EQ(rep.value()->snapshot_tuples(), current.size());
+  }
 }
 
 TEST(UpdatableRepTest, StarJoinRandomizedSweep) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI docs gate).
+
+Scans the given markdown files for inline links/images `[text](target)`
+and reference definitions `[id]: target`, and fails (exit 1) when a
+*relative* target does not exist on disk. External schemes (http/https/
+mailto) are not fetched — this gate is about intra-repo rot, not the
+internet. Fragments are stripped before the existence check; a pure
+fragment link (`#section`) is checked against the headings of the file it
+appears in.
+
+Usage:
+  python3 tools/check_links.py README.md docs/*.md
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_anchor(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Links inside fenced code blocks are examples, not navigation.
+    prose = CODE_FENCE.sub("", text)
+    anchors = {github_anchor(h) for h in HEADING.findall(prose)}
+    errors = []
+    targets = INLINE_LINK.findall(prose) + REF_DEF.findall(prose)
+    for target in targets:
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            if target[1:].lower() not in anchors:
+                errors.append(f"{path}: dead anchor {target}")
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: dead link {target} -> {resolved}")
+    return errors, len(targets)
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    all_errors = []
+    checked = 0
+    for path in files:
+        if not os.path.exists(path):
+            all_errors.append(f"{path}: file not found")
+            continue
+        errors, n = check_file(path)
+        checked += n
+        all_errors.extend(errors)
+    if all_errors:
+        print("FAIL: dead links", file=sys.stderr)
+        for e in all_errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"PASS: {checked} links across {len(files)} files, none dead")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

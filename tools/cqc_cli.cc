@@ -24,10 +24,20 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: cqc_cli --rel NAME=PATH:ARITY [--rel ...] --view VIEW\n"
-      "               [--plan auto|compressed|decomposed|direct|materialized]\n"
+      "               [--plan auto|compressed|decomposed|direct|materialized|"
+      "updatable]\n"
       "               [--tau T] [--space-budget B] [--threads N] [--stats]\n"
       "               [--save PATH] [--load PATH]\n"
-      "then: one access request per line on stdin (bound values).\n");
+      "               [--mutate] [--churn RATE]\n"
+      "then: one access request per line on stdin (bound values).\n"
+      "with --mutate, stdin is a script of interleaved mutations and\n"
+      "queries (docs/update-semantics.md):\n"
+      "  + REL v1 v2 ...   insert a tuple into REL\n"
+      "  - REL v1 v2 ...   delete a tuple from REL\n"
+      "  ? v1 v2 ...       access request (bound values)\n"
+      "  rebuild           fold the pending delta into the snapshot now\n"
+      "  stats             print the structure state to stderr\n"
+      "  # ...             comment\n");
 }
 
 }  // namespace
@@ -38,7 +48,9 @@ int main(int argc, char** argv) {
   std::string view_text, save_path, load_path, plan_name = "compressed";
   double tau = 1.0;
   double space_budget = -1;
+  double churn = -1;  // <0 = unset; defaults to 0.5 in --mutate mode
   bool want_stats = false;
+  bool mutate = false;
   int threads = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -76,8 +88,12 @@ int main(int argc, char** argv) {
                          : arg == "--save" ? save_path
                                            : load_path;
       dst = next();
-    } else if (arg == "--tau" || arg == "--space-budget") {
-      (arg == "--tau" ? tau : space_budget) = std::atof(next());
+    } else if (arg == "--tau" || arg == "--space-budget" || arg == "--churn") {
+      (arg == "--tau"          ? tau
+       : arg == "--space-budget" ? space_budget
+                                 : churn) = std::atof(next());
+    } else if (arg == "--mutate") {
+      mutate = true;
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--threads") {
@@ -108,6 +124,37 @@ int main(int argc, char** argv) {
   }
   const AdornedView& view = normalized.value().view;
   const Database* aux = &normalized.value().aux_db;
+  if (mutate) {
+    // Normalization rewrites atoms with constants / repeated variables
+    // into derived aux relations (R__n<k>). Mutations name *base*
+    // relations, so the derived copies would silently go stale — reject
+    // instead of serving wrong answers (the RepCache guards the same case
+    // by invalidating such entries).
+    for (const Atom& atom : view.cq().atoms()) {
+      if (db.Find(atom.relation) != nullptr) continue;
+      std::fprintf(stderr,
+                   "--mutate requires a natural-join view (atom %s was "
+                   "normalized into a derived relation that updates cannot "
+                   "reach)\n",
+                   atom.relation.c_str());
+      return 2;
+    }
+  }
+
+  // --mutate serves a mutable workload: the structure must be updatable,
+  // and the planner prices the churn rate into the choice.
+  if (mutate) {
+    if (plan_name == "compressed") plan_name = "updatable";  // default flag
+    if (plan_name != "updatable" && plan_name != "auto") {
+      std::fprintf(stderr, "--mutate requires --plan updatable or auto\n");
+      return 2;
+    }
+    if (!load_path.empty()) {
+      std::fprintf(stderr, "--mutate cannot serve a --load'ed snapshot\n");
+      return 2;
+    }
+  }
+  if (churn < 0) churn = mutate ? 0.5 : 0;
 
   std::unique_ptr<AnswerRep> rep;
   if (!load_path.empty()) {
@@ -124,6 +171,7 @@ int main(int argc, char** argv) {
     Planner planner(&db, aux);
     PlannerOptions popt;
     popt.space_budget_exponent = space_budget;
+    popt.churn_per_request = churn;
     std::optional<RepKind> fixed = ParseRepKind(plan_name);
     if (plan_name != "auto") {
       if (!fixed.has_value()) {
@@ -134,6 +182,10 @@ int main(int argc, char** argv) {
       popt.consider_decomposed = *fixed == RepKind::kDecomposed;
       popt.consider_direct = *fixed == RepKind::kDirect;
       popt.consider_materialized = *fixed == RepKind::kMaterialized;
+      popt.consider_updatable = *fixed == RepKind::kUpdatable;
+      // The updatable candidate is scored only for mutable workloads.
+      if (*fixed == RepKind::kUpdatable && popt.churn_per_request <= 0)
+        popt.churn_per_request = 0.5;
     }
     auto planned = planner.PlanView(view, popt);
     if (!planned.ok()) {
@@ -150,6 +202,10 @@ int main(int argc, char** argv) {
     if (fixed == RepKind::kCompressed && space_budget <= 0) {
       plan.spec.compressed.tau = tau;  // manual knob without a budget
       plan.spec.compressed.cover.reset();
+    }
+    if (fixed == RepKind::kUpdatable && space_budget <= 0 && tau != 1.0) {
+      plan.spec.updatable.rep.tau = tau;  // same manual knob, snapshot side
+      plan.spec.updatable.rep.cover.reset();
     }
     auto built = planner.BuildPlan(view, plan);
     if (!built.ok()) {
@@ -172,28 +228,34 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "saved structure to %s\n", save_path.c_str());
   }
+  if (mutate && !rep->capabilities().updatable) {
+    // Reachable via --plan auto when a static candidate out-prices the
+    // updatable one: refusing beats accepting a script whose mutations
+    // all error while queries serve stale data.
+    std::fprintf(stderr,
+                 "--mutate needs an updatable structure but the plan chose "
+                 "%s; raise --churn or use --plan updatable\n",
+                 RepKindName(rep->kind()));
+    return 2;
+  }
   if (want_stats)
     std::fprintf(stderr, "%s build=%.3fs\n", rep->Describe().c_str(),
                  rep->build_seconds());
 
-  std::fprintf(stderr, "ready: %d bound value(s) per request\n",
-               view.num_bound());
+  std::fprintf(stderr, "ready: %d bound value(s) per request%s\n",
+               view.num_bound(), mutate ? " (--mutate script mode)" : "");
   ParallelOptions popts;
   popts.num_threads = threads;
   popts.ordered = true;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    BoundValuation vb;
-    Value v;
-    while (in >> v) vb.push_back(v);
-    // One hardened entry point for every structure; --threads N > 1 drains
-    // shard-parallel with an order-preserving merge where supported.
+
+  // One hardened entry point for every structure; --threads N > 1 drains
+  // shard-parallel with an order-preserving merge where supported.
+  auto serve = [&](const BoundValuation& vb) {
     auto stream = threads > 1 ? rep->ParallelAnswer(vb, popts)
                               : rep->Answer(vb);
     if (!stream.ok()) {
       std::fprintf(stderr, "%s\n", stream.status().message().c_str());
-      continue;
+      return;
     }
     TupleEnumerator& e = *stream.value();
     constexpr size_t kBatch = 512;
@@ -212,6 +274,55 @@ int main(int argc, char** argv) {
       if (n < kBatch) break;
     }
     std::fprintf(stderr, "(%zu tuples)\n", count);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!mutate) {
+      std::istringstream in(line);
+      BoundValuation vb;
+      Value v;
+      while (in >> v) vb.push_back(v);
+      serve(vb);
+      continue;
+    }
+    // --mutate script mode: interleaved mutations and queries.
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "+" || cmd == "-") {
+      std::string rel;
+      if (!(in >> rel)) {
+        std::fprintf(stderr, "bad mutation line: %s\n", line.c_str());
+        continue;
+      }
+      Tuple t;
+      Value v;
+      while (in >> v) t.push_back(v);
+      Status s = rep->ApplyDelta(
+          {cmd == "+" ? UpdateOp::Insert(rel, std::move(t))
+                      : UpdateOp::Delete(rel, std::move(t))});
+      if (!s.ok()) std::fprintf(stderr, "%s\n", s.message().c_str());
+    } else if (cmd == "?") {
+      BoundValuation vb;
+      Value v;
+      while (in >> v) vb.push_back(v);
+      serve(vb);
+    } else if (cmd == "rebuild") {
+      auto* up = dynamic_cast<UpdatableAnswerRep*>(rep.get());
+      if (up == nullptr) {
+        std::fprintf(stderr, "rebuild: structure is not updatable\n");
+        continue;
+      }
+      Status s = up->Rebuild();
+      if (!s.ok()) std::fprintf(stderr, "%s\n", s.message().c_str());
+    } else if (cmd == "stats") {
+      std::fprintf(stderr, "%s\n", rep->Describe().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "bad script line (want + - ? rebuild stats): %s\n",
+                   line.c_str());
+    }
   }
   return 0;
 }

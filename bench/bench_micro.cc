@@ -7,11 +7,16 @@
 
 #include "baseline/direct_eval.h"
 #include "bench/bench_common.h"
+#include "core/bitpack.h"
 #include "core/compressed_rep.h"
 #include "core/cost_model.h"
 #include "core/splitter.h"
 #include "join/generic_join.h"
+#include "relational/hash_index.h"
+#include "simd/kernels.h"
+#include "simd/simd_caps.h"
 #include "util/rng.h"
+#include "util/timer.h"
 #include "workload/catalog.h"
 #include "workload/generators.h"
 
@@ -198,6 +203,146 @@ void BM_GenericJoinTriangleFullBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_GenericJoinTriangleFullBatched)->Unit(benchmark::kMillisecond);
 
+// Per-kernel scalar-vs-dispatch rows for the SIMD layer (src/simd/): each
+// record measures one kernel in its production hot-loop shape, once pinned
+// to the scalar twin and once at the best level the CPU supports. The
+// *_mtps / *_mprobes keys are gated by tools/bench_compare.py; the
+// dispatch_speedup ratio is informational (1.0 on scalar-only hardware).
+void WriteKernelRecords(bench::BenchReport& report) {
+  Rng rng(4242);
+  auto best_of = [](int reps, auto fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer t;
+      fn();
+      best = std::min(best, t.Seconds());
+    }
+    return best;
+  };
+  auto at_level = [&](simd::Level level, auto measure) {
+    simd::SetLevel(level);
+    const double s = measure();
+    simd::SetLevel(simd::Detected());
+    return s;
+  };
+  auto add = [&](const char* structure, const char* unit_key_scalar,
+                 const char* unit_key_dispatch, double units, double scalar_s,
+                 double dispatch_s) {
+    report.AddRecord()
+        .Set("experiment", "simd_kernels")
+        .Set("structure", structure)
+        .Set("dispatch_level", simd::LevelName(simd::Detected()))
+        .Set(unit_key_scalar, units / scalar_s / 1e6)
+        .Set(unit_key_dispatch, units / dispatch_s / 1e6)
+        .Set("dispatch_speedup", scalar_s / dispatch_s);
+    std::printf("%s: scalar %.1f -> %s %.1f M/s (%.2fx)\n", structure,
+                units / scalar_s / 1e6, simd::LevelName(simd::Detected()),
+                units / dispatch_s / 1e6, scalar_s / dispatch_s);
+  };
+
+  {
+    // Batch decode: 64-row blocks over a bit-packed pool — the
+    // HeavyDictionary candidate-drain / rehash shape.
+    const size_t kRows = 1 << 16;
+    constexpr int kArity = 4;
+    const uint32_t widths[kArity] = {9, 17, 33, 5};
+    std::vector<Value> flat(kRows * kArity);
+    for (size_t r = 0; r < kRows; ++r)
+      for (int c = 0; c < kArity; ++c)
+        flat[r * kArity + c] = rng.Next() & ((Value(1) << widths[c]) - 1);
+    for (int c = 0; c < kArity; ++c)  // pin the planned widths via row 0
+      flat[c] = (Value(1) << widths[c]) - 1;
+    const PackedTuplePool pool = PackedTuplePool::Pack(flat, kArity, kRows);
+    std::vector<Value> out(64 * kArity);
+    Value sink = 0;
+    const int kReps = 40;
+    auto measure = [&] {
+      return best_of(5, [&] {
+        for (int rep = 0; rep < kReps; ++rep)
+          for (size_t base = 0; base < kRows; base += 64) {
+            pool.UnpackRows(base, std::min<size_t>(64, kRows - base),
+                            out.data());
+            sink ^= out[0];
+          }
+      });
+    };
+    const double scalar_s = at_level(simd::Level::kScalar, measure);
+    const double dispatch_s = at_level(simd::Detected(), measure);
+    benchmark::DoNotOptimize(sink);
+    add("simd_unpack_rows", "scalar_mtps", "dispatch_mtps",
+        (double)kReps * kRows, scalar_s, dispatch_s);
+  }
+
+  {
+    // Galloping intersection probes: leapfrog SeekGE of a sparse outer
+    // list into a denser sorted column — the cyclic-box intersection and
+    // SortedIndex::SeekGE shape (short forward hops, occasional gallops).
+    const size_t kOuter = 1 << 16;
+    std::vector<Value> a(kOuter), b;
+    Value v = 0;
+    for (auto& x : a) x = (v += 1 + rng.Uniform(12));
+    b.reserve(kOuter * 4);
+    v = 0;
+    while (v < a.back()) b.push_back(v += 1 + rng.Uniform(3));
+    size_t hits = 0;
+    const int kReps = 30;
+    auto measure = [&] {
+      return best_of(5, [&] {
+        for (int rep = 0; rep < kReps; ++rep) {
+          size_t ib = 0;
+          hits = 0;
+          for (size_t ia = 0; ia < a.size() && ib < b.size(); ++ia) {
+            ib = simd::SeekGE(b.data(), ib, b.size(), a[ia]);
+            if (ib < b.size() && b[ib] == a[ia]) ++hits;
+          }
+        }
+      });
+    };
+    const double scalar_s = at_level(simd::Level::kScalar, measure);
+    const double dispatch_s = at_level(simd::Detected(), measure);
+    benchmark::DoNotOptimize(hits);
+    add("simd_seekge_intersect", "scalar_mprobes", "dispatch_mprobes",
+        (double)kReps * kOuter, scalar_s, dispatch_s);
+  }
+
+  {
+    // Tombstone filter: HashIndex::ContainsBatch over staged candidate
+    // blocks — the UpdatableRep delete-filter drain (group tag compares +
+    // batched hash/prefetch).
+    Relation rel("F", 3);
+    for (int i = 0; i < 100000; ++i)
+      rel.Insert({rng.Uniform(4096), rng.Uniform(4096), rng.Uniform(4096)});
+    rel.Seal();
+    const size_t kProbes = 1 << 16;
+    std::vector<Value> probes;
+    probes.reserve(kProbes * 3);
+    for (size_t i = 0; i < kProbes; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        const size_t row = rng.Uniform(rel.size());
+        for (int c = 0; c < 3; ++c) probes.push_back(rel.At(row, c));
+      } else {
+        for (int c = 0; c < 3; ++c) probes.push_back(rng.Uniform(4096) + 4096);
+      }
+    }
+    std::vector<uint8_t> hit(kProbes);
+    const int kReps = 20;
+    auto measure = [&] {
+      return best_of(5, [&] {
+        for (int rep = 0; rep < kReps; ++rep)
+          for (size_t base = 0; base < kProbes; base += 256)
+            rel.GetHashIndex().ContainsBatch(
+                probes.data() + base * 3,
+                std::min<size_t>(256, kProbes - base), hit.data() + base);
+      });
+    };
+    const double scalar_s = at_level(simd::Level::kScalar, measure);
+    const double dispatch_s = at_level(simd::Detected(), measure);
+    benchmark::DoNotOptimize(hit.data());
+    add("simd_tombstone_filter", "scalar_mtps", "dispatch_mtps",
+        (double)kReps * kProbes, scalar_s, dispatch_s);
+  }
+}
+
 // Records the batched-vs-single throughput headline in BENCH_micro.json
 // (the E10 acceptance metric for the batch enumeration API).
 void WriteMicroReport() {
@@ -302,6 +447,7 @@ void WriteMicroReport() {
            },
            3, 10);
   }
+  WriteKernelRecords(report);
 }
 
 }  // namespace

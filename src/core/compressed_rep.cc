@@ -1,5 +1,6 @@
 #include "core/compressed_rep.h"
 
+#include <cstring>
 #include <set>
 
 #include "fractional/edge_cover.h"
@@ -167,9 +168,12 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::Build(
 // Algorithm 2: in-order traversal of the delay-balanced tree.
 // ---------------------------------------------------------------------------
 
-// The traversal is written once, as the batch producer NextBatch(); the
-// one-at-a-time Next() pulls single-tuple batches through a scratch buffer,
-// so both entry points share one state machine and cannot diverge.
+// The traversal is written once, as the batch producer ProduceBatch(); the
+// one-at-a-time Next() serves from small staged blocks pulled through a
+// scratch buffer, and NextBatch() drains any staged tuples before
+// producing, so both entry points share one state machine, cannot diverge,
+// and can be interleaved freely. Staging keeps the delay bound: a block is
+// a fixed constant, so one refill costs O(kNextStage) constant-delay steps.
 //
 // An optional lex range [range_lo_, range_hi_] restricts the traversal: every
 // interval is clipped against the range when its frame is pushed (the child
@@ -230,14 +234,32 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   }
 
   bool Next(Tuple* out) override {
-    scratch_.Clear();
-    if (NextBatch(&scratch_, 1) == 0) return false;
-    TupleSpan t = scratch_[0];
-    out->assign(t.begin(), t.end());
+    if (scratch_pos_ >= scratch_.size()) {
+      scratch_.Clear();
+      scratch_pos_ = 0;
+      if (ProduceBatch(&scratch_, kNextStage) == 0) return false;
+    }
+    const TupleSpan t = scratch_[scratch_pos_++];
+    out->resize(t.size());
+    std::memcpy(out->data(), t.begin(), t.size() * sizeof(Value));
     return true;
   }
 
   size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    size_t emitted = 0;
+    while (scratch_pos_ < scratch_.size() && emitted < max_tuples) {
+      out->Append(scratch_[scratch_pos_++]);
+      ++emitted;
+    }
+    return emitted + ProduceBatch(out, max_tuples - emitted);
+  }
+
+ private:
+  // Per-Next staging block: amortizes the traversal state machine and the
+  // virtual batch dispatch over a constant number of outputs.
+  static constexpr size_t kNextStage = 16;
+
+  size_t ProduceBatch(TupleBuffer* out, size_t max_tuples) {
     size_t emitted = 0;
     while (!done_ && emitted < max_tuples) {
       if (join_active_) {
@@ -315,7 +337,6 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
     return emitted;
   }
 
- private:
   enum class Phase { kEnter, kAfterLeft, kAfterBeta };
   struct Frame {
     int node = -1;
@@ -386,7 +407,8 @@ class CompressedRep::Alg2Enumerator : public TupleEnumerator {
   std::optional<JoinIterator> join_;  // reused across boxes via Reset()
   bool join_active_ = false;
   std::vector<LevelConstraint> box_constraints_;  // reused per box
-  TupleBuffer scratch_;  // 1-tuple staging for the legacy Next() entry point
+  TupleBuffer scratch_;    // staged block for the Next() entry point
+  size_t scratch_pos_ = 0;  // next staged tuple to serve
   bool done_ = false;
 };
 

@@ -79,6 +79,25 @@ void HeavyDictionary::RehashCandidates() {
   while (cap < 4 * num_candidates_) cap <<= 1;
   id_slots_.assign(cap, kNoValuation);
   const size_t mask = cap - 1;
+  if (candidate_pool_.empty() && vb_arity_ > 0 && num_candidates_ > 0) {
+    // FromPacked load path: every hash decodes from the packed pool.
+    // Batch-decode blocks through the SIMD kernel instead of splicing one
+    // row per id.
+    constexpr size_t kBlock = 64;
+    std::vector<Value> buf(kBlock * (size_t)vb_arity_);
+    for (uint32_t base = 0; base < num_candidates_; base += kBlock) {
+      const size_t n =
+          std::min((size_t)kBlock, (size_t)(num_candidates_ - base));
+      packed_pool_.UnpackRows(base, n, buf.data());
+      for (size_t j = 0; j < n; ++j) {
+        const TupleSpan vb(buf.data() + j * vb_arity_, (size_t)vb_arity_);
+        size_t slot = SpanHash()(vb) & mask;
+        while (id_slots_[slot] != kNoValuation) slot = (slot + 1) & mask;
+        id_slots_[slot] = base + (uint32_t)j;
+      }
+    }
+    return;
+  }
   for (uint32_t id = 0; id < num_candidates_; ++id) {
     size_t slot = CandidateHash(id) & mask;
     while (id_slots_[slot] != kNoValuation) slot = (slot + 1) & mask;

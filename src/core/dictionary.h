@@ -44,6 +44,7 @@
 #ifndef CQC_CORE_DICTIONARY_H_
 #define CQC_CORE_DICTIONARY_H_
 
+#include <cstring>
 #include <vector>
 
 #include "core/bitpack.h"
@@ -96,6 +97,18 @@ class HeavyDictionary {
     } else {
       const Value* src = candidate_pool_.data() + (size_t)id * vb_arity_;
       for (int c = 0; c < vb_arity_; ++c) out[c] = src[c];
+    }
+  }
+
+  /// Decodes candidates [first, first + n) into `out` (row-major,
+  /// n * vb_arity() slots) — identical output to n UnpackCandidate calls;
+  /// post-seal this is the SIMD batch unpack of the packed pool.
+  void UnpackCandidates(uint32_t first, size_t n, Value* out) const {
+    if (sealed_) {
+      packed_pool_.UnpackRows(first, n, out);
+    } else if (vb_arity_ > 0 && n > 0) {
+      std::memcpy(out, candidate_pool_.data() + (size_t)first * vb_arity_,
+                  n * (size_t)vb_arity_ * sizeof(Value));
     }
   }
 

@@ -69,6 +69,24 @@ class BoundAtom {
   /// log-factor; lex-range refinement stays on the tries).
   bool ContainsValuation(TupleSpan bound_vals, TupleSpan free_vals) const;
 
+  /// Reusable scratch for FilterValuations (keys in schema order, the ids
+  /// of the surviving tuples they came from, and the probe results).
+  struct ProbeBatch {
+    std::vector<Value> keys;
+    std::vector<uint32_t> ids;
+    std::vector<uint8_t> hits;
+  };
+
+  /// Batch ContainsValuation: clears keep[i] for every i in [0, n) where
+  /// the relation does NOT contain (bound_vals, free tuple i); entries with
+  /// keep[i] == 0 on entry are skipped. Free tuples are row-major in
+  /// `free_vals`, `stride` values each. Scatters the survivors' keys into
+  /// schema order once, then drives one prefetched batch hash probe instead
+  /// of n dependent point probes.
+  void FilterValuations(TupleSpan bound_vals, const Value* free_vals,
+                        size_t stride, size_t n, uint8_t* keep,
+                        ProbeBatch* ws) const;
+
   const SortedIndex& bf_index() const { return *bf_index_; }
   const SortedIndex& fb_index() const { return *fb_index_; }
 

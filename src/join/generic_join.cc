@@ -1,5 +1,6 @@
 #include "join/generic_join.h"
 
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/op_counter.h"
 
@@ -241,17 +242,12 @@ size_t JoinIterator::ScanLastLevel(TupleBuffer* out, size_t max_tuples) {
       v = col[pos];
       if (c.kind == FBoxDim::kRange && v > c.hi) break;
       ops::Bump();
-      // Runs are short in practice: linear probe with a seek fallback.
+      // Length-1 runs dominate set-semantics deepest levels: one inline
+      // compare; real runs fall through to the block compare-and-count
+      // kernel (which gallops past pathological ones).
       size_t end = pos + 1;
-      size_t probes = 0;
-      while (end < parent.end && col[end] == v) {
-        ++end;
-        if (++probes >= 32) {
-          end = v == kTop ? parent.end
-                          : idx.SeekGE(parent, p.trie_level, v + 1, end);
-          break;
-        }
-      }
+      if (end < parent.end && col[end] == v)
+        end = simd::RunEnd(col, pos, parent.end);
       Value* slot = out->AppendSlot();
       for (int l = 0; l < level; ++l) slot[l] = values_[l];
       slot[level] = v;

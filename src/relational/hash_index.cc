@@ -1,6 +1,9 @@
 #include "relational/hash_index.h"
 
+#include <algorithm>
+
 #include "relational/relation.h"
+#include "simd/kernels.h"
 #include "util/hashing.h"
 #include "util/logging.h"
 #include "util/op_counter.h"
@@ -25,12 +28,13 @@ HashIndex::HashIndex(const Relation& rel) {
   for (int c = 0; c < arity; ++c) cols_.push_back(rel.ColumnData(c));
   CQC_CHECK_LT(num_rows_, (size_t)kEmptySlot) << "relation too large";
 
-  // Power-of-two capacity at <= 50% load.
+  // Power-of-two capacity at <= 50% load (>= 16, so the capacity is always
+  // a multiple of the probe group width).
   size_t cap = 16;
   while (cap < 2 * num_rows_) cap <<= 1;
   mask_ = cap - 1;
-  fps_.assign(cap, 0);
-  rows_.assign(cap, kEmptySlot);
+  fps_.assign(cap + simd::kGroupWidth, 0);
+  rows_.assign(cap + simd::kGroupWidth, kEmptySlot);
 
   Value buf[kMaxVars];
   for (size_t row = 0; row < num_rows_; ++row) {
@@ -41,6 +45,37 @@ HashIndex::HashIndex(const Relation& rel) {
     fps_[slot] = Fingerprint(h);
     rows_[slot] = (uint32_t)row;
   }
+  // Mirror the first group into the pad so a window starting near the end
+  // of the table reads its wrapped slots contiguously.
+  for (size_t i = 0; i < simd::kGroupWidth; ++i) {
+    fps_[cap + i] = fps_[i];
+    rows_[cap + i] = rows_[i];
+  }
+}
+
+// Walks probe windows of kGroupWidth slots from the home slot. One tag
+// compare nominates candidates, one empty compare finds the cluster end;
+// candidates past the first empty slot belong to other clusters and are
+// masked off. Terminates because load <= 50% guarantees empty slots.
+bool HashIndex::ProbeGroups(uint64_t h, const Value* t, size_t arity) const {
+  const uint8_t fp = Fingerprint(h);
+  size_t slot = h & mask_;
+  for (;;) {
+    uint32_t tags = simd::MatchTags(fps_.data() + slot, fp);
+    const uint32_t empties =
+        simd::MatchEmpty(rows_.data() + slot, kEmptySlot);
+    if (empties != 0) tags &= (1u << __builtin_ctz(empties)) - 1;
+    while (tags != 0) {
+      const unsigned bit = (unsigned)__builtin_ctz(tags);
+      tags &= tags - 1;
+      const uint32_t row = rows_[slot + bit];  // pad slots mirror the head
+      size_t c = 0;
+      while (c < arity && cols_[c][row] == t[c]) ++c;
+      if (c == arity) return true;
+    }
+    if (empties != 0) return false;
+    slot = (slot + simd::kGroupWidth) & mask_;
+  }
 }
 
 bool HashIndex::Contains(TupleSpan t) const {
@@ -48,11 +83,14 @@ bool HashIndex::Contains(TupleSpan t) const {
   ops::BumpHashProbe();
   const size_t arity = cols_.size();
   if (t.size() != arity) return false;
+  // Single point probes walk slot by slot: at <= 50% load the expected
+  // cluster is 1-2 slots, so the dependent chain ends after one or two
+  // iterations and a group window's vector setup costs more than it
+  // saves. The group probe earns its keep in ContainsBatch, where the
+  // block's hashing + prefetching hides the window loads.
   const uint64_t h = SpanHash()(t);
   const uint8_t fp = Fingerprint(h);
   size_t slot = h & mask_;
-  __builtin_prefetch(fps_.data() + slot);
-  __builtin_prefetch(rows_.data() + slot);
   for (;;) {
     const uint32_t row = rows_[slot];
     if (row == kEmptySlot) return false;
@@ -62,6 +100,38 @@ bool HashIndex::Contains(TupleSpan t) const {
       if (c == arity) return true;
     }
     slot = (slot + 1) & mask_;
+  }
+}
+
+void HashIndex::ContainsBatch(const Value* flat, size_t n,
+                              uint8_t* out) const {
+  const size_t arity = cols_.size();
+  if (n == 1) {
+    // A lone probe gains nothing from the hash/prefetch pass or a group
+    // window; take the slot-walk point probe (the updatable single-tuple
+    // path refills one answer at a time through here).
+    out[0] = Contains(TupleSpan(flat, arity));
+    return;
+  }
+  constexpr size_t kBlock = 8;
+  uint64_t hashes[kBlock];
+  for (size_t i = 0; i < n; i += kBlock) {
+    const size_t m = std::min(kBlock, n - i);
+    // Pass 1: hash the block and prefetch every home window, so the table
+    // misses of up to 8 probes overlap instead of serializing.
+    for (size_t j = 0; j < m; ++j) {
+      const uint64_t h = SpanHash()(TupleSpan(flat + (i + j) * arity, arity));
+      hashes[j] = h;
+      const size_t slot = h & mask_;
+      __builtin_prefetch(fps_.data() + slot);
+      __builtin_prefetch(rows_.data() + slot);
+    }
+    // Pass 2: resolve each probe against (mostly) cache-resident windows.
+    for (size_t j = 0; j < m; ++j) {
+      ops::Bump();
+      ops::BumpHashProbe();
+      out[i + j] = ProbeGroups(hashes[j], flat + (i + j) * arity, arity);
+    }
   }
 }
 

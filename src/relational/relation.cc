@@ -136,6 +136,11 @@ bool Relation::Contains(TupleSpan t) const {
   return GetHashIndex().Contains(t);
 }
 
+void Relation::ContainsBatch(const Value* flat, size_t n,
+                             uint8_t* out) const {
+  GetHashIndex().ContainsBatch(flat, n, out);
+}
+
 uint64_t Relation::ContentHash() const {
   CQC_CHECK(sealed_);
   uint64_t h = 0x243f6a8885a308d3ULL ^ ((uint64_t)arity_ << 32) ^ num_rows_;

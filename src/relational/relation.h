@@ -78,6 +78,12 @@ class Relation {
   /// converts implicitly) — no materialization.
   bool Contains(TupleSpan t) const;
 
+  /// Batch membership over `n` tuples laid out row-major in `flat`
+  /// (n * arity values): out[i] = 1 iff the relation contains tuple i.
+  /// Same probe plan as Contains, with hashes and prefetches pipelined a
+  /// block ahead (HashIndex::ContainsBatch).
+  void ContainsBatch(const Value* flat, size_t n, uint8_t* out) const;
+
   /// Order-insensitive 64-bit digest of the relation's content (rows are
   /// canonically sorted after Seal, so this identifies the tuple set).
   /// Used by serialization fingerprints. Valid only after Seal().

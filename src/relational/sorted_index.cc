@@ -6,6 +6,7 @@
 
 #include "exec/par_util.h"
 #include "relational/relation.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/op_counter.h"
 
@@ -55,30 +56,20 @@ size_t SortedIndex::SeekGE(RowRange r, int level, Value v,
   ops::Bump();
   ops::BumpRangeSeek();
   const Value* col = cols_[level].data();
-  size_t lo = hint < r.begin ? r.begin : hint;
+  const size_t lo = hint < r.begin ? r.begin : hint;
+  // Keep the no-motion fast path inline (the leapfrog hint usually already
+  // sits on the answer); the galloping block probe lives in the kernel.
   if (lo >= r.end || col[lo] >= v) return lo;
-  // col[lo] < v: gallop until the step overshoots, then binary-search the
-  // last bracket. Invariant: col[prev] < v.
-  size_t step = 1;
-  size_t prev = lo;
-  while (lo + step < r.end && col[lo + step] < v) {
-    prev = lo + step;
-    step <<= 1;
-  }
-  const size_t hi = std::min(lo + step, r.end);
-  return std::lower_bound(col + prev + 1, col + hi, v) - col;
+  return simd::SeekGE(col, lo, r.end, v);
 }
 
 size_t SortedIndex::RunEnd(RowRange r, int level, size_t pos) const {
   const Value* col = cols_[level].data();
-  const Value v = col[pos];
-  size_t end = pos + 1;
-  int probes = 0;
-  while (end < r.end && col[end] == v) {
-    ++end;
-    if (++probes >= 32) return UpperBound({end, r.end}, level, v);
-  }
-  return end;
+  // Inline check for length-1 runs (set-semantics levels); longer runs go
+  // to the block compare-and-count kernel.
+  const size_t next = pos + 1;
+  if (next >= r.end || col[next] != col[pos]) return next;
+  return simd::RunEnd(col, pos, r.end);
 }
 
 size_t SortedIndex::UpperBound(RowRange r, int level, Value v) const {

@@ -1,0 +1,95 @@
+#include "simd/simd_caps.h"
+
+#include <cstdlib>
+
+#include "simd/kernels.h"
+
+namespace cqc {
+namespace simd {
+
+namespace detail {
+// Defined in kernels.cc: one table per level compiled into every binary.
+const KernelTable* TableFor(Level level);
+extern const KernelTable* g_active;
+}  // namespace detail
+
+namespace {
+
+Level DetectImpl() {
+  const char* force = std::getenv("CQC_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1' && force[1] == '\0') {
+    return Level::kScalar;
+  }
+#if defined(__aarch64__)
+  // NEON is baseline on aarch64.
+  return Level::kNEON;
+#elif defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Level::kAVX2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSSE42;
+  return Level::kScalar;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level g_active_level = [] {
+  Level detected = DetectImpl();
+  detail::g_active = detail::TableFor(detected);
+  return detected;
+}();
+
+}  // namespace
+
+Level Detected() {
+  static const Level detected = DetectImpl();
+  return detected;
+}
+
+Level Active() { return g_active_level; }
+
+Level SetLevel(Level level) {
+  Level detected = Detected();
+  // Clamp to what the CPU can run. Levels are per-architecture, so an
+  // off-architecture request (e.g. kNEON on x86) also falls back to the
+  // detected best rather than crashing on illegal instructions.
+  bool runnable = level == Level::kScalar || level == detected ||
+                  (static_cast<int>(level) < static_cast<int>(detected) &&
+                   level != Level::kNEON);
+#if defined(__aarch64__)
+  runnable = level == Level::kScalar || level == Level::kNEON;
+#endif
+  if (!runnable) level = detected;
+  detail::g_active = detail::TableFor(level);
+  g_active_level = level;
+  return level;
+}
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  Level detected = Detected();
+#if defined(__aarch64__)
+  if (detected == Level::kNEON) levels.push_back(Level::kNEON);
+#else
+  if (static_cast<int>(detected) >= static_cast<int>(Level::kSSE42)) {
+    levels.push_back(Level::kSSE42);
+  }
+  if (static_cast<int>(detected) >= static_cast<int>(Level::kAVX2)) {
+    levels.push_back(Level::kAVX2);
+  }
+#endif
+  return levels;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSSE42: return "sse4.2";
+    case Level::kAVX2: return "avx2";
+    case Level::kNEON: return "neon";
+  }
+  return "?";
+}
+
+}  // namespace simd
+}  // namespace cqc

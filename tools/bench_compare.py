@@ -5,8 +5,18 @@ Compares freshly generated bench reports against the committed snapshots in
 bench/baselines/ and fails (exit 1) when a gated metric regresses by more
 than the threshold:
 
-  * throughput metrics (drain_single_mtps, drain_batched_mtps) — lower is
-    a regression;
+  * throughput metrics — lower is a regression. Gated by naming
+    convention: every metric whose key ends in `_mtps` (millions of tuples
+    or rows per second) or `_mprobes` (millions of probes per second) is
+    throughput-gated, which covers the drain headlines
+    (drain_single_mtps, drain_batched_mtps), the per-kernel SIMD rows
+    (scalar_mtps / dispatch_mtps / *_mprobes), and the batched hash-probe
+    rate (hash_batch_mprobes) without further registration. When a record
+    carries a `dispatch_level` and it differs between baseline and current
+    run (e.g. the baseline was measured with AVX2 but the run is pinned by
+    CQC_FORCE_SCALAR or on lesser hardware), the `dispatch_*` metrics are
+    reported but not gated — only the level-independent `scalar_*` twins
+    are comparable across dispatch levels;
   * delay percentiles (single_delay_us_p95, batched_delay_us_p95) — higher
     is a regression. Absolute changes under 25us are ignored: measured
     run-to-run variance of these wall-clock percentiles on a shared runner
@@ -31,9 +41,15 @@ import json
 import os
 import sys
 
-THROUGHPUT_KEYS = ("drain_single_mtps", "drain_batched_mtps")
+THROUGHPUT_SUFFIXES = ("_mtps", "_mprobes")
 DELAY_KEYS = ("single_delay_us_p95", "batched_delay_us_p95")
 DELAY_ABS_FLOOR_US = 25.0
+
+
+def throughput_keys(rec):
+    """Gated throughput metrics of a record, by suffix convention."""
+    return sorted(k for k in rec
+                  if any(k.endswith(s) for s in THROUGHPUT_SUFFIXES))
 
 
 def load(path):
@@ -42,7 +58,14 @@ def load(path):
 
 
 def record_key(rec):
-    return (rec.get("experiment", "?"), rec.get("structure", "?"))
+    # Parameter-sweep benches (e.g. BENCH_probe) have no `structure` field;
+    # their identity is the sweep point, so fold the sweep parameters into
+    # the key rather than collapsing every row onto one record.
+    structure = rec.get("structure")
+    if structure is None:
+        structure = ",".join(f"{k}={rec[k]}"
+                             for k in ("rows", "hit_rate") if k in rec) or "?"
+    return (rec.get("experiment", "?"), structure)
 
 
 def compare_bench(name, baseline, current, threshold):
@@ -55,8 +78,13 @@ def compare_bench(name, baseline, current, threshold):
         if cur is None:
             failures.append(f"{name} {key}: record missing from current run")
             continue
-        for metric in THROUGHPUT_KEYS:
-            if metric not in base:
+        level_mismatch = base.get("dispatch_level") != cur.get("dispatch_level")
+        for metric in throughput_keys(base):
+            if level_mismatch and metric.startswith("dispatch_"):
+                lines.append(f"  {name:<18} {key[1]:<44} {metric:<22} "
+                             f"not gated (dispatch level "
+                             f"{base.get('dispatch_level')} -> "
+                             f"{cur.get('dispatch_level')})")
                 continue
             if metric not in cur:
                 failures.append(f"{name} {key} {metric}: missing from current run")

@@ -1,0 +1,204 @@
+// bench_load: cold-start latency of the CQCREP04 container — the heap
+// reader vs the zero-copy mmap loader.
+//
+// The fixture is built to make load cost visible: one wide relation with
+// four 48-bit bound columns and a small free domain, tau huge enough that
+// the delay-balanced tree is a single leaf. The file is then dominated by
+// the packed candidate pool (~24 bytes/row), so a heap load pays O(file
+// bytes) — read + copy + eager dictionary slot construction — while the
+// mmap open validates the header and block directory and borrows every
+// column in place, O(header) work regardless of file size.
+//
+// The gate (exit 1 on failure): mmap open must be at least
+// CQC_LOAD_MIN_SPEEDUP (default 50) times faster than the heap load on a
+// >= 100 MB file. Resident-byte accounting is reported alongside: a fresh
+// mapping should charge far less than the file until probes touch pages.
+//
+// Env knobs: CQC_LOAD_ROWS (default 4,600,000 -> ~110 MB file),
+// CQC_LOAD_MIN_SPEEDUP (default 50).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/compressed_rep.h"
+#include "core/serialization.h"
+#include "query/parser.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? (size_t)std::strtoull(v, nullptr, 10)
+                                    : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtod(v, nullptr) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqc;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  bench::BenchReport report("load");
+  bench::Banner("load: CQCREP04 cold-start, heap reader vs zero-copy mmap",
+                "restart durability: a persisted structure must be servable "
+                "again in O(header) time, not O(structure size)");
+
+  const size_t kRows = EnvSize("CQC_LOAD_ROWS", 4'600'000);
+  const double kMinSpeedup = EnvDouble("CQC_LOAD_MIN_SPEEDUP", 50.0);
+  constexpr int kRepeats = 3;
+
+  // Four 48-bit bound columns (collision-free in practice), one free
+  // column over a 512-value domain.
+  Database db;
+  Relation* r = db.AddRelation("R", 5);
+  Rng rng(42);
+  BoundValuation probe_vb;
+  {
+    Tuple t(5);
+    for (size_t i = 0; i < kRows; ++i) {
+      for (int c = 0; c < 4; ++c) t[c] = rng.Uniform(uint64_t{1} << 48);
+      t[4] = rng.Uniform(512);
+      if (i == 0) probe_vb.assign(t.begin(), t.begin() + 4);
+      r->Insert(t);
+    }
+    r->Seal();
+  }
+
+  auto view = ParseAdornedView("Q^bbbbf(a,b,c,d,e) = R(a,b,c,d,e)");
+  if (!view.ok()) {
+    std::fprintf(stderr, "view: %s\n", view.status().message().c_str());
+    return 1;
+  }
+  CompressedRepOptions copt;
+  copt.tau = 1e18;  // one leaf: the candidate pool is the whole file
+  WallTimer build_timer;
+  auto built = CompressedRep::Build(view.value(), db, copt);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().message().c_str());
+    return 1;
+  }
+  const double build_seconds = build_timer.Seconds();
+
+  const std::string path = "bench_load.cqcrep";
+  {
+    Status s = SaveCompressedRep(*built.value(), path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  size_t file_bytes = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    file_bytes = (size_t)in.tellg();
+  }
+  std::printf("rows=%zu  file=%.1f MB  build=%.2fs  tree_nodes=%zu\n", kRows,
+              file_bytes / 1e6, build_seconds, built.value()->stats().tree_nodes);
+
+  // Min-of-N loads through each path; first-probe latency and resident
+  // charge measured on the last instance.
+  double heap_open_s = 1e300, mmap_open_s = 1e300;
+  std::unique_ptr<CompressedRep> heap_rep, mmap_rep;
+  for (int i = 0; i < kRepeats; ++i) {
+    WallTimer t;
+    auto loaded = LoadCompressedRep(view.value(), db, path);
+    const double s = t.Seconds();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "heap load: %s\n",
+                   loaded.status().message().c_str());
+      return 1;
+    }
+    heap_open_s = std::min(heap_open_s, s);
+    heap_rep = std::move(loaded).value();
+  }
+  for (int i = 0; i < kRepeats; ++i) {
+    WallTimer t;
+    auto mapped = MmapCompressedRep(view.value(), db, path);
+    const double s = t.Seconds();
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "mmap load: %s\n",
+                   mapped.status().message().c_str());
+      return 1;
+    }
+    mmap_open_s = std::min(mmap_open_s, s);
+    mmap_rep = std::move(mapped).value();
+  }
+  const size_t mmap_resident_after_open = mmap_rep->ResidentBytes();
+
+  auto first_probe_us = [&](const CompressedRep& rep) {
+    WallTimer t;
+    const std::vector<Tuple> got = CollectAll(*rep.Answer(probe_vb));
+    if (got.empty()) {
+      std::fprintf(stderr, "probe returned no tuples — fixture broken\n");
+      std::exit(1);
+    }
+    return t.Micros();
+  };
+  const double heap_probe_us = first_probe_us(*heap_rep);
+  const double mmap_probe_us = first_probe_us(*mmap_rep);
+  const size_t mmap_resident_after_probe = mmap_rep->ResidentBytes();
+
+  const double speedup = heap_open_s / mmap_open_s;
+  bench::Table table({"loader", "open ms", "first probe us", "resident MB"});
+  table.AddRow({"heap", StrFormat("%.2f", heap_open_s * 1e3),
+                StrFormat("%.1f", heap_probe_us),
+                StrFormat("%.1f", heap_rep->ResidentBytes() / 1e6)});
+  table.AddRow({"mmap", StrFormat("%.2f", mmap_open_s * 1e3),
+                StrFormat("%.1f", mmap_probe_us),
+                StrFormat("%.1f", mmap_resident_after_probe / 1e6)});
+  table.Print();
+  std::printf("mmap speedup over heap: %.1fx (gate: >= %.0fx)\n", speedup,
+              kMinSpeedup);
+  std::printf("mmap resident after open: %.2f MB of %.1f MB mapped\n",
+              mmap_resident_after_open / 1e6,
+              mmap_rep->stats().mapped_bytes / 1e6);
+
+  report.AddRecord()
+      .Set("experiment", "cold_load")
+      .Set("structure", "heap")
+      .Set("rows", (unsigned long long)kRows)
+      .Set("file_bytes", (unsigned long long)file_bytes)
+      .Set("open_seconds", heap_open_s)
+      .Set("first_probe_us", heap_probe_us)
+      .Set("resident_bytes", (unsigned long long)heap_rep->ResidentBytes());
+  report.AddRecord()
+      .Set("experiment", "cold_load")
+      .Set("structure", "mmap")
+      .Set("rows", (unsigned long long)kRows)
+      .Set("file_bytes", (unsigned long long)file_bytes)
+      .Set("open_seconds", mmap_open_s)
+      .Set("first_probe_us", mmap_probe_us)
+      .Set("resident_bytes_after_open",
+           (unsigned long long)mmap_resident_after_open)
+      .Set("resident_bytes_after_probe",
+           (unsigned long long)mmap_resident_after_probe)
+      .Set("speedup_vs_heap", speedup)
+      .Set("gate_min_speedup", kMinSpeedup);
+  report.Write();
+
+  std::remove(path.c_str());
+  if (file_bytes < 100u * 1000 * 1000 && EnvSize("CQC_LOAD_ROWS", 0) == 0) {
+    std::fprintf(stderr, "FAIL: default fixture produced a %.1f MB file "
+                 "(acceptance wants >= 100 MB)\n", file_bytes / 1e6);
+    return 1;
+  }
+  if (speedup < kMinSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: mmap open only %.1fx faster than heap load "
+                 "(gate %.0fx) — the zero-copy path is reading the file\n",
+                 speedup, kMinSpeedup);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

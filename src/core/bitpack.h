@@ -20,6 +20,11 @@
 //
 // The pool is immutable once built — Pack() over the finished flat pool or
 // FromFlatParts() from a deserialized blob — and safe for concurrent reads.
+// The word array is a ColStore (util/col_store.h): owned after Pack(), and
+// optionally *borrowed* straight out of an mmap'ed rep file by the
+// zero-copy load path. The on-disk word block includes the trailing zero
+// pad word (it is part of WordCount()), so borrowed decode reads of word
+// w+1 stay inside the mapped block.
 #ifndef CQC_CORE_BITPACK_H_
 #define CQC_CORE_BITPACK_H_
 
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "simd/kernels.h"
+#include "util/col_store.h"
 #include "util/common.h"
 #include "util/logging.h"
 
@@ -54,20 +60,23 @@ class PackedTuplePool {
         }
     }
     p.FinishLayout();
-    p.words_.assign(p.WordCount(), 0);
+    std::vector<uint64_t> words(p.WordCount(), 0);
     for (size_t r = 0; r < num_rows; ++r)
       for (int c = 0; c < arity; ++c)
-        p.PutBits(r * p.row_bits_ + p.plan_[c].bit, p.widths_[c],
-                  flat[r * (size_t)arity + c]);
+        PutBits(words.data(), r * p.row_bits_ + p.plan_[c].bit, p.widths_[c],
+                flat[r * (size_t)arity + c]);
+    p.words_ = ColStore<uint64_t>(std::move(words));
     return p;
   }
 
   /// Rebuilds from serialized parts. `words` must be exactly the padded
   /// word count for (num_rows, widths); CHECK-fails otherwise (callers
-  /// validate sizes before constructing).
+  /// validate sizes before constructing). `words` may be a borrowed
+  /// ColStore over a mapping (the zero-copy load path); vectors convert
+  /// implicitly for the owned path.
   static PackedTuplePool FromFlatParts(int arity, size_t num_rows,
                                        std::vector<uint8_t> widths,
-                                       std::vector<uint64_t> words) {
+                                       ColStore<uint64_t> words) {
     PackedTuplePool p;
     p.arity_ = arity;
     p.num_rows_ = num_rows;
@@ -116,14 +125,21 @@ class PackedTuplePool {
   }
 
   size_t MemoryBytes() const {
-    return sizeof(*this) + words_.capacity() * sizeof(uint64_t) +
+    // Borrowed word blocks charge their mapped extent (the logical size):
+    // the pool is the dominant dictionary component and pricing it at zero
+    // would let a byte-budgeted planner treat a 100 MB rep as free.
+    return sizeof(*this) +
+           (words_.borrowed() ? words_.ByteSize() : words_.MemoryBytes()) +
            widths_.capacity() +
            plan_.capacity() * sizeof(simd::PackedColSpec);
   }
 
+  /// True when the word block borrows external (mapped) storage.
+  bool borrowed() const { return words_.borrowed(); }
+
   // Serialization raw parts.
   const std::vector<uint8_t>& widths() const { return widths_; }
-  const std::vector<uint64_t>& words() const { return words_; }
+  const ColStore<uint64_t>& words() const { return words_; }
 
  private:
   // Derives the decode plan from widths_: one contiguous array of
@@ -162,12 +178,13 @@ class PackedTuplePool {
     return (lo | hi) & mask;
   }
 
-  void PutBits(size_t bitpos, uint8_t width, Value v) {
+  static void PutBits(uint64_t* words, size_t bitpos, uint8_t width,
+                      Value v) {
     if (width == 0) return;
     const size_t w = bitpos >> 6;
     const unsigned off = (unsigned)(bitpos & 63);
-    words_[w] |= v << off;
-    if (off + width > 64) words_[w + 1] |= v >> (64 - off);
+    words[w] |= v << off;
+    if (off + width > 64) words[w + 1] |= v >> (64 - off);
   }
 
   int arity_ = 0;
@@ -175,7 +192,7 @@ class PackedTuplePool {
   size_t row_bits_ = 0;
   std::vector<uint8_t> widths_;
   std::vector<simd::PackedColSpec> plan_;  // derived from widths_
-  std::vector<uint64_t> words_;
+  ColStore<uint64_t> words_;  // owned after Pack(); borrowed on mmap load
 };
 
 }  // namespace cqc

@@ -30,6 +30,7 @@
 #include "core/dictionary.h"
 #include "core/enumerator.h"
 #include "core/lex_domain.h"
+#include "core/rep_file.h"
 #include "join/bound_atom.h"
 #include "query/adorned_view.h"
 #include "relational/database.h"
@@ -62,6 +63,11 @@ struct CompressedRepStats {
   size_t dict_bytes = 0;
   size_t index_bytes = 0;       // sorted tries over the base relations
   size_t hash_index_bytes = 0;  // hash probe plans over the base relations
+  // Bytes of tree_bytes/dict_bytes that live in an mmap'ed rep file rather
+  // than on the heap (zero-copy loads only). These count toward TotalBytes
+  // (the logical footprint) but their *physical* cost is whatever the OS
+  // has paged in — see CompressedRep::ResidentBytes().
+  size_t mapped_bytes = 0;
 
   /// The structure's own footprint (tree + dictionary); the paper's S minus
   /// the always-linear index/input component.
@@ -116,6 +122,21 @@ class CompressedRep {
 
   const AdornedView& view() const { return view_; }
   const CompressedRepStats& stats() const { return stats_; }
+
+  /// Physical memory charge right now: the heap component of TotalBytes()
+  /// plus the resident (paged-in) bytes of the backing mapping, if any.
+  /// For built or heap-loaded reps this equals TotalBytes(); for a
+  /// zero-copy load it starts near zero and grows as queries touch pages.
+  size_t ResidentBytes() const {
+    const size_t total = stats_.TotalBytes();
+    const size_t heap =
+        total > stats_.mapped_bytes ? total - stats_.mapped_bytes : 0;
+    return heap + (backing_ ? backing_->ResidentBytes() : 0);
+  }
+
+  /// The mmap'ed file backing borrowed columns (null for built or
+  /// heap-loaded reps).
+  const std::shared_ptr<RepFile>& backing() const { return backing_; }
   const LexDomain& domain() const { return domain_; }
   const DelayBalancedTree& tree() const { return tree_; }
   const HeavyDictionary& dictionary() const { return dict_; }
@@ -149,6 +170,12 @@ class CompressedRep {
   friend Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
       const AdornedView&, const Database&, const std::string&,
       const Database*);
+  friend Result<std::unique_ptr<CompressedRep>> MmapCompressedRep(
+      const AdornedView&, const Database&, const std::string&,
+      const Database*);
+  // Shared loader internals (serialization.cc): validates the parsed
+  // blocks and moves them into a skeleton rep for both load paths.
+  friend class RepSerde;
 
   class Alg2Enumerator;
 
@@ -161,6 +188,9 @@ class CompressedRep {
   DelayBalancedTree tree_;
   HeavyDictionary dict_;
   CompressedRepStats stats_;
+  // Keeps the mapping alive for as long as any borrowed column can be
+  // read (zero-copy loads only; null otherwise).
+  std::shared_ptr<RepFile> backing_;
 };
 
 }  // namespace cqc

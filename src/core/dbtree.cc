@@ -48,9 +48,9 @@ DelayBalancedTree DelayBalancedTree::Build(const LexDomain& domain,
 }
 
 DelayBalancedTree DelayBalancedTree::FromFlat(
-    int mu, std::vector<Value> beta, std::vector<int32_t> left,
-    std::vector<int32_t> right, std::vector<float> cost,
-    std::vector<uint16_t> level, std::vector<uint8_t> leaf) {
+    int mu, ColStore<Value> beta, ColStore<int32_t> left,
+    ColStore<int32_t> right, ColStore<float> cost, ColStore<uint16_t> level,
+    ColStore<uint8_t> leaf) {
   const size_t n = left.size();
   CQC_CHECK_EQ(beta.size(), n * (size_t)mu);
   CQC_CHECK_EQ(right.size(), n);
@@ -94,32 +94,33 @@ int DelayBalancedTree::BuildNode(const LexDomain& domain,
   }
 
   SplitResult split = SplitInterval(interval, domain, cost);
-  leaf_[id] = 0;
+  leaf_.mutable_data()[id] = 0;
   CQC_CHECK_EQ(split.c.size(), (size_t)mu_);
-  std::memcpy(beta_.data() + (size_t)id * mu_, split.c.data(),
+  std::memcpy(beta_.mutable_data() + (size_t)id * mu_, split.c.data(),
               mu_ * sizeof(Value));
 
   FInterval child;
   if (LeftInterval(interval, split.c, domain, &child) &&
       cost.IntervalCost(child) > 0) {
     int left = BuildNode(domain, cost, params, child, level + 1);
-    left_[id] = left;
+    left_.mutable_data()[id] = left;
   }
   if (RightInterval(interval, split.c, domain, &child) &&
       cost.IntervalCost(child) > 0) {
     int right = BuildNode(domain, cost, params, child, level + 1);
-    right_[id] = right;
+    right_.mutable_data()[id] = right;
   }
   return id;
 }
 
 size_t DelayBalancedTree::MemoryBytes() const {
-  return sizeof(*this) + beta_.capacity() * sizeof(Value) +
-         left_.capacity() * sizeof(int32_t) +
-         right_.capacity() * sizeof(int32_t) +
-         cost_.capacity() * sizeof(float) +
-         level_.capacity() * sizeof(uint16_t) +
-         leaf_.capacity() * sizeof(uint8_t);
+  // Borrowed (mapped) columns charge their logical extent — see the
+  // matching note in PackedTuplePool::MemoryBytes.
+  const auto col = [](const auto& c) {
+    return c.borrowed() ? c.ByteSize() : c.MemoryBytes();
+  };
+  return sizeof(*this) + col(beta_) + col(left_) + col(right_) + col(cost_) +
+         col(level_) + col(leaf_);
 }
 
 }  // namespace cqc

@@ -13,9 +13,11 @@
 // split point lives in one contiguous `beta` pool at offset id * mu, so a
 // lookup is pointer arithmetic (returned as TupleSpan), traversal touches
 // adjacent cache lines, and the whole tree serializes as a handful of flat
-// array blocks (mmap-friendly: a future zero-copy load can point spans
-// straight into the file). A node's interval is still recomputed from the
-// root interval and the betas along the path, keeping per-node space O(mu).
+// array blocks. The columns are ColStores (util/col_store.h): owned after
+// Build(), or borrowed straight out of an mmap'ed rep file by the zero-copy
+// load path — the accessor surface is identical either way. A node's
+// interval is still recomputed from the root interval and the betas along
+// the path, keeping per-node space O(mu).
 #ifndef CQC_CORE_DBTREE_H_
 #define CQC_CORE_DBTREE_H_
 
@@ -25,6 +27,7 @@
 #include "core/cost_model.h"
 #include "core/finterval.h"
 #include "core/lex_domain.h"
+#include "util/col_store.h"
 
 namespace cqc {
 
@@ -54,13 +57,14 @@ class DelayBalancedTree {
                                  const CostModel& cost, BuildParams params);
 
   /// Reassembles a tree from its flat arrays (deserialization only). The
-  /// vectors are the SoA columns: `beta` holds num_nodes * mu values.
-  static DelayBalancedTree FromFlat(int mu, std::vector<Value> beta,
-                                    std::vector<int32_t> left,
-                                    std::vector<int32_t> right,
-                                    std::vector<float> cost,
-                                    std::vector<uint16_t> level,
-                                    std::vector<uint8_t> leaf);
+  /// columns are the SoA blocks: `beta` holds num_nodes * mu values. Each
+  /// may be owned (vectors convert implicitly) or borrowed from a mapping.
+  static DelayBalancedTree FromFlat(int mu, ColStore<Value> beta,
+                                    ColStore<int32_t> left,
+                                    ColStore<int32_t> right,
+                                    ColStore<float> cost,
+                                    ColStore<uint16_t> level,
+                                    ColStore<uint8_t> leaf);
 
   bool empty() const { return left_.empty(); }
   int root() const { return empty() ? -1 : 0; }
@@ -94,12 +98,15 @@ class DelayBalancedTree {
   }
 
   // Raw column access (serialization).
-  const std::vector<Value>& beta_pool() const { return beta_; }
-  const std::vector<int32_t>& lefts() const { return left_; }
-  const std::vector<int32_t>& rights() const { return right_; }
-  const std::vector<float>& costs() const { return cost_; }
-  const std::vector<uint16_t>& levels() const { return level_; }
-  const std::vector<uint8_t>& leaf_flags() const { return leaf_; }
+  const ColStore<Value>& beta_pool() const { return beta_; }
+  const ColStore<int32_t>& lefts() const { return left_; }
+  const ColStore<int32_t>& rights() const { return right_; }
+  const ColStore<float>& costs() const { return cost_; }
+  const ColStore<uint16_t>& levels() const { return level_; }
+  const ColStore<uint8_t>& leaf_flags() const { return leaf_; }
+
+  /// True when any column borrows external (mapped) storage.
+  bool borrowed() const { return beta_.borrowed() || left_.borrowed(); }
 
   /// Level threshold tau_l = tau * 2^(-l (1 - 1/alpha)).
   static double Threshold(double tau, double alpha, int level);
@@ -120,12 +127,12 @@ class DelayBalancedTree {
   // SoA node columns; row i = node i, preorder (root first, left before
   // right). beta_ is the flat split-point pool, mu_ values per node.
   int mu_ = 0;
-  std::vector<Value> beta_;
-  std::vector<int32_t> left_;
-  std::vector<int32_t> right_;
-  std::vector<float> cost_;
-  std::vector<uint16_t> level_;
-  std::vector<uint8_t> leaf_;
+  ColStore<Value> beta_;
+  ColStore<int32_t> left_;
+  ColStore<int32_t> right_;
+  ColStore<float> cost_;
+  ColStore<uint16_t> level_;
+  ColStore<uint8_t> leaf_;
   int max_depth_ = 0;
 };
 

@@ -25,6 +25,12 @@ HeavyDictionary::Bit HeavyDictionary::Lookup(int node, uint32_t vb_id) const {
 uint32_t HeavyDictionary::FindValuation(TupleSpan vb) const {
   if (num_candidates_ == 0 || (int)vb.size() != vb_arity_)
     return kNoValuation;
+  // Zero-copy loads defer the id table to the first probe (the pool can
+  // hold millions of candidates the caller may never look up); call_once
+  // makes concurrent first probes safe. Built dictionaries and heap loads
+  // pay only the null test.
+  if (deferred_slots_)
+    std::call_once(*deferred_slots_, [this] { BuildIdSlots(); });
   const size_t mask = id_slots_.size() - 1;
   size_t slot = SpanHash()(vb) & mask;
   for (;;) {
@@ -75,12 +81,17 @@ uint32_t HeavyDictionary::AddCandidate(TupleSpan vb) {
 
 void HeavyDictionary::RehashCandidates() {
   CQC_DCHECK(!sealed_) << "RehashCandidates on a sealed dictionary";
+  BuildIdSlots();
+}
+
+void HeavyDictionary::BuildIdSlots() const {
   size_t cap = 16;
   while (cap < 4 * num_candidates_) cap <<= 1;
   id_slots_.assign(cap, kNoValuation);
   const size_t mask = cap - 1;
   if (candidate_pool_.empty() && vb_arity_ > 0 && num_candidates_ > 0) {
-    // FromPacked load path: every hash decodes from the packed pool.
+    // Packed-pool path (FromPacked / deferred): every hash decodes from
+    // the packed pool.
     // Batch-decode blocks through the SIMD kernel instead of splicing one
     // row per id.
     constexpr size_t kBlock = 64;
@@ -108,20 +119,25 @@ void HeavyDictionary::RehashCandidates() {
 void HeavyDictionary::SetBit(int node, uint32_t vb_id, bool bit) {
   CQC_CHECK_GE(node, 0);
   CQC_CHECK_LT((size_t)node + 1, node_offsets_.size());
-  uint32_t* begin = entry_vb_.data() + node_offsets_[node];
-  uint32_t* end = entry_vb_.data() + node_offsets_[node + 1];
-  uint32_t* it = std::lower_bound(begin, end, vb_id);
+  CQC_CHECK(!entry_bit_.borrowed())
+      << "SetBit on a zero-copy (mapped) dictionary";
+  const uint32_t* begin = entry_vb_.data() + node_offsets_[node];
+  const uint32_t* end = entry_vb_.data() + node_offsets_[node + 1];
+  const uint32_t* it = std::lower_bound(begin, end, vb_id);
   CQC_CHECK(it != end && *it == vb_id) << "SetBit on absent dictionary entry";
-  entry_bit_[it - entry_vb_.data()] = bit ? 1 : 0;
+  entry_bit_.mutable_data()[it - entry_vb_.data()] = bit ? 1 : 0;
 }
 
 size_t HeavyDictionary::MemoryBytes() const {
+  // Borrowed (mapped) columns charge their logical extent — see the
+  // matching note in PackedTuplePool::MemoryBytes.
+  const auto col = [](const auto& c) {
+    return c.borrowed() ? c.ByteSize() : c.MemoryBytes();
+  };
   return sizeof(*this) + candidate_pool_.capacity() * sizeof(Value) +
          packed_pool_.MemoryBytes() +
-         id_slots_.capacity() * sizeof(uint32_t) +
-         node_offsets_.capacity() * sizeof(uint32_t) +
-         entry_vb_.capacity() * sizeof(uint32_t) +
-         entry_bit_.capacity() * sizeof(uint8_t);
+         id_slots_.capacity() * sizeof(uint32_t) + col(node_offsets_) +
+         col(entry_vb_) + col(entry_bit_);
 }
 
 HeavyDictionary HeavyDictionary::FromFlat(int vb_arity,
@@ -157,8 +173,8 @@ HeavyDictionary HeavyDictionary::FromFlat(int vb_arity,
 
 HeavyDictionary HeavyDictionary::FromPacked(
     int vb_arity, size_t num_candidates, PackedTuplePool pool,
-    std::vector<uint32_t> node_offsets, std::vector<uint32_t> entry_vb,
-    std::vector<uint8_t> entry_bit) {
+    ColStore<uint32_t> node_offsets, ColStore<uint32_t> entry_vb,
+    ColStore<uint8_t> entry_bit) {
   CQC_CHECK_EQ(pool.arity(), vb_arity);
   if (vb_arity > 0) CQC_CHECK_EQ(pool.size(), num_candidates);
   CQC_CHECK_EQ(entry_vb.size(), entry_bit.size());
@@ -174,8 +190,14 @@ HeavyDictionary HeavyDictionary::FromPacked(
   d.node_offsets_ = std::move(node_offsets);
   d.entry_vb_ = std::move(entry_vb);
   d.entry_bit_ = std::move(entry_bit);
-  d.RehashCandidates();  // hashes decode from the packed pool (raw is empty)
-  d.sealed_ = true;      // already packed: skip Seal()'s repack
+  d.sealed_ = true;  // already packed: skip Seal()'s repack
+  if (d.borrowed()) {
+    // Zero-copy load: defer the O(candidates) id table build to the first
+    // FindValuation so opening the file stays O(header).
+    d.deferred_slots_ = std::make_unique<std::once_flag>();
+  } else {
+    d.BuildIdSlots();  // hashes decode from the packed pool (raw is empty)
+  }
   return d;
 }
 
@@ -366,14 +388,15 @@ HeavyDictionary DictionaryBuilder::Build() {
   dict.node_offsets_.resize(num_nodes + 1);
   dict.entry_vb_.reserve(total);
   dict.entry_bit_.reserve(total);
+  uint32_t* offsets = dict.node_offsets_.mutable_data();
   for (size_t n = 0; n < num_nodes; ++n) {
-    dict.node_offsets_[n] = (uint32_t)dict.entry_vb_.size();
+    offsets[n] = (uint32_t)dict.entry_vb_.size();
     for (const Entry& e : staging[n]) {
       dict.entry_vb_.push_back(e.vb);
       dict.entry_bit_.push_back(e.bit);
     }
   }
-  dict.node_offsets_[num_nodes] = (uint32_t)dict.entry_vb_.size();
+  offsets[num_nodes] = (uint32_t)dict.entry_vb_.size();
   dict.Seal();
   return dict;
 }

@@ -45,6 +45,8 @@
 #define CQC_CORE_DICTIONARY_H_
 
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/bitpack.h"
@@ -52,6 +54,7 @@
 #include "core/dbtree.h"
 #include "core/lex_domain.h"
 #include "join/bound_atom.h"
+#include "util/col_store.h"
 #include "util/hashing.h"
 
 namespace cqc {
@@ -120,7 +123,9 @@ class HeavyDictionary {
   }
 
   /// Flips an existing entry's bit (used by the Theorem-2 semijoin fixup,
-  /// Algorithm 4). CHECK-fails if the entry is absent.
+  /// Algorithm 4). CHECK-fails if the entry is absent, or if the bit
+  /// column borrows mapped (read-only) storage — the fixup runs at build
+  /// time, never against a loaded snapshot.
   void SetBit(int node, uint32_t vb_id, bool bit);
 
   /// Visits every entry of `node` as fn(vb_id, bit).
@@ -141,19 +146,29 @@ class HeavyDictionary {
                                   std::vector<uint32_t> entry_vb,
                                   std::vector<uint8_t> entry_bit);
 
-  /// Same, but directly from an already-packed pool (the v03 load path —
-  /// no unpack/repack round trip).
+  /// Same, but directly from an already-packed pool (the deserialization
+  /// path — no unpack/repack round trip). The CSR columns may be owned
+  /// (vectors convert implicitly) or borrowed from a mapping; when any
+  /// input borrows, the id table build is DEFERRED to the first
+  /// FindValuation (std::call_once), keeping a zero-copy open O(header)
+  /// instead of O(candidates).
   static HeavyDictionary FromPacked(int vb_arity, size_t num_candidates,
                                     PackedTuplePool pool,
-                                    std::vector<uint32_t> node_offsets,
-                                    std::vector<uint32_t> entry_vb,
-                                    std::vector<uint8_t> entry_bit);
+                                    ColStore<uint32_t> node_offsets,
+                                    ColStore<uint32_t> entry_vb,
+                                    ColStore<uint8_t> entry_bit);
 
   // Flat column access (serialization).
   const PackedTuplePool& packed_pool() const { return packed_pool_; }
-  const std::vector<uint32_t>& node_offsets() const { return node_offsets_; }
-  const std::vector<uint32_t>& entry_vbs() const { return entry_vb_; }
-  const std::vector<uint8_t>& entry_bits() const { return entry_bit_; }
+  const ColStore<uint32_t>& node_offsets() const { return node_offsets_; }
+  const ColStore<uint32_t>& entry_vbs() const { return entry_vb_; }
+  const ColStore<uint8_t>& entry_bits() const { return entry_bit_; }
+
+  /// True when any column borrows external (mapped) storage.
+  bool borrowed() const {
+    return packed_pool_.borrowed() || node_offsets_.borrowed() ||
+           entry_vb_.borrowed() || entry_bit_.borrowed();
+  }
 
   /// Freezes the structure: bit-packs the candidate pool (dropping the raw
   /// build-time copy) and makes any later AddCandidate / RehashCandidates
@@ -171,6 +186,9 @@ class HeavyDictionary {
   /// Rebuilds the open-addressed id table over the pool. Build-time only:
   /// racy against concurrent FindValuation — asserts !sealed().
   void RehashCandidates();
+  /// The id table build itself. const (id_slots_ is mutable) so the
+  /// deferred path can run it from FindValuation under call_once.
+  void BuildIdSlots() const;
 
   // Hash of candidate `id` from whichever pool currently holds it.
   uint64_t CandidateHash(uint32_t id) const;
@@ -183,14 +201,22 @@ class HeavyDictionary {
   // Post-seal bit-packed pool (core/bitpack.h).
   PackedTuplePool packed_pool_;
   // Open-addressed hash table: slot -> candidate id (kNoValuation = empty).
-  // Power-of-two size, linear probing against pool rows.
-  std::vector<uint32_t> id_slots_;
+  // Power-of-two size, linear probing against pool rows. Derived state (a
+  // cache over the pool), hence mutable: the zero-copy load defers its
+  // construction to the first FindValuation so opening stays O(header).
+  mutable std::vector<uint32_t> id_slots_;
+  // Non-null iff the id table build is still pending (zero-copy loads
+  // only). call_once makes the lazy build safe under concurrent probes;
+  // heap loads and the builder leave this null and build eagerly, so the
+  // hot probe path costs one null test.
+  std::unique_ptr<std::once_flag> deferred_slots_;
 
   // CSR entries: node_offsets_[n] .. node_offsets_[n+1] index the parallel
-  // entry columns, sorted by valuation id within each node.
-  std::vector<uint32_t> node_offsets_;
-  std::vector<uint32_t> entry_vb_;
-  std::vector<uint8_t> entry_bit_;
+  // entry columns, sorted by valuation id within each node. Owned after a
+  // build or heap load; borrowed from the mapping on a zero-copy load.
+  ColStore<uint32_t> node_offsets_;
+  ColStore<uint32_t> entry_vb_;
+  ColStore<uint8_t> entry_bit_;
 };
 
 /// Builds the dictionary for a tree; see file comment.

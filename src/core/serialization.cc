@@ -1,309 +1,306 @@
 #include "core/serialization.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
+#include "core/rep_file.h"
+#include "util/col_store.h"
 #include "util/logging.h"
 
 namespace cqc {
 namespace {
 
-// Format 03: flat SoA blocks as in 02, with the dictionary compressed — the
-// candidate pool is stored bit-packed at per-column widths (exactly the
-// in-memory PackedTuplePool layout, so loading is a block read with no
-// decode/repack), and the CSR entry ids are per-row delta varints.
-constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '3'};
+// Format 04: every payload block is a flat raw array, 64-byte-aligned in
+// the file, located through an (offset, count) directory in the header.
+// Alignment + raw storage (the v03 per-row delta varints for the entry ids
+// are gone) make each block directly usable in place, so the mmap loader
+// can borrow columns out of the file with zero decode; the heap loader
+// reads the same blocks into owned vectors.
+constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '4'};
 
-// Little-endian POD writers/readers (x86-64 target; the on-disk format is
-// the native layout of these fixed-width types).
+// The fixed block order. num_nodes is recovered as dir[kBlockLeft].count
+// and the candidate count is a header field, so counts are redundant but
+// cross-checked (every column's count must agree with the header shape).
+enum BlockId {
+  kBlockBeta = 0,     // Value  (tree split-point pool, num_nodes * mu)
+  kBlockLeft,         // i32
+  kBlockRight,        // i32
+  kBlockCost,         // f32
+  kBlockLevel,        // u16
+  kBlockLeaf,         // u8
+  kBlockWidths,       // u8    (packed pool per-column bit widths)
+  kBlockWords,        // u64   (packed pool words, pad word included)
+  kBlockOffsets,      // u32   (CSR node offsets, num_nodes + 1)
+  kBlockEntryVb,      // u32   (entry valuation ids, raw)
+  kBlockEntryBit,     // u8
+  kNumBlocks
+};
+
+constexpr size_t kBlockElemSize[kNumBlocks] = {
+    sizeof(Value), 4, 4, 4, 2, 1, 1, 8, 4, 4, 1};
+
+constexpr size_t kBlockAlign = 64;
+
+struct BlockDir {
+  uint64_t offset = 0;  // absolute file offset; 0 for an empty block
+  uint64_t count = 0;   // element count
+};
+
+// Everything before the payload blocks. Fixed-layout except the two
+// length-prefixed arrays, so its size is computable from cover/atom counts.
+struct Header {
+  double tau = 0;
+  double alpha = 0;
+  std::vector<double> cover;
+  std::vector<uint64_t> digests;
+  uint32_t mu = 0;
+  uint32_t vb_arity = 0;
+  uint64_t num_candidates = 0;
+  BlockDir dir[kNumBlocks];
+
+  size_t ByteSize() const {
+    return sizeof(kMagic) + 8 + 8 + 4 + 8 * cover.size() + 4 +
+           8 * digests.size() + 4 + 4 + 8 + 4 + 16 * (size_t)kNumBlocks;
+  }
+};
+
+// Little-endian POD writer (x86-64 target; the on-disk format is the
+// native layout of these fixed-width types).
 template <typename T>
 void Put(std::ostream& out, T v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-bool Get(std::istream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return in.good();
-}
-
-// A flat array block: u64 element count, then the raw elements.
-template <typename T>
-void PutBlock(std::ostream& out, const std::vector<T>& v) {
-  Put<uint64_t>(out, (uint64_t)v.size());
-  if (!v.empty())
-    out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
-}
-
-// Per-CSR-row delta varint codec for the dictionary entry ids: within a
-// node's slice ids are strictly ascending, so each row stores its first id
-// absolute and every later id as (gap - 1), all LEB128.
-void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back((uint8_t)(v | 0x80));
-    v >>= 7;
+// The header is parsed identically from a stream (heap load) and from
+// mapped memory (zero-copy load); both readers expose one primitive.
+struct StreamReader {
+  std::istream& in;
+  bool ReadRaw(void* p, size_t n) {
+    in.read(static_cast<char*>(p), (std::streamsize)n);
+    return in.good();
   }
-  out->push_back((uint8_t)v);
-}
+};
 
-bool GetVarint(const std::vector<uint8_t>& bytes, size_t* pos, uint64_t* v) {
-  uint64_t out = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (*pos >= bytes.size()) return false;
-    const uint8_t b = bytes[(*pos)++];
-    out |= (uint64_t)(b & 0x7f) << shift;
-    if (!(b & 0x80)) {
-      *v = out;
-      return true;
-    }
-  }
-  return false;  // over-long encoding
-}
-
-std::vector<uint8_t> EncodeEntryIds(const std::vector<uint32_t>& offsets,
-                                    const std::vector<uint32_t>& entry_vb) {
-  std::vector<uint8_t> bytes;
-  bytes.reserve(entry_vb.size());
-  for (size_t n = 0; n + 1 < offsets.size(); ++n) {
-    for (uint32_t i = offsets[n]; i < offsets[n + 1]; ++i) {
-      if (i == offsets[n])
-        PutVarint(&bytes, entry_vb[i]);
-      else
-        PutVarint(&bytes, entry_vb[i] - entry_vb[i - 1] - 1);
-    }
-  }
-  return bytes;
-}
-
-bool DecodeEntryIds(const std::vector<uint8_t>& bytes,
-                    const std::vector<uint32_t>& offsets,
-                    std::vector<uint32_t>* entry_vb) {
-  const size_t total = offsets.empty() ? 0 : offsets.back();
-  entry_vb->clear();
-  entry_vb->reserve(total);
+struct MemReader {
+  const uint8_t* data;
+  size_t size;
   size_t pos = 0;
-  for (size_t n = 0; n + 1 < offsets.size(); ++n) {
-    uint64_t prev = 0;
-    for (uint32_t i = offsets[n]; i < offsets[n + 1]; ++i) {
-      uint64_t d;
-      if (!GetVarint(bytes, &pos, &d)) return false;
-      // Bound the delta before adding: a crafted near-2^64 delta would
-      // wrap prev + d + 1 back below prev and smuggle a descending id
-      // past the range check (the binary searches over a node's slice
-      // require strictly ascending ids).
-      if (d > 0xffffffffull) return false;
-      const uint64_t id = i == offsets[n] ? d : prev + d + 1;  // no wrap now
-      if (id > 0xffffffffull) return false;
-      entry_vb->push_back((uint32_t)id);
-      prev = id;
-    }
+  bool ReadRaw(void* p, size_t n) {
+    if (n > size - pos) return false;  // pos <= size invariant
+    std::memcpy(p, data + pos, n);     // memcpy: header fields are unaligned
+    pos += n;
+    return true;
   }
-  return pos == bytes.size();  // no trailing garbage
+};
+
+template <typename Reader, typename T>
+bool Get(Reader& r, T* v) {
+  return r.ReadRaw(v, sizeof(T));
 }
 
-template <typename T>
-bool GetBlock(std::istream& in, std::vector<T>* v) {
-  uint64_t n;
-  if (!Get(in, &n)) return false;
-  // Validate the claimed length against the bytes actually left in the
-  // stream before allocating: a corrupt length field must produce a clean
-  // Status error, not a giant resize() that throws bad_alloc.
-  const std::istream::pos_type pos = in.tellg();
-  in.seekg(0, std::ios::end);
-  const std::istream::pos_type end = in.tellg();
-  in.seekg(pos);
-  if (pos == std::istream::pos_type(-1) || end < pos) return false;
-  const uint64_t remaining = (uint64_t)(end - pos);
-  if (n > remaining / sizeof(T)) return false;
-  v->resize(n);
-  if (n == 0) return true;
-  in.read(reinterpret_cast<char*>(v->data()), n * sizeof(T));
-  return in.good();
-}
-
-}  // namespace
-
-Status SaveCompressedRep(const CompressedRep& rep, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::Error("cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  Put<double>(out, rep.tau_);
-  Put<double>(out, rep.alpha_);
-  const CompressedRepStats& s = rep.stats_;
-  Put<uint32_t>(out, (uint32_t)s.cover.size());
-  for (double w : s.cover) Put<double>(out, w);
-  // Fingerprint: per-atom relation content digests.
-  Put<uint32_t>(out, (uint32_t)rep.atoms_.size());
-  for (const BoundAtom& atom : rep.atoms_)
-    Put<uint64_t>(out, atom.relation().ContentHash());
-  // Tree: flat SoA columns.
-  const DelayBalancedTree& tree = rep.tree_;
-  Put<uint32_t>(out, (uint32_t)tree.mu());
-  PutBlock(out, tree.beta_pool());
-  PutBlock(out, tree.lefts());
-  PutBlock(out, tree.rights());
-  PutBlock(out, tree.costs());
-  PutBlock(out, tree.levels());
-  PutBlock(out, tree.leaf_flags());
-  // Dictionary: bit-packed candidate pool + CSR entry columns (entry ids
-  // as per-row delta varints).
-  const HeavyDictionary& dict = rep.dict_;
-  Put<uint32_t>(out, (uint32_t)dict.vb_arity());
-  Put<uint64_t>(out, (uint64_t)dict.NumCandidates());
-  if (dict.sealed()) {
-    PutBlock(out, dict.packed_pool().widths());
-    PutBlock(out, dict.packed_pool().words());
-  } else {
-    // Only a never-built dictionary (boolean view / empty domain) may be
-    // serialized unsealed; it has nothing to pack.
-    CQC_CHECK_EQ(dict.NumCandidates(), 0u)
-        << "serializing an unsealed non-empty dictionary";
-    PutBlock(out, std::vector<uint8_t>((size_t)dict.vb_arity(), 0));
-    PutBlock(out, std::vector<uint64_t>());
-  }
-  PutBlock(out, dict.node_offsets());
-  PutBlock(out, EncodeEntryIds(dict.node_offsets(), dict.entry_vbs()));
-  PutBlock(out, dict.entry_bits());
-  if (!out.good()) return Status::Error("write failed: " + path);
-  return Status::Ok();
-}
-
-Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
-    const AdornedView& view, const Database& db, const std::string& path,
-    const Database* aux_db) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::Error("cannot open " + path);
+/// Parses and sanity-checks the header (everything that needs no database:
+/// magic, parameter finiteness, shape bounds, the block directory against
+/// the file extent). `file_size` is computed ONCE by the caller — blocks
+/// are validated against it here, so neither loader ever re-stats the file
+/// or trusts a claimed length it cannot hold.
+template <typename Reader>
+Status ReadHeader(Reader& r, uint64_t file_size, Header* h) {
   char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return Status::Error(path + ": not a cqc compressed-rep (v03) file");
+  if (!r.ReadRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return Status::Error("not a cqc compressed-rep (v04) file");
 
-  double tau, alpha;
-  if (!Get(in, &tau) || !Get(in, &alpha))
+  if (!Get(r, &h->tau) || !Get(r, &h->alpha))
     return Status::Error("truncated header");
   // Bit-flipped float fields can decode as NaN, which slides through
   // ordering checks (every comparison is false) — reject non-finite
   // parameters outright.
-  if (!std::isfinite(tau) || tau <= 0 || !std::isfinite(alpha) || alpha <= 0)
+  if (!std::isfinite(h->tau) || h->tau <= 0 || !std::isfinite(h->alpha) ||
+      h->alpha <= 0)
     return Status::Error("corrupt header: non-finite tau/alpha");
+
   uint32_t cover_size;
-  if (!Get(in, &cover_size) || cover_size > 1u << 16)
+  if (!Get(r, &cover_size) || cover_size > 1u << 16)
     return Status::Error("bad cover");
-  std::vector<double> cover(cover_size);
-  for (double& w : cover) {
-    if (!Get(in, &w)) return Status::Error("truncated cover");
-    if (!std::isfinite(w) || w < 0)
-      return Status::Error("corrupt cover weight");
+  h->cover.resize(cover_size);
+  for (double& w : h->cover) {
+    if (!Get(r, &w)) return Status::Error("truncated cover");
+    if (!std::isfinite(w) || w < 0) return Status::Error("corrupt cover weight");
   }
 
+  uint32_t num_atoms;
+  if (!Get(r, &num_atoms) || num_atoms > 1u << 16)
+    return Status::Error("bad atom count");
+  h->digests.resize(num_atoms);
+  for (uint64_t& d : h->digests)
+    if (!Get(r, &d)) return Status::Error("truncated fingerprint");
+
+  if (!Get(r, &h->mu) || h->mu > (uint32_t)kMaxVars)
+    return Status::Error("bad tree arity");
+  if (!Get(r, &h->vb_arity) || h->vb_arity > (uint32_t)kMaxVars)
+    return Status::Error("bad dictionary arity");
+  if (!Get(r, &h->num_candidates) || h->num_candidates >= 0xffffffffull ||
+      (h->vb_arity == 0 && h->num_candidates > 1))
+    return Status::Error("bad candidate count");
+
+  uint32_t num_blocks;
+  if (!Get(r, &num_blocks) || num_blocks != (uint32_t)kNumBlocks)
+    return Status::Error("bad block count");
+  for (BlockDir& d : h->dir)
+    if (!Get(r, &d.offset) || !Get(r, &d.count))
+      return Status::Error("truncated block directory");
+
+  // Directory validation against the file extent. Blocks are laid out in
+  // order, aligned, non-overlapping; a count that cannot fit between its
+  // offset and EOF is rejected BEFORE any allocation or read, so a corrupt
+  // length yields a clean error, never a bad_alloc or an out-of-bounds map
+  // access.
+  uint64_t prev_end = h->ByteSize();
+  for (int b = 0; b < kNumBlocks; ++b) {
+    const BlockDir& d = h->dir[b];
+    if (d.count == 0) {
+      if (d.offset != 0) return Status::Error("corrupt block directory");
+      continue;
+    }
+    if (d.offset % kBlockAlign != 0 || d.offset < prev_end ||
+        d.offset > file_size)
+      return Status::Error("corrupt block directory");
+    if (d.count > (file_size - d.offset) / kBlockElemSize[b])
+      return Status::Error("corrupt block directory");
+    prev_end = d.offset + d.count * kBlockElemSize[b];
+  }
+  return Status::Ok();
+}
+
+/// The loaded columns, owned (heap loader) or borrowed (mmap loader);
+/// vectors convert into ColStore implicitly. `widths` is always owned —
+/// it is a handful of bytes and PackedTuplePool keeps its own copy.
+struct RawParts {
+  ColStore<Value> beta;
+  ColStore<int32_t> left, right;
+  ColStore<float> cost;
+  ColStore<uint16_t> level;
+  ColStore<uint8_t> leaf;
+  std::vector<uint8_t> widths;
+  ColStore<uint64_t> words;
+  ColStore<uint32_t> offsets;
+  ColStore<uint32_t> entry_vb;
+  ColStore<uint8_t> entry_bit;
+};
+
+}  // namespace
+
+/// Shared loader internals, friended by CompressedRep. Assemble() builds
+/// the skeleton (view/database resolution), cross-checks every column
+/// against the header shape and the structures' invariants, then moves the
+/// parts into the rep. O(header + tree nodes + dictionary entries) — the
+/// packed pool words are count-checked but never scanned, which is what
+/// keeps a zero-copy open independent of the candidate pool size.
+class RepSerde {
+ public:
+  static Result<std::unique_ptr<CompressedRep>> Assemble(
+      const AdornedView& view, const Database& db, const Database* aux_db,
+      const Header& h, RawParts&& p, std::shared_ptr<RepFile> backing,
+      size_t mapped_bytes);
+};
+
+Result<std::unique_ptr<CompressedRep>> RepSerde::Assemble(
+    const AdornedView& view, const Database& db, const Database* aux_db,
+    const Header& h, RawParts&& p, std::shared_ptr<RepFile> backing,
+    size_t mapped_bytes) {
   Result<std::unique_ptr<CompressedRep>> skeleton =
-      CompressedRep::MakeSkeleton(view, db, cover, tau, aux_db);
+      CompressedRep::MakeSkeleton(view, db, h.cover, h.tau, aux_db);
   if (!skeleton.ok()) return skeleton.status();
   std::unique_ptr<CompressedRep> rep = std::move(skeleton).value();
-  if (std::abs(rep->alpha_ - alpha) > 1e-9)
+  if (std::abs(rep->alpha_ - h.alpha) > 1e-9)
     return Status::Error("slack mismatch: file built for a different view");
 
   // Fingerprint.
-  uint32_t num_atoms;
-  if (!Get(in, &num_atoms) || num_atoms != rep->atoms_.size())
+  if (h.digests.size() != rep->atoms_.size())
     return Status::Error("atom count mismatch");
-  for (const BoundAtom& atom : rep->atoms_) {
-    uint64_t digest;
-    if (!Get(in, &digest)) return Status::Error("truncated fingerprint");
-    if (digest != atom.relation().ContentHash())
+  for (size_t i = 0; i < rep->atoms_.size(); ++i) {
+    if (h.digests[i] != rep->atoms_[i].relation().ContentHash())
       return Status::Error(
           "relation content mismatch: file built over different data");
   }
 
-  // Tree: flat SoA columns.
-  uint32_t mu;
-  if (!Get(in, &mu) || mu > (uint32_t)kMaxVars)
-    return Status::Error("bad tree arity");
-  std::vector<Value> beta;
-  std::vector<int32_t> left, right;
-  std::vector<float> cost;
-  std::vector<uint16_t> level;
-  std::vector<uint8_t> leaf;
-  if (!GetBlock(in, &beta) || !GetBlock(in, &left) ||
-      !GetBlock(in, &right) || !GetBlock(in, &cost) ||
-      !GetBlock(in, &level) || !GetBlock(in, &leaf))
-    return Status::Error("truncated tree");
-  const size_t num_nodes = left.size();
-  if (right.size() != num_nodes || cost.size() != num_nodes ||
-      level.size() != num_nodes || leaf.size() != num_nodes ||
-      beta.size() != num_nodes * (size_t)mu)
+  // Tree columns.
+  const size_t num_nodes = p.left.size();
+  if (p.right.size() != num_nodes || p.cost.size() != num_nodes ||
+      p.level.size() != num_nodes || p.leaf.size() != num_nodes ||
+      p.beta.size() != num_nodes * (size_t)h.mu)
     return Status::Error("inconsistent tree column lengths");
   for (size_t i = 0; i < num_nodes; ++i) {
     // Children live at strictly higher preorder ids: also rules out link
     // cycles, which would hang the traversal on a corrupt file.
-    if (left[i] >= (int64_t)num_nodes || right[i] >= (int64_t)num_nodes ||
-        (left[i] >= 0 && left[i] <= (int64_t)i) ||
-        (right[i] >= 0 && right[i] <= (int64_t)i))
+    if (p.left[i] >= (int64_t)num_nodes || p.right[i] >= (int64_t)num_nodes ||
+        (p.left[i] >= 0 && p.left[i] <= (int64_t)i) ||
+        (p.right[i] >= 0 && p.right[i] <= (int64_t)i))
       return Status::Error("corrupt tree links");
     // Non-leaf split points must be grid tuples: the traversal takes their
     // grid successor/predecessor, which CHECK-aborts off the grid.
-    if (!leaf[i]) {
-      for (uint32_t d = 0; d < mu; ++d) {
-        if (rep->domain_.IndexOf((int)d, beta[i * mu + d]) < 0)
+    if (!p.leaf[i]) {
+      for (uint32_t d = 0; d < h.mu; ++d) {
+        if (rep->domain_.IndexOf((int)d, p.beta[i * h.mu + d]) < 0)
           return Status::Error("corrupt split point (off-grid value)");
       }
     }
   }
-  rep->tree_ = DelayBalancedTree::FromFlat(
-      (int)mu, std::move(beta), std::move(left), std::move(right),
-      std::move(cost), std::move(level), std::move(leaf));
 
-  // Dictionary: bit-packed candidate pool + CSR entry columns.
-  uint32_t vb_arity;
-  uint64_t num_candidates;
-  if (!Get(in, &vb_arity) || vb_arity > (uint32_t)kMaxVars)
-    return Status::Error("bad dictionary arity");
-  if (!Get(in, &num_candidates) || num_candidates >= 0xffffffffull ||
-      (vb_arity == 0 && num_candidates > 1))
-    return Status::Error("bad candidate count");
-  std::vector<uint8_t> widths;
-  std::vector<uint64_t> words;
-  std::vector<uint32_t> offsets;
-  std::vector<uint8_t> entry_delta, entry_bit;
-  if (!GetBlock(in, &widths) || !GetBlock(in, &words) ||
-      !GetBlock(in, &offsets) || !GetBlock(in, &entry_delta) ||
-      !GetBlock(in, &entry_bit))
-    return Status::Error("truncated dictionary");
-  if (widths.size() != vb_arity)
+  // Dictionary columns.
+  if (p.widths.size() != h.vb_arity)
     return Status::Error("bad candidate pool widths");
   size_t row_bits = 0;
-  for (uint8_t w : widths) {
+  for (uint8_t w : p.widths) {
     if (w > 64) return Status::Error("bad candidate pool widths");
     row_bits += w;
   }
-  const uint64_t payload_bits = num_candidates * row_bits;
-  if (words.size() != (payload_bits == 0 ? 0 : (payload_bits + 63) / 64 + 1))
+  const uint64_t payload_bits = h.num_candidates * row_bits;
+  if (p.words.size() != (payload_bits == 0 ? 0 : (payload_bits + 63) / 64 + 1))
     return Status::Error("bad candidate pool length");
-  if (offsets.size() != num_nodes + 1 && !(offsets.empty() && num_nodes == 0))
+  if (p.offsets.size() != num_nodes + 1 &&
+      !(p.offsets.empty() && num_nodes == 0))
     return Status::Error("bad dictionary offsets length");
-  std::vector<uint32_t> entry_vb;
-  if (!offsets.empty()) {
-    if (offsets.front() != 0)
+  if (!p.offsets.empty()) {
+    if (p.offsets.front() != 0)
       return Status::Error("corrupt dictionary offsets");
-    for (size_t n = 0; n + 1 < offsets.size(); ++n)
-      if (offsets[n] > offsets[n + 1])
+    for (size_t n = 0; n + 1 < p.offsets.size(); ++n)
+      if (p.offsets[n] > p.offsets[n + 1])
         return Status::Error("corrupt dictionary offsets");
-    if (!DecodeEntryIds(entry_delta, offsets, &entry_vb))
-      return Status::Error("corrupt dictionary entry ids");
-    for (uint32_t id : entry_vb)
-      if (id >= num_candidates)
-        return Status::Error("corrupt dictionary ordering");
-  } else if (!entry_delta.empty()) {
+    if ((size_t)p.offsets.back() != p.entry_vb.size())
+      return Status::Error("corrupt dictionary offsets");
+  } else if (!p.entry_vb.empty()) {
     return Status::Error("dictionary entries without offsets");
   }
-  if (entry_vb.size() != entry_bit.size())
+  if (p.entry_vb.size() != p.entry_bit.size())
     return Status::Error("inconsistent dictionary entry columns");
+  // Within a node's slice ids must be strictly ascending (the lookups
+  // binary-search it) and name real candidates.
+  for (size_t n = 0; n + 1 < p.offsets.size(); ++n) {
+    for (uint32_t i = p.offsets[n]; i < p.offsets[n + 1]; ++i) {
+      if (p.entry_vb[i] >= h.num_candidates ||
+          (i > p.offsets[n] && p.entry_vb[i] <= p.entry_vb[i - 1]))
+        return Status::Error("corrupt dictionary ordering");
+    }
+  }
+  // The flag column is addressed as a boolean; a bit flip in the file must
+  // not smuggle other values into it.
+  for (size_t i = 0; i < p.entry_bit.size(); ++i)
+    if (p.entry_bit[i] > 1)
+      return Status::Error("corrupt dictionary entry bits");
+
+  rep->tree_ = DelayBalancedTree::FromFlat(
+      (int)h.mu, std::move(p.beta), std::move(p.left), std::move(p.right),
+      std::move(p.cost), std::move(p.level), std::move(p.leaf));
   rep->dict_ = HeavyDictionary::FromPacked(
-      (int)vb_arity, (size_t)num_candidates,
-      PackedTuplePool::FromFlatParts((int)vb_arity, (size_t)num_candidates,
-                                     std::move(widths), std::move(words)),
-      std::move(offsets), std::move(entry_vb), std::move(entry_bit));
+      (int)h.vb_arity, (size_t)h.num_candidates,
+      PackedTuplePool::FromFlatParts((int)h.vb_arity,
+                                     (size_t)h.num_candidates,
+                                     std::move(p.widths), std::move(p.words)),
+      std::move(p.offsets), std::move(p.entry_vb), std::move(p.entry_bit));
+  rep->backing_ = std::move(backing);
 
   // Refresh stats that depend on the loaded parts.
   CompressedRepStats& s = rep->stats_;
@@ -314,7 +311,228 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
   s.num_candidates = rep->dict_.NumCandidates();
   s.tree_bytes = rep->tree_.MemoryBytes();
   s.dict_bytes = rep->dict_.MemoryBytes();
-  return std::move(rep);
+  s.mapped_bytes = mapped_bytes;
+  return rep;
+}
+
+namespace {
+
+/// Owned read of one directory block. The count was already validated
+/// against the file extent by ReadHeader, so the resize is safe.
+template <typename T>
+bool ReadBlockAt(std::ifstream& in, const BlockDir& d, std::vector<T>* v) {
+  v->resize(d.count);
+  if (d.count == 0) return true;
+  in.clear();
+  in.seekg((std::streamoff)d.offset);
+  in.read(reinterpret_cast<char*>(v->data()), d.count * sizeof(T));
+  return in.good();
+}
+
+/// Borrowed view of one directory block straight out of the mapping. The
+/// 64-byte file alignment plus the page-aligned mapping base make the
+/// reinterpret_cast well-aligned for every element type used here.
+template <typename T>
+ColStore<T> BorrowBlock(const RepFile& f, const BlockDir& d) {
+  if (d.count == 0) return ColStore<T>();
+  return ColStore<T>::Borrow(reinterpret_cast<const T*>(f.data() + d.offset),
+                             (size_t)d.count);
+}
+
+}  // namespace
+
+Status SaveCompressedRep(const CompressedRep& rep, const std::string& path) {
+  const DelayBalancedTree& tree = rep.tree_;
+  const HeavyDictionary& dict = rep.dict_;
+
+  // An unsealed dictionary has no packed pool yet; only a never-built one
+  // (boolean view / empty domain) may be serialized that way.
+  std::vector<uint8_t> empty_widths;
+  if (!dict.sealed()) {
+    CQC_CHECK_EQ(dict.NumCandidates(), 0u)
+        << "serializing an unsealed non-empty dictionary";
+    empty_widths.assign((size_t)dict.vb_arity(), 0);
+  }
+  const std::vector<uint8_t>& widths =
+      dict.sealed() ? dict.packed_pool().widths() : empty_widths;
+
+  Header h;
+  h.tau = rep.tau_;
+  h.alpha = rep.alpha_;
+  h.cover = rep.stats_.cover;
+  for (const BoundAtom& atom : rep.atoms_)
+    h.digests.push_back(atom.relation().ContentHash());
+  h.mu = (uint32_t)tree.mu();
+  h.vb_arity = (uint32_t)dict.vb_arity();
+  h.num_candidates = (uint64_t)dict.NumCandidates();
+
+  // The blocks in file order: raw bytes + element counts.
+  struct Src {
+    const void* data;
+    uint64_t count;
+  };
+  const Src blocks[kNumBlocks] = {
+      {tree.beta_pool().data(), tree.beta_pool().size()},
+      {tree.lefts().data(), tree.lefts().size()},
+      {tree.rights().data(), tree.rights().size()},
+      {tree.costs().data(), tree.costs().size()},
+      {tree.levels().data(), tree.levels().size()},
+      {tree.leaf_flags().data(), tree.leaf_flags().size()},
+      {widths.data(), widths.size()},
+      {dict.sealed() ? dict.packed_pool().words().data() : nullptr,
+       dict.sealed() ? dict.packed_pool().words().size() : 0},
+      {dict.node_offsets().data(), dict.node_offsets().size()},
+      {dict.entry_vbs().data(), dict.entry_vbs().size()},
+      {dict.entry_bits().data(), dict.entry_bits().size()},
+  };
+
+  // Lay out the directory: blocks in order, each aligned up from the
+  // previous end, empty blocks at offset 0. Deterministic, so identical
+  // structures serialize byte-identically.
+  uint64_t cursor = h.ByteSize();
+  for (int b = 0; b < kNumBlocks; ++b) {
+    h.dir[b].count = blocks[b].count;
+    if (blocks[b].count == 0) continue;
+    cursor = (cursor + kBlockAlign - 1) / kBlockAlign * kBlockAlign;
+    h.dir[b].offset = cursor;
+    cursor += blocks[b].count * kBlockElemSize[b];
+  }
+
+  // Write to a sibling temp file and rename into place. Atomic on POSIX,
+  // and — load-bearing for the snapshot cache — an overwrite never touches
+  // the old inode, so a live mmap of the previous file keeps reading
+  // consistent bytes instead of taking SIGBUS when the file is truncated
+  // under it.
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::Error("cannot open " + tmp);
+  out.write(kMagic, sizeof(kMagic));
+  Put<double>(out, h.tau);
+  Put<double>(out, h.alpha);
+  Put<uint32_t>(out, (uint32_t)h.cover.size());
+  for (double w : h.cover) Put<double>(out, w);
+  Put<uint32_t>(out, (uint32_t)h.digests.size());
+  for (uint64_t d : h.digests) Put<uint64_t>(out, d);
+  Put<uint32_t>(out, h.mu);
+  Put<uint32_t>(out, h.vb_arity);
+  Put<uint64_t>(out, h.num_candidates);
+  Put<uint32_t>(out, (uint32_t)kNumBlocks);
+  for (const BlockDir& d : h.dir) {
+    Put<uint64_t>(out, d.offset);
+    Put<uint64_t>(out, d.count);
+  }
+
+  static constexpr char kPad[kBlockAlign] = {};
+  uint64_t pos = h.ByteSize();
+  for (int b = 0; b < kNumBlocks; ++b) {
+    if (h.dir[b].count == 0) continue;
+    CQC_DCHECK(h.dir[b].offset >= pos);
+    out.write(kPad, (std::streamsize)(h.dir[b].offset - pos));
+    const uint64_t bytes = h.dir[b].count * kBlockElemSize[b];
+    out.write(static_cast<const char*>(blocks[b].data),
+              (std::streamsize)bytes);
+    pos = h.dir[b].offset + bytes;
+  }
+  out.close();
+  if (!out.good()) {
+    std::remove(tmp.c_str());
+    return Status::Error("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Error("cannot move " + tmp + " into place");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
+    const AdornedView& view, const Database& db, const std::string& path,
+    const Database* aux_db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::Error("cannot open " + path);
+  // The file extent, computed exactly once: every block length below is
+  // validated against it (ReadHeader), so no per-block re-stat happens and
+  // the header parse itself never seeks.
+  in.seekg(0, std::ios::end);
+  const std::streamoff extent = in.tellg();
+  if (extent < 0) return Status::Error("cannot stat " + path);
+  in.seekg(0);
+
+  Header h;
+  StreamReader r{in};
+  Status st = ReadHeader(r, (uint64_t)extent, &h);
+  if (!st.ok()) return Status::Error(path + ": " + st.message());
+
+  RawParts p;
+  std::vector<Value> beta;
+  std::vector<int32_t> left, right;
+  std::vector<float> cost;
+  std::vector<uint16_t> level;
+  std::vector<uint8_t> leaf;
+  std::vector<uint64_t> words;
+  std::vector<uint32_t> offsets, entry_vb;
+  std::vector<uint8_t> entry_bit;
+  if (!ReadBlockAt(in, h.dir[kBlockBeta], &beta) ||
+      !ReadBlockAt(in, h.dir[kBlockLeft], &left) ||
+      !ReadBlockAt(in, h.dir[kBlockRight], &right) ||
+      !ReadBlockAt(in, h.dir[kBlockCost], &cost) ||
+      !ReadBlockAt(in, h.dir[kBlockLevel], &level) ||
+      !ReadBlockAt(in, h.dir[kBlockLeaf], &leaf))
+    return Status::Error("truncated tree");
+  if (!ReadBlockAt(in, h.dir[kBlockWidths], &p.widths) ||
+      !ReadBlockAt(in, h.dir[kBlockWords], &words) ||
+      !ReadBlockAt(in, h.dir[kBlockOffsets], &offsets) ||
+      !ReadBlockAt(in, h.dir[kBlockEntryVb], &entry_vb) ||
+      !ReadBlockAt(in, h.dir[kBlockEntryBit], &entry_bit))
+    return Status::Error("truncated dictionary");
+  p.beta = std::move(beta);
+  p.left = std::move(left);
+  p.right = std::move(right);
+  p.cost = std::move(cost);
+  p.level = std::move(level);
+  p.leaf = std::move(leaf);
+  p.words = std::move(words);
+  p.offsets = std::move(offsets);
+  p.entry_vb = std::move(entry_vb);
+  p.entry_bit = std::move(entry_bit);
+  return RepSerde::Assemble(view, db, aux_db, h, std::move(p), nullptr, 0);
+}
+
+Result<std::unique_ptr<CompressedRep>> MmapCompressedRep(
+    const AdornedView& view, const Database& db, const std::string& path,
+    const Database* aux_db) {
+  Result<std::shared_ptr<RepFile>> open = RepFile::Open(path);
+  if (!open.ok()) return open.status();
+  std::shared_ptr<RepFile> file = std::move(open).value();
+
+  Header h;
+  MemReader r{file->data(), file->size()};
+  Status st = ReadHeader(r, (uint64_t)file->size(), &h);
+  if (!st.ok()) return Status::Error(path + ": " + st.message());
+
+  RawParts p;
+  p.beta = BorrowBlock<Value>(*file, h.dir[kBlockBeta]);
+  p.left = BorrowBlock<int32_t>(*file, h.dir[kBlockLeft]);
+  p.right = BorrowBlock<int32_t>(*file, h.dir[kBlockRight]);
+  p.cost = BorrowBlock<float>(*file, h.dir[kBlockCost]);
+  p.level = BorrowBlock<uint16_t>(*file, h.dir[kBlockLevel]);
+  p.leaf = BorrowBlock<uint8_t>(*file, h.dir[kBlockLeaf]);
+  // Widths are a handful of bytes and the pool wants its own copy anyway.
+  const BlockDir& wd = h.dir[kBlockWidths];
+  if (wd.count > 0)
+    p.widths.assign(file->data() + wd.offset,
+                    file->data() + wd.offset + wd.count);
+  p.words = BorrowBlock<uint64_t>(*file, h.dir[kBlockWords]);
+  p.offsets = BorrowBlock<uint32_t>(*file, h.dir[kBlockOffsets]);
+  p.entry_vb = BorrowBlock<uint32_t>(*file, h.dir[kBlockEntryVb]);
+  p.entry_bit = BorrowBlock<uint8_t>(*file, h.dir[kBlockEntryBit]);
+
+  size_t mapped_bytes = 0;
+  for (int b = 0; b < kNumBlocks; ++b)
+    if (b != kBlockWidths)
+      mapped_bytes += (size_t)h.dir[b].count * kBlockElemSize[b];
+  return RepSerde::Assemble(view, db, aux_db, h, std::move(p),
+                            std::move(file), mapped_bytes);
 }
 
 }  // namespace cqc

@@ -8,19 +8,33 @@
 // stores the cover, tau, slack and a fingerprint of the relation sizes to
 // catch obvious mismatches.
 //
-// Format (little-endian, version 3 — "CQCREP03"); the full field-by-field
+// Format (little-endian, version 4 — "CQCREP04"); the full field-by-field
 // spec and the corruption-rejection guarantees live in
 // docs/serialization.md:
-//   header: magic | tau f64 | alpha f64 | cover count u32 + [f64...]
-//   fingerprint: num atoms u32, per atom relation content digest u64
-//   tree (flat SoA blocks): mu u32, beta pool, lefts, rights, costs,
-//         levels, leaf flags — each a u64-count-prefixed raw array
-//   dictionary: vb_arity u32, candidate count u64, then the bit-packed
-//         candidate pool (per-column bit widths u8 block + packed u64 word
-//         block, the in-memory PackedTuplePool layout — loaded zero-decode),
-//         CSR node offsets u32 block, entry valuation ids as per-CSR-row
-//         delta varints (first id absolute, then gap-1; ids are strictly
-//         ascending within a node row) in a byte block, entry bits u8 block.
+//   header: magic | tau f64 | alpha f64 | cover count u32 + [f64...] |
+//           num atoms u32 + per-atom relation content digest u64 |
+//           mu u32 | vb_arity u32 | candidate count u64 |
+//           block count u32 (= 11) | block directory [(offset u64,
+//           count u64) x 11]
+//   blocks: flat SoA arrays, each 64-byte-aligned in the file (padding
+//           zero-filled; empty blocks store offset 0), in fixed order:
+//           tree beta pool u64, lefts i32, rights i32, costs f32,
+//           levels u16, leaf flags u8; dictionary pool widths u8, packed
+//           pool words u64 (the in-memory PackedTuplePool layout,
+//           trailing pad word included), CSR node offsets u32, entry
+//           valuation ids u32 (raw, strictly ascending within a node
+//           row), entry bits u8.
+//
+// Two loaders share one validation pass:
+//   * LoadCompressedRep — reads every block into owned heap vectors
+//     (O(file bytes); no residual file dependency).
+//   * MmapCompressedRep — maps the file read-only (core/rep_file.h) and
+//     BORROWS the payload blocks straight out of the mapping
+//     (util/col_store.h): open is O(header + tree nodes + dictionary
+//     entries) regardless of pool size, the OS pages candidate data in on
+//     demand, and the returned rep keeps the mapping alive for its
+//     lifetime. The dictionary's id table is built lazily on the first
+//     FindValuation.
 #ifndef CQC_CORE_SERIALIZATION_H_
 #define CQC_CORE_SERIALIZATION_H_
 
@@ -38,6 +52,13 @@ Status SaveCompressedRep(const CompressedRep& rep, const std::string& path);
 /// Reconstructs a structure previously saved for the same view over the
 /// same data. Fails on magic/version/shape mismatches.
 Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
+    const AdornedView& view, const Database& db, const std::string& path,
+    const Database* aux_db = nullptr);
+
+/// Zero-copy variant: maps `path` and serves the tree/dictionary columns
+/// directly from the mapping. Same validation and failure modes as
+/// LoadCompressedRep; the mapping lives as long as the returned rep.
+Result<std::unique_ptr<CompressedRep>> MmapCompressedRep(
     const AdornedView& view, const Database& db, const std::string& path,
     const Database* aux_db = nullptr);
 

@@ -86,6 +86,12 @@ class AnswerRep {
   virtual size_t SpaceBytes() const = 0;
   virtual std::string Describe() const = 0;
 
+  /// Physical memory charge right now. Equals SpaceBytes() for heap-backed
+  /// structures; mmap-backed ones (core/rep_file.h) report only the pages
+  /// the OS actually has resident, which is what a byte-budgeted cache
+  /// must charge them (plan/rep_cache.h).
+  virtual size_t ResidentBytes() const { return SpaceBytes(); }
+
   // --- hardened serving entry points ---------------------------------------
   // Each validates the request shape and returns a Status error on misuse
   // (wrong bound-valuation arity, unsupported capability, malformed range or
@@ -162,6 +168,7 @@ class CompressedAnswerRep : public AnswerRep {
     return rep_->stats().build_seconds;
   }
   size_t SpaceBytes() const override { return rep_->stats().TotalBytes(); }
+  size_t ResidentBytes() const override { return rep_->ResidentBytes(); }
   std::string Describe() const override;
 
   const CompressedRep& underlying() const { return *rep_; }

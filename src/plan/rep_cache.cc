@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "core/serialization.h"
 #include "exec/thread_pool.h"
 #include "query/parser.h"
 #include "util/str_util.h"
@@ -74,14 +75,11 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
     flight->done = true;
     if (built.ok()) {
       ++stats_.builds;
+      if (built.value()->from_snapshot_) ++stats_.mmap_loads;
       flight->result = out.value();
       lru_.emplace_front(key, built.value());
       entries_[key] = lru_.begin();
-      while (lru_.size() > options_.capacity) {
-        ++stats_.evictions;
-        entries_.erase(lru_.back().first);
-        lru_.pop_back();
-      }
+      EvictLocked();
     } else {
       // Failures are not cached: the next request retries (the database
       // may have gained the missing relation in the meantime).
@@ -105,6 +103,33 @@ Result<std::shared_ptr<CachedRep>> RepCache::BuildEntry(
   std::shared_ptr<CachedRep> entry(
       new CachedRep(key, std::move(normalized).value()));
 
+  // Restart path: serve a persisted snapshot zero-copy before paying for a
+  // plan + build. The loader validates the file against the *current*
+  // database (skeleton binding, domain membership, the full corrupt-input
+  // sweep), so a snapshot that no longer matches the data falls through to
+  // a fresh build rather than serving stale answers silently.
+  if (!options_.snapshot_dir.empty()) {
+    Result<std::unique_ptr<CompressedRep>> mapped =
+        MmapCompressedRep(entry->normalized_.view, *db_, SnapshotPath(key),
+                          &entry->normalized_.aux_db);
+    if (mapped.ok()) {
+      Plan plan;
+      plan.spec.kind = RepKind::kCompressed;
+      plan.spec.compressed.tau = mapped.value()->tau();
+      plan.within_budget = true;
+      PlanCandidate cand;
+      cand.kind = RepKind::kCompressed;
+      cand.tau = plan.spec.compressed.tau;
+      cand.feasible = true;
+      cand.note = "mmap snapshot";
+      plan.candidates.push_back(std::move(cand));
+      entry->plan_ = std::move(plan);
+      entry->rep_ = WrapAnswerRep(std::move(mapped).value());
+      entry->from_snapshot_ = true;
+      return entry;
+    }
+  }
+
   Planner planner(db_, &entry->normalized_.aux_db);
   PlannerOptions popts = options_.planner;
   popts.space_budget_exponent = space_budget_exponent;
@@ -121,6 +146,62 @@ Result<std::shared_ptr<CachedRep>> RepCache::BuildEntry(
   if (!rep.ok()) return rep.status();
   entry->rep_ = std::move(rep).value();
   return entry;
+}
+
+void RepCache::EvictLocked() {
+  while (lru_.size() > options_.capacity) {
+    ++stats_.evictions;
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  if (options_.max_resident_bytes == 0) return;
+  // Physical footprint: mapped entries charge only their resident pages,
+  // so the recompute per evicted entry is deliberate — evicting one entry
+  // does not change the others' charge, but the sum must be fresh against
+  // the budget each round. n <= capacity keeps this cheap.
+  auto resident_sum = [this] {
+    size_t sum = 0;
+    for (const auto& [unused_key, entry] : lru_) sum += entry->rep().ResidentBytes();
+    return sum;
+  };
+  while (lru_.size() > 1 && resident_sum() > options_.max_resident_bytes) {
+    ++stats_.byte_evictions;
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::string RepCache::SnapshotPath(const std::string& key) const {
+  if (options_.snapshot_dir.empty()) return "";
+  // FNV-1a 64 over the canonical key: stable across runs (that is the whole
+  // point — the path must survive a restart), filename-safe hex.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return options_.snapshot_dir + "/" +
+         StrFormat("%016llx", (unsigned long long)h) + ".cqcrep";
+}
+
+Status RepCache::PersistEntry(const std::string& key) {
+  if (options_.snapshot_dir.empty())
+    return Status::Error("PersistEntry: no snapshot_dir configured");
+  std::shared_ptr<const CachedRep> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+      return Status::Error("PersistEntry: no cached entry for key " + key);
+    entry = it->second->second;
+  }
+  // Serialize outside the lock: a large rep's write must not stall serving.
+  const auto* compressed =
+      dynamic_cast<const CompressedAnswerRep*>(&entry->rep());
+  if (compressed == nullptr)
+    return Status::Error("PersistEntry: entry for key " + key +
+                         " is not a compressed structure");
+  return SaveCompressedRep(compressed->underlying(), SnapshotPath(key));
 }
 
 // --- update path ------------------------------------------------------------
@@ -144,11 +225,11 @@ TouchReport Touches(const CachedRep& entry,
       t.exact = true;
       continue;
     }
-    const size_t sep = atom.relation.rfind("__n");
-    if (sep != std::string::npos &&
-        mutated.count(atom.relation.substr(0, sep)) > 0) {
+    // Only atoms the normalizer actually rewrote are derived; a base
+    // relation whose own name contains "__n" must not match here.
+    auto it = entry.derived_sources().find(atom.relation);
+    if (it != entry.derived_sources().end() && mutated.count(it->second) > 0)
       t.derived = true;
-    }
   }
   return t;
 }
@@ -183,13 +264,14 @@ Status RepCache::ApplyDelta(const std::string& key, const UpdateBatch& delta) {
         it = lru_.erase(it);
         continue;
       }
-      ++stats_.deltas_applied;
       updatable_targets.push_back(entry);
       ++it;
     }
   }
 
   Status result = Status::Ok();
+  uint64_t applied = 0;
+  uint64_t failed = 0;
   for (const std::shared_ptr<CachedRep>& entry : updatable_targets) {
     // Each entry absorbs only the ops naming its own relations (a batch
     // may span views).
@@ -199,9 +281,22 @@ Status RepCache::ApplyDelta(const std::string& key, const UpdateBatch& delta) {
       names.insert(atom.relation);
     for (const UpdateOp& op : delta)
       if (names.count(op.relation) > 0) relevant.push_back(op);
+    if (relevant.empty()) continue;  // this view saw none of the batch
     Status s = entry->rep_->ApplyDelta(relevant);
-    if (!s.ok() && result.ok()) result = s;
-    MaybeScheduleRebuild(entry);
+    if (s.ok()) {
+      // Count only entries that actually absorbed something, and schedule
+      // a fold only for those — a failed absorb has nothing to fold.
+      ++applied;
+      MaybeScheduleRebuild(entry);
+    } else {
+      ++failed;
+      if (result.ok()) result = s;
+    }
+  }
+  if (applied > 0 || failed > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.deltas_applied += applied;
+    stats_.delta_failures += failed;
   }
   if (!key_found && result.ok())
     return Status::Error("ApplyDelta: no cached entry for key " + key +
@@ -256,6 +351,9 @@ RepCacheStats RepCache::stats() const {
   {
     std::unique_lock<std::mutex> lock(mu_);
     out = stats_;
+    out.resident_bytes = 0;
+    for (const auto& [unused_key, entry] : lru_)
+      out.resident_bytes += entry->rep().ResidentBytes();
   }
   {
     std::lock_guard<std::mutex> lock(rebuilds_->mu);

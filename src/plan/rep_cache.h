@@ -52,6 +52,21 @@ struct RepCacheOptions {
   /// Maximum resident entries (>= 1; evicted entries stay alive while any
   /// caller still holds their shared_ptr).
   size_t capacity = 16;
+  /// Byte budget over the cache's *physical* footprint (0 = unlimited).
+  /// After every insert, least-recently-used entries are evicted until the
+  /// sum of the entries' ResidentBytes() fits. Mapped (zero-copy) entries
+  /// are charged only the pages the OS actually has resident — an mmap'ed
+  /// rep far larger than the budget can stay cached while it is cold,
+  /// which is the whole point of the zero-copy path. The most recent entry
+  /// is never evicted (the budget cannot make the cache useless).
+  size_t max_resident_bytes = 0;
+  /// When non-empty: directory of CQCREP04 snapshot files. A cache miss
+  /// first probes `<dir>/<hash(key)>.cqcrep` and serves it via the
+  /// zero-copy loader (validated against the current database) before
+  /// falling back to a fresh plan + build; PersistEntry() writes such a
+  /// snapshot for a cached compressed entry. This is the restart story:
+  /// persist before shutdown, remap on boot in O(header) time.
+  std::string snapshot_dir;
   /// Planner defaults for entries; the per-Get budget overrides
   /// space_budget_exponent. Set planner.churn_per_request > 0 to let the
   /// planner pick the updatable structure for mutable workloads.
@@ -64,12 +79,17 @@ struct RepCacheStats {
   uint64_t coalesced = 0;     // waited on another request's build
   uint64_t builds = 0;        // successful builds
   uint64_t build_failures = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;       // capacity (entry-count) evictions
+  uint64_t byte_evictions = 0;  // max_resident_bytes evictions
+  uint64_t mmap_loads = 0;      // misses served from a snapshot file
   // Update path.
-  uint64_t deltas_applied = 0;       // updatable entries that absorbed a delta
+  uint64_t deltas_applied = 0;  // updatable entries that absorbed a delta
+  uint64_t delta_failures = 0;  // updatable entries whose absorb FAILED
   uint64_t invalidations = 0;        // static entries dropped by a delta
   uint64_t rebuilds_scheduled = 0;   // background folds submitted
   uint64_t rebuilds_completed = 0;   // background folds finished
+  // Gauge (recomputed by stats()): sum of cached entries' ResidentBytes().
+  uint64_t resident_bytes = 0;
 };
 
 /// One cache entry: the normalized view (owning the derived relations the
@@ -82,6 +102,14 @@ class CachedRep {
   const Plan& plan() const { return plan_; }
   const AdornedView& view() const { return normalized_.view; }
   const std::string& key() const { return key_; }
+  /// Derived aux relation name -> base relation (see NormalizedView);
+  /// exactly the atoms that mutations cannot reach directly.
+  const std::map<std::string, std::string>& derived_sources() const {
+    return normalized_.derived_sources;
+  }
+  /// True when this entry was served from an mmap'ed snapshot file rather
+  /// than built.
+  bool from_snapshot() const { return from_snapshot_; }
 
  private:
   friend class RepCache;
@@ -92,6 +120,7 @@ class CachedRep {
   NormalizedView normalized_;
   Plan plan_;
   std::unique_ptr<AnswerRep> rep_;
+  bool from_snapshot_ = false;
   /// Coalesces background snapshot folds: set while one is queued/running.
   std::atomic<bool> rebuild_scheduled_{false};
 };
@@ -125,6 +154,17 @@ class RepCache {
   /// Blocks until every scheduled background rebuild has completed.
   void WaitForRebuilds();
 
+  /// Writes the cached entry's compressed structure to the snapshot
+  /// directory (options.snapshot_dir must be set) so a future cache —
+  /// typically after a restart — can serve it via the zero-copy loader.
+  /// Errors if the key is not cached, the entry is not a compressed
+  /// structure, or no snapshot_dir is configured.
+  Status PersistEntry(const std::string& key);
+
+  /// The snapshot file a key persists to / loads from (diagnostics,
+  /// tests); empty when no snapshot_dir is configured.
+  std::string SnapshotPath(const std::string& key) const;
+
   RepCacheStats stats() const;
   size_t size() const;
 
@@ -145,10 +185,15 @@ class RepCache {
   };
   using LruList = std::list<std::pair<std::string, std::shared_ptr<CachedRep>>>;
 
-  /// Builds the entry for (view, budget); no cache locks held.
+  /// Builds the entry for (view, budget); no cache locks held. Probes the
+  /// snapshot directory first when one is configured.
   Result<std::shared_ptr<CachedRep>> BuildEntry(
       const std::string& key, const AdornedView& view,
       double space_budget_exponent) const;
+
+  /// Evicts from the LRU tail until both the entry-count capacity and the
+  /// byte budget (when set) are respected. Call with mu_ held.
+  void EvictLocked();
 
   /// Schedules one coalesced background fold if the entry needs it.
   void MaybeScheduleRebuild(const std::shared_ptr<CachedRep>& entry);

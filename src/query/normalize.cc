@@ -71,6 +71,7 @@ Result<NormalizedView> NormalizeView(const AdornedView& view,
                            " binds no variables; not supported");
     const std::string derived_name =
         atom.relation + "__n" + std::to_string(next_id++);
+    out.derived_sources[derived_name] = atom.relation;
     out.aux_db.AdoptRelation(
         FilterProject(*rel, equals, same, cols, derived_name));
     Atom derived;

@@ -12,6 +12,9 @@
 #ifndef CQC_QUERY_NORMALIZE_H_
 #define CQC_QUERY_NORMALIZE_H_
 
+#include <map>
+#include <string>
+
 #include "query/adorned_view.h"
 #include "relational/database.h"
 #include "util/status.h"
@@ -21,6 +24,11 @@ namespace cqc {
 struct NormalizedView {
   AdornedView view;        // natural-join view
   Database aux_db;         // derived relations referenced by rewritten atoms
+  /// Derived relation name -> the base relation it was rewritten from
+  /// (exactly the atoms that landed in aux_db). Serving layers use this to
+  /// route base-table mutations: only names in THIS map are derived — a
+  /// base relation whose own name happens to contain "__n" is not.
+  std::map<std::string, std::string> derived_sources;
 };
 
 /// Rewrites `view` over `db`. Fails if the view is not full, or references

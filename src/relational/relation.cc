@@ -143,11 +143,17 @@ void Relation::ContainsBatch(const Value* flat, size_t n,
 
 uint64_t Relation::ContentHash() const {
   CQC_CHECK(sealed_);
-  uint64_t h = 0x243f6a8885a308d3ULL ^ ((uint64_t)arity_ << 32) ^ num_rows_;
-  for (size_t r = 0; r < num_rows_; ++r)
-    for (int c = 0; c < arity_; ++c)
-      h = (h ^ MixHash(cols_[c][r] + (uint64_t)c)) * 0x100000001b3ULL;
-  return h;
+  // Memoized: the digest is checked on every snapshot load, and a fresh
+  // pass over the columns there would make an otherwise O(header) mmap
+  // open scale with relation size. Content is frozen after Seal().
+  std::call_once(content_hash_once_, [this] {
+    uint64_t h = 0x243f6a8885a308d3ULL ^ ((uint64_t)arity_ << 32) ^ num_rows_;
+    for (size_t r = 0; r < num_rows_; ++r)
+      for (int c = 0; c < arity_; ++c)
+        h = (h ^ MixHash(cols_[c][r] + (uint64_t)c)) * 0x100000001b3ULL;
+    content_hash_ = h;
+  });
+  return content_hash_;
 }
 
 size_t Relation::BaseBytes() const {

@@ -86,7 +86,8 @@ class Relation {
 
   /// Order-insensitive 64-bit digest of the relation's content (rows are
   /// canonically sorted after Seal, so this identifies the tuple set).
-  /// Used by serialization fingerprints. Valid only after Seal().
+  /// Used by serialization fingerprints. Valid only after Seal(); computed
+  /// once on first use and cached (content is immutable post-Seal).
   uint64_t ContentHash() const;
 
   /// Approximate heap footprint of base data (excludes cached indexes).
@@ -121,6 +122,8 @@ class Relation {
   mutable std::once_flag hash_once_;
   mutable std::unique_ptr<HashIndex> hash_index_;
   mutable std::atomic<bool> hash_ready_{false};
+  mutable std::once_flag content_hash_once_;
+  mutable uint64_t content_hash_ = 0;
 };
 
 }  // namespace cqc

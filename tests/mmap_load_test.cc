@@ -1,0 +1,267 @@
+// Heap-vs-mmap differential suite: the zero-copy loader must be
+// observationally identical to the heap loader on every enumeration API —
+// Answer, AnswerRange, NextBatch, Resume, AnswerExists — across the
+// standard view families, and a save -> mmap-load -> save round trip must
+// reproduce the file byte for byte. Plus RepFile unit coverage and a
+// concurrent-probe smoke test for the lazily built dictionary slots.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cursor.h"
+#include "core/rep_file.h"
+#include "core/serialization.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workload/catalog.h"
+#include "workload/generators.h"
+
+namespace cqc {
+namespace {
+
+using testing::InterestingBoundValuations;
+using testing::OracleAnswer;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<Tuple> DrainInSmallBatches(TupleEnumerator& e, int arity) {
+  TupleBuffer buf(arity);
+  std::vector<Tuple> out;
+  constexpr size_t kBatch = 3;  // deliberately tiny: many refill boundaries
+  for (;;) {
+    buf.Clear();
+    const size_t n = e.NextBatch(&buf, kBatch);
+    for (size_t i = 0; i < n; ++i) out.push_back(buf[i].ToTuple());
+    if (n < kBatch) break;
+  }
+  return out;
+}
+
+/// Runs every serving API on both reps for every interesting bound
+/// valuation and requires byte-identical streams.
+void ExpectIdenticalServing(const AdornedView& view, const Database& db,
+                            const CompressedRep& heap,
+                            const CompressedRep& mapped) {
+  for (const BoundValuation& vb : InterestingBoundValuations(view, db)) {
+    const std::vector<Tuple> expect = CollectAll(*heap.Answer(vb));
+    EXPECT_EQ(CollectAll(*mapped.Answer(vb)), expect);
+    EXPECT_EQ(expect, OracleAnswer(view, db, vb));
+    EXPECT_EQ(mapped.AnswerExists(vb), heap.AnswerExists(vb));
+    if (view.num_free() == 0) continue;
+
+    // Range-restricted enumeration: the full range and an answer-derived
+    // subrange (endpoints taken from actual outputs, so it is non-trivial).
+    {
+      auto full = mapped.AnswerRange(vb, mapped.FullRange());
+      EXPECT_EQ(CollectAll(*full), expect);
+    }
+    if (expect.size() >= 2) {
+      const FInterval sub{expect[1], expect[expect.size() / 2]};
+      EXPECT_EQ(CollectAll(*mapped.AnswerRange(vb, sub)),
+                CollectAll(*heap.AnswerRange(vb, sub)));
+    }
+
+    // Batched drain with many refill boundaries.
+    {
+      auto e = mapped.Answer(vb);
+      EXPECT_EQ(DrainInSmallBatches(*e, view.num_free()), expect);
+    }
+
+    // Pause mid-stream on the mapped rep, resume on both: identical tails.
+    if (!expect.empty()) {
+      CursorEnumerator paused(mapped.Answer(vb));
+      Tuple t;
+      const size_t consumed = (expect.size() + 1) / 2;
+      for (size_t i = 0; i < consumed; ++i) ASSERT_TRUE(paused.Next(&t));
+      const std::vector<Tuple> expect_tail(expect.begin() + consumed,
+                                           expect.end());
+      auto resumed_m = mapped.Resume(vb, paused.cursor());
+      ASSERT_TRUE(resumed_m.ok()) << resumed_m.status().message();
+      EXPECT_EQ(CollectAll(*resumed_m.value()), expect_tail);
+      auto resumed_h = heap.Resume(vb, paused.cursor());
+      ASSERT_TRUE(resumed_h.ok()) << resumed_h.status().message();
+      EXPECT_EQ(CollectAll(*resumed_h.value()), expect_tail);
+    }
+  }
+}
+
+/// Build -> save -> load both ways -> differential serving -> re-save the
+/// mapped rep and require byte identity with the original file.
+void RunFamily(const std::string& name, const AdornedView& view,
+               const Database& db, double tau) {
+  SCOPED_TRACE(name + " tau=" + std::to_string(tau));
+  CompressedRepOptions copt;
+  copt.tau = tau;
+  auto built = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const std::string path = TempPath(name + ".cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*built.value(), path).ok());
+
+  auto heap = LoadCompressedRep(view, db, path);
+  ASSERT_TRUE(heap.ok()) << heap.status().message();
+  auto mapped = MmapCompressedRep(view, db, path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  EXPECT_EQ(heap.value()->stats().mapped_bytes, 0u);
+  EXPECT_EQ(heap.value()->backing(), nullptr);
+  EXPECT_NE(mapped.value()->backing(), nullptr);
+  if (mapped.value()->stats().tree_nodes > 0)
+    EXPECT_GT(mapped.value()->stats().mapped_bytes, 0u);
+  // Both loaders agree with the builder on the structural stats.
+  EXPECT_EQ(mapped.value()->stats().tree_nodes,
+            built.value()->stats().tree_nodes);
+  EXPECT_EQ(mapped.value()->stats().dict_entries,
+            built.value()->stats().dict_entries);
+
+  ExpectIdenticalServing(view, db, *heap.value(), *mapped.value());
+
+  // The mapped rep must serialize back to the identical file.
+  const std::string resaved = TempPath(name + "_resave.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*mapped.value(), resaved).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, ReadFileBytes(resaved));
+}
+
+TEST(MmapLoadTest, TriangleBoundAcrossTaus) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  for (double tau : {1.0, 2.0, 16.0})
+    RunFamily("mmap_tri_bfb", TriangleView("bfb"), db, tau);
+}
+
+TEST(MmapLoadTest, TriangleFullEnumeration) {
+  Database db;
+  MakeRandomGraph(db, "R", 10, 45, true, 13);
+  RunFamily("mmap_tri_fff", TriangleView("fff"), db, 4.0);
+}
+
+TEST(MmapLoadTest, StarJoin) {
+  Database db;
+  for (int i = 1; i <= 3; ++i)
+    MakeRandomGraph(db, "R" + std::to_string(i), 10, 40, false, 70 + i);
+  RunFamily("mmap_star3", StarView(3), db, 4.0);
+}
+
+TEST(MmapLoadTest, PathFullEnumeration) {
+  Database db;
+  MakePathRelations(db, "R", 3, 8, 40, 21);
+  RunFamily("mmap_path_ffff", PathView(3, "ffff"), db, 4.0);
+}
+
+TEST(MmapLoadTest, PathBoundPrefix) {
+  Database db;
+  MakePathRelations(db, "R", 3, 9, 45, 33);
+  RunFamily("mmap_path_bfff", PathView(3, "bfff"), db, 2.0);
+}
+
+TEST(MmapLoadTest, BooleanView) {
+  Database db;
+  testing::AddRelation(db, "R", 2, {{1, 2}, {3, 4}});
+  auto view = ParseAdornedView("Q^bb(x,y) = R(x,y)");
+  ASSERT_TRUE(view.ok());
+  RunFamily("mmap_boolean", view.value(), db, 1.0);
+  CompressedRepOptions copt;
+  auto rep = CompressedRep::Build(view.value(), db, copt);
+  ASSERT_TRUE(rep.ok());
+  const std::string path = TempPath("mmap_boolean_probe.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+  auto mapped = MmapCompressedRep(view.value(), db, path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  EXPECT_TRUE(mapped.value()->AnswerExists({1, 2}));
+  EXPECT_FALSE(mapped.value()->AnswerExists({1, 4}));
+}
+
+TEST(MmapLoadTest, ConcurrentProbesOnFreshMapping) {
+  // The mapped dictionary builds its probe slots lazily on the first
+  // FindValuation (std::call_once): hammer a fresh mapping from several
+  // threads at once and require every stream to be correct.
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  const std::string path = TempPath("mmap_concurrent.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+  auto mapped = MmapCompressedRep(view, db, path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+
+  const std::vector<BoundValuation> vbs = InterestingBoundValuations(view, db);
+  std::vector<std::vector<std::vector<Tuple>>> got(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (const BoundValuation& vb : vbs)
+        got[t].push_back(CollectAll(*mapped.value()->Answer(vb)));
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t i = 0; i < vbs.size(); ++i) {
+    const std::vector<Tuple> expect = OracleAnswer(view, db, vbs[i]);
+    for (int t = 0; t < 4; ++t) EXPECT_EQ(got[t][i], expect);
+  }
+}
+
+TEST(MmapLoadTest, ResidentBytesAccounting) {
+  Database db;
+  MakeRandomGraph(db, "R", 12, 60, true, 9);
+  AdornedView view = TriangleView("bfb");
+  CompressedRepOptions copt;
+  copt.tau = 2.0;
+  auto rep = CompressedRep::Build(view, db, copt);
+  ASSERT_TRUE(rep.ok());
+  // Built and heap-loaded reps: resident == logical total.
+  EXPECT_EQ(rep.value()->ResidentBytes(), rep.value()->stats().TotalBytes());
+  const std::string path = TempPath("mmap_resident.cqcrep");
+  ASSERT_TRUE(SaveCompressedRep(*rep.value(), path).ok());
+  auto mapped = MmapCompressedRep(view, db, path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  // Mapped reps: the heap share is strictly below the logical total, and
+  // the mapped share is bounded by the file's resident pages.
+  const auto& stats = mapped.value()->stats();
+  EXPECT_LE(stats.mapped_bytes, stats.TotalBytes());
+  EXPECT_LE(mapped.value()->ResidentBytes(),
+            stats.TotalBytes() + mapped.value()->backing()->size());
+}
+
+TEST(RepFileTest, OpenErrorsAndEmptyFiles) {
+  EXPECT_FALSE(RepFile::Open(TempPath("repfile_missing.bin")).ok());
+  const std::string empty = TempPath("repfile_empty.bin");
+  std::ofstream(empty, std::ios::binary).flush();
+  auto opened = RepFile::Open(empty);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  EXPECT_EQ(opened.value()->size(), 0u);
+  EXPECT_EQ(opened.value()->ResidentBytes(), 0u);
+}
+
+TEST(RepFileTest, MapsBytesFaithfully) {
+  const std::string path = TempPath("repfile_bytes.bin");
+  std::string payload;
+  for (int i = 0; i < 10000; ++i) payload.push_back((char)(i * 131 % 251));
+  std::ofstream(path, std::ios::binary) << payload;
+  auto opened = RepFile::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  ASSERT_EQ(opened.value()->size(), payload.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(opened.value()->data()),
+                        opened.value()->size()),
+            payload);
+  // Touching every byte makes the mapping resident, never beyond the file.
+  EXPECT_LE(opened.value()->ResidentBytes(),
+            opened.value()->size() + 4096);
+}
+
+}  // namespace
+}  // namespace cqc

@@ -143,6 +143,8 @@ TEST(SerializationTest, DetectsGarbageFiles) {
   std::ofstream(path) << "not a rep file at all";
   EXPECT_FALSE(LoadCompressedRep(view, db, path).ok());
   EXPECT_FALSE(LoadCompressedRep(view, db, TempPath("missing.cqcrep")).ok());
+  EXPECT_FALSE(MmapCompressedRep(view, db, path).ok());
+  EXPECT_FALSE(MmapCompressedRep(view, db, TempPath("missing.cqcrep")).ok());
 }
 
 TEST(SerializationTest, DetectsTruncation) {
@@ -183,11 +185,19 @@ class CorruptInputTest : public ::testing::Test {
     ASSERT_FALSE(bytes_.empty());
   }
 
-  // Writes `data` to a scratch file and tries to load it.
+  // Writes `data` to a scratch file and tries BOTH loaders. The heap
+  // reader and the zero-copy mmap reader share the validation pipeline,
+  // so they must agree on whether a file is acceptable — and neither may
+  // crash on any input.
   Status TryLoad(const std::string& data) {
     const std::string p = TempPath("corrupt_case.cqcrep");
     std::ofstream(p, std::ios::binary) << data;
     auto loaded = LoadCompressedRep(*view_, db_, p);
+    auto mapped = MmapCompressedRep(*view_, db_, p);
+    EXPECT_EQ(loaded.ok(), mapped.ok())
+        << "loader disagreement: heap="
+        << (loaded.ok() ? "ok" : loaded.status().message()) << " mmap="
+        << (mapped.ok() ? "ok" : mapped.status().message());
     return loaded.ok() ? Status::Ok() : loaded.status();
   }
 
@@ -228,28 +238,65 @@ TEST_F(CorruptInputTest, BitFlippedHeaders) {
   }
 }
 
+// v04 fixed header fields for this fixture (triangle: 3 cover weights, 3
+// atom digests): magic(8) tau(8) alpha(8) cover_n(4) cover(8*3) atoms_n(4)
+// digests(8*3) mu(4) vb_arity(4) num_candidates(8) num_blocks(4) = 100,
+// then the block directory: 11 x (offset u64, count u64).
+constexpr size_t kDirectoryPos = 8 + 8 + 8 + 4 + 24 + 4 + 24 + 4 + 4 + 8 + 4;
+constexpr size_t kDirEntrySize = 16;
+constexpr size_t kNumBlocks = 11;
+
 TEST_F(CorruptInputTest, OversizedBlockLengths) {
-  // Each flat array block starts with a u64 element count; inflating one
-  // must produce a clean error (the loader validates the claim against the
-  // bytes remaining BEFORE allocating — no bad_alloc, no OOM kill).
-  // Header layout: magic(8) tau(8) alpha(8) cover_n(4) cover(8*3)
-  // atoms_n(4) digests(8*3) mu(4), then the first block length.
-  const size_t first_block_len_pos = 8 + 8 + 8 + 4 + 24 + 4 + 24 + 4;
-  ASSERT_LE(first_block_len_pos + 8, bytes_.size());
+  // Block element counts live in the header's directory; inflating one
+  // must produce a clean error (the loader validates every claim against
+  // the file size BEFORE allocating — no bad_alloc, no OOM kill).
+  const size_t first_block_count_pos = kDirectoryPos + 8;  // dir[0].count
+  ASSERT_LE(first_block_count_pos + 8, bytes_.size());
   for (uint64_t huge :
        {~uint64_t{0}, ~uint64_t{0} / 2, (uint64_t)bytes_.size() + 1}) {
     std::string mutated = bytes_;
-    std::memcpy(mutated.data() + first_block_len_pos, &huge, sizeof(huge));
+    std::memcpy(mutated.data() + first_block_count_pos, &huge, sizeof(huge));
     EXPECT_FALSE(TryLoad(mutated).ok());
   }
-  // Stomp u64s across the whole tail: every load must return cleanly
-  // (error or structurally-valid ok), never crash or over-allocate.
-  for (size_t pos = first_block_len_pos; pos + 8 <= bytes_.size();
-       pos += 37) {
+  // Stomp every directory u64 (offsets AND counts): offsets past EOF,
+  // overlapping or misaligned blocks must all be rejected cleanly.
+  for (size_t e = 0; e < 2 * kNumBlocks; ++e) {
+    const size_t pos = kDirectoryPos + 8 * e;
+    ASSERT_LE(pos + 8, bytes_.size());
+    for (uint64_t bad : {~uint64_t{0} / 3, (uint64_t)bytes_.size(),
+                         (uint64_t)bytes_.size() * 2}) {
+      std::string mutated = bytes_;
+      std::memcpy(mutated.data() + pos, &bad, sizeof(bad));
+      TryLoad(mutated);  // must return cleanly; inflations are errors
+    }
+  }
+  // Stomp u64s across the whole payload tail: every load must return
+  // cleanly (error or structurally-valid ok), never crash.
+  for (size_t pos = kDirectoryPos; pos + 8 <= bytes_.size(); pos += 37) {
     std::string mutated = bytes_;
     const uint64_t huge = ~uint64_t{0} / 3;
     std::memcpy(mutated.data() + pos, &huge, sizeof(huge));
     TryLoad(mutated);
+  }
+}
+
+TEST_F(CorruptInputTest, EntryBitMustBeZeroOrOne) {
+  // dir[10] is the entry_bit block (one u8 per dictionary entry, the §5
+  // set-membership bit). Any value other than 0/1 is a corrupt file, for
+  // both loaders.
+  const size_t dir10 = kDirectoryPos + 10 * kDirEntrySize;
+  uint64_t offset = 0, count = 0;
+  std::memcpy(&offset, bytes_.data() + dir10, 8);
+  std::memcpy(&count, bytes_.data() + dir10 + 8, 8);
+  ASSERT_GT(count, 0u) << "fixture should have dictionary entries";
+  ASSERT_LE(offset + count, bytes_.size());
+  for (uint8_t bad : {uint8_t{2}, uint8_t{0xff}}) {
+    std::string mutated = bytes_;
+    mutated[offset] = (char)bad;
+    Status s = TryLoad(mutated);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("entry bits"), std::string::npos)
+        << s.message();
   }
 }
 

@@ -27,8 +27,10 @@ void Usage() {
       "               [--plan auto|compressed|decomposed|direct|materialized|"
       "updatable]\n"
       "               [--tau T] [--space-budget B] [--threads N] [--stats]\n"
-      "               [--save PATH] [--load PATH]\n"
+      "               [--save PATH] [--load PATH | --load-mmap PATH]\n"
       "               [--mutate] [--churn RATE]\n"
+      "--load reads a CQCREP04 file into heap memory; --load-mmap maps it\n"
+      "zero-copy (opens in O(header) time, pages fault in on demand).\n"
       "then: one access request per line on stdin (bound values).\n"
       "with --mutate, stdin is a script of interleaved mutations and\n"
       "queries (docs/update-semantics.md):\n"
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   double space_budget = -1;
   double churn = -1;  // <0 = unset; defaults to 0.5 in --mutate mode
   bool want_stats = false;
+  bool load_mmap = false;
   bool mutate = false;
   int threads = 1;
 
@@ -82,11 +85,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "loaded %s: %zu tuples\n", name.c_str(),
                    loaded.value()->size());
     } else if (arg == "--view" || arg == "--plan" || arg == "--save" ||
-               arg == "--load") {
+               arg == "--load" || arg == "--load-mmap") {
       std::string& dst = arg == "--view"   ? view_text
                          : arg == "--plan" ? plan_name
                          : arg == "--save" ? save_path
                                            : load_path;
+      if (arg == "--load-mmap") load_mmap = true;
       dst = next();
     } else if (arg == "--tau" || arg == "--space-budget" || arg == "--churn") {
       (arg == "--tau"          ? tau
@@ -150,7 +154,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (!load_path.empty()) {
-      std::fprintf(stderr, "--mutate cannot serve a --load'ed snapshot\n");
+      std::fprintf(stderr, "--mutate cannot serve a %s'ed snapshot\n",
+                   load_mmap ? "--load-mmap" : "--load");
       return 2;
     }
   }
@@ -158,13 +163,15 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<AnswerRep> rep;
   if (!load_path.empty()) {
-    auto loaded = LoadCompressedRep(view, db, load_path, aux);
+    auto loaded = load_mmap ? MmapCompressedRep(view, db, load_path, aux)
+                            : LoadCompressedRep(view, db, load_path, aux);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load: %s\n", loaded.status().message().c_str());
       return 1;
     }
     rep = WrapAnswerRep(std::move(loaded).value());
-    std::fprintf(stderr, "loaded structure from %s\n", load_path.c_str());
+    std::fprintf(stderr, "%s structure from %s\n",
+                 load_mmap ? "mapped" : "loaded", load_path.c_str());
   } else {
     // One build path for every mode: the planner scores all candidates for
     // --plan auto and just the requested family otherwise.
@@ -239,8 +246,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (want_stats)
-    std::fprintf(stderr, "%s build=%.3fs\n", rep->Describe().c_str(),
-                 rep->build_seconds());
+    std::fprintf(stderr, "%s build=%.3fs resident=%zuB\n",
+                 rep->Describe().c_str(), rep->build_seconds(),
+                 rep->ResidentBytes());
 
   std::fprintf(stderr, "ready: %d bound value(s) per request%s\n",
                view.num_bound(), mutate ? " (--mutate script mode)" : "");

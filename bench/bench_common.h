@@ -78,6 +78,42 @@ inline RequestStats MeasureRep(const std::vector<BoundValuation>& requests,
       rep.view().num_free(), batch_size);
 }
 
+/// Min-of-N throughput for point-answer APIs (Count / AnswerExists /
+/// AnswerAggregate): one call = one op, no tuple stream to drain, so
+/// MeasureRep's tuples-per-second framing does not apply. The checksum the
+/// op returns is folded into `sink` so the optimizer cannot elide the calls.
+struct PointOpStats {
+  size_t ops = 0;
+  double best_seconds = 0;  // best full pass over the requests
+  uint64_t sink = 0;
+  double mops() const {
+    return best_seconds > 0 ? ops / best_seconds / 1e6 : 0;
+  }
+  /// Microseconds per op, from the best pass.
+  double us_per_op() const {
+    return ops > 0 ? best_seconds / (double)ops * 1e6 : 0;
+  }
+};
+
+/// Runs `op(vb)` (returning any integer-convertible checksum) once per
+/// request per pass; best pass wins, classic min-of-N to shed noise.
+template <typename OpFn>
+PointOpStats MeasurePointOps(const std::vector<BoundValuation>& requests,
+                             OpFn&& op, int repeats = 5) {
+  PointOpStats out;
+  out.ops = requests.size();
+  out.best_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    uint64_t sink = 0;
+    for (const BoundValuation& vb : requests) sink += (uint64_t)op(vb);
+    out.best_seconds = std::min(out.best_seconds, t.Seconds());
+    out.sink = sink;
+  }
+  if (out.ops == 0) out.best_seconds = 0;
+  return out;
+}
+
 /// p in [0, 100]; nearest-rank percentile of an unsorted series.
 inline double Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0;

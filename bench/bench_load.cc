@@ -1,4 +1,4 @@
-// bench_load: cold-start latency of the CQCREP04 container — the heap
+// bench_load: cold-start latency of the CQCREP05 container — the heap
 // reader vs the zero-copy mmap loader.
 //
 // The fixture is built to make load cost visible: one wide relation with
@@ -49,7 +49,7 @@ int main() {
   using namespace cqc;
   setvbuf(stdout, nullptr, _IOLBF, 0);
   bench::BenchReport report("load");
-  bench::Banner("load: CQCREP04 cold-start, heap reader vs zero-copy mmap",
+  bench::Banner("load: CQCREP05 cold-start, heap reader vs zero-copy mmap",
                 "restart durability: a persisted structure must be servable "
                 "again in O(header) time, not O(structure size)");
 

@@ -1,5 +1,6 @@
 #include "baseline/materialized_view.h"
 
+#include <map>
 #include <numeric>
 
 #include "join/bound_atom.h"
@@ -124,6 +125,61 @@ size_t MaterializedView::CountAnswer(const BoundValuation& vb) const {
   for (int i = 0; i < view_.num_bound() && !r.empty(); ++i)
     r = index_->Refine(r, i, vb[i]);
   return r.size();
+}
+
+AggregateResult MaterializedView::AnswerAggregate(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
+  const int nb = view_.num_bound();
+  const int k = (int)group_vars.size();
+  const int value_var =
+      spec.func == AggFunc::kCount ? -1 : spec.value_var;
+  RowRange r = index_->Root();
+  for (int i = 0; i < nb && !r.empty(); ++i)
+    r = index_->Refine(r, i, vb[i]);
+
+  if (IsPrefixGroupSet(group_vars)) {
+    // Rows are sorted by the free suffix, so prefix groups are contiguous
+    // runs: one columnar pass, constant state.
+    GroupAccumulator acc(k, spec);
+    std::vector<Value> key((size_t)k);
+    for (size_t row = r.begin; row < r.end; ++row) {
+      for (int i = 0; i < k; ++i) key[i] = index_->ValueAt(nb + i, row);
+      const Value v =
+          value_var >= 0 ? index_->ValueAt(nb + value_var, row) : 0;
+      acc.AddCell(key.data(), 1, v, v, v);
+    }
+    return acc.Finish();
+  }
+
+  // Arbitrary group set: fold through an ordered map (std::map iteration
+  // is lex order, matching the prefix path's strictly-ascending groups).
+  std::map<Tuple, AggCell> groups;
+  Tuple key((size_t)k);
+  for (size_t row = r.begin; row < r.end; ++row) {
+    for (int i = 0; i < k; ++i)
+      key[i] = index_->ValueAt(nb + group_vars[i], row);
+    AggCell& cell = groups[key];
+    if (value_var >= 0) {
+      cell.FoldValue(index_->ValueAt(nb + value_var, row));
+    } else {
+      cell.FoldCountOnly();
+    }
+  }
+  AggregateResult out;
+  out.group_arity = k;
+  for (const auto& [gk, cell] : groups) {
+    out.keys.insert(out.keys.end(), gk.begin(), gk.end());
+    out.counts.push_back(cell.count);
+    switch (spec.func) {
+      case AggFunc::kCount: break;
+      case AggFunc::kSum: out.values.push_back(cell.sum); break;
+      case AggFunc::kMin: out.values.push_back(cell.min); break;
+      case AggFunc::kMax: out.values.push_back(cell.max); break;
+    }
+  }
+  return out;
 }
 
 size_t MaterializedView::SpaceBytes() const {

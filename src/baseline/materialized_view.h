@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "core/aggregate.h"
 #include "core/enumerator.h"
 #include "query/adorned_view.h"
 #include "relational/database.h"
@@ -27,6 +28,14 @@ class MaterializedView {
   /// |Q^eta[v_b]| via O(num_bound) index refinements (the table is distinct,
   /// so the refined row range size *is* the answer count). No scan.
   size_t CountAnswer(const BoundValuation& vb) const;
+
+  /// Grouped ring aggregate over the refined row range: a columnar walk
+  /// reading only the group/value columns out of the sorted index — no
+  /// tuple materialization. Prefix group sets stream contiguous runs;
+  /// arbitrary group sets fold through a map.
+  AggregateResult AnswerAggregate(const BoundValuation& vb,
+                                  const std::vector<int>& group_vars,
+                                  const AggSpec& spec) const;
 
   size_t num_tuples() const { return table_->size(); }
   /// Space of the materialized output + its index.

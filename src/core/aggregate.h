@@ -1,0 +1,173 @@
+// Ring aggregates over answer streams and compressed structures.
+//
+// COUNT / SUM / MIN / MAX with group-by over the free variables, in the
+// Olteanu–Závodný factorised-evaluation sense: every structure folds the
+// same commutative ring (counts and sums in Z_2^64, min/max as the
+// tropical pair with identities kTop/kBottom), so a pushed aggregate
+// computed by interval arithmetic over subtree annotations is value-
+// identical to draining the enumeration and folding tuple by tuple. This
+// header holds the shared vocabulary: the request (AggSpec), the response
+// (AggregateResult, groups in lex order of their keys), the per-subtree
+// annotation cell (RingCell, the thing DelayBalancedTree / HeavyDictionary
+// store per node / per CSR entry), the contiguous-group accumulator the
+// pushed walks emit into, and the drain-and-fold reference every structure
+// falls back to (and every differential test compares against).
+#ifndef CQC_CORE_AGGREGATE_H_
+#define CQC_CORE_AGGREGATE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/finterval.h"
+#include "util/common.h"
+
+namespace cqc {
+
+enum class AggFunc { kCount, kSum, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate request: the function plus (for SUM/MIN/MAX) the index of
+/// the free variable it folds, in head free-variable order. Ignored for
+/// COUNT.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  int value_var = -1;
+
+  static AggSpec Count() { return {AggFunc::kCount, -1}; }
+  static AggSpec Sum(int var) { return {AggFunc::kSum, var}; }
+  static AggSpec Min(int var) { return {AggFunc::kMin, var}; }
+  static AggSpec Max(int var) { return {AggFunc::kMax, var}; }
+};
+
+/// Grouped aggregate answer: `group_arity` key values per group, keys
+/// strictly ascending lexicographically, only groups with count > 0.
+/// `values` carries the SUM/MIN/MAX result per group and stays empty for
+/// COUNT, so results from different structures compare with ==.
+struct AggregateResult {
+  int group_arity = 0;
+  std::vector<Value> keys;       // group_arity values per group
+  std::vector<uint64_t> counts;  // one per group
+  std::vector<Value> values;     // one per group; empty for COUNT
+
+  size_t num_groups() const { return counts.size(); }
+
+  bool operator==(const AggregateResult& o) const {
+    return group_arity == o.group_arity && keys == o.keys &&
+           counts == o.counts && values == o.values;
+  }
+  bool operator!=(const AggregateResult& o) const { return !(*this == o); }
+};
+
+/// The ring cell one answer set folds into for a single value variable:
+/// count in Z_2^64, sum mod 2^64, min/max with identities kTop/kBottom.
+struct AggCell {
+  uint64_t count = 0;
+  Value sum = 0;
+  Value min = kTop;
+  Value max = kBottom;
+
+  void FoldValue(Value v) {
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  void FoldCountOnly() { ++count; }
+  void Merge(const AggCell& o) {
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+};
+
+/// A subtree annotation over all mu free variables: the result count plus,
+/// per free variable, its ring sum / min / max over the subtree's answers.
+/// `vals` uses the storage layout the structures persist — sums[mu] |
+/// mins[mu] | maxs[mu] — so a scratch cell folds straight into the flat
+/// annotation arrays.
+struct RingCell {
+  uint64_t count = 0;
+  std::vector<Value> vals;  // 3 * mu: sums, then mins, then maxs
+
+  void Reset(int mu) {
+    count = 0;
+    vals.assign((size_t)(3 * mu), 0);
+    const int m = mu;
+    for (int j = 0; j < m; ++j) {
+      vals[(size_t)m + j] = kTop;      // min identity
+      vals[(size_t)2 * m + j] = kBottom;  // max identity
+    }
+  }
+  /// `t` is one answer (arity mu == vals.size() / 3).
+  void FoldTuple(TupleSpan t) {
+    ++count;
+    const size_t m = t.size();
+    for (size_t j = 0; j < m; ++j) {
+      vals[j] += t[j];
+      vals[m + j] = std::min(vals[m + j], t[j]);
+      vals[2 * m + j] = std::max(vals[2 * m + j], t[j]);
+    }
+  }
+  void Merge(const RingCell& o) {
+    count += o.count;
+    const size_t m = vals.size() / 3;
+    for (size_t j = 0; j < m; ++j) {
+      vals[j] += o.vals[j];
+      vals[m + j] = std::min(vals[m + j], o.vals[m + j]);
+      vals[2 * m + j] = std::max(vals[2 * m + j], o.vals[2 * m + j]);
+    }
+  }
+};
+
+/// Accumulates (key, cell) contributions arriving in nondecreasing key
+/// order — the in-order walks over the lex-sorted structures — merging
+/// runs of equal keys so the output groups come out strictly ascending
+/// without a map. Keys must not decrease between calls (DCHECKed).
+class GroupAccumulator {
+ public:
+  GroupAccumulator(int group_arity, const AggSpec& spec)
+      : k_(group_arity), spec_(spec) {
+    out_.group_arity = group_arity;
+  }
+
+  /// Adds a whole annotated subtree whose answers all share `key`
+  /// (`sum`/`min`/`max` are the cell's entries for spec.value_var; pass
+  /// zeros for COUNT).
+  void AddCell(const Value* key, uint64_t count, Value sum, Value min,
+               Value max);
+  /// Adds one answer tuple; the key is its first `group_arity` values.
+  void AddTuple(TupleSpan t);
+
+  /// Flushes the trailing group and returns the result. Call once.
+  AggregateResult Finish();
+
+ private:
+  void Open(const Value* key);
+  void Flush();
+
+  int k_;
+  AggSpec spec_;
+  bool open_ = false;
+  std::vector<Value> cur_key_;
+  AggCell cur_;
+  AggregateResult out_;
+};
+
+/// Reference evaluation and universal fallback: drain the enumeration
+/// through NextBatch and fold each tuple into its group (any group set,
+/// not just lex prefixes; no per-tuple Tuple materialization on the hot
+/// path). `group_vars` are free-variable indices, strictly ascending.
+AggregateResult GroupedDrainAggregate(TupleEnumerator& e, int num_free,
+                                      const std::vector<int>& group_vars,
+                                      const AggSpec& spec);
+
+/// True iff `group_vars` is exactly the lex prefix [0, k) of the free
+/// variables — the group sets the annotation walks answer directly.
+bool IsPrefixGroupSet(const std::vector<int>& group_vars);
+
+}  // namespace cqc
+
+#endif  // CQC_CORE_AGGREGATE_H_

@@ -151,6 +151,11 @@ Result<std::unique_ptr<CompressedRep>> CompressedRep::Build(
     rep->dict_ = builder.Build();
   }
 
+  // Aggregate annotations ride on the finished tree + dictionary: one
+  // Algorithm-2-shaped sweep per bound candidate (the documented build-time
+  // cost of pushed aggregates).
+  if (options.build_aggregates) rep->BuildAggregates();
+
   // Stats.
   CompressedRepStats& s = rep->stats_;
   s.build_seconds = timer.Seconds();
@@ -493,6 +498,315 @@ bool CompressedRep::AnswerExists(const BoundValuation& vb) const {
   auto e = Answer(vb);
   Tuple t;
   return e->Next(&t);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate pushdown: per-subtree ring annotations + the annotated walk.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// True when every tuple in `interval` shares the same first `k` values —
+// the condition under which a whole annotated subtree folds into a single
+// group with key interval.lo[0..k). Trivially true for k == 0, which is
+// what makes the full-group aggregate an O(1) root read.
+bool PrefixUniform(const FInterval& interval, int k) {
+  for (int i = 0; i < k; ++i)
+    if (interval.lo[i] != interval.hi[i]) return false;
+  return true;
+}
+
+// Shared recursion state for the annotation build: walks the tree with the
+// exact (unclipped) interval derivation of Algorithm 2 for one bound
+// candidate, computing each subtree's RingCell bottom-up. Light (absent)
+// pairs are folded by draining the range enumeration — Prop. 6 evaluation,
+// the same stream Answer() would produce there. Cells are stored into the
+// tree columns (num_bound == 0 — every visited node, light ones included)
+// or the dictionary entry columns (num_bound > 0 — bit-1 entries only,
+// light pairs have no entry to store into).
+struct AggBuildWalker {
+  const CompressedRep* rep;
+  const DelayBalancedTree* tree;
+  const HeavyDictionary* dict;
+  const LexDomain* domain;
+  const std::vector<BoundAtom>* atoms;
+  BoundValuation vb;
+  uint32_t vb_id = HeavyDictionary::kNoValuation;
+  int mu = 0;
+  // Exactly one of the two output pairs is non-null.
+  std::vector<uint64_t>* tree_counts = nullptr;
+  std::vector<Value>* tree_vals = nullptr;
+  std::vector<uint64_t>* entry_counts = nullptr;
+  std::vector<Value>* entry_vals = nullptr;
+
+  bool BetaMatches(TupleSpan beta) const {
+    for (const BoundAtom& atom : *atoms)
+      if (!atom.ContainsValuation(vb, beta)) return false;
+    return true;
+  }
+
+  void Drain(const FInterval& interval, RingCell* out) const {
+    auto e = rep->AnswerRange(vb, interval);
+    TupleBuffer buf(mu);
+    for (;;) {
+      buf.Clear();
+      const size_t n = e->NextBatch(&buf, 256);
+      for (size_t i = 0; i < n; ++i) out->FoldTuple(buf[i]);
+      if (n < 256) break;
+    }
+  }
+
+  void StoreTree(int node, const RingCell& cell) const {
+    (*tree_counts)[node] = cell.count;
+    std::memcpy(tree_vals->data() + (size_t)node * 3 * mu, cell.vals.data(),
+                (size_t)(3 * mu) * sizeof(Value));
+  }
+
+  void StoreEntry(int node, const RingCell& cell) const {
+    const size_t e = dict->LookupEntryIndex(node, vb_id);
+    CQC_CHECK_NE(e, HeavyDictionary::kNoEntry);
+    (*entry_counts)[e] = cell.count;
+    std::memcpy(entry_vals->data() + e * (size_t)(3 * mu), cell.vals.data(),
+                (size_t)(3 * mu) * sizeof(Value));
+  }
+
+  void Walk(int node, const FInterval& interval, RingCell* out) const {
+    const HeavyDictionary::Bit bit = dict->Lookup(node, vb_id);
+    if (bit == HeavyDictionary::Bit::kZero) return;  // certified empty
+    RingCell cell;
+    cell.Reset(mu);
+    if (bit == HeavyDictionary::Bit::kAbsent) {
+      Drain(interval, &cell);
+      // Light subtrees get annotated for free in tree mode (the query walk
+      // can then answer a prefix-uniform light node without re-draining).
+      if (tree_counts != nullptr) StoreTree(node, cell);
+      out->Merge(cell);
+      return;
+    }
+    if (tree->leaf(node)) {
+      // Heavy 1-bit on a unit interval certifies the grid point (Alg. 2).
+      cell.FoldTuple(interval.lo);
+    } else {
+      const TupleSpan beta = tree->beta(node);
+      FInterval child;
+      if (tree->left(node) >= 0 &&
+          DelayBalancedTree::LeftInterval(interval, beta, *domain, &child))
+        Walk(tree->left(node), child, &cell);
+      if (interval.Contains(beta) && BetaMatches(beta)) cell.FoldTuple(beta);
+      if (tree->right(node) >= 0 &&
+          DelayBalancedTree::RightInterval(interval, beta, *domain, &child))
+        Walk(tree->right(node), child, &cell);
+    }
+    if (tree_counts != nullptr) {
+      StoreTree(node, cell);
+    } else {
+      StoreEntry(node, cell);
+    }
+    out->Merge(cell);
+  }
+};
+
+}  // namespace
+
+void CompressedRep::BuildAggregates() {
+  const int mu = view_.num_free();
+  if (mu == 0 || tree_.empty()) return;
+
+  AggBuildWalker w;
+  w.rep = this;
+  w.tree = &tree_;
+  w.dict = &dict_;
+  w.domain = &domain_;
+  w.atoms = &atoms_;
+  w.mu = mu;
+  const FInterval root{domain_.MinTuple(), domain_.MaxTuple()};
+
+  // Fresh annotation columns, identity-initialized so never-stored slots
+  // (unreachable nodes, 0-bit entries) hold deterministic ring identities.
+  const auto identity_fill = [mu](std::vector<Value>& vals, size_t rows) {
+    vals.assign(rows * (size_t)(3 * mu), 0);
+    for (size_t r = 0; r < rows; ++r) {
+      Value* v = vals.data() + r * (size_t)(3 * mu);
+      for (int j = 0; j < mu; ++j) {
+        v[mu + j] = kTop;          // min identity
+        v[2 * mu + j] = kBottom;   // max identity
+      }
+    }
+  };
+
+  if (view_.num_bound() == 0) {
+    std::vector<uint64_t> counts(tree_.size(), 0);
+    std::vector<Value> vals;
+    identity_fill(vals, tree_.size());
+    w.tree_counts = &counts;
+    w.tree_vals = &vals;
+    w.vb = BoundValuation{};
+    w.vb_id = dict_.FindValuation(w.vb);
+    RingCell total;
+    total.Reset(mu);
+    w.Walk(tree_.root(), root, &total);
+    tree_.AttachAggregates(std::move(counts), std::move(vals));
+    stats_.agg_bytes =
+        tree_.agg_counts().ByteSize() + tree_.agg_vals_pool().ByteSize();
+  } else {
+    std::vector<uint64_t> counts(dict_.NumEntries(), 0);
+    std::vector<Value> vals;
+    identity_fill(vals, dict_.NumEntries());
+    w.entry_counts = &counts;
+    w.entry_vals = &vals;
+    // One sweep per candidate with a live root entry; candidates that are
+    // light at the root have no annotations and drain at query time.
+    Tuple vb_scratch(dict_.vb_arity());
+    std::vector<uint32_t> live;
+    dict_.ForEachEntry(tree_.root(), [&](uint32_t vb_id, bool bit) {
+      if (bit) live.push_back(vb_id);
+    });
+    for (uint32_t vb_id : live) {
+      dict_.UnpackCandidate(vb_id, vb_scratch.data());
+      w.vb.assign(vb_scratch.begin(), vb_scratch.end());
+      w.vb_id = vb_id;
+      RingCell total;
+      total.Reset(mu);
+      w.Walk(tree_.root(), root, &total);
+    }
+    dict_.AttachAggregates(std::move(counts), std::move(vals), mu);
+    stats_.agg_bytes = dict_.entry_agg_counts().ByteSize() +
+                       dict_.entry_agg_vals_pool().ByteSize();
+  }
+}
+
+namespace {
+
+// Recursion state for the pushed aggregate query: the same dispatch as the
+// build walk (so stored cells are read with exactly the intervals they were
+// computed under), emitting into a GroupAccumulator. A subtree whose
+// interval is uniform on the group prefix collapses to one stored-cell
+// read; everything else descends or drains.
+struct AggQueryWalker {
+  const CompressedRep* rep;
+  const DelayBalancedTree* tree;
+  const HeavyDictionary* dict;
+  const LexDomain* domain;
+  const std::vector<BoundAtom>* atoms;
+  const BoundValuation* vb;
+  uint32_t vb_id = HeavyDictionary::kNoValuation;
+  int mu = 0;
+  int k = 0;          // group prefix length
+  int value_var = -1; // -1 for COUNT
+  bool tree_mode = false;
+  GroupAccumulator* acc;
+
+  bool BetaMatches(TupleSpan beta) const {
+    for (const BoundAtom& atom : *atoms)
+      if (!atom.ContainsValuation(*vb, beta)) return false;
+    return true;
+  }
+
+  void Drain(const FInterval& interval) const {
+    auto e = rep->AnswerRange(*vb, interval);
+    TupleBuffer buf(mu);
+    for (;;) {
+      buf.Clear();
+      const size_t n = e->NextBatch(&buf, 256);
+      for (size_t i = 0; i < n; ++i) acc->AddTuple(buf[i]);
+      if (n < 256) break;
+    }
+  }
+
+  void EmitCell(const FInterval& interval, uint64_t count,
+                const Value* vals) const {
+    Value sum = 0, min = 0, max = 0;
+    if (value_var >= 0) {
+      sum = vals[value_var];
+      min = vals[mu + value_var];
+      max = vals[2 * mu + value_var];
+    }
+    acc->AddCell(interval.lo.data(), count, sum, min, max);
+  }
+
+  void Walk(int node, const FInterval& interval) const {
+    const HeavyDictionary::Bit bit = dict->Lookup(node, vb_id);
+    if (bit == HeavyDictionary::Bit::kZero) return;
+    const bool uniform = PrefixUniform(interval, k);
+    if (bit == HeavyDictionary::Bit::kAbsent) {
+      // Light pair: tree mode stored its cell at build; dictionary mode has
+      // no entry to read, so the light subtree is drained (Prop. 6).
+      if (tree_mode && uniform) {
+        EmitCell(interval, tree->agg_count(node), tree->agg_vals(node));
+        return;
+      }
+      Drain(interval);
+      return;
+    }
+    if (uniform) {
+      if (tree_mode) {
+        EmitCell(interval, tree->agg_count(node), tree->agg_vals(node));
+        return;
+      }
+      const size_t e = dict->LookupEntryIndex(node, vb_id);
+      if (e != HeavyDictionary::kNoEntry) {
+        EmitCell(interval, dict->entry_agg_count(e), dict->entry_agg_vals(e));
+        return;
+      }
+      // Defensive: a 1-bit without an entry index cannot happen (the bit
+      // lives in the entry), but fall through to the exact paths anyway.
+    }
+    if (tree->leaf(node)) {
+      // Unit intervals are prefix-uniform for every k, so this is only
+      // reachable through the defensive fall-through above.
+      acc->AddTuple(interval.lo);
+      return;
+    }
+    const TupleSpan beta = tree->beta(node);
+    FInterval child;
+    if (tree->left(node) >= 0 &&
+        DelayBalancedTree::LeftInterval(interval, beta, *domain, &child))
+      Walk(tree->left(node), child);
+    if (interval.Contains(beta) && BetaMatches(beta)) acc->AddTuple(beta);
+    if (tree->right(node) >= 0 &&
+        DelayBalancedTree::RightInterval(interval, beta, *domain, &child))
+      Walk(tree->right(node), child);
+  }
+};
+
+}  // namespace
+
+AggregateResult CompressedRep::AnswerAggregate(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  CQC_CHECK_EQ((int)vb.size(), view_.num_bound());
+  const int mu = view_.num_free();
+  // The annotated walk answers lex-prefix group sets; everything else (and
+  // reps built without annotations, boolean views, empty domains) folds the
+  // enumeration — both paths produce value-identical results.
+  if (!IsPrefixGroupSet(group_vars) || !has_aggregates() || tree_.empty() ||
+      mu == 0) {
+    auto e = Answer(vb);
+    return GroupedDrainAggregate(*e, mu, group_vars, spec);
+  }
+  const int k = (int)group_vars.size();
+  GroupAccumulator acc(k, spec);
+  // Mirror the Alg2Enumerator pre-bind: an empty bound range on any atom
+  // kills the whole request.
+  for (const BoundAtom& atom : atoms_) {
+    if (atom.SeekBound(vb).empty()) return acc.Finish();
+  }
+  AggQueryWalker w;
+  w.rep = this;
+  w.tree = &tree_;
+  w.dict = &dict_;
+  w.domain = &domain_;
+  w.atoms = &atoms_;
+  w.vb = &vb;
+  w.vb_id = dict_.FindValuation(vb);
+  w.mu = mu;
+  w.k = k;
+  w.value_var = spec.func == AggFunc::kCount ? -1 : spec.value_var;
+  w.tree_mode = view_.num_bound() == 0;
+  w.acc = &acc;
+  w.Walk(tree_.root(),
+         FInterval{domain_.MinTuple(), domain_.MaxTuple()});
+  return acc.Finish();
 }
 
 namespace {

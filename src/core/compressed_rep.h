@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/aggregate.h"
 #include "core/cost_model.h"
 #include "core/cursor.h"
 #include "core/dbtree.h"
@@ -47,6 +48,14 @@ struct CompressedRepOptions {
   std::optional<std::vector<double>> cover;
   /// Safety valve for the delay-balanced tree size.
   size_t max_tree_nodes = 1u << 27;
+  /// Build the per-subtree aggregate annotations (ring cells on tree nodes
+  /// for num_bound == 0, on dictionary CSR entries otherwise) so
+  /// AnswerAggregate answers prefix group-bys by interval arithmetic
+  /// instead of enumeration. Costs one extra enumeration pass per bound
+  /// candidate at build time plus O(nodes + entries) * 3 * mu words of
+  /// space — off by default; the Planner turns it on for aggregate
+  /// workloads.
+  bool build_aggregates = false;
 };
 
 struct CompressedRepStats {
@@ -63,6 +72,7 @@ struct CompressedRepStats {
   size_t dict_bytes = 0;
   size_t index_bytes = 0;       // sorted tries over the base relations
   size_t hash_index_bytes = 0;  // hash probe plans over the base relations
+  size_t agg_bytes = 0;         // aggregate annotation columns (if built)
   // Bytes of tree_bytes/dict_bytes that live in an mmap'ed rep file rather
   // than on the heap (zero-copy loads only). These count toward TotalBytes
   // (the logical footprint) but their *physical* cost is whatever the OS
@@ -120,6 +130,27 @@ class CompressedRep {
   /// k-SetDisjointness).
   bool AnswerExists(const BoundValuation& vb) const;
 
+  /// Grouped ring aggregate over the access request's answers:
+  /// COUNT/SUM/MIN/MAX of Answer(vb), grouped by the free variables in
+  /// `group_vars` (strictly ascending indices). When the group set is a
+  /// lex prefix and the annotations were built (has_aggregates()), the
+  /// answer comes from interval arithmetic over the per-subtree ring cells
+  /// — O(annotated nodes on the group boundary + light drains), O(1) for
+  /// the full-group (empty group set) case — otherwise it falls back to
+  /// draining the enumeration and folding. Both paths produce
+  /// value-identical results.
+  AggregateResult AnswerAggregate(const BoundValuation& vb,
+                                  const std::vector<int>& group_vars,
+                                  const AggSpec& spec) const;
+
+  /// True when the aggregate annotations for this rep's shape are present
+  /// (built with build_aggregates or loaded from a CQCREP05 file carrying
+  /// the annotation blocks).
+  bool has_aggregates() const {
+    return view_.num_bound() > 0 ? dict_.has_aggregates()
+                                 : tree_.has_aggregates();
+  }
+
   const AdornedView& view() const { return view_; }
   const CompressedRepStats& stats() const { return stats_; }
 
@@ -165,6 +196,12 @@ class CompressedRep {
   static Result<std::unique_ptr<CompressedRep>> MakeSkeleton(
       const AdornedView& view, const Database& db,
       const std::vector<double>& cover, double tau, const Database* aux_db);
+
+  /// The annotation pass (Olteanu–Závodný ring recurrence over the tree):
+  /// one bottom-up walk per bound candidate, folding light subtrees by
+  /// range enumeration; fills the tree columns (num_bound == 0) or the
+  /// dictionary entry columns (num_bound > 0) and refreshes agg_bytes.
+  void BuildAggregates();
 
   friend Status SaveCompressedRep(const CompressedRep&, const std::string&);
   friend Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(

@@ -113,6 +113,14 @@ int DelayBalancedTree::BuildNode(const LexDomain& domain,
   return id;
 }
 
+void DelayBalancedTree::AttachAggregates(ColStore<uint64_t> counts,
+                                         ColStore<Value> vals) {
+  CQC_CHECK_EQ(counts.size(), size());
+  CQC_CHECK_EQ(vals.size(), size() * (size_t)(3 * mu_));
+  agg_count_ = std::move(counts);
+  agg_vals_ = std::move(vals);
+}
+
 size_t DelayBalancedTree::MemoryBytes() const {
   // Borrowed (mapped) columns charge their logical extent — see the
   // matching note in PackedTuplePool::MemoryBytes.
@@ -120,7 +128,7 @@ size_t DelayBalancedTree::MemoryBytes() const {
     return c.borrowed() ? c.ByteSize() : c.MemoryBytes();
   };
   return sizeof(*this) + col(beta_) + col(left_) + col(right_) + col(cost_) +
-         col(level_) + col(leaf_);
+         col(level_) + col(leaf_) + col(agg_count_) + col(agg_vals_);
 }
 
 }  // namespace cqc

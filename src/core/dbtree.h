@@ -97,6 +97,24 @@ class DelayBalancedTree {
     return n;
   }
 
+  // --- per-subtree aggregate annotations (ring cells) ---------------------
+  // Optional SoA columns alongside the node rows, attached after Build /
+  // deserialization for boolean-bound-free (num_bound == 0) reps: node i
+  // carries the result count of its subtree plus, per free variable, the
+  // ring sum / min / max over the subtree's answers (layout sums[mu] |
+  // mins[mu] | maxs[mu], see core/aggregate.h RingCell).
+
+  /// `counts` has one entry per node, `vals` 3 * mu per node. Either owned
+  /// vectors (annotation build) or borrowed mapped blocks (zero-copy load).
+  void AttachAggregates(ColStore<uint64_t> counts, ColStore<Value> vals);
+
+  bool has_aggregates() const { return !agg_count_.empty(); }
+  uint64_t agg_count(int i) const { return agg_count_[i]; }
+  /// The 3 * mu annotation values of node `i`.
+  const Value* agg_vals(int i) const {
+    return agg_vals_.data() + (size_t)i * 3 * mu_;
+  }
+
   // Raw column access (serialization).
   const ColStore<Value>& beta_pool() const { return beta_; }
   const ColStore<int32_t>& lefts() const { return left_; }
@@ -104,6 +122,8 @@ class DelayBalancedTree {
   const ColStore<float>& costs() const { return cost_; }
   const ColStore<uint16_t>& levels() const { return level_; }
   const ColStore<uint8_t>& leaf_flags() const { return leaf_; }
+  const ColStore<uint64_t>& agg_counts() const { return agg_count_; }
+  const ColStore<Value>& agg_vals_pool() const { return agg_vals_; }
 
   /// True when any column borrows external (mapped) storage.
   bool borrowed() const { return beta_.borrowed() || left_.borrowed(); }
@@ -133,6 +153,8 @@ class DelayBalancedTree {
   ColStore<float> cost_;
   ColStore<uint16_t> level_;
   ColStore<uint8_t> leaf_;
+  ColStore<uint64_t> agg_count_;  // optional: one per node
+  ColStore<Value> agg_vals_;      // optional: 3 * mu per node
   int max_depth_ = 0;
 };
 

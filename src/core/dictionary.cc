@@ -22,6 +22,25 @@ HeavyDictionary::Bit HeavyDictionary::Lookup(int node, uint32_t vb_id) const {
   return entry_bit_[it - entry_vb_.data()] ? Bit::kOne : Bit::kZero;
 }
 
+size_t HeavyDictionary::LookupEntryIndex(int node, uint32_t vb_id) const {
+  if (vb_id == kNoValuation) return kNoEntry;
+  if (node < 0 || (size_t)node + 1 >= node_offsets_.size()) return kNoEntry;
+  const uint32_t* begin = entry_vb_.data() + node_offsets_[node];
+  const uint32_t* end = entry_vb_.data() + node_offsets_[node + 1];
+  const uint32_t* it = std::lower_bound(begin, end, vb_id);
+  if (it == end || *it != vb_id) return kNoEntry;
+  return (size_t)(it - entry_vb_.data());
+}
+
+void HeavyDictionary::AttachAggregates(ColStore<uint64_t> counts,
+                                       ColStore<Value> vals, int mu) {
+  CQC_CHECK_EQ(counts.size(), entry_vb_.size());
+  CQC_CHECK_EQ(vals.size(), entry_vb_.size() * (size_t)(3 * mu));
+  agg_mu_ = mu;
+  entry_agg_count_ = std::move(counts);
+  entry_agg_vals_ = std::move(vals);
+}
+
 uint32_t HeavyDictionary::FindValuation(TupleSpan vb) const {
   if (num_candidates_ == 0 || (int)vb.size() != vb_arity_)
     return kNoValuation;
@@ -137,7 +156,8 @@ size_t HeavyDictionary::MemoryBytes() const {
   return sizeof(*this) + candidate_pool_.capacity() * sizeof(Value) +
          packed_pool_.MemoryBytes() +
          id_slots_.capacity() * sizeof(uint32_t) + col(node_offsets_) +
-         col(entry_vb_) + col(entry_bit_);
+         col(entry_vb_) + col(entry_bit_) + col(entry_agg_count_) +
+         col(entry_agg_vals_);
 }
 
 HeavyDictionary HeavyDictionary::FromFlat(int vb_arity,

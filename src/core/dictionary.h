@@ -66,6 +66,12 @@ class HeavyDictionary {
   /// Dictionary lookup for (node, interned valuation id). O(log entries).
   Bit Lookup(int node, uint32_t vb_id) const;
 
+  /// Position of the (node, vb_id) entry in the CSR entry columns, or
+  /// kNoEntry when absent — the index the per-entry aggregate annotation
+  /// columns are addressed by. Same binary search as Lookup.
+  static constexpr size_t kNoEntry = ~(size_t)0;
+  size_t LookupEntryIndex(int node, uint32_t vb_id) const;
+
   /// Interns a bound valuation; returns its id or kNoValuation.
   static constexpr uint32_t kNoValuation = ~0u;
   uint32_t FindValuation(TupleSpan vb) const;
@@ -158,11 +164,37 @@ class HeavyDictionary {
                                     ColStore<uint32_t> entry_vb,
                                     ColStore<uint8_t> entry_bit);
 
+  // --- per-entry aggregate annotations (ring cells) ------------------------
+  // Optional columns parallel to the CSR entry columns, attached after the
+  // annotation build (or borrowed from a mapping) for bound reps
+  // (num_bound > 0): entry e — a heavy (node, vb) pair — carries the result
+  // count of that subtree under that bound valuation plus per-free-variable
+  // ring sums / mins / maxs (layout as in core/aggregate.h RingCell; mu is
+  // carried by the owning rep). Only bit == 1 entries hold meaningful
+  // cells; bit == 0 entries stay at the ring identities.
+
+  /// `counts` has one entry per CSR entry, `vals` 3 * mu per entry.
+  void AttachAggregates(ColStore<uint64_t> counts, ColStore<Value> vals,
+                        int mu);
+
+  bool has_aggregates() const { return !entry_agg_count_.empty(); }
+  uint64_t entry_agg_count(size_t e) const { return entry_agg_count_[e]; }
+  /// The 3 * mu annotation values of entry `e`.
+  const Value* entry_agg_vals(size_t e) const {
+    return entry_agg_vals_.data() + e * (size_t)(3 * agg_mu_);
+  }
+
   // Flat column access (serialization).
   const PackedTuplePool& packed_pool() const { return packed_pool_; }
   const ColStore<uint32_t>& node_offsets() const { return node_offsets_; }
   const ColStore<uint32_t>& entry_vbs() const { return entry_vb_; }
   const ColStore<uint8_t>& entry_bits() const { return entry_bit_; }
+  const ColStore<uint64_t>& entry_agg_counts() const {
+    return entry_agg_count_;
+  }
+  const ColStore<Value>& entry_agg_vals_pool() const {
+    return entry_agg_vals_;
+  }
 
   /// True when any column borrows external (mapped) storage.
   bool borrowed() const {
@@ -217,6 +249,10 @@ class HeavyDictionary {
   ColStore<uint32_t> node_offsets_;
   ColStore<uint32_t> entry_vb_;
   ColStore<uint8_t> entry_bit_;
+  // Optional per-entry aggregate annotation columns (see above).
+  int agg_mu_ = 0;
+  ColStore<uint64_t> entry_agg_count_;
+  ColStore<Value> entry_agg_vals_;
 };
 
 /// Builds the dictionary for a tree; see file comment.

@@ -12,13 +12,15 @@
 namespace cqc {
 namespace {
 
-// Format 04: every payload block is a flat raw array, 64-byte-aligned in
+// Format 05: every payload block is a flat raw array, 64-byte-aligned in
 // the file, located through an (offset, count) directory in the header.
 // Alignment + raw storage (the v03 per-row delta varints for the entry ids
 // are gone) make each block directly usable in place, so the mmap loader
 // can borrow columns out of the file with zero decode; the heap loader
-// reads the same blocks into owned vectors.
-constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '4'};
+// reads the same blocks into owned vectors. v05 appends four optional
+// aggregate-annotation blocks (per-node / per-entry ring cells) so a
+// rep built with aggregates answers them zero-copy after an mmap open.
+constexpr char kMagic[8] = {'C', 'Q', 'C', 'R', 'E', 'P', '0', '5'};
 
 // The fixed block order. num_nodes is recovered as dir[kBlockLeft].count
 // and the candidate count is a header field, so counts are redundant but
@@ -35,11 +37,19 @@ enum BlockId {
   kBlockOffsets,      // u32   (CSR node offsets, num_nodes + 1)
   kBlockEntryVb,      // u32   (entry valuation ids, raw)
   kBlockEntryBit,     // u8
+  // Aggregate annotations (v05, optional — all four empty when the rep was
+  // built without them). The vals pools are 3*mu cells per row in the
+  // RingCell layout: sums | mins | maxs.
+  kBlockTreeAggCount,   // u64   (per-node answer counts, num_nodes)
+  kBlockTreeAggVals,    // Value (per-node ring cells, num_nodes * 3 * mu)
+  kBlockEntryAggCount,  // u64   (per-entry answer counts, num_entries)
+  kBlockEntryAggVals,   // Value (per-entry ring cells, num_entries * 3 * mu)
   kNumBlocks
 };
 
 constexpr size_t kBlockElemSize[kNumBlocks] = {
-    sizeof(Value), 4, 4, 4, 2, 1, 1, 8, 4, 4, 1};
+    sizeof(Value), 4, 4, 4, 2, 1, 1, 8, 4, 4, 1,
+    8, sizeof(Value), 8, sizeof(Value)};
 
 constexpr size_t kBlockAlign = 64;
 
@@ -110,7 +120,7 @@ Status ReadHeader(Reader& r, uint64_t file_size, Header* h) {
   char magic[8];
   if (!r.ReadRaw(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return Status::Error("not a cqc compressed-rep (v04) file");
+    return Status::Error("not a cqc compressed-rep (v05) file");
 
   if (!Get(r, &h->tau) || !Get(r, &h->alpha))
     return Status::Error("truncated header");
@@ -188,6 +198,10 @@ struct RawParts {
   ColStore<uint32_t> offsets;
   ColStore<uint32_t> entry_vb;
   ColStore<uint8_t> entry_bit;
+  ColStore<uint64_t> tree_agg_count;
+  ColStore<Value> tree_agg_vals;
+  ColStore<uint64_t> entry_agg_count;
+  ColStore<Value> entry_agg_vals;
 };
 
 }  // namespace
@@ -291,6 +305,27 @@ Result<std::unique_ptr<CompressedRep>> RepSerde::Assemble(
     if (p.entry_bit[i] > 1)
       return Status::Error("corrupt dictionary entry bits");
 
+  // Aggregate annotations: each family is all-or-nothing (a count column
+  // without its ring cells — or vice versa — is a corrupt file, not a
+  // half-annotated rep) and its lengths are fully determined by the shape.
+  const bool tree_agg = !p.tree_agg_count.empty() || !p.tree_agg_vals.empty();
+  if (tree_agg &&
+      (p.tree_agg_count.size() != num_nodes ||
+       p.tree_agg_vals.size() != num_nodes * 3 * (size_t)h.mu))
+    return Status::Error("inconsistent tree aggregate annotation lengths");
+  const bool entry_agg =
+      !p.entry_agg_count.empty() || !p.entry_agg_vals.empty();
+  if (entry_agg &&
+      (p.entry_agg_count.size() != p.entry_vb.size() ||
+       p.entry_agg_vals.size() != p.entry_vb.size() * 3 * (size_t)h.mu))
+    return Status::Error("inconsistent entry aggregate annotation lengths");
+  if (tree_agg && entry_agg)
+    return Status::Error("aggregate annotations on both tree and dictionary");
+  if (tree_agg && h.vb_arity > 0)
+    return Status::Error("tree aggregate annotations on a bound view");
+  if (entry_agg && h.vb_arity == 0)
+    return Status::Error("entry aggregate annotations on a free view");
+
   rep->tree_ = DelayBalancedTree::FromFlat(
       (int)h.mu, std::move(p.beta), std::move(p.left), std::move(p.right),
       std::move(p.cost), std::move(p.level), std::move(p.leaf));
@@ -300,6 +335,12 @@ Result<std::unique_ptr<CompressedRep>> RepSerde::Assemble(
                                      (size_t)h.num_candidates,
                                      std::move(p.widths), std::move(p.words)),
       std::move(p.offsets), std::move(p.entry_vb), std::move(p.entry_bit));
+  if (tree_agg)
+    rep->tree_.AttachAggregates(std::move(p.tree_agg_count),
+                                std::move(p.tree_agg_vals));
+  if (entry_agg)
+    rep->dict_.AttachAggregates(std::move(p.entry_agg_count),
+                                std::move(p.entry_agg_vals), (int)h.mu);
   rep->backing_ = std::move(backing);
 
   // Refresh stats that depend on the loaded parts.
@@ -311,6 +352,12 @@ Result<std::unique_ptr<CompressedRep>> RepSerde::Assemble(
   s.num_candidates = rep->dict_.NumCandidates();
   s.tree_bytes = rep->tree_.MemoryBytes();
   s.dict_bytes = rep->dict_.MemoryBytes();
+  if (tree_agg)
+    s.agg_bytes = rep->tree_.agg_counts().ByteSize() +
+                  rep->tree_.agg_vals_pool().ByteSize();
+  if (entry_agg)
+    s.agg_bytes = rep->dict_.entry_agg_counts().ByteSize() +
+                  rep->dict_.entry_agg_vals_pool().ByteSize();
   s.mapped_bytes = mapped_bytes;
   return rep;
 }
@@ -384,6 +431,10 @@ Status SaveCompressedRep(const CompressedRep& rep, const std::string& path) {
       {dict.node_offsets().data(), dict.node_offsets().size()},
       {dict.entry_vbs().data(), dict.entry_vbs().size()},
       {dict.entry_bits().data(), dict.entry_bits().size()},
+      {tree.agg_counts().data(), tree.agg_counts().size()},
+      {tree.agg_vals_pool().data(), tree.agg_vals_pool().size()},
+      {dict.entry_agg_counts().data(), dict.entry_agg_counts().size()},
+      {dict.entry_agg_vals_pool().data(), dict.entry_agg_vals_pool().size()},
   };
 
   // Lay out the directory: blocks in order, each aligned up from the
@@ -472,6 +523,8 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
   std::vector<uint64_t> words;
   std::vector<uint32_t> offsets, entry_vb;
   std::vector<uint8_t> entry_bit;
+  std::vector<uint64_t> tree_agg_count, entry_agg_count;
+  std::vector<Value> tree_agg_vals, entry_agg_vals;
   if (!ReadBlockAt(in, h.dir[kBlockBeta], &beta) ||
       !ReadBlockAt(in, h.dir[kBlockLeft], &left) ||
       !ReadBlockAt(in, h.dir[kBlockRight], &right) ||
@@ -485,6 +538,11 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
       !ReadBlockAt(in, h.dir[kBlockEntryVb], &entry_vb) ||
       !ReadBlockAt(in, h.dir[kBlockEntryBit], &entry_bit))
     return Status::Error("truncated dictionary");
+  if (!ReadBlockAt(in, h.dir[kBlockTreeAggCount], &tree_agg_count) ||
+      !ReadBlockAt(in, h.dir[kBlockTreeAggVals], &tree_agg_vals) ||
+      !ReadBlockAt(in, h.dir[kBlockEntryAggCount], &entry_agg_count) ||
+      !ReadBlockAt(in, h.dir[kBlockEntryAggVals], &entry_agg_vals))
+    return Status::Error("truncated aggregate annotations");
   p.beta = std::move(beta);
   p.left = std::move(left);
   p.right = std::move(right);
@@ -495,6 +553,10 @@ Result<std::unique_ptr<CompressedRep>> LoadCompressedRep(
   p.offsets = std::move(offsets);
   p.entry_vb = std::move(entry_vb);
   p.entry_bit = std::move(entry_bit);
+  p.tree_agg_count = std::move(tree_agg_count);
+  p.tree_agg_vals = std::move(tree_agg_vals);
+  p.entry_agg_count = std::move(entry_agg_count);
+  p.entry_agg_vals = std::move(entry_agg_vals);
   return RepSerde::Assemble(view, db, aux_db, h, std::move(p), nullptr, 0);
 }
 
@@ -526,6 +588,11 @@ Result<std::unique_ptr<CompressedRep>> MmapCompressedRep(
   p.offsets = BorrowBlock<uint32_t>(*file, h.dir[kBlockOffsets]);
   p.entry_vb = BorrowBlock<uint32_t>(*file, h.dir[kBlockEntryVb]);
   p.entry_bit = BorrowBlock<uint8_t>(*file, h.dir[kBlockEntryBit]);
+  p.tree_agg_count = BorrowBlock<uint64_t>(*file, h.dir[kBlockTreeAggCount]);
+  p.tree_agg_vals = BorrowBlock<Value>(*file, h.dir[kBlockTreeAggVals]);
+  p.entry_agg_count =
+      BorrowBlock<uint64_t>(*file, h.dir[kBlockEntryAggCount]);
+  p.entry_agg_vals = BorrowBlock<Value>(*file, h.dir[kBlockEntryAggVals]);
 
   size_t mapped_bytes = 0;
   for (int b = 0; b < kNumBlocks; ++b)

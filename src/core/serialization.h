@@ -8,14 +8,14 @@
 // stores the cover, tau, slack and a fingerprint of the relation sizes to
 // catch obvious mismatches.
 //
-// Format (little-endian, version 4 — "CQCREP04"); the full field-by-field
+// Format (little-endian, version 5 — "CQCREP05"); the full field-by-field
 // spec and the corruption-rejection guarantees live in
 // docs/serialization.md:
 //   header: magic | tau f64 | alpha f64 | cover count u32 + [f64...] |
 //           num atoms u32 + per-atom relation content digest u64 |
 //           mu u32 | vb_arity u32 | candidate count u64 |
-//           block count u32 (= 11) | block directory [(offset u64,
-//           count u64) x 11]
+//           block count u32 (= 15) | block directory [(offset u64,
+//           count u64) x 15]
 //   blocks: flat SoA arrays, each 64-byte-aligned in the file (padding
 //           zero-filled; empty blocks store offset 0), in fixed order:
 //           tree beta pool u64, lefts i32, rights i32, costs f32,
@@ -23,7 +23,11 @@
 //           pool words u64 (the in-memory PackedTuplePool layout,
 //           trailing pad word included), CSR node offsets u32, entry
 //           valuation ids u32 (raw, strictly ascending within a node
-//           row), entry bits u8.
+//           row), entry bits u8; aggregate annotations (v05, all four
+//           empty when the rep was built without them): tree per-node
+//           counts u64 + ring cells u64 (3*mu per node: sums|mins|maxs),
+//           dictionary per-entry counts u64 + ring cells u64 (3*mu per
+//           entry).
 //
 // Two loaders share one validation pass:
 //   * LoadCompressedRep — reads every block into owned heap vectors

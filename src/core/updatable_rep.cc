@@ -532,4 +532,21 @@ bool UpdatableRep::AnswerExists(const BoundValuation& vb) const {
   return e->Next(&t);
 }
 
+AggregateResult UpdatableRep::AnswerAggregate(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  std::shared_ptr<const State> st = Load();
+  if (!st->HasPending()) {
+    // Clean epoch: the snapshot structure answers directly (pushed when it
+    // carries annotations). `st` keeps the epoch alive for the call.
+    return st->snapshot->rep->AnswerAggregate(vb, group_vars, spec);
+  }
+  // Pending ops: fold the combined signed stream — the tombstone filter
+  // and delta-join terms already apply every +1/-1, so drain-and-fold is
+  // exact (pushed speed returns at the next epoch publish).
+  st->EnsureDerived();
+  CombinedEnumerator e(std::move(st), view_, vb);
+  return GroupedDrainAggregate(e, view_.num_free(), group_vars, spec);
+}
+
 }  // namespace cqc

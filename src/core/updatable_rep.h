@@ -114,6 +114,17 @@ class UpdatableRep {
   std::unique_ptr<TupleEnumerator> Answer(const BoundValuation& vb) const;
   bool AnswerExists(const BoundValuation& vb) const;
 
+  /// Grouped ring aggregate over the current data. A clean epoch (no
+  /// pending ops) delegates to the snapshot structure — pushed-annotation
+  /// speed when the snapshot was built with build_aggregates (a Rebuild
+  /// folds the delta and re-derives the annotations as part of the epoch
+  /// publish). An epoch with pending ops folds the combined
+  /// tombstone-filtered + delta-join stream, so the answer always reflects
+  /// every applied +1/-1.
+  AggregateResult AnswerAggregate(const BoundValuation& vb,
+                                  const std::vector<int>& group_vars,
+                                  const AggSpec& spec) const;
+
   /// Folds the pending delta into the snapshot and rebuilds the Theorem-1
   /// structure. The expensive build runs without blocking writers; ops
   /// applied concurrently are rebased onto the new snapshot. With

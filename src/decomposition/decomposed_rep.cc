@@ -508,6 +508,121 @@ size_t DecomposedRep::CountAnswer(const BoundValuation& vb) const {
   return result;
 }
 
+namespace {
+
+// Ring product of two independent subtree cells of which at most one
+// carries the value variable (the other holds the ring identities, so the
+// symmetric formulas below collapse to scaling the carrier by the
+// non-carrier's count).
+AggCell CellProduct(const AggCell& a, const AggCell& b) {
+  AggCell r;
+  r.count = a.count * b.count;
+  if (r.count == 0) {
+    r.sum = 0;
+    r.min = kTop;
+    r.max = kBottom;
+    return r;
+  }
+  r.sum = a.sum * b.count + b.sum * a.count;
+  r.min = std::min(a.min, b.min);
+  r.max = std::max(a.max, b.max);
+  return r;
+}
+
+}  // namespace
+
+AggregateResult DecomposedRep::AnswerAggregate(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  // Grouped requests fall back to drain-and-fold over Algorithm 5.
+  if (!group_vars.empty()) {
+    auto e = Answer(vb);
+    return GroupedDrainAggregate(*e, view_.num_free(), group_vars, spec);
+  }
+
+  const std::vector<VarId>& bvars = view_.bound_vars();
+  CQC_CHECK_EQ(vb.size(), bvars.size());
+  GroupAccumulator acc(0, spec);
+
+  for (const BoundAtom& atom : root_atoms_)
+    if (atom.CountBound(vb) == 0) return acc.Finish();
+
+  // Which bag position (if any) assigns the value variable.
+  const VarId value_gv = spec.func != AggFunc::kCount && spec.value_var >= 0
+                             ? view_.free_vars()[spec.value_var]
+                             : -1;
+
+  AggCell total;
+  total.count = 1;
+  if (bags_.empty()) {
+    // Boolean view: one empty answer (COUNT-only at this arity).
+    const Value dummy = 0;
+    acc.AddCell(&dummy, total.count, total.sum, total.min, total.max);
+    return acc.Finish();
+  }
+
+  std::vector<Value> values(view_.cq().num_vars(), 0);
+  for (size_t i = 0; i < bvars.size(); ++i) values[bvars[i]] = vb[i];
+
+  std::unordered_map<CountMemoKey, AggCell, CountMemoHash> memo;
+  // The CountAnswer recurrence over AggCell: cell(bag, interface) =
+  // ring-sum over the bag's valuations of the cell product across child
+  // subtrees (seeded with the bag tuple's own value when the bag assigns
+  // the value variable).
+  std::function<AggCell(int, std::vector<Value>&)> fold =
+      [&](int b, std::vector<Value>& vals) -> AggCell {
+    const Bag& bag = bags_[b];
+    CountMemoKey key{b, Tuple(bag.bound_vars.size())};
+    for (size_t i = 0; i < bag.bound_vars.size(); ++i)
+      key.interface_vals[i] = vals[bag.bound_vars[i]];
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    int value_pos = -1;
+    for (size_t i = 0; i < bag.free_vars.size(); ++i)
+      if (bag.free_vars[i] == value_gv) value_pos = (int)i;
+
+    AggCell sub;  // count 0, ring identities
+    auto e = bag.rep->Answer(key.interface_vals);
+    constexpr size_t kBatch = 64;
+    TupleBuffer batch((int)bag.free_vars.size());
+    for (;;) {
+      batch.Clear();
+      const size_t n = e->NextBatch(&batch, kBatch);
+      for (size_t j = 0; j < n; ++j) {
+        const TupleSpan vf = batch[j];
+        for (size_t i = 0; i < bag.free_vars.size(); ++i)
+          vals[bag.free_vars[i]] = vf[i];
+        AggCell cell;
+        cell.count = 1;
+        if (value_pos >= 0) {
+          cell.sum = vf[value_pos];
+          cell.min = vf[value_pos];
+          cell.max = vf[value_pos];
+        }
+        for (int c : bag_children_[b]) {
+          cell = CellProduct(cell, fold(c, vals));
+          if (cell.count == 0) break;
+        }
+        sub.Merge(cell);
+      }
+      if (n < kBatch) break;
+    }
+    memo.emplace(std::move(key), sub);
+    return sub;
+  };
+
+  // Top-level bags (children of the root) multiply together.
+  for (size_t b = 0; b < bags_.size() && total.count > 0; ++b) {
+    if (bags_[b].parent_bag != -1) continue;
+    total = CellProduct(total, fold((int)b, values));
+  }
+
+  const Value dummy = 0;
+  acc.AddCell(&dummy, total.count, total.sum, total.min, total.max);
+  return acc.Finish();
+}
+
 bool DecomposedRep::AnswerExists(const BoundValuation& vb) const {
   auto e = Answer(vb);
   Tuple t;

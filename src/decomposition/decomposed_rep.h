@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/aggregate.h"
 #include "core/cursor.h"
 #include "decomposition/bag_rep.h"
 #include "decomposition/delay_assignment.h"
@@ -99,6 +100,17 @@ class DecomposedRep {
   /// cost is the total number of *bag* tuples visited, independent of the
   /// (possibly much larger) output size.
   size_t CountAnswer(const BoundValuation& vb) const;
+
+  /// Grouped ring aggregate over the access request. The empty group set
+  /// (full-group aggregate) runs the CountAnswer recurrence lifted to the
+  /// aggregate ring — a bottom-up bag sweep whose cost is the number of bag
+  /// tuples visited, not the output size; a subtree cell multiplies into
+  /// its siblings' counts (the §3.2 aggregation connection). Non-empty
+  /// group sets drain Answer(vb) and fold (the decomposition order is not
+  /// lex, so no prefix-interval shortcut applies).
+  AggregateResult AnswerAggregate(const BoundValuation& vb,
+                                  const std::vector<int>& group_vars,
+                                  const AggSpec& spec) const;
 
   const AdornedView& view() const { return view_; }
   const TreeDecomposition& decomposition() const { return td_; }

@@ -56,6 +56,57 @@ std::optional<RepKind> ParseRepKind(const std::string& name) {
   return std::nullopt;
 }
 
+RepCapabilities KindCapabilities(RepKind kind, int num_free,
+                                 bool with_aggregates) {
+  RepCapabilities c;
+  switch (kind) {
+    case RepKind::kCompressed:
+      c.lex_ordered = true;
+      c.range_restricted = num_free > 0;
+      c.low_delay_resume = true;
+      c.sharded = num_free > 0;
+      c.aggregates = with_aggregates;
+      break;
+    case RepKind::kDecomposed:
+      c.sharded = num_free > 0;
+      c.counting = true;
+      c.aggregates = true;  // the CountAnswer recurrence lifted to the ring
+      break;
+    case RepKind::kDirect:
+      c.lex_ordered = true;
+      c.range_restricted = num_free > 0;
+      c.low_delay_resume = true;
+      break;
+    case RepKind::kMaterialized:
+      c.lex_ordered = true;
+      c.counting = true;
+      c.aggregates = true;  // columnar fold over the refined row range
+      break;
+    case RepKind::kUpdatable:
+      c.updatable = true;
+      c.aggregates = with_aggregates;
+      break;
+  }
+  return c;
+}
+
+std::string CapabilityTags(const RepCapabilities& caps) {
+  std::string out;
+  const auto add = [&out](bool on, const char* tag) {
+    if (!on) return;
+    if (!out.empty()) out += ',';
+    out += tag;
+  };
+  add(caps.lex_ordered, "lex");
+  add(caps.range_restricted, "range");
+  add(caps.low_delay_resume, "resume");
+  add(caps.sharded, "shard");
+  add(caps.counting, "count");
+  add(caps.updatable, "update");
+  add(caps.aggregates, "agg");
+  return out.empty() ? "-" : out;
+}
+
 // --- AnswerRep: hardened entry points ---------------------------------------
 
 Status AnswerRep::ValidateRequest(const BoundValuation& vb) const {
@@ -107,6 +158,29 @@ Result<uint64_t> AnswerRep::Count(const BoundValuation& vb) const {
   return CountImpl(vb);
 }
 
+Result<AggregateResult> AnswerRep::AnswerAggregate(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  if (Status s = ValidateRequest(vb); !s.ok()) return s;
+  const int mu = view().num_free();
+  for (size_t i = 0; i < group_vars.size(); ++i) {
+    if (group_vars[i] < 0 || group_vars[i] >= mu)
+      return Status::Error(StrFormat(
+          "aggregate: group variable %d out of range [0, %d)", group_vars[i],
+          mu));
+    if (i > 0 && group_vars[i] <= group_vars[i - 1])
+      return Status::Error(
+          "aggregate: group variables must be strictly ascending");
+  }
+  if (spec.func != AggFunc::kCount) {
+    if (spec.value_var < 0 || spec.value_var >= mu)
+      return Status::Error(StrFormat(
+          "aggregate: %s needs a value variable in [0, %d)",
+          AggFuncName(spec.func), mu));
+  }
+  return AnswerAggregateImpl(vb, group_vars, spec);
+}
+
 EnumeratorResult AnswerRep::ParallelAnswer(
     const BoundValuation& vb, const ParallelOptions& options) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
@@ -156,6 +230,13 @@ uint64_t AnswerRep::CountImpl(const BoundValuation& vb) const {
   return DrainBatched(*e, view().num_free());
 }
 
+AggregateResult AnswerRep::AnswerAggregateImpl(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  auto e = AnswerImpl(vb);
+  return GroupedDrainAggregate(*e, view().num_free(), group_vars, spec);
+}
+
 std::unique_ptr<TupleEnumerator> AnswerRep::ParallelAnswerImpl(
     const BoundValuation& vb, const ParallelOptions& options) const {
   return AnswerImpl(vb);
@@ -176,12 +257,8 @@ CompressedAnswerRep::CompressedAnswerRep(std::unique_ptr<CompressedRep> rep)
 }
 
 RepCapabilities CompressedAnswerRep::capabilities() const {
-  RepCapabilities c;
-  c.lex_ordered = true;
-  c.range_restricted = rep_->view().num_free() > 0;
-  c.low_delay_resume = true;
-  c.sharded = rep_->view().num_free() > 0;
-  return c;
+  return KindCapabilities(RepKind::kCompressed, rep_->view().num_free(),
+                          rep_->has_aggregates());
 }
 
 std::string CompressedAnswerRep::Describe() const {
@@ -219,6 +296,13 @@ std::unique_ptr<TupleEnumerator> CompressedAnswerRep::ParallelAnswerImpl(
   return cqc::ParallelAnswer(*rep_, vb, options);
 }
 
+AggregateResult CompressedAnswerRep::AnswerAggregateImpl(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  // Pushed annotated walk when built with annotations; drain-fold inside.
+  return rep_->AnswerAggregate(vb, group_vars, spec);
+}
+
 // --- DecomposedAnswerRep ----------------------------------------------------
 
 DecomposedAnswerRep::DecomposedAnswerRep(std::unique_ptr<DecomposedRep> rep)
@@ -227,12 +311,10 @@ DecomposedAnswerRep::DecomposedAnswerRep(std::unique_ptr<DecomposedRep> rep)
 }
 
 RepCapabilities DecomposedAnswerRep::capabilities() const {
-  RepCapabilities c;
   // Algorithm 5's order follows the decomposition, not the output lex
   // order; resume is the O(emitted) skip-ahead.
-  c.sharded = rep_->view().num_free() > 0;
-  c.counting = true;
-  return c;
+  return KindCapabilities(RepKind::kDecomposed, rep_->view().num_free(),
+                          /*with_aggregates=*/true);
 }
 
 std::string DecomposedAnswerRep::Describe() const {
@@ -274,6 +356,12 @@ uint64_t DecomposedAnswerRep::CountImpl(const BoundValuation& vb) const {
 std::unique_ptr<TupleEnumerator> DecomposedAnswerRep::ParallelAnswerImpl(
     const BoundValuation& vb, const ParallelOptions& options) const {
   return cqc::ParallelAnswer(*rep_, vb, options);
+}
+
+AggregateResult DecomposedAnswerRep::AnswerAggregateImpl(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  return rep_->AnswerAggregate(vb, group_vars, spec);
 }
 
 // --- DirectAnswerRep --------------------------------------------------------
@@ -350,10 +438,9 @@ MaterializedAnswerRep::MaterializedAnswerRep(
 }
 
 RepCapabilities MaterializedAnswerRep::capabilities() const {
-  RepCapabilities c;
-  c.lex_ordered = true;  // table sorted by [bound..., free...]
-  c.counting = true;
-  return c;
+  // Lex-ordered because the table is sorted by [bound..., free...].
+  return KindCapabilities(RepKind::kMaterialized, rep_->view().num_free(),
+                          /*with_aggregates=*/true);
 }
 
 std::string MaterializedAnswerRep::Describe() const {
@@ -375,6 +462,12 @@ uint64_t MaterializedAnswerRep::CountImpl(const BoundValuation& vb) const {
   return rep_->CountAnswer(vb);
 }
 
+AggregateResult MaterializedAnswerRep::AnswerAggregateImpl(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  return rep_->AnswerAggregate(vb, group_vars, spec);
+}
+
 // --- UpdatableAnswerRep -----------------------------------------------------
 
 UpdatableAnswerRep::UpdatableAnswerRep(std::unique_ptr<UpdatableRep> rep)
@@ -383,11 +476,12 @@ UpdatableAnswerRep::UpdatableAnswerRep(std::unique_ptr<UpdatableRep> rep)
 }
 
 RepCapabilities UpdatableAnswerRep::capabilities() const {
-  RepCapabilities c;
   // The combined stream (snapshot part, then delta part) is not globally
-  // lexicographic, so no order-dependent capability is advertised.
-  c.updatable = true;
-  return c;
+  // lexicographic, so no order-dependent capability is advertised. The
+  // aggregate flag follows the snapshot structure's annotations (pending
+  // epochs still answer, via drain-and-fold).
+  return KindCapabilities(RepKind::kUpdatable, rep_->view().num_free(),
+                          rep_->rep().has_aggregates());
 }
 
 std::string UpdatableAnswerRep::Describe() const {
@@ -412,6 +506,12 @@ std::unique_ptr<TupleEnumerator> UpdatableAnswerRep::AnswerImpl(
 
 bool UpdatableAnswerRep::AnswerExistsImpl(const BoundValuation& vb) const {
   return rep_->AnswerExists(vb);
+}
+
+AggregateResult UpdatableAnswerRep::AnswerAggregateImpl(
+    const BoundValuation& vb, const std::vector<int>& group_vars,
+    const AggSpec& spec) const {
+  return rep_->AnswerAggregate(vb, group_vars, spec);
 }
 
 // --- factories --------------------------------------------------------------

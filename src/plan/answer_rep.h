@@ -69,7 +69,22 @@ struct RepCapabilities {
   /// ApplyDelta mutates the base tables in place (inserts + deletions)
   /// while concurrent readers keep enumerating a consistent state.
   bool updatable = false;
+  /// AnswerAggregate computes grouped COUNT/SUM/MIN/MAX without per-tuple
+  /// enumeration (pushed into the structure); structures without the flag
+  /// still answer, by draining the stream and folding.
+  bool aggregates = false;
 };
+
+/// The capability set an adapter of `kind` would advertise (the planner's
+/// prediction surface — no structure needs to exist). `num_free` is the
+/// view's free arity; `with_aggregates` marks a build with aggregate
+/// annotations (CompressedRepOptions::build_aggregates).
+RepCapabilities KindCapabilities(RepKind kind, int num_free,
+                                 bool with_aggregates);
+
+/// Compact tag list for Explain/--stats output: the set bits of `caps` as
+/// "lex,range,resume,shard,count,update,agg" (or "-" when none).
+std::string CapabilityTags(const RepCapabilities& caps);
 
 class AnswerRep {
  public:
@@ -117,6 +132,16 @@ class AnswerRep {
   /// the rest drain the stream.
   Result<uint64_t> Count(const BoundValuation& vb) const;
 
+  /// Grouped ring aggregate (COUNT/SUM/MIN/MAX) over Q^eta[v_b], grouped
+  /// by the free-variable indices in `group_vars` (strictly ascending; the
+  /// empty set yields one global group). Aggregate-capable structures push
+  /// the fold into the structure; the rest drain the stream and fold.
+  /// Groups come back in lex order of their keys, count > 0 only, so the
+  /// result is byte-identical across structures.
+  Result<AggregateResult> AnswerAggregate(const BoundValuation& vb,
+                                          const std::vector<int>& group_vars,
+                                          const AggSpec& spec) const;
+
   /// Shard-planning hook: drains the request with `options.num_threads`
   /// workers when the structure shards (capabilities().sharded); otherwise
   /// falls back to the sequential stream. Order follows the structure's
@@ -144,6 +169,10 @@ class AnswerRep {
   virtual bool AnswerExistsImpl(const BoundValuation& vb) const;
   /// Default: drain through the batch API.
   virtual uint64_t CountImpl(const BoundValuation& vb) const;
+  /// Default: drain the stream and fold (GroupedDrainAggregate).
+  virtual AggregateResult AnswerAggregateImpl(
+      const BoundValuation& vb, const std::vector<int>& group_vars,
+      const AggSpec& spec) const;
   /// Default: the sequential stream.
   virtual std::unique_ptr<TupleEnumerator> ParallelAnswerImpl(
       const BoundValuation& vb, const ParallelOptions& options) const;
@@ -184,6 +213,9 @@ class CompressedAnswerRep : public AnswerRep {
   bool AnswerExistsImpl(const BoundValuation& vb) const override;
   std::unique_ptr<TupleEnumerator> ParallelAnswerImpl(
       const BoundValuation& vb, const ParallelOptions& options) const override;
+  AggregateResult AnswerAggregateImpl(
+      const BoundValuation& vb, const std::vector<int>& group_vars,
+      const AggSpec& spec) const override;
 
  private:
   std::unique_ptr<CompressedRep> rep_;
@@ -213,6 +245,9 @@ class DecomposedAnswerRep : public AnswerRep {
   uint64_t CountImpl(const BoundValuation& vb) const override;
   std::unique_ptr<TupleEnumerator> ParallelAnswerImpl(
       const BoundValuation& vb, const ParallelOptions& options) const override;
+  AggregateResult AnswerAggregateImpl(
+      const BoundValuation& vb, const std::vector<int>& group_vars,
+      const AggSpec& spec) const override;
 
  private:
   std::unique_ptr<DecomposedRep> rep_;
@@ -262,6 +297,9 @@ class MaterializedAnswerRep : public AnswerRep {
       const BoundValuation& vb) const override;
   bool AnswerExistsImpl(const BoundValuation& vb) const override;
   uint64_t CountImpl(const BoundValuation& vb) const override;
+  AggregateResult AnswerAggregateImpl(
+      const BoundValuation& vb, const std::vector<int>& group_vars,
+      const AggSpec& spec) const override;
 
  private:
   std::unique_ptr<MaterializedView> rep_;
@@ -300,6 +338,9 @@ class UpdatableAnswerRep : public AnswerRep {
   std::unique_ptr<TupleEnumerator> AnswerImpl(
       const BoundValuation& vb) const override;
   bool AnswerExistsImpl(const BoundValuation& vb) const override;
+  AggregateResult AnswerAggregateImpl(
+      const BoundValuation& vb, const std::vector<int>& group_vars,
+      const AggSpec& spec) const override;
 
  private:
   std::unique_ptr<UpdatableRep> rep_;

@@ -84,10 +84,17 @@ std::string Plan::Explain() const {
         "(static structures pay invalidate+rebuild; updatable pays delta "
         "join + amortized fold)\n",
         churn_per_request);
+  if (aggregate_fraction > 0)
+    out += StrFormat(
+        "aggregates: %.2g of requests priced as pushed group-bys "
+        "(annotated structures pay ~2x space for the ring cells; "
+        "fold-only structures pay their scan or drain per aggregate)\n",
+        aggregate_fraction);
   for (const PlanCandidate& c : candidates) {
-    out += StrFormat("  %-12s %-4s space N^%.2f delay N^%.2f",
+    out += StrFormat("  %-12s %-4s space N^%.2f delay N^%.2f [%s]",
                      RepKindName(c.kind), c.feasible ? "ok" : "skip",
-                     c.predicted_log_space / ln, c.predicted_log_delay / ln);
+                     c.predicted_log_space / ln, c.predicted_log_delay / ln,
+                     CapabilityTags(c.caps).c_str());
     if (c.kind == RepKind::kCompressed && c.feasible)
       out += StrFormat(" tau=%.1f", c.tau);
     if (!c.note.empty()) out += " — " + c.note;
@@ -121,8 +128,52 @@ Result<Plan> Planner::PlanView(const AdornedView& view,
   const double budget = plan.log_space_budget < 0 ? kUnlimitedLog
                                                   : plan.log_space_budget;
 
+  const double agg_f =
+      std::clamp(options.aggregate_fraction, 0.0, 1.0);
+  plan.aggregate_fraction = agg_f;
+
   std::vector<Scored> scored;
   auto add = [&](Scored s) {
+    if (agg_f > 0 && s.buildable) {
+      // Aggregate workload: annotated kinds build the ring cells (a
+      // constant-factor space increase: one count plus 3*mu values next to
+      // each ~mu-word node/entry row, charged as ln 2) and answer a pushed
+      // aggregate by interval arithmetic (~N^0); materialized/decomposed
+      // fold by scanning their structure (~their space); direct drains the
+      // full join (~its enumeration delay). The candidate's delay becomes
+      // the (1-f, f) request mix of enumeration and aggregate cost.
+      double agg_log_delay = 0;
+      switch (s.pub.kind) {
+        case RepKind::kCompressed:
+          s.spec.compressed.build_aggregates = true;
+          s.pub.predicted_log_space += std::log(2.0);
+          break;
+        case RepKind::kUpdatable:
+          s.spec.updatable.rep.build_aggregates = true;
+          s.pub.predicted_log_space += std::log(2.0);
+          break;
+        case RepKind::kMaterialized:
+        case RepKind::kDecomposed:
+          agg_log_delay = s.pub.predicted_log_space;
+          break;
+        case RepKind::kDirect:
+          agg_log_delay = s.pub.predicted_log_delay;
+          break;
+      }
+      const double mixed =
+          agg_f >= 1.0
+              ? agg_log_delay
+              : LogAddExp(std::log(1.0 - agg_f) + s.pub.predicted_log_delay,
+                          std::log(agg_f) + agg_log_delay);
+      s.pub.note += StrFormat("; agg N^%.2f at f=%.2g",
+                              agg_log_delay / std::max(stats.log_n, 1.0),
+                              agg_f);
+      s.pub.predicted_log_delay = mixed;
+    }
+    const bool with_agg =
+        agg_f > 0 && (s.pub.kind == RepKind::kCompressed ||
+                      s.pub.kind == RepKind::kUpdatable);
+    s.pub.caps = KindCapabilities(s.pub.kind, mu, with_agg);
     // Under churn, a static structure is invalidated by every mutation and
     // rebuilt from scratch (cost ~ its size in tuple units), amortized over
     // 1/churn requests: delay += churn * space.

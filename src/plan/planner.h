@@ -54,6 +54,15 @@ struct PlannerOptions {
   /// The connex decomposition search is exhaustive over elimination orders;
   /// views with more free variables skip the decomposed candidate.
   int max_free_vars_for_decomposition = 8;
+  /// Fraction of access requests that are grouped aggregates
+  /// (COUNT/SUM/MIN/MAX) rather than enumerations, in [0, 1]. When > 0 the
+  /// compressed/updatable specs are built with aggregate annotations
+  /// (charged as a constant-factor space increase) and every candidate's
+  /// delay becomes the request mix: (1-f) * enumeration delay + f * its
+  /// aggregate-answer cost (~O(1) for annotated interval arithmetic, the
+  /// structure scan for materialized/decomposed folds, the full join drain
+  /// for direct).
+  double aggregate_fraction = 0;
 };
 
 /// One scored candidate. Exponents are log-space values (natural log);
@@ -64,6 +73,10 @@ struct PlanCandidate {
   double predicted_log_space = 0;
   double predicted_log_delay = 0;
   bool feasible = false;
+  /// What the candidate's structure would support if built (Explain prints
+  /// the full tag set so capability differences — counting, aggregates,
+  /// sharding — are visible next to the space/delay exponents).
+  RepCapabilities caps;
   std::string note;
 };
 
@@ -78,6 +91,9 @@ struct Plan {
   double log_n = 0;
   /// The churn rate the candidates were priced at (0 = static workload).
   double churn_per_request = 0;
+  /// The aggregate request fraction the candidates were priced at
+  /// (0 = enumeration-only workload).
+  double aggregate_fraction = 0;
   /// False when no candidate fit the budget and the planner fell back to
   /// the smallest-space candidate.
   bool within_budget = true;

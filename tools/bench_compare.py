@@ -7,7 +7,9 @@ than the threshold:
 
   * throughput metrics — lower is a regression. Gated by naming
     convention: every metric whose key ends in `_mtps` (millions of tuples
-    or rows per second) or `_mprobes` (millions of probes per second) is
+    or rows per second), `_mprobes` (millions of probes per second), or
+    `_mops` (millions of point-answer ops per second: Count /
+    AnswerExists / AnswerAggregate calls) is
     throughput-gated, which covers the drain headlines
     (drain_single_mtps, drain_batched_mtps), the per-kernel SIMD rows
     (scalar_mtps / dispatch_mtps / *_mprobes), and the batched hash-probe
@@ -41,7 +43,7 @@ import json
 import os
 import sys
 
-THROUGHPUT_SUFFIXES = ("_mtps", "_mprobes")
+THROUGHPUT_SUFFIXES = ("_mtps", "_mprobes", "_mops")
 DELAY_KEYS = ("single_delay_us_p95", "batched_delay_us_p95")
 DELAY_ABS_FLOOR_US = 25.0
 

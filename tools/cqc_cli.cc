@@ -28,15 +28,23 @@ void Usage() {
       "updatable]\n"
       "               [--tau T] [--space-budget B] [--threads N] [--stats]\n"
       "               [--save PATH] [--load PATH | --load-mmap PATH]\n"
-      "               [--mutate] [--churn RATE]\n"
-      "--load reads a CQCREP04 file into heap memory; --load-mmap maps it\n"
+      "               [--mutate] [--churn RATE] [--agg-fraction F]\n"
+      "--load reads a CQCREP05 file into heap memory; --load-mmap maps it\n"
       "zero-copy (opens in O(header) time, pages fault in on demand).\n"
-      "then: one access request per line on stdin (bound values).\n"
+      "--agg-fraction F prices F of the requests as grouped aggregates\n"
+      "(builds annotations into the compressed/updatable candidates).\n"
+      "then: one access request per line on stdin (bound values), or an\n"
+      "aggregate request:\n"
+      "  agg count <k> [bound...]          grouped COUNT over the first k\n"
+      "                                    free variables\n"
+      "  agg sum|min|max <var> <k> [bound...]  ring fold of free var <var>\n"
+      "each group prints as: key values, count[, aggregate value].\n"
       "with --mutate, stdin is a script of interleaved mutations and\n"
       "queries (docs/update-semantics.md):\n"
       "  + REL v1 v2 ...   insert a tuple into REL\n"
       "  - REL v1 v2 ...   delete a tuple from REL\n"
       "  ? v1 v2 ...       access request (bound values)\n"
+      "  agg ...           aggregate request (as above)\n"
       "  rebuild           fold the pending delta into the snapshot now\n"
       "  stats             print the structure state to stderr\n"
       "  # ...             comment\n");
@@ -51,6 +59,7 @@ int main(int argc, char** argv) {
   double tau = 1.0;
   double space_budget = -1;
   double churn = -1;  // <0 = unset; defaults to 0.5 in --mutate mode
+  double agg_fraction = 0;
   bool want_stats = false;
   bool load_mmap = false;
   bool mutate = false;
@@ -92,10 +101,12 @@ int main(int argc, char** argv) {
                                            : load_path;
       if (arg == "--load-mmap") load_mmap = true;
       dst = next();
-    } else if (arg == "--tau" || arg == "--space-budget" || arg == "--churn") {
-      (arg == "--tau"          ? tau
+    } else if (arg == "--tau" || arg == "--space-budget" ||
+               arg == "--churn" || arg == "--agg-fraction") {
+      (arg == "--tau"            ? tau
        : arg == "--space-budget" ? space_budget
-                                 : churn) = std::atof(next());
+       : arg == "--churn"        ? churn
+                                 : agg_fraction) = std::atof(next());
     } else if (arg == "--mutate") {
       mutate = true;
     } else if (arg == "--stats") {
@@ -179,6 +190,7 @@ int main(int argc, char** argv) {
     PlannerOptions popt;
     popt.space_budget_exponent = space_budget;
     popt.churn_per_request = churn;
+    popt.aggregate_fraction = agg_fraction;
     std::optional<RepKind> fixed = ParseRepKind(plan_name);
     if (plan_name != "auto") {
       if (!fixed.has_value()) {
@@ -284,10 +296,72 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "(%zu tuples)\n", count);
   };
 
+  // `agg count <k> [bound...]` / `agg sum|min|max <var> <k> [bound...]`:
+  // grouped ring aggregate over the first k free variables. Each group
+  // prints as its key values, the count, and (for SUM/MIN/MAX) the folded
+  // value, comma-separated.
+  auto serve_agg = [&](std::istringstream& in, const std::string& line) {
+    std::string func;
+    AggSpec spec;
+    if (!(in >> func)) {
+      std::fprintf(stderr, "bad agg line: %s\n", line.c_str());
+      return;
+    }
+    if (func != "count") {
+      int var = -1;
+      if (!(in >> var)) {
+        std::fprintf(stderr, "bad agg line (want var index): %s\n",
+                     line.c_str());
+        return;
+      }
+      if (func == "sum") spec = AggSpec::Sum(var);
+      else if (func == "min") spec = AggSpec::Min(var);
+      else if (func == "max") spec = AggSpec::Max(var);
+      else {
+        std::fprintf(stderr, "bad agg function (want count|sum|min|max): %s\n",
+                     func.c_str());
+        return;
+      }
+    }
+    int k = -1;
+    if (!(in >> k) || k < 0) {
+      std::fprintf(stderr, "bad agg line (want group arity): %s\n",
+                   line.c_str());
+      return;
+    }
+    BoundValuation vb;
+    Value v;
+    while (in >> v) vb.push_back(v);
+    std::vector<int> group_vars;
+    for (int i = 0; i < k; ++i) group_vars.push_back(i);
+    auto result = rep->AnswerAggregate(vb, group_vars, spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().message().c_str());
+      return;
+    }
+    const AggregateResult& r = result.value();
+    for (size_t g = 0; g < r.num_groups(); ++g) {
+      for (int c = 0; c < r.group_arity; ++c)
+        std::printf("%llu,",
+                    (unsigned long long)r.keys[g * (size_t)r.group_arity + c]);
+      std::printf("%llu", (unsigned long long)r.counts[g]);
+      if (!r.values.empty())
+        std::printf(",%llu", (unsigned long long)r.values[g]);
+      std::printf("\n");
+    }
+    std::fprintf(stderr, "(%zu groups)\n", r.num_groups());
+  };
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (!mutate) {
       std::istringstream in(line);
+      if (line.rfind("agg", 0) == 0) {
+        std::string head;
+        in >> head;
+        serve_agg(in, line);
+        continue;
+      }
       BoundValuation vb;
       Value v;
       while (in >> v) vb.push_back(v);
@@ -316,6 +390,8 @@ int main(int argc, char** argv) {
       Value v;
       while (in >> v) vb.push_back(v);
       serve(vb);
+    } else if (cmd == "agg") {
+      serve_agg(in, line);
     } else if (cmd == "rebuild") {
       auto* up = dynamic_cast<UpdatableAnswerRep*>(rep.get());
       if (up == nullptr) {
@@ -328,7 +404,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", rep->Describe().c_str());
     } else {
       std::fprintf(stderr,
-                   "bad script line (want + - ? rebuild stats): %s\n",
+                   "bad script line (want + - ? agg rebuild stats): %s\n",
                    line.c_str());
     }
   }

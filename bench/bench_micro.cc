@@ -15,6 +15,8 @@
 #include "relational/hash_index.h"
 #include "simd/kernels.h"
 #include "simd/simd_caps.h"
+#include "util/logging.h"
+#include "util/request_context.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "workload/catalog.h"
@@ -384,6 +386,49 @@ void WriteMicroReport() {
              return de.value()->Answer({});
            },
            4, 10);
+
+    // Deadline-check overhead on the same hot path: the serving layer wraps
+    // every enumerator in DeadlineCheckedEnumerator when a request carries a
+    // deadline, so the per-batch clock poll must be in the noise (<3% is the
+    // robustness acceptance budget). Interleaved min-of-N so drift hits both
+    // arms equally.
+    {
+      const RequestContext ctx =
+          RequestContext::WithTimeout(std::chrono::hours(1));
+      double plain_best = 1e300, deadline_best = 1e300;
+      size_t tuples = 0;
+      for (int rep = 0; rep < 10; ++rep) {
+        {
+          auto e = cr.value()->Answer({});
+          WallTimer t;
+          tuples = DrainBatched(*e, 4, 256);
+          plain_best = std::min(plain_best, t.Seconds());
+        }
+        {
+          DeadlineCheckedEnumerator e(cr.value()->Answer({}), &ctx);
+          WallTimer t;
+          const size_t n = DrainBatched(e, 4, 256);
+          deadline_best = std::min(deadline_best, t.Seconds());
+          CQC_CHECK(n == tuples);
+        }
+      }
+      const double plain_mtps = (double)tuples / plain_best / 1e6;
+      const double deadline_mtps = (double)tuples / deadline_best / 1e6;
+      const double overhead_pct =
+          100.0 * (plain_mtps - deadline_mtps) / plain_mtps;
+      report.AddRecord()
+          .Set("experiment", "E10_micro")
+          .Set("structure", "deadline_checked_drain")
+          .Set("drain_tuples", tuples)
+          .Set("drain_plain_mtps", plain_mtps)
+          .Set("drain_deadline_mtps", deadline_mtps)
+          .Set("deadline_overhead_pct", overhead_pct);
+      std::printf(
+          "deadline_checked_drain: %.2f -> %.2f Mt/s (%.2f%% overhead, "
+          "budget 3%%: %s)\n",
+          plain_mtps, deadline_mtps, overhead_pct,
+          overhead_pct < 3.0 ? "OK" : "EXCEEDED");
+    }
   }
   {
     // Bound-request sweep on the fixture triangle (tiny outputs: shows the

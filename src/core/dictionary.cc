@@ -392,13 +392,42 @@ HeavyDictionary DictionaryBuilder::Build() {
       }
     }
     if (!frontier.empty()) {
-      ThreadPool& pool = SharedBuildPool();
-      for (SubtreeTask& t : frontier) {
-        pool.Submit([this, &dict, &staging, task = std::move(t)] {
+      // TaskGroup (not bare Submit+WaitIdle): per-group completion and
+      // fault attribution. A task killed by a contained exception or an
+      // injected thread_pool/task fault is re-run serially below, so a
+      // transient worker fault degrades to serial work on that subtree
+      // instead of a silently incomplete dictionary.
+      std::vector<SubtreeTask> tasks(
+          std::make_move_iterator(frontier.begin()),
+          std::make_move_iterator(frontier.end()));
+      // One byte per task, each written by exactly one worker; reads are
+      // ordered by the group's Wait().
+      std::vector<char> completed(tasks.size(), 0);
+      TaskGroup group(SharedBuildPool());
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        group.Submit([this, &dict, &staging, &tasks, &completed, i] {
+          const SubtreeTask& task = tasks[i];
           ProcessNode(&dict, &staging, task.node, task.interval, task.cand);
+          completed[i] = 1;
         });
       }
-      pool.WaitIdle();
+      if (!group.Wait().ok()) {
+        // A failed task may have filled part of its subtree's staging
+        // slots before dying; clear the whole subtree so the serial rerun
+        // appends into empty slots.
+        const std::function<void(int)> clear_subtree = [&](int node) {
+          if (node < 0) return;
+          staging[node].clear();
+          clear_subtree(tree_->left(node));
+          clear_subtree(tree_->right(node));
+        };
+        for (size_t i = 0; i < tasks.size(); ++i) {
+          if (completed[i]) continue;
+          clear_subtree(tasks[i].node);
+          ProcessNode(&dict, &staging, tasks[i].node, tasks[i].interval,
+                      tasks[i].cand);
+        }
+      }
     }
   }
 

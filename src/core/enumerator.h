@@ -14,6 +14,7 @@
 #include "util/common.h"
 #include "util/hashing.h"
 #include "util/op_counter.h"
+#include "util/request_context.h"
 #include "util/timer.h"
 #include "util/tuple_arena.h"
 #include "util/tuple_buffer.h"
@@ -42,6 +43,13 @@ class TupleEnumerator {
     }
     return n;
   }
+
+  /// Streaming error channel. Next/NextBatch report exhaustion by bool /
+  /// short batch only, so a stream cut short by a fault (expired deadline,
+  /// cancellation, failed shard producer) looks exhausted; callers that
+  /// care poll this after the stream ends. OK means the stream is live or
+  /// genuinely exhausted.
+  virtual Status StreamStatus() const { return Status::Ok(); }
 };
 
 /// An enumerator over an empty result.
@@ -75,6 +83,68 @@ class VectorEnumerator : public TupleEnumerator {
  private:
   std::vector<Tuple> tuples_;
   size_t pos_ = 0;
+};
+
+/// Wraps a tuple stream with amortized-O(1) RequestContext polling.
+///
+/// TupleEnumerator::Next has no error channel (bool only), so deadline
+/// expiry and cancellation surface out-of-band: the stream ends early
+/// (Next returns false / NextBatch returns a short batch) and `status()`
+/// reports why. Callers that thread a context check `status()` after the
+/// stream ends; callers that don't see a normal exhausted stream.
+///
+/// Poll cadence: once per NextBatch call and once per kCheckStride
+/// single-tuple Next calls — one steady_clock read amortized over a batch
+/// of work, which is what keeps the overhead inside the bench gate while
+/// still honoring "stops within one batch of work".
+class DeadlineCheckedEnumerator : public TupleEnumerator {
+ public:
+  static constexpr size_t kCheckStride = 64;
+
+  /// `ctx` may be null (wrapper becomes pass-through). Does not own it.
+  DeadlineCheckedEnumerator(std::unique_ptr<TupleEnumerator> inner,
+                            const RequestContext* ctx)
+      : inner_(std::move(inner)), ctx_(ctx) {}
+
+  bool Next(Tuple* out) override {
+    if (stopped_) return false;
+    if (ctx_ != nullptr && ++since_check_ >= kCheckStride) {
+      since_check_ = 0;
+      if (!Poll()) return false;
+    }
+    return inner_->Next(out);
+  }
+
+  size_t NextBatch(TupleBuffer* out, size_t max_tuples) override {
+    if (stopped_) return 0;
+    if (ctx_ != nullptr && !Poll()) return 0;
+    return inner_->NextBatch(out, max_tuples);
+  }
+
+  /// OK while the stream is live or genuinely exhausted; kCancelled /
+  /// kDeadlineExceeded if it was cut short.
+  const Status& status() const { return status_; }
+
+  Status StreamStatus() const override {
+    // A deadline hit here wins; otherwise surface whatever cut the inner
+    // stream short (e.g. a failed shard producer).
+    return status_.ok() ? inner_->StreamStatus() : status_;
+  }
+
+ private:
+  bool Poll() {
+    Status s = ctx_->Check();
+    if (s.ok()) return true;
+    status_ = std::move(s);
+    stopped_ = true;
+    return false;
+  }
+
+  std::unique_ptr<TupleEnumerator> inner_;
+  const RequestContext* ctx_;
+  Status status_;
+  size_t since_check_ = 0;
+  bool stopped_ = false;
 };
 
 /// Drains an enumerator into a vector.

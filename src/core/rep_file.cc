@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define CQC_HAVE_MMAP 1
 #include <fcntl.h>
@@ -16,6 +18,12 @@
 namespace cqc {
 
 Result<std::shared_ptr<RepFile>> RepFile::Open(const std::string& path) {
+  // "rep_file/open" models the open/stat failing (missing snapshot, bad
+  // permissions); "rep_file/mmap" models the mapping itself failing
+  // (address-space or memory pressure) — distinct because the cache
+  // retry policy treats them identically but chaos tests want to hit the
+  // cleanup paths of each.
+  CQC_FAILPOINT_RESULT("rep_file/open");
   std::shared_ptr<RepFile> f(new RepFile());
   f->path_ = path;
 #if CQC_HAVE_MMAP
@@ -26,6 +34,7 @@ Result<std::shared_ptr<RepFile>> RepFile::Open(const std::string& path) {
     return Status::Error("cannot stat " + path);
   f->size_ = (size_t)st.st_size;
   if (f->size_ == 0) return f;  // empty file: no mapping needed
+  CQC_FAILPOINT_RESULT("rep_file/mmap");
   void* map = ::mmap(nullptr, f->size_, PROT_READ, MAP_PRIVATE, f->fd_, 0);
   if (map == MAP_FAILED) {
     f->size_ = 0;

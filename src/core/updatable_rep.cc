@@ -7,6 +7,7 @@
 #include "join/bound_atom.h"
 #include "join/generic_join.h"
 #include "query/normalize.h"
+#include "util/failpoint.h"
 #include "util/hashing.h"
 #include "util/logging.h"
 
@@ -233,6 +234,10 @@ bool UpdatableRep::NeedsRebuild() const {
 Status UpdatableRep::Rebuild(bool only_if_needed) {
   std::lock_guard<std::mutex> rl(rebuild_mu_);  // one rebuild at a time
   if (only_if_needed && !NeedsRebuild()) return Status::Ok();
+  // Injected before the snapshot is captured: a fired rebuild fault must
+  // leave the current state fully serviceable (the old snapshot + pending
+  // delta keeps answering).
+  CQC_FAILPOINT("updatable/rebuild");
   std::shared_ptr<const State> captured = Load();
   if (!captured->HasPending()) return Status::Ok();
   captured->EnsureDerived();

@@ -7,6 +7,7 @@
 #include "core/compressed_rep.h"
 #include "core/shard_planner.h"
 #include "decomposition/decomposed_rep.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace cqc {
@@ -52,12 +53,35 @@ ParallelEnumerator::~ParallelEnumerator() {
 }
 
 void ParallelEnumerator::ProduceShard(size_t shard) {
+  // Containment wrapper: whatever DrainShard does — throw (a buggy shard
+  // enumerator, an injected exception), hit the deadline, or finish — the
+  // shard is marked done and the consumer woken. A producer that died
+  // without this would leave FetchChunk waiting forever.
+  Status s;
+  try {
+    failpoint::MaybeThrow("parallel/produce");
+    s = DrainShard(shard);
+  } catch (const std::exception& e) {
+    s = Status::Unavailable(std::string("shard producer failed: ") +
+                            e.what());
+  } catch (...) {
+    s = Status::Unavailable("shard producer failed: non-standard exception");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!s.ok() && status_.ok()) status_ = std::move(s);
+  shards_[shard].done = true;
+  ++unordered_done_;
+  produced_cv_.notify_all();
+}
+
+Status ParallelEnumerator::DrainShard(size_t shard) {
   {
     // A task that starts after the consumer abandoned the stream skips the
     // enumerator construction and batch work entirely.
     std::lock_guard<std::mutex> lk(mu_);
-    if (cancel_) return;
+    if (cancel_) return Status::Ok();
   }
+  if (Status s = RequestContext::Check(options_.ctx); !s.ok()) return s;
   std::unique_ptr<TupleEnumerator> e = factory_(shard);
   CQC_CHECK(e != nullptr);
   const size_t batch = options_.batch_size;
@@ -77,27 +101,30 @@ void ParallelEnumerator::ProduceShard(size_t shard) {
         space_cv_.wait(lk, [&] {
           return cancel_ || st.chunks.size() < cap;
         });
-        if (cancel_) return;
+        if (cancel_) return Status::Ok();
         st.chunks.push_back(std::move(buf));
       } else {
         space_cv_.wait(lk, [&] {
           return cancel_ || unordered_ready_.size() < cap;
         });
-        if (cancel_) return;
+        if (cancel_) return Status::Ok();
         unordered_ready_.push_back(std::move(buf));
       }
       produced_cv_.notify_all();
     }
-    if (exhausted) break;
+    if (exhausted) return e->StreamStatus();
     {
       std::lock_guard<std::mutex> lk(mu_);
-      if (cancel_) return;
+      if (cancel_) return Status::Ok();
     }
+    // Per-chunk deadline poll: one check per batch_size tuples produced.
+    if (Status s = RequestContext::Check(options_.ctx); !s.ok()) return s;
   }
+}
+
+Status ParallelEnumerator::StreamStatus() const {
   std::lock_guard<std::mutex> lk(mu_);
-  shards_[shard].done = true;
-  ++unordered_done_;
-  produced_cv_.notify_all();
+  return status_;
 }
 
 bool ParallelEnumerator::FetchChunk() {

@@ -59,6 +59,10 @@ struct ParallelOptions {
   size_t batch_size = 1024;
   /// Finished chunks a shard may buffer before its producer blocks.
   size_t max_chunks_per_shard = 8;
+  /// Optional deadline/cancellation context, polled by every shard
+  /// producer at chunk boundaries (amortized O(1)). Not owned; must
+  /// outlive the enumerator. See util/request_context.h.
+  const RequestContext* ctx = nullptr;
 };
 
 class ParallelEnumerator : public TupleEnumerator {
@@ -80,6 +84,13 @@ class ParallelEnumerator : public TupleEnumerator {
   bool Next(Tuple* out) override;
   size_t NextBatch(TupleBuffer* out, size_t max_tuples) override;
 
+  /// OK, or why the stream was cut short: the first shard-producer fault
+  /// (contained exception / fired failpoint → kUnavailable) or the
+  /// options.ctx deadline/cancellation. Buffered chunks of other shards
+  /// still drain, so a fault truncates rather than empties the stream —
+  /// callers must treat a non-OK StreamStatus as "result incomplete".
+  Status StreamStatus() const override;
+
  private:
   struct ShardState {
     std::deque<TupleBuffer> chunks;  // finished, not yet consumed
@@ -87,6 +98,8 @@ class ParallelEnumerator : public TupleEnumerator {
   };
 
   void ProduceShard(size_t shard);
+  /// The chunk-production loop; its Status is recorded by ProduceShard.
+  Status DrainShard(size_t shard);
   /// Moves the next chunk (respecting the mode) into current_; false when
   /// every shard is exhausted and drained.
   bool FetchChunk();
@@ -95,7 +108,7 @@ class ParallelEnumerator : public TupleEnumerator {
   const int arity_;
   const ParallelOptions options_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable produced_cv_;  // consumer waits for chunks
   std::condition_variable space_cv_;     // producers wait for room
   std::vector<ShardState> shards_;
@@ -103,6 +116,7 @@ class ParallelEnumerator : public TupleEnumerator {
   size_t unordered_done_ = 0;                // shards finished (unordered)
   size_t front_shard_ = 0;                   // ordered-mode consume cursor
   bool cancel_ = false;
+  Status status_;  // first producer fault / deadline (guarded by mu_)
 
   TupleBuffer current_;  // chunk being handed to the consumer
   size_t read_pos_ = 0;  // tuples of current_ already consumed

@@ -88,12 +88,35 @@ bool ThreadPool::Grab(size_t self, std::function<void()>* out) {
   return false;
 }
 
+std::string ThreadPool::first_uncaught_message() const {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return first_uncaught_;
+}
+
+void ThreadPool::RunContained(std::function<void()>& task) {
+  // Backstop only: submitters that need attribution (TaskGroup,
+  // ParallelEnumerator) catch before the exception gets here. Anything
+  // that does arrive means dropped work, so record it for diagnostics —
+  // but never let a task take down the process.
+  try {
+    task();
+  } catch (const std::exception& e) {
+    uncaught_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(error_mu_);
+    if (first_uncaught_.empty()) first_uncaught_ = e.what();
+  } catch (...) {
+    uncaught_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(error_mu_);
+    if (first_uncaught_.empty()) first_uncaught_ = "non-standard exception";
+  }
+}
+
 void ThreadPool::WorkerLoop(size_t self) {
   tls_in_worker = true;
   std::function<void()> task;
   for (;;) {
     if (Grab(self, &task)) {
-      task();
+      RunContained(task);
       task = nullptr;
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last task out: wake WaitIdle under the lock so the wakeup cannot
@@ -110,7 +133,7 @@ void ThreadPool::WorkerLoop(size_t self) {
     // A submit may have landed between the failed Grab and reading epoch_;
     // re-check the queues once before committing to sleep.
     if (Grab(self, &task)) {
-      task();
+      RunContained(task);
       task = nullptr;
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> ilk(mu_);

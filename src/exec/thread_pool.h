@@ -18,6 +18,13 @@
 // Lifecycle: Submit() never blocks; WaitIdle() blocks until every submitted
 // task has finished; the destructor stops accepting work, drains nothing
 // (pending tasks still run), and joins. All public methods are thread-safe.
+//
+// Fault containment: a task that throws never reaches std::terminate. The
+// worker loop is a backstop — it swallows the exception, records it in
+// pool-level counters, and keeps the worker alive — but a backstop cannot
+// attribute the fault to a request. Submitters that need attribution wrap
+// their tasks in a TaskGroup, whose Wait() returns the first failure of
+// that group (and only that group) as a Status.
 #ifndef CQC_EXEC_THREAD_POOL_H_
 #define CQC_EXEC_THREAD_POOL_H_
 
@@ -28,7 +35,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace cqc {
 
@@ -60,6 +71,17 @@ class ThreadPool {
   /// itself a pending task).
   static bool InWorker();
 
+  /// Tasks whose exceptions reached the worker backstop (i.e. were not
+  /// already contained by a TaskGroup or other submitter wrapper). Nonzero
+  /// here means some submitter has a containment gap — the work was
+  /// dropped, not retried.
+  size_t uncaught_task_exceptions() const {
+    return uncaught_.load(std::memory_order_relaxed);
+  }
+
+  /// Message of the first backstopped exception ("" if none).
+  std::string first_uncaught_message() const;
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -70,6 +92,8 @@ class ThreadPool {
   /// Pops the front of the own queue, else steals the front of the next
   /// non-empty victim. FIFO at both ends — load-bearing, see file header.
   bool Grab(size_t self, std::function<void()>* out);
+  /// Runs `task` with the exception backstop. Workers never die.
+  void RunContained(std::function<void()>& task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
@@ -81,6 +105,88 @@ class ThreadPool {
   bool stop_ = false;
   std::atomic<size_t> pending_{0};
   std::atomic<size_t> next_queue_{0};
+
+  std::atomic<size_t> uncaught_{0};   // backstopped task exceptions
+  mutable std::mutex error_mu_;       // guards first_uncaught_
+  std::string first_uncaught_;
+};
+
+/// A group of tasks submitted to a pool whose completion — and failure —
+/// is tracked per group, not pool-wide. Submit() wraps each task so that
+/// an exception (or a fired `thread_pool/task` failpoint) is captured as
+/// a Status instead of reaching the worker backstop; Wait() blocks until
+/// every task of THIS group finished and returns the first failure.
+/// Unlike ThreadPool::WaitIdle(), a concurrent build sharing the pool
+/// neither delays the error report nor pollutes it.
+///
+/// Tasks may return void (exceptions are the only failure mode) or Status
+/// (returned errors count as failures too). The group must outlive its
+/// tasks; the destructor waits.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  template <typename Fn>
+  void Submit(Fn&& fn) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++outstanding_;
+    }
+    pool_.Submit([this, fn = std::forward<Fn>(fn)]() mutable {
+      Status s;
+      if (failpoint::ShouldFail("thread_pool/task")) {
+        s = failpoint::InjectedFault("thread_pool/task");
+      } else {
+        try {
+          if constexpr (std::is_void_v<decltype(fn())>) {
+            fn();
+          } else {
+            s = fn();
+          }
+        } catch (const std::exception& e) {
+          s = Status::Unavailable(std::string("task failed: ") + e.what());
+        } catch (...) {
+          s = Status::Unavailable("task failed: non-standard exception");
+        }
+      }
+      Finish(std::move(s));
+    });
+  }
+
+  /// Blocks until all tasks submitted to this group have finished; returns
+  /// OK or the first failure. Idempotent.
+  Status Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return outstanding_ == 0; });
+    return first_error_;
+  }
+
+  /// Tasks of this group that failed so far (observable after Wait()).
+  size_t failed_tasks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return failed_;
+  }
+
+ private:
+  void Finish(Status s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!s.ok()) {
+      ++failed_;
+      if (first_error_.ok()) first_error_ = std::move(s);
+    }
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+
+  ThreadPool& pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+  size_t failed_ = 0;
+  Status first_error_;
 };
 
 /// Process-wide pool for build-time parallelism (index builds, dictionary

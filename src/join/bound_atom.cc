@@ -133,14 +133,22 @@ std::vector<BoundAtom> BindAtomsParallel(
   atoms.reserve(num_atoms);
   if (num_atoms > 1 && par::BuildThreads() > 1 && !ThreadPool::InWorker()) {
     std::vector<std::optional<BoundAtom>> staged(num_atoms);
-    ThreadPool& pool = SharedBuildPool();
+    // TaskGroup (not bare Submit+WaitIdle): a task dropped by a contained
+    // exception or an injected thread_pool/task fault leaves its slot
+    // empty — moving from it would be UB. Bind the missing atoms serially
+    // instead.
+    TaskGroup group(SharedBuildPool());
     for (size_t i = 0; i < num_atoms; ++i) {
-      pool.Submit([&, i] {
+      group.Submit([&, i] {
         staged[i].emplace(cq.atoms()[i], *rels[i], bound_order, free_order);
       });
     }
-    pool.WaitIdle();
-    for (auto& s : staged) atoms.push_back(std::move(*s));
+    group.Wait();
+    for (size_t i = 0; i < num_atoms; ++i) {
+      if (!staged[i].has_value())
+        staged[i].emplace(cq.atoms()[i], *rels[i], bound_order, free_order);
+      atoms.push_back(std::move(*staged[i]));
+    }
   } else {
     for (size_t i = 0; i < num_atoms; ++i)
       atoms.emplace_back(cq.atoms()[i], *rels[i], bound_order, free_order);

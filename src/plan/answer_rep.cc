@@ -4,6 +4,7 @@
 
 #include "decomposition/connex_builder.h"
 #include "query/hypergraph.h"
+#include "util/failpoint.h"
 #include "util/str_util.h"
 
 namespace cqc {
@@ -118,13 +119,27 @@ Status AnswerRep::ValidateRequest(const BoundValuation& vb) const {
   return Status::Ok();
 }
 
-EnumeratorResult AnswerRep::Answer(const BoundValuation& vb) const {
+namespace {
+
+/// Wraps `e` with per-batch deadline polling when a context is present.
+std::unique_ptr<TupleEnumerator> MaybeDeadlineWrap(
+    std::unique_ptr<TupleEnumerator> e, const RequestContext* ctx) {
+  if (ctx == nullptr) return e;
+  return std::make_unique<DeadlineCheckedEnumerator>(std::move(e), ctx);
+}
+
+}  // namespace
+
+EnumeratorResult AnswerRep::Answer(const BoundValuation& vb,
+                                   const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
-  return std::unique_ptr<TupleEnumerator>(AnswerImpl(vb));
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+  return MaybeDeadlineWrap(AnswerImpl(vb), ctx);
 }
 
 EnumeratorResult AnswerRep::AnswerRange(const BoundValuation& vb,
-                                        const FInterval& range) const {
+                                        const FInterval& range,
+                                        const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
   if (!capabilities().range_restricted) {
     return Status::Error(
@@ -139,28 +154,48 @@ EnumeratorResult AnswerRep::AnswerRange(const BoundValuation& vb,
         "range arity mismatch: [%zu, %zu] bounds over %d free variable(s)",
         range.lo.size(), range.hi.size(), mu));
   }
-  return std::unique_ptr<TupleEnumerator>(AnswerRangeImpl(vb, range));
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+  return MaybeDeadlineWrap(AnswerRangeImpl(vb, range), ctx);
 }
 
 EnumeratorResult AnswerRep::Resume(const BoundValuation& vb,
-                                   const EnumerationCursor& cursor) const {
+                                   const EnumerationCursor& cursor,
+                                   const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
-  return ResumeImpl(vb, cursor);
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+  EnumeratorResult r = ResumeImpl(vb, cursor);
+  if (!r.ok()) return r;
+  return MaybeDeadlineWrap(std::move(r).value(), ctx);
 }
 
-Result<bool> AnswerRep::AnswerExists(const BoundValuation& vb) const {
+Result<bool> AnswerRep::AnswerExists(const BoundValuation& vb,
+                                     const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
+  // Existence is one O(delay) pull — the entry check suffices.
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
   return AnswerExistsImpl(vb);
 }
 
-Result<uint64_t> AnswerRep::Count(const BoundValuation& vb) const {
+Result<uint64_t> AnswerRep::Count(const BoundValuation& vb,
+                                  const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
-  return CountImpl(vb);
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+  if (ctx == nullptr || capabilities().counting) {
+    // Counting-capable structures answer in O~(num_bound) index work; a
+    // mid-count deadline check would cost more than the count.
+    return CountImpl(vb);
+  }
+  // Drain at this layer with per-batch polling instead of delegating to
+  // CountImpl's uninterruptible drain.
+  DeadlineCheckedEnumerator e(AnswerImpl(vb), ctx);
+  const uint64_t n = DrainBatched(e, view().num_free());
+  if (!e.status().ok()) return e.status();
+  return n;
 }
 
 Result<AggregateResult> AnswerRep::AnswerAggregate(
     const BoundValuation& vb, const std::vector<int>& group_vars,
-    const AggSpec& spec) const {
+    const AggSpec& spec, const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
   const int mu = view().num_free();
   for (size_t i = 0; i < group_vars.size(); ++i) {
@@ -178,15 +213,31 @@ Result<AggregateResult> AnswerRep::AnswerAggregate(
           "aggregate: %s needs a value variable in [0, %d)",
           AggFuncName(spec.func), mu));
   }
-  return AnswerAggregateImpl(vb, group_vars, spec);
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+  if (ctx == nullptr || capabilities().aggregates) {
+    // A pushed fold runs inside the structure (annotated walk / columnar
+    // fold) — far cheaper than enumeration, entry check only.
+    return AnswerAggregateImpl(vb, group_vars, spec);
+  }
+  // Drain-and-fold path: poll the deadline per batch at this layer.
+  DeadlineCheckedEnumerator e(AnswerImpl(vb), ctx);
+  AggregateResult agg =
+      GroupedDrainAggregate(e, view().num_free(), group_vars, spec);
+  if (!e.status().ok()) return e.status();
+  return agg;
 }
 
-EnumeratorResult AnswerRep::ParallelAnswer(
-    const BoundValuation& vb, const ParallelOptions& options) const {
+EnumeratorResult AnswerRep::ParallelAnswer(const BoundValuation& vb,
+                                           const ParallelOptions& options,
+                                           const RequestContext* ctx) const {
   if (Status s = ValidateRequest(vb); !s.ok()) return s;
   if (options.num_threads < 0)
     return Status::Error("num_threads must be >= 0");
-  return std::unique_ptr<TupleEnumerator>(ParallelAnswerImpl(vb, options));
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+  // Producers poll per chunk; the consumer-facing stream polls per batch.
+  ParallelOptions opts = options;
+  if (opts.ctx == nullptr) opts.ctx = ctx;
+  return MaybeDeadlineWrap(ParallelAnswerImpl(vb, opts), ctx);
 }
 
 // --- AnswerRep: default implementations -------------------------------------
@@ -537,6 +588,16 @@ Result<std::unique_ptr<AnswerRep>> BuildAnswerRep(const RepBuildSpec& spec,
                                                   const AdornedView& view,
                                                   const Database& db,
                                                   const Database* aux_db) {
+  // Per-family injection sites ("build/compressed", ...) plus a
+  // family-independent one ("build/any") — chaos tests arm the former to
+  // steer degradation down a specific fallback chain and the latter to
+  // fail whatever the planner picked.
+  CQC_FAILPOINT_RESULT("build/any");
+  if (failpoint::AnyArmed() &&
+      failpoint::ShouldFail(std::string("build/") + RepKindName(spec.kind))) {
+    return failpoint::InjectedFault(std::string("build/") +
+                                    RepKindName(spec.kind));
+  }
   switch (spec.kind) {
     case RepKind::kCompressed: {
       auto rep = CompressedRep::Build(view, db, spec.compressed, aux_db);

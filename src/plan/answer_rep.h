@@ -111,43 +111,60 @@ class AnswerRep {
   // Each validates the request shape and returns a Status error on misuse
   // (wrong bound-valuation arity, unsupported capability, malformed range or
   // cursor) instead of relying on debug-only checks.
+  //
+  // Every entry point optionally takes a RequestContext (docs/robustness.md):
+  // an already-expired or cancelled request returns kDeadlineExceeded /
+  // kCancelled before any work, and streaming results are wrapped in a
+  // DeadlineCheckedEnumerator so expiry mid-stream cuts the stream short
+  // within one batch of work (callers learn why from ctx->Check() — the
+  // bool-only TupleEnumerator API has no error channel). A null ctx is the
+  // legacy unbounded request and adds zero overhead.
 
   /// Streams Q^eta[v_b]; tuples are aligned with view().free_vars().
   Result<std::unique_ptr<TupleEnumerator>> Answer(
-      const BoundValuation& vb) const;
+      const BoundValuation& vb, const RequestContext* ctx = nullptr) const;
 
   /// Streams exactly the outputs inside the closed lex interval `range`
   /// (arity num_free). Requires capabilities().range_restricted.
   Result<std::unique_ptr<TupleEnumerator>> AnswerRange(
-      const BoundValuation& vb, const FInterval& range) const;
+      const BoundValuation& vb, const FInterval& range,
+      const RequestContext* ctx = nullptr) const;
 
   /// Resumes a paused enumeration from a (possibly untrusted) cursor.
   Result<std::unique_ptr<TupleEnumerator>> Resume(
-      const BoundValuation& vb, const EnumerationCursor& cursor) const;
+      const BoundValuation& vb, const EnumerationCursor& cursor,
+      const RequestContext* ctx = nullptr) const;
 
   /// Is the access request non-empty?
-  Result<bool> AnswerExists(const BoundValuation& vb) const;
+  Result<bool> AnswerExists(const BoundValuation& vb,
+                            const RequestContext* ctx = nullptr) const;
 
-  /// |Q^eta[v_b]|. Counting-capable structures answer without enumerating;
-  /// the rest drain the stream.
-  Result<uint64_t> Count(const BoundValuation& vb) const;
+  /// |Q^eta[v_b]|. Counting-capable structures answer without enumerating
+  /// (only the entry check applies); the rest drain the stream with
+  /// per-batch deadline polling.
+  Result<uint64_t> Count(const BoundValuation& vb,
+                         const RequestContext* ctx = nullptr) const;
 
   /// Grouped ring aggregate (COUNT/SUM/MIN/MAX) over Q^eta[v_b], grouped
   /// by the free-variable indices in `group_vars` (strictly ascending; the
   /// empty set yields one global group). Aggregate-capable structures push
-  /// the fold into the structure; the rest drain the stream and fold.
+  /// the fold into the structure; the rest drain the stream and fold (with
+  /// per-batch deadline polling when `ctx` is set).
   /// Groups come back in lex order of their keys, count > 0 only, so the
   /// result is byte-identical across structures.
-  Result<AggregateResult> AnswerAggregate(const BoundValuation& vb,
-                                          const std::vector<int>& group_vars,
-                                          const AggSpec& spec) const;
+  Result<AggregateResult> AnswerAggregate(
+      const BoundValuation& vb, const std::vector<int>& group_vars,
+      const AggSpec& spec, const RequestContext* ctx = nullptr) const;
 
   /// Shard-planning hook: drains the request with `options.num_threads`
   /// workers when the structure shards (capabilities().sharded); otherwise
   /// falls back to the sequential stream. Order follows the structure's
-  /// parallel contract (see exec/parallel_enumerator.h).
+  /// parallel contract (see exec/parallel_enumerator.h). `ctx` propagates
+  /// into the shard producers (checked per chunk) as well as the consumer
+  /// stream.
   Result<std::unique_ptr<TupleEnumerator>> ParallelAnswer(
-      const BoundValuation& vb, const ParallelOptions& options) const;
+      const BoundValuation& vb, const ParallelOptions& options,
+      const RequestContext* ctx = nullptr) const;
 
   /// Applies base-table mutations (docs/update-semantics.md). Only
   /// structures advertising capabilities().updatable accept a delta; the

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/serialization.h"
 #include "exec/thread_pool.h"
 #include "query/parser.h"
+#include "util/failpoint.h"
 #include "util/str_util.h"
 
 namespace cqc {
@@ -21,14 +23,16 @@ RepCache::RepCache(const Database* db, RepCacheOptions options)
 RepCache::~RepCache() { WaitForRebuilds(); }
 
 Result<std::shared_ptr<const CachedRep>> RepCache::Get(
-    const std::string& view_text, double space_budget_exponent) {
+    const std::string& view_text, double space_budget_exponent,
+    const RequestContext* ctx) {
   Result<AdornedView> parsed = ParseAdornedView(view_text);
   if (!parsed.ok()) return parsed.status();
-  return GetView(parsed.value(), space_budget_exponent);
+  return GetView(parsed.value(), space_budget_exponent, ctx);
 }
 
 Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
-    const AdornedView& view, double space_budget_exponent) {
+    const AdornedView& view, double space_budget_exponent,
+    const RequestContext* ctx) {
   // Budget is part of the identity: the same query at two budgets may be
   // two different structures.
   const std::string key =
@@ -36,6 +40,7 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
       StrFormat("|B=%.6g", space_budget_exponent < 0
                                ? -1.0
                                : space_budget_exponent);
+  if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
 
   std::shared_ptr<InFlight> flight;
   {
@@ -43,15 +48,42 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      if (it->second->second->degraded_) ++stats_.degraded_serves;
       lru_.splice(lru_.begin(), lru_, it->second);
       return std::shared_ptr<const CachedRep>(it->second->second);
     }
+    if (auto neg = negative_.find(key); neg != negative_.end()) {
+      // A build for this key failed within the TTL: fail fast instead of
+      // sending every released waiter straight back into the build path.
+      if (std::chrono::steady_clock::now() < neg->second.expires) {
+        ++stats_.negative_hits;
+        return neg->second.error;
+      }
+      negative_.erase(neg);  // TTL over: the key may build fine now
+    }
     auto fit = inflight_.find(key);
     if (fit != inflight_.end()) {
-      // Single-flight: someone else is already building this entry.
+      // Single-flight: someone else is already building this entry. The
+      // wait is bounded by the waiter's own deadline and by
+      // options_.build_timeout; the build itself is NOT torn down on a
+      // waiter timeout — it finishes for whoever can still use it.
       ++stats_.coalesced;
       flight = fit->second;
-      cv_.wait(lock, [&] { return flight->done; });
+      auto wait_deadline = std::chrono::steady_clock::time_point::max();
+      if (options_.build_timeout.count() > 0)
+        wait_deadline = std::chrono::steady_clock::now() +
+                        options_.build_timeout;
+      if (ctx != nullptr && ctx->deadline())
+        wait_deadline = std::min(wait_deadline, *ctx->deadline());
+      const bool done = cv_.wait_until(lock, wait_deadline,
+                                       [&] { return flight->done; });
+      if (!done) {
+        ++stats_.waiter_timeouts;
+        if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+        return Status::Unavailable(StrFormat(
+            "timed out after %lld ms waiting for in-flight build of %s",
+            (long long)options_.build_timeout.count(), key.c_str()));
+      }
       if (flight->result != nullptr) return flight->result;
       return flight->error;
     }
@@ -63,7 +95,7 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
   // Build without holding the cache lock: distinct keys build in parallel,
   // and hits never wait behind a build.
   Result<std::shared_ptr<CachedRep>> built =
-      BuildEntry(key, view, space_budget_exponent);
+      BuildEntryResilient(key, view, space_budget_exponent, ctx);
 
   Result<std::shared_ptr<const CachedRep>> out =
       built.ok()
@@ -76,20 +108,93 @@ Result<std::shared_ptr<const CachedRep>> RepCache::GetView(
     if (built.ok()) {
       ++stats_.builds;
       if (built.value()->from_snapshot_) ++stats_.mmap_loads;
+      if (built.value()->degraded_) ++stats_.degraded_serves;
       flight->result = out.value();
       lru_.emplace_front(key, built.value());
       entries_[key] = lru_.begin();
       EvictLocked();
     } else {
-      // Failures are not cached: the next request retries (the database
-      // may have gained the missing relation in the meantime).
       ++stats_.build_failures;
       flight->error = built.status();
+      const Status& e = built.status();
+      // Remember the failure so the released waiters (and anyone else
+      // within the TTL) fail fast instead of thundering-herd rebuilding.
+      // Deadline/cancel outcomes describe the builder's request, not the
+      // key — caching them would wrongly fail unbounded requests.
+      if (options_.negative_ttl.count() > 0 && !e.IsDeadlineExceeded() &&
+          !e.IsCancelled()) {
+        negative_[key] = NegativeEntry{
+            e, std::chrono::steady_clock::now() + options_.negative_ttl};
+      }
     }
     inflight_.erase(key);
   }
   cv_.notify_all();
   return out;
+}
+
+Result<std::shared_ptr<CachedRep>> RepCache::BuildEntryResilient(
+    const std::string& key, const AdornedView& view,
+    double space_budget_exponent, const RequestContext* ctx) {
+  const int attempts = std::max(1, options_.max_build_attempts);
+  std::chrono::milliseconds backoff = options_.build_retry_backoff;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.build_retries;
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    // The builder's own request may expire during a backoff; stop burning
+    // attempts for a caller that is gone. Coalesced waiters inherit this
+    // status but it is never negatively cached, so their next Get retries.
+    if (Status s = RequestContext::Check(ctx); !s.ok()) return s;
+    Result<std::shared_ptr<CachedRep>> built =
+        BuildEntry(key, view, space_budget_exponent);
+    if (built.ok()) return built;
+    last = built.status();
+    // Only transient faults (I/O, injected, contained worker exceptions)
+    // are worth retrying; a malformed view stays malformed.
+    if (!last.IsUnavailable()) break;
+  }
+  if (options_.degrade_on_failure && last.IsUnavailable()) {
+    Result<std::shared_ptr<CachedRep>> degraded =
+        BuildDegraded(key, view, last);
+    if (degraded.ok()) return degraded;
+    // Even DirectEval failed — report the original fault, which names the
+    // structure the planner actually wanted.
+  }
+  return last;
+}
+
+Result<std::shared_ptr<CachedRep>> RepCache::BuildDegraded(
+    const std::string& key, const AdornedView& view,
+    const Status& cause) const {
+  Result<NormalizedView> normalized = NormalizeView(view, *db_);
+  if (!normalized.ok()) return normalized.status();
+  std::shared_ptr<CachedRep> entry(
+      new CachedRep(key, std::move(normalized).value()));
+
+  Plan plan;
+  plan.spec.kind = RepKind::kDirect;
+  plan.within_budget = true;
+  PlanCandidate cand;
+  cand.kind = RepKind::kDirect;
+  cand.feasible = true;
+  cand.note = "degraded fallback (" + cause.message() + ")";
+  plan.candidates.push_back(std::move(cand));
+  entry->plan_ = std::move(plan);
+
+  Result<std::unique_ptr<AnswerRep>> rep = BuildAnswerRep(
+      entry->plan_.spec, entry->normalized_.view, *db_,
+      &entry->normalized_.aux_db);
+  if (!rep.ok()) return rep.status();
+  entry->rep_ = std::move(rep).value();
+  entry->degraded_ = true;
+  return entry;
 }
 
 Result<std::shared_ptr<CachedRep>> RepCache::BuildEntry(
@@ -238,6 +343,10 @@ TouchReport Touches(const CachedRep& entry,
 
 Status RepCache::ApplyDelta(const std::string& key, const UpdateBatch& delta) {
   if (delta.empty()) return Status::Ok();
+  // Injected before any entry is touched: a fired fault must leave every
+  // cached structure exactly as it was (the batch is all-or-nothing at
+  // this boundary).
+  CQC_FAILPOINT("rep_cache/apply_delta");
   std::set<std::string> mutated;
   for (const UpdateOp& op : delta) mutated.insert(op.relation);
 
@@ -322,11 +431,25 @@ void RepCache::MaybeScheduleRebuild(const std::shared_ptr<CachedRep>& entry) {
   // set, so this task must loop until the entry is genuinely below
   // threshold (or another scheduler claimed the flag).
   SharedBuildPool().Submit([entry, rep, tracker] {
+    bool any_failed = false;
     for (;;) {
-      Status s = rep->Rebuild(/*only_if_needed=*/true);
-      if (!s.ok())
+      Status s;
+      // Containment: a fold that throws (or hits the updatable/rebuild
+      // failpoint inside Rebuild) must still clear the coalescing flag —
+      // a leaked exception here would wedge rebuild scheduling for this
+      // entry forever. The old snapshot + pending delta keeps serving.
+      try {
+        s = rep->Rebuild(/*only_if_needed=*/true);
+      } catch (const std::exception& e) {
+        s = Status::Unavailable(std::string("rebuild threw: ") + e.what());
+      } catch (...) {
+        s = Status::Unavailable("rebuild threw a non-standard exception");
+      }
+      if (!s.ok()) {
+        any_failed = true;
         std::fprintf(stderr, "RepCache: background rebuild failed: %s\n",
                      s.message().c_str());
+      }
       entry->rebuild_scheduled_.store(false);
       if (!s.ok() || !rep->NeedsRebuild()) break;
       if (entry->rebuild_scheduled_.exchange(true)) break;  // claimed anew
@@ -334,6 +457,7 @@ void RepCache::MaybeScheduleRebuild(const std::shared_ptr<CachedRep>& entry) {
     {
       std::lock_guard<std::mutex> lock(tracker->mu);
       ++tracker->completed;
+      if (any_failed) ++tracker->failed;
       --tracker->outstanding;
     }
     tracker->cv.notify_all();
@@ -359,6 +483,7 @@ RepCacheStats RepCache::stats() const {
     std::lock_guard<std::mutex> lock(rebuilds_->mu);
     out.rebuilds_scheduled = rebuilds_->scheduled;
     out.rebuilds_completed = rebuilds_->completed;
+    out.rebuilds_failed = rebuilds_->failed;
   }
   return out;
 }

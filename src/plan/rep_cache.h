@@ -32,6 +32,7 @@
 #define CQC_PLAN_REP_CACHE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <list>
 #include <memory>
@@ -44,6 +45,7 @@
 #include "plan/planner.h"
 #include "query/normalize.h"
 #include "relational/database.h"
+#include "util/request_context.h"
 #include "util/status.h"
 
 namespace cqc {
@@ -71,6 +73,36 @@ struct RepCacheOptions {
   /// space_budget_exponent. Set planner.churn_per_request > 0 to let the
   /// planner pick the updatable structure for mutable workloads.
   PlannerOptions planner;
+
+  // --- fault tolerance (docs/robustness.md) --------------------------------
+
+  /// Total build attempts per miss (>= 1). Only transient faults
+  /// (kUnavailable: I/O errors, injected failpoints, contained worker
+  /// exceptions) are retried; input-shaped errors fail immediately.
+  int max_build_attempts = 1;
+  /// Backoff before the first retry; doubles per further retry. The
+  /// builder sleeps outside the cache lock, so hits and other keys are
+  /// never stalled by a backoff.
+  std::chrono::milliseconds build_retry_backoff{10};
+  /// When > 0: a key whose build just failed is remembered for this long,
+  /// and Gets within the window fail fast with the recorded Status instead
+  /// of re-entering the build path — without it, every waiter released by
+  /// a failed single-flight build immediately becomes the next builder for
+  /// the same broken key (a rebuild thundering-herd). Deadline/cancel
+  /// outcomes are never negatively cached (they are the caller's, not the
+  /// key's). 0 disables.
+  std::chrono::milliseconds negative_ttl{0};
+  /// When > 0: bounds how long a coalesced waiter blocks on another
+  /// request's in-flight build (kUnavailable on expiry; the build itself
+  /// keeps running for whoever can still wait). A waiter's own
+  /// RequestContext deadline bounds the wait too, independent of this.
+  std::chrono::milliseconds build_timeout{0};
+  /// When the planned structure fails to build with a transient fault
+  /// (after retries), fall back to DirectEval — no build beyond per-atom
+  /// indexes, answers identical — and serve degraded rather than failing
+  /// the request. Degraded entries are cached and counted in
+  /// stats().degraded_serves.
+  bool degrade_on_failure = true;
 };
 
 struct RepCacheStats {
@@ -79,6 +111,10 @@ struct RepCacheStats {
   uint64_t coalesced = 0;     // waited on another request's build
   uint64_t builds = 0;        // successful builds
   uint64_t build_failures = 0;
+  uint64_t build_retries = 0;     // attempts beyond the first
+  uint64_t degraded_serves = 0;   // Gets answered by a fallback structure
+  uint64_t negative_hits = 0;     // Gets failed fast by the negative cache
+  uint64_t waiter_timeouts = 0;   // coalesced waits cut short (timeout/ctx)
   uint64_t evictions = 0;       // capacity (entry-count) evictions
   uint64_t byte_evictions = 0;  // max_resident_bytes evictions
   uint64_t mmap_loads = 0;      // misses served from a snapshot file
@@ -88,6 +124,7 @@ struct RepCacheStats {
   uint64_t invalidations = 0;        // static entries dropped by a delta
   uint64_t rebuilds_scheduled = 0;   // background folds submitted
   uint64_t rebuilds_completed = 0;   // background folds finished
+  uint64_t rebuilds_failed = 0;      // background folds that errored
   // Gauge (recomputed by stats()): sum of cached entries' ResidentBytes().
   uint64_t resident_bytes = 0;
 };
@@ -110,6 +147,10 @@ class CachedRep {
   /// True when this entry was served from an mmap'ed snapshot file rather
   /// than built.
   bool from_snapshot() const { return from_snapshot_; }
+  /// True when the planned structure failed to build and this entry holds
+  /// the DirectEval fallback instead (answers are identical; the paper's
+  /// space/delay trade-off is not — see RepCacheOptions::degrade_on_failure).
+  bool degraded() const { return degraded_; }
 
  private:
   friend class RepCache;
@@ -121,6 +162,7 @@ class CachedRep {
   Plan plan_;
   std::unique_ptr<AnswerRep> rep_;
   bool from_snapshot_ = false;
+  bool degraded_ = false;
   /// Coalesces background snapshot folds: set while one is queued/running.
   std::atomic<bool> rebuild_scheduled_{false};
 };
@@ -132,14 +174,19 @@ class RepCache {
   /// Blocks until outstanding background rebuilds finish.
   ~RepCache();
 
-  /// Parses and serves `view_text` (e.g. "Q^bf(x,y) = R(x,y)").
+  /// Parses and serves `view_text` (e.g. "Q^bf(x,y) = R(x,y)"). `ctx`
+  /// (optional) bounds the request: an expired/cancelled context fails
+  /// fast, and a coalesced wait on someone else's build respects the
+  /// context deadline.
   Result<std::shared_ptr<const CachedRep>> Get(
-      const std::string& view_text, double space_budget_exponent = -1);
+      const std::string& view_text, double space_budget_exponent = -1,
+      const RequestContext* ctx = nullptr);
 
   /// Serves an already-parsed view. The view may contain constants or
   /// repeated variables; normalization happens on miss.
   Result<std::shared_ptr<const CachedRep>> GetView(
-      const AdornedView& view, double space_budget_exponent = -1);
+      const AdornedView& view, double space_budget_exponent = -1,
+      const RequestContext* ctx = nullptr);
 
   /// Routes a batch of base-table mutations through the cache: the
   /// addressed entry (`key` from CachedRep::key(); error if no longer
@@ -182,6 +229,13 @@ class RepCache {
     size_t outstanding = 0;
     uint64_t scheduled = 0;
     uint64_t completed = 0;
+    uint64_t failed = 0;
+  };
+  /// A recently-failed build: Gets for the key fail fast with `error`
+  /// until `expires`.
+  struct NegativeEntry {
+    Status error;
+    std::chrono::steady_clock::time_point expires;
   };
   using LruList = std::list<std::pair<std::string, std::shared_ptr<CachedRep>>>;
 
@@ -190,6 +244,20 @@ class RepCache {
   Result<std::shared_ptr<CachedRep>> BuildEntry(
       const std::string& key, const AdornedView& view,
       double space_budget_exponent) const;
+
+  /// The resilient build path (docs/robustness.md): BuildEntry with
+  /// bounded retry + exponential backoff on transient faults, then the
+  /// DirectEval degraded fallback. Increments retry stats itself; `ctx`
+  /// is checked between attempts.
+  Result<std::shared_ptr<CachedRep>> BuildEntryResilient(
+      const std::string& key, const AdornedView& view,
+      double space_budget_exponent, const RequestContext* ctx);
+
+  /// Builds the degraded DirectEval entry (no planner; `cause` becomes the
+  /// plan-candidate note so --stats shows why).
+  Result<std::shared_ptr<CachedRep>> BuildDegraded(
+      const std::string& key, const AdornedView& view,
+      const Status& cause) const;
 
   /// Evicts from the LRU tail until both the entry-count capacity and the
   /// byte budget (when set) are respected. Call with mu_ held.
@@ -207,6 +275,7 @@ class RepCache {
   LruList lru_;
   std::unordered_map<std::string, LruList::iterator> entries_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::unordered_map<std::string, NegativeEntry> negative_;
   RepCacheStats stats_;
   std::shared_ptr<RebuildTracker> rebuilds_ =
       std::make_shared<RebuildTracker>();

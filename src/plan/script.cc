@@ -1,0 +1,164 @@
+#include "plan/script.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace cqc {
+
+namespace {
+
+/// Splits on whitespace; drops everything from a '#' token onward.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string t;
+  while (in >> t) {
+    if (t[0] == '#') break;
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+/// Parses tokens[from..] as values into *out.
+Status ParseValues(const std::vector<std::string>& tokens, size_t from,
+                   Tuple* out) {
+  for (size_t i = from; i < tokens.size(); ++i) {
+    Value v;
+    if (Status s = ParseValueToken(tokens[i], &v); !s.ok()) return s;
+    out->push_back(v);
+  }
+  return Status::Ok();
+}
+
+/// Parses a small non-negative int (variable index / group arity).
+Status ParseSmallInt(const std::string& token, const char* what, int* out) {
+  Value v;
+  if (Status s = ParseValueToken(token, &v); !s.ok())
+    return Status::Error(StrFormat("%s: %s", what, s.message().c_str()));
+  if (v > 1000000)
+    return Status::Error(
+        StrFormat("%s out of range: %s", what, token.c_str()));
+  *out = (int)v;
+  return Status::Ok();
+}
+
+/// agg count <k> [bound...] | agg sum|min|max <var> <k> [bound...]
+Result<ScriptOp> ParseAggregate(const std::vector<std::string>& tokens) {
+  ScriptOp op;
+  op.kind = ScriptOp::Kind::kAggregate;
+  if (tokens.size() < 2)
+    return Status::Error("agg: missing function (want count|sum|min|max)");
+  const std::string& func = tokens[1];
+  size_t next = 2;
+  if (func != "count") {
+    if (func != "sum" && func != "min" && func != "max")
+      return Status::Error(
+          StrFormat("agg: unknown function %s (want count|sum|min|max)",
+                    func.c_str()));
+    if (tokens.size() < 3)
+      return Status::Error(
+          StrFormat("agg %s: missing value-variable index", func.c_str()));
+    int var = 0;
+    if (Status s = ParseSmallInt(tokens[2], "agg value variable", &var);
+        !s.ok())
+      return s;
+    op.agg = func == "sum"   ? AggSpec::Sum(var)
+             : func == "min" ? AggSpec::Min(var)
+                             : AggSpec::Max(var);
+    next = 3;
+  }
+  if (tokens.size() <= next)
+    return Status::Error("agg: missing group arity");
+  if (Status s = ParseSmallInt(tokens[next], "agg group arity",
+                               &op.group_arity);
+      !s.ok())
+    return s;
+  if (Status s = ParseValues(tokens, next + 1, &op.values); !s.ok()) return s;
+  return op;
+}
+
+}  // namespace
+
+Status ParseValueToken(const std::string& token, Value* out) {
+  if (token.empty()) return Status::Error("empty value token");
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      return Status::Error("bad value token: " + token +
+                           " (want an unsigned decimal)");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size())
+    return Status::Error("value out of range: " + token);
+  *out = (Value)v;
+  return Status::Ok();
+}
+
+Result<ScriptOp> ParseScriptLine(const std::string& line, bool mutate_mode) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  ScriptOp op;
+  if (tokens.empty()) return op;  // blank / comment
+
+  const std::string& cmd = tokens[0];
+  if (cmd == "agg") return ParseAggregate(tokens);
+
+  if (!mutate_mode) {
+    // Bare request line: every token is a bound value.
+    op.kind = ScriptOp::Kind::kQuery;
+    if (Status s = ParseValues(tokens, 0, &op.values); !s.ok()) return s;
+    return op;
+  }
+
+  if (cmd == "+" || cmd == "-") {
+    op.kind = cmd == "+" ? ScriptOp::Kind::kInsert : ScriptOp::Kind::kDelete;
+    if (tokens.size() < 2)
+      return Status::Error(StrFormat("%s: missing relation name",
+                                     cmd.c_str()));
+    op.relation = tokens[1];
+    if (Status s = ParseValues(tokens, 2, &op.values); !s.ok()) return s;
+    if (op.values.empty())
+      return Status::Error(StrFormat("%s %s: missing tuple values",
+                                     cmd.c_str(), op.relation.c_str()));
+    return op;
+  }
+  if (cmd == "?") {
+    op.kind = ScriptOp::Kind::kQuery;
+    if (Status s = ParseValues(tokens, 1, &op.values); !s.ok()) return s;
+    return op;
+  }
+  if (cmd == "rebuild") {
+    if (tokens.size() > 1)
+      return Status::Error("rebuild takes no arguments");
+    op.kind = ScriptOp::Kind::kRebuild;
+    return op;
+  }
+  if (cmd == "stats") {
+    if (tokens.size() > 1) return Status::Error("stats takes no arguments");
+    op.kind = ScriptOp::Kind::kStats;
+    return op;
+  }
+  return Status::Error(StrFormat(
+      "unknown script verb %s (want + - ? agg rebuild stats)", cmd.c_str()));
+}
+
+Status ValidateMutation(const ScriptOp& op, const Database& db) {
+  CQC_CHECK(op.kind == ScriptOp::Kind::kInsert ||
+            op.kind == ScriptOp::Kind::kDelete);
+  const Relation* rel = db.Find(op.relation);
+  if (rel == nullptr)
+    return Status::Error("unknown relation: " + op.relation);
+  if ((int)op.values.size() != rel->arity())
+    return Status::Error(StrFormat(
+        "arity mismatch: %s has arity %d, got %zu value(s)",
+        op.relation.c_str(), rel->arity(), op.values.size()));
+  return Status::Ok();
+}
+
+}  // namespace cqc

@@ -1,0 +1,68 @@
+// Parsing for cqc_cli request/script lines (docs/update-semantics.md).
+//
+// Extracted from the CLI so the grammar is unit-testable against a corpus
+// of malformed inputs. Parsing is *strict*: every value token must be a
+// complete unsigned decimal in range — `std::istream >> uint64_t` silently
+// wraps negatives and stops mid-line at the first junk token, which turned
+// "+ R 1 2x" into an insert of (1) and "- R -1 5" into a delete of
+// (18446744073709551615, 5). A malformed line now yields a Status naming
+// the offending token instead of a silently wrong mutation.
+//
+// Script grammar (one op per line; '#' starts a comment):
+//   + REL v1 v2 ...   insert a tuple into REL
+//   - REL v1 v2 ...   delete a tuple from REL
+//   ? v1 v2 ...       access request (bound values)
+//   agg count <k> [bound...]
+//   agg sum|min|max <var> <k> [bound...]
+//   rebuild           fold the pending delta into the snapshot now
+//   stats             print the structure state
+// Outside --mutate mode only bare request lines ("v1 v2 ...") and agg
+// lines are legal.
+#ifndef CQC_PLAN_SCRIPT_H_
+#define CQC_PLAN_SCRIPT_H_
+
+#include <string>
+
+#include "core/aggregate.h"
+#include "relational/database.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace cqc {
+
+struct ScriptOp {
+  enum class Kind {
+    kNoOp,       // blank line or comment
+    kInsert,     // + REL values...
+    kDelete,     // - REL values...
+    kQuery,      // ? values... (or a bare request line)
+    kAggregate,  // agg ...
+    kRebuild,
+    kStats,
+  };
+
+  Kind kind = Kind::kNoOp;
+  std::string relation;  // kInsert / kDelete
+  Tuple values;          // mutation tuple or bound valuation
+  AggSpec agg;           // kAggregate
+  int group_arity = 0;   // kAggregate: group over the first k free vars
+};
+
+/// Parses one token as a Value: complete unsigned decimal, in range.
+/// Rejects signs, hex, trailing garbage, and overflow.
+Status ParseValueToken(const std::string& token, Value* out);
+
+/// Parses one line. `mutate_mode` selects the script grammar above; when
+/// false, only bare request lines and agg lines parse. Never throws; a
+/// malformed line returns Status::Error naming the problem.
+Result<ScriptOp> ParseScriptLine(const std::string& line, bool mutate_mode);
+
+/// Schema check for a parsed kInsert/kDelete against the base database:
+/// the relation must exist and the tuple arity must match. (The updatable
+/// structure re-validates against its view; this catches typos with a
+/// better message, before any structure is touched.)
+Status ValidateMutation(const ScriptOp& op, const Database& db);
+
+}  // namespace cqc
+
+#endif  // CQC_PLAN_SCRIPT_H_

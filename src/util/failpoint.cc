@@ -1,0 +1,181 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace cqc {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  uint64_t triggers = 0;  // times the site was reached while armed
+  uint64_t fires = 0;     // times it actually injected a fault
+  bool armed = false;     // false once max_fires exhausted (kept for counts)
+};
+
+struct Registry {
+  std::mutex mu;
+  // std::map keeps iteration deterministic for ArmedSites(); the registry
+  // is only touched on the slow path so lookup cost is irrelevant.
+  std::map<std::string, SiteState, std::less<>> sites;
+  // Deterministic pseudo-randomness for probability mode: tests that seed
+  // the same arm sequence see the same fire pattern. xorshift64* is
+  // plenty — this gates fault injection, not cryptography.
+  uint64_t rng_state = 0x9e3779b97f4a7c15ull;
+
+  double NextUniform() {
+    uint64_t x = rng_state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_state = x;
+    return static_cast<double>((x * 0x2545f4914f6cdd1dull) >> 11) /
+           static_cast<double>(1ull << 53);
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool ShouldFailSlow(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return false;
+  SiteState& s = it->second;
+  s.triggers++;
+  if (s.triggers <= s.spec.skip) return false;
+  if (s.spec.probability < 1.0 && r.NextUniform() >= s.spec.probability) {
+    return false;
+  }
+  s.fires++;
+  if (s.spec.max_fires > 0 && s.fires >= s.spec.max_fires) {
+    s.armed = false;
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace internal
+
+void Arm(std::string_view site, Spec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.try_emplace(std::string(site));
+  if (inserted || !it->second.armed) {
+    internal::armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second = SiteState{spec, /*triggers=*/0, /*fires=*/0, /*armed=*/true};
+}
+
+void Disarm(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end() && it->second.armed) {
+    it->second.armed = false;
+    internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, state] : r.sites) {
+    if (state.armed) {
+      state.armed = false;
+      internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  r.sites.clear();
+}
+
+uint64_t FireCount(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : r.sites) {
+    if (state.armed) out.push_back(name);
+  }
+  return out;
+}
+
+bool ArmSpec(std::string_view spec) {
+  // site[=p[:skip[:max]]]
+  std::string_view site = spec;
+  Spec parsed;
+  auto eq = spec.find('=');
+  if (eq != std::string_view::npos) {
+    site = spec.substr(0, eq);
+    std::string rest(spec.substr(eq + 1));
+    char* end = nullptr;
+    parsed.probability = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str() || parsed.probability < 0.0 ||
+        parsed.probability > 1.0) {
+      return false;
+    }
+    if (*end == ':') {
+      const char* p = end + 1;
+      parsed.skip = std::strtoull(p, &end, 10);
+      if (end == p) return false;
+      if (*end == ':') {
+        p = end + 1;
+        parsed.max_fires = std::strtoull(p, &end, 10);
+        if (end == p) return false;
+      }
+    }
+    if (*end != '\0') return false;
+  }
+  if (site.empty()) return false;
+  Arm(site, parsed);
+  return true;
+}
+
+int ArmFromEnv() {
+  const char* env = std::getenv("CQC_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  int armed = 0;
+  std::string_view remaining(env);
+  while (!remaining.empty()) {
+    auto semi = remaining.find(';');
+    std::string_view one = remaining.substr(0, semi);
+    remaining = semi == std::string_view::npos ? std::string_view()
+                                               : remaining.substr(semi + 1);
+    if (!one.empty() && ArmSpec(one)) armed++;
+  }
+  return armed;
+}
+
+void MaybeThrow(std::string_view site) {
+  if (ShouldFail(site)) {
+    throw std::runtime_error("injected exception at " + std::string(site));
+  }
+}
+
+Status InjectedFault(std::string_view site) {
+  return Status::Unavailable("injected fault at " + std::string(site));
+}
+
+}  // namespace failpoint
+}  // namespace cqc

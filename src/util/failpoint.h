@@ -1,0 +1,119 @@
+// Failpoint framework: named fault-injection sites, zero-cost when off.
+//
+// A failpoint is a named site in production code where tests (or the
+// CQC_FAILPOINTS env var) can inject a fault. Sites are declared inline:
+//
+//   Status RepFile::Open(...) {
+//     CQC_FAILPOINT("rep_file/open");           // in a Status-returning fn
+//     ...
+//   }
+//
+// When the site is armed and fires, CQC_FAILPOINT returns
+// Status::Unavailable("injected fault at <site>") from the enclosing
+// function; CQC_FAILPOINT_RESULT does the same for Result<T>-returning
+// functions, and failpoint::MaybeThrow() throws std::runtime_error for
+// exercising exception-containment paths (ThreadPool workers).
+//
+// Fast path: a single process-wide relaxed atomic counter of armed sites.
+// With nothing armed, a site is one relaxed load + predictable branch —
+// cheap enough to leave in release builds on hot build/IO paths (it is
+// deliberately NOT placed in per-tuple enumeration loops).
+//
+// Activation:
+//   failpoint::Arm("site", {.probability = 1.0, .skip = 2, .max_fires = 1});
+//   failpoint::ArmFromEnv();   // parses CQC_FAILPOINTS, see below
+//   failpoint::DisarmAll();    // tests must clean up
+//
+// CQC_FAILPOINTS grammar (';'-separated specs):
+//   site[=p[:skip[:max]]]    e.g. "rep_file/open;build/compressed=0.5:0:3"
+// p = fire probability (default 1), skip = triggers to let pass first
+// (default 0), max = total fires before auto-disarm (default unlimited).
+#ifndef CQC_UTIL_FAILPOINT_H_
+#define CQC_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqc {
+namespace failpoint {
+
+struct Spec {
+  double probability = 1.0;  // chance each trigger fires once past `skip`
+  uint64_t skip = 0;         // let this many triggers pass before firing
+  uint64_t max_fires = 0;    // auto-disarm after this many fires; 0 = no cap
+};
+
+namespace internal {
+extern std::atomic<int> armed_count;
+// Slow path, called only when at least one site is armed anywhere.
+bool ShouldFailSlow(std::string_view site);
+}  // namespace internal
+
+/// True iff any site is armed process-wide (relaxed; the release fence in
+/// Arm() pairs with polling sites' acquire-free reads — exactness is not
+/// required, tests arm before spawning load).
+inline bool AnyArmed() {
+  return internal::armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// True iff `site` is armed and its spec says this trigger fires.
+/// Counts the trigger either way (for skip/probability bookkeeping).
+inline bool ShouldFail(std::string_view site) {
+  if (!AnyArmed()) return false;
+  return internal::ShouldFailSlow(site);
+}
+
+/// Arms `site`. Re-arming an armed site replaces its spec and resets its
+/// trigger/fire counters.
+void Arm(std::string_view site, Spec spec = {});
+
+/// Disarms `site` (no-op if not armed).
+void Disarm(std::string_view site);
+
+/// Disarms everything and resets counters. Tests call this in TearDown.
+void DisarmAll();
+
+/// Times `site` has actually fired (0 if never armed).
+uint64_t FireCount(std::string_view site);
+
+/// Parses one spec string ("site[=p[:skip[:max]]]") and arms it.
+/// Returns false (arming nothing) on malformed input.
+bool ArmSpec(std::string_view spec);
+
+/// Arms every ';'-separated spec in the CQC_FAILPOINTS env var. Returns
+/// the number of sites armed. Called once from main() in tools.
+int ArmFromEnv();
+
+/// Names of all currently armed sites (for --failpoint diagnostics).
+std::vector<std::string> ArmedSites();
+
+/// Throws std::runtime_error if `site` fires. Only for call sites that
+/// exercise exception containment (ThreadPool tasks); everything else
+/// uses the Status-returning macros.
+void MaybeThrow(std::string_view site);
+
+/// The Status an injected fault surfaces as. Centralized so tests can
+/// match on code + site name.
+Status InjectedFault(std::string_view site);
+
+}  // namespace failpoint
+}  // namespace cqc
+
+/// Returns Status::Unavailable from the enclosing function if `site` fires.
+#define CQC_FAILPOINT(site)                                  \
+  do {                                                       \
+    if (::cqc::failpoint::ShouldFail(site)) {                \
+      return ::cqc::failpoint::InjectedFault(site);          \
+    }                                                        \
+  } while (0)
+
+/// Same, for functions returning Result<T> (or anything Status converts
+/// to implicitly).
+#define CQC_FAILPOINT_RESULT(site) CQC_FAILPOINT(site)
+
+#endif  // CQC_UTIL_FAILPOINT_H_

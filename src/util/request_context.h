@@ -1,0 +1,95 @@
+// Per-request deadline + cooperative cancellation.
+//
+// A RequestContext is owned by the caller (CLI request loop, test, future
+// cqc_server handler) and passed by const pointer through the serving
+// stack (AnswerRep entry points, RepCache::GetView, ParallelEnumerator).
+// It is polled — never enforced preemptively — at amortized-O(1) points:
+// once per enumeration batch, per shard chunk, per dictionary row block,
+// and between rep-build phases. A null context means "no deadline, not
+// cancellable" and costs nothing.
+//
+// Cancel() may be called from any thread (e.g. a server dropping a
+// disconnected client); the flag is a relaxed atomic because cancellation
+// is advisory — the only guarantee is that polling sites observe it
+// eventually, within one batch/chunk of work.
+#ifndef CQC_UTIL_REQUEST_CONTEXT_H_
+#define CQC_UTIL_REQUEST_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "util/status.h"
+
+namespace cqc {
+
+class RequestContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline; cancellable only via Cancel().
+  RequestContext() = default;
+
+  /// Absolute deadline.
+  static RequestContext WithDeadline(Clock::time_point deadline) {
+    RequestContext ctx;
+    ctx.deadline_ = deadline;
+    return ctx;
+  }
+
+  /// Deadline `timeout` from now.
+  static RequestContext WithTimeout(std::chrono::nanoseconds timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  // Movable (factories return by value) but not copyable: a context
+  // identifies one request, and sharing the cancel flag across requests
+  // is almost always a bug.
+  RequestContext(RequestContext&& other) noexcept
+      : deadline_(other.deadline_),
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)) {}
+  RequestContext& operator=(RequestContext&& other) noexcept {
+    deadline_ = other.deadline_;
+    cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  /// Marks the request cancelled. Thread-safe; polling sites observe it
+  /// within one batch/chunk of work.
+  void Cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+
+  bool expired() const { return deadline_ && Clock::now() >= *deadline_; }
+
+  /// OK while the request should keep running; kCancelled or
+  /// kDeadlineExceeded once it should stop. Cancellation wins ties so a
+  /// server tearing down a request gets a deterministic code.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("request cancelled");
+    if (expired()) return Status::DeadlineExceeded("request deadline exceeded");
+    return Status::Ok();
+  }
+
+  /// Check() on a possibly-null context: null means unbounded.
+  static Status Check(const RequestContext* ctx) {
+    return ctx ? ctx->Check() : Status::Ok();
+  }
+
+ private:
+  std::optional<Clock::time_point> deadline_;
+  // mutable: Cancel() is conceptually an external signal, not a mutation
+  // of the request's identity, and the stack passes `const RequestContext*`.
+  mutable std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace cqc
+
+#endif  // CQC_UTIL_REQUEST_CONTEXT_H_

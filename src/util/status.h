@@ -1,5 +1,12 @@
 // Minimal Status / Result for reporting user-input errors (query parsing,
 // schema mismatches, invalid decompositions) without exceptions.
+//
+// Statuses carry a coarse code so the serving layer can route failures:
+// a kDeadlineExceeded from an expired RequestContext is the caller's
+// fault and must not poison a negative cache or trigger a retry, while a
+// kUnavailable (an injected or real I/O / build fault) is exactly what
+// retry-with-backoff and degraded fallbacks exist for. Plain Error()
+// stays the default for input-shaped failures.
 #ifndef CQC_UTIL_STATUS_H_
 #define CQC_UTIL_STATUS_H_
 
@@ -11,23 +18,70 @@
 
 namespace cqc {
 
-/// Outcome of a fallible operation: OK or an error message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kError,              // invalid input / failed precondition
+  kDeadlineExceeded,   // a RequestContext deadline expired
+  kCancelled,          // a RequestContext was cooperatively cancelled
+  kUnavailable,        // transient fault (I/O error, injected failpoint,
+                       // worker exception) — retryable
+};
+
+/// Printable code name ("OK", "DEADLINE_EXCEEDED", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: OK or an error code + message.
 class Status {
  public:
   Status() = default;  // OK
   static Status Ok() { return Status(); }
-  static Status Error(std::string msg) { return Status(std::move(msg)); }
+  static Status Error(std::string msg) {
+    return Status(StatusCode::kError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return !msg_.has_value(); }
+  StatusCode code() const { return code_; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   const std::string& message() const {
     static const std::string kOk = "OK";
     return msg_ ? *msg_ : kOk;
   }
 
  private:
-  explicit Status(std::string msg) : msg_(std::move(msg)) {}
+  Status(StatusCode code, std::string msg)
+      : msg_(std::move(msg)), code_(code) {}
   std::optional<std::string> msg_;
+  StatusCode code_ = StatusCode::kOk;
 };
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kError:
+      return "ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
 
 /// A value or an error. `value()` CHECK-fails on error.
 template <typename T>

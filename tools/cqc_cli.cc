@@ -7,6 +7,7 @@
 // report to stderr. All serving goes through the AnswerRep interface, so
 // every structure gets the same batch drain and (with --threads N > 1)
 // the same shard-parallel enumeration where the structure supports it.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -14,9 +15,12 @@
 #include "core/serialization.h"
 #include "plan/answer_rep.h"
 #include "plan/planner.h"
+#include "plan/script.h"
 #include "query/normalize.h"
 #include "query/parser.h"
 #include "relational/csv.h"
+#include "util/failpoint.h"
+#include "util/request_context.h"
 
 namespace {
 
@@ -29,6 +33,12 @@ void Usage() {
       "               [--tau T] [--space-budget B] [--threads N] [--stats]\n"
       "               [--save PATH] [--load PATH | --load-mmap PATH]\n"
       "               [--mutate] [--churn RATE] [--agg-fraction F]\n"
+      "               [--deadline-ms N] [--failpoint SPEC]\n"
+      "--deadline-ms N gives every request an N-millisecond deadline; an\n"
+      "expired request stops within one batch and reports DEADLINE_EXCEEDED.\n"
+      "--failpoint SPEC arms a fault-injection site (site[=p[:skip[:max]]],\n"
+      "repeatable; the CQC_FAILPOINTS env var works too — docs/robustness.md\n"
+      "has the site catalog).\n"
       "--load reads a CQCREP05 file into heap memory; --load-mmap maps it\n"
       "zero-copy (opens in O(header) time, pages fault in on demand).\n"
       "--agg-fraction F prices F of the requests as grouped aggregates\n"
@@ -47,7 +57,9 @@ void Usage() {
       "  agg ...           aggregate request (as above)\n"
       "  rebuild           fold the pending delta into the snapshot now\n"
       "  stats             print the structure state to stderr\n"
-      "  # ...             comment\n");
+      "  # ...             comment\n"
+      "a malformed or failed line prints an error naming the line and the\n"
+      "process exits nonzero once the script finishes.\n");
 }
 
 }  // namespace
@@ -64,6 +76,10 @@ int main(int argc, char** argv) {
   bool load_mmap = false;
   bool mutate = false;
   int threads = 1;
+  long deadline_ms = 0;  // 0 = unbounded
+
+  if (int n = failpoint::ArmFromEnv(); n > 0)
+    std::fprintf(stderr, "armed %d failpoint(s) from CQC_FAILPOINTS\n", n);
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -115,6 +131,18 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
       if (threads < 1) {
         std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atol(next());
+      if (deadline_ms < 1) {
+        std::fprintf(stderr, "--deadline-ms must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--failpoint") {
+      const char* spec = next();
+      if (!failpoint::ArmSpec(spec)) {
+        std::fprintf(stderr, "bad --failpoint spec: %s\n", spec);
         return 2;
       }
     } else {
@@ -268,14 +296,24 @@ int main(int argc, char** argv) {
   popts.num_threads = threads;
   popts.ordered = true;
 
+  // Every request gets a fresh context: the deadline clock starts when the
+  // request starts, not when the process did.
+  auto make_ctx = [&]() -> std::optional<RequestContext> {
+    if (deadline_ms <= 0) return std::nullopt;
+    return RequestContext::WithTimeout(std::chrono::milliseconds(deadline_ms));
+  };
+
   // One hardened entry point for every structure; --threads N > 1 drains
-  // shard-parallel with an order-preserving merge where supported.
-  auto serve = [&](const BoundValuation& vb) {
-    auto stream = threads > 1 ? rep->ParallelAnswer(vb, popts)
-                              : rep->Answer(vb);
+  // shard-parallel with an order-preserving merge where supported. Returns
+  // false if the request errored (stream failed mid-drain, deadline, ...).
+  auto serve = [&](const BoundValuation& vb) -> bool {
+    const std::optional<RequestContext> ctx = make_ctx();
+    const RequestContext* cp = ctx ? &*ctx : nullptr;
+    auto stream = threads > 1 ? rep->ParallelAnswer(vb, popts, cp)
+                              : rep->Answer(vb, cp);
     if (!stream.ok()) {
       std::fprintf(stderr, "%s\n", stream.status().message().c_str());
-      return;
+      return false;
     }
     TupleEnumerator& e = *stream.value();
     constexpr size_t kBatch = 512;
@@ -293,51 +331,29 @@ int main(int argc, char** argv) {
       }
       if (n < kBatch) break;
     }
+    // Exhaustion and failure look the same to NextBatch; StreamStatus says
+    // which one it was.
+    if (Status s = e.StreamStatus(); !s.ok()) {
+      std::fprintf(stderr, "request failed after %zu tuple(s): %s\n", count,
+                   s.message().c_str());
+      return false;
+    }
     std::fprintf(stderr, "(%zu tuples)\n", count);
+    return true;
   };
 
-  // `agg count <k> [bound...]` / `agg sum|min|max <var> <k> [bound...]`:
-  // grouped ring aggregate over the first k free variables. Each group
+  // Grouped ring aggregate over the first k free variables. Each group
   // prints as its key values, the count, and (for SUM/MIN/MAX) the folded
   // value, comma-separated.
-  auto serve_agg = [&](std::istringstream& in, const std::string& line) {
-    std::string func;
-    AggSpec spec;
-    if (!(in >> func)) {
-      std::fprintf(stderr, "bad agg line: %s\n", line.c_str());
-      return;
-    }
-    if (func != "count") {
-      int var = -1;
-      if (!(in >> var)) {
-        std::fprintf(stderr, "bad agg line (want var index): %s\n",
-                     line.c_str());
-        return;
-      }
-      if (func == "sum") spec = AggSpec::Sum(var);
-      else if (func == "min") spec = AggSpec::Min(var);
-      else if (func == "max") spec = AggSpec::Max(var);
-      else {
-        std::fprintf(stderr, "bad agg function (want count|sum|min|max): %s\n",
-                     func.c_str());
-        return;
-      }
-    }
-    int k = -1;
-    if (!(in >> k) || k < 0) {
-      std::fprintf(stderr, "bad agg line (want group arity): %s\n",
-                   line.c_str());
-      return;
-    }
-    BoundValuation vb;
-    Value v;
-    while (in >> v) vb.push_back(v);
+  auto serve_agg = [&](const ScriptOp& op) -> bool {
+    const std::optional<RequestContext> ctx = make_ctx();
     std::vector<int> group_vars;
-    for (int i = 0; i < k; ++i) group_vars.push_back(i);
-    auto result = rep->AnswerAggregate(vb, group_vars, spec);
+    for (int i = 0; i < op.group_arity; ++i) group_vars.push_back(i);
+    auto result = rep->AnswerAggregate(op.values, group_vars, op.agg,
+                                       ctx ? &*ctx : nullptr);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().message().c_str());
-      return;
+      return false;
     }
     const AggregateResult& r = result.value();
     for (size_t g = 0; g < r.num_groups(); ++g) {
@@ -350,63 +366,70 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
     std::fprintf(stderr, "(%zu groups)\n", r.num_groups());
+    return true;
   };
 
+  // One strict parser for both modes (plan/script.h): a malformed line is
+  // an error naming the offending token, never a silently wrong request.
   std::string line;
+  size_t lineno = 0, errors = 0;
   while (std::getline(std::cin, line)) {
-    if (!mutate) {
-      std::istringstream in(line);
-      if (line.rfind("agg", 0) == 0) {
-        std::string head;
-        in >> head;
-        serve_agg(in, line);
-        continue;
-      }
-      BoundValuation vb;
-      Value v;
-      while (in >> v) vb.push_back(v);
-      serve(vb);
+    ++lineno;
+    auto parsed = ParseScriptLine(line, mutate);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "line %zu: %s\n", lineno,
+                   parsed.status().message().c_str());
+      ++errors;
       continue;
     }
-    // --mutate script mode: interleaved mutations and queries.
-    std::istringstream in(line);
-    std::string cmd;
-    if (!(in >> cmd) || cmd[0] == '#') continue;
-    if (cmd == "+" || cmd == "-") {
-      std::string rel;
-      if (!(in >> rel)) {
-        std::fprintf(stderr, "bad mutation line: %s\n", line.c_str());
-        continue;
+    const ScriptOp& op = parsed.value();
+    switch (op.kind) {
+      case ScriptOp::Kind::kNoOp:
+        break;
+      case ScriptOp::Kind::kQuery:
+        if (!serve(op.values)) ++errors;
+        break;
+      case ScriptOp::Kind::kAggregate:
+        if (!serve_agg(op)) ++errors;
+        break;
+      case ScriptOp::Kind::kInsert:
+      case ScriptOp::Kind::kDelete: {
+        if (Status s = ValidateMutation(op, db); !s.ok()) {
+          std::fprintf(stderr, "line %zu: %s\n", lineno, s.message().c_str());
+          ++errors;
+          break;
+        }
+        Status s = rep->ApplyDelta(
+            {op.kind == ScriptOp::Kind::kInsert
+                 ? UpdateOp::Insert(op.relation, Tuple(op.values))
+                 : UpdateOp::Delete(op.relation, Tuple(op.values))});
+        if (!s.ok()) {
+          std::fprintf(stderr, "line %zu: %s\n", lineno, s.message().c_str());
+          ++errors;
+        }
+        break;
       }
-      Tuple t;
-      Value v;
-      while (in >> v) t.push_back(v);
-      Status s = rep->ApplyDelta(
-          {cmd == "+" ? UpdateOp::Insert(rel, std::move(t))
-                      : UpdateOp::Delete(rel, std::move(t))});
-      if (!s.ok()) std::fprintf(stderr, "%s\n", s.message().c_str());
-    } else if (cmd == "?") {
-      BoundValuation vb;
-      Value v;
-      while (in >> v) vb.push_back(v);
-      serve(vb);
-    } else if (cmd == "agg") {
-      serve_agg(in, line);
-    } else if (cmd == "rebuild") {
-      auto* up = dynamic_cast<UpdatableAnswerRep*>(rep.get());
-      if (up == nullptr) {
-        std::fprintf(stderr, "rebuild: structure is not updatable\n");
-        continue;
+      case ScriptOp::Kind::kRebuild: {
+        auto* up = dynamic_cast<UpdatableAnswerRep*>(rep.get());
+        if (up == nullptr) {
+          std::fprintf(stderr, "rebuild: structure is not updatable\n");
+          ++errors;
+          break;
+        }
+        if (Status s = up->Rebuild(); !s.ok()) {
+          std::fprintf(stderr, "line %zu: %s\n", lineno, s.message().c_str());
+          ++errors;
+        }
+        break;
       }
-      Status s = up->Rebuild();
-      if (!s.ok()) std::fprintf(stderr, "%s\n", s.message().c_str());
-    } else if (cmd == "stats") {
-      std::fprintf(stderr, "%s\n", rep->Describe().c_str());
-    } else {
-      std::fprintf(stderr,
-                   "bad script line (want + - ? agg rebuild stats): %s\n",
-                   line.c_str());
+      case ScriptOp::Kind::kStats:
+        std::fprintf(stderr, "%s\n", rep->Describe().c_str());
+        break;
     }
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "%zu line(s) failed\n", errors);
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,328 @@
+// Serving-layer benchmark: workload replay against an in-process
+// CqcServer over real TCP (docs/serving.md).
+//
+// Closed loop, per query family (path3 and the tripartite triangle of
+// Example 1): C connections each issue their next request the moment the
+// previous answer lands — the scaling headline (1 vs 8 connections) and
+// the read-coalescing ablation (the same 8-connection hot-key replay with
+// kFlagNoCoalesce on every request). Open loop: requests fired on a fixed
+// schedule regardless of completions, which is what exposes the
+// saturation knee — the offered rate where achieved throughput stops
+// tracking the schedule and queueing delay, not service time, dominates
+// the tail.
+//
+// Both families replay a small hot-key pool, so concurrent connections
+// keep colliding on identical drains: the regime read coalescing exists
+// for. Answers are large (tens of thousands of rows), so the shared drain
+// plus the once-per-drain encoded body (serve/coalescer.h) is what makes
+// 8 connections beat 1 even when serialization dominates.
+//
+// BENCH_server.json records *_kqps (gated: lower is a regression) and
+// *_p99_us tails (gated: higher is a regression, 250us absolute floor)
+// per configuration; tools/bench_compare.py compares against
+// bench/baselines/BENCH_server.json. CQC_BENCH_SMALL=1 shortens the
+// measured windows (CI) without changing record keys.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace cqc;
+using namespace cqc::serve;
+
+struct Family {
+  const char* name;
+  const char* view;
+};
+
+const Family kFamilies[] = {
+    // Bound-x 3-path: ~deg^3 rows per answer (~64k at degree 40).
+    {"path3", "Q^bfff(x,y,z,w) = R1(x,y), R2(y,z), R3(z,w)"},
+    // Bound-x triangles on the tripartite worst case: 2m^2 rows per
+    // answer for x in A (20k at m = 100).
+    {"triangle", "Q^bff(x,y,z) = T(x,y), T(y,z), T(z,x)"},
+};
+
+/// Hot-key pool (vertices in [1, m] are triangle-A vertices, and path
+/// sources). Two keys x 8 connections keeps every drain contended.
+const char* kHotBodies[] = {"? 1", "? 2"};
+
+struct LoopResult {
+  double qps = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+};
+
+LoopResult Summarize(std::vector<double>& lat_us, double elapsed_s,
+                     size_t errors) {
+  LoopResult r;
+  r.requests = lat_us.size();
+  r.errors = errors;
+  r.qps = elapsed_s > 0 ? (double)lat_us.size() / elapsed_s : 0;
+  r.p50_us = bench::Percentile(lat_us, 50);
+  r.p99_us = bench::Percentile(lat_us, 99);
+  r.p999_us = bench::Percentile(lat_us, 99.9);
+  return r;
+}
+
+/// Closed loop: each connection runs request -> response -> next request
+/// for `seconds`. Throughput is completion-bound; latency is service time.
+LoopResult RunClosedLoop(int port, const Family& fam, int connections,
+                         bool coalesce, double seconds) {
+  std::vector<std::vector<double>> lat(connections);
+  std::atomic<size_t> errors{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      while (!go.load()) std::this_thread::yield();
+      WallTimer window;
+      uint64_t id = 0;
+      while (window.Seconds() < seconds) {
+        WireRequest req;
+        req.view = fam.view;
+        req.body = kHotBodies[(c + id) % std::size(kHotBodies)];
+        req.request_id = ++id;
+        req.deadline_ms = 30'000;
+        if (!coalesce) req.flags = kFlagNoCoalesce;
+        WireResponse resp;
+        WallTimer t;
+        if (!client.Call(req, &resp).ok() ||
+            resp.code != StatusCode::kOk) {
+          errors.fetch_add(1);
+          continue;
+        }
+        lat[c].push_back(t.Micros());
+      }
+    });
+  }
+  WallTimer elapsed;
+  go.store(true);
+  for (auto& t : threads) t.join();
+  const double total_s = elapsed.Seconds();
+  std::vector<double> merged;
+  for (auto& v : lat) merged.insert(merged.end(), v.begin(), v.end());
+  return Summarize(merged, total_s, errors.load());
+}
+
+/// Open loop: `connections` senders share one global schedule of
+/// `target_qps` evenly spaced slots; each request's latency is measured
+/// from its SCHEDULED time, so queueing delay past the knee shows up in
+/// the tail instead of silently stretching the send times.
+LoopResult RunOpenLoop(int port, const Family& fam, int connections,
+                       double target_qps, double seconds) {
+  std::vector<std::vector<double>> lat(connections);
+  std::atomic<size_t> errors{0};
+  std::atomic<uint64_t> ticket{0};
+  const uint64_t budget = (uint64_t)(target_qps * seconds);
+  std::vector<std::thread> threads;
+  std::atomic<bool> go{false};
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      while (!go.load()) std::this_thread::yield();
+      const auto start = std::chrono::steady_clock::now();
+      for (;;) {
+        const uint64_t slot = ticket.fetch_add(1);
+        if (slot >= budget) return;
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(slot / target_qps));
+        std::this_thread::sleep_until(due);
+        WireRequest req;
+        req.view = fam.view;
+        req.body = kHotBodies[slot % std::size(kHotBodies)];
+        req.request_id = slot;
+        req.deadline_ms = 30'000;
+        WireResponse resp;
+        if (!client.Call(req, &resp).ok() ||
+            resp.code != StatusCode::kOk) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - due)
+                .count();
+        lat[c].push_back(us);
+      }
+    });
+  }
+  WallTimer elapsed;
+  go.store(true);
+  for (auto& t : threads) t.join();
+  const double total_s = elapsed.Seconds();
+  std::vector<double> merged;
+  for (auto& v : lat) merged.insert(merged.end(), v.begin(), v.end());
+  return Summarize(merged, total_s, errors.load());
+}
+
+std::string Fmt(double v) { return StrFormat("%.1f", v); }
+
+bool Warm(int port, const Family& fam) {
+  Client warm;
+  if (!warm.Connect("127.0.0.1", port, std::chrono::seconds(120)).ok())
+    return false;
+  WireRequest req;
+  req.view = fam.view;
+  req.body = "? 1";
+  req.deadline_ms = 120'000;
+  WireResponse resp;
+  if (Status s = warm.Call(req, &resp); !s.ok()) {
+    std::fprintf(stderr, "warmup (%s) failed: %s\n", fam.name,
+                 s.message().c_str());
+    return false;
+  }
+  if (resp.code != StatusCode::kOk) {
+    std::fprintf(stderr, "warmup (%s) rejected: %s\n", fam.name,
+                 resp.message.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const bool small = std::getenv("CQC_BENCH_SMALL") != nullptr;
+  const double closed_s = small ? 0.5 : 2.0;
+  const double open_s = small ? 0.75 : 1.5;
+
+  Database db;
+  MakePathRelations(db, "R", 3, /*num_nodes=*/400,
+                    /*edges_per_relation=*/14'000, /*seed=*/7);
+  MakeTripartiteTriangleGraph(db, "T", /*m=*/180);
+
+  ServerOptions opts;
+  opts.worker_threads = 4;
+  opts.port = 0;
+  opts.max_deadline_ms = 120'000;  // the triangle build can be slow
+  CqcServer server(&db, opts);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  const int port = server.port();
+
+  // One request per family builds its structure, so every measured window
+  // is pure read path.
+  for (const Family& fam : kFamilies)
+    if (!Warm(port, fam)) return 1;
+
+  bench::BenchReport report("server");
+
+  for (const Family& fam : kFamilies) {
+    std::printf("%s closed loop (hot-key replay, %d-value pool, "
+                "%.1fs/config)\n",
+                fam.name, (int)std::size(kHotBodies), closed_s);
+    bench::Table closed({"config", "qps", "p50 us", "p99 us", "p99.9 us",
+                         "errors"});
+    const LoopResult one = RunClosedLoop(port, fam, 1, true, closed_s);
+    const ServerStats mid = server.stats();
+    const LoopResult on8 = RunClosedLoop(port, fam, 8, true, closed_s);
+    const ServerStats after_on = server.stats();
+    const LoopResult off8 = RunClosedLoop(port, fam, 8, false, closed_s);
+    const struct {
+      const char* cfg;
+      const LoopResult* r;
+    } kClosed[] = {{"1conn_coalesce", &one},
+                   {"8conn_coalesce", &on8},
+                   {"8conn_nocoalesce", &off8}};
+    for (const auto& c : kClosed) {
+      closed.AddRow({c.cfg, Fmt(c.r->qps), Fmt(c.r->p50_us),
+                     Fmt(c.r->p99_us), Fmt(c.r->p999_us),
+                     std::to_string(c.r->errors)});
+      report.AddRecord()
+          .Set("experiment", "closed_loop")
+          .Set("structure", std::string(fam.name) + "_" + c.cfg)
+          .Set("qps_kqps", c.r->qps / 1e3)
+          .Set("lat_p50_us", c.r->p50_us)
+          .Set("lat_p99_us", c.r->p99_us)
+          .Set("lat_p999_us", c.r->p999_us)
+          .Set("requests", (unsigned long long)c.r->requests)
+          .Set("errors", (unsigned long long)c.r->errors);
+    }
+    closed.Print();
+
+    const uint64_t shared = after_on.shared_drains - mid.shared_drains;
+    const uint64_t coalesced =
+        after_on.coalesced_reads - mid.coalesced_reads;
+    const double frac =
+        on8.requests > 0 ? (double)coalesced / (double)on8.requests : 0.0;
+    const double scaling = one.qps > 0 ? on8.qps / one.qps : 0;
+    std::printf(
+        "  8conn_coalesce drains: %llu shared, %llu reads coalesced "
+        "(%.1f%% of requests served by someone else's drain)\n",
+        (unsigned long long)shared, (unsigned long long)coalesced,
+        frac * 100.0);
+    std::printf("  scaling: 8conn_coalesce = %.2fx single connection "
+                "(acceptance: >= 2x)%s\n\n",
+                scaling, scaling >= 2.0 ? "" : "  ** BELOW TARGET **");
+    report.AddRecord()
+        .Set("experiment", "summary")
+        .Set("structure", std::string(fam.name) + "_scaling")
+        .Set("coalesce_scaling_x", scaling)
+        .Set("coalesced_read_fraction", frac);
+  }
+
+  const Family& open_fam = kFamilies[1];  // triangle: the smaller answers
+  std::printf("%s open loop (4 connections, scheduled arrivals, "
+              "%.2fs/rate; latency measured from the schedule)\n",
+              open_fam.name, open_s);
+  bench::Table open_table({"offered qps", "achieved qps", "p50 us",
+                           "p99 us", "p99.9 us", "errors"});
+  double knee = 0;
+  for (const double target : {50.0, 100.0, 200.0, 400.0}) {
+    const LoopResult r = RunOpenLoop(port, open_fam, 4, target, open_s);
+    if (r.qps >= 0.95 * target) knee = target;
+    open_table.AddRow({Fmt(target), Fmt(r.qps), Fmt(r.p50_us),
+                       Fmt(r.p99_us), Fmt(r.p999_us),
+                       std::to_string(r.errors)});
+    report.AddRecord()
+        .Set("experiment", "open_loop")
+        .Set("structure",
+             "target_" + std::to_string((unsigned long long)target))
+        .Set("offered_qps", target)
+        .Set("achieved_kqps", r.qps / 1e3)
+        .Set("lat_p50_us", r.p50_us)
+        .Set("lat_p99_us", r.p99_us)
+        .Set("lat_p999_us", r.p999_us)
+        .Set("requests", (unsigned long long)r.requests)
+        .Set("errors", (unsigned long long)r.errors);
+  }
+  open_table.Print();
+  std::printf("  saturation knee: last offered rate sustained at >= 95%%: "
+              "%s qps\n",
+              knee > 0 ? Fmt(knee).c_str() : "none");
+  report.AddRecord()
+      .Set("experiment", "summary")
+      .Set("structure", "open_loop_knee")
+      .Set("knee_qps", knee);
+
+  server.Stop();
+  const ServerStats st = server.stats();
+  if (st.active_sessions != 0 || st.open_fds != 0) {
+    std::fprintf(stderr, "FAIL: leaked sessions/fds after the bench\n");
+    return 1;
+  }
+  return 0;
+}

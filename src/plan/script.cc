@@ -3,7 +3,6 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
-#include <sstream>
 #include <vector>
 
 #include "util/logging.h"
@@ -13,59 +12,96 @@ namespace cqc {
 
 namespace {
 
+/// A whitespace-delimited token plus the byte offset of its first
+/// character in the original line — the unit every parse error is
+/// addressed to.
+struct Token {
+  std::string text;
+  size_t offset = 0;
+};
+
 /// Splits on whitespace; drops everything from a '#' token onward.
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string t;
-  while (in >> t) {
-    if (t[0] == '#') break;
-    tokens.push_back(std::move(t));
+std::vector<Token> Tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) break;
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (line[start] == '#') break;
+    tokens.push_back({line.substr(start, i - start), start});
   }
   return tokens;
 }
 
+/// Error-offset bookkeeping shared by the helpers: `at` records where the
+/// failing token starts; `end` is the offset reported for missing trailing
+/// arguments (one past the last byte of the line).
+struct ErrorSink {
+  size_t* out;
+  size_t end;
+  Status At(size_t offset, Status s) {
+    if (out != nullptr) *out = offset;
+    return s;
+  }
+  Status AtEnd(Status s) { return At(end, std::move(s)); }
+};
+
 /// Parses tokens[from..] as values into *out.
-Status ParseValues(const std::vector<std::string>& tokens, size_t from,
-                   Tuple* out) {
+Status ParseValues(const std::vector<Token>& tokens, size_t from, Tuple* out,
+                   ErrorSink& err) {
   for (size_t i = from; i < tokens.size(); ++i) {
     Value v;
-    if (Status s = ParseValueToken(tokens[i], &v); !s.ok()) return s;
+    if (Status s = ParseValueToken(tokens[i].text, &v); !s.ok())
+      return err.At(tokens[i].offset, std::move(s));
     out->push_back(v);
   }
   return Status::Ok();
 }
 
 /// Parses a small non-negative int (variable index / group arity).
-Status ParseSmallInt(const std::string& token, const char* what, int* out) {
+Status ParseSmallInt(const Token& token, const char* what, int* out,
+                     ErrorSink& err) {
   Value v;
-  if (Status s = ParseValueToken(token, &v); !s.ok())
-    return Status::Error(StrFormat("%s: %s", what, s.message().c_str()));
+  if (Status s = ParseValueToken(token.text, &v); !s.ok())
+    return err.At(token.offset,
+                  Status::Error(StrFormat("%s: %s", what,
+                                          s.message().c_str())));
   if (v > 1000000)
-    return Status::Error(
-        StrFormat("%s out of range: %s", what, token.c_str()));
+    return err.At(token.offset,
+                  Status::Error(StrFormat("%s out of range: %s", what,
+                                          token.text.c_str())));
   *out = (int)v;
   return Status::Ok();
 }
 
 /// agg count <k> [bound...] | agg sum|min|max <var> <k> [bound...]
-Result<ScriptOp> ParseAggregate(const std::vector<std::string>& tokens) {
+Result<ScriptOp> ParseAggregate(const std::vector<Token>& tokens,
+                                ErrorSink& err) {
   ScriptOp op;
   op.kind = ScriptOp::Kind::kAggregate;
   if (tokens.size() < 2)
-    return Status::Error("agg: missing function (want count|sum|min|max)");
-  const std::string& func = tokens[1];
+    return err.AtEnd(
+        Status::Error("agg: missing function (want count|sum|min|max)"));
+  const std::string& func = tokens[1].text;
   size_t next = 2;
   if (func != "count") {
     if (func != "sum" && func != "min" && func != "max")
-      return Status::Error(
-          StrFormat("agg: unknown function %s (want count|sum|min|max)",
-                    func.c_str()));
+      return err.At(
+          tokens[1].offset,
+          Status::Error(StrFormat(
+              "agg: unknown function %s (want count|sum|min|max)",
+              func.c_str())));
     if (tokens.size() < 3)
-      return Status::Error(
-          StrFormat("agg %s: missing value-variable index", func.c_str()));
+      return err.AtEnd(Status::Error(
+          StrFormat("agg %s: missing value-variable index", func.c_str())));
     int var = 0;
-    if (Status s = ParseSmallInt(tokens[2], "agg value variable", &var);
+    if (Status s = ParseSmallInt(tokens[2], "agg value variable", &var, err);
         !s.ok())
       return s;
     op.agg = func == "sum"   ? AggSpec::Sum(var)
@@ -74,12 +110,13 @@ Result<ScriptOp> ParseAggregate(const std::vector<std::string>& tokens) {
     next = 3;
   }
   if (tokens.size() <= next)
-    return Status::Error("agg: missing group arity");
+    return err.AtEnd(Status::Error("agg: missing group arity"));
   if (Status s = ParseSmallInt(tokens[next], "agg group arity",
-                               &op.group_arity);
+                               &op.group_arity, err);
       !s.ok())
     return s;
-  if (Status s = ParseValues(tokens, next + 1, &op.values); !s.ok()) return s;
+  if (Status s = ParseValues(tokens, next + 1, &op.values, err); !s.ok())
+    return s;
   return op;
 }
 
@@ -101,51 +138,59 @@ Status ParseValueToken(const std::string& token, Value* out) {
   return Status::Ok();
 }
 
-Result<ScriptOp> ParseScriptLine(const std::string& line, bool mutate_mode) {
-  const std::vector<std::string> tokens = Tokenize(line);
+Result<ScriptOp> ParseScriptLine(const std::string& line, bool mutate_mode,
+                                 size_t* error_offset) {
+  if (error_offset != nullptr) *error_offset = kScriptNoOffset;
+  const std::vector<Token> tokens = Tokenize(line);
+  ErrorSink err{error_offset, line.size()};
   ScriptOp op;
   if (tokens.empty()) return op;  // blank / comment
 
-  const std::string& cmd = tokens[0];
-  if (cmd == "agg") return ParseAggregate(tokens);
+  const std::string& cmd = tokens[0].text;
+  if (cmd == "agg") return ParseAggregate(tokens, err);
 
   if (!mutate_mode) {
     // Bare request line: every token is a bound value.
     op.kind = ScriptOp::Kind::kQuery;
-    if (Status s = ParseValues(tokens, 0, &op.values); !s.ok()) return s;
+    if (Status s = ParseValues(tokens, 0, &op.values, err); !s.ok()) return s;
     return op;
   }
 
   if (cmd == "+" || cmd == "-") {
     op.kind = cmd == "+" ? ScriptOp::Kind::kInsert : ScriptOp::Kind::kDelete;
     if (tokens.size() < 2)
-      return Status::Error(StrFormat("%s: missing relation name",
-                                     cmd.c_str()));
-    op.relation = tokens[1];
-    if (Status s = ParseValues(tokens, 2, &op.values); !s.ok()) return s;
+      return err.AtEnd(Status::Error(
+          StrFormat("%s: missing relation name", cmd.c_str())));
+    op.relation = tokens[1].text;
+    if (Status s = ParseValues(tokens, 2, &op.values, err); !s.ok()) return s;
     if (op.values.empty())
-      return Status::Error(StrFormat("%s %s: missing tuple values",
-                                     cmd.c_str(), op.relation.c_str()));
+      return err.AtEnd(Status::Error(StrFormat(
+          "%s %s: missing tuple values", cmd.c_str(), op.relation.c_str())));
     return op;
   }
   if (cmd == "?") {
     op.kind = ScriptOp::Kind::kQuery;
-    if (Status s = ParseValues(tokens, 1, &op.values); !s.ok()) return s;
+    if (Status s = ParseValues(tokens, 1, &op.values, err); !s.ok()) return s;
     return op;
   }
   if (cmd == "rebuild") {
     if (tokens.size() > 1)
-      return Status::Error("rebuild takes no arguments");
+      return err.At(tokens[1].offset,
+                    Status::Error("rebuild takes no arguments"));
     op.kind = ScriptOp::Kind::kRebuild;
     return op;
   }
   if (cmd == "stats") {
-    if (tokens.size() > 1) return Status::Error("stats takes no arguments");
+    if (tokens.size() > 1)
+      return err.At(tokens[1].offset,
+                    Status::Error("stats takes no arguments"));
     op.kind = ScriptOp::Kind::kStats;
     return op;
   }
-  return Status::Error(StrFormat(
-      "unknown script verb %s (want + - ? agg rebuild stats)", cmd.c_str()));
+  return err.At(tokens[0].offset,
+                Status::Error(StrFormat(
+                    "unknown script verb %s (want + - ? agg rebuild stats)",
+                    cmd.c_str())));
 }
 
 Status ValidateMutation(const ScriptOp& op, const Database& db) {

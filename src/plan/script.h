@@ -52,10 +52,23 @@ struct ScriptOp {
 /// Rejects signs, hex, trailing garbage, and overflow.
 Status ParseValueToken(const std::string& token, Value* out);
 
+/// Sentinel for "the error is not addressable to a byte of the line"
+/// (never produced today: missing-argument errors point one past the last
+/// byte, token errors at the token's first byte).
+inline constexpr size_t kScriptNoOffset = (size_t)-1;
+
 /// Parses one line. `mutate_mode` selects the script grammar above; when
 /// false, only bare request lines and agg lines parse. Never throws; a
 /// malformed line returns Status::Error naming the problem.
-Result<ScriptOp> ParseScriptLine(const std::string& line, bool mutate_mode);
+///
+/// On error, `*error_offset` (when non-null) is set to the byte offset
+/// INTO THE LINE that the error refers to: the first byte of the offending
+/// token, or line.size() when something required is missing at the end.
+/// Line-oriented callers turn it into a column (offset + 1); the wire
+/// server (serve/) adds the frame body's stream offset to address the
+/// exact byte of the connection that was malformed.
+Result<ScriptOp> ParseScriptLine(const std::string& line, bool mutate_mode,
+                                 size_t* error_offset = nullptr);
 
 /// Schema check for a parsed kInsert/kDelete against the base database:
 /// the relation must exist and the tuple arity must match. (The updatable

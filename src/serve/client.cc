@@ -1,0 +1,128 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/str_util.h"
+
+namespace cqc {
+namespace serve {
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, int port,
+                       std::chrono::milliseconds recv_timeout) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0)
+    return Status::Error(StrFormat("socket: %s", std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((uint16_t)port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::Error(StrFormat("bad host '%s'", host.c_str()));
+  }
+  if (::connect(fd_, (const sockaddr*)&addr, sizeof addr) != 0) {
+    const int err = errno;
+    Close();
+    return Status::Error(StrFormat("connect %s:%d: %s", host.c_str(), port,
+                                   std::strerror(err)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  struct timeval tv;
+  tv.tv_sec = recv_timeout.count() / 1000;
+  tv.tv_usec = (recv_timeout.count() % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  reader_ = FrameReader();
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Send(const WireRequest& req) {
+  return SendRaw(EncodeRequestFrame(req));
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Error("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(StrFormat("send: %s", std::strerror(errno)));
+    }
+    off += (size_t)n;
+  }
+  return Status::Ok();
+}
+
+void Client::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status Client::ReadResponse(WireResponse* out) {
+  if (fd_ < 0) return Status::Error("client not connected");
+  std::string_view payload;
+  uint64_t payload_offset = 0;
+  for (;;) {
+    switch (reader_.Poll(&payload, &payload_offset)) {
+      case FrameReader::Next::kFrame:
+        return DecodeResponsePayload(payload, payload_offset, out);
+      case FrameReader::Next::kError:
+        return reader_.error();
+      case FrameReader::Next::kNeedMore:
+        break;
+    }
+    // Large responses (multi-MB coalesced drains) arrive in few syscalls
+    // with a big chunk; 64KB would cost ~16x the recv calls per frame.
+    if (chunk_.empty()) chunk_.resize(256 * 1024);
+    const ssize_t n = ::recv(fd_, chunk_.data(), chunk_.size(), 0);
+    if (n > 0) {
+      reader_.Feed(chunk_.data(), (size_t)n);
+      continue;
+    }
+    if (n == 0)
+      return reader_.mid_frame()
+                 ? reader_.MidStreamEof()
+                 : Status::Error("connection closed by the server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return Status::DeadlineExceeded("timed out waiting for a response");
+    return Status::Error(StrFormat("recv: %s", std::strerror(errno)));
+  }
+}
+
+Status Client::Call(const WireRequest& req, WireResponse* out) {
+  if (Status s = Send(req); !s.ok()) return s;
+  return ReadResponse(out);
+}
+
+}  // namespace serve
+}  // namespace cqc

@@ -1,0 +1,71 @@
+// Blocking client for the cqc wire protocol — the counterpart tests and
+// benchmarks speak to CqcServer with.
+//
+// Deliberately simple: one socket, blocking sends with a receive timeout,
+// responses assembled through the same FrameReader the server uses (so the
+// client rejects a malformed server stream with the same offsets). SendRaw
+// exists for the protocol-robustness corpus: it writes arbitrary bytes —
+// truncated frames, oversized prefixes, bit-flipped headers — straight to
+// the socket.
+#ifndef CQC_SERVE_CLIENT_H_
+#define CQC_SERVE_CLIENT_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace cqc {
+namespace serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects and arms `recv_timeout` as the socket receive timeout (a
+  /// read past it fails instead of hanging the test forever).
+  Status Connect(const std::string& host, int port,
+                 std::chrono::milliseconds recv_timeout =
+                     std::chrono::milliseconds(10'000));
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Frames and sends one request.
+  Status Send(const WireRequest& req);
+
+  /// Writes raw bytes verbatim — malformed-input corpus entry point.
+  Status SendRaw(std::string_view bytes);
+
+  /// Half-closes the write side (the server sees EOF; mid-frame this is
+  /// the mid-frame-disconnect corpus case).
+  void ShutdownWrite();
+
+  /// Blocks for the next response frame. Fails on timeout, EOF, or a
+  /// malformed server stream.
+  Status ReadResponse(WireResponse* out);
+
+  /// Send + ReadResponse; the convenience path for request/response tests.
+  Status Call(const WireRequest& req, WireResponse* out);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+  std::vector<char> chunk_;  // recv scratch, sized lazily on first read
+};
+
+}  // namespace serve
+}  // namespace cqc
+
+#endif  // CQC_SERVE_CLIENT_H_

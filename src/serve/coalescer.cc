@@ -1,0 +1,56 @@
+#include "serve/coalescer.h"
+
+#include "util/logging.h"
+
+namespace cqc {
+namespace serve {
+
+namespace {
+std::atomic<int64_t> g_drain_hold_ms{0};
+}  // namespace
+
+void ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds hold) {
+  g_drain_hold_ms.store(hold.count(), std::memory_order_relaxed);
+}
+
+std::chrono::milliseconds ReadCoalescer::DrainHoldForTest() {
+  return std::chrono::milliseconds(
+      g_drain_hold_ms.load(std::memory_order_relaxed));
+}
+
+bool ReadCoalescer::Attach(const std::string& key, Callback cb) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = inflight_.try_emplace(key);
+  it->second.waiters.push_back(std::move(cb));
+  if (inserted) {
+    ++stats_.shared_drains;
+  } else {
+    ++stats_.coalesced_reads;
+  }
+  return inserted;
+}
+
+void ReadCoalescer::Complete(const std::string& key,
+                             std::shared_ptr<const DrainResult> result) {
+  std::vector<Callback> waiters;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = inflight_.find(key);
+    CQC_CHECK(it != inflight_.end()) << "Complete without Attach: " << key;
+    waiters = std::move(it->second.waiters);
+    inflight_.erase(it);
+    if (!result->status.ok()) ++stats_.failed_drains;
+  }
+  // Callbacks run outside the lock: they serialize responses and touch the
+  // server's outbox machinery, and a new Attach for the same key must not
+  // deadlock behind them (it simply starts a fresh drain).
+  for (Callback& cb : waiters) cb(result);
+}
+
+CoalescerStats ReadCoalescer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace cqc

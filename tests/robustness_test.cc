@@ -462,32 +462,44 @@ TEST(ScriptParseTest, WellFormedMutateLines) {
 TEST(ScriptParseTest, MalformedMutateCorpusNeverParses) {
   // Each of these used to be silently misread by `istream >> uint64_t`
   // (wrapped negatives, mid-line truncation) or crash-adjacent; all must
-  // come back as errors now.
-  const char* corpus[] = {
-      "+",                    // missing relation + values
-      "+ R",                  // missing values
-      "- R",                  // missing values
-      "+ R -1 5",             // negative wraps to UINT64_MAX
-      "- R 1 2x",             // junk suffix truncated the old parse
-      "+ R 1 two",            // non-numeric value
-      "+ R 1 18446744073709551616",  // overflow
-      "? x",                  // non-numeric bound value
-      "?" " 1 -2",            // negative bound value
-      "agg",                  // missing function
-      "agg avg 1 1",          // unknown function
-      "agg count",            // missing group arity
-      "agg count x",          // junk group arity
-      "agg sum 1",            // missing group arity after var
-      "agg sum x 1",          // junk var index
-      "agg count 1 2y",       // junk bound value
-      "rebuild now",          // trailing garbage
-      "stats please",         // trailing garbage
-      "insert R 1 2",         // unknown verb
-      "++ R 1 2",             // unknown verb
+  // come back as errors now — addressed to a byte of the line: the first
+  // byte of the offending token, or one past the end for missing trailing
+  // arguments (the offsets the wire protocol maps to stream offsets).
+  const struct {
+    const char* line;
+    size_t offset;
+  } corpus[] = {
+      {"+", 1},                    // missing relation: points past the end
+      {"+ R", 3},                  // missing values
+      {"- R", 3},                  // missing values
+      {"+ R -1 5", 4},             // negative wraps to UINT64_MAX
+      {"- R 1 2x", 6},             // junk suffix truncated the old parse
+      {"+ R 1 two", 6},            // non-numeric value
+      {"+ R 1 18446744073709551616", 6},  // overflow
+      {"? x", 2},                  // non-numeric bound value
+      {"? 1 -2", 4},               // negative bound value
+      {"agg", 3},                  // missing function
+      {"agg avg 1 1", 4},          // unknown function
+      {"agg count", 9},            // missing group arity
+      {"agg count x", 10},         // junk group arity
+      {"agg sum 1", 9},            // missing group arity after var
+      {"agg sum x 1", 8},          // junk var index
+      {"agg count 1 2y", 12},      // junk bound value
+      {"rebuild now", 8},          // trailing garbage
+      {"stats please", 6},         // trailing garbage
+      {"insert R 1 2", 0},         // unknown verb
+      {"++ R 1 2", 0},             // unknown verb
   };
-  for (const char* line : corpus) {
-    EXPECT_FALSE(ParseScriptLine(line, true).ok()) << "'" << line << "'";
+  for (const auto& c : corpus) {
+    size_t offset = kScriptNoOffset;
+    EXPECT_FALSE(ParseScriptLine(c.line, true, &offset).ok())
+        << "'" << c.line << "'";
+    EXPECT_EQ(offset, c.offset) << "'" << c.line << "'";
   }
+  // A successful parse must leave the offset at the sentinel.
+  size_t offset = 12345;
+  EXPECT_TRUE(ParseScriptLine("+ R 1 2", true, &offset).ok());
+  EXPECT_EQ(offset, kScriptNoOffset);
 }
 
 TEST(ScriptParseTest, NonMutateModeOnlyAcceptsRequestsAndAggregates) {
@@ -496,10 +508,15 @@ TEST(ScriptParseTest, NonMutateModeOnlyAcceptsRequestsAndAggregates) {
   EXPECT_EQ(op.value().kind, ScriptOp::Kind::kQuery);
   EXPECT_EQ(op.value().values, Tuple({1, 2}));
   EXPECT_TRUE(ParseScriptLine("agg count 1", false).ok());
-  // Script verbs are value tokens here — and invalid ones.
-  EXPECT_FALSE(ParseScriptLine("+ R 1 2", false).ok());
-  EXPECT_FALSE(ParseScriptLine("rebuild", false).ok());
-  EXPECT_FALSE(ParseScriptLine("1 -2", false).ok());
+  // Script verbs are value tokens here — and invalid ones, addressed to
+  // the verb's byte.
+  size_t offset = kScriptNoOffset;
+  EXPECT_FALSE(ParseScriptLine("+ R 1 2", false, &offset).ok());
+  EXPECT_EQ(offset, 0u);
+  EXPECT_FALSE(ParseScriptLine("rebuild", false, &offset).ok());
+  EXPECT_EQ(offset, 0u);
+  EXPECT_FALSE(ParseScriptLine("1 -2", false, &offset).ok());
+  EXPECT_EQ(offset, 2u);
 }
 
 TEST(ScriptParseTest, ValidateMutationChecksSchema) {

@@ -1,0 +1,455 @@
+// Serving-layer chaos: N concurrent wire clients hammer a CqcServer while
+// failpoints fire inside builds, delta application, and snapshot folds,
+// and some requests carry already-hopeless deadlines. The contract under
+// fault injection is the serving contract of docs/robustness.md lifted to
+// the wire: requests may FAIL (with a clean, coded status), but an OK
+// response always carries exactly the oracle's rows, sessions never leak,
+// and the server never crashes or hangs.
+//
+// Also home to the read-coalescing assertions (docs/serving.md): K
+// concurrent identical queries trigger exactly one shared drain, and
+// every waiter receives byte-identical rows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/coalescer.h"
+#include "serve/server.h"
+#include "tests/test_util.h"
+#include "util/failpoint.h"
+
+namespace cqc {
+namespace serve {
+namespace {
+
+using ::cqc::testing::AddRelation;
+
+constexpr char kView[] = "Q^bff(x,y,z) = R1(x,y), R2(y,z)";
+
+/// R1 = [1..4] x [1..4]; R2 = [1..4] x [1..3]. Every query "? k" for
+/// k in 1..4 answers the same 12 (y, z) pairs; chaos mutations touch only
+/// the disjoint id range >= 100 and cannot perturb that oracle.
+Database MakeChaosDb() {
+  Database db;
+  std::vector<Tuple> r1, r2;
+  for (Value x = 1; x <= 4; ++x)
+    for (Value y = 1; y <= 4; ++y) r1.push_back({x, y});
+  for (Value y = 1; y <= 4; ++y)
+    for (Value z = 1; z <= 3; ++z) r2.push_back({y, z});
+  AddRelation(db, "R1", 2, r1);
+  AddRelation(db, "R2", 2, r2);
+  return db;
+}
+
+/// The (y, z) rows every in-range query must answer, as a sorted multiset
+/// (order-independent: shards and degraded fallbacks may enumerate in a
+/// different — still correct — order).
+std::vector<uint64_t> OracleRowsSorted() {
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  for (uint64_t y = 1; y <= 4; ++y)
+    for (uint64_t z = 1; z <= 3; ++z) rows.push_back({y, z});
+  std::sort(rows.begin(), rows.end());
+  std::vector<uint64_t> flat;
+  for (const auto& [y, z] : rows) {
+    flat.push_back(y);
+    flat.push_back(z);
+  }
+  return flat;
+}
+
+std::vector<uint64_t> SortedRows(const WireResponse& resp) {
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  for (size_t i = 0; i + 1 < resp.values.size(); i += 2)
+    rows.push_back({resp.values[i], resp.values[i + 1]});
+  std::sort(rows.begin(), rows.end());
+  std::vector<uint64_t> flat;
+  for (const auto& [y, z] : rows) {
+    flat.push_back(y);
+    flat.push_back(z);
+  }
+  return flat;
+}
+
+class ServerChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds(0));
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds(0));
+  }
+
+  void StartServer(ServerOptions opts = {}) {
+    db_ = MakeChaosDb();
+    opts.port = 0;
+    // Churn > 0 steers the planner to the updatable structure, which is
+    // what gives wire mutations somewhere to land (docs/serving.md).
+    opts.cache.planner.churn_per_request = 0.5;
+    server_ = std::make_unique<CqcServer>(&db_, opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  /// The zero-leak postcondition every soak must satisfy.
+  void ExpectCleanShutdown() {
+    server_->Stop();
+    const ServerStats st = server_->stats();
+    EXPECT_EQ(st.active_sessions, 0u) << "leaked sessions";
+    EXPECT_EQ(st.open_fds, 0u) << "leaked fds";
+    EXPECT_EQ(st.sessions_opened, st.sessions_closed);
+    EXPECT_EQ(st.inflight_requests, 0u) << "leaked request slots";
+  }
+
+  Database db_;
+  std::unique_ptr<CqcServer> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Read-path coalescing.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerChaosTest, ConcurrentIdenticalQueriesShareExactlyOneDrain) {
+  ServerOptions opts;
+  opts.worker_threads = 4;
+  StartServer(opts);
+
+  // Warm the cache so the measured phase is pure read path: the first
+  // query pays the build; its drain is counted, then snapshotted away.
+  Client warm;
+  ASSERT_TRUE(warm.Connect("127.0.0.1", server_->port()).ok());
+  WireRequest req;
+  req.view = kView;
+  req.body = "? 2";
+  req.deadline_ms = 30'000;
+  req.request_id = 1;
+  WireResponse resp;
+  ASSERT_TRUE(warm.Call(req, &resp).ok());
+  ASSERT_EQ(resp.code, StatusCode::kOk);
+  warm.Close();
+  const ServerStats before = server_->stats();
+
+  // All K clients connect first, THEN the drain hold opens a wide window:
+  // the first request to arrive leads and sleeps before draining, so the
+  // other K-1 — sent within the window — MUST attach to its drain.
+  constexpr size_t kClients = 8;
+  std::vector<Client> clients(kClients);
+  for (auto& c : clients)
+    ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds(1000));
+
+  std::atomic<size_t> ready{0};
+  std::vector<WireResponse> responses(kClients);
+  std::vector<Status> statuses(kClients, Status::Ok());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      WireRequest r;
+      r.view = kView;
+      r.body = "? 2";  // identical body -> one coalescing key
+      r.deadline_ms = 30'000;
+      r.request_id = 100 + i;
+      statuses[i] = clients[i].Call(r, &responses[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds(0));
+
+  for (size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i].message();
+    ASSERT_EQ(responses[i].code, StatusCode::kOk) << responses[i].message;
+    EXPECT_EQ(responses[i].request_id, 100 + i);
+    // Byte-identical answers: same arity, same values, same ORDER — the
+    // shared drain is one enumeration, not K merged ones.
+    EXPECT_EQ(responses[i].arity, responses[0].arity);
+    EXPECT_EQ(responses[i].values, responses[0].values);
+  }
+  EXPECT_EQ(SortedRows(responses[0]), OracleRowsSorted());
+
+  const ServerStats after = server_->stats();
+  EXPECT_EQ(after.shared_drains - before.shared_drains, 1u)
+      << "K concurrent identical queries must trigger exactly one drain";
+  EXPECT_EQ(after.coalesced_reads - before.coalesced_reads, kClients - 1);
+  for (auto& c : clients) c.Close();
+  ExpectCleanShutdown();
+}
+
+TEST_F(ServerChaosTest, NoCoalesceFlagForcesPrivateDrains) {
+  ServerOptions opts;
+  opts.worker_threads = 4;
+  StartServer(opts);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  WireRequest req;
+  req.view = kView;
+  req.body = "? 1";
+  req.deadline_ms = 30'000;
+  req.flags = kFlagNoCoalesce;
+  WireResponse resp;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    req.request_id = id;
+    ASSERT_TRUE(client.Call(req, &resp).ok());
+    ASSERT_EQ(resp.code, StatusCode::kOk);
+    EXPECT_EQ(SortedRows(resp), OracleRowsSorted());
+  }
+  const ServerStats st = server_->stats();
+  EXPECT_EQ(st.shared_drains, 0u);
+  EXPECT_EQ(st.coalesced_reads, 0u);
+  client.Close();
+  ExpectCleanShutdown();
+}
+
+TEST_F(ServerChaosTest, AdmissionCapCountsParkedWaiters) {
+  // A parked waiter holds its tenant admission slot until the shared
+  // drain completes, so per_tenant_inflight bounds coalesced reads too.
+  ServerOptions opts;
+  opts.worker_threads = 4;
+  opts.per_tenant_inflight = 2;
+  StartServer(opts);
+  Client warm;
+  ASSERT_TRUE(warm.Connect("127.0.0.1", server_->port()).ok());
+  WireRequest req;
+  req.view = kView;
+  req.body = "? 3";
+  req.deadline_ms = 30'000;
+  req.request_id = 1;
+  WireResponse resp;
+  ASSERT_TRUE(warm.Call(req, &resp).ok());
+  warm.Close();
+
+  constexpr size_t kClients = 3;
+  std::vector<Client> clients(kClients);
+  for (auto& c : clients)
+    ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds(1000));
+  std::atomic<size_t> ready{0};
+  std::vector<WireResponse> responses(kClients);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      WireRequest r;
+      r.view = kView;
+      r.body = "? 3";
+      r.deadline_ms = 30'000;
+      r.request_id = 10 + i;
+      (void)clients[i].Call(r, &responses[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ReadCoalescer::SetDrainHoldForTest(std::chrono::milliseconds(0));
+
+  size_t ok = 0, rejected = 0;
+  for (const auto& r : responses) {
+    if (r.code == StatusCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.code, StatusCode::kUnavailable) << r.message;
+      EXPECT_NE(r.message.find("admission"), std::string::npos);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_GE(server_->stats().admission_rejected, 1u);
+  for (auto& c : clients) c.Close();
+  ExpectCleanShutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection soak.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerChaosTest, ConcurrentClientsUnderFailpointsNeverWrongAnswers) {
+  ServerOptions opts;
+  opts.worker_threads = 4;
+  // Let injected faults surface quickly instead of retrying forever, and
+  // keep some builds failing outright so error paths get real traffic.
+  opts.cache.max_build_attempts = 2;
+  opts.cache.build_retry_backoff = std::chrono::milliseconds(1);
+  StartServer(opts);
+
+  failpoint::Arm("build/any", {.probability = 0.3});
+  failpoint::Arm("rep_cache/apply_delta", {.probability = 0.3});
+  failpoint::Arm("updatable/rebuild", {.probability = 0.3});
+
+  const std::vector<uint64_t> oracle = OracleRowsSorted();
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequests = 40;
+  std::atomic<size_t> wrong_answers{0};
+  std::atomic<size_t> dirty_failures{0};
+  std::atomic<size_t> transport_errors{0};
+  std::atomic<size_t> ok_count{0}, fail_count{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      // Every client works its own tenant: per-tenant caches mean each
+      // thread exercises its own build/mutate path while sharing the
+      // server, so build failpoints fire independently per tenant.
+      const std::string tenant = "tenant-" + std::to_string(t % 4);
+      for (size_t i = 0; i < kRequests; ++i) {
+        WireRequest req;
+        req.tenant = tenant;
+        req.view = kView;
+        req.request_id = t * 1000 + i;
+        req.deadline_ms = 10'000;
+        const int kind = (int)((t + i) % 5);
+        const uint64_t mut_id = 100 + t;  // disjoint from the oracle range
+        switch (kind) {
+          case 0:
+          case 1:
+            req.body = "? " + std::to_string(1 + (i % 4));
+            break;
+          case 2:
+            req.body = "agg count 1 " + std::to_string(1 + (i % 4));
+            break;
+          case 3:
+            req.body = (i % 2 == 0 ? "+ R1 " : "- R1 ") +
+                       std::to_string(mut_id) + " 1";
+            break;
+          case 4:
+            req.body = "? 1";
+            req.deadline_ms = 1;  // injected expiry: hopeless on a miss
+            break;
+        }
+        WireResponse resp;
+        if (Status s = client.Call(req, &resp); !s.ok()) {
+          // The transport itself must stay healthy: request-level faults
+          // are in-band (coded responses), never dropped connections.
+          transport_errors.fetch_add(1);
+          return;
+        }
+        if (resp.request_id != req.request_id) {
+          wrong_answers.fetch_add(1);
+          continue;
+        }
+        if (resp.code != StatusCode::kOk) {
+          fail_count.fetch_add(1);
+          // Clean failure: a coded status with a reason, never silence.
+          if (resp.message.empty()) dirty_failures.fetch_add(1);
+          continue;
+        }
+        ok_count.fetch_add(1);
+        if (kind <= 1) {
+          // An OK enumeration must be EXACTLY the oracle: faults may
+          // fail a request, they may never corrupt one.
+          if (SortedRows(resp) != oracle) wrong_answers.fetch_add(1);
+        } else if (kind == 2) {
+          uint64_t total = 0;
+          for (size_t g = 0; g < resp.num_rows(); ++g)
+            total += resp.values[g * resp.arity + 1];
+          if (total != 12) wrong_answers.fetch_add(1);
+        }
+      }
+      client.Close();
+    });
+  }
+  for (auto& th : threads) th.join();
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(wrong_answers.load(), 0u)
+      << "a fault may fail a request but never corrupt an answer";
+  EXPECT_EQ(dirty_failures.load(), 0u) << "failures must carry a reason";
+  EXPECT_EQ(transport_errors.load(), 0u)
+      << "request-level faults must not kill connections";
+  // The soak is only meaningful if both paths actually ran.
+  EXPECT_GT(ok_count.load(), 0u);
+  EXPECT_GT(fail_count.load(), 0u) << "no injected fault ever surfaced";
+  ExpectCleanShutdown();
+}
+
+TEST_F(ServerChaosTest, MutationsLandInTheTenantsStructureOnly) {
+  ServerOptions opts;
+  opts.worker_threads = 2;
+  StartServer(opts);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  WireRequest req;
+  req.tenant = "writer";
+  req.view = kView;
+  req.deadline_ms = 30'000;
+  WireResponse resp;
+
+  // Insert a brand-new join result: R1(7 -> 1) joins the existing
+  // R2(1, z) rows, so "? 7" goes from empty to 3 rows.
+  req.request_id = 1;
+  req.body = "? 7";
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  ASSERT_EQ(resp.code, StatusCode::kOk) << resp.message;
+  EXPECT_EQ(resp.num_rows(), 0u);
+
+  req.request_id = 2;
+  req.body = "+ R1 7 1";
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  ASSERT_EQ(resp.code, StatusCode::kOk) << resp.message;
+
+  req.request_id = 3;
+  req.body = "? 7";
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  ASSERT_EQ(resp.code, StatusCode::kOk) << resp.message;
+  EXPECT_EQ(resp.num_rows(), 3u);  // (1,1) (1,2) (1,3)
+
+  // The delta lives in the "writer" tenant's structure; a different
+  // tenant plans and builds from the UNMUTATED base tables.
+  req.tenant = "reader";
+  req.request_id = 4;
+  req.body = "? 7";
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  ASSERT_EQ(resp.code, StatusCode::kOk) << resp.message;
+  EXPECT_EQ(resp.num_rows(), 0u) << "tenant isolation: the base tables "
+                                    "must never absorb a wire mutation";
+
+  // And the base database object itself is untouched.
+  EXPECT_FALSE(db_.Find("R1")->Contains(Tuple{7, 1}));
+  client.Close();
+  ExpectCleanShutdown();
+}
+
+TEST_F(ServerChaosTest, HopelessDeadlineFailsCleanlyAndKeepsServing) {
+  ServerOptions opts;
+  opts.worker_threads = 2;
+  StartServer(opts);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  WireRequest req;
+  req.view = kView;
+  req.deadline_ms = 1;  // expires during the build on a cold cache
+  req.request_id = 1;
+  req.body = "? 1";
+  WireResponse resp;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  if (resp.code != StatusCode::kOk) {
+    // DEADLINE_EXCEEDED is the expected shape; a deadline that expires
+    // inside a coalesced build wait may surface as UNAVAILABLE.
+    EXPECT_TRUE(resp.code == StatusCode::kDeadlineExceeded ||
+                resp.code == StatusCode::kUnavailable)
+        << resp.message;
+  }
+  // The expired request must not have poisoned anything: a sane deadline
+  // now succeeds with the full answer.
+  req.request_id = 2;
+  req.deadline_ms = 30'000;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  ASSERT_EQ(resp.code, StatusCode::kOk) << resp.message;
+  EXPECT_EQ(SortedRows(resp), OracleRowsSorted());
+  client.Close();
+  ExpectCleanShutdown();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cqc

@@ -26,6 +26,21 @@ than the threshold:
     pair evaluated eagerly, a batch stall) shows up as 100us+. The gate is
     therefore a backstop against order-of-magnitude delay blowups; the
     fine-grained signal is the deterministic worst_delay_ops counter in
+    the same reports;
+  * request-latency p99s — every metric whose key ends in `_p99_us`
+    (BENCH_server's closed/open-loop tail latencies) is latency-gated:
+    higher is a regression, but only past BOTH a 3x ratio and a 2.5ms
+    absolute change. Wire round-trip tails on a shared runner carry
+    scheduler noise of +-50% at the few-ms scale (a p99 over a short
+    window is roughly the second-worst sample), so unlike the throughput
+    gates this one is purely a backstop against real tail blowups — a
+    stalled drain, a loop-thread convoy — which show up as 10x+, not
+    tens of percent. A p99 is additionally gated only when both records
+    report `requests` >= 200: below that a p99 is just the worst couple
+    of samples (an open-loop probe at 50 qps over a short window has a
+    few dozen), and its run-to-run swing is order-statistics noise, not
+    a regression signal — such records are reported but never gated.
+    `_kqps` joins the throughput suffixes (lower is a regression) for
     the same reports.
 
 Records are matched by (experiment, structure). Metrics present in the
@@ -43,15 +58,24 @@ import json
 import os
 import sys
 
-THROUGHPUT_SUFFIXES = ("_mtps", "_mprobes", "_mops")
+THROUGHPUT_SUFFIXES = ("_mtps", "_mprobes", "_mops", "_kqps")
 DELAY_KEYS = ("single_delay_us_p95", "batched_delay_us_p95")
 DELAY_ABS_FLOOR_US = 25.0
+LATENCY_SUFFIX = "_p99_us"
+LATENCY_RATIO_LIMIT = 3.0
+LATENCY_ABS_FLOOR_US = 2500.0
+LATENCY_MIN_SAMPLES = 200
 
 
 def throughput_keys(rec):
     """Gated throughput metrics of a record, by suffix convention."""
     return sorted(k for k in rec
                   if any(k.endswith(s) for s in THROUGHPUT_SUFFIXES))
+
+
+def latency_keys(rec):
+    """Gated tail-latency metrics of a record, by suffix convention."""
+    return sorted(k for k in rec if k.endswith(LATENCY_SUFFIX))
 
 
 def load(path):
@@ -101,6 +125,28 @@ def compare_bench(name, baseline, current, threshold):
                 failures.append(
                     f"{name} {key} {metric}: {b:.2f} -> {c:.2f} "
                     f"({(1 - ratio) * 100:.1f}% slower, limit {threshold * 100:.0f}%)"
+                )
+            lines.append(f"  {name:<18} {key[1]:<44} {metric:<22} "
+                         f"{b:9.2f} -> {c:9.2f}  {status}")
+        samples = min(int(base.get("requests", 0)), int(cur.get("requests", 0)))
+        for metric in latency_keys(base):
+            if metric not in cur:
+                failures.append(f"{name} {key} {metric}: missing from current run")
+                continue
+            if samples < LATENCY_MIN_SAMPLES:
+                lines.append(f"  {name:<18} {key[1]:<44} {metric:<22} "
+                             f"not gated (p99 over {samples} samples)")
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            if b <= 0:
+                continue
+            ratio = c / b
+            status = "ok"
+            if ratio > LATENCY_RATIO_LIMIT and c - b > LATENCY_ABS_FLOOR_US:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name} {key} {metric}: {b:.2f}us -> {c:.2f}us "
+                    f"({ratio:.1f}x worse, limit {LATENCY_RATIO_LIMIT:.0f}x)"
                 )
             lines.append(f"  {name:<18} {key[1]:<44} {metric:<22} "
                          f"{b:9.2f} -> {c:9.2f}  {status}")
